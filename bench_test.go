@@ -1,0 +1,600 @@
+// Package strudel_test is the experiment harness: one benchmark per
+// table, figure, or quantitative claim in the paper's evaluation (see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for paper-vs-
+// measured results). Run with:
+//
+//	go test -bench=. -benchmem .
+package strudel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"strudel/internal/baseline"
+	"strudel/internal/constraints"
+	"strudel/internal/core"
+	"strudel/internal/dynamic"
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+	"strudel/internal/repo"
+	"strudel/internal/schema"
+	"strudel/internal/sites"
+	"strudel/internal/struql"
+	"strudel/internal/synth"
+	"strudel/internal/wrapper/bibtex"
+)
+
+// --- shared fixtures ---
+
+func bibData(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	g, err := bibtex.Load(synth.Bibliography(n, "bench"), bibtex.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func mustEval(b *testing.B, q *struql.Query, src struql.Source) *graph.Graph {
+	b.Helper()
+	r, err := struql.Eval(q, src, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r.Graph
+}
+
+// --- Fig. 8: site-creation cost vs data size × structural complexity ---
+//
+// The paper's Fig. 8 positions tools by data size and structural
+// complexity (measured in link clauses / CGI scripts). These benches
+// sweep both axes for the declarative pipeline and the hand-written
+// procedural generator; EXPERIMENTS.md reads the crossover off the
+// results.
+
+func BenchmarkFig8_Strudel(b *testing.B) {
+	for _, size := range []int{100, 400, 1600} {
+		for _, dims := range []int{1, 2, 4, 8} {
+			q := struql.MustParse(baseline.GroupedQuery("Publications", dims))
+			data := repo.NewIndexed(bibData(b, size))
+			b.Run(fmt.Sprintf("items=%d/links=%d", size, q.LinkClauseCount()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					mustEval(b, q, data)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig8_Baseline(b *testing.B) {
+	for _, size := range []int{100, 400, 1600} {
+		for _, dims := range []int{1, 2, 4, 8} {
+			data := bibData(b, size)
+			b.Run(fmt.Sprintf("items=%d/dims=%d", size, dims), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					baseline.ProceduralGrouped(data, "Publications", dims)
+				}
+			})
+		}
+	}
+}
+
+// --- E1: the AT&T-Research-style organization site (§5.1) ---
+
+func BenchmarkE1_OrgSiteBuild(b *testing.B) {
+	for _, people := range []int{100, 400} {
+		spec := sites.OrgSite(people, people/20+1, people/10+1, people/8+1)
+		b.Run(fmt.Sprintf("people=%d", people), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E2: the mff personal homepage (§5.1) ---
+
+func BenchmarkE2_HomepageBuild(b *testing.B) {
+	spec := sites.Homepage(25)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: the CNN demo, general and sports-only (§5.1) ---
+
+func BenchmarkE3_CNNBuild(b *testing.B) {
+	spec := sites.CNN(300)
+	spec.Versions = spec.Versions[:1] // general only
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_SportsOnly(b *testing.B) {
+	spec := sites.CNN(300)
+	spec.Versions = spec.Versions[1:2] // sports only
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: composed queries (the suciu example, §5.1) ---
+
+func BenchmarkE4_Composition(b *testing.B) {
+	data := repo.NewIndexed(bibData(b, 200))
+	q1 := struql.MustParse(`
+where Publications(x) create Page(x) link Page(x) -> "self" -> x collect Pages(Page(x))
+{ where x -> l -> v link Page(x) -> l -> v }`)
+	q2 := struql.MustParse(`
+where Pages(p), p -> "year" -> y create Year(y) link Year(y) -> "Pg" -> p collect Years(Year(y))`)
+	q3 := struql.MustParse(`
+create Nav()
+where Pages(p) link Nav() -> "target" -> p, Nav() -> "home" -> Nav()`)
+	queries := []*struql.Query{q1, q2, q3}
+	for i := 0; i < b.N; i++ {
+		if _, err := struql.EvalSeq(queries, data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: bilingual site from one query (§5.1) ---
+
+func BenchmarkE5_Bilingual(b *testing.B) {
+	spec := sites.Bilingual(40)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: full indexing of schema and data (§2.1) ---
+//
+// Indexed vs naive-scan query evaluation, plus the cost of maintaining
+// the indexes, which the paper calls "obviously expensive".
+
+var e6Queries = []string{
+	`where Publications(x), x -> "year" -> y, y > 1994 create N(x, y)`,
+	`where Publications(x), x -> "category" -> "databases" create C(x)`,
+	`where a -> "author" -> w, b -> "author" -> w, a != b create Pair(a, b)`,
+	`where Publications(x), not(x -> "month" -> m) create NoMonth(x)`,
+}
+
+func BenchmarkE6_IndexedQueries(b *testing.B) {
+	for _, size := range []int{100, 400, 1600, 6400} {
+		data := repo.NewIndexed(bibData(b, size))
+		b.Run(fmt.Sprintf("edges=%d", data.NumEdges()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, qs := range e6Queries {
+					mustEval(b, struql.MustParse(qs), data)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE6_NaiveQueries(b *testing.B) {
+	// The naive evaluator's full scans are quadratic on the self-join
+	// query; 1600 items is already ~100x slower than the indexed run.
+	for _, size := range []int{100, 400, 1600} {
+		g := bibData(b, size)
+		data := struql.NewGraphSource(g)
+		b.Run(fmt.Sprintf("edges=%d", g.NumEdges()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, qs := range e6Queries {
+					r, err := struql.Eval(struql.MustParse(qs), data, &struql.Options{NoReorder: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = r
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE6_IndexMaintenance(b *testing.B) {
+	for _, size := range []int{100, 400, 1600, 6400} {
+		g := bibData(b, size)
+		b.Run(fmt.Sprintf("edges=%d", g.NumEdges()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				repo.NewIndexed(g.Copy())
+			}
+		})
+	}
+}
+
+// --- E7: static materialization vs dynamic click-time evaluation (§2.5) ---
+
+func e7Fixture(b *testing.B) (*struql.Query, *repo.Indexed) {
+	b.Helper()
+	q := struql.MustParse(sites.CNNQuery)
+	spec := sites.CNN(300)
+	med, err := mediator.New(spec.Sources...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := med.Warehouse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q, data
+}
+
+func BenchmarkE7_StaticMaterialize(b *testing.B) {
+	q, data := e7Fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustEval(b, q, data)
+	}
+}
+
+// browse follows a deterministic click session from the front page.
+func browse(b *testing.B, ev *dynamic.Evaluator, clicks int) {
+	b.Helper()
+	root := dynamic.PageRef{Fn: "FrontPage"}
+	cur := root
+	for c := 0; c < clicks; c++ {
+		pd, err := ev.Page(cur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pd.Links) == 0 {
+			cur = root
+			continue
+		}
+		cur = pd.Links[c%len(pd.Links)]
+	}
+}
+
+func BenchmarkE7_DynamicCold(b *testing.B) {
+	q, data := e7Fixture(b)
+	s := schema.Build(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := dynamic.NewEvaluator(s, data)
+		browse(b, ev, 10)
+	}
+}
+
+func BenchmarkE7_DynamicCached(b *testing.B) {
+	q, data := e7Fixture(b)
+	ev := dynamic.NewEvaluator(schema.Build(q), data)
+	browse(b, ev, 10) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		browse(b, ev, 10)
+	}
+}
+
+func BenchmarkE7_DynamicLookahead(b *testing.B) {
+	q, data := e7Fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := dynamic.NewEvaluator(schema.Build(q), data)
+		ev.Lookahead = true
+		browse(b, ev, 10)
+	}
+}
+
+// --- E8: incremental update vs full rebuild (§7) ---
+
+func e8Fixture(b *testing.B) (*struql.Query, *graph.Graph, *graph.Graph, *mediator.Delta) {
+	b.Helper()
+	q := struql.MustParse(sites.HomepageQuery)
+	data, err := sites.HomepageData(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := struql.Eval(q, struql.NewGraphSource(data), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	updated := data.Copy()
+	updated.AddToCollection("Publications", "brandnew")
+	updated.AddEdge("brandnew", "title", graph.NewString("A Brand New Result"))
+	updated.AddEdge("brandnew", "year", graph.NewInt(1999))
+	updated.AddEdge("brandnew", "category", graph.NewString("databases"))
+	delta := &mediator.Delta{
+		AddedEdges: []graph.Edge{
+			{From: "brandnew", Label: "title", To: graph.NewString("A Brand New Result")},
+			{From: "brandnew", Label: "year", To: graph.NewInt(1999)},
+			{From: "brandnew", Label: "category", To: graph.NewString("databases")},
+		},
+		AddedMembers: []mediator.Membership{{Coll: "Publications", OID: "brandnew"}},
+	}
+	return q, r.Graph, updated, delta
+}
+
+func BenchmarkE8_FullRebuild(b *testing.B) {
+	q, _, updated, _ := e8Fixture(b)
+	src := struql.NewGraphSource(updated)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustEval(b, q, src)
+	}
+}
+
+func BenchmarkE8_IncrementalCopyMerge(b *testing.B) {
+	// The simple additive path: copies the old site and merges the
+	// re-evaluated blocks. The copy makes it comparable to a full
+	// rebuild when the delta touches the dominant collection.
+	q, oldSite, updated, delta := e8Fixture(b)
+	src := struql.NewGraphSource(updated)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dynamic.Incremental(q, oldSite, src, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_IncrementalStatePubDelta(b *testing.B) {
+	// Partition-based maintenance, worst case: a publication delta
+	// touches the block that dominates evaluation cost.
+	q, _, updated, delta := e8Fixture(b)
+	src := struql.NewGraphSource(updated)
+	st, err := dynamic.NewIncrementalState(q, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Apply(src, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_IncrementalStatePatentDelta(b *testing.B) {
+	// Best case: a patent delta affects only the small patents block;
+	// the 200-publication blocks are skipped entirely.
+	q, _, updated, _ := e8Fixture(b)
+	updated.AddToCollection("Patents", "newpat")
+	updated.AddEdge("newpat", "title", graph.NewString("A new patent"))
+	delta := &mediator.Delta{
+		AddedEdges:   []graph.Edge{{From: "newpat", Label: "title", To: graph.NewString("A new patent")}},
+		AddedMembers: []mediator.Membership{{Coll: "Patents", OID: "newpat"}},
+	}
+	src := struql.NewGraphSource(updated)
+	st, err := dynamic.NewIncrementalState(q, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Apply(src, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_MaintainerLocalizedDelta(b *testing.B) {
+	// End-to-end incremental maintenance: data delta → affected query
+	// blocks → site-graph diff → dirty-page regeneration. A patent delta
+	// leaves the publication pages untouched.
+	spec := sites.Homepage(200)
+	med, err := mediator.New(spec.Sources...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warehouse, err := med.Warehouse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := warehouse.Graph()
+	m, err := core.NewMaintainer(&spec.Versions[0], struql.NewGraphSource(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	updated := data.Copy()
+	updated.AddToCollection("Patents", "benchpat")
+	updated.AddEdge("benchpat", "title", graph.NewString("Bench patent"))
+	updated.AddEdge("benchpat", "number", graph.NewString("US7777777"))
+	delta := mediator.Diff(data, updated)
+	src := struql.NewGraphSource(updated)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Apply(src, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: the cost of a second version (§6.1: "building the external
+// version was trivial") ---
+
+func BenchmarkE9_FirstVersion(b *testing.B) {
+	spec := sites.OrgSite(100, 6, 11, 13)
+	med, err := mediator.New(spec.Sources...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := med.Warehouse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildVersion(&spec.Versions[0], data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9_SecondVersion(b *testing.B) {
+	// The second version shares the evaluated site graph; only the
+	// rendering differs.
+	spec := sites.OrgSite(100, 6, 11, 13)
+	med, err := mediator.New(spec.Sources...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := med.Warehouse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	first, err := core.BuildVersion(&spec.Versions[0], data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RenderVersion(&spec.Versions[1], first.Queries, first.SiteGraph); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: separation of query and construction stages (§6.2) ---
+
+func BenchmarkE10_WhereStage(b *testing.B) {
+	data := repo.NewIndexed(bibData(b, 1000))
+	conds := struql.MustParse(`where Publications(x), x -> "year" -> y, x -> l -> v create N(x)`).Blocks[0].Where
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := struql.EvalWhere(conds, data, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10_FullQuery(b *testing.B) {
+	data := repo.NewIndexed(bibData(b, 1000))
+	q := struql.MustParse(`where Publications(x), x -> "year" -> y, x -> l -> v create N(x) link N(x) -> l -> v, N(x) -> "year" -> y`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustEval(b, q, data)
+	}
+}
+
+func BenchmarkE10_SkolemMemoHits(b *testing.B) {
+	env := struql.NewSkolemEnv()
+	args := []graph.Value{graph.NewString("pub123")}
+	env.OID("Page", args)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.OID("Page", args)
+	}
+}
+
+func BenchmarkE10_SkolemMemoMisses(b *testing.B) {
+	env := struql.NewSkolemEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.OID("Page", []graph.Value{graph.NewInt(int64(i))})
+	}
+}
+
+// --- E11: regular path expressions — the TextOnly copy query (§2.2) ---
+
+const textOnlyQuery = `
+where Root(p), p -> * -> q, isNode(q)
+create New(q)
+collect TextOnlyRoot(New(p))
+{
+  where q -> l -> q2, isNode(q2)
+  link New(q) -> l -> New(q2)
+}
+{
+  where q -> l -> q2, isAtom(q2), not(isImageFile(q2))
+  link New(q) -> l -> q2
+}
+`
+
+// chainSite builds a deep site: a chain of sections each holding leaves,
+// some of which are images the TextOnly query must strip.
+func chainSite(depth, fanout int) *graph.Graph {
+	g := graph.New()
+	g.AddToCollection("Root", "s0")
+	for i := 0; i < depth; i++ {
+		cur := graph.OID(fmt.Sprintf("s%d", i))
+		if i+1 < depth {
+			g.AddEdge(cur, "next", graph.NewNode(graph.OID(fmt.Sprintf("s%d", i+1))))
+		}
+		for j := 0; j < fanout; j++ {
+			if j%3 == 0 {
+				g.AddEdge(cur, "pic", graph.NewFile(graph.FileImage, fmt.Sprintf("i%d-%d.gif", i, j)))
+			} else {
+				g.AddEdge(cur, "txt", graph.NewString(fmt.Sprintf("leaf %d-%d", i, j)))
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkE11_TextOnly(b *testing.B) {
+	q := struql.MustParse(textOnlyQuery)
+	for _, depth := range []int{10, 100, 1000} {
+		data := repo.NewIndexed(chainSite(depth, 6))
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustEval(b, q, data)
+			}
+		})
+	}
+}
+
+func BenchmarkE11_RPEScaling(b *testing.B) {
+	for _, pat := range []string{`"next"*`, `("next"|"txt")*`, `~"n.*"+`, `"next"."next"."next"`} {
+		pe := struql.MustParsePathExpr(pat)
+		data := repo.NewIndexed(chainSite(500, 4))
+		b.Run(pat, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				struql.ReachableVia(data, "s0", pe)
+			}
+		})
+	}
+}
+
+// --- E12: integrity-constraint verification (§2.5) ---
+
+func e12Fixture(b *testing.B) (*schema.Schema, *repo.Indexed, *graph.Graph, constraints.Constraint) {
+	b.Helper()
+	q := struql.MustParse(sites.HomepageQuery)
+	data, err := sites.HomepageData(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := repo.NewIndexed(data)
+	site := mustEval(b, q, ix)
+	c, err := constraints.Parse(`every PaperPresentation reachable from CategoryPage via "Paper"`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return schema.Build(q), ix, site, c
+}
+
+func BenchmarkE12_StaticVerification(b *testing.B) {
+	s, _, _, c := e12Fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.CheckStatic(s)
+	}
+}
+
+func BenchmarkE12_DataVerification(b *testing.B) {
+	s, data, _, c := e12Fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.CheckData(s, data)
+	}
+}
+
+func BenchmarkE12_SiteVerification(b *testing.B) {
+	_, _, site, c := e12Fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.CheckSite(site)
+	}
+}

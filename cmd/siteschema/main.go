@@ -1,0 +1,55 @@
+// Command siteschema derives and prints the site schema of a StruQL
+// query (§2.5) — the tool the paper describes as "a tool to view a
+// query's site schema, which provides a visual map of the site being
+// specified". It regenerates Fig. 7 from the Fig. 3 query.
+//
+// Usage:
+//
+//	siteschema -query site.struql [-dot] [-ns]
+//
+// With -dot, Graphviz output is produced; -ns includes edges to the NS
+// node, which Fig. 7 omits for clarity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"strudel/internal/schema"
+	"strudel/internal/struql"
+)
+
+func main() {
+	queryFile := flag.String("query", "", "StruQL query file")
+	dot := flag.Bool("dot", false, "emit Graphviz dot")
+	withNS := flag.Bool("ns", false, "include edges to the NS node")
+	flag.Parse()
+
+	out, err := emit(*queryFile, *dot, *withNS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "siteschema:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+// emit derives the schema of the query in the file and renders it.
+func emit(queryFile string, dot, withNS bool) (string, error) {
+	if queryFile == "" {
+		return "", fmt.Errorf("provide -query FILE")
+	}
+	b, err := os.ReadFile(queryFile)
+	if err != nil {
+		return "", err
+	}
+	q, err := struql.Parse(string(b))
+	if err != nil {
+		return "", err
+	}
+	s := schema.Build(q)
+	if dot {
+		return s.Dot("siteschema", !withNS), nil
+	}
+	return s.String(), nil
+}

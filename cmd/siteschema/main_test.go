@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const schemaQuery = `
+create RootPage()
+where Publications(x), x -> "year" -> y
+create YearPage(y)
+link YearPage(y) -> "Paper" -> PaperPage(x),
+     RootPage() -> "Year" -> YearPage(y)
+`
+
+func TestEmitText(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "q.struql")
+	if err := os.WriteFile(f, []byte(schemaQuery), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := emit(f, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "YearPage -> PaperPage") {
+		t.Errorf("schema:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestEmitDot(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "q.struql")
+	if err := os.WriteFile(f, []byte(schemaQuery), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := emit(f, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "digraph") {
+		t.Errorf("dot output:\n%s", out)
+	}
+}
+
+func TestEmitErrors(t *testing.T) {
+	if _, err := emit("", false, false); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, err := emit("/nonexistent.struql", false, false); err == nil {
+		t.Error("nonexistent file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.struql")
+	os.WriteFile(bad, []byte("where"), 0o644)
+	if _, err := emit(bad, false, false); err == nil {
+		t.Error("bad query should fail")
+	}
+}

@@ -1,0 +1,123 @@
+// Command strudel-serve serves a Strudel site dynamically: instead of
+// materializing the whole site graph up front, each request evaluates at
+// "click time" the incremental queries that compute the requested page
+// (§2.5, §7), with result caching and optional lookahead.
+//
+// Usage:
+//
+//	strudel-serve -data x.ddl [-bibtex y.bib] -query site.struql
+//	              [-template Fn=file.tmpl] [-addr :8080] [-lookahead]
+//
+// Templates are keyed by Skolem function name (Fn=...).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"strudel/internal/ddl"
+	"strudel/internal/dynamic"
+	"strudel/internal/graph"
+	"strudel/internal/repo"
+	"strudel/internal/schema"
+	"strudel/internal/struql"
+	"strudel/internal/template"
+	"strudel/internal/wrapper/bibtex"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var dataFiles, bibFiles, templates stringList
+	flag.Var(&dataFiles, "data", "data-definition-language file (repeatable)")
+	flag.Var(&bibFiles, "bibtex", "BibTeX file (repeatable)")
+	flag.Var(&templates, "template", "template as SkolemFn=file (repeatable)")
+	queryFile := flag.String("query", "", "StruQL site-definition query file")
+	addr := flag.String("addr", ":8080", "listen address")
+	lookahead := flag.Bool("lookahead", false, "precompute linked pages after each request")
+	flag.Parse()
+
+	if err := run(dataFiles, bibFiles, templates, *queryFile, *addr, *lookahead); err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataFiles, bibFiles, templates []string, queryFile, addr string, lookahead bool) error {
+	srv, err := buildServer(dataFiles, bibFiles, templates, queryFile, lookahead)
+	if err != nil {
+		return err
+	}
+	roots := srv.Ev.EntryPoints()
+	fmt.Printf("serving %d entry point(s) on %s (start at /)\n", len(roots), addr)
+	return http.ListenAndServe(addr, srv.Handler())
+}
+
+// buildServer assembles the dynamic server from the CLI inputs.
+func buildServer(dataFiles, bibFiles, templates []string, queryFile string, lookahead bool) (*dynamic.Server, error) {
+	if queryFile == "" {
+		return nil, fmt.Errorf("provide -query FILE")
+	}
+	qb, err := os.ReadFile(queryFile)
+	if err != nil {
+		return nil, err
+	}
+	q, err := struql.Parse(string(qb))
+	if err != nil {
+		return nil, err
+	}
+	data := graph.New()
+	for _, f := range dataFiles {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		doc, err := ddl.Parse(string(b))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		data.Merge(doc.Graph)
+	}
+	for _, f := range bibFiles {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		g, err := bibtex.Load(string(b), bibtex.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		data.Merge(g)
+	}
+	ev := dynamic.NewEvaluator(schema.Build(q), repo.NewIndexed(data))
+	ev.Lookahead = lookahead
+	ts := template.NewSet()
+	srv := dynamic.NewServer(ev, ts)
+	for _, spec := range templates {
+		fn, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("-template wants SkolemFn=file, got %q", spec)
+		}
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		if err := ts.Add(fn, string(b)); err != nil {
+			return nil, err
+		}
+		srv.PerFn[fn] = fn
+	}
+	if len(ev.EntryPoints()) == 0 {
+		return nil, fmt.Errorf("the query has no unconditional zero-argument Skolem creation to serve as an entry point")
+	}
+	return srv, nil
+}

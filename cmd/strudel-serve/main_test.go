@@ -1,0 +1,90 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildServerAndServe(t *testing.T) {
+	dir := t.TempDir()
+	ddl := write(t, dir, "d.ddl", `
+collection Pubs;
+node p1 in Pubs { title "Strudel"; }
+node p2 in Pubs { title "Boat"; }
+`)
+	query := write(t, dir, "q.struql", `
+create Root()
+link Root() -> "title" -> "Library"
+where Pubs(x)
+create Page(x)
+link Root() -> "pub" -> Page(x)
+{ where x -> "title" -> tt link Page(x) -> "title" -> tt }
+`)
+	rootTmpl := write(t, dir, "Root.tmpl", `<h1><SFMT title></h1><SFMT pub UL TEXT=title>`)
+	pageTmpl := write(t, dir, "Page.tmpl", `<b><SFMT title></b>`)
+
+	srv, err := buildServer([]string{ddl}, nil, []string{"Root=" + rootTmpl, "Page=" + pageTmpl}, query, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "<h1>Library</h1>") {
+		t.Errorf("root body:\n%s", body)
+	}
+	if !strings.Contains(string(body), "Strudel") {
+		t.Errorf("root should link pubs:\n%s", body)
+	}
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	dir := t.TempDir()
+	query := write(t, dir, "q.struql", `create Root()`)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"no query", func() error {
+			_, err := buildServer(nil, nil, nil, "", false)
+			return err
+		}},
+		{"bad template spec", func() error {
+			_, err := buildServer(nil, nil, []string{"noequals"}, query, false)
+			return err
+		}},
+		{"missing data file", func() error {
+			_, err := buildServer([]string{"/nonexistent.ddl"}, nil, nil, query, false)
+			return err
+		}},
+		{"no entry point", func() error {
+			q2 := write(t, dir, "q2.struql", `where Pubs(x) create P(x)`)
+			_, err := buildServer(nil, nil, nil, q2, false)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if c.fn() == nil {
+			t.Errorf("%s should fail", c.name)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Command strudel builds a browsable web site: it loads data through
+// wrappers, evaluates the site-definition query, checks integrity
+// constraints, and writes the generated HTML (the full Fig. 1 pipeline).
+//
+// Two modes:
+//
+//	strudel -example homepage|cnn|orgsite|bilingual -out DIR [-size N]
+//	    builds one of the bundled reconstructions of the paper's sites
+//	    (every version; one subdirectory per version).
+//
+//	strudel -data x.ddl -bibtex y.bib -query site.struql
+//	        -template Name=file.tmpl -collection Coll=Name -object OID=Name
+//	        -root 'RootPage()' -out DIR [-constraint '...']
+//	    builds a site from explicit inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"strudel/internal/core"
+	"strudel/internal/ddl"
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+	"strudel/internal/sites"
+	"strudel/internal/wrapper/bibtex"
+	"strudel/internal/wrapper/csvrel"
+	"strudel/internal/wrapper/jsonwrap"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var dataFiles, bibFiles, csvSpecs, jsonFiles, templates, collTpl, objTpl, roots, constraintsList stringList
+	example := flag.String("example", "", "bundled site: homepage, cnn, orgsite, or bilingual")
+	size := flag.Int("size", 0, "scale of the bundled site (publications, articles, or people; 0 = default)")
+	out := flag.String("out", "site-out", "output directory")
+	queryFile := flag.String("query", "", "StruQL site-definition query file")
+	flag.Var(&dataFiles, "data", "data-definition-language file (repeatable)")
+	flag.Var(&bibFiles, "bibtex", "BibTeX file (repeatable)")
+	flag.Var(&csvSpecs, "csv", "CSV table as Table:keyColumn:file (repeatable)")
+	flag.Var(&jsonFiles, "json", "JSON document as Collection:file (repeatable)")
+	flag.Var(&templates, "template", "template as Name=file (repeatable)")
+	flag.Var(&collTpl, "collection", "collection template as Coll=Name (repeatable)")
+	flag.Var(&objTpl, "object", "object template as OID=Name (repeatable)")
+	flag.Var(&roots, "root", "realization root oid, e.g. 'RootPage()' (repeatable)")
+	flag.Var(&constraintsList, "constraint", "integrity constraint to check (repeatable)")
+	flag.Parse()
+
+	var err error
+	if *example != "" {
+		err = buildExample(*example, *size, *out)
+	} else {
+		err = buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles, *queryFile, templates, collTpl, objTpl, roots, constraintsList, *out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strudel:", err)
+		os.Exit(1)
+	}
+}
+
+func buildExample(name string, size int, out string) error {
+	var spec *core.Spec
+	switch name {
+	case "homepage":
+		if size == 0 {
+			size = 25
+		}
+		spec = sites.Homepage(size)
+	case "cnn":
+		if size == 0 {
+			size = 300
+		}
+		spec = sites.CNN(size)
+	case "orgsite":
+		if size == 0 {
+			size = 400
+		}
+		spec = sites.OrgSite(size, size/20+1, size/10+1, size/8+1)
+	case "bilingual":
+		if size == 0 {
+			size = 20
+		}
+		spec = sites.Bilingual(size)
+	default:
+		return fmt.Errorf("unknown example %q (homepage, cnn, orgsite, bilingual)", name)
+	}
+	res, err := core.Build(spec)
+	if err != nil {
+		return err
+	}
+	for name, vr := range res.Versions {
+		dir := filepath.Join(out, name)
+		if err := vr.Output.WriteDir(dir); err != nil {
+			return err
+		}
+		fmt.Printf("version %s: %s → %s\n", name, vr.Stats, dir)
+		for i, c := range vr.Checks {
+			fmt.Printf("  constraint %d: %s — %s\n", i+1, c.Verdict, c.Reason)
+		}
+	}
+	return nil
+}
+
+func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile string,
+	templates, collTpl, objTpl, roots, constraintsList []string, out string) error {
+	if queryFile == "" {
+		return fmt.Errorf("provide -query FILE (or -example NAME)")
+	}
+	qb, err := os.ReadFile(queryFile)
+	if err != nil {
+		return err
+	}
+	var sources []mediator.Source
+	for _, f := range dataFiles {
+		f := f
+		sources = append(sources, mediator.Source{Name: "ddl:" + f, Load: func() (*graph.Graph, error) {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			doc, err := ddl.Parse(string(b))
+			if err != nil {
+				return nil, err
+			}
+			return doc.Graph, nil
+		}})
+	}
+	for _, f := range bibFiles {
+		f := f
+		sources = append(sources, mediator.Source{Name: "bib:" + f, Load: func() (*graph.Graph, error) {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			return bibtex.Load(string(b), bibtex.DefaultOptions())
+		}})
+	}
+	for _, spec := range csvSpecs {
+		parts := strings.SplitN(spec, ":", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("-csv wants Table:keyColumn:file, got %q", spec)
+		}
+		table, key, f := parts[0], parts[1], parts[2]
+		sources = append(sources, mediator.Source{Name: "csv:" + f, Load: func() (*graph.Graph, error) {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			return csvrel.Load(string(b), csvrel.Options{Table: table, KeyColumn: key})
+		}})
+	}
+	for _, spec := range jsonFiles {
+		coll, f, ok := strings.Cut(spec, ":")
+		if !ok {
+			return fmt.Errorf("-json wants Collection:file, got %q", spec)
+		}
+		sources = append(sources, mediator.Source{Name: "json:" + f, Load: func() (*graph.Graph, error) {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			return jsonwrap.Load(strings.TrimSuffix(filepath.Base(f), filepath.Ext(f)), b,
+				jsonwrap.Options{Collection: coll})
+		}})
+	}
+	tmpl := map[string]string{}
+	for _, spec := range templates {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-template wants Name=file, got %q", spec)
+		}
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		tmpl[name] = string(b)
+	}
+	version := core.Version{
+		Name:          "main",
+		Queries:       []string{string(qb)},
+		Templates:     tmpl,
+		PerCollection: splitPairs(collTpl),
+		PerObject:     splitPairs(objTpl),
+		Roots:         roots,
+		Constraints:   constraintsList,
+	}
+	res, err := core.Build(&core.Spec{Name: "cli", Sources: sources, Versions: []core.Version{version}})
+	if err != nil {
+		return err
+	}
+	vr := res.Versions["main"]
+	if err := vr.Output.WriteDir(out); err != nil {
+		return err
+	}
+	fmt.Printf("%s → %s\n", vr.Stats, out)
+	for i, c := range vr.Checks {
+		fmt.Printf("constraint %d: %s — %s\n", i+1, c.Verdict, c.Reason)
+	}
+	if !vr.ChecksPass {
+		return fmt.Errorf("integrity constraints violated")
+	}
+	return nil
+}
+
+func splitPairs(list []string) map[string]string {
+	m := map[string]string{}
+	for _, spec := range list {
+		if k, v, ok := strings.Cut(spec, "="); ok {
+			m[k] = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildExampleSites(t *testing.T) {
+	for _, name := range []string{"homepage", "cnn", "bilingual"} {
+		out := filepath.Join(t.TempDir(), name)
+		if err := buildExample(name, 8, out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		entries, err := os.ReadDir(out)
+		if err != nil || len(entries) == 0 {
+			t.Errorf("%s: no version directories written", name)
+		}
+	}
+}
+
+func TestBuildExampleOrgsiteSmall(t *testing.T) {
+	out := t.TempDir()
+	if err := buildExample("orgsite", 10, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "internal", "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Research Lab") {
+		t.Error("orgsite index wrong")
+	}
+}
+
+func TestBuildExampleUnknown(t *testing.T) {
+	if err := buildExample("nope", 0, t.TempDir()); err == nil {
+		t.Error("unknown example should fail")
+	}
+}
+
+func TestBuildExplicit(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	ddl := write("d.ddl", `
+collection Pubs;
+node p1 in Pubs { title "Strudel"; }
+`)
+	csv := write("people.csv", "id,name\nmff,Mary\n")
+	query := write("site.struql", `
+create Root()
+link Root() -> "title" -> "Home"
+where Pubs(x)
+link Root() -> "pub" -> PubPage(x)
+{ where x -> "title" -> tt link PubPage(x) -> "title" -> tt }
+where People(p)
+link Root() -> "person" -> PersonPage(p)
+{ where p -> "name" -> n link PersonPage(p) -> "name" -> n }
+`)
+	tmpl := write("root.tmpl", `<h1><SFMT title></h1><SFMT pub UL TEXT=title><SFMT person UL TEXT=name>`)
+	out := filepath.Join(dir, "site")
+	err := buildExplicit(
+		[]string{ddl}, nil, []string{"People:id:" + csv}, nil, query,
+		[]string{"Root=" + tmpl}, nil, []string{"Root()=Root"},
+		[]string{"Root()"}, []string{"connected from Root"}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := os.ReadFile(filepath.Join(out, "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(index), "Strudel") || !strings.Contains(string(index), "Mary") {
+		t.Errorf("index:\n%s", index)
+	}
+}
+
+func TestBuildExplicitErrors(t *testing.T) {
+	if err := buildExplicit(nil, nil, nil, nil, "", nil, nil, nil, nil, nil, t.TempDir()); err == nil {
+		t.Error("missing query should fail")
+	}
+	if err := buildExplicit(nil, nil, []string{"bad"}, nil, "x", nil, nil, nil, nil, nil, t.TempDir()); err == nil {
+		t.Error("bad csv spec should fail")
+	}
+	if err := buildExplicit(nil, nil, nil, []string{"noseparator"}, "x", nil, nil, nil, nil, nil, t.TempDir()); err == nil {
+		t.Error("bad json spec should fail")
+	}
+}

@@ -1,0 +1,124 @@
+// Command struql evaluates a StruQL query against a data graph and
+// prints the resulting graph.
+//
+// Usage:
+//
+//	struql -data site.ddl [-bibtex refs.bib] [-query site.struql | -e 'where ...'] [-plan] [-schema]
+//
+// Data files may be given repeatedly; .ddl files parse as Strudel's
+// data-definition language and -bibtex files through the BibTeX wrapper.
+// With -schema the query's site schema is printed instead of evaluating.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"strudel/internal/ddl"
+	"strudel/internal/graph"
+	"strudel/internal/repo"
+	"strudel/internal/schema"
+	"strudel/internal/struql"
+	"strudel/internal/wrapper/bibtex"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var dataFiles, bibFiles stringList
+	flag.Var(&dataFiles, "data", "data-definition-language file (repeatable)")
+	flag.Var(&bibFiles, "bibtex", "BibTeX file loaded through the bibliography wrapper (repeatable)")
+	queryFile := flag.String("query", "", "StruQL query file")
+	expr := flag.String("e", "", "inline StruQL query text")
+	plan := flag.Bool("plan", false, "print the evaluation plan")
+	showSchema := flag.Bool("schema", false, "print the query's site schema instead of evaluating")
+	guide := flag.Bool("guide", false, "print the data graph's dataguide (structure summary) and exit")
+	flag.Parse()
+
+	if err := run(dataFiles, bibFiles, *queryFile, *expr, *plan, *showSchema, *guide); err != nil {
+		fmt.Fprintln(os.Stderr, "struql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataFiles, bibFiles []string, queryFile, expr string, plan, showSchema, guide bool) error {
+	if guide {
+		data, err := loadData(dataFiles, bibFiles)
+		if err != nil {
+			return err
+		}
+		fmt.Print(repo.BuildDataGuide(repo.NewIndexed(data), nil).String())
+		return nil
+	}
+	var src string
+	switch {
+	case expr != "":
+		src = expr
+	case queryFile != "":
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	default:
+		return fmt.Errorf("provide -query FILE or -e QUERY")
+	}
+	q, err := struql.Parse(src)
+	if err != nil {
+		return err
+	}
+	if showSchema {
+		fmt.Print(schema.Build(q).String())
+		return nil
+	}
+	data, err := loadData(dataFiles, bibFiles)
+	if err != nil {
+		return err
+	}
+	r, err := struql.Eval(q, repo.NewIndexed(data), nil)
+	if err != nil {
+		return err
+	}
+	if plan {
+		for i, p := range r.Plan {
+			fmt.Printf("-- plan %d: %s\n", i+1, p)
+		}
+		fmt.Printf("-- rows: %d\n", r.Rows)
+	}
+	fmt.Print(r.Graph.Dump())
+	return nil
+}
+
+func loadData(dataFiles, bibFiles []string) (*graph.Graph, error) {
+	data := graph.New()
+	for _, f := range dataFiles {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		doc, err := ddl.Parse(string(b))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		data.Merge(doc.Graph)
+	}
+	for _, f := range bibFiles {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		g, err := bibtex.Load(string(b), bibtex.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		data.Merge(g)
+	}
+	return data, nil
+}

@@ -1,0 +1,37 @@
+// Bilingual: the INRIA-Rodin-style site of §5.1 — one StruQL query
+// defines an English view and a French view of the same data and creates
+// the cross-links between them, so each English page links to its French
+// equivalent and vice versa.
+//
+//	go run ./examples/bilingual [-projects 20] [-out bilingual-site]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"strudel/internal/core"
+	"strudel/internal/sites"
+)
+
+func main() {
+	projects := flag.Int("projects", 20, "number of projects")
+	out := flag.String("out", "bilingual-site", "output directory")
+	flag.Parse()
+
+	spec := sites.Bilingual(*projects)
+	res, err := core.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vr := res.Versions["both"]
+	if err := vr.Output.WriteDir(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bilingual site: %s → %s\n", vr.Stats, *out)
+	for _, c := range vr.Checks {
+		fmt.Printf("  %s: %s\n", c.Verdict, c.Reason)
+	}
+	fmt.Println("\nOne query produced both language views, cross-linked page by page.")
+}

@@ -1,0 +1,3 @@
+module strudel
+
+go 1.22

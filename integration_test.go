@@ -1,0 +1,200 @@
+// Cross-module integration tests exercising the whole system through its
+// public seams: wrappers → mediator → repository persistence → query →
+// schema → constraints → templates → generated HTML.
+package strudel_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strudel/internal/constraints"
+	"strudel/internal/core"
+	"strudel/internal/dynamic"
+	"strudel/internal/mediator"
+	"strudel/internal/repo"
+	"strudel/internal/schema"
+	"strudel/internal/sites"
+	"strudel/internal/struql"
+)
+
+// TestPipelineArchitecture walks Fig. 1 end to end with persistence in
+// the middle: warehouse the CNN sources, save the data graph to disk in
+// both formats, reload it, evaluate the site query, verify constraints,
+// and render — the reloaded repository must produce the same site as the
+// in-memory one.
+func TestPipelineArchitecture(t *testing.T) {
+	spec := sites.CNN(40)
+	med, err := mediator.New(spec.Sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warehouse, err := med.Warehouse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persist and reload through both formats.
+	r := repo.NewRepository()
+	r.Put("data", warehouse.Graph())
+	textDir := filepath.Join(t.TempDir(), "text")
+	binDir := filepath.Join(t.TempDir(), "bin")
+	if err := r.Save(textDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveBinary(binDir); err != nil {
+		t.Fatal(err)
+	}
+	fromText := repo.NewRepository()
+	if err := fromText.Load(textDir); err != nil {
+		t.Fatal(err)
+	}
+	fromBin := repo.NewRepository()
+	if err := fromBin.LoadBinary(binDir); err != nil {
+		t.Fatal(err)
+	}
+	q := struql.MustParse(sites.CNNQuery)
+	build := func(src struql.Source) string {
+		res, err := struql.Eval(q, src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Graph.Dump()
+	}
+	direct := build(warehouse)
+	if got := build(fromText.Get("data")); got != direct {
+		t.Error("text-persisted data graph produced a different site")
+	}
+	if got := build(fromBin.Get("data")); got != direct {
+		t.Error("binary-persisted data graph produced a different site")
+	}
+	// Constraints on the rebuilt site.
+	c, err := constraints.Parse(`every ArticlePage reachable from FrontPage via _*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := struql.Eval(q, fromBin.Get("data"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := c.CheckSite(res.Graph); v.Verdict != constraints.Verified {
+		t.Errorf("constraint on reloaded site: %s (%s)", v.Verdict, v.Reason)
+	}
+}
+
+// TestStaticDynamicAndMaintainedAgree builds the same version three ways
+// — one-shot static build, dynamic materialization, and the incremental
+// maintainer after a change — and checks they tell one story.
+func TestStaticDynamicAndMaintainedAgree(t *testing.T) {
+	spec := sites.CNN(30)
+	med, err := mediator.New(spec.Sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := med.Warehouse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := struql.MustParse(sites.CNNQuery)
+	static, err := struql.Eval(q, data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := dynamic.NewEvaluator(schema.Build(q), data)
+	dyn, err := ev.MaterializeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every dynamically discovered page exists statically with the same
+	// out-edges.
+	for _, oid := range dyn.Nodes() {
+		if _, isPage := ev.RefFor(oid); !isPage {
+			continue
+		}
+		so, do := static.Graph.Out(oid), dyn.Out(oid)
+		if len(so) != len(do) {
+			t.Errorf("%s: static %d edges, dynamic %d", oid, len(so), len(do))
+		}
+	}
+	// The maintainer reproduces a from-scratch rebuild page for page.
+	m, err := core.NewMaintainer(&spec.Versions[0], data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := core.BuildVersion(&spec.Versions[0], data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range fresh.Output.Pages {
+		if m.Output().Pages[name] != want {
+			t.Errorf("maintainer page %s differs from fresh build", name)
+		}
+	}
+}
+
+// TestSchemaDrivenToolingConsistency: the site schema derived from each
+// bundled site's query names every Skolem function the evaluated site
+// actually uses, and the schema-recovered query reproduces the site for
+// aggregate-free queries.
+func TestSchemaDrivenToolingConsistency(t *testing.T) {
+	cases := map[string]string{
+		"homepage":  sites.HomepageQuery,
+		"cnn":       sites.CNNQuery,
+		"bilingual": sites.BilingualQuery,
+	}
+	for name, qs := range cases {
+		q := struql.MustParse(qs)
+		s := schema.Build(q)
+		for _, fn := range q.SkolemFunctions() {
+			if !s.HasNode(fn) {
+				t.Errorf("%s: schema missing %s", name, fn)
+			}
+		}
+	}
+	// Recovery check on the bilingual query (no arc-copy idiosyncrasies).
+	spec := sites.Bilingual(5)
+	med, _ := mediator.New(spec.Sources...)
+	data, err := med.Warehouse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := struql.MustParse(sites.BilingualQuery)
+	orig, err := struql.Eval(q, data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := struql.Eval(schema.Build(q).RecoverQuery(), data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Graph.Dump() != rec.Graph.Dump() {
+		t.Error("schema-recovered bilingual query diverged")
+	}
+}
+
+// TestProprietaryNeverLeaksExternally sweeps every page of the external
+// org site for the synthetic proprietary markers.
+func TestProprietaryNeverLeaksExternally(t *testing.T) {
+	res, err := core.Build(sites.OrgSite(60, 4, 12, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := res.Versions["external"]
+	for name, page := range ex.Output.Pages {
+		if strings.Contains(page, "comp-band") {
+			t.Errorf("external page %s leaks internal compensation data", name)
+		}
+		if strings.Contains(page, "Phone:") {
+			t.Errorf("external page %s leaks phone numbers", name)
+		}
+	}
+	in := res.Versions["internal"]
+	var leaksExist bool
+	for _, page := range in.Output.Pages {
+		if strings.Contains(page, "comp-band") {
+			leaksExist = true
+		}
+	}
+	if !leaksExist {
+		t.Error("internal site should show internal data (fixture broken)")
+	}
+}

@@ -1,0 +1,291 @@
+package constraints
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"strudel/internal/graph"
+	"strudel/internal/schema"
+	"strudel/internal/struql"
+)
+
+// CheckData translates the reachability constraint into queries over the
+// data graph and evaluates them: for each creation context of the target
+// Skolem function, a violating data-graph row is one that creates a target
+// object while satisfying none of the schema paths that could reach it.
+// Witnesses are the violating Skolem applications.
+func (c Reachability) CheckData(s *schema.Schema, data struql.Source) Result {
+	to, ok := resolveSet(s, c.To)
+	if !ok {
+		return Result{Verdict: Unknown, Reason: fmt.Sprintf("set %s is not a schema node", c.To)}
+	}
+	from, ok := resolveSet(s, c.From)
+	if !ok {
+		return Result{Verdict: Unknown, Reason: fmt.Sprintf("set %s is not a schema node", c.From)}
+	}
+	nfa := struql.CompilePath(c.Path)
+	if from == to && matchesEmptyPath(nfa) {
+		return Result{Verdict: Verified, Reason: "path matches the empty path"}
+	}
+	paths := findPaths(s, from, to, nfa)
+	skippedInexpressible := false
+	var usable []schemaPath
+	for _, p := range paths {
+		if p.expressible() {
+			usable = append(usable, p)
+		} else {
+			skippedInexpressible = true
+		}
+	}
+	var witnesses []string
+	for _, cr := range s.CreationsOf(to) {
+		rows, err := violationRows(cr, usable, data)
+		if err != nil {
+			return Result{Verdict: Unknown, Reason: err.Error()}
+		}
+		witnesses = append(witnesses, rows...)
+	}
+	if len(witnesses) > 0 {
+		if skippedInexpressible {
+			return Result{Verdict: Unknown,
+				Reason: "possible violations found, but some schema paths use regex predicates over arc variables and could not be checked"}
+		}
+		witnesses = dedupSorted(witnesses)
+		return Result{Verdict: Violated,
+			Reason:    fmt.Sprintf("%d data rows create %s objects with no %s path from %s", len(witnesses), to, c.Path, from),
+			Witnesses: witnesses}
+	}
+	return Result{Verdict: Verified,
+		Reason: fmt.Sprintf("no data row creates a %s object unreachable from %s", to, from)}
+}
+
+// violationRows evaluates, on the data graph, the creation conjunction
+// extended with the negation of every usable schema path, and renders the
+// violating Skolem applications.
+func violationRows(cr schema.Creation, paths []schemaPath, data struql.Source) ([]string, error) {
+	conds := append([]struql.Cond(nil), cr.Where...)
+	for pi, p := range paths {
+		pc, ok := pathConds(p, cr, pi)
+		if !ok {
+			continue // path cannot bind to this creation's arguments
+		}
+		if len(pc) == 0 {
+			// An unconditional path always exists: nothing can violate.
+			return nil, nil
+		}
+		conds = append(conds, &struql.NotCond{Conds: pc})
+	}
+	b, err := struql.EvalWhere(conds, data, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("constraints: data check: %w", err)
+	}
+	var out []string
+	for ri := range b.Rows {
+		args := make([]string, len(cr.Args))
+		for i, a := range cr.Args {
+			args[i] = b.Lookup(ri, a).Text()
+		}
+		out = append(out, fmt.Sprintf("%s(%s)", cr.Fn, strings.Join(args, ",")))
+	}
+	return out, nil
+}
+
+// pathConds renames the governing conjunctions of a schema path into one
+// conjunction whose final target arguments are the creation's argument
+// variables: fresh names everywhere else, with adjacent edges unified on
+// their shared schema node's arguments. ok is false when the arities do
+// not line up and the path cannot witness this creation; an empty
+// conjunction with ok true means the path exists unconditionally.
+func pathConds(p schemaPath, cr schema.Creation, pathIdx int) (conds []struql.Cond, ok bool) {
+	if len(p) == 0 {
+		return nil, false
+	}
+	// boundary maps the next edge's target-argument variables (walking
+	// backward) to their unified names.
+	last := p[len(p)-1]
+	if len(last.edge.ToArgs) != len(cr.Args) {
+		return nil, false
+	}
+	boundary := map[string]string{}
+	for i, a := range last.edge.ToArgs {
+		boundary[a] = cr.Args[i]
+	}
+	for ei := len(p) - 1; ei >= 0; ei-- {
+		step := p[ei]
+		sub := map[string]string{}
+		fresh := func(v string) string { return fmt.Sprintf("_p%d_e%d_%s", pathIdx, ei, v) }
+		// Target args unify with the boundary; everything else is fresh.
+		for _, c := range step.edge.Where {
+			for _, v := range struql.CondVars(c) {
+				if _, done := sub[v]; done {
+					continue
+				}
+				if nv, ok := boundary[v]; ok {
+					sub[v] = nv
+				} else {
+					sub[v] = fresh(v)
+				}
+			}
+		}
+		// Args can appear even if no condition mentions them.
+		for _, v := range step.edge.ToArgs {
+			if _, done := sub[v]; !done {
+				if nv, ok := boundary[v]; ok {
+					sub[v] = nv
+				} else {
+					sub[v] = fresh(v)
+				}
+			}
+		}
+		for _, v := range step.edge.FromArgs {
+			if _, done := sub[v]; !done {
+				sub[v] = fresh(v)
+			}
+		}
+		for _, c := range step.edge.Where {
+			conds = append(conds, struql.RenameCond(c, sub))
+		}
+		if step.labelReq != "" && step.edge.Label.IsVar {
+			lv := step.edge.Label.Var
+			renamed, ok := sub[lv]
+			if !ok {
+				renamed = fresh(lv)
+			}
+			conds = append(conds, &struql.CmpCond{
+				Op: struql.CmpEq,
+				L:  struql.VarTerm(renamed),
+				R:  struql.ConstTerm(graph.NewString(step.labelReq)),
+			})
+		}
+		// New boundary: the source node's arguments under this renaming.
+		next := map[string]string{}
+		for _, v := range step.edge.FromArgs {
+			next[v] = sub[v]
+		}
+		if ei > 0 && len(p[ei-1].edge.ToArgs) != len(step.edge.FromArgs) {
+			return nil, false
+		}
+		if ei > 0 {
+			remapped := map[string]string{}
+			for i, v := range p[ei-1].edge.ToArgs {
+				remapped[v] = next[step.edge.FromArgs[i]]
+			}
+			boundary = remapped
+		}
+	}
+	return conds, true
+}
+
+// CheckData verifies attribute existence against the data graph: a
+// violation is a data row that creates a Set object while satisfying no
+// schema edge that would give it the attribute.
+func (c AttributeExists) CheckData(s *schema.Schema, data struql.Source) Result {
+	set, ok := resolveSet(s, c.Set)
+	if !ok {
+		return Result{Verdict: Unknown, Reason: fmt.Sprintf("set %s is not a schema node", c.Set)}
+	}
+	var witnesses []string
+	for _, cr := range s.CreationsOf(set) {
+		conds := append([]struql.Cond(nil), cr.Where...)
+		for ei, e := range s.OutEdges(set) {
+			if !e.Label.IsVar && e.Label.Lit != c.Label {
+				continue
+			}
+			if len(e.FromArgs) != len(cr.Args) {
+				continue
+			}
+			sub := map[string]string{}
+			for i, a := range e.FromArgs {
+				sub[a] = cr.Args[i]
+			}
+			var inner []struql.Cond
+			for _, k := range e.Where {
+				for _, v := range struql.CondVars(k) {
+					if _, done := sub[v]; !done {
+						sub[v] = fmt.Sprintf("_a%d_%s", ei, v)
+					}
+				}
+				inner = append(inner, struql.RenameCond(k, sub))
+			}
+			if e.Label.IsVar {
+				lv, ok := sub[e.Label.Var]
+				if !ok {
+					lv = fmt.Sprintf("_a%d_%s", ei, e.Label.Var)
+				}
+				inner = append(inner, &struql.CmpCond{
+					Op: struql.CmpEq,
+					L:  struql.VarTerm(lv),
+					R:  struql.ConstTerm(graph.NewString(c.Label)),
+				})
+			}
+			conds = append(conds, &struql.NotCond{Conds: inner})
+		}
+		b, err := struql.EvalWhere(conds, data, nil, nil)
+		if err != nil {
+			return Result{Verdict: Unknown, Reason: err.Error()}
+		}
+		for ri := range b.Rows {
+			args := make([]string, len(cr.Args))
+			for i, a := range cr.Args {
+				args[i] = b.Lookup(ri, a).Text()
+			}
+			witnesses = append(witnesses, fmt.Sprintf("%s(%s)", cr.Fn, strings.Join(args, ",")))
+		}
+	}
+	if len(witnesses) > 0 {
+		witnesses = dedupSorted(witnesses)
+		return Result{Verdict: Violated,
+			Reason:    fmt.Sprintf("%d data rows create %s objects lacking %q", len(witnesses), set, c.Label),
+			Witnesses: witnesses}
+	}
+	return Result{Verdict: Verified, Reason: fmt.Sprintf("every created %s carries %q", set, c.Label)}
+}
+
+// CheckData verifies connectivity by checking every schema node's
+// reachability from the root against the data graph.
+func (c Connected) CheckData(s *schema.Schema, data struql.Source) Result {
+	root, ok := resolveSet(s, c.Root)
+	if !ok {
+		return Result{Verdict: Unknown, Reason: fmt.Sprintf("set %s is not a schema node", c.Root)}
+	}
+	star := struql.MustParsePathExpr("_*")
+	verdict := Verified
+	var allWitnesses []string
+	var reasons []string
+	for _, n := range s.Nodes {
+		if n == schema.NS || n == root {
+			continue
+		}
+		r := Reachability{From: c.Root, Path: star, To: n}.CheckData(s, data)
+		switch r.Verdict {
+		case Violated:
+			verdict = Violated
+			allWitnesses = append(allWitnesses, r.Witnesses...)
+			reasons = append(reasons, fmt.Sprintf("%s: %s", n, r.Reason))
+		case Unknown:
+			if verdict == Verified {
+				verdict = Unknown
+			}
+			reasons = append(reasons, fmt.Sprintf("%s: %s", n, r.Reason))
+		}
+	}
+	switch verdict {
+	case Verified:
+		return Result{Verdict: Verified, Reason: "every created object is reachable from the root"}
+	case Violated:
+		return Result{Verdict: Violated, Reason: strings.Join(reasons, "; "), Witnesses: dedupSorted(allWitnesses)}
+	}
+	return Result{Verdict: Unknown, Reason: strings.Join(reasons, "; ")}
+}
+
+func dedupSorted(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package constraints
+
+import (
+	"fmt"
+	"strings"
+
+	"strudel/internal/schema"
+	"strudel/internal/struql"
+)
+
+// pathStep is one schema edge traversed while matching a path expression,
+// together with the label requirement the match imposes when the edge's
+// label is an arc variable.
+type pathStep struct {
+	edge schema.Edge
+	// labelReq is the literal label the arc variable must equal ("" when
+	// the predicate was _ or the edge label is a literal).
+	labelReq string
+	// inexpressible marks steps whose requirement cannot be written as a
+	// StruQL condition (a regex predicate over an arc variable).
+	inexpressible bool
+}
+
+type schemaPath []pathStep
+
+func (p schemaPath) expressible() bool {
+	for _, s := range p {
+		if s.inexpressible {
+			return false
+		}
+	}
+	return true
+}
+
+const (
+	maxPathDepth = 8
+	maxPaths     = 32
+)
+
+// resolveSet maps a constraint set name to a schema node: directly, or via
+// an output collection whose target is a Skolem function.
+func resolveSet(s *schema.Schema, name string) (string, bool) {
+	if s.HasNode(name) {
+		return name, true
+	}
+	for _, c := range s.Collects {
+		if c.Coll == name && c.Target != schema.NS {
+			return c.Target, true
+		}
+	}
+	return "", false
+}
+
+// matchesEmptyPath reports whether the expression accepts the empty path.
+func matchesEmptyPath(nfa *struql.NFA) bool {
+	return nfa.AcceptingAny(nfa.StartStates())
+}
+
+// findPaths enumerates schema paths from node `from` to node `to` whose
+// label sequence can match the path expression, walking the schema graph
+// and the expression's NFA in parallel. It returns at most maxPaths paths
+// of at most maxPathDepth edges.
+func findPaths(s *schema.Schema, from, to string, nfa *struql.NFA) []schemaPath {
+	var out []schemaPath
+	type frame struct {
+		node  string
+		state int
+	}
+	var cur schemaPath
+	onStack := map[frame]bool{}
+	var dfs func(node string, state int)
+	dfs = func(node string, state int) {
+		if len(out) >= maxPaths || len(cur) >= maxPathDepth {
+			return
+		}
+		f := frame{node, state}
+		if onStack[f] {
+			return
+		}
+		onStack[f] = true
+		defer delete(onStack, f)
+		for _, e := range s.OutEdges(node) {
+			for _, arc := range nfa.Arcs(state) {
+				step, ok := stepFor(e, arc.Pred)
+				if !ok {
+					continue
+				}
+				for _, t := range arc.To {
+					cur = append(cur, step)
+					if e.To == to && nfa.Accepting(t) {
+						cp := make(schemaPath, len(cur))
+						copy(cp, cur)
+						out = append(out, cp)
+					}
+					if e.To != schema.NS {
+						dfs(e.To, t)
+					}
+					cur = cur[:len(cur)-1]
+				}
+			}
+		}
+	}
+	for _, st := range nfa.StartStates() {
+		dfs(from, st)
+	}
+	return out
+}
+
+// stepFor decides whether a schema edge can take an NFA arc, and with what
+// requirement on the edge's label.
+func stepFor(e schema.Edge, pred *struql.PathExpr) (pathStep, bool) {
+	if !e.Label.IsVar {
+		if pred.MatchesLabel(e.Label.Lit) {
+			return pathStep{edge: e}, true
+		}
+		return pathStep{}, false
+	}
+	// Arc-variable edge: the label is data-dependent.
+	switch pred.Op {
+	case struql.PLabel:
+		return pathStep{edge: e, labelReq: pred.Label}, true
+	case struql.PAny:
+		return pathStep{edge: e}, true
+	case struql.PRegex:
+		return pathStep{edge: e, inexpressible: true}, true
+	}
+	return pathStep{}, false
+}
+
+// condSet renders a conjunction as a set of canonical strings for the
+// syntactic-implication test.
+func condSet(conds []struql.Cond) map[string]bool {
+	set := make(map[string]bool, len(conds))
+	for _, c := range conds {
+		set[c.String()] = true
+	}
+	return set
+}
+
+// impliedBy reports whether every condition of sub appears in super — the
+// conservative syntactic implication test (same variable naming assumed,
+// which holds for conjunctions drawn from one query).
+func impliedBy(sub []struql.Cond, super []struql.Cond) bool {
+	ss := condSet(super)
+	for _, c := range sub {
+		if !ss[c.String()] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameArgs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathGuaranteed reports whether the path provably exists whenever the
+// target creation context holds: every edge's governing conjunction is
+// implied by the creation's, the Skolem arguments chain consistently, and
+// no step imposes a label requirement we cannot verify syntactically.
+func pathGuaranteed(p schemaPath, c schema.Creation) bool {
+	if len(p) == 0 {
+		return false
+	}
+	last := p[len(p)-1]
+	if !sameArgs(last.edge.ToArgs, c.Args) {
+		return false
+	}
+	for i, step := range p {
+		if step.labelReq != "" || step.inexpressible {
+			return false
+		}
+		if !impliedBy(step.edge.Where, c.Where) {
+			return false
+		}
+		if i+1 < len(p) && !sameArgs(step.edge.ToArgs, p[i+1].edge.FromArgs) {
+			return false
+		}
+	}
+	return true
+}
+
+// unconditional reports whether the schema guarantees at least one
+// instance of fn exists in every generated site (a creation with an empty
+// governing conjunction).
+func unconditional(s *schema.Schema, fn string) bool {
+	for _, c := range s.CreationsOf(fn) {
+		if len(c.Where) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckStatic conservatively verifies reachability against the schema:
+// Verified when for every creation context of the target some schema path
+// is guaranteed; Violated when no schema path can exist at all and the
+// target is unconditionally created; Unknown otherwise.
+func (c Reachability) CheckStatic(s *schema.Schema) Result {
+	to, ok := resolveSet(s, c.To)
+	if !ok {
+		return Result{Verdict: Unknown, Reason: fmt.Sprintf("set %s is not a schema node", c.To)}
+	}
+	from, ok := resolveSet(s, c.From)
+	if !ok {
+		return Result{Verdict: Unknown, Reason: fmt.Sprintf("set %s is not a schema node", c.From)}
+	}
+	nfa := struql.CompilePath(c.Path)
+	if from == to && matchesEmptyPath(nfa) {
+		return Result{Verdict: Verified, Reason: "path matches the empty path; every object reaches itself"}
+	}
+	paths := findPaths(s, from, to, nfa)
+	if len(paths) == 0 {
+		if unconditional(s, to) {
+			return Result{Verdict: Violated,
+				Reason: fmt.Sprintf("no schema path %s → %s matches %s, and %s always exists", from, to, c.Path, to)}
+		}
+		return Result{Verdict: Unknown,
+			Reason: fmt.Sprintf("no schema path %s → %s matches %s (violated whenever %s is nonempty)", from, to, c.Path, to)}
+	}
+	for _, cr := range s.CreationsOf(to) {
+		covered := false
+		for _, p := range paths {
+			if pathGuaranteed(p, cr) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return Result{Verdict: Unknown,
+				Reason: fmt.Sprintf("creation context %s of %s is not covered by any guaranteed path", cr.WhereID, to)}
+		}
+	}
+	return Result{Verdict: Verified,
+		Reason: fmt.Sprintf("every creation context of %s has a guaranteed schema path from %s", to, from)}
+}
+
+// CheckStatic conservatively verifies attribute existence.
+func (c AttributeExists) CheckStatic(s *schema.Schema) Result {
+	set, ok := resolveSet(s, c.Set)
+	if !ok {
+		return Result{Verdict: Unknown, Reason: fmt.Sprintf("set %s is not a schema node", c.Set)}
+	}
+	edges := s.OutEdges(set)
+	possible := false
+	for _, e := range edges {
+		if e.Label.IsVar || e.Label.Lit == c.Label {
+			possible = true
+		}
+	}
+	if !possible {
+		if unconditional(s, set) {
+			return Result{Verdict: Violated,
+				Reason: fmt.Sprintf("no schema edge from %s can carry label %q", set, c.Label)}
+		}
+		return Result{Verdict: Unknown,
+			Reason: fmt.Sprintf("no schema edge from %s can carry %q (violated whenever %s is nonempty)", set, c.Label, set)}
+	}
+	for _, cr := range s.CreationsOf(set) {
+		covered := false
+		for _, e := range edges {
+			if !e.Label.IsVar && e.Label.Lit == c.Label &&
+				sameArgs(e.FromArgs, cr.Args) && impliedBy(e.Where, cr.Where) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return Result{Verdict: Unknown,
+				Reason: fmt.Sprintf("creation context %s of %s not guaranteed to carry %q", cr.WhereID, set, c.Label)}
+		}
+	}
+	return Result{Verdict: Verified, Reason: fmt.Sprintf("every creation of %s links a %q edge", set, c.Label)}
+}
+
+// CheckStatic verifies connectivity by checking reachability of every
+// schema node from the root set.
+func (c Connected) CheckStatic(s *schema.Schema) Result {
+	root, ok := resolveSet(s, c.Root)
+	if !ok {
+		return Result{Verdict: Unknown, Reason: fmt.Sprintf("set %s is not a schema node", c.Root)}
+	}
+	star := struql.MustParsePathExpr("_*")
+	verdict := Verified
+	var reasons []string
+	for _, n := range s.Nodes {
+		if n == schema.NS || n == root {
+			continue
+		}
+		r := Reachability{From: c.Root, Path: star, To: n}.CheckStatic(s)
+		switch r.Verdict {
+		case Violated:
+			return Result{Verdict: Violated, Reason: fmt.Sprintf("%s: %s", n, r.Reason)}
+		case Unknown:
+			verdict = Unknown
+			reasons = append(reasons, fmt.Sprintf("%s: %s", n, r.Reason))
+		}
+	}
+	if verdict == Verified {
+		return Result{Verdict: Verified, Reason: "every schema node has a guaranteed path from the root"}
+	}
+	return Result{Verdict: Unknown, Reason: strings.Join(reasons, "; ")}
+}

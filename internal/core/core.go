@@ -1,0 +1,254 @@
+// Package core assembles the Strudel system of Fig. 1: wrappers feed the
+// mediator, the mediator warehouses an integrated data graph in the
+// repository, a site-definition query (or a composition of queries)
+// produces the site graph, integrity constraints are checked, and the
+// HTML generator emits the browsable web site.
+//
+// A Spec describes a whole site project; its Versions share the data
+// graph and — when their queries are identical — the site graph, which is
+// how the paper builds an external view of the AT&T site from the
+// internal one with "no new queries" (§5.1), and how one site graph can
+// carry multiple visual presentations.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"strudel/internal/constraints"
+	"strudel/internal/graph"
+	"strudel/internal/htmlgen"
+	"strudel/internal/mediator"
+	"strudel/internal/repo"
+	"strudel/internal/schema"
+	"strudel/internal/struql"
+	"strudel/internal/template"
+)
+
+// Version is one buildable rendition of the site: a query composition, a
+// template set, and the realization roots.
+type Version struct {
+	// Name identifies the version (e.g. "internal", "external").
+	Name string
+	// Queries are StruQL sources composed in order (§5.1 suciu example);
+	// each sees the data graph plus everything built so far.
+	Queries []string
+	// Templates maps template name → template source.
+	Templates map[string]string
+	// PerCollection and PerObject configure template selection.
+	PerCollection map[string]string
+	PerObject     map[string]string
+	// ObjectTemplatePrefixes assigns templates by Skolem-oid prefix:
+	// "YearPage(" → "YearPage". Applied after PerObject.
+	ObjectTemplatePrefixes map[string]string
+	// Roots are the realization roots (Skolem display oids, e.g.
+	// "RootPage()").
+	Roots []string
+	// Constraints are textual integrity constraints checked on the
+	// materialized site graph.
+	Constraints []string
+}
+
+// Spec is a whole site project.
+type Spec struct {
+	Name     string
+	Sources  []mediator.Source
+	Versions []Version
+}
+
+// SiteStats are the per-site metrics the paper reports in §5.1: query and
+// template sizes, and the generated site's size.
+type SiteStats struct {
+	QueryLines    int
+	LinkClauses   int
+	Templates     int
+	TemplateLines int
+	SiteNodes     int
+	SiteEdges     int
+	Pages         int
+}
+
+func (s SiteStats) String() string {
+	return fmt.Sprintf("query: %d lines, %d link clauses; templates: %d (%d lines); site graph: %d nodes, %d edges; %d pages",
+		s.QueryLines, s.LinkClauses, s.Templates, s.TemplateLines, s.SiteNodes, s.SiteEdges, s.Pages)
+}
+
+// VersionResult is one built version.
+type VersionResult struct {
+	Name       string
+	Queries    []*struql.Query
+	SiteGraph  *graph.Graph
+	Schema     *schema.Schema
+	Output     *htmlgen.Output
+	Checks     []constraints.Result
+	ChecksPass bool
+	Stats      SiteStats
+}
+
+// BuildResult is a fully built spec.
+type BuildResult struct {
+	Data     *repo.Indexed
+	Versions map[string]*VersionResult
+}
+
+// Build runs the whole pipeline: warehouse the sources once, then build
+// every version against the shared data graph.
+func Build(spec *Spec) (*BuildResult, error) {
+	med, err := mediator.New(spec.Sources...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", spec.Name, err)
+	}
+	data, err := med.Warehouse()
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", spec.Name, err)
+	}
+	res := &BuildResult{Data: data, Versions: map[string]*VersionResult{}}
+	for i := range spec.Versions {
+		vr, err := BuildVersion(&spec.Versions[i], data)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: version %s: %w", spec.Name, spec.Versions[i].Name, err)
+		}
+		res.Versions[vr.Name] = vr
+	}
+	return res, nil
+}
+
+// BuildVersion builds one version against an existing data graph. It is
+// also the entry point for experiment E9 (the cost of a second version).
+func BuildVersion(v *Version, data struql.Source) (*VersionResult, error) {
+	queries, err := parseQueries(v.Queries)
+	if err != nil {
+		return nil, err
+	}
+	site, err := struql.EvalSeq(queries, data, nil)
+	if err != nil {
+		return nil, err
+	}
+	return RenderVersion(v, queries, site)
+}
+
+// RenderVersion finishes a build from an already evaluated site graph —
+// the path that shares one site graph between versions whose queries are
+// identical (only the presentation differs).
+func RenderVersion(v *Version, queries []*struql.Query, site *graph.Graph) (*VersionResult, error) {
+	vr := &VersionResult{Name: v.Name, Queries: queries, SiteGraph: site}
+	vr.Schema = schema.Build(combined(queries))
+
+	// Integrity constraints on the materialized site.
+	vr.ChecksPass = true
+	for _, cs := range v.Constraints {
+		c, err := constraints.Parse(cs)
+		if err != nil {
+			return nil, err
+		}
+		r := c.CheckSite(site)
+		vr.Checks = append(vr.Checks, r)
+		if r.Verdict == constraints.Violated {
+			vr.ChecksPass = false
+		}
+	}
+
+	ts := template.NewSet()
+	for name, src := range v.Templates {
+		if err := ts.Add(name, src); err != nil {
+			return nil, err
+		}
+	}
+	gen := htmlgen.New(site, ts)
+	for coll, name := range v.PerCollection {
+		gen.PerCollection[coll] = name
+	}
+	for oid, name := range v.PerObject {
+		gen.PerObject[graph.OID(oid)] = name
+	}
+	for prefix, name := range v.ObjectTemplatePrefixes {
+		gen.PerPrefix[prefix] = name
+	}
+	roots := make([]graph.OID, len(v.Roots))
+	for i, r := range v.Roots {
+		roots[i] = graph.OID(r)
+	}
+	out, err := gen.Generate(roots)
+	if err != nil {
+		return nil, err
+	}
+	vr.Output = out
+
+	vr.Stats = SiteStats{
+		QueryLines:    countQueryLines(v.Queries),
+		LinkClauses:   linkClauses(queries),
+		Templates:     len(v.Templates),
+		TemplateLines: countTemplateLines(v.Templates),
+		SiteNodes:     site.NumNodes(),
+		SiteEdges:     site.NumEdges(),
+		Pages:         out.PageCount(),
+	}
+	return vr, nil
+}
+
+func parseQueries(sources []string) ([]*struql.Query, error) {
+	queries := make([]*struql.Query, len(sources))
+	for i, src := range sources {
+		q, err := struql.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		queries[i] = q
+	}
+	return queries, nil
+}
+
+// combined concatenates query blocks so one schema covers the whole
+// composition.
+func combined(queries []*struql.Query) *struql.Query {
+	all := &struql.Query{}
+	for _, q := range queries {
+		all.Blocks = append(all.Blocks, q.Blocks...)
+	}
+	return all
+}
+
+// countQueryLines counts non-empty, non-comment lines — the paper's
+// "115-line query" metric.
+func countQueryLines(sources []string) int {
+	n := 0
+	for _, src := range sources {
+		for _, line := range strings.Split(src, "\n") {
+			t := strings.TrimSpace(line)
+			if t == "" || strings.HasPrefix(t, "//") || strings.HasPrefix(t, "#") {
+				continue
+			}
+			n++
+		}
+	}
+	return n
+}
+
+func countTemplateLines(templates map[string]string) int {
+	n := 0
+	for _, src := range templates {
+		for _, line := range strings.Split(src, "\n") {
+			if strings.TrimSpace(line) != "" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func linkClauses(queries []*struql.Query) int {
+	n := 0
+	for _, q := range queries {
+		n += q.LinkClauseCount()
+	}
+	return n
+}
+
+// GraphSourceOf wraps a plain graph as a source, re-exported so example
+// programs depend only on core.
+func GraphSourceOf(g *graph.Graph) struql.Source { return struql.NewGraphSource(g) }
+
+// StaticSource wraps an already loaded graph as a mediator source.
+func StaticSource(name string, g *graph.Graph) mediator.Source {
+	return mediator.Source{Name: name, Load: func() (*graph.Graph, error) { return g, nil }}
+}

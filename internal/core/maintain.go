@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"strudel/internal/dynamic"
+	"strudel/internal/graph"
+	"strudel/internal/htmlgen"
+	"strudel/internal/mediator"
+	"strudel/internal/struql"
+	"strudel/internal/template"
+)
+
+// Maintainer keeps one built site version up to date as the underlying
+// data changes, chaining the incremental machinery end to end: the
+// block-partitioned query state re-evaluates only affected blocks, a
+// reference-counted merge applies each replaced partition's difference to
+// the live site graph, and the HTML generator regenerates only the
+// dirtied pages. This is the production shape of §7's "update a site
+// incrementally when changes occur in the underlying data": work is
+// proportional to the change, not to the site.
+//
+// Limitation: the version must consist of a single query (or queries that
+// do not read each other's output collections), because blocks are
+// re-evaluated against the data graph alone.
+type Maintainer struct {
+	version *Version
+	state   *dynamic.IncrementalState
+	gen     *htmlgen.Generator
+	out     *htmlgen.Output
+	site    *graph.Graph
+
+	// Reference counts over partition contributions: how many partitions
+	// currently assert each node, edge, and membership.
+	nodeRefs   map[graph.OID]int
+	edgeRefs   map[graph.Edge]int
+	memberRefs map[mediator.Membership]int
+}
+
+// MaintainStats reports one Apply round.
+type MaintainStats struct {
+	BlocksReevaluated int
+	SiteChanges       int
+	PagesRegenerated  int
+}
+
+// NewMaintainer builds the version once and prepares incremental state.
+func NewMaintainer(v *Version, data struql.Source) (*Maintainer, error) {
+	if len(v.Queries) != 1 {
+		return nil, fmt.Errorf("core: maintainer supports single-query versions; %s has %d", v.Name, len(v.Queries))
+	}
+	q, err := struql.Parse(v.Queries[0])
+	if err != nil {
+		return nil, err
+	}
+	state, err := dynamic.NewIncrementalState(q, data)
+	if err != nil {
+		return nil, err
+	}
+	m := &Maintainer{
+		version:    v,
+		state:      state,
+		site:       graph.New(),
+		nodeRefs:   map[graph.OID]int{},
+		edgeRefs:   map[graph.Edge]int{},
+		memberRefs: map[mediator.Membership]int{},
+	}
+	for _, part := range state.Parts {
+		m.addPartition(part)
+	}
+
+	ts := template.NewSet()
+	for name, src := range v.Templates {
+		if err := ts.Add(name, src); err != nil {
+			return nil, err
+		}
+	}
+	m.gen = htmlgen.New(m.site, ts)
+	for coll, name := range v.PerCollection {
+		m.gen.PerCollection[coll] = name
+	}
+	for oid, name := range v.PerObject {
+		m.gen.PerObject[graph.OID(oid)] = name
+	}
+	for prefix, name := range v.ObjectTemplatePrefixes {
+		m.gen.PerPrefix[prefix] = name
+	}
+	roots := make([]graph.OID, len(v.Roots))
+	for i, r := range v.Roots {
+		roots[i] = graph.OID(r)
+	}
+	m.out, err = m.gen.Generate(roots)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// addPartition increments refcounts for everything in part, inserting
+// fresh items into the site graph; it returns the objects that appeared.
+func (m *Maintainer) addPartition(part *graph.Graph) (changed []graph.OID) {
+	for _, oid := range part.Nodes() {
+		if m.nodeRefs[oid]++; m.nodeRefs[oid] == 1 {
+			m.site.AddNode(oid)
+			changed = append(changed, oid)
+		}
+	}
+	part.Edges(func(e graph.Edge) bool {
+		if m.edgeRefs[e]++; m.edgeRefs[e] == 1 {
+			m.site.AddEdge(e.From, e.Label, e.To)
+			changed = append(changed, e.From)
+		}
+		return true
+	})
+	for _, coll := range part.CollectionNames() {
+		m.site.DeclareCollection(coll)
+		for _, oid := range part.Collection(coll) {
+			mem := mediator.Membership{Coll: coll, OID: oid}
+			if m.memberRefs[mem]++; m.memberRefs[mem] == 1 {
+				m.site.AddToCollection(coll, oid)
+				changed = append(changed, oid)
+			}
+		}
+	}
+	return changed
+}
+
+// removePartition decrements refcounts, deleting items whose count hits
+// zero; it returns the objects that changed.
+func (m *Maintainer) removePartition(part *graph.Graph) (changed []graph.OID) {
+	part.Edges(func(e graph.Edge) bool {
+		if m.edgeRefs[e]--; m.edgeRefs[e] == 0 {
+			delete(m.edgeRefs, e)
+			m.site.RemoveEdge(e.From, e.Label, e.To)
+			changed = append(changed, e.From)
+		}
+		return true
+	})
+	for _, coll := range part.CollectionNames() {
+		for _, oid := range part.Collection(coll) {
+			mem := mediator.Membership{Coll: coll, OID: oid}
+			if m.memberRefs[mem]--; m.memberRefs[mem] == 0 {
+				delete(m.memberRefs, mem)
+				m.site.RemoveFromCollection(coll, oid)
+				changed = append(changed, oid)
+			}
+		}
+	}
+	for _, oid := range part.Nodes() {
+		if m.nodeRefs[oid]--; m.nodeRefs[oid] == 0 {
+			delete(m.nodeRefs, oid)
+			m.site.RemoveNode(oid)
+			changed = append(changed, oid)
+		}
+	}
+	return changed
+}
+
+// Output returns the current generated site.
+func (m *Maintainer) Output() *htmlgen.Output { return m.out }
+
+// Site returns the live site graph.
+func (m *Maintainer) Site() *graph.Graph { return m.site }
+
+// Apply pushes a data change through the whole pipeline: re-evaluate
+// affected query blocks, splice their new contributions into the live
+// site graph, regenerate dirty pages.
+func (m *Maintainer) Apply(data struql.Source, delta *mediator.Delta) (MaintainStats, error) {
+	var st MaintainStats
+	oldParts := make([]*graph.Graph, len(m.state.Parts))
+	copy(oldParts, m.state.Parts)
+	n, err := m.state.Apply(data, delta)
+	if err != nil {
+		return st, err
+	}
+	st.BlocksReevaluated = n
+	if n == 0 {
+		return st, nil
+	}
+	changedSet := map[graph.OID]bool{}
+	for i, part := range m.state.Parts {
+		if part == oldParts[i] {
+			continue
+		}
+		// Add the new contribution before removing the old one so items
+		// present in both keep a positive count and never churn.
+		for _, oid := range m.addPartition(part) {
+			changedSet[oid] = true
+		}
+		for _, oid := range m.removePartition(oldParts[i]) {
+			changedSet[oid] = true
+		}
+	}
+	st.SiteChanges = len(changedSet)
+	if len(changedSet) == 0 {
+		return st, nil
+	}
+	changed := make([]graph.OID, 0, len(changedSet))
+	for oid := range changedSet {
+		changed = append(changed, oid)
+	}
+	pages, err := m.gen.Regenerate(m.out, changed)
+	if err != nil {
+		return st, err
+	}
+	st.PagesRegenerated = pages
+	return st, nil
+}

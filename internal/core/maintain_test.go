@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+	"strudel/internal/struql"
+)
+
+const maintainQuery = `
+create Root()
+link Root() -> "title" -> "Library"
+
+where Books(b)
+create BookPage(b)
+link Root() -> "Book" -> BookPage(b)
+{
+  where b -> "title" -> t
+  link BookPage(b) -> "title" -> t
+}
+
+where Authors(a)
+create AuthorPage(a)
+link Root() -> "Author" -> AuthorPage(a)
+{
+  where a -> "name" -> n
+  link AuthorPage(a) -> "name" -> n
+}
+`
+
+func maintainVersion() *Version {
+	return &Version{
+		Name:    "main",
+		Queries: []string{maintainQuery},
+		Templates: map[string]string{
+			"Root":   `<h1><SFMT title></h1><SFMT Book UL TEXT=title><SFMT Author UL TEXT=name>`,
+			"Book":   `<b><SFMT title></b>`,
+			"Author": `<i><SFMT name></i>`,
+		},
+		PerObject: map[string]string{"Root()": "Root"},
+		ObjectTemplatePrefixes: map[string]string{
+			"BookPage(":   "Book",
+			"AuthorPage(": "Author",
+		},
+		Roots: []string{"Root()"},
+	}
+}
+
+func maintainData() *graph.Graph {
+	g := graph.New()
+	g.AddToCollection("Books", "b1")
+	g.AddEdge("b1", "title", graph.NewString("TAOCP"))
+	g.AddToCollection("Authors", "a1")
+	g.AddEdge("a1", "name", graph.NewString("Knuth"))
+	return g
+}
+
+func TestMaintainerEndToEnd(t *testing.T) {
+	data := maintainData()
+	m, err := NewMaintainer(maintainVersion(), struql.NewGraphSource(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Output().PageCount() != 3 { // root + book + author
+		t.Fatalf("pages = %d", m.Output().PageCount())
+	}
+
+	// Add a book: only the books block re-evaluates; the author page is
+	// untouched.
+	authorFile := m.Output().PageFiles["AuthorPage(a1)"]
+	authorBefore := m.Output().Pages[authorFile]
+	prev := data.Copy()
+	data.AddToCollection("Books", "b2")
+	data.AddEdge("b2", "title", graph.NewString("SICP"))
+	st, err := m.Apply(struql.NewGraphSource(data), mediator.Diff(prev, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksReevaluated != 1 {
+		t.Errorf("blocks = %d, want 1 (books only)", st.BlocksReevaluated)
+	}
+	if st.PagesRegenerated == 0 {
+		t.Error("root page should regenerate")
+	}
+	if !strings.Contains(m.Output().Pages["index.html"], "SICP") {
+		t.Error("root should list the new book")
+	}
+	if _, ok := m.Output().PageFiles["BookPage(b2)"]; !ok {
+		t.Error("new book page missing")
+	}
+	if m.Output().Pages[authorFile] != authorBefore {
+		t.Error("author page should be untouched by a book delta")
+	}
+
+	// Full consistency check against a from-scratch build.
+	vr, err := BuildVersion(maintainVersion(), struql.NewGraphSource(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range vr.Output.Pages {
+		if m.Output().Pages[name] != want {
+			t.Errorf("page %s diverged from full build", name)
+		}
+	}
+}
+
+func TestMaintainerRemoval(t *testing.T) {
+	data := maintainData()
+	data.AddToCollection("Books", "b2")
+	data.AddEdge("b2", "title", graph.NewString("SICP"))
+	m, err := NewMaintainer(maintainVersion(), struql.NewGraphSource(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove b2 by rebuilding the data graph.
+	smaller := maintainData()
+	delta := mediator.Diff(data, smaller)
+	st, err := m.Apply(struql.NewGraphSource(smaller), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksReevaluated == 0 {
+		t.Fatal("removal should re-evaluate the books block")
+	}
+	if strings.Contains(m.Output().Pages["index.html"], "SICP") {
+		t.Error("removed book still listed on root")
+	}
+	if m.Site().HasNode("BookPage(b2)") {
+		t.Error("site graph still holds the removed book page")
+	}
+}
+
+func TestMaintainerNoopDelta(t *testing.T) {
+	data := maintainData()
+	m, err := NewMaintainer(maintainVersion(), struql.NewGraphSource(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Apply(struql.NewGraphSource(data), &mediator.Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksReevaluated != 0 || st.PagesRegenerated != 0 {
+		t.Errorf("noop delta did work: %+v", st)
+	}
+}
+
+func TestMaintainerRejectsMultiQueryVersions(t *testing.T) {
+	v := maintainVersion()
+	v.Queries = append(v.Queries, `create X()`)
+	if _, err := NewMaintainer(v, struql.NewGraphSource(maintainData())); err == nil {
+		t.Error("multi-query version should be rejected")
+	}
+}

@@ -1,0 +1,27 @@
+package ddl
+
+import "testing"
+
+// FuzzParse: the DDL parser must never panic, and any graph it accepts
+// must survive a Print→Parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add(`node n { a 1; }`)
+	f.Add(`collection C; directive C { a: text; } node n in C { a "x"; }`)
+	f.Add("node n { s \"\\\"esc\\\\\"; }")
+	f.Add(`edge a b &c;`)
+	f.Add("\x00\x01 node")
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src)
+		if err != nil {
+			return
+		}
+		doc2, err := Parse(Print(doc.Graph))
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v", err)
+		}
+		if doc.Graph.Dump() != doc2.Graph.Dump() {
+			t.Fatalf("round trip changed graph for %q", src)
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package ddl
+
+import (
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokInt
+	tokFloat
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokSemi
+	tokColon
+	tokComma
+	tokAmp
+	tokError
+)
+
+type token struct {
+	kind tokKind
+	text string
+	i64  int64
+	f64  float64
+	line int
+}
+
+// lexer is a minimal hand-rolled scanner for the DDL. Identifiers may
+// contain letters, digits, '_', '-', '.', and '/' (so bare oids like
+// "people/23" and attribute names like "HTML-template" scan as one token).
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += w
+	if r == '\n' {
+		l.line++
+	}
+	return r
+}
+
+func isIdentRune(r rune, first bool) bool {
+	if unicode.IsLetter(r) || r == '_' {
+		return true
+	}
+	if first {
+		return false
+	}
+	return unicode.IsDigit(r) || r == '-' || r == '.' || r == '/'
+}
+
+func (l *lexer) scan() token {
+	for {
+		for l.pos < len(l.src) {
+			r := l.peek()
+			if r == ' ' || r == '\t' || r == '\r' || r == '\n' {
+				l.advance()
+				continue
+			}
+			break
+		}
+		if l.peek() == '#' {
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}
+	}
+	line := l.line
+	r := l.peek()
+	switch r {
+	case '{':
+		l.advance()
+		return token{kind: tokLBrace, text: "{", line: line}
+	case '}':
+		l.advance()
+		return token{kind: tokRBrace, text: "}", line: line}
+	case '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line}
+	case ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line}
+	case ';':
+		l.advance()
+		return token{kind: tokSemi, text: ";", line: line}
+	case ':':
+		l.advance()
+		return token{kind: tokColon, text: ":", line: line}
+	case ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line}
+	case '&':
+		l.advance()
+		return token{kind: tokAmp, text: "&", line: line}
+	case '"':
+		return l.scanString(line)
+	}
+	if unicode.IsDigit(r) || r == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1])) {
+		return l.scanNumber(line)
+	}
+	if isIdentRune(r, true) {
+		start := l.pos
+		l.advance()
+		for l.pos < len(l.src) && isIdentRune(l.peek(), false) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line}
+	}
+	l.advance()
+	return token{kind: tokError, text: string(r), line: line}
+}
+
+// scanString reads a Go-syntax quoted string. Using strconv's quoting
+// rules end to end keeps Print/Parse round trips exact for every value,
+// including control characters.
+func (l *lexer) scanString(line int) token {
+	start := l.pos
+	l.advance() // opening quote
+	for l.pos < len(l.src) {
+		r := l.advance()
+		if r == '\\' {
+			if l.pos < len(l.src) {
+				l.advance()
+			}
+			continue
+		}
+		if r == '"' {
+			raw := l.src[start:l.pos]
+			s, err := strconv.Unquote(raw)
+			if err != nil {
+				return token{kind: tokError, text: "bad string literal " + raw, line: line}
+			}
+			return token{kind: tokString, text: s, line: line}
+		}
+		if r == '\n' {
+			// Go string literals do not span lines.
+			return token{kind: tokError, text: "unterminated string", line: line}
+		}
+	}
+	return token{kind: tokError, text: "unterminated string", line: line}
+}
+
+func (l *lexer) scanNumber(line int) token {
+	start := l.pos
+	if l.peek() == '-' {
+		l.advance()
+	}
+	isFloat := false
+	for l.pos < len(l.src) {
+		r := l.peek()
+		if unicode.IsDigit(r) {
+			l.advance()
+			continue
+		}
+		// Only treat '.' as a decimal point when followed by a digit, so
+		// "1.x" does not scan as a float.
+		if r == '.' && !isFloat && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1])) {
+			isFloat = true
+			l.advance()
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{kind: tokError, text: text, line: line}
+		}
+		return token{kind: tokFloat, text: text, f64: f, line: line}
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{kind: tokError, text: text, line: line}
+	}
+	return token{kind: tokInt, text: text, i64: i, line: line}
+}

@@ -1,0 +1,145 @@
+package dynamic
+
+import (
+	"testing"
+
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+	"strudel/internal/struql"
+)
+
+func TestBlockDepsRefinesArcVariables(t *testing.T) {
+	// where Publications(x) { where x -> l -> v ... } depends on edges of
+	// Publications members, not on every edge in the database.
+	q := struql.MustParse(`
+where Publications(x)
+create P(x)
+{ where x -> l -> v link P(x) -> l -> v }
+`)
+	deps := BlockDeps(q.Blocks[0])
+	if deps["*"] {
+		t.Errorf("deps = %v; collection-constrained arc variable should not be *", deps)
+	}
+	if !deps["edges-of:Publications"] || !deps["coll:Publications"] {
+		t.Errorf("deps = %v", deps)
+	}
+	// An unconstrained arc variable still depends on everything.
+	q2 := struql.MustParse(`where a -> l -> v create N(a)`)
+	if !BlockDeps(q2.Blocks[0])["*"] {
+		t.Error("unconstrained arc variable must depend on *")
+	}
+}
+
+func TestAffectedByMembershipRefinement(t *testing.T) {
+	data := graph.New()
+	data.AddToCollection("Publications", "pub1")
+	data.AddToCollection("Patents", "pat1")
+	data.AddEdge("pub1", "title", graph.NewString("T"))
+	data.AddEdge("pat1", "number", graph.NewString("US1"))
+	src := struql.NewGraphSource(data)
+	deps := map[string]bool{"edges-of:Publications": true, "coll:Publications": true}
+
+	// An edge on a patent does not affect a publications-only block.
+	patDelta := &mediator.Delta{AddedEdges: []graph.Edge{
+		{From: "pat1", Label: "year", To: graph.NewInt(1998)},
+	}}
+	if affectedBy(deps, patDelta, src) {
+		t.Error("patent edge should not affect a publications block")
+	}
+	// An edge on a publication does.
+	pubDelta := &mediator.Delta{AddedEdges: []graph.Edge{
+		{From: "pub1", Label: "year", To: graph.NewInt(1998)},
+	}}
+	if !affectedBy(deps, pubDelta, src) {
+		t.Error("publication edge should affect the block")
+	}
+	// New membership in the watched collection affects it too.
+	memDelta := &mediator.Delta{AddedMembers: []mediator.Membership{{Coll: "Publications", OID: "pubX"}}}
+	if !affectedBy(deps, memDelta, src) {
+		t.Error("membership change should affect the block")
+	}
+	// Label-specific dependencies.
+	labelDeps := map[string]bool{"label:year": true}
+	if !affectedBy(labelDeps, pubDelta, src) {
+		t.Error("label:year should match a year edge")
+	}
+	if affectedBy(labelDeps, &mediator.Delta{AddedEdges: []graph.Edge{
+		{From: "x", Label: "other", To: graph.NewInt(1)},
+	}}, src) {
+		t.Error("label:year should not match an other edge")
+	}
+	// "*" matches any non-empty delta and nothing on an empty one.
+	star := map[string]bool{"*": true}
+	if !affectedBy(star, pubDelta, src) || affectedBy(star, &mediator.Delta{}, src) {
+		t.Error("* semantics wrong")
+	}
+}
+
+func TestIncrementalStateLocalizedDelta(t *testing.T) {
+	// A two-collection query: a delta on one collection re-evaluates only
+	// that collection's block.
+	q := struql.MustParse(`
+where As(a)
+create PA(a)
+{ where a -> l -> v link PA(a) -> l -> v }
+
+where Bs(b)
+create PB(b)
+{ where b -> l -> v link PB(b) -> l -> v }
+`)
+	data := graph.New()
+	data.AddToCollection("As", "a1")
+	data.AddEdge("a1", "x", graph.NewInt(1))
+	data.AddToCollection("Bs", "b1")
+	data.AddEdge("b1", "y", graph.NewInt(2))
+	st, err := NewIncrementalState(q, struql.NewGraphSource(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data.AddEdge("b1", "z", graph.NewInt(3))
+	delta := &mediator.Delta{AddedEdges: []graph.Edge{{From: "b1", Label: "z", To: graph.NewInt(3)}}}
+	n, err := st.Apply(struql.NewGraphSource(data), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("re-evaluated %d blocks, want 1 (only the Bs block)", n)
+	}
+	full, err := struql.Eval(q, struql.NewGraphSource(data), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Site().Dump() != full.Graph.Dump() {
+		t.Error("localized incremental update diverged from full rebuild")
+	}
+}
+
+func TestInvalidateUsesMembershipRefinement(t *testing.T) {
+	// The evaluator's page cache survives changes to objects outside the
+	// collections its queries read.
+	ev, _ := newEvaluator(t, testData())
+	if _, err := ev.Page(PageRef{Fn: "RootPage"}); err != nil {
+		t.Fatal(err)
+	}
+	patDelta := &mediator.Delta{AddedEdges: []graph.Edge{
+		{From: "unrelatedObject", Label: "title", To: graph.NewString("x")},
+	}}
+	if dropped := ev.Invalidate(patDelta); dropped != 0 {
+		t.Errorf("dropped %d pages for an edge outside Publications", dropped)
+	}
+	// A new "note" edge is invisible to the root page's queries (they
+	// read only Publications membership and year edges) — still cached.
+	noteDelta := &mediator.Delta{AddedEdges: []graph.Edge{
+		{From: "pub1", Label: "note", To: graph.NewString("x")},
+	}}
+	if dropped := ev.Invalidate(noteDelta); dropped != 0 {
+		t.Errorf("dropped %d pages for a note edge the root never reads", dropped)
+	}
+	// A year edge is load-bearing for the root's YearPage links.
+	yearDelta := &mediator.Delta{AddedEdges: []graph.Edge{
+		{From: "pub1", Label: "year", To: graph.NewInt(1901)},
+	}}
+	if dropped := ev.Invalidate(yearDelta); dropped == 0 {
+		t.Error("a year edge should invalidate the root page")
+	}
+}

@@ -1,0 +1,322 @@
+// Package dynamic implements dynamic ("click-time") computation of site
+// graphs (§2.5, §7). The prototype's static approach materializes the
+// whole site before anyone browses it; that is infeasible for sites whose
+// data changes frequently or whose pages depend on user input. Site
+// schemas make the alternative possible: they specify, for each node in
+// the site graph, the queries that must be evaluated to compute the
+// node's contents — its outgoing edges.
+//
+// Evaluator answers "what are this page's edges?" by running, for each
+// site-schema edge leaving the page's Skolem function, the edge's
+// governing conjunction with the page's Skolem arguments pre-bound.
+// Computed pages are cached (the optimization the paper describes as
+// reusing "information derived for already browsed pages"), and optional
+// lookahead precomputes the pages a just-computed page links to.
+//
+// The package also provides the incremental re-evaluation used by
+// experiment E8: after an additive data change, only the query blocks
+// whose conditions mention the changed attributes or collections are
+// re-run, and the site graph grows by exactly the new objects and edges.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+	"strudel/internal/schema"
+	"strudel/internal/struql"
+)
+
+// PageRef identifies a dynamic page: a Skolem function and its argument
+// values.
+type PageRef struct {
+	Fn   string
+	Args []graph.Value
+}
+
+// PageData is the computed content of one page: the node's outgoing
+// edges in the virtual site graph, plus the PageRefs of linked dynamic
+// pages (for navigation and lookahead).
+type PageData struct {
+	OID   graph.OID
+	Ref   PageRef
+	Out   []graph.Edge
+	Links []PageRef
+}
+
+// Stats counts evaluator work for the static-vs-dynamic experiments.
+type Stats struct {
+	PagesComputed int
+	CacheHits     int
+	QueriesRun    int
+}
+
+// Evaluator computes pages on demand from the site schema and the data
+// graph. It is not safe for concurrent use; the HTTP server serializes
+// access.
+type Evaluator struct {
+	Schema *schema.Schema
+	Data   struql.Source
+	// Lookahead precomputes linked pages after each page computation.
+	Lookahead bool
+
+	env   *struql.SkolemEnv
+	cache map[graph.OID]*PageData
+	refs  map[graph.OID]PageRef
+	stats Stats
+	// deps maps each Skolem function to the attribute labels and
+	// collection names its edge queries depend on; "*" means everything
+	// (an arc variable ranges over the whole schema).
+	deps map[string]map[string]bool
+}
+
+// NewEvaluator returns an evaluator over a site schema and data source.
+func NewEvaluator(s *schema.Schema, data struql.Source) *Evaluator {
+	ev := &Evaluator{
+		Schema: s,
+		Data:   data,
+		env:    struql.NewSkolemEnv(),
+		cache:  map[graph.OID]*PageData{},
+		refs:   map[graph.OID]PageRef{},
+		deps:   map[string]map[string]bool{},
+	}
+	for _, fn := range s.Nodes {
+		if fn == schema.NS {
+			continue
+		}
+		set := map[string]bool{}
+		for _, e := range s.OutEdges(fn) {
+			condDeps(e.Where, set, map[string][]string{})
+		}
+		ev.deps[fn] = set
+	}
+	return ev
+}
+
+// Stats returns a copy of the work counters.
+func (ev *Evaluator) StatsSnapshot() Stats { return ev.stats }
+
+// EntryPoints returns the unconditionally created pages (zero-argument
+// Skolem creations with an empty governing conjunction) — the roots a
+// browser can start from.
+func (ev *Evaluator) EntryPoints() []PageRef {
+	var out []PageRef
+	seen := map[string]bool{}
+	for _, c := range ev.Schema.Creations {
+		if len(c.Where) == 0 && len(c.Args) == 0 && !seen[c.Fn] {
+			seen[c.Fn] = true
+			out = append(out, PageRef{Fn: c.Fn})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fn < out[j].Fn })
+	return out
+}
+
+// OIDFor returns the page oid of a ref, consistent with static
+// evaluation's Skolem naming.
+func (ev *Evaluator) OIDFor(ref PageRef) graph.OID {
+	oid := ev.env.OID(ref.Fn, ref.Args)
+	ev.refs[oid] = ref
+	return oid
+}
+
+// RefFor resolves a previously issued page oid back to its ref.
+func (ev *Evaluator) RefFor(oid graph.OID) (PageRef, bool) {
+	r, ok := ev.refs[oid]
+	return r, ok
+}
+
+// Page computes (or returns from cache) the contents of one page.
+func (ev *Evaluator) Page(ref PageRef) (*PageData, error) {
+	oid := ev.OIDFor(ref)
+	if pd, ok := ev.cache[oid]; ok {
+		ev.stats.CacheHits++
+		return pd, nil
+	}
+	pd, err := ev.compute(ref, oid)
+	if err != nil {
+		return nil, err
+	}
+	ev.cache[oid] = pd
+	ev.stats.PagesComputed++
+	if ev.Lookahead {
+		// Precompute "lookahead" results for reachable pages (§2.5), one
+		// level deep.
+		for _, l := range pd.Links {
+			loid := ev.OIDFor(l)
+			if _, ok := ev.cache[loid]; ok {
+				continue
+			}
+			lpd, err := ev.compute(l, loid)
+			if err != nil {
+				return nil, err
+			}
+			ev.cache[loid] = lpd
+			ev.stats.PagesComputed++
+		}
+	}
+	return pd, nil
+}
+
+// compute runs the incremental query of every schema edge leaving the
+// page's Skolem function, with the page's arguments pre-bound.
+func (ev *Evaluator) compute(ref PageRef, oid graph.OID) (*PageData, error) {
+	pd := &PageData{OID: oid, Ref: ref}
+	for _, e := range ev.Schema.OutEdges(ref.Fn) {
+		if len(e.FromArgs) != len(ref.Args) {
+			continue // a different creation shape of the same function
+		}
+		seed := &struql.Bindings{Vars: e.FromArgs, Rows: [][]graph.Value{ref.Args}}
+		b, err := struql.EvalWhere(e.Where, ev.Data, seed, nil)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: page %s: %w", oid, err)
+		}
+		ev.stats.QueriesRun++
+		for ri := range b.Rows {
+			label := e.Label.Lit
+			if e.Label.IsVar {
+				label = b.Lookup(ri, e.Label.Var).Text()
+			}
+			if e.To == schema.NS {
+				v, err := nsTarget(e, b, ri)
+				if err != nil {
+					return nil, fmt.Errorf("dynamic: page %s: %w", oid, err)
+				}
+				pd.Out = append(pd.Out, graph.Edge{From: oid, Label: label, To: v})
+				continue
+			}
+			args := make([]graph.Value, len(e.ToArgs))
+			for i, a := range e.ToArgs {
+				args[i] = b.Lookup(ri, a)
+				if args[i].IsNull() {
+					return nil, fmt.Errorf("dynamic: page %s: target argument %s unbound", oid, a)
+				}
+			}
+			tref := PageRef{Fn: e.To, Args: args}
+			toid := ev.OIDFor(tref)
+			pd.Out = append(pd.Out, graph.Edge{From: oid, Label: label, To: graph.NewNode(toid)})
+			pd.Links = append(pd.Links, tref)
+		}
+	}
+	sortEdges(pd.Out)
+	dedupLinks(pd)
+	return pd, nil
+}
+
+// nsTarget resolves an NS-edge target: the recorded text is a variable
+// name or a constant in term syntax.
+func nsTarget(e schema.Edge, b *struql.Bindings, ri int) (graph.Value, error) {
+	txt := e.ToArgs[0]
+	if v := b.Lookup(ri, txt); !v.IsNull() {
+		return v, nil
+	}
+	t, err := parseTermText(txt)
+	if err != nil {
+		return graph.Null, err
+	}
+	return t, nil
+}
+
+func parseTermText(s string) (graph.Value, error) {
+	q, err := struql.Parse(`where C(x), x -> "l" -> ` + s + ` create N(x)`)
+	if err != nil {
+		return graph.Null, fmt.Errorf("cannot resolve NS target %q", s)
+	}
+	pc := q.Blocks[0].Where[1].(*struql.PathCond)
+	if pc.To.IsVar() {
+		// An unbound variable denotes no value for this row.
+		return graph.Null, fmt.Errorf("NS target variable %q unbound", s)
+	}
+	return pc.To.Const, nil
+}
+
+func sortEdges(edges []graph.Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.To.Key() < b.To.Key()
+	})
+}
+
+func dedupLinks(pd *PageData) {
+	// Dedup edges.
+	outSeen := map[graph.Edge]bool{}
+	edges := pd.Out[:0]
+	for _, e := range pd.Out {
+		if !outSeen[e] {
+			outSeen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	pd.Out = edges
+	// Dedup links by oid-ish key.
+	seen := map[string]bool{}
+	links := pd.Links[:0]
+	for _, l := range pd.Links {
+		key := l.Fn + "\x00" + keyOfArgs(l.Args)
+		if !seen[key] {
+			seen[key] = true
+			links = append(links, l)
+		}
+	}
+	pd.Links = links
+}
+
+func keyOfArgs(args []graph.Value) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.Key()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// Invalidate drops cached pages affected by a data delta: pages of
+// Skolem functions whose edge queries depend on a changed label,
+// collection, or (for arc variables) on edges of changed objects.
+func (ev *Evaluator) Invalidate(d *mediator.Delta) int {
+	dropped := 0
+	for oid, pd := range ev.cache {
+		if affectedBy(ev.deps[pd.Ref.Fn], d, ev.Data) {
+			delete(ev.cache, oid)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// CacheSize returns the number of cached pages.
+func (ev *Evaluator) CacheSize() int { return len(ev.cache) }
+
+// MaterializeAll walks the whole reachable page space from the entry
+// points and returns the site graph it induces — useful to verify that
+// dynamic evaluation agrees with static evaluation.
+func (ev *Evaluator) MaterializeAll() (*graph.Graph, error) {
+	g := graph.New()
+	var queue []PageRef
+	queue = append(queue, ev.EntryPoints()...)
+	seen := map[graph.OID]bool{}
+	for len(queue) > 0 {
+		ref := queue[0]
+		queue = queue[1:]
+		oid := ev.OIDFor(ref)
+		if seen[oid] {
+			continue
+		}
+		seen[oid] = true
+		pd, err := ev.Page(ref)
+		if err != nil {
+			return nil, err
+		}
+		g.AddNode(oid)
+		for _, e := range pd.Out {
+			g.AddEdge(e.From, e.Label, e.To)
+		}
+		queue = append(queue, pd.Links...)
+	}
+	return g, nil
+}

@@ -1,0 +1,118 @@
+package dynamic
+
+import (
+	"testing"
+
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+	"strudel/internal/struql"
+)
+
+// incrementalFixture returns the query, a data graph, and a fresh state.
+func incrementalFixture(t *testing.T) (*struql.Query, *graph.Graph, *IncrementalState) {
+	t.Helper()
+	q := struql.MustParse(siteQuery)
+	data := testData()
+	st, err := NewIncrementalState(q, struql.NewGraphSource(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, data, st
+}
+
+func TestIncrementalStateMatchesMonolithicEval(t *testing.T) {
+	q, data, st := incrementalFixture(t)
+	full, err := struql.Eval(q, struql.NewGraphSource(data), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Site().Dump() != full.Graph.Dump() {
+		t.Errorf("partitioned evaluation differs:\n--- partitioned\n%s--- monolithic\n%s",
+			st.Site().Dump(), full.Graph.Dump())
+	}
+}
+
+func TestIncrementalStateHandlesRemovals(t *testing.T) {
+	q, data, st := incrementalFixture(t)
+	// Remove pub2's year: YearPage(1998) must lose its paper; since pub2
+	// was the only 1998 paper, the year page's edges disappear.
+	rebuilt := graph.New()
+	data.Edges(func(e graph.Edge) bool {
+		if !(e.From == "pub2" && e.Label == "year") {
+			rebuilt.AddEdge(e.From, e.Label, e.To)
+		}
+		return true
+	})
+	for _, c := range data.CollectionNames() {
+		for _, m := range data.Collection(c) {
+			rebuilt.AddToCollection(c, m)
+		}
+	}
+	delta := mediator.Diff(data, rebuilt)
+	if len(delta.RemovedEdges) != 1 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	n, err := st.Apply(struql.NewGraphSource(rebuilt), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("removal should re-evaluate at least one block")
+	}
+	full, err := struql.Eval(q, struql.NewGraphSource(rebuilt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Site().Dump() != full.Graph.Dump() {
+		t.Errorf("after removal, incremental differs from full rebuild:\n--- incremental\n%s--- full\n%s",
+			st.Site().Dump(), full.Graph.Dump())
+	}
+	if st.Site().HasEdge("YearPage(1998)", "Paper", graph.NewNode("PaperPage(pub2)")) {
+		t.Error("stale edge survived the removal")
+	}
+}
+
+func TestIncrementalStateSkipsUnrelatedChanges(t *testing.T) {
+	_, data, st := incrementalFixture(t)
+	data.AddEdge("noise", "unrelated", graph.NewInt(1))
+	delta := &mediator.Delta{AddedEdges: []graph.Edge{{From: "noise", Label: "unrelated", To: graph.NewInt(1)}}}
+	n, err := st.Apply(struql.NewGraphSource(data), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("re-evaluated %d blocks for an unrelated change", n)
+	}
+}
+
+func TestIncrementalStateRepeatedApplications(t *testing.T) {
+	q, data, st := incrementalFixture(t)
+	// Apply three successive additive changes and verify against a full
+	// rebuild each time.
+	for i := 0; i < 3; i++ {
+		oid := graph.OID("extra" + string(rune('0'+i)))
+		prev := data.Copy()
+		data.AddToCollection("Publications", oid)
+		data.AddEdge(oid, "title", graph.NewString("Extra"))
+		data.AddEdge(oid, "year", graph.NewInt(int64(2000+i)))
+		delta := mediator.Diff(prev, data)
+		if _, err := st.Apply(struql.NewGraphSource(data), delta); err != nil {
+			t.Fatal(err)
+		}
+		full, err := struql.Eval(q, struql.NewGraphSource(data), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Site().Dump() != full.Graph.Dump() {
+			t.Fatalf("iteration %d: incremental state diverged", i)
+		}
+	}
+}
+
+func TestIncrementalStateEmptyDelta(t *testing.T) {
+	_, data, st := incrementalFixture(t)
+	n, err := st.Apply(struql.NewGraphSource(data), &mediator.Delta{})
+	if err != nil || n != 0 {
+		t.Errorf("empty delta: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,215 @@
+package dynamic
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"strudel/internal/graph"
+	"strudel/internal/template"
+)
+
+// Server serves a Strudel site dynamically: every request evaluates (or
+// reuses from cache) the incremental queries of the requested page and
+// renders it through the same template language the static generator
+// uses. Routes:
+//
+//	/              the first entry point
+//	/page/<oid>    any page, by Skolem oid
+type Server struct {
+	Ev        *Evaluator
+	Templates *template.Set
+	// PerFn selects a template per Skolem function name.
+	PerFn map[string]string
+	// Default names a fallback template; empty uses a built-in listing.
+	Default string
+	// Root is the page served at "/"; when its Fn is empty, the first
+	// entry point (alphabetically) is used.
+	Root PageRef
+
+	mu sync.Mutex
+}
+
+// NewServer returns a server over an evaluator and templates.
+func NewServer(ev *Evaluator, ts *template.Set) *Server {
+	return &Server{Ev: ev, Templates: ts, PerFn: map[string]string{}}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		root := s.Root
+		if root.Fn == "" {
+			roots := s.Ev.EntryPoints()
+			if len(roots) == 0 {
+				http.Error(w, "site has no entry points", http.StatusNotFound)
+				return
+			}
+			root = roots[0]
+		}
+		s.servePage(w, root)
+	})
+	mux.HandleFunc("/page/", func(w http.ResponseWriter, r *http.Request) {
+		oid := strings.TrimPrefix(r.URL.Path, "/page/")
+		oid, err := url.PathUnescape(oid)
+		if err != nil {
+			http.Error(w, "bad page id", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		ref, ok := s.Ev.RefFor(graph.OID(oid))
+		s.mu.Unlock()
+		if !ok {
+			http.Error(w, "unknown page "+oid, http.StatusNotFound)
+			return
+		}
+		s.servePage(w, ref)
+	})
+	return mux
+}
+
+func (s *Server) servePage(w http.ResponseWriter, ref PageRef) {
+	s.mu.Lock()
+	htmlText, err := s.RenderPage(ref)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, htmlText)
+}
+
+// RenderPage computes and renders one page (exported for tests and for
+// the click-time benchmarks, bypassing HTTP).
+func (s *Server) RenderPage(ref PageRef) (string, error) {
+	pd, err := s.Ev.Page(ref)
+	if err != nil {
+		return "", err
+	}
+	r := &dynRenderer{s: s}
+	t := s.selectTemplate(ref.Fn)
+	if t == nil {
+		return r.defaultRender(pd)
+	}
+	return template.Render(t, pd.OID, dynSite{s: s}, r)
+}
+
+func (s *Server) selectTemplate(fn string) *template.Template {
+	if name, ok := s.PerFn[fn]; ok {
+		if t := s.Templates.Get(name); t != nil {
+			return t
+		}
+	}
+	if s.Default != "" {
+		return s.Templates.Get(s.Default)
+	}
+	return nil
+}
+
+// dynSite adapts the evaluator to the template evaluator's Site view:
+// dynamic pages answer from their computed edges; data-graph objects
+// (reached through NS edges) answer from the data source.
+type dynSite struct {
+	s *Server
+}
+
+func (d dynSite) OutLabel(oid graph.OID, label string) []graph.Value {
+	if ref, ok := d.s.Ev.RefFor(oid); ok {
+		pd, err := d.s.Ev.Page(ref)
+		if err != nil {
+			return nil
+		}
+		var out []graph.Value
+		for _, e := range pd.Out {
+			if e.Label == label {
+				out = append(out, e.To)
+			}
+		}
+		return out
+	}
+	return d.s.Ev.Data.OutLabel(oid, label)
+}
+
+// dynRenderer renders references as click-time URLs.
+type dynRenderer struct {
+	s     *Server
+	depth int
+}
+
+// LookupTemplate resolves SINCLUDE names against the server's set.
+func (r *dynRenderer) LookupTemplate(name string) *template.Template {
+	return r.s.Templates.Get(name)
+}
+
+// PageURL returns the click-time URL of a page oid.
+func PageURL(oid graph.OID) string {
+	return "/page/" + url.PathEscape(string(oid))
+}
+
+func (r *dynRenderer) RenderRef(oid graph.OID, anchorText string) (string, error) {
+	return fmt.Sprintf(`<a href="%s">%s</a>`, PageURL(oid), html.EscapeString(anchorText)), nil
+}
+
+func (r *dynRenderer) RenderEmbed(oid graph.OID) (string, error) {
+	if r.depth > 8 {
+		return r.RenderRef(oid, string(oid))
+	}
+	r.depth++
+	defer func() { r.depth-- }()
+	if ref, ok := r.s.Ev.RefFor(oid); ok {
+		pd, err := r.s.Ev.Page(ref)
+		if err != nil {
+			return "", err
+		}
+		if t := r.s.selectTemplate(ref.Fn); t != nil {
+			return template.Render(t, pd.OID, dynSite{s: r.s}, r)
+		}
+		return r.defaultRender(pd)
+	}
+	// A data-graph object: render its attributes inline.
+	var b strings.Builder
+	for _, e := range r.s.Ev.Data.Out(oid) {
+		fmt.Fprintf(&b, "%s: %s ", html.EscapeString(e.Label), html.EscapeString(e.To.Text()))
+	}
+	return b.String(), nil
+}
+
+func (r *dynRenderer) RenderFile(v graph.Value, embed bool) (string, error) {
+	esc := html.EscapeString(v.Str())
+	if v.FileType() == graph.FileImage {
+		return fmt.Sprintf(`<img src="%s">`, esc), nil
+	}
+	return fmt.Sprintf(`<a href="%s">%s</a>`, esc, esc), nil
+}
+
+// defaultRender lists the page's edges when no template is selected.
+func (r *dynRenderer) defaultRender(pd *PageData) (string, error) {
+	var b strings.Builder
+	title := html.EscapeString(string(pd.OID))
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n<h1>%s</h1>\n<dl>\n", title, title)
+	for _, e := range pd.Out {
+		var cell string
+		if e.To.IsNode() {
+			if _, ok := r.s.Ev.RefFor(e.To.OID()); ok {
+				ref, _ := r.RenderRef(e.To.OID(), string(e.To.OID()))
+				cell = ref
+			} else {
+				cell = html.EscapeString(string(e.To.OID()))
+			}
+		} else {
+			cell = html.EscapeString(e.To.Text())
+		}
+		fmt.Fprintf(&b, "<dt>%s</dt><dd>%s</dd>\n", html.EscapeString(e.Label), cell)
+	}
+	b.WriteString("</dl>\n</body></html>\n")
+	return b.String(), nil
+}

@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz dot syntax, the form we use to
+// visualize data-graph and site-graph fragments (Figs. 2 and 4).
+func (g *Graph) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	atomID := 0
+	for _, oid := range g.Nodes() {
+		fmt.Fprintf(&b, "  %q [shape=ellipse];\n", string(oid))
+	}
+	for _, oid := range g.Nodes() {
+		for _, e := range g.Out(oid) {
+			var target string
+			if e.To.IsNode() {
+				target = string(e.To.OID())
+			} else {
+				atomID++
+				target = fmt.Sprintf("atom%d", atomID)
+				fmt.Fprintf(&b, "  %q [shape=box,label=%q];\n", target, e.To.Text())
+			}
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", string(e.From), target, e.Label)
+		}
+	}
+	for _, coll := range g.CollectionNames() {
+		collNode := "coll:" + coll
+		fmt.Fprintf(&b, "  %q [shape=diamond,label=%q];\n", collNode, coll)
+		for _, m := range g.Collection(coll) {
+			fmt.Fprintf(&b, "  %q -> %q [style=dotted];\n", collNode, string(m))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Dump renders a deterministic multi-line listing of the graph: every
+// collection with its members, then every edge. Golden tests compare Dumps.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	for _, coll := range g.CollectionNames() {
+		fmt.Fprintf(&b, "collection %s:", coll)
+		for _, m := range g.Collection(coll) {
+			fmt.Fprintf(&b, " &%s", string(m))
+		}
+		b.WriteString("\n")
+	}
+	g.Edges(func(e Edge) bool {
+		fmt.Fprintf(&b, "%s\n", e)
+		return true
+	})
+	return b.String()
+}

@@ -1,0 +1,285 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fig2 builds the Fig. 2 data-graph fragment: two publications with
+// irregular attributes (pub1 has month and journal; pub2 has booktitle).
+func fig2() *Graph {
+	g := New()
+	g.AddToCollection("Publications", "pub1")
+	g.AddToCollection("Publications", "pub2")
+	g.AddEdge("pub1", "title", NewString("A Query Language for a Web-Site Management System"))
+	g.AddEdge("pub1", "author", NewString("Fernandez"))
+	g.AddEdge("pub1", "author", NewString("Florescu"))
+	g.AddEdge("pub1", "year", NewInt(1997))
+	g.AddEdge("pub1", "month", NewString("September"))
+	g.AddEdge("pub1", "journal", NewString("SIGMOD Record"))
+	g.AddEdge("pub1", "abstract", NewFile(FileText, "abstracts/pub1.txt"))
+	g.AddEdge("pub1", "postscript", NewFile(FilePostScript, "ps/pub1.ps"))
+	g.AddEdge("pub2", "title", NewString("Catching the Boat with Strudel"))
+	g.AddEdge("pub2", "author", NewString("Fernandez"))
+	g.AddEdge("pub2", "year", NewInt(1998))
+	g.AddEdge("pub2", "booktitle", NewString("SIGMOD"))
+	g.AddEdge("pub2", "category", NewString("web"))
+	return g
+}
+
+func TestAddAndQueryBasics(t *testing.T) {
+	g := fig2()
+	if got := g.NumNodes(); got != 2 {
+		t.Fatalf("NumNodes = %d, want 2", got)
+	}
+	if got := g.NumEdges(); got != 13 {
+		t.Fatalf("NumEdges = %d, want 13", got)
+	}
+	if !g.InCollection("Publications", "pub1") {
+		t.Error("pub1 should be in Publications")
+	}
+	if g.InCollection("Publications", "nosuch") {
+		t.Error("nosuch should not be in Publications")
+	}
+	if got := g.Collection("Publications"); len(got) != 2 || got[0] != "pub1" || got[1] != "pub2" {
+		t.Errorf("Collection = %v", got)
+	}
+}
+
+func TestIrregularAttributes(t *testing.T) {
+	// §6.3: objects in the same collection may have different attributes.
+	g := fig2()
+	if v := g.First("pub1", "month"); v.IsNull() {
+		t.Error("pub1 should have month")
+	}
+	if v := g.First("pub2", "month"); !v.IsNull() {
+		t.Error("pub2 should lack month")
+	}
+	if v := g.First("pub1", "journal"); v.Text() != "SIGMOD Record" {
+		t.Errorf("pub1 journal = %q", v.Text())
+	}
+	if v := g.First("pub2", "booktitle"); v.Text() != "SIGMOD" {
+		t.Errorf("pub2 booktitle = %q", v.Text())
+	}
+}
+
+func TestMultiValuedAttributes(t *testing.T) {
+	g := fig2()
+	authors := g.OutLabel("pub1", "author")
+	if len(authors) != 2 {
+		t.Fatalf("pub1 has %d authors, want 2", len(authors))
+	}
+	if authors[0].Text() != "Fernandez" || authors[1].Text() != "Florescu" {
+		t.Errorf("authors = %v", authors)
+	}
+}
+
+func TestDuplicateEdgesIgnored(t *testing.T) {
+	g := New()
+	if !g.AddEdge("a", "l", NewString("v")) {
+		t.Error("first add should be new")
+	}
+	if g.AddEdge("a", "l", NewString("v")) {
+		t.Error("duplicate add should report false")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestDuplicateCollectionMembership(t *testing.T) {
+	g := New()
+	g.AddToCollection("C", "x")
+	g.AddToCollection("C", "x")
+	if n := g.CollectionSize("C"); n != 1 {
+		t.Errorf("CollectionSize = %d, want 1", n)
+	}
+}
+
+func TestObjectInMultipleCollections(t *testing.T) {
+	g := New()
+	g.AddToCollection("Papers", "p")
+	g.AddToCollection("Recent", "p")
+	colls := g.CollectionsOf("p")
+	if len(colls) != 2 || colls[0] != "Papers" || colls[1] != "Recent" {
+		t.Errorf("CollectionsOf = %v", colls)
+	}
+}
+
+func TestEdgeTargetsCreateNodes(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "child", NewNode("b"))
+	if !g.HasNode("b") {
+		t.Error("edge target node should be created")
+	}
+	if g.HasNode("c") {
+		t.Error("unknown node reported present")
+	}
+}
+
+func TestLabelsSchemaIndex(t *testing.T) {
+	g := fig2()
+	labels := g.Labels()
+	want := []string{"abstract", "author", "booktitle", "category", "journal", "month", "postscript", "title", "year"}
+	if len(labels) != len(want) {
+		t.Fatalf("Labels = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestOutDeterministicOrder(t *testing.T) {
+	g := New()
+	g.AddEdge("n", "b", NewString("2"))
+	g.AddEdge("n", "a", NewString("1"))
+	g.AddEdge("n", "a", NewString("0"))
+	out := g.Out("n")
+	if len(out) != 3 {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	if out[0].Label != "a" || out[0].To.Text() != "0" ||
+		out[1].Label != "a" || out[1].To.Text() != "1" ||
+		out[2].Label != "b" {
+		t.Errorf("out order = %v", out)
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	g := fig2()
+	c := g.Copy()
+	c.AddEdge("pub1", "extra", NewInt(1))
+	c.AddToCollection("New", "pub9")
+	if g.HasEdge("pub1", "extra", NewInt(1)) {
+		t.Error("copy mutation leaked into original")
+	}
+	if g.InCollection("New", "pub9") {
+		t.Error("copy collection leaked into original")
+	}
+	if g.Dump() == c.Dump() {
+		t.Error("dumps should differ after mutation")
+	}
+}
+
+func TestMergeUnifiesOIDs(t *testing.T) {
+	a := New()
+	a.AddEdge("root", "x", NewNode("n1"))
+	a.AddToCollection("Root", "root")
+	b := New()
+	b.AddEdge("root", "y", NewNode("n2"))
+	b.AddToCollection("Root", "root")
+	b.AddToCollection("Other", "n2")
+	a.Merge(b)
+	if a.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", a.NumEdges())
+	}
+	if a.CollectionSize("Root") != 1 {
+		t.Errorf("Root size = %d, want 1 (oid unification)", a.CollectionSize("Root"))
+	}
+	if !a.InCollection("Other", "n2") {
+		t.Error("merge should carry collections")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New()
+	g.AddEdge("r", "a", NewNode("x"))
+	g.AddEdge("x", "b", NewNode("y"))
+	g.AddEdge("z", "c", NewNode("w"))    // disconnected
+	g.AddEdge("y", "back", NewNode("r")) // cycle
+	reach := g.Reachable("r")
+	for _, oid := range []OID{"r", "x", "y"} {
+		if _, ok := reach[oid]; !ok {
+			t.Errorf("%s should be reachable", oid)
+		}
+	}
+	if _, ok := reach["z"]; ok {
+		t.Error("z should not be reachable")
+	}
+	if len(g.Reachable("absent")) != 0 {
+		t.Error("reachable from absent node should be empty")
+	}
+}
+
+func TestDumpGolden(t *testing.T) {
+	g := New()
+	g.AddToCollection("C", "n")
+	g.AddEdge("n", "a", NewInt(1))
+	g.AddEdge("n", "b", NewNode("m"))
+	want := "collection C: &n\n&n -a-> 1\n&n -b-> &m\n"
+	if got := g.Dump(); got != want {
+		t.Errorf("Dump = %q, want %q", got, want)
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g := fig2()
+	dot := g.Dot("fig2")
+	for _, frag := range []string{"digraph \"fig2\"", "\"pub1\"", "label=\"Publications\"", "shape=box"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("dot missing %q", frag)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := fig2().Stats()
+	if s.Nodes != 2 || s.Edges != 13 || s.Collections != 1 || s.Labels != 9 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestMergeIdempotentProperty(t *testing.T) {
+	// Merging a graph into itself twice equals merging once (set semantics).
+	f := func(seed uint8) bool {
+		g := randomGraph(int(seed%20) + 1)
+		h := g.Copy()
+		h.Merge(g)
+		return h.Dump() == g.Dump()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomGraph builds a small deterministic graph from a size parameter.
+func randomGraph(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		from := OID(fmt.Sprintf("n%d", i))
+		to := OID(fmt.Sprintf("n%d", (i*7+3)%n))
+		g.AddEdge(from, fmt.Sprintf("l%d", i%3), NewNode(to))
+		g.AddEdge(from, "v", NewInt(int64(i)))
+		if i%2 == 0 {
+			g.AddToCollection("Even", from)
+		}
+	}
+	return g
+}
+
+func TestFirstOnMissing(t *testing.T) {
+	g := New()
+	g.AddNode("n")
+	if !g.First("n", "absent").IsNull() {
+		t.Error("First of absent attribute should be Null")
+	}
+	if !g.First("ghost", "x").IsNull() {
+		t.Error("First on absent node should be Null")
+	}
+}
+
+func TestDeclareCollectionEmpty(t *testing.T) {
+	g := New()
+	g.DeclareCollection("Empty")
+	names := g.CollectionNames()
+	if len(names) != 1 || names[0] != "Empty" {
+		t.Errorf("CollectionNames = %v", names)
+	}
+	if g.CollectionSize("Empty") != 0 {
+		t.Error("Empty collection should have size 0")
+	}
+}

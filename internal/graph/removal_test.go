@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "l", NewString("v"))
+	g.AddEdge("a", "l", NewString("w"))
+	if !g.RemoveEdge("a", "l", NewString("v")) {
+		t.Fatal("existing edge should remove")
+	}
+	if g.RemoveEdge("a", "l", NewString("v")) {
+		t.Error("double removal should report false")
+	}
+	if g.NumEdges() != 1 || g.HasEdge("a", "l", NewString("v")) {
+		t.Errorf("graph after removal:\n%s", g.Dump())
+	}
+	if !g.HasEdge("a", "l", NewString("w")) {
+		t.Error("sibling edge lost")
+	}
+	// Removal then re-add works (set semantics restored).
+	if !g.AddEdge("a", "l", NewString("v")) {
+		t.Error("re-add after removal should be new")
+	}
+}
+
+func TestRemoveFromCollection(t *testing.T) {
+	g := New()
+	g.AddToCollection("C", "a")
+	g.AddToCollection("C", "b")
+	if !g.RemoveFromCollection("C", "a") {
+		t.Fatal("member should remove")
+	}
+	if g.RemoveFromCollection("C", "a") {
+		t.Error("double removal should report false")
+	}
+	if g.RemoveFromCollection("D", "a") {
+		t.Error("unknown collection should report false")
+	}
+	if g.InCollection("C", "a") || !g.InCollection("C", "b") {
+		t.Error("membership wrong after removal")
+	}
+	if g.CollectionSize("C") != 1 {
+		t.Errorf("size = %d", g.CollectionSize("C"))
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "x", NewInt(1))
+	g.AddEdge("a", "y", NewInt(2))
+	g.AddNode("b")
+	if !g.RemoveNode("a") {
+		t.Fatal("node should remove")
+	}
+	if g.RemoveNode("a") {
+		t.Error("double removal should report false")
+	}
+	if g.HasNode("a") || g.NumEdges() != 0 {
+		t.Errorf("graph after removal:\n%s", g.Dump())
+	}
+	if !g.HasNode("b") {
+		t.Error("other node lost")
+	}
+}
+
+func TestAddRemoveRoundTripProperty(t *testing.T) {
+	// Adding a set of edges and removing them restores the empty edge set.
+	f := func(n uint8) bool {
+		g := New()
+		edges := make([]Edge, 0, int(n%15)+1)
+		for i := 0; i <= int(n%15); i++ {
+			e := Edge{From: OID(string(rune('a' + i%5))), Label: string(rune('p' + i%3)), To: NewInt(int64(i))}
+			if g.AddEdge(e.From, e.Label, e.To) {
+				edges = append(edges, e)
+			}
+		}
+		for _, e := range edges {
+			if !g.RemoveEdge(e.From, e.Label, e.To) {
+				return false
+			}
+		}
+		return g.NumEdges() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueEqualStrict(t *testing.T) {
+	if !NewInt(1).Equal(NewInt(1)) || NewInt(1).Equal(NewString("1")) {
+		t.Error("strict equality wrong")
+	}
+}
+
+func TestValueKeyAllKinds(t *testing.T) {
+	vals := []Value{
+		Null, NewNode("n"), NewString("s"), NewInt(1), NewFloat(1.5),
+		NewBool(true), NewURL("u"), NewFile(FileHTML, "f.html"),
+	}
+	seen := map[string]bool{}
+	for _, v := range vals {
+		k := v.Key()
+		if seen[k] {
+			t.Errorf("key collision for %v", v)
+		}
+		seen[k] = true
+	}
+}
+
+func TestKindStringBounds(t *testing.T) {
+	if KindFile.String() != "file" || Kind(200).String() == "" {
+		t.Error("Kind.String wrong")
+	}
+	if FileText.String() != "text" || FileType(200).String() == "" {
+		t.Error("FileType.String wrong")
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "x", NewInt(1))
+	g.AddEdge("b", "y", NewInt(2))
+	count := 0
+	g.Edges(func(Edge) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+	if n := len(g.AllEdges()); n != 2 {
+		t.Errorf("AllEdges = %d", n)
+	}
+}

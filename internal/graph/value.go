@@ -1,0 +1,318 @@
+// Package graph implements Strudel's semistructured data model: a labeled,
+// directed graph in the style of OEM (Papakonstantinou et al.), as described
+// in §2.1 of the Strudel paper.
+//
+// A database is a set of objects connected by directed edges labeled with
+// string-valued attribute names. Objects are either internal nodes,
+// identified by a unique object identifier (OID), or atomic values such as
+// integers, strings, URLs, and typed files (text, HTML, image, PostScript).
+// Objects are grouped into named collections; an object may belong to any
+// number of collections, and objects in the same collection need not have
+// the same attributes or attribute types.
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OID identifies an internal node. OIDs are strings so that Skolem-created
+// identifiers such as "AbstractPage(pub1)" are self-describing: by
+// definition a Skolem function applied to the same inputs yields the same
+// OID, which string identity gives us directly.
+type OID string
+
+// Kind discriminates the representation stored in a Value.
+type Kind uint8
+
+// The kinds of objects in the data model. KindNode is an internal object
+// referenced by OID; the rest are atomic values.
+const (
+	KindNull Kind = iota
+	KindNode
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+	KindURL
+	KindFile
+)
+
+var kindNames = [...]string{
+	KindNull:   "null",
+	KindNode:   "node",
+	KindString: "string",
+	KindInt:    "int",
+	KindFloat:  "float",
+	KindBool:   "bool",
+	KindURL:    "url",
+	KindFile:   "file",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// FileType classifies file atoms. Strudel supports several atomic types
+// that commonly appear in web pages (§2.1).
+type FileType uint8
+
+// Supported file types.
+const (
+	FileText FileType = iota
+	FileHTML
+	FileImage
+	FilePostScript
+)
+
+var fileTypeNames = [...]string{
+	FileText:       "text",
+	FileHTML:       "html",
+	FileImage:      "image",
+	FilePostScript: "postscript",
+}
+
+func (t FileType) String() string {
+	if int(t) < len(fileTypeNames) {
+		return fileTypeNames[t]
+	}
+	return fmt.Sprintf("filetype(%d)", uint8(t))
+}
+
+// ParseFileType maps a type name from a collection directive (e.g. "text",
+// "postscript") to a FileType.
+func ParseFileType(s string) (FileType, bool) {
+	for i, n := range fileTypeNames {
+		if n == s {
+			return FileType(i), true
+		}
+	}
+	return 0, false
+}
+
+// Value is one object in the data model: either a reference to an internal
+// node or an atomic value. Value is a compact tagged union rather than an
+// interface because graphs hold very many edge targets.
+type Value struct {
+	kind Kind
+	oid  OID      // KindNode
+	str  string   // KindString, KindURL, KindFile (path)
+	i64  int64    // KindInt, KindBool (0/1)
+	f64  float64  // KindFloat
+	ft   FileType // KindFile
+}
+
+// Null is the zero Value.
+var Null = Value{}
+
+// NewNode returns a Value referencing the internal node oid.
+func NewNode(oid OID) Value { return Value{kind: KindNode, oid: oid} }
+
+// NewString returns a string atom.
+func NewString(s string) Value { return Value{kind: KindString, str: s} }
+
+// NewInt returns an integer atom.
+func NewInt(i int64) Value { return Value{kind: KindInt, i64: i} }
+
+// NewFloat returns a floating-point atom.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f64: f} }
+
+// NewBool returns a boolean atom.
+func NewBool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i64: i}
+}
+
+// NewURL returns a URL atom.
+func NewURL(u string) Value { return Value{kind: KindURL, str: u} }
+
+// NewFile returns a file atom of the given type referencing path.
+func NewFile(t FileType, path string) Value {
+	return Value{kind: KindFile, ft: t, str: path}
+}
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsNode reports whether v references an internal node.
+func (v Value) IsNode() bool { return v.kind == KindNode }
+
+// IsAtom reports whether v is an atomic value (neither null nor a node).
+func (v Value) IsAtom() bool { return v.kind != KindNull && v.kind != KindNode }
+
+// OID returns the node identifier; it panics unless v is a node reference.
+func (v Value) OID() OID {
+	if v.kind != KindNode {
+		panic(fmt.Sprintf("graph: OID of non-node value %s", v))
+	}
+	return v.oid
+}
+
+// Str returns the string payload of string, URL, and file atoms (for files,
+// the path); it returns "" for other kinds.
+func (v Value) Str() string { return v.str }
+
+// Int returns the integer payload; valid for int and bool atoms.
+func (v Value) Int() int64 { return v.i64 }
+
+// Float returns the floating-point payload.
+func (v Value) Float() float64 { return v.f64 }
+
+// Bool returns the boolean payload.
+func (v Value) Bool() bool { return v.i64 != 0 }
+
+// FileType returns the file type of a file atom.
+func (v Value) FileType() FileType { return v.ft }
+
+// String renders v for debugging and for the data-definition language.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindNode:
+		return "&" + string(v.oid)
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindInt:
+		return strconv.FormatInt(v.i64, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f64, 'g', -1, 64)
+	case KindBool:
+		if v.i64 != 0 {
+			return "true"
+		}
+		return "false"
+	case KindURL:
+		return "url(" + strconv.Quote(v.str) + ")"
+	case KindFile:
+		return v.ft.String() + "(" + strconv.Quote(v.str) + ")"
+	}
+	return "?"
+}
+
+// Text renders an atomic value as plain display text, the form the HTML
+// generator emits for leaves. Nodes render as their OID.
+func (v Value) Text() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindNode:
+		return string(v.oid)
+	case KindString, KindURL, KindFile:
+		return v.str
+	case KindInt:
+		return strconv.FormatInt(v.i64, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f64, 'g', -1, 64)
+	case KindBool:
+		if v.i64 != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return ""
+}
+
+// Key returns a total-order key unique per distinct value, used for
+// deterministic iteration, map keys, and Skolem-argument serialization.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "0"
+	case KindNode:
+		return "n" + string(v.oid)
+	case KindString:
+		return "s" + v.str
+	case KindInt:
+		return "i" + strconv.FormatInt(v.i64, 10)
+	case KindFloat:
+		return "f" + strconv.FormatFloat(v.f64, 'g', -1, 64)
+	case KindBool:
+		return "b" + strconv.FormatInt(v.i64, 10)
+	case KindURL:
+		return "u" + v.str
+	case KindFile:
+		return "F" + v.ft.String() + ":" + v.str
+	}
+	return "?"
+}
+
+// Equal reports strict equality: same kind and same payload.
+func (v Value) Equal(w Value) bool { return v == w }
+
+// numeric returns v as a float64 if v is numeric or a numeric-looking
+// string, coercing dynamically as §2.1 requires for run-time comparison.
+func (v Value) numeric() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i64), true
+	case KindFloat:
+		return v.f64, true
+	case KindBool:
+		return float64(v.i64), true
+	case KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.str), 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+	return 0, false
+}
+
+// Compare orders two values with dynamic coercion: if both sides can be
+// read as numbers they compare numerically (so the string "1997" equals the
+// int 1997); otherwise they compare as text, with kind as a tiebreaker so
+// the order is total. It returns -1, 0, or +1.
+func Compare(a, b Value) int {
+	if af, aok := a.numeric(); aok {
+		if bf, bok := b.numeric(); bok {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	at, bt := a.Text(), b.Text()
+	switch {
+	case at < bt:
+		return -1
+	case at > bt:
+		return 1
+	}
+	switch {
+	case a.kind < b.kind:
+		return -1
+	case a.kind > b.kind:
+		return 1
+	}
+	return 0
+}
+
+// Equiv reports equality under dynamic coercion (Compare == 0 on payload,
+// ignoring kind tiebreaks between coercible representations).
+func Equiv(a, b Value) bool {
+	if a == b {
+		return true
+	}
+	if af, aok := a.numeric(); aok {
+		if bf, bok := b.numeric(); bok {
+			return af == bf
+		}
+	}
+	return a.kind == b.kind && a.Text() == b.Text()
+}

@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		text string
+	}{
+		{NewNode("pub1"), KindNode, "pub1"},
+		{NewString("hello"), KindString, "hello"},
+		{NewInt(42), KindInt, "42"},
+		{NewFloat(3.5), KindFloat, "3.5"},
+		{NewBool(true), KindBool, "true"},
+		{NewBool(false), KindBool, "false"},
+		{NewURL("http://www.cnn.com"), KindURL, "http://www.cnn.com"},
+		{NewFile(FilePostScript, "p.ps"), KindFile, "p.ps"},
+		{Null, KindNull, ""},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.Text() != c.text {
+			t.Errorf("%v: text = %q, want %q", c.v, c.v.Text(), c.text)
+		}
+	}
+}
+
+func TestValuePayloads(t *testing.T) {
+	if NewInt(7).Int() != 7 {
+		t.Error("Int payload lost")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float payload lost")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool payload lost")
+	}
+	if NewNode("x").OID() != "x" {
+		t.Error("OID payload lost")
+	}
+	if NewFile(FileImage, "a.gif").FileType() != FileImage {
+		t.Error("FileType payload lost")
+	}
+	if NewString("s").Str() != "s" {
+		t.Error("Str payload lost")
+	}
+}
+
+func TestOIDPanicsOnAtom(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OID() on an atom should panic")
+		}
+	}()
+	NewInt(1).OID()
+}
+
+func TestIsPredicates(t *testing.T) {
+	if !NewNode("a").IsNode() || NewNode("a").IsAtom() {
+		t.Error("node predicates wrong")
+	}
+	if NewString("a").IsNode() || !NewString("a").IsAtom() {
+		t.Error("atom predicates wrong")
+	}
+	if !Null.IsNull() || Null.IsAtom() || Null.IsNode() {
+		t.Error("null predicates wrong")
+	}
+}
+
+func TestCompareCoercesNumerics(t *testing.T) {
+	// §2.1: values are coerced dynamically when compared at run time.
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1997), NewString("1997"), 0},
+		{NewInt(1996), NewString("1997"), -1},
+		{NewString("1998"), NewFloat(1997.5), 1},
+		{NewString("alpha"), NewString("beta"), -1},
+		{NewInt(5), NewInt(5), 0},
+		{NewBool(true), NewInt(1), 0},
+		{NewString(" 12 "), NewInt(12), 0}, // whitespace-tolerant coercion
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	vals := []Value{
+		NewInt(1), NewString("1"), NewString("x"), NewFloat(1.5),
+		NewBool(false), NewNode("a"), NewNode("b"), Null,
+		NewURL("u"), NewFile(FileText, "t"),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if Compare(a, b) != -Compare(b, a) {
+				t.Errorf("Compare(%v,%v) not antisymmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestEquiv(t *testing.T) {
+	if !Equiv(NewInt(3), NewString("3")) {
+		t.Error("int 3 should be equivalent to string \"3\"")
+	}
+	if Equiv(NewString("abc"), NewInt(3)) {
+		t.Error("non-numeric string should not equal int")
+	}
+	if !Equiv(NewNode("n"), NewNode("n")) {
+		t.Error("same node should be equivalent")
+	}
+	if Equiv(NewNode("n"), NewString("n")) {
+		t.Error("node must not coerce to string")
+	}
+}
+
+func TestKeyUniquenessProperty(t *testing.T) {
+	// Distinct strict values must have distinct keys; equal values equal keys.
+	f := func(a, b string, i, j int64) bool {
+		va, vb := NewString(a), NewString(b)
+		vi, vj := NewInt(i), NewInt(j)
+		if (va == vb) != (va.Key() == vb.Key()) {
+			return false
+		}
+		if (vi == vj) != (vi.Key() == vj.Key()) {
+			return false
+		}
+		// Cross-kind: a string never collides with an int key.
+		return va.Key() != vi.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseFileType(t *testing.T) {
+	for _, name := range []string{"text", "html", "image", "postscript"} {
+		ft, ok := ParseFileType(name)
+		if !ok || ft.String() != name {
+			t.Errorf("ParseFileType(%q) = %v, %v", name, ft, ok)
+		}
+	}
+	if _, ok := ParseFileType("nope"); ok {
+		t.Error("ParseFileType should reject unknown names")
+	}
+}
+
+func TestValueStringForms(t *testing.T) {
+	cases := map[string]Value{
+		`&pub1`:              NewNode("pub1"),
+		`"hi"`:               NewString("hi"),
+		`42`:                 NewInt(42),
+		`true`:               NewBool(true),
+		`url("http://x")`:    NewURL("http://x"),
+		`postscript("p.ps")`: NewFile(FilePostScript, "p.ps"),
+		`null`:               Null,
+	}
+	for want, v := range cases {
+		if v.String() != want {
+			t.Errorf("String() = %q, want %q", v.String(), want)
+		}
+	}
+}

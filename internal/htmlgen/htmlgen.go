@@ -1,0 +1,397 @@
+// Package htmlgen is Strudel's HTML generator (§2.4): it takes a site
+// graph and a set of HTML templates and produces the browsable web site.
+//
+// For every internal object the generator selects a template: (1) an
+// object-specific template, (2) the value of the object's HTML-template
+// attribute, or (3) the template associated with a collection the object
+// belongs to; a built-in attribute-listing template is the last resort.
+// Whether an object is realized as its own page or embedded into pages
+// that refer to it is decided here, at generation time, by how templates
+// reference it: plain references become links (and schedule the target as
+// a page); EMBED references inline the object's rendering.
+package htmlgen
+
+import (
+	"fmt"
+	"html"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"strudel/internal/graph"
+	"strudel/internal/template"
+)
+
+// Generator renders a site graph to HTML pages.
+type Generator struct {
+	Site      *graph.Graph
+	Templates *template.Set
+	// PerObject maps an oid to a template name (selection rule 1).
+	PerObject map[graph.OID]string
+	// PerPrefix maps an oid prefix (typically a Skolem function, e.g.
+	// "YearPage(") to a template name; the longest matching prefix wins.
+	// Checked after PerObject and before the HTML-template attribute.
+	PerPrefix map[string]string
+	// TemplateAttr is the attribute consulted by selection rule 2;
+	// defaults to "HTML-template".
+	TemplateAttr string
+	// PerCollection maps a collection name to a template name (rule 3).
+	PerCollection map[string]string
+	// Default names a template used when no rule matches; when empty, a
+	// built-in attribute listing is used.
+	Default string
+	// ReadFile resolves file atoms for EMBED; defaults to os.ReadFile.
+	ReadFile func(path string) ([]byte, error)
+}
+
+// New returns a generator over the site graph and templates.
+func New(site *graph.Graph, ts *template.Set) *Generator {
+	return &Generator{
+		Site:          site,
+		Templates:     ts,
+		PerObject:     map[graph.OID]string{},
+		PerPrefix:     map[string]string{},
+		PerCollection: map[string]string{},
+		TemplateAttr:  "HTML-template",
+		ReadFile:      os.ReadFile,
+	}
+}
+
+// Output is a generated site: page file names and their HTML.
+type Output struct {
+	// Pages maps file name → HTML text.
+	Pages map[string]string
+	// PageFiles maps realized object → its file name.
+	PageFiles map[graph.OID]string
+	// Contributors maps each page's object to every object whose content
+	// flowed into that page (itself, embedded objects, and objects whose
+	// attributes supplied anchor text). Incremental regeneration uses it
+	// to find the pages a site-graph change dirties.
+	Contributors map[graph.OID][]graph.OID
+}
+
+// WriteDir writes every page into dir, creating it as needed.
+func (o *Output) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("htmlgen: %w", err)
+	}
+	for name, content := range o.Pages {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return fmt.Errorf("htmlgen: write %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// PageCount returns the number of generated pages.
+func (o *Output) PageCount() int { return len(o.Pages) }
+
+// Generate renders the site starting from the root objects. The first
+// root becomes index.html. Every object referenced without EMBED from a
+// rendered page becomes a page of its own.
+func (g *Generator) Generate(roots []graph.OID) (*Output, error) {
+	out := &Output{
+		Pages:        map[string]string{},
+		PageFiles:    map[graph.OID]string{},
+		Contributors: map[graph.OID][]graph.OID{},
+	}
+	st := &genState{g: g, out: out, usedNames: map[string]bool{}}
+	for i, r := range roots {
+		if !g.Site.HasNode(r) {
+			return nil, fmt.Errorf("htmlgen: root %s is not in the site graph", r)
+		}
+		if i == 0 {
+			st.fileFor(r, "index.html")
+		}
+		st.schedule(r)
+	}
+	for len(st.queue) > 0 {
+		oid := st.queue[0]
+		st.queue = st.queue[1:]
+		if err := st.renderPage(oid); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Regenerate re-renders only the pages dirtied by the given changed
+// site-graph objects (the pages of those objects plus every page they
+// contributed content to), replacing them in the output in place. New
+// objects referenced by re-rendered pages are generated as usual.
+func (g *Generator) Regenerate(out *Output, changed []graph.OID) (pagesRedone int, err error) {
+	changedSet := map[graph.OID]bool{}
+	for _, c := range changed {
+		changedSet[c] = true
+	}
+	dirty := map[graph.OID]bool{}
+	for page, contribs := range out.Contributors {
+		for _, c := range contribs {
+			if changedSet[c] {
+				dirty[page] = true
+				break
+			}
+		}
+	}
+	for _, c := range changed {
+		if _, isPage := out.PageFiles[c]; isPage {
+			dirty[c] = true
+		}
+	}
+	st := &genState{g: g, out: out, usedNames: map[string]bool{}}
+	for name := range out.Pages {
+		st.usedNames[name] = true
+	}
+	pages := make([]graph.OID, 0, len(dirty))
+	for oid := range dirty {
+		pages = append(pages, oid)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, oid := range pages {
+		if !g.Site.HasNode(oid) {
+			// The object vanished from the site graph: drop its page.
+			delete(out.Pages, out.PageFiles[oid])
+			delete(out.PageFiles, oid)
+			delete(out.Contributors, oid)
+			continue
+		}
+		st.queue = append(st.queue, oid)
+	}
+	for len(st.queue) > 0 {
+		oid := st.queue[0]
+		st.queue = st.queue[1:]
+		if _, done := out.Pages[out.PageFiles[oid]]; done && !dirty[oid] {
+			continue // an existing clean page referenced by a dirty one
+		}
+		if err := st.renderPage(oid); err != nil {
+			return pagesRedone, err
+		}
+		pagesRedone++
+	}
+	return pagesRedone, nil
+}
+
+// renderPage renders one page, recording its contributor set.
+func (st *genState) renderPage(oid graph.OID) error {
+	// The page's own object is on the embed stack so that embedding
+	// cycles back to the page degrade to links.
+	st.embedStack = append(st.embedStack[:0], oid)
+	st.contributors = map[graph.OID]bool{oid: true}
+	htmlText, err := st.render(oid)
+	if err != nil {
+		return err
+	}
+	st.out.Pages[st.out.PageFiles[oid]] = htmlText
+	contribs := make([]graph.OID, 0, len(st.contributors))
+	for c := range st.contributors {
+		contribs = append(contribs, c)
+	}
+	sort.Slice(contribs, func(i, j int) bool { return contribs[i] < contribs[j] })
+	st.out.Contributors[oid] = contribs
+	return nil
+}
+
+type genState struct {
+	g          *Generator
+	out        *Output
+	queue      []graph.OID
+	usedNames  map[string]bool
+	embedStack []graph.OID
+	// contributors collects, while one page renders, every object whose
+	// content flowed into it.
+	contributors map[graph.OID]bool
+}
+
+// fileFor assigns (or returns) the page file name of an object.
+func (st *genState) fileFor(oid graph.OID, preferred string) string {
+	if name, ok := st.out.PageFiles[oid]; ok {
+		return name
+	}
+	name := preferred
+	if name == "" {
+		name = sanitizeFile(string(oid)) + ".html"
+	}
+	for n := 2; st.usedNames[name]; n++ {
+		name = fmt.Sprintf("%s-%d.html", strings.TrimSuffix(name, ".html"), n)
+	}
+	st.usedNames[name] = true
+	st.out.PageFiles[oid] = name
+	return name
+}
+
+// schedule ensures the object will be rendered as a page.
+func (st *genState) schedule(oid graph.OID) string {
+	name, known := st.out.PageFiles[oid]
+	if !known {
+		name = st.fileFor(oid, "")
+	}
+	if _, done := st.out.Pages[name]; !done && !st.queued(oid) {
+		st.queue = append(st.queue, oid)
+	}
+	return name
+}
+
+func (st *genState) queued(oid graph.OID) bool {
+	for _, q := range st.queue {
+		if q == oid {
+			return true
+		}
+	}
+	return false
+}
+
+// render renders one object through its selected template.
+func (st *genState) render(oid graph.OID) (string, error) {
+	t := st.selectTemplate(oid)
+	if t == nil {
+		return st.defaultRender(oid)
+	}
+	return template.Render(t, oid, st.g.Site, st)
+}
+
+// selectTemplate applies the paper's three selection rules, then the
+// default.
+func (st *genState) selectTemplate(oid graph.OID) *template.Template {
+	if name, ok := st.g.PerObject[oid]; ok {
+		if t := st.g.Templates.Get(name); t != nil {
+			return t
+		}
+	}
+	var bestPrefix, bestName string
+	for prefix, name := range st.g.PerPrefix {
+		if strings.HasPrefix(string(oid), prefix) && len(prefix) > len(bestPrefix) {
+			bestPrefix, bestName = prefix, name
+		}
+	}
+	if bestName != "" {
+		if t := st.g.Templates.Get(bestName); t != nil {
+			return t
+		}
+	}
+	if v := st.g.Site.First(oid, st.g.TemplateAttr); v.Kind() == graph.KindString {
+		if t := st.g.Templates.Get(v.Str()); t != nil {
+			return t
+		}
+	}
+	for _, coll := range st.g.Site.CollectionsOf(oid) {
+		if name, ok := st.g.PerCollection[coll]; ok {
+			if t := st.g.Templates.Get(name); t != nil {
+				return t
+			}
+		}
+	}
+	if st.g.Default != "" {
+		if t := st.g.Templates.Get(st.g.Default); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// defaultRender is the built-in attribute listing used when no template
+// matches.
+func (st *genState) defaultRender(oid graph.OID) (string, error) {
+	var b strings.Builder
+	title := html.EscapeString(string(oid))
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n<h1>%s</h1>\n<dl>\n", title, title)
+	for _, e := range st.g.Site.Out(oid) {
+		var rendered string
+		var err error
+		if e.To.IsNode() {
+			rendered, err = st.RenderRef(e.To.OID(), string(e.To.OID()))
+		} else {
+			rendered = html.EscapeString(e.To.Text())
+		}
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "<dt>%s</dt><dd>%s</dd>\n", html.EscapeString(e.Label), rendered)
+	}
+	b.WriteString("</dl>\n</body></html>\n")
+	return b.String(), nil
+}
+
+// LookupTemplate resolves SINCLUDE names against the generator's set.
+func (st *genState) LookupTemplate(name string) *template.Template {
+	return st.g.Templates.Get(name)
+}
+
+// RenderRef links to the object's page, scheduling it for rendering. The
+// target contributes to the current page (its attributes supplied the
+// anchor text, and its file name is baked into the link).
+func (st *genState) RenderRef(oid graph.OID, anchorText string) (string, error) {
+	name := st.schedule(oid)
+	if st.contributors != nil {
+		st.contributors[oid] = true
+	}
+	return fmt.Sprintf(`<a href="%s">%s</a>`, name, html.EscapeString(anchorText)), nil
+}
+
+// RenderEmbed renders the object's template inline. Embedding cycles fall
+// back to a reference so generation always terminates.
+func (st *genState) RenderEmbed(oid graph.OID) (string, error) {
+	for _, on := range st.embedStack {
+		if on == oid {
+			return st.RenderRef(oid, string(oid))
+		}
+	}
+	st.embedStack = append(st.embedStack, oid)
+	defer func() { st.embedStack = st.embedStack[:len(st.embedStack)-1] }()
+	if st.contributors != nil {
+		st.contributors[oid] = true
+	}
+	return st.render(oid)
+}
+
+// RenderFile resolves file atoms. Embedded text files are escaped;
+// embedded HTML files pass through raw; images become img tags; anything
+// else links to the file path.
+func (st *genState) RenderFile(v graph.Value, embed bool) (string, error) {
+	path := v.Str()
+	if embed {
+		switch v.FileType() {
+		case graph.FileText, graph.FileHTML:
+			data, err := st.g.ReadFile(path)
+			if err != nil {
+				return fmt.Sprintf("<!-- missing file %s -->", html.EscapeString(path)), nil
+			}
+			if v.FileType() == graph.FileHTML {
+				return string(data), nil
+			}
+			return html.EscapeString(string(data)), nil
+		}
+	}
+	esc := html.EscapeString(path)
+	if v.FileType() == graph.FileImage {
+		return fmt.Sprintf(`<img src="%s">`, esc), nil
+	}
+	return fmt.Sprintf(`<a href="%s">%s</a>`, esc, esc), nil
+}
+
+func sanitizeFile(s string) string {
+	mapped := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+	const maxName = 100
+	if len(mapped) > maxName {
+		mapped = mapped[:maxName]
+	}
+	return mapped
+}
+
+// SortedPageNames returns the generated page names, sorted, for stable
+// reporting.
+func (o *Output) SortedPageNames() []string {
+	names := make([]string, 0, len(o.Pages))
+	for n := range o.Pages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,183 @@
+package htmlgen
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+	"strudel/internal/template"
+)
+
+// regenSite builds the fixture site graph: a root listing two item
+// pages, one of which embeds a shared box. Overrides replace attribute
+// values, standing in for a re-evaluated site graph.
+func regenSite(overrides map[string]string) *graph.Graph {
+	val := func(key, dflt string) string {
+		if v, ok := overrides[key]; ok {
+			return v
+		}
+		return dflt
+	}
+	site := graph.New()
+	site.AddEdge("root", "title", graph.NewString("Home"))
+	site.AddEdge("root", "item", graph.NewNode("a"))
+	site.AddEdge("root", "item", graph.NewNode("b"))
+	site.AddEdge("a", "title", graph.NewString(val("a.title", "Item A")))
+	site.AddEdge("b", "title", graph.NewString(val("b.title", "Item B")))
+	site.AddEdge("a", "box", graph.NewNode("shared"))
+	site.AddEdge("shared", "note", graph.NewString(val("shared.note", "v1")))
+	return site
+}
+
+// regenFixture wires templates around the fixture site.
+func regenFixture(t *testing.T) (*Generator, *graph.Graph) {
+	t.Helper()
+	site := regenSite(nil)
+	ts := template.NewSet()
+	ts.MustAdd("root", `<h1><SFMT title></h1><SFMT item UL TEXT=title>`)
+	ts.MustAdd("item", `<h2><SFMT title></h2><SIF box><SFMT box EMBED></SIF>`)
+	ts.MustAdd("box", `[note: <SFMT note>]`)
+	g := New(site, ts)
+	g.PerObject["root"] = "root"
+	g.PerObject["a"] = "item"
+	g.PerObject["b"] = "item"
+	g.PerObject["shared"] = "box"
+	return g, site
+}
+
+func TestContributorsRecorded(t *testing.T) {
+	g, _ := regenFixture(t)
+	out, err := g.Generate([]graph.OID{"root"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page a embeds shared, so shared contributes to a.
+	contribs := strings.Builder{}
+	for _, c := range out.Contributors["a"] {
+		contribs.WriteString(string(c) + ",")
+	}
+	if !strings.Contains(contribs.String(), "shared") {
+		t.Errorf("a's contributors = %s", contribs.String())
+	}
+	// Root's anchors read item titles: a and b contribute to root.
+	var rootHasA bool
+	for _, c := range out.Contributors["root"] {
+		if c == "a" {
+			rootHasA = true
+		}
+	}
+	if !rootHasA {
+		t.Errorf("root's contributors = %v", out.Contributors["root"])
+	}
+}
+
+func TestRegenerateOnlyDirtyPages(t *testing.T) {
+	g, site := regenFixture(t)
+	out, err := g.Generate([]graph.OID{"root"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]string{}
+	for n, p := range out.Pages {
+		before[n] = p
+	}
+	// Change the shared box's note by swapping in a freshly evaluated
+	// site graph (the pipeline rebuilds site graphs; it never mutates
+	// them in place).
+	_ = site
+	g.Site = regenSite(map[string]string{"shared.note": "v2"})
+	n, err := g.Regenerate(out, []graph.OID{"shared"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty pages: shared's own page (it was realized? no — embedded only,
+	// so no page) and a's page, which embeds it. Root and b are clean.
+	if n != 1 {
+		t.Errorf("redone %d pages, want 1 (only a)", n)
+	}
+	aPage := out.Pages[out.PageFiles["a"]]
+	if !strings.Contains(aPage, "v2") {
+		t.Errorf("a not re-rendered:\n%s", aPage)
+	}
+	if out.Pages["index.html"] != before["index.html"] {
+		t.Error("root should be untouched")
+	}
+	if out.Pages[out.PageFiles["b"]] != before[out.PageFiles["b"]] {
+		t.Error("b should be untouched")
+	}
+}
+
+func TestRegenerateAnchorTextChange(t *testing.T) {
+	g, site := regenFixture(t)
+	out, err := g.Generate([]graph.OID{"root"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b's title feeds root's anchor text: changing b dirties root and b.
+	_ = site
+	g.Site = regenSite(map[string]string{"b.title": "Item B renamed"})
+	n, err := g.Regenerate(out, []graph.OID{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("redone %d pages, want 2 (root + b)", n)
+	}
+	if !strings.Contains(out.Pages["index.html"], "Item B renamed") {
+		t.Error("root anchor not refreshed")
+	}
+}
+
+func TestRegenerateVanishedObjectDropsPage(t *testing.T) {
+	g, _ := regenFixture(t)
+	out, err := g.Generate([]graph.OID{"root"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a rebuilt site graph without b.
+	site2 := graph.New()
+	site2.AddEdge("root", "title", graph.NewString("Home"))
+	site2.AddEdge("root", "item", graph.NewNode("a"))
+	site2.AddEdge("a", "title", graph.NewString("Item A"))
+	site2.AddEdge("a", "box", graph.NewNode("shared"))
+	site2.AddEdge("shared", "note", graph.NewString("v1"))
+	g.Site = site2
+	bFile := out.PageFiles["b"]
+	if _, err := g.Regenerate(out, []graph.OID{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, still := out.Pages[bFile]; still {
+		t.Error("vanished object's page should be dropped")
+	}
+	if !strings.Contains(out.Pages["index.html"], "Item A") {
+		t.Error("root should re-render without b")
+	}
+	if strings.Contains(out.Pages["index.html"], "Item B") {
+		t.Errorf("root still lists b:\n%s", out.Pages["index.html"])
+	}
+}
+
+func TestRegenerateMatchesFullGeneration(t *testing.T) {
+	// After any regeneration, the output must equal a from-scratch
+	// generation over the same site graph.
+	g, site := regenFixture(t)
+	out, err := g.Generate([]graph.OID{"root"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = site
+	g.Site = regenSite(map[string]string{"shared.note": "v3", "a.title": "Item A v3"})
+	if _, err := g.Regenerate(out, []graph.OID{"shared", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := g.Generate([]graph.OID{"root"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range fresh.Pages {
+		if out.Pages[name] != want {
+			t.Errorf("page %s differs after regeneration:\n--- incremental\n%s\n--- fresh\n%s",
+				name, out.Pages[name], want)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package mediator implements Strudel's data-integration component
+// (§2.1): it provides a uniform view of all underlying data, irrespective
+// of where it is stored, by warehousing wrapped sources into one data
+// graph in the repository.
+//
+// The relationship between the mediated schema and each source follows
+// the global-as-view (GAV) approach the paper chose: each source carries
+// an optional mapping query — a StruQL query over the source's graph —
+// whose result contributes to the mediated data graph; sources without a
+// mapping contribute their graph directly. Warehousing (rather than
+// on-demand access) matches the prototype's choice for small, slowly
+// changing source sets.
+//
+// Refresh re-runs one source's wrapper, recomputes its contribution, and
+// reports the delta, which drives incremental site re-evaluation
+// (package dynamic, experiment E8).
+package mediator
+
+import (
+	"fmt"
+	"sort"
+
+	"strudel/internal/graph"
+	"strudel/internal/repo"
+	"strudel/internal/struql"
+)
+
+// Source is one external data source behind a wrapper.
+type Source struct {
+	// Name identifies the source in the mediator.
+	Name string
+	// Load invokes the wrapper and returns the source's graph.
+	Load func() (*graph.Graph, error)
+	// Mapping, when non-nil, is the GAV query evaluated over the loaded
+	// graph; its result is the source's contribution to the mediated
+	// graph. A nil mapping contributes the loaded graph unchanged.
+	Mapping *struql.Query
+}
+
+// Mediator integrates a set of sources into one mediated data graph.
+type Mediator struct {
+	sources []Source
+	// contributions caches each source's current contribution.
+	contributions map[string]*graph.Graph
+}
+
+// New returns a mediator over the given sources. Source names must be
+// unique.
+func New(sources ...Source) (*Mediator, error) {
+	seen := map[string]bool{}
+	for _, s := range sources {
+		if s.Name == "" || s.Load == nil {
+			return nil, fmt.Errorf("mediator: source needs a name and a Load function")
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("mediator: duplicate source %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return &Mediator{sources: sources, contributions: map[string]*graph.Graph{}}, nil
+}
+
+// SourceNames returns the configured source names, in order.
+func (m *Mediator) SourceNames() []string {
+	names := make([]string, len(m.sources))
+	for i, s := range m.sources {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// contribution loads one source and applies its mapping.
+func (m *Mediator) contribution(s Source) (*graph.Graph, error) {
+	g, err := s.Load()
+	if err != nil {
+		return nil, fmt.Errorf("mediator: source %s: %w", s.Name, err)
+	}
+	if s.Mapping == nil {
+		return g, nil
+	}
+	r, err := struql.Eval(s.Mapping, struql.NewGraphSource(g), nil)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: source %s: mapping: %w", s.Name, err)
+	}
+	return r.Graph, nil
+}
+
+// Warehouse loads every source and merges the contributions into one
+// indexed data graph (the repository's "data graph").
+func (m *Mediator) Warehouse() (*repo.Indexed, error) {
+	merged := graph.New()
+	for _, s := range m.sources {
+		c, err := m.contribution(s)
+		if err != nil {
+			return nil, err
+		}
+		m.contributions[s.Name] = c
+		merged.Merge(c)
+	}
+	return repo.NewIndexed(merged), nil
+}
+
+// DataGraph returns the merged graph of the current contributions
+// without reloading sources; Warehouse must have run.
+func (m *Mediator) DataGraph() *graph.Graph {
+	merged := graph.New()
+	for _, s := range m.sources {
+		if c, ok := m.contributions[s.Name]; ok {
+			merged.Merge(c)
+		}
+	}
+	return merged
+}
+
+// Delta describes the difference between two versions of a graph.
+type Delta struct {
+	AddedEdges   []graph.Edge
+	RemovedEdges []graph.Edge
+	// AddedMembers and RemovedMembers record collection-membership
+	// changes as (collection, oid) pairs.
+	AddedMembers   []Membership
+	RemovedMembers []Membership
+}
+
+// Membership is one (collection, member) pair.
+type Membership struct {
+	Coll string
+	OID  graph.OID
+}
+
+// Empty reports whether the delta contains no changes.
+func (d *Delta) Empty() bool {
+	return len(d.AddedEdges) == 0 && len(d.RemovedEdges) == 0 &&
+		len(d.AddedMembers) == 0 && len(d.RemovedMembers) == 0
+}
+
+// Size returns the total number of recorded changes.
+func (d *Delta) Size() int {
+	return len(d.AddedEdges) + len(d.RemovedEdges) + len(d.AddedMembers) + len(d.RemovedMembers)
+}
+
+// Diff computes new − old and old − new for edges and memberships.
+func Diff(old, new *graph.Graph) *Delta {
+	d := &Delta{}
+	oldEdges := map[graph.Edge]bool{}
+	old.Edges(func(e graph.Edge) bool { oldEdges[e] = true; return true })
+	new.Edges(func(e graph.Edge) bool {
+		if !oldEdges[e] {
+			d.AddedEdges = append(d.AddedEdges, e)
+		} else {
+			delete(oldEdges, e)
+		}
+		return true
+	})
+	removed := make([]graph.Edge, 0, len(oldEdges))
+	for e := range oldEdges {
+		removed = append(removed, e)
+	}
+	sort.Slice(removed, func(i, j int) bool {
+		a, b := removed[i], removed[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.To.Key() < b.To.Key()
+	})
+	d.RemovedEdges = removed
+	memberSet := func(g *graph.Graph) map[Membership]bool {
+		set := map[Membership]bool{}
+		for _, coll := range g.CollectionNames() {
+			for _, m := range g.Collection(coll) {
+				set[Membership{coll, m}] = true
+			}
+		}
+		return set
+	}
+	om, nm := memberSet(old), memberSet(new)
+	for mem := range nm {
+		if !om[mem] {
+			d.AddedMembers = append(d.AddedMembers, mem)
+		}
+	}
+	for mem := range om {
+		if !nm[mem] {
+			d.RemovedMembers = append(d.RemovedMembers, mem)
+		}
+	}
+	sortMembers := func(ms []Membership) {
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].Coll != ms[j].Coll {
+				return ms[i].Coll < ms[j].Coll
+			}
+			return ms[i].OID < ms[j].OID
+		})
+	}
+	sortMembers(d.AddedMembers)
+	sortMembers(d.RemovedMembers)
+	return d
+}
+
+// Refresh reloads one source, replaces its contribution, and returns the
+// delta of that source's contribution (empty when nothing changed).
+func (m *Mediator) Refresh(name string) (*Delta, error) {
+	for _, s := range m.sources {
+		if s.Name != name {
+			continue
+		}
+		old, ok := m.contributions[name]
+		if !ok {
+			old = graph.New()
+		}
+		c, err := m.contribution(s)
+		if err != nil {
+			return nil, err
+		}
+		m.contributions[name] = c
+		return Diff(old, c), nil
+	}
+	return nil, fmt.Errorf("mediator: unknown source %q", name)
+}

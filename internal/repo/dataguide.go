@@ -1,0 +1,166 @@
+package repo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// DataGuide is a strong dataguide over a graph: a deterministic summary
+// in which every distinct label path from the roots appears exactly once.
+// It is the structure-discovery technique §7 calls for when "schema
+// information is missing or changes frequently": the repository can
+// derive a schema after the fact instead of requiring one up front, and
+// site builders can inspect what paths actually occur before writing
+// queries against them.
+type DataGuide struct {
+	// Root is the index of the root guide node in Nodes.
+	Root int
+	// Nodes holds, per guide node, the outgoing labels → guide-node index.
+	Nodes []map[string]int
+	// Annotations counts, per guide node, how many graph objects and
+	// atoms the node summarizes.
+	Annotations []int
+}
+
+// BuildDataGuide computes the strong dataguide of the subgraph reachable
+// from the given roots (all collection members when roots is empty),
+// using the classic determinization-style construction: each guide node
+// corresponds to a set of graph objects, and following label l from a
+// guide node leads to the guide node for the set of all l-targets.
+func BuildDataGuide(src interface {
+	Out(graph.OID) []graph.Edge
+	CollectionNames() []string
+	Collection(string) []graph.OID
+}, roots []graph.OID) *DataGuide {
+	if len(roots) == 0 {
+		seen := map[graph.OID]bool{}
+		for _, c := range src.CollectionNames() {
+			for _, m := range src.Collection(c) {
+				if !seen[m] {
+					seen[m] = true
+					roots = append(roots, m)
+				}
+			}
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	}
+	dg := &DataGuide{}
+	memo := map[string]int{}
+	var build func(set []graph.OID, atoms int) int
+	build = func(set []graph.OID, atoms int) int {
+		key := oidSetKey(set)
+		if idx, ok := memo[key]; ok {
+			return idx
+		}
+		idx := len(dg.Nodes)
+		memo[key] = idx
+		dg.Nodes = append(dg.Nodes, nil)
+		dg.Annotations = append(dg.Annotations, len(set)+atoms)
+		// Group targets by label.
+		byLabel := map[string][]graph.OID{}
+		atomCount := map[string]int{}
+		seenPer := map[string]map[graph.OID]bool{}
+		for _, oid := range set {
+			for _, e := range src.Out(oid) {
+				if e.To.IsNode() {
+					if seenPer[e.Label] == nil {
+						seenPer[e.Label] = map[graph.OID]bool{}
+					}
+					if !seenPer[e.Label][e.To.OID()] {
+						seenPer[e.Label][e.To.OID()] = true
+						byLabel[e.Label] = append(byLabel[e.Label], e.To.OID())
+					}
+				} else {
+					atomCount[e.Label]++
+				}
+			}
+		}
+		labels := make([]string, 0, len(byLabel)+len(atomCount))
+		for l := range byLabel {
+			labels = append(labels, l)
+		}
+		for l := range atomCount {
+			if _, dup := byLabel[l]; !dup {
+				labels = append(labels, l)
+			}
+		}
+		sort.Strings(labels)
+		out := make(map[string]int, len(labels))
+		for _, l := range labels {
+			targets := byLabel[l]
+			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+			out[l] = build(targets, atomCount[l])
+		}
+		dg.Nodes[idx] = out
+		return idx
+	}
+	dg.Root = build(roots, 0)
+	return dg
+}
+
+func oidSetKey(set []graph.OID) string {
+	var b strings.Builder
+	for _, oid := range set {
+		b.WriteString(string(oid))
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// Paths returns every distinct label path in the guide up to maxDepth,
+// sorted — the "what can I query?" view of a schema-less graph.
+func (dg *DataGuide) Paths(maxDepth int) []string {
+	var out []string
+	var walk func(node int, prefix string, depth int, onPath map[int]bool)
+	walk = func(node int, prefix string, depth int, onPath map[int]bool) {
+		if depth >= maxDepth || onPath[node] {
+			return
+		}
+		onPath[node] = true
+		defer delete(onPath, node)
+		labels := make([]string, 0, len(dg.Nodes[node]))
+		for l := range dg.Nodes[node] {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			p := prefix + l
+			out = append(out, p)
+			walk(dg.Nodes[node][l], p+".", depth+1, onPath)
+		}
+	}
+	walk(dg.Root, "", 0, map[int]bool{})
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of guide nodes.
+func (dg *DataGuide) Size() int { return len(dg.Nodes) }
+
+// String renders the guide as an indented tree (cycles cut).
+func (dg *DataGuide) String() string {
+	var b strings.Builder
+	var walk func(node, depth int, onPath map[int]bool)
+	walk = func(node, depth int, onPath map[int]bool) {
+		if depth > 8 || onPath[node] {
+			return
+		}
+		onPath[node] = true
+		defer delete(onPath, node)
+		labels := make([]string, 0, len(dg.Nodes[node]))
+		for l := range dg.Nodes[node] {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			child := dg.Nodes[node][l]
+			fmt.Fprintf(&b, "%s%s (%d)\n", strings.Repeat("  ", depth), l, dg.Annotations[child])
+			walk(child, depth+1, onPath)
+		}
+	}
+	walk(dg.Root, 0, map[int]bool{})
+	return b.String()
+}

@@ -1,0 +1,25 @@
+package repo
+
+import "testing"
+
+// FuzzDecodeBinary: arbitrary bytes must never panic the decoder, and
+// anything it accepts must re-encode to a decodable form.
+func FuzzDecodeBinary(f *testing.F) {
+	f.Add(EncodeBinary(sampleGraph()))
+	f.Add(EncodeBinary(allKindsGraph()))
+	f.Add([]byte("SGB1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		g2, err := DecodeBinary(EncodeBinary(g))
+		if err != nil {
+			t.Fatalf("re-encode of accepted graph failed: %v", err)
+		}
+		if g.Dump() != g2.Dump() {
+			t.Fatal("re-encode round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,177 @@
+// Package repo implements Strudel's data repository for semistructured
+// data (§2.1). Unlike repositories in traditional relational or
+// object-oriented systems, it cannot rely on schema information to organize
+// data, so it fully indexes both the schema and the data: one index holds
+// the names of all collections and attributes in a graph, others hold the
+// extents of each collection and attribute, and an index on atomic values
+// is global to the graph rather than per collection or attribute. The paper
+// notes that maintaining these indexes is expensive but that they pay for
+// themselves in query evaluation — benchmark E6 reproduces both halves of
+// that claim.
+package repo
+
+import (
+	"sort"
+
+	"strudel/internal/graph"
+)
+
+// Indexed wraps a graph with the repository's full set of indexes. It
+// satisfies struql.Source, so queries run against it take indexed paths the
+// plain graph cannot offer. Mutations must go through Indexed's methods so
+// the indexes stay consistent. Not safe for concurrent mutation.
+type Indexed struct {
+	g *graph.Graph
+
+	byLabel  map[string][]graph.Edge // attribute extent: label → edges
+	byValue  map[string][]graph.Edge // global value index: value key → edges targeting it
+	inEdges  map[graph.OID][]graph.Edge
+	labelSet []string // sorted cache, invalidated on new label
+	dirty    bool
+}
+
+// NewIndexed builds all indexes over g. The graph is adopted, not copied;
+// callers must mutate it only through Indexed afterwards.
+func NewIndexed(g *graph.Graph) *Indexed {
+	ix := &Indexed{
+		g:       g,
+		byLabel: make(map[string][]graph.Edge),
+		byValue: make(map[string][]graph.Edge),
+		inEdges: make(map[graph.OID][]graph.Edge),
+	}
+	g.Edges(func(e graph.Edge) bool {
+		ix.index(e)
+		return true
+	})
+	ix.dirty = true
+	return ix
+}
+
+// Empty returns an Indexed over a fresh empty graph.
+func Empty() *Indexed { return NewIndexed(graph.New()) }
+
+func (ix *Indexed) index(e graph.Edge) {
+	if _, known := ix.byLabel[e.Label]; !known {
+		ix.dirty = true
+	}
+	ix.byLabel[e.Label] = append(ix.byLabel[e.Label], e)
+	if e.To.IsNode() {
+		ix.inEdges[e.To.OID()] = append(ix.inEdges[e.To.OID()], e)
+	} else {
+		key := e.To.Key()
+		ix.byValue[key] = append(ix.byValue[key], e)
+	}
+}
+
+// Graph exposes the underlying graph for read-only use.
+func (ix *Indexed) Graph() *graph.Graph { return ix.g }
+
+// AddEdge inserts an edge, maintaining every index. It reports whether the
+// edge was new.
+func (ix *Indexed) AddEdge(from graph.OID, label string, to graph.Value) bool {
+	if !ix.g.AddEdge(from, label, to) {
+		return false
+	}
+	ix.index(graph.Edge{From: from, Label: label, To: to})
+	return true
+}
+
+// AddNode ensures the node exists.
+func (ix *Indexed) AddNode(oid graph.OID) { ix.g.AddNode(oid) }
+
+// AddToCollection adds oid to the named collection.
+func (ix *Indexed) AddToCollection(coll string, oid graph.OID) {
+	ix.g.AddToCollection(coll, oid)
+}
+
+// Merge indexes and inserts every edge, node, and membership of other.
+func (ix *Indexed) Merge(other *graph.Graph) {
+	for _, oid := range other.Nodes() {
+		ix.g.AddNode(oid)
+	}
+	other.Edges(func(e graph.Edge) bool {
+		ix.AddEdge(e.From, e.Label, e.To)
+		return true
+	})
+	for _, coll := range other.CollectionNames() {
+		ix.g.DeclareCollection(coll)
+		for _, m := range other.Collection(coll) {
+			ix.g.AddToCollection(coll, m)
+		}
+	}
+}
+
+// --- struql.Source interface ---
+
+// Collection returns the members of coll, sorted.
+func (ix *Indexed) Collection(name string) []graph.OID { return ix.g.Collection(name) }
+
+// InCollection reports membership.
+func (ix *Indexed) InCollection(name string, oid graph.OID) bool {
+	return ix.g.InCollection(name, oid)
+}
+
+// CollectionNames returns all collection names, sorted.
+func (ix *Indexed) CollectionNames() []string { return ix.g.CollectionNames() }
+
+// CollectionSize returns the extent size of a collection.
+func (ix *Indexed) CollectionSize(name string) int { return ix.g.CollectionSize(name) }
+
+// Out returns oid's outgoing edges, sorted.
+func (ix *Indexed) Out(oid graph.OID) []graph.Edge { return ix.g.Out(oid) }
+
+// OutLabel returns the values of oid's edges with the given label.
+func (ix *Indexed) OutLabel(oid graph.OID, label string) []graph.Value {
+	return ix.g.OutLabel(oid, label)
+}
+
+// EdgesLabeled returns every edge with the given label, via the attribute
+// extent index.
+func (ix *Indexed) EdgesLabeled(label string) []graph.Edge {
+	edges := ix.byLabel[label]
+	out := make([]graph.Edge, len(edges))
+	copy(out, edges)
+	return out
+}
+
+// In returns every edge whose target equals v: node in-edges via the
+// in-edge index, atoms via the global value index.
+func (ix *Indexed) In(v graph.Value) []graph.Edge {
+	var edges []graph.Edge
+	if v.IsNode() {
+		edges = ix.inEdges[v.OID()]
+	} else {
+		edges = ix.byValue[v.Key()]
+	}
+	out := make([]graph.Edge, len(edges))
+	copy(out, edges)
+	return out
+}
+
+// Nodes returns all node OIDs, sorted.
+func (ix *Indexed) Nodes() []graph.OID { return ix.g.Nodes() }
+
+// Labels returns every attribute name, sorted — the schema index.
+func (ix *Indexed) Labels() []string {
+	if ix.dirty {
+		ix.labelSet = ix.labelSet[:0]
+		for l := range ix.byLabel {
+			ix.labelSet = append(ix.labelSet, l)
+		}
+		sort.Strings(ix.labelSet)
+		ix.dirty = false
+	}
+	out := make([]string, len(ix.labelSet))
+	copy(out, ix.labelSet)
+	return out
+}
+
+// LabelCount returns the number of edges with the given label, an optimizer
+// statistic.
+func (ix *Indexed) LabelCount(label string) int { return len(ix.byLabel[label]) }
+
+// NumEdges returns the total number of edges.
+func (ix *Indexed) NumEdges() int { return ix.g.NumEdges() }
+
+// NumNodes returns the total number of nodes.
+func (ix *Indexed) NumNodes() int { return ix.g.NumNodes() }

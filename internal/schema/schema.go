@@ -1,0 +1,340 @@
+// Package schema derives site schemas from StruQL queries (§2.5, Fig. 7).
+//
+// A site schema is an equivalent reformulation of a site-definition query
+// as a labeled graph specifying the possible paths in any web site the
+// query generates. It has one node per Skolem function symbol in the query
+// plus a special NS node for non-Skolem targets (variables and constants).
+// For every link expression F(X̄) -> L -> G(Ȳ) there is an edge N_F → N_G
+// labeled (Q, L, X̄, Ȳ), where Q is the conjunction of the where clauses
+// governing the link (nested blocks conjoin with their ancestors).
+//
+// Site schemas are a visual summary of a site graph during iterative
+// design, the basis of integrity-constraint verification (package
+// constraints), and the basis of dynamic, "click-time" site evaluation
+// (package dynamic): the query is recoverable from its schema, and the
+// out-edges of one page are computable from the schema edges alone.
+//
+// Limitation: blocks using the aggregate extension record only their
+// where conjunction here; RecoverQuery and dynamic evaluation do not
+// replay the grouping, so queries with aggregates should be evaluated
+// statically.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"strudel/internal/struql"
+)
+
+// NS is the name of the special schema node standing for non-Skolem
+// targets: data-graph nodes, atoms, and arc-variable values.
+const NS = "NS"
+
+// Edge is one site-schema edge: the promise that pages created by Skolem
+// function From carry an edge with the given label to pages created by To
+// (or to non-Skolem values when To == NS) whenever the conjunction Where
+// holds.
+type Edge struct {
+	From     string
+	FromArgs []string
+	// To is a Skolem function name, or NS.
+	To     string
+	ToArgs []string // Skolem args; for NS, the single variable/constant text
+	Label  struql.LabelSpec
+	// Where is the governing conjunction: the block's where conditions
+	// prefixed by every ancestor's.
+	Where []struql.Cond
+	// WhereID names the conjunction for display, e.g. "Q1∧Q2".
+	WhereID string
+}
+
+// Creation records one context in which a Skolem node is created: the
+// create (or implicit link/collect) clause's governing conjunction and the
+// argument variables.
+type Creation struct {
+	Fn      string
+	Args    []string
+	Where   []struql.Cond
+	WhereID string
+}
+
+// Collect records an output-collection clause and its governing context.
+type Collect struct {
+	Coll    string
+	Target  string // Skolem fn name, or NS
+	Args    []string
+	Where   []struql.Cond
+	WhereID string
+}
+
+// Schema is a site schema.
+type Schema struct {
+	// Nodes are the Skolem function names, sorted, plus NS if any edge
+	// targets a non-Skolem value.
+	Nodes     []string
+	Edges     []Edge
+	Creations []Creation
+	Collects  []Collect
+	// QueryIDs maps a where-conjunction ID like "Q1" to its printed
+	// conditions, for legends.
+	QueryIDs map[string]string
+}
+
+// Build derives the site schema of a query.
+func Build(q *struql.Query) *Schema {
+	b := &builder{s: &Schema{QueryIDs: map[string]string{}}, seen: map[string]bool{}}
+	for _, blk := range q.Blocks {
+		b.walk(blk, nil, nil)
+	}
+	sort.Strings(b.s.Nodes)
+	return b.s
+}
+
+type builder struct {
+	s    *Schema
+	seen map[string]bool
+	qnum int
+}
+
+func (b *builder) node(name string) {
+	if !b.seen[name] {
+		b.seen[name] = true
+		b.s.Nodes = append(b.s.Nodes, name)
+	}
+}
+
+// walk descends the block tree carrying the ancestor conjunction and its
+// ID parts.
+func (b *builder) walk(blk *struql.Block, conds []struql.Cond, ids []string) {
+	conj := conds
+	idParts := ids
+	if len(blk.Where) > 0 {
+		b.qnum++
+		id := fmt.Sprintf("Q%d", b.qnum)
+		var parts []string
+		for _, c := range blk.Where {
+			parts = append(parts, c.String())
+		}
+		b.s.QueryIDs[id] = strings.Join(parts, ", ")
+		conj = append(append([]struql.Cond(nil), conds...), blk.Where...)
+		idParts = append(append([]string(nil), ids...), id)
+	}
+	whereID := strings.Join(idParts, "∧")
+	if whereID == "" {
+		whereID = "true"
+	}
+	addCreation := func(st struql.SkolemTerm) {
+		b.node(st.Fn)
+		for _, c := range b.s.Creations {
+			if c.Fn == st.Fn && c.WhereID == whereID && strings.Join(c.Args, ",") == strings.Join(st.Args, ",") {
+				return
+			}
+		}
+		b.s.Creations = append(b.s.Creations, Creation{
+			Fn: st.Fn, Args: st.Args, Where: conj, WhereID: whereID,
+		})
+	}
+	for _, st := range blk.Create {
+		addCreation(st)
+	}
+	for _, le := range blk.Link {
+		addCreation(le.From)
+		e := Edge{
+			From:     le.From.Fn,
+			FromArgs: le.From.Args,
+			Label:    le.Label,
+			Where:    conj,
+			WhereID:  whereID,
+		}
+		if le.To.IsSkolem() {
+			addCreation(*le.To.Skolem)
+			e.To = le.To.Skolem.Fn
+			e.ToArgs = le.To.Skolem.Args
+		} else {
+			b.node(NS)
+			e.To = NS
+			e.ToArgs = []string{le.To.Term.String()}
+		}
+		b.s.Edges = append(b.s.Edges, e)
+	}
+	for _, ce := range blk.Collect {
+		col := Collect{Coll: ce.Coll, Where: conj, WhereID: whereID}
+		if ce.Target.IsSkolem() {
+			addCreation(*ce.Target.Skolem)
+			col.Target = ce.Target.Skolem.Fn
+			col.Args = ce.Target.Skolem.Args
+		} else {
+			b.node(NS)
+			col.Target = NS
+			col.Args = []string{ce.Target.Term.String()}
+		}
+		b.s.Collects = append(b.s.Collects, col)
+	}
+	for _, nb := range blk.Nested {
+		b.walk(nb, conj, idParts)
+	}
+}
+
+// label renders an edge's (Q, L, X̄, Ȳ) tag as in Fig. 7.
+func (e Edge) label() string {
+	return fmt.Sprintf("(%s, %s, [%s], [%s])",
+		e.WhereID, e.Label, strings.Join(e.FromArgs, ","), strings.Join(e.ToArgs, ","))
+}
+
+// String renders the schema as a deterministic text listing: nodes, edges
+// with (Q, L, X̄, Ȳ) labels, creations, collects, and the query legend.
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString("site schema\nnodes:")
+	for _, n := range s.Nodes {
+		b.WriteString(" " + n)
+	}
+	b.WriteString("\nedges:\n")
+	edges := append([]Edge(nil), s.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		return edges[i].label() < edges[j].label()
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %s -> %s %s\n", e.From, e.To, e.label())
+	}
+	if len(s.Collects) > 0 {
+		b.WriteString("collections:\n")
+		for _, c := range s.Collects {
+			fmt.Fprintf(&b, "  %s(%s(%s)) when %s\n", c.Coll, c.Target, strings.Join(c.Args, ","), c.WhereID)
+		}
+	}
+	b.WriteString("legend:\n")
+	ids := make([]string, 0, len(s.QueryIDs))
+	for id := range s.QueryIDs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j])
+		}
+		return ids[i] < ids[j]
+	})
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  %s: where %s\n", id, s.QueryIDs[id])
+	}
+	return b.String()
+}
+
+// Dot renders the schema in Graphviz syntax (the Fig. 7 picture). Edges to
+// NS are included unless skipNS is set, matching the figure's "for clarity,
+// edges to the NS node are excluded".
+func (s *Schema) Dot(name string, skipNS bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	for _, n := range s.Nodes {
+		if skipNS && n == NS {
+			continue
+		}
+		shape := "ellipse"
+		if n == NS {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", n, shape)
+	}
+	for _, e := range s.Edges {
+		if skipNS && e.To == NS {
+			continue
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.From, e.To, e.label())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// OutEdges returns the schema edges leaving the named node.
+func (s *Schema) OutEdges(fn string) []Edge {
+	var out []Edge
+	for _, e := range s.Edges {
+		if e.From == fn {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CreationsOf returns the creation contexts of a Skolem function.
+func (s *Schema) CreationsOf(fn string) []Creation {
+	var out []Creation
+	for _, c := range s.Creations {
+		if c.Fn == fn {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// HasNode reports whether the schema has a node with the name.
+func (s *Schema) HasNode(name string) bool {
+	for _, n := range s.Nodes {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RecoverQuery reconstructs a StruQL query from the schema. The paper
+// notes the site schema is equivalent to the original query; the recovered
+// query is a flattened form — one block per creation, link, and collect,
+// each carrying its full conjunction — that evaluates to the same site
+// graph as the original.
+func (s *Schema) RecoverQuery() *struql.Query {
+	q := &struql.Query{}
+	for _, c := range s.Creations {
+		blk := &struql.Block{
+			Where:  c.Where,
+			Create: []struql.SkolemTerm{{Fn: c.Fn, Args: c.Args}},
+		}
+		q.Blocks = append(q.Blocks, blk)
+	}
+	for _, e := range s.Edges {
+		le := struql.LinkExpr{
+			From:  struql.SkolemTerm{Fn: e.From, Args: e.FromArgs},
+			Label: e.Label,
+		}
+		if e.To == NS {
+			// ToArgs[0] is the printed term: re-parse variable vs constant.
+			t := parseTermText(e.ToArgs[0])
+			le.To = struql.LinkTerm{Term: &t}
+		} else {
+			le.To = struql.LinkTerm{Skolem: &struql.SkolemTerm{Fn: e.To, Args: e.ToArgs}}
+		}
+		q.Blocks = append(q.Blocks, &struql.Block{Where: e.Where, Link: []struql.LinkExpr{le}})
+	}
+	for _, c := range s.Collects {
+		ce := struql.CollectExpr{Coll: c.Coll}
+		if c.Target == NS {
+			t := parseTermText(c.Args[0])
+			ce.Target = struql.LinkTerm{Term: &t}
+		} else {
+			ce.Target = struql.LinkTerm{Skolem: &struql.SkolemTerm{Fn: c.Target, Args: c.Args}}
+		}
+		q.Blocks = append(q.Blocks, &struql.Block{Where: c.Where, Collect: []struql.CollectExpr{ce}})
+	}
+	return q
+}
+
+// parseTermText reverses Term.String() for NS targets recorded as text.
+func parseTermText(s string) struql.Term {
+	sub := "where C(x), x -> \"l\" -> " + s + " create N(x)"
+	q, err := struql.Parse(sub)
+	if err != nil {
+		// The text was a variable name or unparseable; treat as variable.
+		return struql.VarTerm(s)
+	}
+	pc := q.Blocks[0].Where[1].(*struql.PathCond)
+	return pc.To
+}

@@ -1,0 +1,97 @@
+package sites
+
+import (
+	"strudel/internal/core"
+	"strudel/internal/mediator"
+	"strudel/internal/synth"
+)
+
+// BilingualQuery defines the INRIA-Rodin-style site (§5.1): one StruQL
+// query defines both an English and a French view of the same data and
+// creates the cross-links between them, so that each English page links
+// to the equivalent French page and vice versa.
+const BilingualQuery = `
+create EnHome(), FrHome()
+link EnHome() -> "title" -> "The Rodin Project",
+     FrHome() -> "title" -> "Le projet Rodin",
+     EnHome() -> "otherLanguage" -> FrHome(),
+     FrHome() -> "otherLanguage" -> EnHome()
+
+where Projects(j)
+create EnProjectPage(j), FrProjectPage(j)
+link EnHome() -> "Project" -> EnProjectPage(j),
+     FrHome() -> "Project" -> FrProjectPage(j),
+     EnProjectPage(j) -> "otherLanguage" -> FrProjectPage(j),
+     FrProjectPage(j) -> "otherLanguage" -> EnProjectPage(j),
+     EnProjectPage(j) -> "home" -> EnHome(),
+     FrProjectPage(j) -> "home" -> FrHome()
+{
+  where j -> l -> v
+  link EnProjectPage(j) -> l -> v,
+       FrProjectPage(j) -> l -> v
+}
+`
+
+func bilingualTemplates() map[string]string {
+	return map[string]string{
+		"EnHome": `<html><head><title><SFMT title></title></head><body>
+<h1><SFMT title></h1>
+<p><SFMT otherLanguage TEXT=title></p>
+<h2>Projects</h2>
+<SFMT Project UL ORDER=ascend KEY=name TEXT=name>
+</body></html>`,
+		"FrHome": `<html><head><title><SFMT title></title></head><body>
+<h1><SFMT title></h1>
+<p><SFMT otherLanguage TEXT=title></p>
+<h2>Projets</h2>
+<SFMT Project UL ORDER=ascend KEY=name TEXT=name>
+</body></html>`,
+		"EnProject": `<html><head><title><SFMT name></title></head><body>
+<h1>Project <SFMT name></h1>
+<p>(<SFMT otherLanguage TEXT=name> — version française)</p>
+<p>Area: <SFMT area></p>
+<SIF synopsis><p><SFMT synopsis></p></SIF>
+<SIF sponsor><p>Sponsored by <SFMT sponsor>.</p></SIF>
+<p><SFMT home TEXT=title></p>
+</body></html>`,
+		"FrProject": `<html><head><title><SFMT name></title></head><body>
+<h1>Projet <SFMT name></h1>
+<p>(<SFMT otherLanguage TEXT=name> — English version)</p>
+<p>Domaine : <SFMT area></p>
+<SIF synopsis><p><SFMT synopsis></p></SIF>
+<SIF sponsor><p>Financé par <SFMT sponsor>.</p></SIF>
+<p><SFMT home TEXT=title></p>
+</body></html>`,
+	}
+}
+
+// Bilingual builds the bilingual-site spec over nProjects projects. Both
+// language views come from the single BilingualQuery.
+func Bilingual(nProjects int) *core.Spec {
+	data := synth.Organization(10, 2, nProjects)
+	return &core.Spec{
+		Name: "bilingual",
+		Sources: []mediator.Source{
+			DDLSource("projects", data.ProjectsDDL()),
+		},
+		Versions: []core.Version{{
+			Name:      "both",
+			Queries:   []string{BilingualQuery},
+			Templates: bilingualTemplates(),
+			PerObject: map[string]string{
+				"EnHome()": "EnHome",
+				"FrHome()": "FrHome",
+			},
+			ObjectTemplatePrefixes: map[string]string{
+				"EnProjectPage(": "EnProject",
+				"FrProjectPage(": "FrProject",
+			},
+			Roots: []string{"EnHome()", "FrHome()"},
+			Constraints: []string{
+				`every FrProjectPage reachable from EnProjectPage via "otherLanguage"`,
+				`every EnProjectPage reachable from FrProjectPage via "otherLanguage"`,
+				`connected from EnHome`,
+			},
+		}},
+	}
+}

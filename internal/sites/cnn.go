@@ -1,0 +1,183 @@
+package sites
+
+import (
+	"strings"
+
+	"strudel/internal/core"
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+	"strudel/internal/synth"
+	"strudel/internal/wrapper/htmlwrap"
+)
+
+// cnnQueryBody is the shared part of the CNN site-definition query. The
+// general and sports-only queries differ only in the main where clause
+// (two extra predicates, per §5.1); everything else is identical, so the
+// body is shared and the where clause is substituted.
+const cnnQueryBody = `
+// Front page, masthead, footer, and the alphabetical index page.
+create FrontPage(), Masthead(), IndexPage(), FooterBox()
+link FrontPage() -> "name" -> "The News",
+     Masthead() -> "slogan" -> "All the news that fits the graph",
+     FrontPage() -> "masthead" -> Masthead(),
+     FrontPage() -> "Index" -> IndexPage(),
+     IndexPage() -> "name" -> "All stories",
+     IndexPage() -> "masthead" -> Masthead(),
+     FrontPage() -> "footer" -> FooterBox(),
+     FooterBox() -> "note" -> "Copyright 1998 The News"
+
+// An article appears in several formats on multiple pages: a summary on
+// its category page, an entry on the index page, a headline on the front
+// page when recent, and a full article page.
+where @WHERE@
+create CategoryPage(c), ArticlePage(a), Summary(a)
+link FrontPage() -> "Category" -> CategoryPage(c),
+     CategoryPage(c) -> "name" -> c,
+     CategoryPage(c) -> "masthead" -> Masthead(),
+     CategoryPage(c) -> "Story" -> Summary(a),
+     IndexPage() -> "Entry" -> Summary(a),
+     Summary(a) -> "FullStory" -> ArticlePage(a),
+     ArticlePage(a) -> "category" -> c,
+     ArticlePage(a) -> "masthead" -> Masthead(),
+     ArticlePage(a) -> "CategoryHome" -> CategoryPage(c)
+{
+  where a -> "title" -> t
+  link ArticlePage(a) -> "title" -> t,
+       Summary(a) -> "title" -> t
+}
+{
+  where a -> "body" -> b
+  link ArticlePage(a) -> "body" -> b
+}
+{
+  where a -> "date" -> d
+  link ArticlePage(a) -> "date" -> d,
+       Summary(a) -> "date" -> d
+}
+{
+  where a -> "image" -> i
+  link ArticlePage(a) -> "image" -> i
+}
+{
+  where a -> "linksTo" -> r
+  link ArticlePage(a) -> "Related" -> ArticlePage(r)
+}
+{
+  // Recent stories are promoted to front-page headlines.
+  where a -> "date" -> d, d >= "1998-09"
+  create Headline(a)
+  link FrontPage() -> "TopStory" -> Headline(a),
+       Headline(a) -> "Article" -> ArticlePage(a),
+       Headline(a) -> "date" -> d
+}
+{
+  where a -> "title" -> t, a -> "date" -> d2, d2 >= "1998-09"
+  link Headline(a) -> "title" -> t
+}
+`
+
+// CNNQuery is the general site's query.
+var CNNQuery = strings.Replace(cnnQueryBody, "@WHERE@",
+	`Articles(a), a -> "category" -> c`, 1)
+
+// CNNSportsQuery is the sports-only site's query: per §5.1 it "only
+// differs in two extra predicates in one where clause".
+var CNNSportsQuery = strings.Replace(cnnQueryBody, "@WHERE@",
+	`Articles(a), a -> "category" -> c, a -> "category" -> sc, sc = "sports"`, 1)
+
+// cnnTemplates returns the eight templates both CNN sites share (§5.1:
+// "Both sites use the same templates"; the paper used nine).
+func cnnTemplates() map[string]string {
+	return map[string]string{
+		"FrontPage": `<html><head><title><SFMT name></title></head><body>
+<SFMT masthead EMBED>
+<h1><SFMT name></h1>
+<h2>Top stories</h2>
+<SFMT TopStory EMBED UL ORDER=descend KEY=date>
+<h2>Sections</h2>
+<SFMT Category UL ORDER=ascend KEY=name TEXT=name>
+<p><SFMT Index TEXT=name></p>
+<SFMT footer EMBED>
+</body></html>`,
+		"Masthead": `<p><i><SFMT slogan></i></p>`,
+		"Footer":   `<hr><i><SFMT note></i>`,
+		"Headline": `<b><SFMT Article TEXT=title></b> <i>(<SFMT date>)</i>`,
+		"CategoryPage": `<html><head><title><SFMT name></title></head><body>
+<SFMT masthead EMBED>
+<h1><SFMT name></h1>
+<SFMT Story EMBED OL ORDER=descend KEY=date>
+</body></html>`,
+		"IndexPage": `<html><head><title><SFMT name></title></head><body>
+<SFMT masthead EMBED>
+<h1><SFMT name></h1>
+<SFMT Entry EMBED UL ORDER=ascend KEY=title>
+</body></html>`,
+		"Summary": `<b><SFMT FullStory TEXT=title></b><SIF date> <i>(<SFMT date>)</i></SIF>`,
+		"ArticlePage": `<html><head><title><SFMT title></title></head><body>
+<SFMT masthead EMBED>
+<h1><SFMT title></h1>
+<p><i><SFMT date></i> &mdash; section <SFMT CategoryHome TEXT=name></p>
+<SIF image><SFMT image></SIF>
+<p><SFMT body></p>
+<SIF Related><h3>Related coverage</h3><SFMT Related UL TEXT=title></SIF>
+</body></html>`,
+	}
+}
+
+// cnnTemplateAssignment maps Skolem prefixes to templates.
+func cnnTemplateAssignment() map[string]string {
+	return map[string]string{
+		"CategoryPage(": "CategoryPage",
+		"ArticlePage(":  "ArticlePage",
+		"Summary(":      "Summary",
+		"Headline(":     "Headline",
+	}
+}
+
+// CNN builds the CNN-demo spec with nArticles wrapped HTML articles and
+// two versions: the general site and the sports-only site, sharing all
+// templates.
+func CNN(nArticles int) *core.Spec {
+	articles := synth.NewsSite(nArticles)
+	load := func() (*graph.Graph, error) {
+		pages := make([]*htmlwrap.Page, len(articles))
+		internal := map[string]string{}
+		for i, a := range articles {
+			pages[i] = htmlwrap.Extract(a.Name, a.HTML)
+			internal[a.Name+".html"] = a.Name
+		}
+		return htmlwrap.Wrap(pages, htmlwrap.Options{
+			Collection:    "Articles",
+			InternalPages: internal,
+		}), nil
+	}
+	mkVersion := func(name, query string) core.Version {
+		return core.Version{
+			Name:      name,
+			Queries:   []string{query},
+			Templates: cnnTemplates(),
+			PerObject: map[string]string{
+				"FrontPage()": "FrontPage",
+				"Masthead()":  "Masthead",
+				"IndexPage()": "IndexPage",
+				"FooterBox()": "Footer",
+			},
+			ObjectTemplatePrefixes: cnnTemplateAssignment(),
+			Roots:                  []string{"FrontPage()"},
+			Constraints: []string{
+				`every ArticlePage reachable from FrontPage via _*`,
+				`every Summary has "FullStory"`,
+			},
+		}
+	}
+	return &core.Spec{
+		Name: "cnn",
+		Sources: []mediator.Source{
+			{Name: "articles", Load: load},
+		},
+		Versions: []core.Version{
+			mkVersion("general", CNNQuery),
+			mkVersion("sports", CNNSportsQuery),
+		},
+	}
+}

@@ -1,0 +1,22 @@
+package sites
+
+import (
+	"fmt"
+
+	"strudel/internal/ddl"
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+)
+
+// DDLSource wraps a data-definition-language document as a mediator
+// source (the "structured files" of §5.1 and Strudel's internal data
+// files).
+func DDLSource(name, src string) mediator.Source {
+	return mediator.Source{Name: name, Load: func() (*graph.Graph, error) {
+		doc, err := ddl.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("source %s: %w", name, err)
+		}
+		return doc.Graph, nil
+	}}
+}

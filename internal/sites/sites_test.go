@@ -1,0 +1,302 @@
+package sites
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/core"
+	"strudel/internal/graph"
+	"strudel/internal/struql"
+)
+
+func build(t *testing.T, spec *core.Spec) *core.BuildResult {
+	t.Helper()
+	res, err := core.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestHomepageBuilds(t *testing.T) {
+	res := build(t, Homepage(20))
+	in := res.Versions["internal"]
+	ex := res.Versions["external"]
+	if in == nil || ex == nil {
+		t.Fatal("versions missing")
+	}
+	if !in.ChecksPass {
+		t.Errorf("internal checks: %+v", in.Checks)
+	}
+	// The internal root shows patents; the external one does not.
+	iroot := in.Output.Pages["index.html"]
+	eroot := ex.Output.Pages["index.html"]
+	if !strings.Contains(iroot, "Patents") {
+		t.Error("internal root should link patents")
+	}
+	if strings.Contains(eroot, "Patents") {
+		t.Error("external root must not link patents")
+	}
+	// The proprietary project is hidden externally.
+	if !strings.Contains(iroot, "Hush") {
+		t.Error("internal root should show Hush")
+	}
+	if strings.Contains(eroot, "Hush") {
+		t.Error("external root must hide Hush")
+	}
+	// Both versions come from the same query.
+	if in.Stats.QueryLines != ex.Stats.QueryLines {
+		t.Error("versions should share the query")
+	}
+	t.Logf("homepage internal: %s", in.Stats)
+}
+
+func TestHomepageStatsNearPaper(t *testing.T) {
+	// §5.1: mff homepage = 48-line query, 13 templates (202 lines). The
+	// shape matters, not the exact numbers; assert the same order of
+	// magnitude.
+	res := build(t, Homepage(20))
+	st := res.Versions["internal"].Stats
+	if st.QueryLines < 30 || st.QueryLines > 110 {
+		t.Errorf("QueryLines = %d, want within ~2x of the paper's 48", st.QueryLines)
+	}
+	if st.Templates < 8 || st.Templates > 20 {
+		t.Errorf("Templates = %d, want near the paper's 13", st.Templates)
+	}
+	if st.Pages < 20 {
+		t.Errorf("Pages = %d, expected dozens for 20 publications", st.Pages)
+	}
+}
+
+func TestHomepageProprietaryPubsHiddenExternally(t *testing.T) {
+	res := build(t, Homepage(30))
+	in := res.Versions["internal"]
+	ex := res.Versions["external"]
+	count := func(out map[string]string, frag string) int {
+		n := 0
+		for _, page := range out {
+			if strings.Contains(page, frag) {
+				n++
+			}
+		}
+		return n
+	}
+	// Internally, proprietary papers are marked; externally the marker
+	// never appears and the proprietary presentations are simply not
+	// realized as pages (they are filtered out of every listing).
+	if count(in.Output.Pages, "[proprietary]") == 0 {
+		t.Error("corpus should contain proprietary publications (internal marker missing)")
+	}
+	if count(ex.Output.Pages, "[proprietary]") != 0 {
+		t.Error("external site leaks the proprietary marker")
+	}
+	pages := func(out map[graph.OID]string, prefix string) int {
+		n := 0
+		for oid := range out {
+			if strings.HasPrefix(string(oid), prefix) {
+				n++
+			}
+		}
+		return n
+	}
+	ip := pages(in.Output.PageFiles, "PaperPresentation(")
+	ep := pages(ex.Output.PageFiles, "PaperPresentation(")
+	if ep >= ip {
+		t.Errorf("external presentations = %d, internal = %d; proprietary ones should be absent", ep, ip)
+	}
+}
+
+func TestCNNBuilds(t *testing.T) {
+	res := build(t, CNN(60))
+	gen := res.Versions["general"]
+	sp := res.Versions["sports"]
+	if !gen.ChecksPass {
+		t.Errorf("general checks: %+v", gen.Checks)
+	}
+	if !sp.ChecksPass {
+		t.Errorf("sports checks: %+v", sp.Checks)
+	}
+	// The general site has all categories; the sports site only sports.
+	for _, oid := range gen.SiteGraph.Nodes() {
+		if strings.HasPrefix(string(oid), "CategoryPage(") {
+			if sp.SiteGraph.HasNode(oid) && oid != "CategoryPage(sports)" {
+				t.Errorf("sports site has unexpected %s", oid)
+			}
+		}
+	}
+	if !sp.SiteGraph.HasNode("CategoryPage(sports)") {
+		t.Error("sports site lacks its category page")
+	}
+	// Sports pages are a strict subset of article pages.
+	spArticles, genArticles := 0, 0
+	for _, oid := range sp.SiteGraph.Nodes() {
+		if strings.HasPrefix(string(oid), "ArticlePage(") {
+			spArticles++
+		}
+	}
+	for _, oid := range gen.SiteGraph.Nodes() {
+		if strings.HasPrefix(string(oid), "ArticlePage(") {
+			genArticles++
+		}
+	}
+	if spArticles == 0 || spArticles >= genArticles {
+		t.Errorf("articles: sports=%d general=%d", spArticles, genArticles)
+	}
+	t.Logf("cnn general: %s", gen.Stats)
+}
+
+func TestCNNSportsQueryDelta(t *testing.T) {
+	// §5.1: the sports-only query "only differs in two extra predicates
+	// in one where clause". Verify structurally.
+	gq := struql.MustParse(CNNQuery)
+	sq := struql.MustParse(CNNSportsQuery)
+	if len(gq.Blocks) != len(sq.Blocks) {
+		t.Fatalf("block counts differ: %d vs %d", len(gq.Blocks), len(sq.Blocks))
+	}
+	extra := 0
+	for i := range gq.Blocks {
+		g, s := gq.Blocks[i], sq.Blocks[i]
+		extra += len(s.Where) - len(g.Where)
+		if len(g.Link) != len(s.Link) || len(g.Create) != len(s.Create) {
+			t.Errorf("block %d: construction differs", i)
+		}
+	}
+	if extra != 2 {
+		t.Errorf("extra predicates = %d, want 2", extra)
+	}
+	// And both versions share templates byte-for-byte.
+	spec := CNN(8)
+	for name, src := range spec.Versions[0].Templates {
+		if spec.Versions[1].Templates[name] != src {
+			t.Errorf("template %s differs between versions", name)
+		}
+	}
+}
+
+func TestOrgSiteBuilds(t *testing.T) {
+	res := build(t, OrgSite(40, 4, 10, 15))
+	in := res.Versions["internal"]
+	ex := res.Versions["external"]
+	if !in.ChecksPass {
+		t.Errorf("internal checks: %+v", in.Checks)
+	}
+	// ~40 person pages.
+	persons := 0
+	for oid := range in.Output.PageFiles {
+		if strings.HasPrefix(string(oid), "PersonPage(") {
+			persons++
+		}
+	}
+	if persons != 40 {
+		t.Errorf("person pages = %d, want 40", persons)
+	}
+	// Internal person pages may carry phones; external never do.
+	for oid, file := range ex.Output.PageFiles {
+		if strings.HasPrefix(string(oid), "PersonPage(") {
+			if strings.Contains(ex.Output.Pages[file], "Phone:") {
+				t.Errorf("external %s leaks phone", oid)
+				break
+			}
+		}
+	}
+	var internalHasPhone bool
+	for oid, file := range in.Output.PageFiles {
+		if strings.HasPrefix(string(oid), "PersonPage(") && strings.Contains(in.Output.Pages[file], "Phone:") {
+			internalHasPhone = true
+			break
+		}
+	}
+	if !internalHasPhone {
+		t.Error("internal person pages should show phones")
+	}
+	t.Logf("orgsite internal: %s", in.Stats)
+}
+
+func TestOrgSiteExternalSharesQueries(t *testing.T) {
+	// §5.1: "no new queries were written for that site".
+	spec := OrgSite(10, 2, 4, 5)
+	if len(spec.Versions) != 2 {
+		t.Fatal("want 2 versions")
+	}
+	if spec.Versions[0].Queries[0] != spec.Versions[1].Queries[0] {
+		t.Error("external version must reuse the internal query")
+	}
+	// Exactly five templates differ (§5.1).
+	diff := 0
+	for name, src := range spec.Versions[0].Templates {
+		if spec.Versions[1].Templates[name] != src {
+			diff++
+		}
+	}
+	if diff != 5 {
+		t.Errorf("differing templates = %d, want 5", diff)
+	}
+}
+
+func TestOrgSiteStatsNearPaper(t *testing.T) {
+	// §5.1: internal site = 115-line query, 17 templates (380 lines).
+	spec := OrgSite(10, 2, 4, 5)
+	res := build(t, spec)
+	st := res.Versions["internal"].Stats
+	if st.QueryLines < 80 || st.QueryLines > 230 {
+		t.Errorf("QueryLines = %d, want within ~2x of the paper's 115", st.QueryLines)
+	}
+	if st.Templates != 17 {
+		t.Errorf("Templates = %d, want 17 as in the paper", st.Templates)
+	}
+}
+
+func TestOrgSiteBioJoin(t *testing.T) {
+	res := build(t, OrgSite(9, 2, 3, 4))
+	in := res.Versions["internal"]
+	// Every third person has a bio; check one shows up embedded.
+	var found bool
+	for oid, file := range in.Output.PageFiles {
+		if strings.HasPrefix(string(oid), "PersonPage(") &&
+			strings.Contains(in.Output.Pages[file], "joined the lab to work on") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no person page embeds a bio")
+	}
+}
+
+func TestBilingualCrossLinks(t *testing.T) {
+	res := build(t, Bilingual(6))
+	v := res.Versions["both"]
+	if !v.ChecksPass {
+		t.Fatalf("checks: %+v", v.Checks)
+	}
+	site := v.SiteGraph
+	// Every English project page cross-links its French twin and back.
+	for _, oid := range site.Nodes() {
+		if strings.HasPrefix(string(oid), "EnProjectPage(") {
+			other := site.First(oid, "otherLanguage")
+			if !other.IsNode() || !strings.HasPrefix(string(other.OID()), "FrProjectPage(") {
+				t.Errorf("%s: otherLanguage = %v", oid, other)
+				continue
+			}
+			back := site.First(other.OID(), "otherLanguage")
+			if !back.IsNode() || back.OID() != oid {
+				t.Errorf("%s: back link = %v", other.OID(), back)
+			}
+		}
+	}
+	// Both roots realized.
+	if v.Output.PageFiles["EnHome()"] == "" || v.Output.PageFiles["FrHome()"] == "" {
+		t.Error("both home pages should be realized")
+	}
+	fr := v.Output.Pages[v.Output.PageFiles["FrHome()"]]
+	if !strings.Contains(fr, "Le projet Rodin") {
+		t.Errorf("french home:\n%s", fr)
+	}
+}
+
+func TestSiteGraphsDeterministic(t *testing.T) {
+	a := build(t, CNN(20)).Versions["general"].SiteGraph.Dump()
+	b := build(t, CNN(20)).Versions["general"].SiteGraph.Dump()
+	if a != b {
+		t.Error("CNN site graph not deterministic")
+	}
+}

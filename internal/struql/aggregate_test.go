@@ -1,0 +1,166 @@
+package struql
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// aggGraph: publications with years and citation counts.
+func aggGraph() *graph.Graph {
+	g := graph.New()
+	add := func(oid graph.OID, year, cites int64) {
+		g.AddToCollection("Publications", oid)
+		g.AddEdge(oid, "year", graph.NewInt(year))
+		g.AddEdge(oid, "cites", graph.NewInt(cites))
+	}
+	add("p1", 1997, 10)
+	add("p2", 1997, 30)
+	add("p3", 1998, 5)
+	add("p4", 1998, 15)
+	add("p5", 1998, 1)
+	return g
+}
+
+func TestAggregateCountByGroup(t *testing.T) {
+	// A year index page that records how many papers each year has —
+	// §6.2's "grouping and aggregation" extension in use.
+	r := evalOn(t, `
+where Publications(x), x -> "year" -> y
+aggregate count(x) as n by y
+create YearStat(y)
+link YearStat(y) -> "year" -> y,
+     YearStat(y) -> "papers" -> n
+`, aggGraph())
+	if !r.Graph.HasEdge("YearStat(1997)", "papers", graph.NewInt(2)) {
+		t.Errorf("1997 count wrong:\n%s", r.Graph.Dump())
+	}
+	if !r.Graph.HasEdge("YearStat(1998)", "papers", graph.NewInt(3)) {
+		t.Errorf("1998 count wrong:\n%s", r.Graph.Dump())
+	}
+}
+
+func TestAggregateSumMinMaxAvg(t *testing.T) {
+	r := evalOn(t, `
+where Publications(x), x -> "year" -> y, x -> "cites" -> c
+aggregate sum(c) as total, min(c) as lo, max(c) as hi, avg(c) as mean by y
+create Stat(y)
+link Stat(y) -> "total" -> total,
+     Stat(y) -> "lo" -> lo,
+     Stat(y) -> "hi" -> hi,
+     Stat(y) -> "mean" -> mean
+`, aggGraph())
+	g := r.Graph
+	if !g.HasEdge("Stat(1997)", "total", graph.NewInt(40)) {
+		t.Errorf("1997 total:\n%s", g.Dump())
+	}
+	if !g.HasEdge("Stat(1997)", "lo", graph.NewInt(10)) || !g.HasEdge("Stat(1997)", "hi", graph.NewInt(30)) {
+		t.Errorf("1997 min/max:\n%s", g.Dump())
+	}
+	if !g.HasEdge("Stat(1997)", "mean", graph.NewFloat(20)) {
+		t.Errorf("1997 avg:\n%s", g.Dump())
+	}
+	if !g.HasEdge("Stat(1998)", "total", graph.NewInt(21)) {
+		t.Errorf("1998 total:\n%s", g.Dump())
+	}
+}
+
+func TestAggregateGlobal(t *testing.T) {
+	// No grouping variables: one row over everything.
+	r := evalOn(t, `
+where Publications(x)
+aggregate count(x) as n
+create Stats()
+link Stats() -> "publications" -> n
+`, aggGraph())
+	if !r.Graph.HasEdge("Stats()", "publications", graph.NewInt(5)) {
+		t.Errorf("global count:\n%s", r.Graph.Dump())
+	}
+}
+
+func TestAggregateCountsDistinct(t *testing.T) {
+	// Multi-valued attributes inflate rows; count is over distinct values.
+	g := graph.New()
+	g.AddToCollection("C", "a")
+	g.AddEdge("a", "tag", graph.NewString("x"))
+	g.AddEdge("a", "tag", graph.NewString("y"))
+	g.AddToCollection("C", "b")
+	g.AddEdge("b", "tag", graph.NewString("x"))
+	r := evalOn(t, `
+where C(o), o -> "tag" -> t
+aggregate count(o) as objects, count(t) as tags
+create S()
+link S() -> "objects" -> objects, S() -> "tags" -> tags
+`, g)
+	if !r.Graph.HasEdge("S()", "objects", graph.NewInt(2)) {
+		t.Errorf("objects:\n%s", r.Graph.Dump())
+	}
+	if !r.Graph.HasEdge("S()", "tags", graph.NewInt(2)) {
+		t.Errorf("tags:\n%s", r.Graph.Dump())
+	}
+}
+
+func TestAggregatePrintParseRoundTrip(t *testing.T) {
+	src := `
+where Publications(x), x -> "year" -> y
+aggregate count(x) as n, max(y) as latest by y
+create S(y)
+link S(y) -> "n" -> n
+`
+	q := MustParse(src)
+	printed := q.String()
+	q2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if q2.String() != printed {
+		t.Errorf("not a fixed point:\n%s\nvs\n%s", printed, q2.String())
+	}
+	if len(q2.Blocks[0].Aggregate) != 2 || q2.Blocks[0].Aggregate[1].Fn != AggMax {
+		t.Errorf("aggregate lost in round trip: %+v", q2.Blocks[0])
+	}
+}
+
+func TestAggregateAnalysisErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{`where C(x) aggregate count(z) as n create S()`, "aggregated variable z"},
+		{`where C(x) aggregate count(x) as n by w create S()`, "grouping variable w"},
+		{`where C(x) aggregate count(x) as n, sum(x) as n create S()`, "collides"},
+		{`where C(x) aggregate count(x) as n create S(x)`, "not bound"}, // x consumed by aggregation
+		{`where C(x) aggregate bogus(x) as n create S()`, "unknown aggregation function"},
+		{`where C(x) aggregate count(x) n create S()`, "expected 'as'"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q): err = %v, want %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestAggregateNestedBlocksSeeGroupedBindings(t *testing.T) {
+	r := evalOn(t, `
+where Publications(x), x -> "year" -> y
+aggregate count(x) as n by y
+create YearStat(y)
+{
+  where n > 2
+  link YearStat(y) -> "busy" -> true
+}
+`, aggGraph())
+	if !r.Graph.HasEdge("YearStat(1998)", "busy", graph.NewBool(true)) {
+		t.Errorf("1998 should be busy:\n%s", r.Graph.Dump())
+	}
+	if r.Graph.HasEdge("YearStat(1997)", "busy", graph.NewBool(true)) {
+		t.Errorf("1997 should not be busy:\n%s", r.Graph.Dump())
+	}
+}
+
+func TestAggregateDeterministicGroupOrder(t *testing.T) {
+	a := evalOn(t, `where Publications(x), x -> "year" -> y aggregate count(x) as n by y create S(y) link S(y) -> "n" -> n`, aggGraph())
+	b := evalOn(t, `where Publications(x), x -> "year" -> y aggregate count(x) as n by y create S(y) link S(y) -> "n" -> n`, aggGraph())
+	if a.Graph.Dump() != b.Graph.Dump() {
+		t.Error("aggregation not deterministic")
+	}
+}

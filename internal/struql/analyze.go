@@ -1,0 +1,127 @@
+package struql
+
+import "fmt"
+
+// Analyze performs the safety checks the evaluator relies on:
+//
+//   - every variable used in create, link, and collect clauses is bound by
+//     the block's where conjunction (including ancestors');
+//   - arc-variable labels in link clauses are bound;
+//   - built-in predicates and comparisons refer only to bindable variables;
+//   - each Skolem function is used with one arity throughout the query.
+//
+// Parse calls Analyze automatically; it is exported for programmatically
+// constructed queries.
+func Analyze(q *Query) error {
+	arity := map[string]int{}
+	for _, blk := range q.Blocks {
+		if err := analyzeBlock(blk, map[string]bool{}, arity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func analyzeBlock(blk *Block, inherited map[string]bool, arity map[string]int) error {
+	bound := make(map[string]bool, len(inherited))
+	for v := range inherited {
+		bound[v] = true
+	}
+	for _, c := range blk.Where {
+		c.boundVars(bound)
+	}
+	// Filters must refer only to bindable variables.
+	for _, c := range blk.Where {
+		refs := map[string]bool{}
+		switch c.(type) {
+		case *PredCond, *CmpCond:
+			c.refVars(refs)
+			for v := range refs {
+				if !bound[v] {
+					return &ParseError{Line: c.condLine(),
+						Msg: fmt.Sprintf("variable %s in %s is never bound by a positive condition", v, c)}
+				}
+			}
+		}
+	}
+	// Aggregation consumes the where clause's variables: afterwards only
+	// the grouping variables and the aggregate results are bound.
+	if len(blk.Aggregate) > 0 {
+		for _, a := range blk.Aggregate {
+			if !bound[a.Arg] {
+				return &ParseError{Line: a.Pos,
+					Msg: fmt.Sprintf("aggregated variable %s is not bound in the where clause", a.Arg)}
+			}
+		}
+		for _, v := range blk.AggBy {
+			if !bound[v] {
+				return &ParseError{Line: blk.Line,
+					Msg: fmt.Sprintf("grouping variable %s is not bound in the where clause", v)}
+			}
+		}
+		post := map[string]bool{}
+		for _, v := range blk.AggBy {
+			post[v] = true
+		}
+		for _, a := range blk.Aggregate {
+			if post[a.As] {
+				return &ParseError{Line: a.Pos,
+					Msg: fmt.Sprintf("aggregate result %s collides with another post-aggregation variable", a.As)}
+			}
+			post[a.As] = true
+		}
+		bound = post
+	}
+	checkSkolem := func(st SkolemTerm) error {
+		if prev, ok := arity[st.Fn]; ok && prev != len(st.Args) {
+			return &ParseError{Line: st.Pos,
+				Msg: fmt.Sprintf("Skolem function %s used with arities %d and %d", st.Fn, prev, len(st.Args))}
+		}
+		arity[st.Fn] = len(st.Args)
+		for _, a := range st.Args {
+			if !bound[a] {
+				return &ParseError{Line: st.Pos,
+					Msg: fmt.Sprintf("Skolem argument %s in %s is not bound in the where clause", a, st)}
+			}
+		}
+		return nil
+	}
+	checkLinkTerm := func(t LinkTerm, pos int) error {
+		if t.Skolem != nil {
+			return checkSkolem(*t.Skolem)
+		}
+		if t.Term.IsVar() && !bound[t.Term.Var] {
+			return &ParseError{Line: pos,
+				Msg: fmt.Sprintf("variable %s is not bound in the where clause", t.Term.Var)}
+		}
+		return nil
+	}
+	for _, st := range blk.Create {
+		if err := checkSkolem(st); err != nil {
+			return err
+		}
+	}
+	for _, le := range blk.Link {
+		if err := checkSkolem(le.From); err != nil {
+			return err
+		}
+		if le.Label.IsVar && !bound[le.Label.Var] {
+			return &ParseError{Line: le.Pos,
+				Msg: fmt.Sprintf("arc variable %s in link clause is not bound in the where clause", le.Label.Var)}
+		}
+		if err := checkLinkTerm(le.To, le.Pos); err != nil {
+			return err
+		}
+	}
+	for _, ce := range blk.Collect {
+		if err := checkLinkTerm(ce.Target, ce.Pos); err != nil {
+			return err
+		}
+	}
+	for _, nb := range blk.Nested {
+		if err := analyzeBlock(nb, bound, arity); err != nil {
+			return err
+		}
+	}
+	return nil
+}

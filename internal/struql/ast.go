@@ -1,0 +1,520 @@
+package struql
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// Query is a parsed StruQL query: a sequence of top-level blocks evaluated
+// in order against the same source, all sharing one Skolem environment.
+type Query struct {
+	Blocks []*Block
+}
+
+// Block is one where/create/link/collect clause group, possibly with
+// nested blocks whose conditions conjoin with this block's (§2.2). An
+// optional aggregate clause (the §6.2 extension) groups the where
+// clause's binding relation before construction.
+type Block struct {
+	Where []Cond
+	// Aggregate, when non-empty, replaces the binding relation with one
+	// row per distinct AggBy value combination, binding each AggExpr's
+	// result variable.
+	Aggregate []AggExpr
+	AggBy     []string
+	Create    []SkolemTerm
+	Link      []LinkExpr
+	Collect   []CollectExpr
+	Nested    []*Block
+	Line      int
+}
+
+// AggFn is an aggregation function.
+type AggFn uint8
+
+// Aggregation functions over a grouped variable's values. Count counts
+// distinct rows in the group; the others fold the argument variable's
+// values with dynamic coercion.
+const (
+	AggCount AggFn = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+var aggNames = [...]string{"count", "sum", "min", "max", "avg"}
+
+func (f AggFn) String() string { return aggNames[f] }
+
+// ParseAggFn maps a function name to an AggFn.
+func ParseAggFn(s string) (AggFn, bool) {
+	for i, n := range aggNames {
+		if n == s {
+			return AggFn(i), true
+		}
+	}
+	return 0, false
+}
+
+// AggExpr is one aggregation: fn(Arg) as As.
+type AggExpr struct {
+	Fn  AggFn
+	Arg string // variable aggregated over
+	As  string // result variable
+	Pos int
+}
+
+func (a AggExpr) String() string { return fmt.Sprintf("%s(%s) as %s", a.Fn, a.Arg, a.As) }
+
+// Term is a variable or a constant in a condition or link expression.
+type Term struct {
+	Var   string      // non-empty for a variable
+	Const graph.Value // used when Var == ""
+}
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return t.Const.String()
+}
+
+// VarTerm returns a variable term.
+func VarTerm(name string) Term { return Term{Var: name} }
+
+// ConstTerm returns a constant term.
+func ConstTerm(v graph.Value) Term { return Term{Const: v} }
+
+// Cond is one condition in a where clause.
+type Cond interface {
+	fmt.Stringer
+	condLine() int
+	// vars appends the variables the condition can bind (positively).
+	boundVars(set map[string]bool)
+	// needs appends variables that must already be bound for the
+	// condition to be evaluable as a filter-only step.
+	refVars(set map[string]bool)
+}
+
+// MemberCond is collection membership: Coll(x).
+type MemberCond struct {
+	Coll string
+	Var  string
+	Pos  int
+}
+
+func (c *MemberCond) String() string                { return fmt.Sprintf("%s(%s)", c.Coll, c.Var) }
+func (c *MemberCond) condLine() int                 { return c.Pos }
+func (c *MemberCond) boundVars(set map[string]bool) { set[c.Var] = true }
+func (c *MemberCond) refVars(set map[string]bool)   { set[c.Var] = true }
+
+// PredCond is a built-in predicate on a bound term: isImageFile(q).
+type PredCond struct {
+	Name string
+	Arg  Term
+	Pos  int
+}
+
+func (c *PredCond) String() string                { return fmt.Sprintf("%s(%s)", c.Name, c.Arg) }
+func (c *PredCond) condLine() int                 { return c.Pos }
+func (c *PredCond) boundVars(set map[string]bool) {}
+func (c *PredCond) refVars(set map[string]bool) {
+	if c.Arg.IsVar() {
+		set[c.Arg.Var] = true
+	}
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators, with dynamic value coercion at evaluation time.
+const (
+	CmpEq CmpOp = iota
+	CmpNeq
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+var cmpNames = [...]string{"=", "!=", "<", "<=", ">", ">="}
+
+func (o CmpOp) String() string { return cmpNames[o] }
+
+// CmpCond compares two terms: x = y, year > 1995, l != "patent".
+type CmpCond struct {
+	Op   CmpOp
+	L, R Term
+	Pos  int
+}
+
+func (c *CmpCond) String() string                { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+func (c *CmpCond) condLine() int                 { return c.Pos }
+func (c *CmpCond) boundVars(set map[string]bool) {}
+func (c *CmpCond) refVars(set map[string]bool) {
+	if c.L.IsVar() {
+		set[c.L.Var] = true
+	}
+	if c.R.IsVar() {
+		set[c.R.Var] = true
+	}
+}
+
+// NotCond is safe negation of a conjunction: not(C1, C2, ...). Every
+// variable free in the negated conjunction must be bound positively
+// elsewhere or be local to the negation (existential inside the not).
+type NotCond struct {
+	Conds []Cond
+	Pos   int
+}
+
+func (c *NotCond) String() string {
+	parts := make([]string, len(c.Conds))
+	for i, k := range c.Conds {
+		parts[i] = k.String()
+	}
+	return fmt.Sprintf("not(%s)", strings.Join(parts, ", "))
+}
+func (c *NotCond) condLine() int                 { return c.Pos }
+func (c *NotCond) boundVars(set map[string]bool) {}
+func (c *NotCond) refVars(set map[string]bool) {
+	// Externally-bound variables are those referenced but not bindable
+	// inside the negation; for planning we require all outer variables
+	// referenced here to be bound, and we approximate that set as every
+	// referenced variable (locals are then a subset, which is safe).
+	for _, k := range c.Conds {
+		k.refVars(set)
+		k.boundVars(set)
+	}
+}
+
+// EdgeCond is a single edge with an arc variable: x -> l -> y. The arc
+// variable binds the edge's label and can carry schema irregularities into
+// the site graph (§6.2).
+type EdgeCond struct {
+	From     Term
+	LabelVar string
+	To       Term
+	Pos      int
+}
+
+func (c *EdgeCond) String() string {
+	return fmt.Sprintf("%s -> %s -> %s", c.From, c.LabelVar, c.To)
+}
+func (c *EdgeCond) condLine() int { return c.Pos }
+func (c *EdgeCond) boundVars(set map[string]bool) {
+	if c.From.IsVar() {
+		set[c.From.Var] = true
+	}
+	set[c.LabelVar] = true
+	if c.To.IsVar() {
+		set[c.To.Var] = true
+	}
+}
+func (c *EdgeCond) refVars(set map[string]bool) {}
+
+// PathCond is a regular-path-expression condition: x -> R -> y means a
+// path from x to y matching R exists.
+type PathCond struct {
+	From Term
+	Path *PathExpr
+	To   Term
+	Pos  int
+}
+
+func (c *PathCond) String() string {
+	return fmt.Sprintf("%s -> %s -> %s", c.From, c.Path, c.To)
+}
+func (c *PathCond) condLine() int { return c.Pos }
+func (c *PathCond) boundVars(set map[string]bool) {
+	if c.From.IsVar() {
+		set[c.From.Var] = true
+	}
+	if c.To.IsVar() {
+		set[c.To.Var] = true
+	}
+}
+func (c *PathCond) refVars(set map[string]bool) {}
+
+// PathOp discriminates regular-path-expression AST nodes.
+type PathOp uint8
+
+// Regular path expression operators: R := Pred | R.R | R|R | R* | R+ | R?.
+const (
+	PLabel PathOp = iota // quoted literal label
+	PAny                 // _  (the predicate true)
+	PRegex               // ~"re" — label matches the regular expression
+	PConcat
+	PAlt
+	PStar
+	PPlus
+	POpt
+)
+
+// PathExpr is the AST of a regular path expression. Predicates on edges
+// (PLabel, PAny, PRegex) are the leaves; concatenation, alternation, and
+// repetition combine them, which makes these strictly more general than
+// regular expressions over a fixed alphabet.
+type PathExpr struct {
+	Op    PathOp
+	Label string
+	ReSrc string
+	Re    *regexp.Regexp
+	Kids  []*PathExpr
+}
+
+func (p *PathExpr) String() string {
+	switch p.Op {
+	case PLabel:
+		return fmt.Sprintf("%q", p.Label)
+	case PAny:
+		return "_"
+	case PRegex:
+		return fmt.Sprintf("~%q", p.ReSrc)
+	case PConcat:
+		parts := make([]string, len(p.Kids))
+		for i, k := range p.Kids {
+			parts[i] = k.parenIf(PConcat)
+		}
+		return strings.Join(parts, ".")
+	case PAlt:
+		parts := make([]string, len(p.Kids))
+		for i, k := range p.Kids {
+			parts[i] = k.parenIf(PAlt)
+		}
+		return strings.Join(parts, "|")
+	case PStar:
+		return p.Kids[0].parenIf(PStar) + "*"
+	case PPlus:
+		return p.Kids[0].parenIf(PStar) + "+"
+	case POpt:
+		return p.Kids[0].parenIf(PStar) + "?"
+	}
+	return "?"
+}
+
+// parenIf parenthesizes the child when its operator binds looser than the
+// parent context requires.
+func (p *PathExpr) parenIf(ctx PathOp) string {
+	s := p.String()
+	switch ctx {
+	case PStar: // repetition applies to atoms only
+		if p.Op == PConcat || p.Op == PAlt {
+			return "(" + s + ")"
+		}
+	case PConcat:
+		if p.Op == PAlt {
+			return "(" + s + ")"
+		}
+	}
+	return s
+}
+
+// SkolemTerm is a Skolem-function application creating (or re-deriving)
+// a node: Fn(x, y). By definition the same function on the same inputs
+// yields the same oid.
+type SkolemTerm struct {
+	Fn   string
+	Args []string // variable names
+	Pos  int
+}
+
+func (s SkolemTerm) String() string {
+	return fmt.Sprintf("%s(%s)", s.Fn, strings.Join(s.Args, ", "))
+}
+
+// LinkTerm is an endpoint of a link or collect expression: a Skolem term,
+// a variable, or a constant.
+type LinkTerm struct {
+	Skolem *SkolemTerm
+	Term   *Term
+}
+
+func (t LinkTerm) String() string {
+	if t.Skolem != nil {
+		return t.Skolem.String()
+	}
+	return t.Term.String()
+}
+
+// IsSkolem reports whether the endpoint is a Skolem application.
+func (t LinkTerm) IsSkolem() bool { return t.Skolem != nil }
+
+// LabelSpec is the label of a constructed edge: a literal or an arc
+// variable bound in the where clause.
+type LabelSpec struct {
+	Lit   string
+	Var   string
+	IsVar bool
+}
+
+func (l LabelSpec) String() string {
+	if l.IsVar {
+		return l.Var
+	}
+	return fmt.Sprintf("%q", l.Lit)
+}
+
+// LinkExpr constructs one edge per binding row. Sources must be Skolem
+// terms: existing nodes are immutable and cannot be extended (§2.2).
+type LinkExpr struct {
+	From  SkolemTerm
+	Label LabelSpec
+	To    LinkTerm
+	Pos   int
+}
+
+func (l LinkExpr) String() string {
+	return fmt.Sprintf("%s -> %s -> %s", l.From.String(), l.Label, l.To)
+}
+
+// CollectExpr puts the target object into a named output collection.
+type CollectExpr struct {
+	Coll   string
+	Target LinkTerm
+	Pos    int
+}
+
+func (c CollectExpr) String() string { return fmt.Sprintf("%s(%s)", c.Coll, c.Target) }
+
+// String renders the query in canonical concrete syntax that reparses to
+// an equivalent query.
+func (q *Query) String() string {
+	var b strings.Builder
+	for i, blk := range q.Blocks {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		blk.write(&b, 0)
+	}
+	return b.String()
+}
+
+func (blk *Block) write(b *strings.Builder, depth int) {
+	ind := strings.Repeat("  ", depth)
+	if len(blk.Where) > 0 {
+		b.WriteString(ind + "where ")
+		for i, c := range blk.Where {
+			if i > 0 {
+				b.WriteString(",\n" + ind + "      ")
+			}
+			b.WriteString(c.String())
+		}
+		b.WriteString("\n")
+	}
+	if len(blk.Aggregate) > 0 {
+		b.WriteString(ind + "aggregate ")
+		for i, a := range blk.Aggregate {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		if len(blk.AggBy) > 0 {
+			b.WriteString(" by " + strings.Join(blk.AggBy, ", "))
+		}
+		b.WriteString("\n")
+	}
+	if len(blk.Create) > 0 {
+		b.WriteString(ind + "create ")
+		for i, s := range blk.Create {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.String())
+		}
+		b.WriteString("\n")
+	}
+	if len(blk.Link) > 0 {
+		b.WriteString(ind + "link ")
+		for i, l := range blk.Link {
+			if i > 0 {
+				b.WriteString(",\n" + ind + "     ")
+			}
+			b.WriteString(l.String())
+		}
+		b.WriteString("\n")
+	}
+	if len(blk.Collect) > 0 {
+		b.WriteString(ind + "collect ")
+		for i, c := range blk.Collect {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+		b.WriteString("\n")
+	}
+	if len(blk.Nested) > 0 {
+		b.WriteString(ind + "{\n")
+		for i, n := range blk.Nested {
+			if i > 0 {
+				b.WriteString("\n")
+			}
+			n.write(b, depth+1)
+		}
+		b.WriteString(ind + "}\n")
+	}
+}
+
+// LinkClauseCount returns the total number of link expressions in the
+// query, the paper's measure of a site's structural complexity (§6.1).
+func (q *Query) LinkClauseCount() int {
+	n := 0
+	var walk func(*Block)
+	walk = func(b *Block) {
+		n += len(b.Link)
+		for _, k := range b.Nested {
+			walk(k)
+		}
+	}
+	for _, b := range q.Blocks {
+		walk(b)
+	}
+	return n
+}
+
+// SkolemFunctions returns the distinct Skolem function names appearing in
+// the query, sorted; site schemas have one node per name (§2.5).
+func (q *Query) SkolemFunctions() []string {
+	set := map[string]bool{}
+	var walkTerm func(LinkTerm)
+	walkTerm = func(t LinkTerm) {
+		if t.Skolem != nil {
+			set[t.Skolem.Fn] = true
+		}
+	}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		for _, s := range b.Create {
+			set[s.Fn] = true
+		}
+		for _, l := range b.Link {
+			set[l.From.Fn] = true
+			walkTerm(l.To)
+		}
+		for _, c := range b.Collect {
+			walkTerm(c.Target)
+		}
+		for _, k := range b.Nested {
+			walk(k)
+		}
+	}
+	for _, b := range q.Blocks {
+		walk(b)
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,873 @@
+package struql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// Options tunes evaluation; the zero value is the optimized default.
+type Options struct {
+	// NoReorder evaluates where conditions in textual order instead of
+	// letting the planner order them by estimated cost — the unoptimized
+	// baseline for experiment E6.
+	NoReorder bool
+}
+
+// Result is the outcome of evaluating a query: the constructed graph (new
+// nodes, edges, and output collections; edges may target atoms and nodes of
+// the source graph) and evaluation statistics.
+type Result struct {
+	Graph *graph.Graph
+	// Rows is the total number of binding rows produced by where stages.
+	Rows int
+	// Plan records, per block in evaluation order, the condition order the
+	// planner chose, for explain-style inspection.
+	Plan []string
+}
+
+// Bindings is the relation a where clause denotes: the set of assignments
+// from query variables to oid and label values satisfying its conditions.
+type Bindings struct {
+	Vars []string
+	Rows [][]graph.Value
+}
+
+// Index returns the column of a variable, or -1.
+func (b *Bindings) Index(v string) int {
+	for i, name := range b.Vars {
+		if name == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup returns the value of variable v in row r, or Null.
+func (b *Bindings) Lookup(r int, v string) graph.Value {
+	i := b.Index(v)
+	if i < 0 {
+		return graph.Null
+	}
+	return b.Rows[r][i]
+}
+
+// emptyBindings is the unit relation: no variables, one empty row.
+func emptyBindings() *Bindings { return &Bindings{Rows: [][]graph.Value{{}}} }
+
+// Eval evaluates a query against a source with a fresh Skolem environment.
+func Eval(q *Query, src Source, opts *Options) (*Result, error) {
+	return EvalWithEnv(q, src, NewSkolemEnv(), opts)
+}
+
+// EvalWithEnv evaluates a query with a caller-provided Skolem environment,
+// the mechanism by which composed queries extend one site graph (§6.2).
+func EvalWithEnv(q *Query, src Source, env *SkolemEnv, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	ctx := &evalCtx{src: src, opts: opts, env: env, out: graph.New()}
+	for _, blk := range q.Blocks {
+		if err := ctx.evalBlock(blk, emptyBindings()); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Graph: ctx.out, Rows: ctx.rows, Plan: ctx.plans}, nil
+}
+
+// EvalSeq evaluates a sequence of queries, each seeing the union of the
+// base source and everything constructed so far, sharing one Skolem
+// environment — the composition style of the suciu example (§5.1).
+func EvalSeq(queries []*Query, base Source, opts *Options) (*graph.Graph, error) {
+	env := NewSkolemEnv()
+	acc := graph.New()
+	for i, q := range queries {
+		src := NewUnionSource(base, NewGraphSource(acc))
+		r, err := EvalWithEnv(q, src, env, opts)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i+1, err)
+		}
+		acc.Merge(r.Graph)
+	}
+	return acc, nil
+}
+
+// EvalWhere evaluates a condition list seeded with existing bindings and
+// returns the extended relation. The dynamic evaluator uses this to run
+// the incremental query of one site-schema edge with the page's Skolem
+// arguments pre-bound (§2.5).
+func EvalWhere(conds []Cond, src Source, seed *Bindings, opts *Options) (*Bindings, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if seed == nil {
+		seed = emptyBindings()
+	}
+	ctx := &evalCtx{src: src, opts: opts, env: NewSkolemEnv(), out: graph.New()}
+	return ctx.evalWhere(conds, seed)
+}
+
+type evalCtx struct {
+	src   Source
+	opts  *Options
+	env   *SkolemEnv
+	out   *graph.Graph
+	rows  int
+	plans []string
+	// suppressPlans stops plan recording during not(...) sub-evaluations,
+	// which run once per candidate row.
+	suppressPlans bool
+
+	matchers map[*PathExpr]*pathMatcher
+}
+
+func (ctx *evalCtx) matcher(p *PathExpr) *pathMatcher {
+	if ctx.matchers == nil {
+		ctx.matchers = make(map[*PathExpr]*pathMatcher)
+	}
+	m, ok := ctx.matchers[p]
+	if !ok {
+		m = newPathMatcher(p, ctx.src)
+		ctx.matchers[p] = m
+	}
+	return m
+}
+
+func (ctx *evalCtx) evalBlock(blk *Block, parent *Bindings) error {
+	b, err := ctx.evalWhere(blk.Where, parent)
+	if err != nil {
+		return err
+	}
+	if len(blk.Aggregate) > 0 {
+		b, err = aggregate(blk, b)
+		if err != nil {
+			return err
+		}
+	}
+	ctx.rows += len(b.Rows)
+	if err := ctx.construct(blk, b); err != nil {
+		return err
+	}
+	for _, nb := range blk.Nested {
+		if err := ctx.evalBlock(nb, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalWhere extends the parent relation by the conditions' constraints.
+func (ctx *evalCtx) evalWhere(conds []Cond, parent *Bindings) (*Bindings, error) {
+	// Output variable set: parent vars plus variables bound here.
+	newVars := map[string]bool{}
+	for _, c := range conds {
+		c.boundVars(newVars)
+	}
+	vars := append([]string(nil), parent.Vars...)
+	have := map[string]bool{}
+	for _, v := range vars {
+		have[v] = true
+	}
+	extras := make([]string, 0, len(newVars))
+	for v := range newVars {
+		if !have[v] {
+			extras = append(extras, v)
+		}
+	}
+	sort.Strings(extras)
+	vars = append(vars, extras...)
+
+	b := &Bindings{Vars: vars}
+	for _, prow := range parent.Rows {
+		row := make([]graph.Value, len(vars))
+		copy(row, prow)
+		b.Rows = append(b.Rows, row)
+	}
+	if len(conds) == 0 {
+		return b, nil
+	}
+
+	order, desc, err := ctx.orderConds(conds, parent.Vars)
+	if err != nil {
+		return nil, err
+	}
+	if !ctx.suppressPlans {
+		ctx.plans = append(ctx.plans, desc)
+	}
+	for _, ci := range order {
+		b, err = ctx.applyCond(conds[ci], b)
+		if err != nil {
+			return nil, err
+		}
+		if len(b.Rows) == 0 {
+			break
+		}
+	}
+	dedupRows(b)
+	return b, nil
+}
+
+// orderConds returns the evaluation order of conditions. With NoReorder it
+// is textual order; otherwise a greedy plan picks, at each step, the ready
+// condition with the lowest estimated cost given the bound variables.
+func (ctx *evalCtx) orderConds(conds []Cond, inputVars []string) ([]int, string, error) {
+	n := len(conds)
+	if ctx.opts.NoReorder {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order, "textual", nil
+	}
+	bound := map[string]bool{}
+	for _, v := range inputVars {
+		bound[v] = true
+	}
+	// canBind is everything the positive conditions can bind; filters and
+	// negations wait until their referenced bindable variables are bound.
+	canBind := map[string]bool{}
+	for v := range bound {
+		canBind[v] = true
+	}
+	for _, c := range conds {
+		c.boundVars(canBind)
+	}
+	used := make([]bool, n)
+	var order []int
+	var steps []string
+	for len(order) < n {
+		best, bestCost := -1, 0.0
+		for i, c := range conds {
+			if used[i] {
+				continue
+			}
+			cost, ready := ctx.condCost(c, bound, canBind)
+			if !ready {
+				continue
+			}
+			if best == -1 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		if best == -1 {
+			return nil, "", &ParseError{Line: conds[0].condLine(),
+				Msg: "cannot schedule conditions: a filter refers to variables no positive condition binds"}
+		}
+		used[best] = true
+		order = append(order, best)
+		conds[best].boundVars(bound)
+		steps = append(steps, fmt.Sprintf("%s$%.1f", conds[best], bestCost))
+	}
+	return order, strings.Join(steps, " ; "), nil
+}
+
+// condCost estimates the rows-produced multiplier of evaluating c now.
+func (ctx *evalCtx) condCost(c Cond, bound, canBind map[string]bool) (float64, bool) {
+	termBound := func(t Term) bool { return !t.IsVar() || bound[t.Var] }
+	switch c := c.(type) {
+	case *MemberCond:
+		if bound[c.Var] {
+			return 0.1, true
+		}
+		return float64(ctx.src.CollectionSize(c.Coll)) + 1, true
+	case *PredCond:
+		if termBound(c.Arg) {
+			return 0, true
+		}
+		return 0, false
+	case *CmpCond:
+		if termBound(c.L) && termBound(c.R) {
+			return 0, true
+		}
+		return 0, false
+	case *NotCond:
+		refs := map[string]bool{}
+		c.refVars(refs)
+		for v := range refs {
+			if canBind[v] && !bound[v] {
+				return 0, false
+			}
+		}
+		return 5, true
+	case *EdgeCond:
+		switch {
+		case termBound(c.From):
+			return avgDegree(ctx.src), true
+		case termBound(c.To):
+			return avgDegree(ctx.src), true
+		case bound[c.LabelVar]:
+			return float64(ctx.src.NumEdges())/4 + 8, true
+		default:
+			return float64(ctx.src.NumEdges()) + 16, true
+		}
+	case *PathCond:
+		if label, ok := singleLabel(c.Path); ok {
+			switch {
+			case termBound(c.From):
+				return avgDegree(ctx.src), true
+			case termBound(c.To):
+				return avgDegree(ctx.src), true
+			default:
+				return float64(ctx.src.LabelCount(label)) + 4, true
+			}
+		}
+		if termBound(c.From) {
+			return 4 * avgDegree(ctx.src), true
+		}
+		return float64(ctx.src.NumEdges())*4 + 64, true
+	}
+	return 0, false
+}
+
+func avgDegree(src Source) float64 {
+	n := src.NumNodes()
+	if n == 0 {
+		return 1
+	}
+	return float64(src.NumEdges())/float64(n) + 1
+}
+
+// applyCond extends or filters the relation by one condition.
+func (ctx *evalCtx) applyCond(c Cond, b *Bindings) (*Bindings, error) {
+	switch c := c.(type) {
+	case *MemberCond:
+		return ctx.applyMember(c, b)
+	case *PredCond:
+		return ctx.applyPred(c, b)
+	case *CmpCond:
+		return ctx.applyCmp(c, b)
+	case *NotCond:
+		return ctx.applyNot(c, b)
+	case *EdgeCond:
+		return ctx.applyEdge(c, b)
+	case *PathCond:
+		return ctx.applyPath(c, b)
+	}
+	return nil, fmt.Errorf("struql: unknown condition type %T", c)
+}
+
+// resolveTerm returns the term's value under the row, and whether it is
+// known (constants always are; variables when non-null).
+func resolveTerm(t Term, b *Bindings, row []graph.Value) (graph.Value, bool) {
+	if !t.IsVar() {
+		return t.Const, true
+	}
+	i := b.Index(t.Var)
+	if i < 0 {
+		return graph.Null, false
+	}
+	v := row[i]
+	return v, !v.IsNull()
+}
+
+// resolveAt is resolveTerm with the variable's column precomputed.
+func resolveAt(t Term, idx int, row []graph.Value) (graph.Value, bool) {
+	if !t.IsVar() {
+		return t.Const, true
+	}
+	if idx < 0 {
+		return graph.Null, false
+	}
+	v := row[idx]
+	return v, !v.IsNull()
+}
+
+func (ctx *evalCtx) applyMember(c *MemberCond, b *Bindings) (*Bindings, error) {
+	vi := b.Index(c.Var)
+	out := &Bindings{Vars: b.Vars}
+	for _, row := range b.Rows {
+		v := row[vi]
+		if !v.IsNull() {
+			if v.IsNode() && ctx.src.InCollection(c.Coll, v.OID()) {
+				out.Rows = append(out.Rows, row)
+			}
+			continue
+		}
+		for _, m := range ctx.src.Collection(c.Coll) {
+			nr := cloneRow(row)
+			nr[vi] = graph.NewNode(m)
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out, nil
+}
+
+func (ctx *evalCtx) applyPred(c *PredCond, b *Bindings) (*Bindings, error) {
+	pred := builtinPreds[c.Name]
+	ai := termIndex(c.Arg, b)
+	out := &Bindings{Vars: b.Vars}
+	for _, row := range b.Rows {
+		v, known := resolveAt(c.Arg, ai, row)
+		if known && pred(v) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (ctx *evalCtx) applyCmp(c *CmpCond, b *Bindings) (*Bindings, error) {
+	li, ri := termIndex(c.L, b), termIndex(c.R, b)
+	out := &Bindings{Vars: b.Vars}
+	for _, row := range b.Rows {
+		l, lk := resolveAt(c.L, li, row)
+		r, rk := resolveAt(c.R, ri, row)
+		if !lk || !rk {
+			continue
+		}
+		if cmpHolds(c.Op, l, r) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func cmpHolds(op CmpOp, l, r graph.Value) bool {
+	switch op {
+	case CmpEq:
+		return graph.Equiv(l, r)
+	case CmpNeq:
+		return !graph.Equiv(l, r)
+	}
+	c := graph.Compare(l, r)
+	switch op {
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// applyNot keeps rows for which the negated conjunction has no solution,
+// seeding the sub-evaluation with the row's current bindings.
+func (ctx *evalCtx) applyNot(c *NotCond, b *Bindings) (*Bindings, error) {
+	out := &Bindings{Vars: b.Vars}
+	for _, row := range b.Rows {
+		seed := &Bindings{}
+		for i, v := range b.Vars {
+			if !row[i].IsNull() {
+				seed.Vars = append(seed.Vars, v)
+			}
+		}
+		srow := make([]graph.Value, 0, len(seed.Vars))
+		for i := range b.Vars {
+			if !row[i].IsNull() {
+				srow = append(srow, row[i])
+			}
+		}
+		seed.Rows = [][]graph.Value{srow}
+		saved := ctx.suppressPlans
+		ctx.suppressPlans = true
+		sub, err := ctx.evalWhere(c.Conds, seed)
+		ctx.suppressPlans = saved
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.Rows) == 0 {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// bindIfConsistent writes v into row at position i when i >= 0; it reports
+// false if the position already holds a different value.
+func bindIfConsistent(row []graph.Value, i int, v graph.Value) bool {
+	if i < 0 {
+		return true
+	}
+	if row[i].IsNull() {
+		row[i] = v
+		return true
+	}
+	return row[i] == v
+}
+
+// applyEdge evaluates x -> l -> y with an arc variable, choosing the
+// access path from what is already bound.
+func (ctx *evalCtx) applyEdge(c *EdgeCond, b *Bindings) (*Bindings, error) {
+	fi, ti := termIndex(c.From, b), termIndex(c.To, b)
+	li := b.Index(c.LabelVar)
+	out := &Bindings{Vars: b.Vars}
+	for _, row := range b.Rows {
+		from, fromKnown := resolveAt(c.From, fi, row)
+		to, toKnown := resolveAt(c.To, ti, row)
+		label := graph.Null
+		labelKnown := false
+		if li >= 0 && !row[li].IsNull() {
+			label, labelKnown = row[li], true
+		}
+		emit := func(e graph.Edge) {
+			nr := cloneRow(row)
+			if !bindIfConsistent(nr, fi, graph.NewNode(e.From)) {
+				return
+			}
+			if !bindIfConsistent(nr, li, graph.NewString(e.Label)) {
+				return
+			}
+			if !bindIfConsistent(nr, ti, e.To) {
+				return
+			}
+			out.Rows = append(out.Rows, nr)
+		}
+		switch {
+		case fromKnown:
+			if !from.IsNode() {
+				continue
+			}
+			if labelKnown {
+				for _, v := range ctx.src.OutLabel(from.OID(), label.Text()) {
+					emit(graph.Edge{From: from.OID(), Label: label.Text(), To: v})
+				}
+			} else {
+				for _, e := range ctx.src.Out(from.OID()) {
+					emit(e)
+				}
+			}
+		case toKnown:
+			for _, e := range ctx.src.In(to) {
+				if labelKnown && e.Label != label.Text() {
+					continue
+				}
+				emit(e)
+			}
+		case labelKnown:
+			for _, e := range ctx.src.EdgesLabeled(label.Text()) {
+				emit(e)
+			}
+		default:
+			for _, n := range ctx.src.Nodes() {
+				for _, e := range ctx.src.Out(n) {
+					emit(e)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// applyPath evaluates x -> R -> y. Single-literal paths use edge access
+// paths; general expressions run the product-automaton BFS.
+func (ctx *evalCtx) applyPath(c *PathCond, b *Bindings) (*Bindings, error) {
+	if label, ok := singleLabel(c.Path); ok {
+		return ctx.applySingleLabel(c, label, b)
+	}
+	fi, ti := termIndex(c.From, b), termIndex(c.To, b)
+	m := ctx.matcher(c.Path)
+	out := &Bindings{Vars: b.Vars}
+	for _, row := range b.Rows {
+		from, fromKnown := resolveAt(c.From, fi, row)
+		to, toKnown := resolveAt(c.To, ti, row)
+		starts := []graph.Value{from}
+		if !fromKnown {
+			starts = starts[:0]
+			for _, n := range ctx.src.Nodes() {
+				starts = append(starts, graph.NewNode(n))
+			}
+		}
+		for _, s := range starts {
+			if !s.IsNode() {
+				continue // paths start at nodes (active-domain semantics)
+			}
+			if toKnown {
+				if m.matches(s.OID(), to) {
+					nr := cloneRow(row)
+					if bindIfConsistent(nr, fi, s) {
+						out.Rows = append(out.Rows, nr)
+					}
+				}
+				continue
+			}
+			for _, v := range m.reachableFrom(s.OID()) {
+				nr := cloneRow(row)
+				if bindIfConsistent(nr, fi, s) && bindIfConsistent(nr, ti, v) {
+					out.Rows = append(out.Rows, nr)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func (ctx *evalCtx) applySingleLabel(c *PathCond, label string, b *Bindings) (*Bindings, error) {
+	fi, ti := termIndex(c.From, b), termIndex(c.To, b)
+	out := &Bindings{Vars: b.Vars}
+	for _, row := range b.Rows {
+		from, fromKnown := resolveAt(c.From, fi, row)
+		to, toKnown := resolveAt(c.To, ti, row)
+		emit := func(e graph.Edge) {
+			nr := cloneRow(row)
+			if bindIfConsistent(nr, fi, graph.NewNode(e.From)) && bindIfConsistent(nr, ti, e.To) {
+				out.Rows = append(out.Rows, nr)
+			}
+		}
+		switch {
+		case fromKnown:
+			if !from.IsNode() {
+				continue
+			}
+			for _, v := range ctx.src.OutLabel(from.OID(), label) {
+				if toKnown && v != to {
+					continue
+				}
+				emit(graph.Edge{From: from.OID(), Label: label, To: v})
+			}
+		case toKnown:
+			for _, e := range ctx.src.In(to) {
+				if e.Label == label {
+					emit(e)
+				}
+			}
+		default:
+			for _, e := range ctx.src.EdgesLabeled(label) {
+				emit(e)
+			}
+		}
+	}
+	return out, nil
+}
+
+func termIndex(t Term, b *Bindings) int {
+	if !t.IsVar() {
+		return -1
+	}
+	return b.Index(t.Var)
+}
+
+func cloneRow(row []graph.Value) []graph.Value {
+	nr := make([]graph.Value, len(row))
+	copy(nr, row)
+	return nr
+}
+
+func dedupRows(b *Bindings) {
+	if len(b.Rows) < 2 {
+		return
+	}
+	// Precompute one sort key per row: computing value keys inside the
+	// comparator would allocate O(n log n) strings.
+	type keyed struct {
+		key string
+		row []graph.Value
+	}
+	keyedRows := make([]keyed, len(b.Rows))
+	var kb strings.Builder
+	for i, row := range b.Rows {
+		kb.Reset()
+		for _, v := range row {
+			kb.WriteString(v.Key())
+			kb.WriteByte(0)
+		}
+		keyedRows[i] = keyed{key: kb.String(), row: row}
+	}
+	sort.Slice(keyedRows, func(i, j int) bool { return keyedRows[i].key < keyedRows[j].key })
+	out := b.Rows[:0]
+	for i, kr := range keyedRows {
+		if i == 0 || kr.key != keyedRows[i-1].key {
+			out = append(out, kr.row)
+		}
+	}
+	b.Rows = out
+}
+
+// aggregate groups the binding relation by the AggBy variables and folds
+// each group through the aggregate expressions (§6.2's "grouping and
+// aggregation" extension). The result binds only the grouping variables
+// and the aggregate results, one row per group.
+func aggregate(blk *Block, b *Bindings) (*Bindings, error) {
+	byIdx := make([]int, len(blk.AggBy))
+	for i, v := range blk.AggBy {
+		byIdx[i] = b.Index(v)
+		if byIdx[i] < 0 {
+			return nil, fmt.Errorf("struql: line %d: grouping variable %s unbound", blk.Line, v)
+		}
+	}
+	argIdx := make([]int, len(blk.Aggregate))
+	for i, a := range blk.Aggregate {
+		argIdx[i] = b.Index(a.Arg)
+		if argIdx[i] < 0 {
+			return nil, fmt.Errorf("struql: line %d: aggregated variable %s unbound", a.Pos, a.Arg)
+		}
+	}
+	type group struct {
+		key  []graph.Value
+		rows [][]graph.Value
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range b.Rows {
+		key := make([]graph.Value, len(byIdx))
+		var kb strings.Builder
+		for i, bi := range byIdx {
+			key[i] = row[bi]
+			kb.WriteString(row[bi].Key())
+			kb.WriteByte(0)
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: key}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, row)
+	}
+	sort.Strings(order)
+	out := &Bindings{Vars: append([]string(nil), blk.AggBy...)}
+	for _, a := range blk.Aggregate {
+		out.Vars = append(out.Vars, a.As)
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := append([]graph.Value(nil), g.key...)
+		for i, a := range blk.Aggregate {
+			row = append(row, foldAgg(a.Fn, argIdx[i], g.rows))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// foldAgg computes one aggregate over a group's distinct argument values.
+// Count counts them; sum/avg fold their numeric readings (non-numeric
+// values contribute 0); min/max use the dynamic-coercion order.
+func foldAgg(fn AggFn, argIdx int, rows [][]graph.Value) graph.Value {
+	distinct := map[string]graph.Value{}
+	for _, row := range rows {
+		v := row[argIdx]
+		distinct[v.Key()] = v
+	}
+	if fn == AggCount {
+		return graph.NewInt(int64(len(distinct)))
+	}
+	var best graph.Value
+	sum := 0.0
+	allInt := true
+	first := true
+	for _, v := range distinct {
+		switch fn {
+		case AggSum, AggAvg:
+			switch v.Kind() {
+			case graph.KindInt:
+				sum += float64(v.Int())
+			case graph.KindFloat:
+				sum += v.Float()
+				allInt = false
+			default:
+				if f, ok := numericText(v); ok {
+					sum += f
+					allInt = false
+				}
+			}
+		case AggMin:
+			if first || graph.Compare(v, best) < 0 {
+				best = v
+			}
+		case AggMax:
+			if first || graph.Compare(v, best) > 0 {
+				best = v
+			}
+		}
+		first = false
+	}
+	switch fn {
+	case AggSum:
+		if allInt {
+			return graph.NewInt(int64(sum))
+		}
+		return graph.NewFloat(sum)
+	case AggAvg:
+		if len(distinct) == 0 {
+			return graph.NewFloat(0)
+		}
+		return graph.NewFloat(sum / float64(len(distinct)))
+	}
+	return best
+}
+
+func numericText(v graph.Value) (float64, bool) {
+	var f float64
+	_, err := fmt.Sscanf(v.Text(), "%g", &f)
+	return f, err == nil
+}
+
+// construct runs the create, link, and collect clauses once per binding
+// row (§2.2). Skolem terms in link and collect clauses implicitly create
+// their nodes; edges are only ever added from Skolem-created nodes, so
+// existing nodes are never extended.
+func (ctx *evalCtx) construct(blk *Block, b *Bindings) error {
+	for ri, row := range b.Rows {
+		_ = ri
+		skolemOID := func(st SkolemTerm) (graph.OID, error) {
+			args := make([]graph.Value, len(st.Args))
+			for i, a := range st.Args {
+				vi := b.Index(a)
+				if vi < 0 || row[vi].IsNull() {
+					return "", fmt.Errorf("struql: line %d: Skolem argument %s unbound at construction", st.Pos, a)
+				}
+				args[i] = row[vi]
+			}
+			return ctx.env.OID(st.Fn, args), nil
+		}
+		resolveLink := func(t LinkTerm, pos int) (graph.Value, error) {
+			if t.Skolem != nil {
+				oid, err := skolemOID(*t.Skolem)
+				if err != nil {
+					return graph.Null, err
+				}
+				ctx.out.AddNode(oid)
+				return graph.NewNode(oid), nil
+			}
+			v, known := resolveTerm(*t.Term, b, row)
+			if !known {
+				return graph.Null, fmt.Errorf("struql: line %d: variable %s unbound at construction", pos, t.Term.Var)
+			}
+			return v, nil
+		}
+		for _, st := range blk.Create {
+			oid, err := skolemOID(st)
+			if err != nil {
+				return err
+			}
+			ctx.out.AddNode(oid)
+		}
+		for _, le := range blk.Link {
+			fromOID, err := skolemOID(le.From)
+			if err != nil {
+				return err
+			}
+			ctx.out.AddNode(fromOID)
+			label := le.Label.Lit
+			if le.Label.IsVar {
+				vi := b.Index(le.Label.Var)
+				if vi < 0 || row[vi].IsNull() {
+					return fmt.Errorf("struql: line %d: arc variable %s unbound at construction", le.Pos, le.Label.Var)
+				}
+				label = row[vi].Text()
+			}
+			to, err := resolveLink(le.To, le.Pos)
+			if err != nil {
+				return err
+			}
+			ctx.out.AddEdge(fromOID, label, to)
+		}
+		for _, ce := range blk.Collect {
+			v, err := resolveLink(ce.Target, ce.Pos)
+			if err != nil {
+				return err
+			}
+			if !v.IsNode() {
+				return fmt.Errorf("struql: line %d: collect %s: collections contain objects, not the atom %s",
+					ce.Pos, ce.Coll, v)
+			}
+			ctx.out.AddToCollection(ce.Coll, v.OID())
+		}
+	}
+	return nil
+}

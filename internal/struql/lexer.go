@@ -1,0 +1,292 @@
+package struql
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString // quoted label or string constant
+	tokInt
+	tokFloat
+	tokArrow  // ->
+	tokLParen // (
+	tokRParen // )
+	tokLBrace // {
+	tokRBrace // }
+	tokComma  // ,
+	tokDot    // .
+	tokPipe   // |
+	tokStar   // *
+	tokPlus   // +
+	tokQuest  // ?
+	tokUnder  // _
+	tokTilde  // ~
+	tokAmp    // &
+	tokEq     // =
+	tokNeq    // !=
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokError
+)
+
+var tokKindNames = map[tokKind]string{
+	tokEOF: "end of query", tokIdent: "identifier", tokString: "string",
+	tokInt: "integer", tokFloat: "float", tokArrow: "'->'",
+	tokLParen: "'('", tokRParen: "')'", tokLBrace: "'{'", tokRBrace: "'}'",
+	tokComma: "','", tokDot: "'.'", tokPipe: "'|'", tokStar: "'*'",
+	tokPlus: "'+'", tokQuest: "'?'", tokUnder: "'_'", tokTilde: "'~'",
+	tokAmp: "'&'", tokEq: "'='", tokNeq: "'!='", tokLt: "'<'",
+	tokLe: "'<='", tokGt: "'>'", tokGe: "'>='", tokError: "invalid token",
+}
+
+type token struct {
+	kind tokKind
+	text string
+	i64  int64
+	f64  float64
+	line int
+}
+
+func (t token) describe() string {
+	if t.kind == tokIdent || t.kind == tokString || t.kind == tokError {
+		return fmt.Sprintf("%q", t.text)
+	}
+	return tokKindNames[t.kind]
+}
+
+// lexer scans StruQL source. Comments run from "//" or "#" to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+func (l *lexer) peek2() rune {
+	if l.pos >= len(l.src) {
+		return -1
+	}
+	_, w := utf8.DecodeRuneInString(l.src[l.pos:])
+	if l.pos+w >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos+w:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += w
+	if r == '\n' {
+		l.line++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		if r == ' ' || r == '\t' || r == '\r' || r == '\n' {
+			l.advance()
+			continue
+		}
+		if r == '#' || (r == '/' && l.peek2() == '/') {
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+}
+
+func (l *lexer) scan() token {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}
+	}
+	line := l.line
+	r := l.peek()
+	switch r {
+	case '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line}
+	case ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line}
+	case '{':
+		l.advance()
+		return token{kind: tokLBrace, text: "{", line: line}
+	case '}':
+		l.advance()
+		return token{kind: tokRBrace, text: "}", line: line}
+	case ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line}
+	case '.':
+		l.advance()
+		return token{kind: tokDot, text: ".", line: line}
+	case '|':
+		l.advance()
+		return token{kind: tokPipe, text: "|", line: line}
+	case '*':
+		l.advance()
+		return token{kind: tokStar, text: "*", line: line}
+	case '+':
+		l.advance()
+		return token{kind: tokPlus, text: "+", line: line}
+	case '?':
+		l.advance()
+		return token{kind: tokQuest, text: "?", line: line}
+	case '_':
+		// A bare underscore is the any-label predicate; an underscore
+		// followed by ident characters is an ordinary identifier.
+		if !isIdentRune(l.peek2(), false) {
+			l.advance()
+			return token{kind: tokUnder, text: "_", line: line}
+		}
+	case '~':
+		l.advance()
+		return token{kind: tokTilde, text: "~", line: line}
+	case '&':
+		l.advance()
+		return token{kind: tokAmp, text: "&", line: line}
+	case '=':
+		l.advance()
+		return token{kind: tokEq, text: "=", line: line}
+	case '!':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{kind: tokNeq, text: "!=", line: line}
+		}
+		return token{kind: tokError, text: "!", line: line}
+	case '<':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{kind: tokLe, text: "<=", line: line}
+		}
+		return token{kind: tokLt, text: "<", line: line}
+	case '>':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{kind: tokGe, text: ">=", line: line}
+		}
+		return token{kind: tokGt, text: ">", line: line}
+	case '-':
+		l.advance()
+		if l.peek() == '>' {
+			l.advance()
+			return token{kind: tokArrow, text: "->", line: line}
+		}
+		if unicode.IsDigit(l.peek()) {
+			return l.scanNumber(line, true)
+		}
+		return token{kind: tokError, text: "-", line: line}
+	case '"':
+		return l.scanString(line)
+	}
+	if unicode.IsDigit(r) {
+		return l.scanNumber(line, false)
+	}
+	if isIdentRune(r, true) {
+		start := l.pos
+		l.advance()
+		for l.pos < len(l.src) && isIdentRune(l.peek(), false) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line}
+	}
+	l.advance()
+	return token{kind: tokError, text: string(r), line: line}
+}
+
+func isIdentRune(r rune, first bool) bool {
+	if unicode.IsLetter(r) || r == '_' {
+		return true
+	}
+	return !first && unicode.IsDigit(r)
+}
+
+// scanString reads a Go-syntax quoted string; the printer quotes with
+// strconv, so lexing with strconv keeps print→parse round trips exact
+// for every label and constant, including control characters.
+func (l *lexer) scanString(line int) token {
+	start := l.pos
+	l.advance() // opening quote
+	for l.pos < len(l.src) {
+		r := l.advance()
+		if r == '\\' {
+			if l.pos < len(l.src) {
+				l.advance()
+			}
+			continue
+		}
+		if r == '"' {
+			raw := l.src[start:l.pos]
+			s, err := strconv.Unquote(raw)
+			if err != nil {
+				return token{kind: tokError, text: "bad string literal " + raw, line: line}
+			}
+			return token{kind: tokString, text: s, line: line}
+		}
+		if r == '\n' {
+			return token{kind: tokError, text: "unterminated string", line: line}
+		}
+	}
+	return token{kind: tokError, text: "unterminated string", line: line}
+}
+
+func (l *lexer) scanNumber(line int, neg bool) token {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) {
+		r := l.peek()
+		if unicode.IsDigit(r) {
+			l.advance()
+			continue
+		}
+		if r == '.' && !isFloat && unicode.IsDigit(l.peek2()) {
+			isFloat = true
+			l.advance()
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if neg {
+		text = "-" + text
+	}
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{kind: tokError, text: text, line: line}
+		}
+		return token{kind: tokFloat, text: text, f64: f, line: line}
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{kind: tokError, text: text, line: line}
+	}
+	return token{kind: tokInt, text: text, i64: i, line: line}
+}

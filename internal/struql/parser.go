@@ -1,0 +1,606 @@
+package struql
+
+import (
+	"fmt"
+	"regexp"
+
+	"strudel/internal/graph"
+)
+
+// Builtin node/atom predicates usable in where clauses. Any other
+// name(term) condition is collection membership.
+var builtinPreds = map[string]func(graph.Value) bool{
+	"isNode":           graph.Value.IsNode,
+	"isAtom":           graph.Value.IsAtom,
+	"isString":         func(v graph.Value) bool { return v.Kind() == graph.KindString },
+	"isInt":            func(v graph.Value) bool { return v.Kind() == graph.KindInt },
+	"isFloat":          func(v graph.Value) bool { return v.Kind() == graph.KindFloat },
+	"isBool":           func(v graph.Value) bool { return v.Kind() == graph.KindBool },
+	"isURL":            func(v graph.Value) bool { return v.Kind() == graph.KindURL },
+	"isFile":           func(v graph.Value) bool { return v.Kind() == graph.KindFile },
+	"isImageFile":      fileTypePred(graph.FileImage),
+	"isTextFile":       fileTypePred(graph.FileText),
+	"isHTMLFile":       fileTypePred(graph.FileHTML),
+	"isPostScriptFile": fileTypePred(graph.FilePostScript),
+	"isPostScript":     fileTypePred(graph.FilePostScript),
+}
+
+func fileTypePred(t graph.FileType) func(graph.Value) bool {
+	return func(v graph.Value) bool {
+		return v.Kind() == graph.KindFile && v.FileType() == t
+	}
+}
+
+// IsBuiltinPred reports whether name is a built-in predicate rather than a
+// collection name.
+func IsBuiltinPred(name string) bool {
+	_, ok := builtinPreds[name]
+	return ok
+}
+
+// ParseError is a StruQL syntax or analysis error with a source line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("struql: line %d: %s", e.Line, e.Msg) }
+
+// Parse parses and analyzes a StruQL query. The returned query has passed
+// the safety checks in analyze.go.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: newLexer(src)}
+	p.next()
+	q := &Query{}
+	for p.tok.kind != tokEOF {
+		blk, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		q.Blocks = append(q.Blocks, blk)
+	}
+	if len(q.Blocks) == 0 {
+		return nil, &ParseError{Line: 1, Msg: "empty query"}
+	}
+	if err := Analyze(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for tests and embedded query literals.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) next() { p.tok = p.lex.scan() }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.tok.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errf("expected %s, got %s", what, p.tok.describe())
+	}
+	t := p.tok
+	p.next()
+	return t, nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == kw
+}
+
+// block parses one where/create/link/collect group with optional nested
+// blocks. A block may omit the where clause (then it has one empty binding
+// row, as in the first clause of the Fig. 3 query).
+func (p *parser) block() (*Block, error) {
+	blk := &Block{Line: p.tok.line}
+	if p.atKeyword("where") {
+		p.next()
+		conds, err := p.condList()
+		if err != nil {
+			return nil, err
+		}
+		blk.Where = conds
+	}
+	if p.atKeyword("aggregate") {
+		p.next()
+		for {
+			ae, err := p.aggExpr()
+			if err != nil {
+				return nil, err
+			}
+			blk.Aggregate = append(blk.Aggregate, ae)
+			if p.tok.kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		if p.atKeyword("by") {
+			p.next()
+			for {
+				v, err := p.expect(tokIdent, "grouping variable")
+				if err != nil {
+					return nil, err
+				}
+				blk.AggBy = append(blk.AggBy, v.text)
+				if p.tok.kind != tokComma {
+					break
+				}
+				p.next()
+			}
+		}
+	}
+	if p.atKeyword("create") {
+		p.next()
+		for {
+			st, err := p.skolemTerm()
+			if err != nil {
+				return nil, err
+			}
+			blk.Create = append(blk.Create, st)
+			if p.tok.kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.atKeyword("link") {
+		p.next()
+		for {
+			le, err := p.linkExpr()
+			if err != nil {
+				return nil, err
+			}
+			blk.Link = append(blk.Link, le)
+			if p.tok.kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.atKeyword("collect") {
+		p.next()
+		for {
+			ce, err := p.collectExpr()
+			if err != nil {
+				return nil, err
+			}
+			blk.Collect = append(blk.Collect, ce)
+			if p.tok.kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	for p.tok.kind == tokLBrace {
+		p.next()
+		for p.tok.kind != tokRBrace {
+			if p.tok.kind == tokEOF {
+				return nil, p.errf("unterminated nested block (missing '}')")
+			}
+			nb, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			blk.Nested = append(blk.Nested, nb)
+		}
+		p.next() // consume '}'
+	}
+	if len(blk.Where) == 0 && len(blk.Aggregate) == 0 && len(blk.Create) == 0 &&
+		len(blk.Link) == 0 && len(blk.Collect) == 0 && len(blk.Nested) == 0 {
+		return nil, p.errf("expected 'where', 'create', 'link', or 'collect', got %s", p.tok.describe())
+	}
+	return blk, nil
+}
+
+// aggExpr parses fn(var) as var.
+func (p *parser) aggExpr() (AggExpr, error) {
+	line := p.tok.line
+	fnTok, err := p.expect(tokIdent, "aggregation function (count, sum, min, max, avg)")
+	if err != nil {
+		return AggExpr{}, err
+	}
+	fn, ok := ParseAggFn(fnTok.text)
+	if !ok {
+		return AggExpr{}, &ParseError{Line: line, Msg: fmt.Sprintf("unknown aggregation function %q", fnTok.text)}
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return AggExpr{}, err
+	}
+	arg, err := p.expect(tokIdent, "variable")
+	if err != nil {
+		return AggExpr{}, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return AggExpr{}, err
+	}
+	if !p.atKeyword("as") {
+		return AggExpr{}, p.errf("expected 'as' after %s(%s)", fnTok.text, arg.text)
+	}
+	p.next()
+	as, err := p.expect(tokIdent, "result variable")
+	if err != nil {
+		return AggExpr{}, err
+	}
+	return AggExpr{Fn: fn, Arg: arg.text, As: as.text, Pos: line}, nil
+}
+
+// condList parses Cond ("," Cond)*. The comma list ends at a clause
+// keyword, '}', '{', or EOF.
+func (p *parser) condList() ([]Cond, error) {
+	var conds []Cond
+	for {
+		c, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, c)
+		if p.tok.kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	return conds, nil
+}
+
+func (p *parser) cond() (Cond, error) {
+	line := p.tok.line
+	// not(...)
+	if p.atKeyword("not") {
+		p.next()
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		inner, err := p.condList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &NotCond{Conds: inner, Pos: line}, nil
+	}
+	// Name(term): builtin predicate or collection membership.
+	if p.tok.kind == tokIdent {
+		name := p.tok.text
+		save := *p.lex
+		saveTok := p.tok
+		p.next()
+		if p.tok.kind == tokLParen {
+			p.next()
+			arg, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			if IsBuiltinPred(name) {
+				return &PredCond{Name: name, Arg: arg, Pos: line}, nil
+			}
+			if !arg.IsVar() {
+				return nil, &ParseError{Line: line, Msg: fmt.Sprintf("collection test %s(...) requires a variable", name)}
+			}
+			return &MemberCond{Coll: name, Var: arg.Var, Pos: line}, nil
+		}
+		// Not a call: rewind and fall through to term-led parse.
+		*p.lex = save
+		p.tok = saveTok
+	}
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.kind {
+	case tokArrow:
+		p.next()
+		return p.pathTail(left, line)
+	case tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		op := map[tokKind]CmpOp{
+			tokEq: CmpEq, tokNeq: CmpNeq, tokLt: CmpLt,
+			tokLe: CmpLe, tokGt: CmpGt, tokGe: CmpGe,
+		}[p.tok.kind]
+		p.next()
+		right, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		return &CmpCond{Op: op, L: left, R: right, Pos: line}, nil
+	}
+	return nil, p.errf("expected '->' or comparison after term, got %s", p.tok.describe())
+}
+
+// pathTail parses the middle and target of x -> ... -> y. A bare
+// identifier in the middle is an arc variable binding the edge label;
+// anything else is a regular path expression.
+func (p *parser) pathTail(from Term, line int) (Cond, error) {
+	if p.tok.kind == tokIdent {
+		labelVar := p.tok.text
+		p.next()
+		if _, err := p.expect(tokArrow, "'->'"); err != nil {
+			return nil, err
+		}
+		to, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		return &EdgeCond{From: from, LabelVar: labelVar, To: to, Pos: line}, nil
+	}
+	rpe, err := p.pathExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokArrow, "'->'"); err != nil {
+		return nil, err
+	}
+	to, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	return &PathCond{From: from, Path: rpe, To: to, Pos: line}, nil
+}
+
+// pathExpr parses a regular path expression: alternation of
+// concatenations of repeated atoms.
+func (p *parser) pathExpr() (*PathExpr, error) {
+	first, err := p.pathSeq()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*PathExpr{first}
+	for p.tok.kind == tokPipe {
+		p.next()
+		next, err := p.pathSeq()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &PathExpr{Op: PAlt, Kids: kids}, nil
+}
+
+func (p *parser) pathSeq() (*PathExpr, error) {
+	first, err := p.pathRep()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*PathExpr{first}
+	for p.tok.kind == tokDot {
+		p.next()
+		next, err := p.pathRep()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &PathExpr{Op: PConcat, Kids: kids}, nil
+}
+
+func (p *parser) pathRep() (*PathExpr, error) {
+	atom, err := p.pathAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokStar:
+			p.next()
+			atom = &PathExpr{Op: PStar, Kids: []*PathExpr{atom}}
+		case tokPlus:
+			p.next()
+			atom = &PathExpr{Op: PPlus, Kids: []*PathExpr{atom}}
+		case tokQuest:
+			p.next()
+			atom = &PathExpr{Op: POpt, Kids: []*PathExpr{atom}}
+		default:
+			return atom, nil
+		}
+	}
+}
+
+func (p *parser) pathAtom() (*PathExpr, error) {
+	switch p.tok.kind {
+	case tokString:
+		pe := &PathExpr{Op: PLabel, Label: p.tok.text}
+		p.next()
+		return pe, nil
+	case tokUnder:
+		p.next()
+		return &PathExpr{Op: PAny}, nil
+	case tokStar:
+		// A bare "*" in the middle of a path condition abbreviates _*
+		// ("true*", any path, §2.2).
+		p.next()
+		return &PathExpr{Op: PStar, Kids: []*PathExpr{{Op: PAny}}}, nil
+	case tokTilde:
+		p.next()
+		reTok, err := p.expect(tokString, "quoted regular expression after '~'")
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile("^(?:" + reTok.text + ")$")
+		if err != nil {
+			return nil, &ParseError{Line: reTok.line, Msg: fmt.Sprintf("bad label regexp %q: %v", reTok.text, err)}
+		}
+		return &PathExpr{Op: PRegex, ReSrc: reTok.text, Re: re}, nil
+	case tokLParen:
+		p.next()
+		inner, err := p.pathExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return nil, p.errf("expected path expression, got %s", p.tok.describe())
+}
+
+// term parses a variable or constant.
+func (p *parser) term() (Term, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		switch p.tok.text {
+		case "true":
+			p.next()
+			return ConstTerm(graph.NewBool(true)), nil
+		case "false":
+			p.next()
+			return ConstTerm(graph.NewBool(false)), nil
+		}
+		t := VarTerm(p.tok.text)
+		p.next()
+		return t, nil
+	case tokString:
+		t := ConstTerm(graph.NewString(p.tok.text))
+		p.next()
+		return t, nil
+	case tokInt:
+		t := ConstTerm(graph.NewInt(p.tok.i64))
+		p.next()
+		return t, nil
+	case tokFloat:
+		t := ConstTerm(graph.NewFloat(p.tok.f64))
+		p.next()
+		return t, nil
+	case tokAmp:
+		p.next()
+		oid, err := p.expect(tokIdent, "node oid after '&'")
+		if err != nil {
+			return Term{}, err
+		}
+		return ConstTerm(graph.NewNode(graph.OID(oid.text))), nil
+	}
+	return Term{}, p.errf("expected term, got %s", p.tok.describe())
+}
+
+// skolemTerm parses Fn(args...); args are variable names.
+func (p *parser) skolemTerm() (SkolemTerm, error) {
+	line := p.tok.line
+	fn, err := p.expect(tokIdent, "Skolem function name")
+	if err != nil {
+		return SkolemTerm{}, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return SkolemTerm{}, err
+	}
+	st := SkolemTerm{Fn: fn.text, Pos: line}
+	if p.tok.kind != tokRParen {
+		for {
+			arg, err := p.expect(tokIdent, "variable name")
+			if err != nil {
+				return SkolemTerm{}, err
+			}
+			st.Args = append(st.Args, arg.text)
+			if p.tok.kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return SkolemTerm{}, err
+	}
+	return st, nil
+}
+
+// linkTerm parses a link/collect endpoint: Skolem term, variable, or
+// constant.
+func (p *parser) linkTerm() (LinkTerm, error) {
+	if p.tok.kind == tokIdent && !p.atKeyword("true") && !p.atKeyword("false") {
+		// Lookahead for '(' decides Skolem application vs variable.
+		save := *p.lex
+		saveTok := p.tok
+		name := p.tok.text
+		_ = name
+		p.next()
+		if p.tok.kind == tokLParen {
+			*p.lex = save
+			p.tok = saveTok
+			st, err := p.skolemTerm()
+			if err != nil {
+				return LinkTerm{}, err
+			}
+			return LinkTerm{Skolem: &st}, nil
+		}
+		*p.lex = save
+		p.tok = saveTok
+	}
+	t, err := p.term()
+	if err != nil {
+		return LinkTerm{}, err
+	}
+	return LinkTerm{Term: &t}, nil
+}
+
+func (p *parser) linkExpr() (LinkExpr, error) {
+	line := p.tok.line
+	from, err := p.linkTerm()
+	if err != nil {
+		return LinkExpr{}, err
+	}
+	if !from.IsSkolem() {
+		return LinkExpr{}, &ParseError{Line: line,
+			Msg: "link source must be a Skolem term: existing nodes are immutable and cannot be extended"}
+	}
+	if _, err := p.expect(tokArrow, "'->'"); err != nil {
+		return LinkExpr{}, err
+	}
+	var spec LabelSpec
+	switch p.tok.kind {
+	case tokString:
+		spec = LabelSpec{Lit: p.tok.text}
+		p.next()
+	case tokIdent:
+		spec = LabelSpec{Var: p.tok.text, IsVar: true}
+		p.next()
+	default:
+		return LinkExpr{}, p.errf("expected edge label (string or arc variable), got %s", p.tok.describe())
+	}
+	if _, err := p.expect(tokArrow, "'->'"); err != nil {
+		return LinkExpr{}, err
+	}
+	to, err := p.linkTerm()
+	if err != nil {
+		return LinkExpr{}, err
+	}
+	return LinkExpr{From: *from.Skolem, Label: spec, To: to, Pos: line}, nil
+}
+
+func (p *parser) collectExpr() (CollectExpr, error) {
+	line := p.tok.line
+	coll, err := p.expect(tokIdent, "collection name")
+	if err != nil {
+		return CollectExpr{}, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return CollectExpr{}, err
+	}
+	target, err := p.linkTerm()
+	if err != nil {
+		return CollectExpr{}, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return CollectExpr{}, err
+	}
+	return CollectExpr{Coll: coll.text, Target: target, Pos: line}, nil
+}

@@ -1,0 +1,260 @@
+package struql
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// fig3Query is a reconstruction of the Fig. 3 site-definition query for
+// the example homepage site.
+const fig3Query = `
+// Root and abstracts pages (lines 1-2 of Fig. 3).
+create RootPage(), AbstractsPage()
+link RootPage() -> "Abstracts" -> AbstractsPage()
+
+// Per-publication presentation objects (lines 7-13).
+where Publications(x)
+create AbstractPage(x), PaperPresentation(x)
+link PaperPresentation(x) -> "Abstract" -> AbstractPage(x),
+     AbstractsPage() -> "Abstract" -> AbstractPage(x)
+{
+  // Copy every attribute of x into both presentation objects (lines 10-11).
+  where x -> l -> v
+  link AbstractPage(x) -> l -> v,
+       PaperPresentation(x) -> l -> v
+}
+{
+  // A page for each publication year (lines 15-24).
+  where x -> "year" -> y
+  create YearPage(y)
+  link YearPage(y) -> "Year" -> y,
+       YearPage(y) -> "Paper" -> PaperPresentation(x),
+       RootPage() -> "YearPage" -> YearPage(y)
+}
+{
+  // A page for each publication category.
+  where x -> "category" -> c
+  create CategoryPage(c)
+  link CategoryPage(c) -> "Category" -> c,
+       CategoryPage(c) -> "Paper" -> PaperPresentation(x),
+       RootPage() -> "CategoryPage" -> CategoryPage(c)
+}
+`
+
+func TestParseFig3(t *testing.T) {
+	q, err := Parse(fig3Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(q.Blocks))
+	}
+	first := q.Blocks[0]
+	if len(first.Where) != 0 || len(first.Create) != 2 || len(first.Link) != 1 {
+		t.Errorf("first block shape: where=%d create=%d link=%d", len(first.Where), len(first.Create), len(first.Link))
+	}
+	second := q.Blocks[1]
+	if len(second.Where) != 1 || len(second.Nested) != 3 {
+		t.Errorf("second block shape: where=%d nested=%d", len(second.Where), len(second.Nested))
+	}
+	fns := q.SkolemFunctions()
+	want := []string{"AbstractPage", "AbstractsPage", "CategoryPage", "PaperPresentation", "RootPage", "YearPage"}
+	if strings.Join(fns, ",") != strings.Join(want, ",") {
+		t.Errorf("SkolemFunctions = %v, want %v", fns, want)
+	}
+	if got := q.LinkClauseCount(); got != 11 {
+		t.Errorf("LinkClauseCount = %d, want 11", got)
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	q := MustParse(fig3Query)
+	printed := q.String()
+	q2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nprinted:\n%s", err, printed)
+	}
+	if q2.String() != printed {
+		t.Errorf("printing is not a fixed point:\n--- first\n%s\n--- second\n%s", printed, q2.String())
+	}
+}
+
+func TestParseArcVariableVsPathExpr(t *testing.T) {
+	q := MustParse(`where Pubs(x), x -> l -> v, x -> "year" -> y create P(x) link P(x) -> l -> v`)
+	blk := q.Blocks[0]
+	if _, ok := blk.Where[1].(*EdgeCond); !ok {
+		t.Errorf("bare identifier middle should be an arc variable, got %T", blk.Where[1])
+	}
+	pc, ok := blk.Where[2].(*PathCond)
+	if !ok {
+		t.Fatalf("quoted middle should be a path condition, got %T", blk.Where[2])
+	}
+	if lbl, ok := singleLabel(pc.Path); !ok || lbl != "year" {
+		t.Errorf("path = %v, want single label year", pc.Path)
+	}
+	if !blk.Link[0].Label.IsVar || blk.Link[0].Label.Var != "l" {
+		t.Errorf("link label = %+v, want arc variable l", blk.Link[0].Label)
+	}
+}
+
+func TestParseRegularPathExpressions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // canonical printed form of the path
+	}{
+		{`x -> * -> y`, `_*`},
+		{`x -> _ -> y`, `_`},
+		{`x -> "a"."b" -> y`, `"a"."b"`},
+		{`x -> ("a"|"b")* -> y`, `("a"|"b")*`},
+		{`x -> "a"+ -> y`, `"a"+`},
+		{`x -> "a"? -> y`, `"a"?`},
+		{`x -> ~"is.*" -> y`, `~"is.*"`},
+		{`x -> "a".("b"|"c")."d"* -> y`, `"a".("b"|"c")."d"*`},
+		{`x -> "a"|"b"."c" -> y`, `"a"|"b"."c"`},
+	}
+	for _, c := range cases {
+		q, err := Parse("where C(x), " + c.src + " create N(x)")
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		pc, ok := q.Blocks[0].Where[1].(*PathCond)
+		if !ok {
+			t.Errorf("Parse(%q): not a path cond: %T", c.src, q.Blocks[0].Where[1])
+			continue
+		}
+		if got := pc.Path.String(); got != c.want {
+			t.Errorf("Parse(%q): path = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	q := MustParse(`where Pubs(x), x -> "year" -> y, y > 1995, y != 1997, y <= 2000 create P(x)`)
+	ops := []CmpOp{CmpGt, CmpNeq, CmpLe}
+	for i, ci := range []int{2, 3, 4} {
+		c, ok := q.Blocks[0].Where[ci].(*CmpCond)
+		if !ok || c.Op != ops[i] {
+			t.Errorf("cond %d = %v, want op %v", ci, q.Blocks[0].Where[ci], ops[i])
+		}
+	}
+}
+
+func TestParseBuiltinVsCollection(t *testing.T) {
+	q := MustParse(`where Root(p), isImageFile(v), p -> l -> v create N(p)`)
+	if _, ok := q.Blocks[0].Where[0].(*MemberCond); !ok {
+		t.Errorf("Root(p) should be membership, got %T", q.Blocks[0].Where[0])
+	}
+	if _, ok := q.Blocks[0].Where[1].(*PredCond); !ok {
+		t.Errorf("isImageFile(v) should be builtin, got %T", q.Blocks[0].Where[1])
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	q := MustParse(`where Root(p), p -> l -> v, not(isImageFile(v), v = "x") create N(p)`)
+	nc, ok := q.Blocks[0].Where[2].(*NotCond)
+	if !ok {
+		t.Fatalf("cond = %T, want NotCond", q.Blocks[0].Where[2])
+	}
+	if len(nc.Conds) != 2 {
+		t.Errorf("not() holds %d conds, want 2", len(nc.Conds))
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	q := MustParse(`where C(x), x -> "year" -> 1997, x -> "ok" -> true, x -> "w" -> 2.5, x -> "oid" -> &other, x -> "s" -> "str" create N(x)`)
+	consts := []graph.Value{
+		graph.NewInt(1997), graph.NewBool(true), graph.NewFloat(2.5),
+		graph.NewNode("other"), graph.NewString("str"),
+	}
+	for i, want := range consts {
+		pc := q.Blocks[0].Where[i+1].(*PathCond)
+		if pc.To.IsVar() || pc.To.Const != want {
+			t.Errorf("cond %d target = %v, want %v", i+1, pc.To, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, frag string
+	}{
+		{``, "empty query"},
+		{`where`, "expected term"},
+		{`where C(x) link x -> "a" -> y`, "link source must be a Skolem term"},
+		{`where C(x) create N(y)`, "not bound"},
+		{`where C(x) link N(x) -> l -> x`, "arc variable l in link clause is not bound"},
+		{`where C(x), y > 1 create N(x)`, "never bound"},
+		{`where C(x) create N(x), N(x, x)`, "arities"},
+		{`where C(x), x -> ~"(" -> y create N(x)`, "bad label regexp"},
+		{`where C(x) create N(x) { where x -> l -> v`, "unterminated nested block"},
+		{`where C("lit") create N()`, "requires a variable"},
+		{`where C(x) collect Out(v)`, "not bound"},
+		{`where C(x) create N(x) junk`, "expected"},
+		{`where C(x), x -> -> y create N(x)`, "expected path expression"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): want error with %q, got nil", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q): error %q, want fragment %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestParseCollectMultiple(t *testing.T) {
+	q := MustParse(`where C(x) create N(x) collect Roots(N(x)), Others(x)`)
+	cc := q.Blocks[0].Collect
+	if len(cc) != 2 || cc[0].Coll != "Roots" || !cc[0].Target.IsSkolem() || cc[1].Coll != "Others" {
+		t.Errorf("collect = %v", cc)
+	}
+}
+
+func TestParseCommentsBothStyles(t *testing.T) {
+	q := MustParse("// slash comment\n# hash comment\nwhere C(x) // tail\ncreate N(x)\n")
+	if len(q.Blocks) != 1 {
+		t.Errorf("blocks = %d", len(q.Blocks))
+	}
+}
+
+func TestAnalyzeNestedInheritsBindings(t *testing.T) {
+	// x is bound in the parent; the nested block may use it.
+	if _, err := Parse(`where C(x) create P(x) { where x -> "a" -> y create Q(y) link Q(y) -> "p" -> P(x) }`); err != nil {
+		t.Errorf("nested binding inheritance failed: %v", err)
+	}
+	// z is not bound anywhere.
+	if _, err := Parse(`where C(x) create P(x) { where x -> "a" -> y create Q(z) }`); err == nil {
+		t.Error("unbound nested Skolem arg should fail analysis")
+	}
+}
+
+func TestLinkClauseCountNested(t *testing.T) {
+	q := MustParse(fig3Query)
+	if q.LinkClauseCount() != 11 {
+		t.Errorf("LinkClauseCount = %d", q.LinkClauseCount())
+	}
+}
+
+func TestErrorsIncludeLine(t *testing.T) {
+	_, err := Parse("where C(x)\ncreate N(y)")
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("err = %T", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2", pe.Line)
+	}
+}
+
+func asParseError(err error, out **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*out = pe
+	}
+	return ok
+}

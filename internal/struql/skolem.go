@@ -1,0 +1,97 @@
+package struql
+
+import (
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// SkolemEnv memoizes Skolem-function applications: by definition a Skolem
+// function applied to the same inputs produces the same node oid (§2.2).
+// Sharing one environment across composed queries lets a later query
+// re-derive nodes created by an earlier one — RootPage() names the same
+// object in every query of a site definition.
+type SkolemEnv struct {
+	memo map[string]graph.OID
+	used map[graph.OID]bool
+}
+
+// NewSkolemEnv returns an empty environment.
+func NewSkolemEnv() *SkolemEnv {
+	return &SkolemEnv{memo: make(map[string]graph.OID), used: make(map[graph.OID]bool)}
+}
+
+// OID returns the node identifier for fn(args...). The display form is
+// "fn(a,b)" with argument texts sanitized; if two distinct argument tuples
+// sanitize to the same display form, later ones get a "#n" suffix so OIDs
+// remain injective in the inputs.
+func (s *SkolemEnv) OID(fn string, args []graph.Value) graph.OID {
+	var keyB strings.Builder
+	keyB.WriteString(fn)
+	for _, a := range args {
+		keyB.WriteByte(0)
+		keyB.WriteString(a.Key())
+	}
+	key := keyB.String()
+	if oid, ok := s.memo[key]; ok {
+		return oid
+	}
+	base := renderOID(fn, args)
+	oid := graph.OID(base)
+	for n := 2; s.used[oid]; n++ {
+		oid = graph.OID(base + "#" + itoa(n))
+	}
+	s.memo[key] = oid
+	s.used[oid] = true
+	return oid
+}
+
+func renderOID(fn string, args []graph.Value) string {
+	var b strings.Builder
+	b.WriteString(fn)
+	b.WriteByte('(')
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeArg(a.Text()))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// sanitizeArg makes an argument safe inside an oid: parentheses, commas,
+// and whitespace become underscores, and long arguments are truncated with
+// a length marker so oids stay readable.
+func sanitizeArg(s string) string {
+	const maxArg = 48
+	mapped := strings.Map(func(r rune) rune {
+		switch r {
+		case '(', ')', ',', ' ', '\t', '\n', '#':
+			return '_'
+		default:
+			return r
+		}
+	}, s)
+	if len(mapped) > maxArg {
+		mapped = mapped[:maxArg] + "~" + itoa(len(s))
+	}
+	return mapped
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Size returns the number of distinct applications recorded.
+func (s *SkolemEnv) Size() int { return len(s.memo) }

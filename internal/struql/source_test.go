@@ -1,0 +1,127 @@
+package struql_test
+
+// External test file: checks that queries answer identically against the
+// naive GraphSource and the fully-indexed repository (§2.1 / experiment
+// E6's correctness precondition), and that UnionSource behaves as a union.
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"strudel/internal/graph"
+	"strudel/internal/repo"
+	"strudel/internal/struql"
+)
+
+func syntheticGraph(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		oid := graph.OID(fmt.Sprintf("p%d", i))
+		g.AddToCollection("Items", oid)
+		g.AddEdge(oid, "year", graph.NewInt(int64(1990+i%10)))
+		g.AddEdge(oid, "kind", graph.NewString([]string{"a", "b", "c"}[i%3]))
+		g.AddEdge(oid, "next", graph.NewNode(graph.OID(fmt.Sprintf("p%d", (i+1)%n))))
+		if i%4 == 0 {
+			g.AddEdge(oid, "extra", graph.NewString("rare"))
+		}
+	}
+	return g
+}
+
+var equivalenceQueries = []string{
+	`where Items(x), x -> "year" -> y, y > 1995 create N(x, y)`,
+	`where Items(x), x -> l -> v create P(x) link P(x) -> l -> v`,
+	`where Items(x), x -> "next"."next" -> z create NN(x, z)`,
+	`where Items(x), x -> ("next")* -> z, z -> "extra" -> e create R(x, z)`,
+	`where Items(x), not(x -> "extra" -> e) create NoExtra(x)`,
+	`where Items(x), x -> "kind" -> "b" create B(x)`,
+}
+
+func TestIndexedAndNaiveSourcesAgree(t *testing.T) {
+	g := syntheticGraph(40)
+	naive := struql.NewGraphSource(g)
+	indexed := repo.NewIndexed(g.Copy())
+	for _, qs := range equivalenceQueries {
+		q := struql.MustParse(qs)
+		rn, err := struql.Eval(q, naive, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		ri, err := struql.Eval(q, indexed, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		if rn.Graph.Dump() != ri.Graph.Dump() {
+			t.Errorf("sources disagree on %s:\n--- naive\n%s--- indexed\n%s", qs, rn.Graph.Dump(), ri.Graph.Dump())
+		}
+	}
+}
+
+func TestIndexedAndNaiveAgreeProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		g := syntheticGraph(int(seed%25) + 3)
+		q := struql.MustParse(equivalenceQueries[int(seed)%len(equivalenceQueries)])
+		rn, err1 := struql.Eval(q, struql.NewGraphSource(g), nil)
+		ri, err2 := struql.Eval(q, repo.NewIndexed(g.Copy()), nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rn.Graph.Dump() == ri.Graph.Dump()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionSource(t *testing.T) {
+	a := graph.New()
+	a.AddToCollection("C", "x")
+	a.AddEdge("x", "v", graph.NewInt(1))
+	b := graph.New()
+	b.AddToCollection("C", "y")
+	b.AddToCollection("C", "x") // overlap
+	b.AddEdge("y", "v", graph.NewInt(2))
+	b.AddEdge("x", "w", graph.NewInt(3))
+	u := struql.NewUnionSource(struql.NewGraphSource(a), struql.NewGraphSource(b))
+	if got := u.Collection("C"); len(got) != 2 {
+		t.Errorf("union collection = %v", got)
+	}
+	if !u.InCollection("C", "y") || !u.InCollection("C", "x") {
+		t.Error("union membership wrong")
+	}
+	out := u.Out("x")
+	if len(out) != 2 {
+		t.Errorf("union out(x) = %v", out)
+	}
+	if got := u.Labels(); len(got) != 2 {
+		t.Errorf("union labels = %v", got)
+	}
+	if len(u.Nodes()) != 2 {
+		t.Errorf("union nodes = %v", u.Nodes())
+	}
+	if len(u.In(graph.NewInt(2))) != 1 {
+		t.Error("union In failed")
+	}
+	if len(u.EdgesLabeled("v")) != 2 {
+		t.Error("union EdgesLabeled failed")
+	}
+}
+
+func TestQueryOverUnionSeesBothSides(t *testing.T) {
+	data := graph.New()
+	data.AddToCollection("Pubs", "p")
+	data.AddEdge("p", "title", graph.NewString("T"))
+	built := graph.New()
+	built.AddToCollection("Pages", "Page(p)")
+	built.AddEdge("Page(p)", "self", graph.NewNode("p"))
+	u := struql.NewUnionSource(struql.NewGraphSource(data), struql.NewGraphSource(built))
+	r, err := struql.Eval(struql.MustParse(
+		`where Pages(pg), pg -> "self" -> x, x -> "title" -> t create Nav(pg) link Nav(pg) -> "title" -> t`), u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Graph.HasEdge("Nav(Page_p_)", "title", graph.NewString("T")) {
+		t.Errorf("cross-side join failed:\n%s", r.Graph.Dump())
+	}
+}

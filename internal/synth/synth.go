@@ -1,0 +1,298 @@
+// Package synth generates the deterministic synthetic datasets that stand
+// in for the paper's proprietary inputs (see DESIGN.md, Substitutions):
+// an AT&T-Research-style organization (people, organizations, projects,
+// bios), BibTeX bibliographies with the §6.3 irregularities, and a
+// CNN-style corpus of HTML news articles. Everything is a pure function
+// of its size parameters, so examples, tests, and benchmarks reproduce
+// byte-identical inputs.
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is a small deterministic linear congruential generator; math/rand
+// would work, but a local implementation pins the sequence forever.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed*2862933555777941757 + 3037000493} }
+
+func (r *rng) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 17
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+var (
+	firstNames = []string{"Mary", "Daniela", "Jaewoo", "Alon", "Dan", "Ada", "Grace", "Edsger", "Barbara", "Leslie",
+		"Tim", "Radia", "Ken", "Dana", "Jim", "Pat", "Lee", "Sam", "Kim", "Alex"}
+	lastNames = []string{"Fernandez", "Florescu", "Kang", "Levy", "Suciu", "Lovelace", "Hopper", "Dijkstra", "Liskov",
+		"Lamport", "Berners-Lee", "Perlman", "Thompson", "Scott", "Gray", "Selinger", "Stone", "Rivest", "Chen", "Aho"}
+	researchAreas = []string{"databases", "networking", "algorithms", "systems", "security", "languages", "theory", "speech"}
+	projectWords  = []string{"Strudel", "Tukwila", "Ariadne", "Garlic", "Tsimmis", "Lore", "WebOQL", "Araneus", "AutoWeb",
+		"Mediator", "Wrapper", "Catalog", "Atlas", "Harvest"}
+	newsCategories = []string{"world", "us", "politics", "business", "technology", "sports", "health", "weather"}
+	headlineVerbs  = []string{"Rises", "Falls", "Expands", "Surprises", "Rallies", "Stalls", "Recovers", "Shifts"}
+	headlineNouns  = []string{"Market", "Senate", "Network", "Team", "Storm", "Industry", "Campaign", "Study"}
+)
+
+// Person is one synthetic researcher.
+type Person struct {
+	ID       string
+	Name     string
+	Office   string
+	Phone    string // empty for some people (missing attribute)
+	Org      string
+	Area     string
+	Internal string // proprietary detail, internal site only
+}
+
+// Org is one synthetic organization.
+type Org struct {
+	ID       string
+	Name     string
+	Director string // person ID
+}
+
+// Project is one synthetic project.
+type Project struct {
+	ID          string
+	Name        string
+	Area        string
+	Members     []string // person IDs
+	Synopsis    string   // empty for some projects (§6.3: omitted at entry)
+	Sponsor     string   // empty for unsponsored projects (§6.3)
+	Proprietary bool     // excluded from the external site
+}
+
+// OrgData is the full synthetic organization.
+type OrgData struct {
+	People   []Person
+	Orgs     []Org
+	Projects []Project
+}
+
+// Organization generates nPeople people in nOrgs organizations with
+// nProjects projects, deterministically.
+func Organization(nPeople, nOrgs, nProjects int) *OrgData {
+	r := newRNG(42)
+	d := &OrgData{}
+	for i := 0; i < nOrgs; i++ {
+		area := researchAreas[i%len(researchAreas)]
+		d.Orgs = append(d.Orgs, Org{
+			ID:   fmt.Sprintf("org%02d", i),
+			Name: strings.Title(area) + " Research",
+		})
+	}
+	for i := 0; i < nPeople; i++ {
+		first := firstNames[r.intn(len(firstNames))]
+		last := lastNames[r.intn(len(lastNames))]
+		p := Person{
+			ID:     fmt.Sprintf("p%04d", i),
+			Name:   fmt.Sprintf("%s %s %d", first, last, i),
+			Office: fmt.Sprintf("%c-%03d", 'A'+byte(r.intn(4)), 100+r.intn(300)),
+			Org:    d.Orgs[i%nOrgs].ID,
+			Area:   researchAreas[r.intn(len(researchAreas))],
+		}
+		if r.intn(10) != 0 { // every tenth person lacks a phone
+			p.Phone = fmt.Sprintf("555-%04d", r.intn(10000))
+		}
+		if r.intn(3) == 0 {
+			p.Internal = fmt.Sprintf("comp-band %d", 1+r.intn(5))
+		}
+		d.People = append(d.People, p)
+	}
+	for i := range d.Orgs {
+		d.Orgs[i].Director = d.People[i%len(d.People)].ID
+	}
+	for i := 0; i < nProjects; i++ {
+		pr := Project{
+			ID:   fmt.Sprintf("proj%03d", i),
+			Name: fmt.Sprintf("%s-%d", projectWords[r.intn(len(projectWords))], i),
+			Area: researchAreas[i%len(researchAreas)],
+		}
+		nm := 2 + r.intn(4)
+		for j := 0; j < nm && j < nPeople; j++ {
+			pr.Members = append(pr.Members, d.People[(i*7+j*13)%nPeople].ID)
+		}
+		if r.intn(4) != 0 { // some projects omit the synopsis (§6.3)
+			pr.Synopsis = fmt.Sprintf("%s investigates %s techniques.", pr.Name, pr.Area)
+		}
+		if r.intn(2) == 0 { // not all projects are sponsored (§6.3)
+			pr.Sponsor = fmt.Sprintf("Grant-%03d", r.intn(900)+100)
+		}
+		pr.Proprietary = r.intn(5) == 0
+		d.Projects = append(d.Projects, pr)
+	}
+	return d
+}
+
+// PeopleCSV renders the people relation as CSV for the csvrel wrapper.
+func (d *OrgData) PeopleCSV() string {
+	var b strings.Builder
+	b.WriteString("id,name,office,phone,org,area,internal\n")
+	for _, p := range d.People {
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%s,%s\n", p.ID, p.Name, p.Office, p.Phone, p.Org, p.Area, p.Internal)
+	}
+	return b.String()
+}
+
+// OrgsCSV renders the organizations relation as CSV.
+func (d *OrgData) OrgsCSV() string {
+	var b strings.Builder
+	b.WriteString("id,name,director\n")
+	for _, o := range d.Orgs {
+		fmt.Fprintf(&b, "%s,%s,%s\n", o.ID, o.Name, o.Director)
+	}
+	return b.String()
+}
+
+// ProjectsDDL renders projects as a structured file in the
+// data-definition language (the paper's "structured files that contain
+// project data").
+func (d *OrgData) ProjectsDDL() string {
+	var b strings.Builder
+	b.WriteString("collection Projects;\n")
+	for _, p := range d.Projects {
+		fmt.Fprintf(&b, "node %s in Projects {\n", p.ID)
+		fmt.Fprintf(&b, "    name %q;\n", p.Name)
+		fmt.Fprintf(&b, "    area %q;\n", p.Area)
+		for _, m := range p.Members {
+			fmt.Fprintf(&b, "    member &People/%s;\n", m)
+		}
+		if p.Synopsis != "" {
+			fmt.Fprintf(&b, "    synopsis %q;\n", p.Synopsis)
+		}
+		if p.Sponsor != "" {
+			fmt.Fprintf(&b, "    sponsor %q;\n", p.Sponsor)
+		}
+		if p.Proprietary {
+			b.WriteString("    proprietary true;\n")
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// Bibliography generates a BibTeX file of n entries with the §6.3
+// irregularities: some entries lack months, journal papers have journal
+// fields while conference papers have booktitles, and some entries lack
+// abstracts.
+func Bibliography(n int, who string) string {
+	r := newRNG(7 + uint64(len(who)))
+	var b strings.Builder
+	b.WriteString("@string{sigmod = \"SIGMOD Conference\"}\n")
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%s%03d", who, i)
+		year := 1989 + i%10
+		nAuth := 1 + r.intn(4)
+		var authors []string
+		for j := 0; j < nAuth; j++ {
+			authors = append(authors, fmt.Sprintf("%s %s",
+				firstNames[r.intn(len(firstNames))], lastNames[r.intn(len(lastNames))]))
+		}
+		isJournal := r.intn(3) == 0
+		typ := "inproceedings"
+		if isJournal {
+			typ = "article"
+		}
+		fmt.Fprintf(&b, "@%s{%s,\n", typ, key)
+		fmt.Fprintf(&b, "  title = {%s %s of %s Systems %d},\n",
+			strings.Title(researchAreas[r.intn(len(researchAreas))]),
+			headlineVerbs[r.intn(len(headlineVerbs))],
+			projectWords[r.intn(len(projectWords))], i)
+		fmt.Fprintf(&b, "  author = {%s},\n", strings.Join(authors, " and "))
+		fmt.Fprintf(&b, "  year = %d,\n", year)
+		if isJournal {
+			fmt.Fprintf(&b, "  journal = {TODS %d},\n", year-1980)
+		} else {
+			b.WriteString("  booktitle = sigmod,\n")
+		}
+		if r.intn(3) != 0 { // some entries lack months
+			fmt.Fprintf(&b, "  month = {%s},\n", []string{"January", "April", "June", "September"}[r.intn(4)])
+		}
+		if r.intn(4) != 0 {
+			fmt.Fprintf(&b, "  abstract = {abstracts/%s.txt},\n", key)
+		}
+		fmt.Fprintf(&b, "  postscript = {ps/%s.ps},\n", key)
+		cats := []string{researchAreas[i%len(researchAreas)]}
+		if r.intn(2) == 0 {
+			cats = append(cats, researchAreas[(i+3)%len(researchAreas)])
+		}
+		if r.intn(6) == 0 {
+			fmt.Fprintf(&b, "  proprietary = {yes},\n")
+		}
+		fmt.Fprintf(&b, "  category = {%s},\n}\n\n", strings.Join(cats, ", "))
+	}
+	return b.String()
+}
+
+// BioPages generates hand-written-style HTML bio pages for every third
+// person — the paper's "existing HTML files" source, joined to the
+// personnel database by the about meta attribute.
+func (d *OrgData) BioPages() []Article {
+	var out []Article
+	for i, p := range d.People {
+		if i%3 != 0 {
+			continue
+		}
+		html := fmt.Sprintf(`<html><head><title>About %s</title>
+<meta name="about" content="%s">
+</head><body>
+<h1>%s</h1>
+<p>%s joined the lab to work on %s. Office %s.</p>
+</body></html>`, p.Name, p.ID, p.Name, p.Name, p.Area, p.Office)
+		out = append(out, Article{Name: "bio-" + p.ID, Title: "About " + p.Name, HTML: html})
+	}
+	return out
+}
+
+// Article is one synthetic news article.
+type Article struct {
+	Name     string
+	Title    string
+	Category string
+	HTML     string
+}
+
+// NewsSite generates n CNN-style article pages in HTML, spread across the
+// standard categories (sports included — the sports-only site of §5.1
+// filters on it).
+func NewsSite(n int) []Article {
+	r := newRNG(1998)
+	out := make([]Article, 0, n)
+	for i := 0; i < n; i++ {
+		cat := newsCategories[i%len(newsCategories)]
+		title := fmt.Sprintf("%s %s as %s Watches (%d)",
+			strings.Title(headlineNouns[r.intn(len(headlineNouns))]),
+			headlineVerbs[r.intn(len(headlineVerbs))],
+			strings.Title(cat), i)
+		name := fmt.Sprintf("%s%03d", cat, i)
+		var related string
+		if i > 0 {
+			related = fmt.Sprintf(`<a href="%s.html">Related coverage</a>`, out[r.intn(len(out))].Name)
+		}
+		html := fmt.Sprintf(`<html><head><title>%s</title>
+<meta name="category" content="%s">
+<meta name="date" content="1998-%02d-%02d">
+</head><body>
+<h1>%s</h1>
+<p>Reporters said on %s that the %s continued to %s.</p>
+<p>Observers in the %s community were not surprised; paragraph %d supplies additional detail for length.</p>
+%s
+<img src="images/%s.gif">
+</body></html>`,
+			title, cat, 1+i%12, 1+i%28, title,
+			[]string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday"}[r.intn(5)],
+			headlineNouns[r.intn(len(headlineNouns))],
+			strings.ToLower(headlineVerbs[r.intn(len(headlineVerbs))]),
+			cat, i, related, name)
+		out = append(out, Article{Name: name, Title: title, Category: cat, HTML: html})
+	}
+	return out
+}
+
+// NewsCategories returns the category vocabulary used by NewsSite.
+func NewsCategories() []string { return append([]string(nil), newsCategories...) }

@@ -1,0 +1,150 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOrganizationDeterministic(t *testing.T) {
+	a := Organization(50, 5, 10)
+	b := Organization(50, 5, 10)
+	if a.PeopleCSV() != b.PeopleCSV() || a.OrgsCSV() != b.OrgsCSV() || a.ProjectsDDL() != b.ProjectsDDL() {
+		t.Error("organization generation must be deterministic")
+	}
+}
+
+func TestOrganizationShape(t *testing.T) {
+	d := Organization(100, 8, 20)
+	if len(d.People) != 100 || len(d.Orgs) != 8 || len(d.Projects) != 20 {
+		t.Fatalf("sizes = %d/%d/%d", len(d.People), len(d.Orgs), len(d.Projects))
+	}
+	// §6.3 irregularities must be present: some people lack phones, some
+	// projects lack synopses and sponsors, some are proprietary.
+	var noPhone, noSynopsis, noSponsor, proprietary int
+	for _, p := range d.People {
+		if p.Phone == "" {
+			noPhone++
+		}
+	}
+	for _, pr := range d.Projects {
+		if pr.Synopsis == "" {
+			noSynopsis++
+		}
+		if pr.Sponsor == "" {
+			noSponsor++
+		}
+		if pr.Proprietary {
+			proprietary++
+		}
+	}
+	if noPhone == 0 || noSynopsis == 0 || noSponsor == 0 || proprietary == 0 {
+		t.Errorf("irregularities missing: noPhone=%d noSynopsis=%d noSponsor=%d proprietary=%d",
+			noPhone, noSynopsis, noSponsor, proprietary)
+	}
+	// Every project member is a real person id.
+	people := map[string]bool{}
+	for _, p := range d.People {
+		people[p.ID] = true
+	}
+	for _, pr := range d.Projects {
+		for _, m := range pr.Members {
+			if !people[m] {
+				t.Errorf("project %s has unknown member %s", pr.ID, m)
+			}
+		}
+	}
+	// Every org director is a real person.
+	for _, o := range d.Orgs {
+		if !people[o.Director] {
+			t.Errorf("org %s has unknown director %s", o.ID, o.Director)
+		}
+	}
+}
+
+func TestCSVHeaders(t *testing.T) {
+	d := Organization(5, 2, 2)
+	if !strings.HasPrefix(d.PeopleCSV(), "id,name,office,phone,org,area,internal\n") {
+		t.Error("people header wrong")
+	}
+	if !strings.HasPrefix(d.OrgsCSV(), "id,name,director\n") {
+		t.Error("orgs header wrong")
+	}
+	if lines := strings.Count(d.PeopleCSV(), "\n"); lines != 6 {
+		t.Errorf("people rows = %d, want 6 (header + 5)", lines)
+	}
+}
+
+func TestBibliographyIrregularities(t *testing.T) {
+	bib := Bibliography(60, "t")
+	if strings.Count(bib, "@article{")+strings.Count(bib, "@inproceedings{") != 60 {
+		t.Error("entry count wrong")
+	}
+	// Both journal and conference entries exist.
+	if !strings.Contains(bib, "journal =") || !strings.Contains(bib, "booktitle =") {
+		t.Error("venue irregularity missing")
+	}
+	// Some entries lack months (fewer month fields than entries).
+	if n := strings.Count(bib, "month ="); n == 0 || n == 60 {
+		t.Errorf("month fields = %d, want 0 < n < 60", n)
+	}
+	if !strings.Contains(bib, "proprietary =") {
+		t.Error("no proprietary entries")
+	}
+	if Bibliography(60, "t") != bib {
+		t.Error("bibliography must be deterministic")
+	}
+	// Different owners get different corpora.
+	if Bibliography(60, "other") == bib {
+		t.Error("owner should seed the corpus")
+	}
+}
+
+func TestNewsSiteCoversCategories(t *testing.T) {
+	arts := NewsSite(40)
+	if len(arts) != 40 {
+		t.Fatalf("articles = %d", len(arts))
+	}
+	seen := map[string]bool{}
+	for _, a := range arts {
+		seen[a.Category] = true
+		if !strings.Contains(a.HTML, "<title>") || !strings.Contains(a.HTML, a.Category) {
+			t.Errorf("article %s HTML malformed", a.Name)
+		}
+	}
+	for _, c := range NewsCategories() {
+		if !seen[c] {
+			t.Errorf("category %s unused", c)
+		}
+	}
+	// Related links reference earlier articles only.
+	for i, a := range arts {
+		if i == 0 && strings.Contains(a.HTML, "Related coverage") {
+			t.Error("first article cannot have a related link")
+		}
+	}
+}
+
+func TestBioPages(t *testing.T) {
+	d := Organization(9, 2, 2)
+	bios := d.BioPages()
+	if len(bios) != 3 { // every third person
+		t.Fatalf("bios = %d, want 3", len(bios))
+	}
+	for _, b := range bios {
+		if !strings.Contains(b.HTML, `meta name="about"`) {
+			t.Errorf("bio %s lacks the about join key", b.Name)
+		}
+	}
+}
+
+func TestRNGStability(t *testing.T) {
+	// The generated corpora are part of the experiment definition; pin a
+	// few bytes so accidental generator changes are caught.
+	d := Organization(3, 1, 1)
+	if d.People[0].ID != "p0000" {
+		t.Errorf("first person id = %s", d.People[0].ID)
+	}
+	if !strings.Contains(Bibliography(1, "x"), "@") {
+		t.Error("bibliography empty")
+	}
+}

@@ -1,0 +1,36 @@
+package template
+
+import (
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// FuzzParseAndRender: template parsing and rendering must never panic;
+// rendering must be deterministic.
+func FuzzParseAndRender(f *testing.F) {
+	f.Add(`<SFMT title> by <SFMT author ENUM DELIM=", ">`)
+	f.Add(`<SIF year >= 1998>new<SELSE>old</SIF>`)
+	f.Add(`<SFOR a IN author><SFMT @a></SFOR>`)
+	f.Add(`<SFMT YearPage UL ORDER=ascend KEY=Year>`)
+	f.Add(`<SINCLUDE header>`)
+	f.Add(`<SFMT a.b.c EMBED>`)
+	f.Add("<SFMT \x00>")
+	f.Add(`plain <b>html</b> only`)
+	g := graph.New()
+	g.AddEdge("o", "title", graph.NewString("T"))
+	g.AddEdge("o", "author", graph.NewString("A"))
+	g.AddEdge("o", "year", graph.NewInt(1998))
+	f.Fuzz(func(t *testing.T, src string) {
+		tpl, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		r := &fakeRenderer{}
+		out1, err1 := Render(tpl, "o", g, r)
+		out2, err2 := Render(tpl, "o", g, r)
+		if (err1 == nil) != (err2 == nil) || out1 != out2 {
+			t.Fatalf("nondeterministic rendering for %q", src)
+		}
+	})
+}

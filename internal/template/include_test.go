@@ -1,0 +1,114 @@
+package template
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// lookupRenderer adds template lookup to the fake renderer.
+type lookupRenderer struct {
+	fakeRenderer
+	set *Set
+}
+
+func (l *lookupRenderer) LookupTemplate(name string) *Template { return l.set.Get(name) }
+
+func TestSIncludeSharedHeader(t *testing.T) {
+	set := NewSet()
+	set.MustAdd("header", `<div class="nav">site: <SFMT title></div>`)
+	set.MustAdd("page", `<SINCLUDE header><h1><SFMT title></h1>`)
+	g := graph.New()
+	g.AddEdge("p", "title", graph.NewString("Home"))
+	out, err := Render(set.Get("page"), "p", g, &lookupRenderer{set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<div class="nav">site: Home</div><h1>Home</h1>`
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestSIncludeNestedIncludes(t *testing.T) {
+	set := NewSet()
+	set.MustAdd("inner", `[inner]`)
+	set.MustAdd("middle", `(<SINCLUDE inner>)`)
+	set.MustAdd("outer", `<SINCLUDE middle>!`)
+	g := graph.New()
+	g.AddNode("p")
+	out, err := Render(set.Get("outer"), "p", g, &lookupRenderer{set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "([inner])!" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestSIncludeCycleDetected(t *testing.T) {
+	set := NewSet()
+	set.MustAdd("a", `<SINCLUDE b>`)
+	set.MustAdd("b", `<SINCLUDE a>`)
+	g := graph.New()
+	g.AddNode("p")
+	_, err := Render(set.Get("a"), "p", g, &lookupRenderer{set: set})
+	if err == nil || !strings.Contains(err.Error(), "include depth") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSIncludeUnknownTemplate(t *testing.T) {
+	set := NewSet()
+	set.MustAdd("page", `<SINCLUDE nosuch>`)
+	g := graph.New()
+	g.AddNode("p")
+	_, err := Render(set.Get("page"), "p", g, &lookupRenderer{set: set})
+	if err == nil || !strings.Contains(err.Error(), "no such template") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSIncludeRendererWithoutLookup(t *testing.T) {
+	tpl := MustParse("t", `<SINCLUDE x>`)
+	g := graph.New()
+	g.AddNode("p")
+	_, err := Render(tpl, "p", g, &fakeRenderer{})
+	if err == nil || !strings.Contains(err.Error(), "cannot resolve templates") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSIncludeInsideSFOR(t *testing.T) {
+	set := NewSet()
+	set.MustAdd("row", `<td><SFMT @v></td>`)
+	set.MustAdd("table", `<tr><SFOR v IN cell><SINCLUDE row></SFOR></tr>`)
+	g := graph.New()
+	g.AddEdge("p", "cell", graph.NewString("a"))
+	g.AddEdge("p", "cell", graph.NewString("b"))
+	out, err := Render(set.Get("table"), "p", g, &lookupRenderer{set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "<tr><td>a</td><td>b</td></tr>" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestSIncludeParseErrors(t *testing.T) {
+	if _, err := Parse("t", `<SINCLUDE>`); err == nil {
+		// "<SINCLUDE>" without space is treated as literal text, so no
+		// error; assert it passes through instead.
+		tpl := MustParse("t", `<SINCLUDE>`)
+		if len(tpl.Nodes) != 1 {
+			t.Error("bare <SINCLUDE> should be literal text")
+		}
+	}
+	if _, err := Parse("t", `<SINCLUDE a b>`); err == nil {
+		t.Error("two names should fail")
+	}
+	if _, err := Parse("t", `<SINCLUDE `); err == nil {
+		t.Error("unterminated include should fail")
+	}
+}

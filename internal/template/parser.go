@@ -1,0 +1,362 @@
+package template
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses template source. Tag names are recognized
+// case-insensitively; everything outside SFMT/SIF/SFOR tags is literal
+// HTML.
+func Parse(name, src string) (*Template, error) {
+	p := &tparser{name: name, src: src, line: 1}
+	nodes, err := p.parseNodes("")
+	if err != nil {
+		return nil, err
+	}
+	return &Template{Name: name, Nodes: nodes}, nil
+}
+
+// MustParse is Parse for tests and embedded literals.
+func MustParse(name, src string) *Template {
+	t, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type tparser struct {
+	name string
+	src  string
+	pos  int
+	line int
+}
+
+func (p *tparser) errf(line int, format string, args ...any) error {
+	return &ParseError{Name: p.name, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// tagAt reports which special tag starts at position i ("" if none).
+func (p *tparser) tagAt(i int) string {
+	rest := p.src[i:]
+	for _, tag := range []string{"<SFMT", "<SIF", "<SELSE>", "</SIF>", "<SFOR", "</SFOR>", "<SINCLUDE"} {
+		if len(rest) >= len(tag) && strings.EqualFold(rest[:len(tag)], tag) {
+			// Open tags must be followed by whitespace (or the tag is
+			// self-delimiting like <SELSE>).
+			if tag == "<SFMT" || tag == "<SIF" || tag == "<SFOR" || tag == "<SINCLUDE" {
+				if len(rest) == len(tag) || !isSpace(rest[len(tag)]) {
+					continue
+				}
+			}
+			return tag
+		}
+	}
+	return ""
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+// parseNodes parses until EOF or until a closing tag matching stop
+// ("SIF" stops at <SELSE> and </SIF>; "SFOR" stops at </SFOR>).
+// The closing tag is not consumed.
+func (p *tparser) parseNodes(stop string) ([]Node, error) {
+	var nodes []Node
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			nodes = append(nodes, &TextNode{Text: text.String()})
+			text.Reset()
+		}
+	}
+	for p.pos < len(p.src) {
+		if p.src[p.pos] == '<' {
+			tag := p.tagAt(p.pos)
+			switch tag {
+			case "<SELSE>", "</SIF>":
+				if stop == "SIF" {
+					flush()
+					return nodes, nil
+				}
+			case "</SFOR>":
+				if stop == "SFOR" {
+					flush()
+					return nodes, nil
+				}
+			case "<SFMT":
+				flush()
+				n, err := p.parseFmt()
+				if err != nil {
+					return nil, err
+				}
+				nodes = append(nodes, n)
+				continue
+			case "<SIF":
+				flush()
+				n, err := p.parseIf()
+				if err != nil {
+					return nil, err
+				}
+				nodes = append(nodes, n)
+				continue
+			case "<SFOR":
+				flush()
+				n, err := p.parseFor()
+				if err != nil {
+					return nil, err
+				}
+				nodes = append(nodes, n)
+				continue
+			case "<SINCLUDE":
+				flush()
+				n, err := p.parseInclude()
+				if err != nil {
+					return nil, err
+				}
+				nodes = append(nodes, n)
+				continue
+			}
+		}
+		if p.src[p.pos] == '\n' {
+			p.line++
+		}
+		text.WriteByte(p.src[p.pos])
+		p.pos++
+	}
+	if stop != "" {
+		return nil, p.errf(p.line, "missing closing tag for %s", stop)
+	}
+	flush()
+	return nodes, nil
+}
+
+// tagFields scans the inside of an open tag up to the closing '>',
+// splitting on whitespace but keeping quoted strings intact (quotes
+// stripped, marked by a preserved '=' structure).
+func (p *tparser) tagFields(tagLen int) ([]string, int, error) {
+	line := p.line
+	p.pos += tagLen
+	var fields []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			fields = append(fields, cur.String())
+			cur.Reset()
+		}
+	}
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '>':
+			// Disambiguate the comparison operators ">" and ">=" (used in
+			// SIF conditions) from the tag terminator: ">=" is always an
+			// operator; a bare ">" is an operator when it stands alone
+			// between whitespace.
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] == '=' {
+				flush()
+				fields = append(fields, ">=")
+				p.pos += 2
+				continue
+			}
+			if cur.Len() == 0 && len(fields) > 0 && p.pos+1 < len(p.src) && isSpace(p.src[p.pos+1]) {
+				fields = append(fields, ">")
+				p.pos++
+				continue
+			}
+			p.pos++
+			flush()
+			return fields, line, nil
+		case c == '"':
+			p.pos++
+			for p.pos < len(p.src) && p.src[p.pos] != '"' {
+				if p.src[p.pos] == '\n' {
+					p.line++
+				}
+				cur.WriteByte(p.src[p.pos])
+				p.pos++
+			}
+			if p.pos >= len(p.src) {
+				return nil, 0, p.errf(line, "unterminated string in tag")
+			}
+			p.pos++ // closing quote
+		case isSpace(c):
+			if c == '\n' {
+				p.line++
+			}
+			p.pos++
+			flush()
+		default:
+			cur.WriteByte(c)
+			p.pos++
+		}
+	}
+	return nil, 0, p.errf(line, "unterminated tag (missing '>')")
+}
+
+// parseAttrExpr parses Paper, Paper.Abstract, @a, or @a.name.
+func parseAttrExpr(s string) (AttrExpr, error) {
+	var a AttrExpr
+	if s == "" {
+		return a, fmt.Errorf("empty attribute expression")
+	}
+	rest := s
+	if rest[0] == '@' {
+		rest = rest[1:]
+		dot := strings.IndexByte(rest, '.')
+		if dot < 0 {
+			if rest == "" {
+				return a, fmt.Errorf("bare '@' is not a variable")
+			}
+			a.Var = rest
+			return a, nil
+		}
+		a.Var = rest[:dot]
+		rest = rest[dot+1:]
+	}
+	if rest == "" {
+		return a, fmt.Errorf("attribute expression %q ends with '.'", s)
+	}
+	a.Path = strings.Split(rest, ".")
+	for _, seg := range a.Path {
+		if seg == "" {
+			return a, fmt.Errorf("attribute expression %q has an empty segment", s)
+		}
+	}
+	return a, nil
+}
+
+func (p *tparser) parseFmt() (Node, error) {
+	fields, line, err := p.tagFields(len("<SFMT"))
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) == 0 {
+		return nil, p.errf(line, "SFMT requires an attribute expression")
+	}
+	expr, err := parseAttrExpr(fields[0])
+	if err != nil {
+		return nil, p.errf(line, "SFMT: %v", err)
+	}
+	n := &FmtNode{Expr: expr, Line: line}
+	for _, f := range fields[1:] {
+		key, val, hasVal := strings.Cut(f, "=")
+		switch strings.ToUpper(key) {
+		case "EMBED":
+			n.Embed = true
+		case "ENUM":
+			n.Enum = true
+		case "UL":
+			n.List = "UL"
+		case "OL":
+			n.List = "OL"
+		case "DELIM":
+			n.Delim = val
+		case "ORDER":
+			v := strings.ToLower(val)
+			if v != "ascend" && v != "descend" {
+				return nil, p.errf(line, "SFMT: ORDER must be ascend or descend, got %q", val)
+			}
+			n.Order = v
+		case "KEY":
+			n.Key = val
+		case "TEXT":
+			n.Text = val
+		default:
+			if !hasVal {
+				return nil, p.errf(line, "SFMT: unknown directive %q", f)
+			}
+			return nil, p.errf(line, "SFMT: unknown directive %q", key)
+		}
+	}
+	return n, nil
+}
+
+var cmpOps = map[string]bool{"=": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *tparser) parseIf() (Node, error) {
+	fields, line, err := p.tagFields(len("<SIF"))
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) == 0 {
+		return nil, p.errf(line, "SIF requires an attribute expression")
+	}
+	expr, err := parseAttrExpr(fields[0])
+	if err != nil {
+		return nil, p.errf(line, "SIF: %v", err)
+	}
+	n := &IfNode{Expr: expr, Line: line}
+	switch len(fields) {
+	case 1:
+		// Existence test.
+	case 3:
+		if !cmpOps[fields[1]] {
+			return nil, p.errf(line, "SIF: unknown operator %q", fields[1])
+		}
+		n.Op, n.Value = fields[1], fields[2]
+	default:
+		return nil, p.errf(line, "SIF: expected 'attr' or 'attr op value', got %d fields", len(fields))
+	}
+	thenNodes, err := p.parseNodes("SIF")
+	if err != nil {
+		return nil, err
+	}
+	n.Then = thenNodes
+	if p.tagAt(p.pos) == "<SELSE>" {
+		p.pos += len("<SELSE>")
+		elseNodes, err := p.parseNodes("SIF")
+		if err != nil {
+			return nil, err
+		}
+		n.Else = elseNodes
+	}
+	if p.tagAt(p.pos) != "</SIF>" {
+		return nil, p.errf(p.line, "expected </SIF>")
+	}
+	p.pos += len("</SIF>")
+	return n, nil
+}
+
+func (p *tparser) parseFor() (Node, error) {
+	fields, line, err := p.tagFields(len("<SFOR"))
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) < 3 || !strings.EqualFold(fields[1], "IN") {
+		return nil, p.errf(line, "SFOR: expected '<SFOR var IN attr-expr>'")
+	}
+	expr, err := parseAttrExpr(fields[2])
+	if err != nil {
+		return nil, p.errf(line, "SFOR: %v", err)
+	}
+	n := &ForNode{Var: fields[0], Expr: expr, Line: line}
+	for _, f := range fields[3:] {
+		key, val, _ := strings.Cut(f, "=")
+		if strings.EqualFold(key, "DELIM") {
+			n.Delim = val
+		} else {
+			return nil, p.errf(line, "SFOR: unknown directive %q", f)
+		}
+	}
+	body, err := p.parseNodes("SFOR")
+	if err != nil {
+		return nil, err
+	}
+	n.Body = body
+	if p.tagAt(p.pos) != "</SFOR>" {
+		return nil, p.errf(p.line, "expected </SFOR>")
+	}
+	p.pos += len("</SFOR>")
+	return n, nil
+}
+
+func (p *tparser) parseInclude() (Node, error) {
+	fields, line, err := p.tagFields(len("<SINCLUDE"))
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) != 1 {
+		return nil, p.errf(line, "SINCLUDE wants exactly one template name")
+	}
+	return &IncludeNode{Name: fields[0], Line: line}, nil
+}

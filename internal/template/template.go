@@ -1,0 +1,165 @@
+// Package template implements Strudel's HTML-template language (§2.4,
+// Fig. 5): plain HTML extended with three expressions, each of which
+// produces plain HTML text —
+//
+//	<SFMT attr-expr directives...>              format expression
+//	<SIF attr-expr [op constant]> ... <SELSE> ... </SIF>   conditional
+//	<SFOR var IN attr-expr [DELIM="..."]> ... </SFOR>      enumeration
+//	<SINCLUDE name>                             include another template
+//
+// An attribute expression is a single attribute (Paper), a bounded
+// sequence of attributes navigating reachable objects (Paper.Abstract), or
+// a loop-variable reference (@a, @a.name). SFMT directives:
+//
+//	EMBED            embed the referenced object or file inline instead of
+//	                 linking to it (the choice of realizing an object as a
+//	                 page or a component is delayed to generation time)
+//	ENUM             format every value of the attribute, not just the first
+//	DELIM="..."      separator between enumerated values
+//	UL / OL          emit values as an unordered/ordered HTML list
+//	ORDER=ascend|descend   sort the values (dynamic coercion ordering)
+//	KEY=attr         sort key: the named attribute of each referenced object
+//	TEXT=attr        anchor text: the named attribute of a referenced object
+//
+// Enumerating all values is common, so ENUM, UL, and OL are the paper's
+// abbreviations of equivalent SFOR loops; the tests assert the equivalence.
+package template
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one parsed template element.
+type Node interface{ node() }
+
+// TextNode is literal HTML text passed through unchanged.
+type TextNode struct {
+	Text string
+}
+
+// FmtNode is a <SFMT> format expression.
+type FmtNode struct {
+	Expr AttrExpr
+	// Directives.
+	Embed bool
+	Enum  bool
+	Delim string
+	List  string // "", "UL", or "OL"
+	Order string // "", "ascend", or "descend"
+	Key   string
+	Text  string // anchor-text attribute
+	Line  int
+}
+
+// IfNode is a <SIF> conditional.
+type IfNode struct {
+	Expr AttrExpr
+	// Op and Value are set when the condition compares rather than tests
+	// existence. Op is one of = != < <= > >=.
+	Op    string
+	Value string
+	Then  []Node
+	Else  []Node
+	Line  int
+}
+
+// IncludeNode is a <SINCLUDE name> expression: it renders another named
+// template against the same object — shared headers and footers without
+// routing them through the site graph.
+type IncludeNode struct {
+	Name string
+	Line int
+}
+
+// ForNode is a <SFOR> enumeration binding Var to each value of Expr.
+type ForNode struct {
+	Var   string
+	Expr  AttrExpr
+	Delim string
+	Body  []Node
+	Line  int
+}
+
+func (*TextNode) node()    {}
+func (*FmtNode) node()     {}
+func (*IfNode) node()      {}
+func (*ForNode) node()     {}
+func (*IncludeNode) node() {}
+
+// AttrExpr navigates from the current object (or a loop variable) through
+// a bounded sequence of attributes.
+type AttrExpr struct {
+	// Var is the loop variable when the expression starts with @var.
+	Var  string
+	Path []string
+}
+
+func (a AttrExpr) String() string {
+	var parts []string
+	if a.Var != "" {
+		parts = append(parts, "@"+a.Var)
+	}
+	parts = append(parts, a.Path...)
+	return strings.Join(parts, ".")
+}
+
+// Template is a parsed HTML template.
+type Template struct {
+	Name  string
+	Nodes []Node
+}
+
+// ParseError is a template syntax error.
+type ParseError struct {
+	Name string
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("template %s: line %d: %s", e.Name, e.Line, e.Msg)
+}
+
+// Set is a named collection of parsed templates.
+type Set struct {
+	templates map[string]*Template
+}
+
+// NewSet returns an empty template set.
+func NewSet() *Set { return &Set{templates: map[string]*Template{}} }
+
+// Add parses src and stores it under name, replacing any previous
+// template of that name.
+func (s *Set) Add(name, src string) error {
+	t, err := Parse(name, src)
+	if err != nil {
+		return err
+	}
+	s.templates[name] = t
+	return nil
+}
+
+// MustAdd is Add for embedded literals; it panics on error.
+func (s *Set) MustAdd(name, src string) {
+	if err := s.Add(name, src); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the named template, or nil.
+func (s *Set) Get(name string) *Template { return s.templates[name] }
+
+// Names returns the template names, sorted.
+func (s *Set) Names() []string {
+	out := make([]string, 0, len(s.templates))
+	for n := range s.templates {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of templates.
+func (s *Set) Len() int { return len(s.templates) }

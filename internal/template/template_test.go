@@ -1,0 +1,337 @@
+package template
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// fakeRenderer records refs and embeds for assertions.
+type fakeRenderer struct {
+	embeds map[graph.OID]string
+}
+
+func (f *fakeRenderer) RenderRef(oid graph.OID, text string) (string, error) {
+	return fmt.Sprintf("[ref %s|%s]", oid, text), nil
+}
+
+func (f *fakeRenderer) RenderEmbed(oid graph.OID) (string, error) {
+	if s, ok := f.embeds[oid]; ok {
+		return s, nil
+	}
+	return fmt.Sprintf("[embed %s]", oid), nil
+}
+
+func (f *fakeRenderer) RenderFile(v graph.Value, embed bool) (string, error) {
+	return fmt.Sprintf("[file %s embed=%v]", v.Str(), embed), nil
+}
+
+func paperObject() *graph.Graph {
+	g := graph.New()
+	g.AddEdge("pub1", "title", graph.NewString("Catching the Boat"))
+	g.AddEdge("pub1", "author", graph.NewString("Fernandez"))
+	g.AddEdge("pub1", "author", graph.NewString("Florescu"))
+	g.AddEdge("pub1", "year", graph.NewInt(1998))
+	g.AddEdge("pub1", "Abstract", graph.NewNode("abs1"))
+	g.AddEdge("abs1", "title", graph.NewString("Abstract of Boat"))
+	g.AddEdge("abs1", "text", graph.NewFile(graph.FileText, "a.txt"))
+	return g
+}
+
+func render(t *testing.T, src string, obj graph.OID, g *graph.Graph) string {
+	t.Helper()
+	tpl, err := Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Render(tpl, obj, g, &fakeRenderer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPlainTextPassesThrough(t *testing.T) {
+	got := render(t, "<html><body>hello & goodbye</body></html>", "pub1", paperObject())
+	if got != "<html><body>hello & goodbye</body></html>" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTSingleValue(t *testing.T) {
+	got := render(t, `<SFMT title>`, "pub1", paperObject())
+	if got != "Catching the Boat" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTFirstValueWithoutEnum(t *testing.T) {
+	got := render(t, `<SFMT author>`, "pub1", paperObject())
+	if got != "Fernandez" {
+		t.Errorf("got %q, want first author only", got)
+	}
+}
+
+func TestSFMTEnumDelim(t *testing.T) {
+	got := render(t, `<SFMT author ENUM DELIM=", ">`, "pub1", paperObject())
+	if got != "Fernandez, Florescu" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTEnumEqualsSFOR(t *testing.T) {
+	// §2.4: <SFMT author ENUM DELIM=", "> abbreviates the equivalent SFOR.
+	g := paperObject()
+	a := render(t, `<SFMT author ENUM DELIM=", ">`, "pub1", g)
+	b := render(t, `<SFOR a IN author DELIM=", "><SFMT @a></SFOR>`, "pub1", g)
+	if a != b {
+		t.Errorf("SFMT ENUM %q != SFOR %q", a, b)
+	}
+}
+
+func TestSFMTULEqualsExplicitList(t *testing.T) {
+	// §2.4: <SFMT Abstract EMBED UL> is shorthand for a UL-wrapped SFOR.
+	g := paperObject()
+	a := render(t, `<SFMT author UL>`, "pub1", g)
+	b := render(t, "<ul>\n<SFOR a IN author><li><SFMT @a></li>\n</SFOR></ul>", "pub1", g)
+	if a != b {
+		t.Errorf("UL shorthand %q != explicit %q", a, b)
+	}
+}
+
+func TestSFMTEmbedNode(t *testing.T) {
+	got := render(t, `<SFMT Abstract EMBED>`, "pub1", paperObject())
+	if got != "[embed abs1]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTRefNodeUsesAnchorText(t *testing.T) {
+	got := render(t, `<SFMT Abstract>`, "pub1", paperObject())
+	if got != "[ref abs1|Abstract of Boat]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTTextDirective(t *testing.T) {
+	g := paperObject()
+	g.AddEdge("abs1", "short", graph.NewString("boat-abs"))
+	got := render(t, `<SFMT Abstract TEXT=short>`, "pub1", g)
+	if got != "[ref abs1|boat-abs]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTOrderWithKey(t *testing.T) {
+	// The RootPage template of Fig. 6 sorts YearPage objects by Year.
+	g := graph.New()
+	g.AddEdge("root", "YearPage", graph.NewNode("yp1998"))
+	g.AddEdge("root", "YearPage", graph.NewNode("yp1996"))
+	g.AddEdge("root", "YearPage", graph.NewNode("yp1997"))
+	g.AddEdge("yp1996", "Year", graph.NewInt(1996))
+	g.AddEdge("yp1997", "Year", graph.NewInt(1997))
+	g.AddEdge("yp1998", "Year", graph.NewInt(1998))
+	got := render(t, `<SFMT YearPage UL ORDER=ascend KEY=Year>`, "root", g)
+	i96 := strings.Index(got, "yp1996")
+	i97 := strings.Index(got, "yp1997")
+	i98 := strings.Index(got, "yp1998")
+	if !(i96 < i97 && i97 < i98) {
+		t.Errorf("ascend order wrong: %q", got)
+	}
+	desc := render(t, `<SFMT YearPage ENUM DELIM=" " ORDER=descend KEY=Year>`, "root", g)
+	if !(strings.Index(desc, "yp1998") < strings.Index(desc, "yp1996")) {
+		t.Errorf("descend order wrong: %q", desc)
+	}
+}
+
+func TestSFMTOrderAtoms(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("n", "v", graph.NewInt(10))
+	g.AddEdge("n", "v", graph.NewInt(2))
+	g.AddEdge("n", "v", graph.NewInt(33))
+	got := render(t, `<SFMT v ENUM DELIM="," ORDER=ascend>`, "n", g)
+	if got != "2,10,33" {
+		t.Errorf("numeric order = %q", got)
+	}
+}
+
+func TestSIFExistence(t *testing.T) {
+	g := paperObject()
+	got := render(t, `<SIF journal>In <SFMT journal>.<SELSE>unpublished</SIF>`, "pub1", g)
+	if got != "unpublished" {
+		t.Errorf("got %q", got)
+	}
+	g.AddEdge("pub1", "journal", graph.NewString("SIGMOD Record"))
+	got = render(t, `<SIF journal>In <SFMT journal>.<SELSE>unpublished</SIF>`, "pub1", g)
+	if got != "In SIGMOD Record." {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSIFComparison(t *testing.T) {
+	g := paperObject()
+	if got := render(t, `<SIF year >= 1998>recent<SELSE>old</SIF>`, "pub1", g); got != "recent" {
+		t.Errorf("got %q", got)
+	}
+	if got := render(t, `<SIF year < 1998>old<SELSE>recent</SIF>`, "pub1", g); got != "recent" {
+		t.Errorf("got %q", got)
+	}
+	if got := render(t, `<SIF title = "Catching the Boat">match</SIF>`, "pub1", g); got != "match" {
+		t.Errorf("got %q", got)
+	}
+	if got := render(t, `<SIF title != "Catching the Boat">x<SELSE>same</SIF>`, "pub1", g); got != "same" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSIFMissingAttributeFailsComparisons(t *testing.T) {
+	got := render(t, `<SIF nosuch = 1>y<SELSE>n</SIF>`, "pub1", paperObject())
+	if got != "n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFORNestedAndVarNavigation(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("pub", "authorObj", graph.NewNode("a1"))
+	g.AddEdge("pub", "authorObj", graph.NewNode("a2"))
+	g.AddEdge("a1", "name", graph.NewString("Mary"))
+	g.AddEdge("a1", "inst", graph.NewString("ATT"))
+	g.AddEdge("a2", "name", graph.NewString("Dan"))
+	got := render(t, `<SFOR a IN authorObj DELIM="; "><SFMT @a.name> (<SIF @a.inst><SFMT @a.inst><SELSE>?</SIF>)</SFOR>`, "pub", g)
+	if got != "Mary (ATT); Dan (?)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDottedAttrExpr(t *testing.T) {
+	got := render(t, `<SFMT Abstract.title>`, "pub1", paperObject())
+	if got != "Abstract of Boat" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("n", "v", graph.NewString(`<script>&"`))
+	got := render(t, `<SFMT v>`, "n", g)
+	if got != "&lt;script&gt;&amp;&#34;" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestURLRendering(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("n", "home", graph.NewURL("http://x.example/a?b=1"))
+	got := render(t, `<SFMT home>`, "n", g)
+	if !strings.Contains(got, `<a href="http://x.example/a?b=1"`) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFileRenderingDelegates(t *testing.T) {
+	got := render(t, `<SFMT Abstract.text EMBED>`, "pub1", paperObject())
+	if got != "[file a.txt embed=true]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCaseInsensitiveTags(t *testing.T) {
+	got := render(t, `<sfmt title>`, "pub1", paperObject())
+	if got != "Catching the Boat" {
+		t.Errorf("lowercase tag: got %q", got)
+	}
+	got = render(t, `<sif year = 1998>y</sif>`, "pub1", paperObject())
+	if got != "y" {
+		t.Errorf("lowercase sif: got %q", got)
+	}
+}
+
+func TestAngleBracketsInTextPreserved(t *testing.T) {
+	src := `<TABLE><TR><TD>cell</TD></TR></TABLE><SPAN>x</SPAN>`
+	got := render(t, src, "pub1", paperObject())
+	if got != src {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{`<SFMT >`, "requires an attribute"},
+		{`<SFMT a BOGUS>`, "unknown directive"},
+		{`<SFMT a ORDER=sideways>`, "ORDER must be"},
+		{`<SIF a>unclosed`, "missing closing tag"},
+		{`<SFOR a author>x</SFOR>`, "expected '<SFOR var IN attr-expr>'"},
+		{`<SFOR a IN author>unclosed`, "missing closing tag"},
+		{`<SFMT a.>`, "empty segment"},
+		{`<SFMT @>`, "bare '@'"},
+		{`<SIF a = >x</SIF>`, "expected 'attr' or 'attr op value'"},
+		{`<SFMT a`, "unterminated tag"},
+		{`<SFMT "unclosed`, "unterminated string"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t", c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): want error with %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q): got %q, want %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestUnknownLoopVariableErrors(t *testing.T) {
+	tpl := MustParse("t", `<SFMT @nope>`)
+	_, err := Render(tpl, "pub1", paperObject(), &fakeRenderer{})
+	if err == nil || !strings.Contains(err.Error(), "unknown loop variable") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet()
+	s.MustAdd("a", "text a")
+	s.MustAdd("b", "<SFMT x>")
+	if s.Len() != 2 || s.Get("a") == nil || s.Get("c") != nil {
+		t.Error("set basics wrong")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := s.Add("bad", "<SFMT >"); err == nil {
+		t.Error("Add of bad template should fail")
+	}
+}
+
+func TestLoopVariableScoping(t *testing.T) {
+	// Inner loop variable shadows and restores the outer one.
+	g := graph.New()
+	g.AddEdge("n", "x", graph.NewString("X1"))
+	g.AddEdge("n", "y", graph.NewString("Y1"))
+	g.AddEdge("n", "y", graph.NewString("Y2"))
+	got := render(t, `<SFOR v IN x><SFOR v IN y><SFMT @v></SFOR><SFMT @v></SFOR>`, "n", g)
+	if got != "Y1Y2X1" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSELSEOnly(t *testing.T) {
+	got := render(t, `<SIF nosuch><SELSE>fallback</SIF>`, "pub1", paperObject())
+	if got != "fallback" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNestedSIFInsideSFOR(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("n", "v", graph.NewInt(1))
+	g.AddEdge("n", "v", graph.NewInt(5))
+	got := render(t, `<SFOR a IN v DELIM=","><SIF @a > 3>big<SELSE>small</SIF></SFOR>`, "n", g)
+	if got != "small,big" {
+		t.Errorf("got %q", got)
+	}
+}

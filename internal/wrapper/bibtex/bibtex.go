@@ -1,0 +1,491 @@
+// Package bibtex is Strudel's BibTeX wrapper: it converts BibTeX
+// bibliography files into data graphs (§2.3). A wrapper is the
+// source-specific component that translates an external representation
+// into the labeled-graph model.
+//
+// The parser handles @string macros, brace- and quote-delimited values
+// with nested braces, numeric values, and value concatenation with '#'.
+// The graph mapping preserves the irregularities §6.3 discusses: fields
+// present in one entry and absent in another simply become present or
+// absent edges, with no schema to migrate.
+package bibtex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"strudel/internal/graph"
+)
+
+// Entry is one BibTeX entry.
+type Entry struct {
+	Type   string // article, inproceedings, ...
+	Key    string // citation key
+	Fields []Field
+}
+
+// Field is one name = value pair, in file order.
+type Field struct {
+	Name  string
+	Value string
+}
+
+// Get returns the named field's value and whether it is present.
+func (e *Entry) Get(name string) (string, bool) {
+	for _, f := range e.Fields {
+		if f.Name == name {
+			return f.Value, true
+		}
+	}
+	return "", false
+}
+
+// Document is a parsed BibTeX file.
+type Document struct {
+	Entries []Entry
+	Macros  map[string]string
+}
+
+// ParseError is a BibTeX syntax error with a 1-based line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("bibtex: line %d: %s", e.Line, e.Msg) }
+
+// Parse parses BibTeX source.
+func Parse(src string) (*Document, error) {
+	p := &bparser{src: src, line: 1, doc: &Document{Macros: map[string]string{}}}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.doc, nil
+}
+
+// MustParse is Parse for tests; it panics on error.
+func MustParse(src string) *Document {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type bparser struct {
+	src  string
+	pos  int
+	line int
+	doc  *Document
+}
+
+func (p *bparser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *bparser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *bparser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+	}
+	return c
+}
+
+func (p *bparser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.peek()
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.advance()
+			continue
+		}
+		// '%' comments run to end of line.
+		if c == '%' {
+			for p.pos < len(p.src) && p.peek() != '\n' {
+				p.advance()
+			}
+			continue
+		}
+		break
+	}
+}
+
+func (p *bparser) run() error {
+	for {
+		// Everything outside @...{...} is ignorable prose.
+		for p.pos < len(p.src) && p.peek() != '@' {
+			p.advance()
+		}
+		if p.pos >= len(p.src) {
+			return nil
+		}
+		p.advance() // '@'
+		typ := strings.ToLower(p.ident())
+		if typ == "" {
+			return p.errf("expected entry type after '@'")
+		}
+		p.skipSpace()
+		open := p.peek()
+		if open != '{' && open != '(' {
+			return p.errf("expected '{' after @%s", typ)
+		}
+		p.advance()
+		switch typ {
+		case "comment", "preamble":
+			if err := p.skipBalanced(open); err != nil {
+				return err
+			}
+		case "string":
+			if err := p.parseMacro(open); err != nil {
+				return err
+			}
+		default:
+			if err := p.parseEntry(typ, open); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (p *bparser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.peek())
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || strings.ContainsRune("-_:./+'", c) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func closer(open byte) byte {
+	if open == '(' {
+		return ')'
+	}
+	return '}'
+}
+
+func (p *bparser) skipBalanced(open byte) error {
+	depth := 1
+	end := closer(open)
+	for p.pos < len(p.src) {
+		c := p.advance()
+		if c == open {
+			depth++
+		} else if c == end {
+			depth--
+			if depth == 0 {
+				return nil
+			}
+		}
+	}
+	return p.errf("unterminated @ block")
+}
+
+func (p *bparser) parseMacro(open byte) error {
+	name := strings.ToLower(p.ident())
+	p.skipSpace()
+	if p.peek() != '=' {
+		return p.errf("expected '=' in @string")
+	}
+	p.advance()
+	val, err := p.value()
+	if err != nil {
+		return err
+	}
+	p.doc.Macros[name] = val
+	p.skipSpace()
+	if p.peek() == closer(open) {
+		p.advance()
+		return nil
+	}
+	return p.errf("expected '%c' to close @string", closer(open))
+}
+
+func (p *bparser) parseEntry(typ string, open byte) error {
+	key := p.ident()
+	if key == "" {
+		return p.errf("entry @%s lacks a citation key", typ)
+	}
+	entry := Entry{Type: typ, Key: key}
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c == ',' {
+			p.advance()
+			continue
+		}
+		if c == closer(open) {
+			p.advance()
+			break
+		}
+		if c == 0 {
+			return p.errf("unterminated entry @%s{%s", typ, key)
+		}
+		name := strings.ToLower(p.ident())
+		if name == "" {
+			return p.errf("expected field name in @%s{%s", typ, key)
+		}
+		p.skipSpace()
+		if p.peek() != '=' {
+			return p.errf("expected '=' after field %s", name)
+		}
+		p.advance()
+		val, err := p.value()
+		if err != nil {
+			return err
+		}
+		entry.Fields = append(entry.Fields, Field{Name: name, Value: val})
+	}
+	p.doc.Entries = append(p.doc.Entries, entry)
+	return nil
+}
+
+// value parses one field value: possibly several '#'-concatenated parts.
+func (p *bparser) value() (string, error) {
+	var b strings.Builder
+	for {
+		p.skipSpace()
+		switch c := p.peek(); {
+		case c == '{':
+			part, err := p.braced()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(part)
+		case c == '"':
+			part, err := p.quoted()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(part)
+		case c >= '0' && c <= '9':
+			start := p.pos
+			for p.pos < len(p.src) && p.peek() >= '0' && p.peek() <= '9' {
+				p.advance()
+			}
+			b.WriteString(p.src[start:p.pos])
+		default:
+			name := strings.ToLower(p.ident())
+			if name == "" {
+				return "", p.errf("expected field value")
+			}
+			val, ok := p.doc.Macros[name]
+			if !ok {
+				return "", p.errf("undefined @string macro %q", name)
+			}
+			b.WriteString(val)
+		}
+		p.skipSpace()
+		if p.peek() == '#' {
+			p.advance()
+			continue
+		}
+		return normalizeWS(b.String()), nil
+	}
+}
+
+func (p *bparser) braced() (string, error) {
+	p.advance() // '{'
+	depth := 1
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.advance()
+		switch c {
+		case '{':
+			depth++
+			b.WriteByte(c)
+		case '}':
+			depth--
+			if depth == 0 {
+				return stripOuterBraces(b.String()), nil
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", p.errf("unterminated braced value")
+}
+
+func (p *bparser) quoted() (string, error) {
+	p.advance() // '"'
+	depth := 0
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.advance()
+		switch c {
+		case '{':
+			depth++
+			b.WriteByte(c)
+		case '}':
+			depth--
+			b.WriteByte(c)
+		case '"':
+			if depth == 0 {
+				return stripOuterBraces(b.String()), nil
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", p.errf("unterminated quoted value")
+}
+
+// stripOuterBraces removes protective braces ({Title} → Title) but keeps
+// interior grouping.
+func stripOuterBraces(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '{' || r == '}' {
+			return -1
+		}
+		return r
+	}, s)
+}
+
+func normalizeWS(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Options tunes the graph mapping.
+type Options struct {
+	// Collection is the target collection; defaults to "Publications".
+	Collection string
+	// AuthorObjects, when set, maps each author to an object node with
+	// name and order attributes — the paper's §6.3 solution for keeping
+	// author order in an unordered data model. When unset, authors become
+	// plain string edges as in Fig. 2.
+	AuthorObjects bool
+	// FileFields maps field names to file types (e.g. "abstract" → text,
+	// "postscript" → postscript), mirroring collection directives.
+	FileFields map[string]graph.FileType
+	// URLFields lists fields whose values are URL atoms.
+	URLFields []string
+	// KeyPrefix prefixes entry oids to keep multiple bibliographies
+	// disjoint in one data graph.
+	KeyPrefix string
+}
+
+// DefaultOptions mirrors the example site's collection directive:
+// abstracts are text files and postscript fields are PostScript files.
+func DefaultOptions() Options {
+	return Options{
+		Collection: "Publications",
+		FileFields: map[string]graph.FileType{
+			"abstract":   graph.FileText,
+			"postscript": graph.FilePostScript,
+			"ps":         graph.FilePostScript,
+		},
+		URLFields: []string{"url", "homepage"},
+	}
+}
+
+// Wrap converts a parsed document into a data graph.
+func Wrap(doc *Document, opts Options) *graph.Graph {
+	if opts.Collection == "" {
+		opts.Collection = "Publications"
+	}
+	g := graph.New()
+	for _, e := range doc.Entries {
+		oid := graph.OID(opts.KeyPrefix + e.Key)
+		g.AddToCollection(opts.Collection, oid)
+		g.AddEdge(oid, "type", graph.NewString(e.Type))
+		for _, f := range e.Fields {
+			switch {
+			case f.Name == "author" || f.Name == "editor":
+				addAuthors(g, oid, f.Name, f.Value, opts)
+			case f.Name == "year":
+				g.AddEdge(oid, "year", intOrString(f.Value))
+			case f.Name == "category" || f.Name == "keywords":
+				for _, c := range strings.Split(f.Value, ",") {
+					if c = strings.TrimSpace(c); c != "" {
+						g.AddEdge(oid, "category", graph.NewString(c))
+					}
+				}
+			case fileType(f.Name, opts) != nil:
+				g.AddEdge(oid, f.Name, graph.NewFile(*fileType(f.Name, opts), f.Value))
+			case isURLField(f.Name, opts):
+				g.AddEdge(oid, f.Name, graph.NewURL(f.Value))
+			default:
+				g.AddEdge(oid, f.Name, graph.NewString(f.Value))
+			}
+		}
+	}
+	return g
+}
+
+// Load parses and wraps in one step.
+func Load(src string, opts Options) (*graph.Graph, error) {
+	doc, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(doc, opts), nil
+}
+
+func fileType(name string, opts Options) *graph.FileType {
+	if t, ok := opts.FileFields[name]; ok {
+		return &t
+	}
+	return nil
+}
+
+func isURLField(name string, opts Options) bool {
+	for _, u := range opts.URLFields {
+		if u == name {
+			return true
+		}
+	}
+	return false
+}
+
+func intOrString(s string) graph.Value {
+	if i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64); err == nil {
+		return graph.NewInt(i)
+	}
+	return graph.NewString(s)
+}
+
+// SplitAuthors splits a BibTeX author list on the "and" keyword.
+func SplitAuthors(s string) []string {
+	parts := strings.Split(s, " and ")
+	var out []string
+	for _, p := range parts {
+		if p = normalizeWS(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func addAuthors(g *graph.Graph, oid graph.OID, field, value string, opts Options) {
+	authors := SplitAuthors(value)
+	if !opts.AuthorObjects {
+		for _, a := range authors {
+			g.AddEdge(oid, field, graph.NewString(a))
+		}
+		return
+	}
+	// §6.3: order is preserved by associating an integer key with each
+	// author; the zero-padded oid also keeps the default value ordering
+	// aligned with file order.
+	for i, a := range authors {
+		aoid := graph.OID(fmt.Sprintf("%s/%s%02d", oid, field, i))
+		g.AddEdge(oid, field, graph.NewNode(aoid))
+		g.AddEdge(aoid, "name", graph.NewString(a))
+		g.AddEdge(aoid, "order", graph.NewInt(int64(i)))
+	}
+}

@@ -1,0 +1,225 @@
+package bibtex
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+const sampleBib = `
+% A comment line.
+@string{sigmod = "SIGMOD Conference"}
+@string{rec = "SIGMOD Record"}
+
+@article{pub1,
+  title = {A Query Language for a {Web}-Site Management System},
+  author = {Mary Fernandez and Daniela Florescu and Alon Levy},
+  journal = rec,
+  year = 1997,
+  month = {September},
+  abstract = {abstracts/pub1.txt},
+  postscript = {ps/pub1.ps},
+  category = {web sites, query languages},
+}
+
+@inproceedings{pub2,
+  title = "Catching the Boat with Strudel",
+  author = "Mary Fernandez and Dan Suciu",
+  booktitle = sigmod # ", 1998",
+  year = {1998},
+}
+
+@comment{this is {nested} and ignored}
+@preamble{"\latexstuff"}
+
+Some stray prose between entries is ignored.
+
+@misc{pub3,
+  title = {No Author Entry},
+  note = {irregular: no author, no year}
+}
+`
+
+func TestParseEntries(t *testing.T) {
+	doc := MustParse(sampleBib)
+	if len(doc.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(doc.Entries))
+	}
+	e := doc.Entries[0]
+	if e.Type != "article" || e.Key != "pub1" {
+		t.Errorf("entry = %s/%s", e.Type, e.Key)
+	}
+	if title, _ := e.Get("title"); title != "A Query Language for a Web-Site Management System" {
+		t.Errorf("title = %q (braces should be stripped)", title)
+	}
+	if j, _ := e.Get("journal"); j != "SIGMOD Record" {
+		t.Errorf("macro expansion: journal = %q", j)
+	}
+	if bt, _ := doc.Entries[1].Get("booktitle"); bt != "SIGMOD Conference, 1998" {
+		t.Errorf("concatenation: booktitle = %q", bt)
+	}
+	if y, _ := doc.Entries[1].Get("year"); y != "1998" {
+		t.Errorf("braced year = %q", y)
+	}
+	if _, ok := doc.Entries[2].Get("author"); ok {
+		t.Error("pub3 has no author")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{`@article{k, title = undefined_macro }`, "undefined @string macro"},
+		{`@article{k, title }`, "expected '='"},
+		{`@article{k, title = {unterminated`, "unterminated braced value"},
+		{`@article{k, title = "unterminated`, "unterminated quoted value"},
+		{`@{k}`, "expected entry type"},
+		{`@article k`, "expected '{'"},
+		{`@article{, title={x}}`, "lacks a citation key"},
+		{`@comment{unterminated`, "unterminated @ block"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): want error with %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q): got %v, want %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestWrapFig2Shape(t *testing.T) {
+	g := Wrap(MustParse(sampleBib), DefaultOptions())
+	if g.CollectionSize("Publications") != 3 {
+		t.Fatalf("Publications = %d", g.CollectionSize("Publications"))
+	}
+	// Fig. 2 irregularity: pub1 has month and journal; pub2 has booktitle.
+	if g.First("pub1", "month").IsNull() || !g.First("pub2", "month").IsNull() {
+		t.Error("month irregularity wrong")
+	}
+	if g.First("pub1", "journal").IsNull() || g.First("pub2", "journal").Text() != "" {
+		t.Error("journal irregularity wrong")
+	}
+	// Directive-style file typing.
+	if v := g.First("pub1", "abstract"); v.Kind() != graph.KindFile || v.FileType() != graph.FileText {
+		t.Errorf("abstract = %v", v)
+	}
+	if v := g.First("pub1", "postscript"); v.FileType() != graph.FilePostScript {
+		t.Errorf("postscript = %v", v)
+	}
+	// Year is an int.
+	if v := g.First("pub1", "year"); v.Kind() != graph.KindInt || v.Int() != 1997 {
+		t.Errorf("year = %v", v)
+	}
+	// Categories split on commas.
+	cats := g.OutLabel("pub1", "category")
+	if len(cats) != 2 || cats[0].Text() != "query languages" || cats[1].Text() != "web sites" {
+		t.Errorf("categories = %v", cats)
+	}
+	// Plain string authors (Fig. 2 mode).
+	authors := g.OutLabel("pub1", "author")
+	if len(authors) != 3 || authors[0].Kind() != graph.KindString {
+		t.Errorf("authors = %v", authors)
+	}
+}
+
+func TestWrapAuthorObjectsPreserveOrder(t *testing.T) {
+	// §6.3: "we developed a solution (associating an integer key with
+	// each author) that allows us to preserve order".
+	opts := DefaultOptions()
+	opts.AuthorObjects = true
+	g := Wrap(MustParse(sampleBib), opts)
+	authors := g.OutLabel("pub1", "author")
+	if len(authors) != 3 {
+		t.Fatalf("authors = %d", len(authors))
+	}
+	wantNames := []string{"Mary Fernandez", "Daniela Florescu", "Alon Levy"}
+	for i, a := range authors {
+		if !a.IsNode() {
+			t.Fatalf("author %d not an object: %v", i, a)
+		}
+		if name := g.First(a.OID(), "name").Text(); name != wantNames[i] {
+			t.Errorf("author %d = %q, want %q (order preserved)", i, name, wantNames[i])
+		}
+		if ord := g.First(a.OID(), "order"); ord.Int() != int64(i) {
+			t.Errorf("author %d order = %v", i, ord)
+		}
+	}
+}
+
+func TestSplitAuthors(t *testing.T) {
+	got := SplitAuthors("A B and C D and  E")
+	if len(got) != 3 || got[0] != "A B" || got[2] != "E" {
+		t.Errorf("got %v", got)
+	}
+	// "and" inside a name (no surrounding spaces pattern) is kept.
+	got = SplitAuthors("Alexander Androv")
+	if len(got) != 1 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestKeyPrefixKeepsBibliographiesDisjoint(t *testing.T) {
+	opts := DefaultOptions()
+	opts.KeyPrefix = "mff/"
+	g := Wrap(MustParse(sampleBib), opts)
+	if !g.HasNode("mff/pub1") || g.HasNode("pub1") {
+		t.Error("prefix not applied")
+	}
+}
+
+func TestURLFields(t *testing.T) {
+	g := Wrap(MustParse(`@misc{m, url = {http://example.com/x}}`), DefaultOptions())
+	if v := g.First("m", "url"); v.Kind() != graph.KindURL {
+		t.Errorf("url = %v", v)
+	}
+}
+
+func TestLoadConvenience(t *testing.T) {
+	g, err := Load(sampleBib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CollectionSize("Publications") != 3 {
+		t.Error("Load failed")
+	}
+	if _, err := Load(`@article{k, x = {`, DefaultOptions()); err == nil {
+		t.Error("Load of bad source should fail")
+	}
+}
+
+func TestNonNumericYear(t *testing.T) {
+	g := Wrap(MustParse(`@misc{m, year = {in press}}`), DefaultOptions())
+	if v := g.First("m", "year"); v.Kind() != graph.KindString || v.Text() != "in press" {
+		t.Errorf("year = %v", v)
+	}
+}
+
+func TestEntryTypeRecorded(t *testing.T) {
+	g := Wrap(MustParse(sampleBib), DefaultOptions())
+	if g.First("pub1", "type").Text() != "article" {
+		t.Error("type attribute missing")
+	}
+	if g.First("pub2", "type").Text() != "inproceedings" {
+		t.Error("type attribute missing for pub2")
+	}
+}
+
+func TestParenthesizedEntries(t *testing.T) {
+	doc := MustParse(`@article(k2, title = {Paren Entry})`)
+	if len(doc.Entries) != 1 || doc.Entries[0].Key != "k2" {
+		t.Fatalf("entries = %v", doc.Entries)
+	}
+	if v, _ := doc.Entries[0].Get("title"); v != "Paren Entry" {
+		t.Errorf("title = %q", v)
+	}
+}
+
+func TestWhitespaceNormalization(t *testing.T) {
+	doc := MustParse("@misc{m, note = {multi\n  line   value}}")
+	if v, _ := doc.Entries[0].Get("note"); v != "multi line value" {
+		t.Errorf("note = %q", v)
+	}
+}

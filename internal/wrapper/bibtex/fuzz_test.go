@@ -1,0 +1,25 @@
+package bibtex
+
+import "testing"
+
+// FuzzParse: the BibTeX parser must never panic and must terminate on
+// arbitrary input.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleBib)
+	f.Add(`@article{k, title = {a {nested} brace}, year = 1998}`)
+	f.Add(`@string{x = "y"} @misc{m, note = x # x}`)
+	f.Add(`@comment{anything {goes} here}`)
+	f.Add(`@article(k, title = {paren})`)
+	f.Add("@\x00{")
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Whatever parses must wrap without panicking.
+		g := Wrap(doc, DefaultOptions())
+		if g == nil {
+			t.Fatal("nil graph from valid document")
+		}
+	})
+}

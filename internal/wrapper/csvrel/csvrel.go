@@ -1,0 +1,143 @@
+// Package csvrel is Strudel's relational wrapper: it maps relational
+// tables (as CSV) into data graphs, the way the paper's AWK wrappers
+// mapped AT&T's small personnel and organization databases (§5.1).
+//
+// Each table becomes a collection; each row becomes an object; columns
+// become attributes. Empty cells become absent edges — the
+// semistructured model represents missing data by missing attributes, not
+// by NULLs. Values are typed by inference (int, float, bool, URL, string),
+// and columns can be declared as references to rows of other tables,
+// turning foreign keys into graph edges.
+package csvrel
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// Options controls the mapping of one table.
+type Options struct {
+	// Table names the collection; required.
+	Table string
+	// KeyColumn is the column whose value names each row object; when
+	// empty, rows are numbered table/0, table/1, ...
+	KeyColumn string
+	// Refs maps a column name to the table its values reference: the cell
+	// value v becomes a node reference &<table>/<v>.
+	Refs map[string]string
+	// Files maps a column to a file type for its values.
+	Files map[string]graph.FileType
+	// URLs lists columns holding URL values.
+	URLs []string
+}
+
+// Load parses CSV text (first record is the header) into a data graph.
+func Load(src string, opts Options) (*graph.Graph, error) {
+	if opts.Table == "" {
+		return nil, fmt.Errorf("csvrel: Options.Table is required")
+	}
+	r := csv.NewReader(strings.NewReader(src))
+	r.TrimLeadingSpace = true
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvrel: table %s: %w", opts.Table, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("csvrel: table %s: missing header row", opts.Table)
+	}
+	header := records[0]
+	keyIdx := -1
+	for i, h := range header {
+		if h == opts.KeyColumn && opts.KeyColumn != "" {
+			keyIdx = i
+		}
+	}
+	if opts.KeyColumn != "" && keyIdx < 0 {
+		return nil, fmt.Errorf("csvrel: table %s: key column %q not in header %v", opts.Table, opts.KeyColumn, header)
+	}
+	g := graph.New()
+	g.DeclareCollection(opts.Table)
+	for rowNum, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("csvrel: table %s: row %d has %d fields, header has %d",
+				opts.Table, rowNum+1, len(rec), len(header))
+		}
+		var oid graph.OID
+		if keyIdx >= 0 {
+			oid = RowOID(opts.Table, rec[keyIdx])
+		} else {
+			oid = RowOID(opts.Table, strconv.Itoa(rowNum))
+		}
+		g.AddToCollection(opts.Table, oid)
+		for i, cell := range rec {
+			cell = strings.TrimSpace(cell)
+			if cell == "" {
+				continue // missing attribute, not an empty value
+			}
+			col := header[i]
+			g.AddEdge(oid, col, cellValue(col, cell, opts))
+		}
+	}
+	return g, nil
+}
+
+// RowOID names the object for a row of a table.
+func RowOID(table, key string) graph.OID {
+	return graph.OID(table + "/" + key)
+}
+
+func cellValue(col, cell string, opts Options) graph.Value {
+	if ref, ok := opts.Refs[col]; ok {
+		return graph.NewNode(RowOID(ref, cell))
+	}
+	if ft, ok := opts.Files[col]; ok {
+		return graph.NewFile(ft, cell)
+	}
+	for _, u := range opts.URLs {
+		if u == col {
+			return graph.NewURL(cell)
+		}
+	}
+	return inferValue(cell)
+}
+
+// inferValue types a cell: int, float, bool, then string.
+func inferValue(cell string) graph.Value {
+	if i, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return graph.NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(cell, 64); err == nil {
+		return graph.NewFloat(f)
+	}
+	switch cell {
+	case "true", "TRUE", "True":
+		return graph.NewBool(true)
+	case "false", "FALSE", "False":
+		return graph.NewBool(false)
+	}
+	if strings.HasPrefix(cell, "http://") || strings.HasPrefix(cell, "https://") {
+		return graph.NewURL(cell)
+	}
+	return graph.NewString(cell)
+}
+
+// LoadAll loads several tables into one merged graph; later tables may
+// reference earlier (or later) ones, since references are by oid.
+func LoadAll(tables []struct {
+	Src  string
+	Opts Options
+}) (*graph.Graph, error) {
+	g := graph.New()
+	for _, t := range tables {
+		tg, err := Load(t.Src, t.Opts)
+		if err != nil {
+			return nil, err
+		}
+		g.Merge(tg)
+	}
+	return g, nil
+}

@@ -1,0 +1,155 @@
+package csvrel
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+const peopleCSV = `id,name,office,phone,org,homepage,sponsored
+mff,Mary Fernandez,B-201,555-0101,research,http://example.com/~mff,true
+suciu,Dan Suciu,B-202,555-0102,research,,false
+kang,Jaewoo Kang,C-101,,systems,,
+`
+
+const orgsCSV = `id,name,director
+research,Research Lab,mff
+systems,Systems Lab,kang
+`
+
+func TestLoadBasics(t *testing.T) {
+	g, err := Load(peopleCSV, Options{Table: "People", KeyColumn: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CollectionSize("People") != 3 {
+		t.Fatalf("People = %d", g.CollectionSize("People"))
+	}
+	if v := g.First("People/mff", "name"); v.Text() != "Mary Fernandez" {
+		t.Errorf("name = %v", v)
+	}
+	// Inference: URL detected.
+	if v := g.First("People/mff", "homepage"); v.Kind() != graph.KindURL {
+		t.Errorf("homepage = %v", v)
+	}
+	// Inference: bool.
+	if v := g.First("People/mff", "sponsored"); v.Kind() != graph.KindBool || !v.Bool() {
+		t.Errorf("sponsored = %v", v)
+	}
+}
+
+func TestEmptyCellsBecomeAbsentEdges(t *testing.T) {
+	// §6.3: attribute values may be missing; the model represents that by
+	// absence, not NULL.
+	g, err := Load(peopleCSV, Options{Table: "People", KeyColumn: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.First("People/kang", "phone").IsNull() {
+		t.Error("kang's phone should be absent")
+	}
+	if !g.First("People/suciu", "homepage").IsNull() {
+		t.Error("suciu's homepage should be absent")
+	}
+	if !g.First("People/kang", "sponsored").IsNull() {
+		t.Error("kang's sponsored should be absent")
+	}
+}
+
+func TestRefsMakeForeignKeysEdges(t *testing.T) {
+	g, err := Load(peopleCSV, Options{Table: "People", KeyColumn: "id", Refs: map[string]string{"org": "Orgs"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := g.First("People/mff", "org"); !v.IsNode() || v.OID() != "Orgs/research" {
+		t.Errorf("org = %v", v)
+	}
+}
+
+func TestLoadAllJoinableAcrossTables(t *testing.T) {
+	g, err := LoadAll([]struct {
+		Src  string
+		Opts Options
+	}{
+		{peopleCSV, Options{Table: "People", KeyColumn: "id", Refs: map[string]string{"org": "Orgs"}}},
+		{orgsCSV, Options{Table: "Orgs", KeyColumn: "id", Refs: map[string]string{"director": "People"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Follow person → org → director.
+	org := g.First("People/suciu", "org")
+	if !org.IsNode() {
+		t.Fatal("org not a ref")
+	}
+	dir := g.First(org.OID(), "director")
+	if !dir.IsNode() || dir.OID() != "People/mff" {
+		t.Errorf("director = %v", dir)
+	}
+}
+
+func TestNumberedRowsWithoutKeyColumn(t *testing.T) {
+	g, err := Load("a,b\n1,x\n2,y\n", Options{Table: "T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasNode("T/0") || !g.HasNode("T/1") {
+		t.Errorf("nodes = %v", g.Nodes())
+	}
+	if v := g.First("T/0", "a"); v.Kind() != graph.KindInt || v.Int() != 1 {
+		t.Errorf("a = %v", v)
+	}
+}
+
+func TestFileColumns(t *testing.T) {
+	g, err := Load("id,photo\np,me.gif\n", Options{
+		Table: "P", KeyColumn: "id",
+		Files: map[string]graph.FileType{"photo": graph.FileImage},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := g.First("P/p", "photo"); v.Kind() != graph.KindFile || v.FileType() != graph.FileImage {
+		t.Errorf("photo = %v", v)
+	}
+}
+
+func TestURLColumns(t *testing.T) {
+	g, err := Load("id,link\np,example.com/x\n", Options{Table: "P", KeyColumn: "id", URLs: []string{"link"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := g.First("P/p", "link"); v.Kind() != graph.KindURL {
+		t.Errorf("link = %v", v)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		opts Options
+		frag string
+	}{
+		{"a,b\n1,2\n", Options{}, "Table is required"},
+		{"", Options{Table: "T"}, "missing header"},
+		{"a,b\n1\n", Options{Table: "T"}, "fields"},
+		{"a,b\nx,y\n", Options{Table: "T", KeyColumn: "zz"}, "key column"},
+	}
+	for _, c := range cases {
+		_, err := Load(c.src, c.opts)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Load(%q): err = %v, want %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestFloatInference(t *testing.T) {
+	g, err := Load("id,score\np,4.75\n", Options{Table: "P", KeyColumn: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := g.First("P/p", "score"); v.Kind() != graph.KindFloat || v.Float() != 4.75 {
+		t.Errorf("score = %v", v)
+	}
+}

@@ -1,0 +1,270 @@
+// Package htmlwrap is Strudel's HTML wrapper: it converts existing HTML
+// pages into data-graph objects, the path used to build the CNN
+// demonstration site from ~300 scraped article pages (§5.1).
+//
+// The wrapper is a small hand-rolled tag tokenizer (not a validating
+// parser): it extracts the <title>, headings (h1–h3), paragraph text,
+// anchors (<a href>), images, and <meta name="..." content="..."> pairs.
+// Each wrapped page becomes one object; metadata become attributes;
+// anchors become url edges, or node references when the target is another
+// wrapped page.
+package htmlwrap
+
+import (
+	"html"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// Page is the extracted content of one HTML page.
+type Page struct {
+	Name     string // page identifier, e.g. its file name or slug
+	Title    string
+	Headings []string
+	// Paragraphs are the visible text blocks, in order.
+	Paragraphs []string
+	// Links are anchor targets with their anchor text.
+	Links []Link
+	// Images are img src values.
+	Images []string
+	// Meta holds <meta name content> pairs.
+	Meta map[string]string
+}
+
+// Link is one anchor.
+type Link struct {
+	Href string
+	Text string
+}
+
+// Extract tokenizes HTML and pulls out the structured content.
+func Extract(name, src string) *Page {
+	p := &Page{Name: name, Meta: map[string]string{}}
+	var textSink *strings.Builder
+	var anchor *Link
+	var inTitle bool
+	pos := 0
+	flushPara := func(b *strings.Builder) {
+		if b == nil {
+			return
+		}
+		if t := normalize(b.String()); t != "" {
+			p.Paragraphs = append(p.Paragraphs, t)
+		}
+	}
+	var para strings.Builder
+	var heading strings.Builder
+	for pos < len(src) {
+		lt := strings.IndexByte(src[pos:], '<')
+		if lt < 0 {
+			p.text(src[pos:], textSink, &para, anchor, inTitle)
+			break
+		}
+		p.text(src[pos:pos+lt], textSink, &para, anchor, inTitle)
+		pos += lt
+		gt := strings.IndexByte(src[pos:], '>')
+		if gt < 0 {
+			break
+		}
+		tag := src[pos+1 : pos+gt]
+		pos += gt + 1
+		name, attrs, closing := parseTag(tag)
+		switch name {
+		case "title":
+			inTitle = !closing
+		case "h1", "h2", "h3":
+			if closing {
+				if t := normalize(heading.String()); t != "" {
+					p.Headings = append(p.Headings, t)
+				}
+				heading.Reset()
+				textSink = nil
+			} else {
+				textSink = &heading
+			}
+		case "p", "div", "br", "td", "li":
+			flushPara(&para)
+			para.Reset()
+		case "a":
+			if closing {
+				if anchor != nil {
+					anchor.Text = normalize(anchor.Text)
+					p.Links = append(p.Links, *anchor)
+					anchor = nil
+				}
+			} else if href, ok := attrs["href"]; ok {
+				anchor = &Link{Href: href}
+			}
+		case "img":
+			if srcAttr, ok := attrs["src"]; ok {
+				p.Images = append(p.Images, srcAttr)
+			}
+		case "meta":
+			if n, ok := attrs["name"]; ok {
+				p.Meta[strings.ToLower(n)] = attrs["content"]
+			}
+		case "script", "style":
+			// Skip to the closing tag.
+			if !closing {
+				end := strings.Index(strings.ToLower(src[pos:]), "</"+name)
+				if end >= 0 {
+					pos += end
+				} else {
+					pos = len(src)
+				}
+			}
+		}
+	}
+	flushPara(&para)
+	if t := normalize(heading.String()); t != "" {
+		p.Headings = append(p.Headings, t)
+	}
+	if anchor != nil {
+		anchor.Text = normalize(anchor.Text)
+		p.Links = append(p.Links, *anchor)
+	}
+	return p
+}
+
+// text routes character data to the title, a heading, an anchor, and the
+// current paragraph as appropriate.
+func (p *Page) text(s string, sink *strings.Builder, para *strings.Builder, anchor *Link, inTitle bool) {
+	if s == "" {
+		return
+	}
+	un := html.UnescapeString(s)
+	if inTitle {
+		p.Title = normalize(p.Title + " " + un)
+		return
+	}
+	if anchor != nil {
+		anchor.Text += un
+	}
+	if sink != nil {
+		sink.WriteString(un)
+		return
+	}
+	para.WriteString(un)
+}
+
+// parseTag splits a raw tag into name, attributes, and whether it closes.
+func parseTag(tag string) (name string, attrs map[string]string, closing bool) {
+	tag = strings.TrimSpace(tag)
+	if strings.HasPrefix(tag, "!") {
+		return "", nil, false // comments and doctypes
+	}
+	if strings.HasPrefix(tag, "/") {
+		return strings.ToLower(strings.TrimSpace(tag[1:])), nil, true
+	}
+	attrs = map[string]string{}
+	i := 0
+	for i < len(tag) && !isSpace(tag[i]) {
+		i++
+	}
+	name = strings.ToLower(tag[:i])
+	rest := tag[i:]
+	for {
+		rest = strings.TrimLeft(rest, " \t\n\r/")
+		if rest == "" {
+			break
+		}
+		eq := strings.IndexAny(rest, "= \t\n\r")
+		if eq < 0 {
+			attrs[strings.ToLower(rest)] = ""
+			break
+		}
+		key := strings.ToLower(rest[:eq])
+		if rest[eq] != '=' {
+			attrs[key] = ""
+			rest = rest[eq:]
+			continue
+		}
+		rest = strings.TrimLeft(rest[eq+1:], " \t\n\r")
+		var val string
+		if len(rest) > 0 && (rest[0] == '"' || rest[0] == '\'') {
+			q := rest[0]
+			end := strings.IndexByte(rest[1:], q)
+			if end < 0 {
+				val, rest = rest[1:], ""
+			} else {
+				val, rest = rest[1:1+end], rest[2+end:]
+			}
+		} else {
+			end := strings.IndexAny(rest, " \t\n\r")
+			if end < 0 {
+				val, rest = rest, ""
+			} else {
+				val, rest = rest[:end], rest[end:]
+			}
+		}
+		if key != "" {
+			attrs[key] = html.UnescapeString(val)
+		}
+	}
+	return name, attrs, false
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+func normalize(s string) string { return strings.Join(strings.Fields(s), " ") }
+
+// Options controls the graph mapping.
+type Options struct {
+	// Collection is the collection wrapped pages join; default "Pages".
+	Collection string
+	// InternalPages maps hrefs to the Names of other wrapped pages, so
+	// intra-site anchors become node references instead of url atoms.
+	InternalPages map[string]string
+	// MetaAttrs lists meta names to copy as attributes (all when nil).
+	MetaAttrs []string
+}
+
+// Wrap converts extracted pages into a data graph.
+func Wrap(pages []*Page, opts Options) *graph.Graph {
+	if opts.Collection == "" {
+		opts.Collection = "Pages"
+	}
+	g := graph.New()
+	for _, p := range pages {
+		oid := graph.OID(p.Name)
+		g.AddToCollection(opts.Collection, oid)
+		if p.Title != "" {
+			g.AddEdge(oid, "title", graph.NewString(p.Title))
+		}
+		for _, h := range p.Headings {
+			g.AddEdge(oid, "heading", graph.NewString(h))
+		}
+		if len(p.Paragraphs) > 0 {
+			g.AddEdge(oid, "body", graph.NewString(strings.Join(p.Paragraphs, "\n")))
+		}
+		for _, l := range p.Links {
+			if target, ok := opts.InternalPages[l.Href]; ok {
+				g.AddEdge(oid, "linksTo", graph.NewNode(graph.OID(target)))
+			} else {
+				g.AddEdge(oid, "link", graph.NewURL(l.Href))
+			}
+		}
+		for _, img := range p.Images {
+			g.AddEdge(oid, "image", graph.NewFile(graph.FileImage, img))
+		}
+		for name, content := range p.Meta {
+			if len(opts.MetaAttrs) > 0 && !contains(opts.MetaAttrs, name) {
+				continue
+			}
+			if content != "" {
+				g.AddEdge(oid, name, graph.NewString(content))
+			}
+		}
+	}
+	return g
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package htmlwrap
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+const articleHTML = `<!DOCTYPE html>
+<html>
+<head>
+  <title>Markets Rally &amp; Rebound</title>
+  <meta name="category" content="business">
+  <meta name="date" content="1998-02-14">
+  <script>var x = "<p>not text</p>";</script>
+  <style>p { color: red }</style>
+</head>
+<body>
+<h1>Markets Rally</h1>
+<p>Stocks rose sharply on Friday.</p>
+<p>Analysts said the rally was driven by
+   strong earnings.</p>
+<a href="sports01.html">Related: playoff results</a>
+<img src="chart.gif">
+<h2>Background</h2>
+<p>The market had fallen for three weeks.</p>
+</body>
+</html>`
+
+func TestExtractBasics(t *testing.T) {
+	p := Extract("biz01", articleHTML)
+	if p.Title != "Markets Rally & Rebound" {
+		t.Errorf("title = %q", p.Title)
+	}
+	if len(p.Headings) != 2 || p.Headings[0] != "Markets Rally" || p.Headings[1] != "Background" {
+		t.Errorf("headings = %v", p.Headings)
+	}
+	joined := strings.Join(p.Paragraphs, "|")
+	if !strings.Contains(joined, "Stocks rose sharply on Friday.") {
+		t.Errorf("paragraphs = %v", p.Paragraphs)
+	}
+	if !strings.Contains(joined, "strong earnings") {
+		t.Errorf("multi-line paragraph lost: %v", p.Paragraphs)
+	}
+	if strings.Contains(joined, "not text") || strings.Contains(joined, "color: red") {
+		t.Errorf("script/style leaked into text: %v", p.Paragraphs)
+	}
+	if len(p.Links) != 1 || p.Links[0].Href != "sports01.html" || p.Links[0].Text != "Related: playoff results" {
+		t.Errorf("links = %v", p.Links)
+	}
+	if len(p.Images) != 1 || p.Images[0] != "chart.gif" {
+		t.Errorf("images = %v", p.Images)
+	}
+	if p.Meta["category"] != "business" || p.Meta["date"] != "1998-02-14" {
+		t.Errorf("meta = %v", p.Meta)
+	}
+}
+
+func TestWrapToGraph(t *testing.T) {
+	p := Extract("biz01", articleHTML)
+	g := Wrap([]*Page{p}, Options{Collection: "Articles"})
+	if !g.InCollection("Articles", "biz01") {
+		t.Fatal("article not in collection")
+	}
+	if v := g.First("biz01", "title"); v.Text() != "Markets Rally & Rebound" {
+		t.Errorf("title = %v", v)
+	}
+	if v := g.First("biz01", "category"); v.Text() != "business" {
+		t.Errorf("category = %v", v)
+	}
+	if v := g.First("biz01", "body"); !strings.Contains(v.Text(), "Stocks rose") {
+		t.Errorf("body = %v", v)
+	}
+	if v := g.First("biz01", "image"); v.Kind() != graph.KindFile || v.FileType() != graph.FileImage {
+		t.Errorf("image = %v", v)
+	}
+	// External link becomes a url atom.
+	if v := g.First("biz01", "link"); v.Kind() != graph.KindURL || v.Str() != "sports01.html" {
+		t.Errorf("link = %v", v)
+	}
+}
+
+func TestInternalLinksBecomeNodeRefs(t *testing.T) {
+	p := Extract("biz01", articleHTML)
+	g := Wrap([]*Page{p}, Options{
+		Collection:    "Articles",
+		InternalPages: map[string]string{"sports01.html": "sports01"},
+	})
+	if v := g.First("biz01", "linksTo"); !v.IsNode() || v.OID() != "sports01" {
+		t.Errorf("linksTo = %v", v)
+	}
+	if !g.First("biz01", "link").IsNull() {
+		t.Error("internal link should not also be a url atom")
+	}
+}
+
+func TestMetaAttrFilter(t *testing.T) {
+	p := Extract("a", articleHTML)
+	g := Wrap([]*Page{p}, Options{MetaAttrs: []string{"category"}})
+	if g.First("a", "category").IsNull() {
+		t.Error("category should be kept")
+	}
+	if !g.First("a", "date").IsNull() {
+		t.Error("date should be filtered out")
+	}
+}
+
+func TestDefaultCollection(t *testing.T) {
+	g := Wrap([]*Page{Extract("x", "<title>T</title>")}, Options{})
+	if !g.InCollection("Pages", "x") {
+		t.Error("default collection should be Pages")
+	}
+}
+
+func TestUnquotedAttributes(t *testing.T) {
+	p := Extract("x", `<a href=page.html>go</a><img src=i.gif>`)
+	if len(p.Links) != 1 || p.Links[0].Href != "page.html" {
+		t.Errorf("links = %v", p.Links)
+	}
+	if len(p.Images) != 1 || p.Images[0] != "i.gif" {
+		t.Errorf("images = %v", p.Images)
+	}
+}
+
+func TestSingleQuotedAttributes(t *testing.T) {
+	p := Extract("x", `<a href='q.html'>t</a>`)
+	if len(p.Links) != 1 || p.Links[0].Href != "q.html" {
+		t.Errorf("links = %v", p.Links)
+	}
+}
+
+func TestMalformedHTMLDoesNotPanic(t *testing.T) {
+	for _, src := range []string{
+		"<", "<a", "<a href=", "<title>unclosed", "text only", "",
+		"<p><p><p>", "<h1>h<h2>i", `<a href="x`, "<script>never closed",
+	} {
+		p := Extract("m", src)
+		if p == nil {
+			t.Errorf("Extract(%q) returned nil", src)
+		}
+	}
+}
+
+func TestAnchorTextAlsoInParagraph(t *testing.T) {
+	p := Extract("x", `<p>See <a href="y.html">the details</a> here.</p>`)
+	if len(p.Paragraphs) == 0 || !strings.Contains(p.Paragraphs[0], "See the details here.") {
+		t.Errorf("paragraphs = %v", p.Paragraphs)
+	}
+}
+
+func TestEntitiesUnescaped(t *testing.T) {
+	p := Extract("x", `<p>fish &amp; chips &lt;now&gt;</p>`)
+	if len(p.Paragraphs) == 0 || p.Paragraphs[0] != "fish & chips <now>" {
+		t.Errorf("paragraphs = %v", p.Paragraphs)
+	}
+}

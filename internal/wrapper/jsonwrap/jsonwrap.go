@@ -1,0 +1,159 @@
+// Package jsonwrap wraps JSON documents as data graphs. JSON is the
+// modern descendant of the "structured files" the paper integrates
+// (§5.1), and it maps directly onto the semistructured model: objects
+// become nodes, members become labeled edges, arrays become multi-valued
+// attributes, and scalars become atoms. Nothing about the document needs
+// to be regular — exactly the irregularity §6.3 argues the model is for.
+//
+// Mapping rules:
+//
+//   - A JSON object becomes a node; each member "k": v becomes an edge
+//     labeled k.
+//   - Arrays of scalars become repeated edges (multi-valued attributes);
+//     arrays of objects become repeated node edges, each element with an
+//     "index" attribute so order survives the unordered model (the §6.3
+//     integer-key workaround, applied automatically).
+//   - Scalars map to string/float/bool atoms; whole numbers become ints.
+//   - null members are dropped: a missing value is a missing attribute.
+//
+// Node oids are derived from the document name and member paths
+// (root, root/items/0, ...), unless an object carries the key field
+// (default "id"), which then names it.
+package jsonwrap
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"strudel/internal/graph"
+)
+
+// Options tunes the mapping.
+type Options struct {
+	// Collection receives every object node; default "Objects". The root
+	// object additionally joins Collection+"Roots".
+	Collection string
+	// KeyField names objects: an object with this string member uses its
+	// value as oid (prefixed by the document name). Default "id".
+	KeyField string
+	// RecordIndex adds an "index" attribute to array-element objects;
+	// default true.
+	NoIndex bool
+}
+
+// Load parses a JSON document and maps it to a data graph. name prefixes
+// every generated oid, keeping multiple documents disjoint.
+func Load(name string, data []byte, opts Options) (*graph.Graph, error) {
+	if opts.Collection == "" {
+		opts.Collection = "Objects"
+	}
+	if opts.KeyField == "" {
+		opts.KeyField = "id"
+	}
+	var root any
+	if err := json.Unmarshal(data, &root); err != nil {
+		return nil, fmt.Errorf("jsonwrap: %s: %w", name, err)
+	}
+	g := graph.New()
+	w := &wrapper{g: g, opts: opts, name: name}
+	rootVal, err := w.value(root, name+"/root")
+	if err != nil {
+		return nil, err
+	}
+	if rootVal.IsNode() {
+		g.AddToCollection(opts.Collection+"Roots", rootVal.OID())
+	} else {
+		// A scalar or array document still yields a graph: hang it off a
+		// synthetic root node.
+		oid := graph.OID(name + "/root")
+		g.AddToCollection(opts.Collection+"Roots", oid)
+		g.AddEdge(oid, "value", rootVal)
+	}
+	return g, nil
+}
+
+type wrapper struct {
+	g    *graph.Graph
+	opts Options
+	name string
+}
+
+// value maps one JSON value; arrays are handled by the caller (they
+// expand to repeated edges), so this sees objects and scalars.
+func (w *wrapper) value(v any, path string) (graph.Value, error) {
+	switch v := v.(type) {
+	case map[string]any:
+		return w.object(v, path)
+	case string:
+		return graph.NewString(v), nil
+	case float64:
+		if v == math.Trunc(v) && math.Abs(v) < 1<<62 {
+			return graph.NewInt(int64(v)), nil
+		}
+		return graph.NewFloat(v), nil
+	case bool:
+		return graph.NewBool(v), nil
+	case nil:
+		return graph.Null, nil
+	case []any:
+		// A nested array (array inside an array): wrap in a node so the
+		// elements have somewhere to hang.
+		oid := graph.OID(path)
+		w.g.AddNode(oid)
+		if err := w.member(oid, "item", v, path); err != nil {
+			return graph.Null, err
+		}
+		return graph.NewNode(oid), nil
+	}
+	return graph.Null, fmt.Errorf("jsonwrap: %s: unsupported value %T at %s", w.name, v, path)
+}
+
+func (w *wrapper) object(m map[string]any, path string) (graph.Value, error) {
+	oid := graph.OID(path)
+	if id, ok := m[w.opts.KeyField].(string); ok && id != "" {
+		oid = graph.OID(w.name + "/" + id)
+	}
+	w.g.AddToCollection(w.opts.Collection, oid)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := w.member(oid, k, m[k], path+"/"+k); err != nil {
+			return graph.Null, err
+		}
+	}
+	return graph.NewNode(oid), nil
+}
+
+// member adds the edges for one object member (or array item set).
+func (w *wrapper) member(oid graph.OID, label string, v any, path string) error {
+	if arr, ok := v.([]any); ok {
+		for i, elem := range arr {
+			ev, err := w.value(elem, fmt.Sprintf("%s/%d", path, i))
+			if err != nil {
+				return err
+			}
+			if ev.IsNull() {
+				continue
+			}
+			w.g.AddEdge(oid, label, ev)
+			if ev.IsNode() && !w.opts.NoIndex {
+				w.g.AddEdge(ev.OID(), "index", graph.NewInt(int64(i)))
+			}
+		}
+		return nil
+	}
+	val, err := w.value(v, path)
+	if err != nil {
+		return err
+	}
+	if val.IsNull() {
+		return nil // null member = missing attribute
+	}
+	w.g.AddEdge(oid, label, val)
+	return nil
+}
