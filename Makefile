@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet bench check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The build pipeline is parallel by default, so the race detector is part
+# of the standard gate, not an optional extra.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# check is what CI runs.
+check: vet race
+
+clean:
+	$(GO) clean ./...

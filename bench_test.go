@@ -8,7 +8,9 @@ package strudel_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"strudel/internal/baseline"
 	"strudel/internal/constraints"
@@ -596,5 +598,50 @@ func BenchmarkE12_SiteVerification(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.CheckSite(site)
+	}
+}
+
+// --- E13: parallel build scaling (this reproduction's worker-pool
+// pipeline; not in the paper) ---
+//
+// One version of the CNN site, warehoused once, built end to end —
+// StruQL evaluation plus HTML generation — at increasing worker counts.
+// The j=1 sub-benchmark is the sequential baseline; each wider run
+// reports its speedup over it. Output is byte-identical at every
+// setting (TestParallelDeterminism pins that), so this measures pure
+// scheduling win. Speedup beyond j=GOMAXPROCS cannot appear: on a
+// single-CPU host every setting times roughly the same.
+
+func BenchmarkE13_ParallelScaling(b *testing.B) {
+	spec := sites.CNN(300)
+	spec.Versions = spec.Versions[:1] // general only
+	med, err := mediator.New(spec.Sources...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := med.Warehouse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workers = append(workers, n)
+	}
+	var baseline time.Duration
+	for _, j := range workers {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			opts := &core.Options{Parallelism: j}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildVersionWith(&spec.Versions[0], data, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perOp := b.Elapsed() / time.Duration(b.N)
+			if j == 1 {
+				baseline = perOp
+			} else if baseline > 0 && perOp > 0 {
+				b.ReportMetric(float64(baseline)/float64(perOp), "speedup")
+			}
+		})
 	}
 }

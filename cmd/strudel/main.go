@@ -44,6 +44,7 @@ func main() {
 	example := flag.String("example", "", "bundled site: homepage, cnn, orgsite, or bilingual")
 	size := flag.Int("size", 0, "scale of the bundled site (publications, articles, or people; 0 = default)")
 	out := flag.String("out", "site-out", "output directory")
+	jobs := flag.Int("j", 0, "build parallelism: 0 = one worker per CPU, 1 = sequential (output is identical at any setting)")
 	queryFile := flag.String("query", "", "StruQL site-definition query file")
 	flag.Var(&dataFiles, "data", "data-definition-language file (repeatable)")
 	flag.Var(&bibFiles, "bibtex", "BibTeX file (repeatable)")
@@ -56,11 +57,12 @@ func main() {
 	flag.Var(&constraintsList, "constraint", "integrity constraint to check (repeatable)")
 	flag.Parse()
 
+	opts := &core.Options{Parallelism: *jobs}
 	var err error
 	if *example != "" {
-		err = buildExample(*example, *size, *out)
+		err = buildExample(*example, *size, *out, opts)
 	} else {
-		err = buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles, *queryFile, templates, collTpl, objTpl, roots, constraintsList, *out)
+		err = buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles, *queryFile, templates, collTpl, objTpl, roots, constraintsList, *out, opts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "strudel:", err)
@@ -68,7 +70,7 @@ func main() {
 	}
 }
 
-func buildExample(name string, size int, out string) error {
+func buildExample(name string, size int, out string, opts *core.Options) error {
 	var spec *core.Spec
 	switch name {
 	case "homepage":
@@ -94,7 +96,7 @@ func buildExample(name string, size int, out string) error {
 	default:
 		return fmt.Errorf("unknown example %q (homepage, cnn, orgsite, bilingual)", name)
 	}
-	res, err := core.Build(spec)
+	res, err := core.BuildWith(spec, opts)
 	if err != nil {
 		return err
 	}
@@ -112,7 +114,7 @@ func buildExample(name string, size int, out string) error {
 }
 
 func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile string,
-	templates, collTpl, objTpl, roots, constraintsList []string, out string) error {
+	templates, collTpl, objTpl, roots, constraintsList []string, out string, opts *core.Options) error {
 	if queryFile == "" {
 		return fmt.Errorf("provide -query FILE (or -example NAME)")
 	}
@@ -194,7 +196,7 @@ func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile 
 		Roots:         roots,
 		Constraints:   constraintsList,
 	}
-	res, err := core.Build(&core.Spec{Name: "cli", Sources: sources, Versions: []core.Version{version}})
+	res, err := core.BuildWith(&core.Spec{Name: "cli", Sources: sources, Versions: []core.Version{version}}, opts)
 	if err != nil {
 		return err
 	}

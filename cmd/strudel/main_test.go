@@ -10,7 +10,7 @@ import (
 func TestBuildExampleSites(t *testing.T) {
 	for _, name := range []string{"homepage", "cnn", "bilingual"} {
 		out := filepath.Join(t.TempDir(), name)
-		if err := buildExample(name, 8, out); err != nil {
+		if err := buildExample(name, 8, out, nil); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		entries, err := os.ReadDir(out)
@@ -22,7 +22,7 @@ func TestBuildExampleSites(t *testing.T) {
 
 func TestBuildExampleOrgsiteSmall(t *testing.T) {
 	out := t.TempDir()
-	if err := buildExample("orgsite", 10, out); err != nil {
+	if err := buildExample("orgsite", 10, out, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(out, "internal", "index.html"))
@@ -35,7 +35,7 @@ func TestBuildExampleOrgsiteSmall(t *testing.T) {
 }
 
 func TestBuildExampleUnknown(t *testing.T) {
-	if err := buildExample("nope", 0, t.TempDir()); err == nil {
+	if err := buildExample("nope", 0, t.TempDir(), nil); err == nil {
 		t.Error("unknown example should fail")
 	}
 }
@@ -69,7 +69,7 @@ link Root() -> "person" -> PersonPage(p)
 	err := buildExplicit(
 		[]string{ddl}, nil, []string{"People:id:" + csv}, nil, query,
 		[]string{"Root=" + tmpl}, nil, []string{"Root()=Root"},
-		[]string{"Root()"}, []string{"connected from Root"}, out)
+		[]string{"Root()"}, []string{"connected from Root"}, out, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,13 +83,13 @@ link Root() -> "person" -> PersonPage(p)
 }
 
 func TestBuildExplicitErrors(t *testing.T) {
-	if err := buildExplicit(nil, nil, nil, nil, "", nil, nil, nil, nil, nil, t.TempDir()); err == nil {
+	if err := buildExplicit(nil, nil, nil, nil, "", nil, nil, nil, nil, nil, t.TempDir(), nil); err == nil {
 		t.Error("missing query should fail")
 	}
-	if err := buildExplicit(nil, nil, []string{"bad"}, nil, "x", nil, nil, nil, nil, nil, t.TempDir()); err == nil {
+	if err := buildExplicit(nil, nil, []string{"bad"}, nil, "x", nil, nil, nil, nil, nil, t.TempDir(), nil); err == nil {
 		t.Error("bad csv spec should fail")
 	}
-	if err := buildExplicit(nil, nil, nil, []string{"noseparator"}, "x", nil, nil, nil, nil, nil, t.TempDir()); err == nil {
+	if err := buildExplicit(nil, nil, nil, []string{"noseparator"}, "x", nil, nil, nil, nil, nil, t.TempDir(), nil); err == nil {
 		t.Error("bad json spec should fail")
 	}
 }

@@ -40,15 +40,16 @@ func main() {
 	plan := flag.Bool("plan", false, "print the evaluation plan")
 	showSchema := flag.Bool("schema", false, "print the query's site schema instead of evaluating")
 	guide := flag.Bool("guide", false, "print the data graph's dataguide (structure summary) and exit")
+	jobs := flag.Int("j", 0, "evaluation parallelism: 0 = one worker per CPU, 1 = sequential (results are identical at any setting)")
 	flag.Parse()
 
-	if err := run(dataFiles, bibFiles, *queryFile, *expr, *plan, *showSchema, *guide); err != nil {
+	if err := run(dataFiles, bibFiles, *queryFile, *expr, *plan, *showSchema, *guide, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "struql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataFiles, bibFiles []string, queryFile, expr string, plan, showSchema, guide bool) error {
+func run(dataFiles, bibFiles []string, queryFile, expr string, plan, showSchema, guide bool, jobs int) error {
 	if guide {
 		data, err := loadData(dataFiles, bibFiles)
 		if err != nil {
@@ -82,7 +83,7 @@ func run(dataFiles, bibFiles []string, queryFile, expr string, plan, showSchema,
 	if err != nil {
 		return err
 	}
-	r, err := struql.Eval(q, repo.NewIndexed(data), nil)
+	r, err := struql.Eval(q, repo.NewIndexed(data), &struql.Options{Parallelism: jobs})
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"strudel/internal/constraints"
 	"strudel/internal/graph"
@@ -24,6 +25,28 @@ import (
 	"strudel/internal/struql"
 	"strudel/internal/template"
 )
+
+// Options tunes a build. The zero value (and a nil *Options) is the
+// parallel default: one worker per available CPU in the query evaluator
+// and the HTML generator, and independent versions built concurrently.
+// Output is byte-identical at every setting; Parallelism: 1 forces the
+// fully sequential pipeline.
+type Options struct {
+	// Parallelism is the per-stage worker count: 0 = GOMAXPROCS,
+	// 1 = sequential, n>1 = exactly n workers.
+	Parallelism int
+}
+
+func (o *Options) parallelism() int {
+	if o == nil {
+		return 0
+	}
+	return o.Parallelism
+}
+
+func (o *Options) evalOptions() *struql.Options {
+	return &struql.Options{Parallelism: o.parallelism()}
+}
 
 // Version is one buildable rendition of the site: a query composition, a
 // template set, and the realization roots.
@@ -91,9 +114,17 @@ type BuildResult struct {
 	Versions map[string]*VersionResult
 }
 
-// Build runs the whole pipeline: warehouse the sources once, then build
-// every version against the shared data graph.
-func Build(spec *Spec) (*BuildResult, error) {
+// Build runs the whole pipeline with default (parallel) options.
+func Build(spec *Spec) (*BuildResult, error) { return BuildWith(spec, nil) }
+
+// BuildWith runs the whole pipeline: warehouse the sources once, then
+// build every version against the shared data graph. Versions whose query
+// compositions are textually identical share one evaluated site graph
+// (the paper's "no new queries" external view, §5.1); versions with
+// different queries evaluate concurrently — the data graph is read-only
+// once warehoused. Results and errors are deterministic: the reported
+// error is always the one of the earliest failing version in spec order.
+func BuildWith(spec *Spec, opts *Options) (*BuildResult, error) {
 	med, err := mediator.New(spec.Sources...)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", spec.Name, err)
@@ -103,34 +134,90 @@ func Build(spec *Spec) (*BuildResult, error) {
 		return nil, fmt.Errorf("core: %s: %w", spec.Name, err)
 	}
 	res := &BuildResult{Data: data, Versions: map[string]*VersionResult{}}
+
+	// Group versions by query composition; group members are version
+	// indexes in spec order.
+	groups := map[string][]int{}
+	var groupOrder []string
 	for i := range spec.Versions {
-		vr, err := BuildVersion(&spec.Versions[i], data)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: version %s: %w", spec.Name, spec.Versions[i].Name, err)
+		key := strings.Join(spec.Versions[i].Queries, "\x00")
+		if _, ok := groups[key]; !ok {
+			groupOrder = append(groupOrder, key)
 		}
-		res.Versions[vr.Name] = vr
+		groups[key] = append(groups[key], i)
+	}
+
+	results := make([]*VersionResult, len(spec.Versions))
+	errs := make([]error, len(spec.Versions))
+	runGroup := func(idxs []int) {
+		first := idxs[0]
+		vr, err := BuildVersionWith(&spec.Versions[first], data, opts)
+		if err != nil {
+			errs[first] = err
+			return
+		}
+		results[first] = vr
+		for _, i := range idxs[1:] {
+			r, err := RenderVersionWith(&spec.Versions[i], vr.Queries, vr.SiteGraph, opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = r
+		}
+	}
+	if opts.parallelism() == 1 || len(groupOrder) == 1 {
+		for _, key := range groupOrder {
+			runGroup(groups[key])
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, key := range groupOrder {
+			wg.Add(1)
+			go func(idxs []int) {
+				defer wg.Done()
+				runGroup(idxs)
+			}(groups[key])
+		}
+		wg.Wait()
+	}
+	for i := range spec.Versions {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: %s: version %s: %w", spec.Name, spec.Versions[i].Name, errs[i])
+		}
+		res.Versions[results[i].Name] = results[i]
 	}
 	return res, nil
 }
 
-// BuildVersion builds one version against an existing data graph. It is
-// also the entry point for experiment E9 (the cost of a second version).
+// BuildVersion builds one version with default options. It is also the
+// entry point for experiment E9 (the cost of a second version).
 func BuildVersion(v *Version, data struql.Source) (*VersionResult, error) {
+	return BuildVersionWith(v, data, nil)
+}
+
+// BuildVersionWith builds one version against an existing data graph.
+func BuildVersionWith(v *Version, data struql.Source, opts *Options) (*VersionResult, error) {
 	queries, err := parseQueries(v.Queries)
 	if err != nil {
 		return nil, err
 	}
-	site, err := struql.EvalSeq(queries, data, nil)
+	site, err := struql.EvalSeq(queries, data, opts.evalOptions())
 	if err != nil {
 		return nil, err
 	}
-	return RenderVersion(v, queries, site)
+	return RenderVersionWith(v, queries, site, opts)
 }
 
-// RenderVersion finishes a build from an already evaluated site graph —
+// RenderVersion finishes a build with default options.
+func RenderVersion(v *Version, queries []*struql.Query, site *graph.Graph) (*VersionResult, error) {
+	return RenderVersionWith(v, queries, site, nil)
+}
+
+// RenderVersionWith finishes a build from an already evaluated site graph —
 // the path that shares one site graph between versions whose queries are
 // identical (only the presentation differs).
-func RenderVersion(v *Version, queries []*struql.Query, site *graph.Graph) (*VersionResult, error) {
+func RenderVersionWith(v *Version, queries []*struql.Query, site *graph.Graph, opts *Options) (*VersionResult, error) {
 	vr := &VersionResult{Name: v.Name, Queries: queries, SiteGraph: site}
 	vr.Schema = schema.Build(combined(queries))
 
@@ -155,6 +242,7 @@ func RenderVersion(v *Version, queries []*struql.Query, site *graph.Graph) (*Ver
 		}
 	}
 	gen := htmlgen.New(site, ts)
+	gen.Parallelism = opts.parallelism()
 	for coll, name := range v.PerCollection {
 		gen.PerCollection[coll] = name
 	}

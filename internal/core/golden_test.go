@@ -121,3 +121,35 @@ func TestGoldenSiteOutput(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenSiteOutputParallel pins the determinism guarantee against the
+// same golden files: a build with eight workers must produce bytes
+// identical to the sequential golden output.
+func TestGoldenSiteOutputParallel(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files are rewritten by the sequential test")
+	}
+	v, data := goldenVersion()
+	vr, err := BuildVersionWith(v, struql.NewGraphSource(data), &Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "golden")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("golden dir missing (run with -update): %v", err)
+	}
+	if len(entries) != vr.Output.PageCount() {
+		t.Errorf("page count = %d, golden has %d files", vr.Output.PageCount(), len(entries))
+	}
+	for name, got := range vr.Output.Pages {
+		want, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("golden file %s missing from parallel build: %v", name, err)
+			continue
+		}
+		if got != string(want) {
+			t.Errorf("page %s diverged from golden output under parallelism:\n--- got\n%s\n--- want\n%s", name, got, want)
+		}
+	}
+}

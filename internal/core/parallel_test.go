@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"testing"
+
+	"strudel/internal/core"
+	"strudel/internal/sites"
+)
+
+// TestParallelDeterminism is the tentpole regression test: a build at any
+// parallelism setting must be byte-identical to the sequential build — the
+// same site graph, the same page file names, the same HTML bytes. Two of
+// the paper's sites cover both pipeline shapes: orgsite has two versions
+// sharing one site graph, homepage exercises grouping and nested blocks.
+func TestParallelDeterminism(t *testing.T) {
+	specs := map[string]*core.Spec{
+		"orgsite":  sites.OrgSite(120, 7, 13, 16),
+		"homepage": sites.Homepage(30),
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			seq, err := core.BuildWith(spec, &core.Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := core.BuildWith(spec, &core.Options{Parallelism: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.Versions) != len(seq.Versions) {
+				t.Fatalf("version count: parallel %d, sequential %d", len(par.Versions), len(seq.Versions))
+			}
+			for vname, sv := range seq.Versions {
+				pv, ok := par.Versions[vname]
+				if !ok {
+					t.Fatalf("version %s missing from parallel build", vname)
+				}
+				if pv.SiteGraph.Dump() != sv.SiteGraph.Dump() {
+					t.Errorf("version %s: site graphs differ between parallelism settings", vname)
+				}
+				if len(pv.Output.Pages) != len(sv.Output.Pages) {
+					t.Errorf("version %s: page count: parallel %d, sequential %d",
+						vname, len(pv.Output.Pages), len(sv.Output.Pages))
+				}
+				for file, want := range sv.Output.Pages {
+					got, ok := pv.Output.Pages[file]
+					if !ok {
+						t.Errorf("version %s: page %s missing from parallel build", vname, file)
+						continue
+					}
+					if got != want {
+						t.Errorf("version %s: page %s bytes differ between parallelism settings", vname, file)
+					}
+				}
+				if pv.Stats != sv.Stats {
+					t.Errorf("version %s: stats differ: parallel %+v, sequential %+v", vname, pv.Stats, sv.Stats)
+				}
+			}
+		})
+	}
+}

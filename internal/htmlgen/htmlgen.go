@@ -9,6 +9,14 @@
 // that refer to it is decided here, at generation time, by how templates
 // reference it: plain references become links (and schedule the target as
 // a page); EMBED references inline the object's rendering.
+//
+// Generation is parallel and deterministic. Pages are produced in BFS
+// waves: every page of the current frontier renders concurrently against
+// the read-only site graph, emitting placeholder tokens where link targets
+// belong; a serial merge pass then walks the wave in order, assigns file
+// names exactly as the sequential queue would, substitutes the
+// placeholders, and schedules the next frontier. Output is byte-identical
+// at every Parallelism setting.
 package htmlgen
 
 import (
@@ -16,8 +24,11 @@ import (
 	"html"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"strudel/internal/graph"
 	"strudel/internal/template"
@@ -43,6 +54,10 @@ type Generator struct {
 	Default string
 	// ReadFile resolves file atoms for EMBED; defaults to os.ReadFile.
 	ReadFile func(path string) ([]byte, error)
+	// Parallelism is the worker count for wave rendering: 0 uses one
+	// worker per available CPU, 1 forces sequential generation. Output
+	// bytes and file names are identical at every setting.
+	Parallelism int
 }
 
 // New returns a generator over the site graph and templates.
@@ -58,6 +73,16 @@ func New(site *graph.Graph, ts *template.Set) *Generator {
 	}
 }
 
+func (g *Generator) parallelism() int {
+	if g.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if g.Parallelism < 1 {
+		return 1
+	}
+	return g.Parallelism
+}
+
 // Output is a generated site: page file names and their HTML.
 type Output struct {
 	// Pages maps file name → HTML text.
@@ -71,15 +96,66 @@ type Output struct {
 	Contributors map[graph.OID][]graph.OID
 }
 
-// WriteDir writes every page into dir, creating it as needed.
+// WriteDir writes every page into dir, creating it as needed. Pages are
+// partitioned in sorted-name order across a worker pool; when several
+// writes fail, the error reported is the one for the first page in sorted
+// order, so partial-write failures are deterministic.
 func (o *Output) WriteDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("htmlgen: %w", err)
 	}
-	for name, content := range o.Pages {
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+	names := o.SortedPageNames()
+	write := func(name string) error {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(o.Pages[name]), 0o644); err != nil {
 			return fmt.Errorf("htmlgen: write %s: %w", name, err)
 		}
+		return nil
+	}
+	par := runtime.GOMAXPROCS(0)
+	if par > len(names) {
+		par = len(names)
+	}
+	if par <= 1 {
+		for _, name := range names {
+			if err := write(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Contiguous chunks of the sorted names; each worker stops at its
+	// first failure and the merge keeps the failure with the smallest
+	// global index.
+	errIdx := make([]int, par)
+	errs := make([]error, par)
+	var wg sync.WaitGroup
+	chunk := (len(names) + par - 1) / par
+	for w := 0; w < par; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(names) {
+			hi = len(names)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if err := write(names[i]); err != nil {
+					errIdx[w], errs[w] = i, err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best := -1
+	for w := range errs {
+		if errs[w] != nil && (best == -1 || errIdx[w] < errIdx[best]) {
+			best = w
+		}
+	}
+	if best >= 0 {
+		return errs[best]
 	}
 	return nil
 }
@@ -96,7 +172,7 @@ func (g *Generator) Generate(roots []graph.OID) (*Output, error) {
 		PageFiles:    map[graph.OID]string{},
 		Contributors: map[graph.OID][]graph.OID{},
 	}
-	st := &genState{g: g, out: out, usedNames: map[string]bool{}}
+	st := &genState{g: g, out: out, usedNames: map[string]bool{}, pending: map[graph.OID]bool{}}
 	for i, r := range roots {
 		if !g.Site.HasNode(r) {
 			return nil, fmt.Errorf("htmlgen: root %s is not in the site graph", r)
@@ -106,12 +182,8 @@ func (g *Generator) Generate(roots []graph.OID) (*Output, error) {
 		}
 		st.schedule(r)
 	}
-	for len(st.queue) > 0 {
-		oid := st.queue[0]
-		st.queue = st.queue[1:]
-		if err := st.renderPage(oid); err != nil {
-			return nil, err
-		}
+	if err := st.run(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -120,6 +192,7 @@ func (g *Generator) Generate(roots []graph.OID) (*Output, error) {
 // site-graph objects (the pages of those objects plus every page they
 // contributed content to), replacing them in the output in place. New
 // objects referenced by re-rendered pages are generated as usual.
+// Regeneration is sequential: dirty sets are small by construction.
 func (g *Generator) Regenerate(out *Output, changed []graph.OID) (pagesRedone int, err error) {
 	changedSet := map[graph.OID]bool{}
 	for _, c := range changed {
@@ -139,7 +212,7 @@ func (g *Generator) Regenerate(out *Output, changed []graph.OID) (pagesRedone in
 			dirty[c] = true
 		}
 	}
-	st := &genState{g: g, out: out, usedNames: map[string]bool{}}
+	st := &genState{g: g, out: out, usedNames: map[string]bool{}, pending: map[graph.OID]bool{}}
 	for name := range out.Pages {
 		st.usedNames[name] = true
 	}
@@ -157,6 +230,7 @@ func (g *Generator) Regenerate(out *Output, changed []graph.OID) (pagesRedone in
 			continue
 		}
 		st.queue = append(st.queue, oid)
+		st.pending[oid] = true
 	}
 	for len(st.queue) > 0 {
 		oid := st.queue[0]
@@ -164,43 +238,109 @@ func (g *Generator) Regenerate(out *Output, changed []graph.OID) (pagesRedone in
 		if _, done := out.Pages[out.PageFiles[oid]]; done && !dirty[oid] {
 			continue // an existing clean page referenced by a dirty one
 		}
-		if err := st.renderPage(oid); err != nil {
-			return pagesRedone, err
+		r := renderOne(g, oid)
+		if r.err != nil {
+			return pagesRedone, r.err
 		}
+		st.finish(oid, r)
 		pagesRedone++
 	}
 	return pagesRedone, nil
 }
 
-// renderPage renders one page, recording its contributor set.
-func (st *genState) renderPage(oid graph.OID) error {
+// genState is the serial side of generation: file-name assignment, the
+// page queue, and the output maps. It is only ever touched by the
+// coordinating goroutine; rendering happens in renderJobs.
+type genState struct {
+	g         *Generator
+	out       *Output
+	queue     []graph.OID
+	usedNames map[string]bool
+	// pending marks objects that have been scheduled, replacing the old
+	// linear queue scan with an O(1) check that also covers pages of the
+	// wave currently being rendered.
+	pending map[graph.OID]bool
+}
+
+// run drains the queue in BFS waves: the whole frontier renders
+// concurrently, then the merge pass finishes pages in frontier order,
+// which reproduces the sequential queue's file-name assignment exactly.
+func (st *genState) run() error {
+	par := st.g.parallelism()
+	for len(st.queue) > 0 {
+		wave := st.queue
+		st.queue = nil
+		results := renderWave(st.g, wave, par)
+		for i, oid := range wave {
+			if results[i].err != nil {
+				// The first failing page in wave order wins, independent
+				// of goroutine scheduling.
+				return results[i].err
+			}
+			st.finish(oid, results[i])
+		}
+	}
+	return nil
+}
+
+type renderResult struct {
+	html string
+	job  *renderJob
+	err  error
+}
+
+// renderWave renders every page of the frontier on a bounded worker pool.
+func renderWave(g *Generator, wave []graph.OID, par int) []renderResult {
+	results := make([]renderResult, len(wave))
+	if par <= 1 || len(wave) < 2 {
+		for i, oid := range wave {
+			results[i] = renderOne(g, oid)
+		}
+		return results
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, oid := range wave {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, oid graph.OID) {
+			defer wg.Done()
+			results[i] = renderOne(g, oid)
+			<-sem
+		}(i, oid)
+	}
+	wg.Wait()
+	return results
+}
+
+// renderOne renders a single page into placeholder form.
+func renderOne(g *Generator, oid graph.OID) renderResult {
 	// The page's own object is on the embed stack so that embedding
 	// cycles back to the page degrade to links.
-	st.embedStack = append(st.embedStack[:0], oid)
-	st.contributors = map[graph.OID]bool{oid: true}
-	htmlText, err := st.render(oid)
-	if err != nil {
-		return err
+	job := &renderJob{
+		g:            g,
+		embedStack:   []graph.OID{oid},
+		contributors: map[graph.OID]bool{oid: true},
 	}
-	st.out.Pages[st.out.PageFiles[oid]] = htmlText
-	contribs := make([]graph.OID, 0, len(st.contributors))
-	for c := range st.contributors {
+	htmlText, err := job.render(oid)
+	return renderResult{html: htmlText, job: job, err: err}
+}
+
+// finish completes one rendered page: it assigns file names to the page's
+// references in render order (the order the sequential generator would
+// have used), substitutes them for the placeholders, and records the page.
+func (st *genState) finish(oid graph.OID, r renderResult) {
+	names := make([]string, len(r.job.refs))
+	for i, ref := range r.job.refs {
+		names[i] = st.schedule(ref)
+	}
+	st.out.Pages[st.out.PageFiles[oid]] = substituteRefs(r.html, names)
+	contribs := make([]graph.OID, 0, len(r.job.contributors))
+	for c := range r.job.contributors {
 		contribs = append(contribs, c)
 	}
 	sort.Slice(contribs, func(i, j int) bool { return contribs[i] < contribs[j] })
 	st.out.Contributors[oid] = contribs
-	return nil
-}
-
-type genState struct {
-	g          *Generator
-	out        *Output
-	queue      []graph.OID
-	usedNames  map[string]bool
-	embedStack []graph.OID
-	// contributors collects, while one page renders, every object whose
-	// content flowed into it.
-	contributors map[graph.OID]bool
 }
 
 // fileFor assigns (or returns) the page file name of an object.
@@ -226,63 +366,105 @@ func (st *genState) schedule(oid graph.OID) string {
 	if !known {
 		name = st.fileFor(oid, "")
 	}
-	if _, done := st.out.Pages[name]; !done && !st.queued(oid) {
+	if _, done := st.out.Pages[name]; !done && !st.pending[oid] {
+		st.pending[oid] = true
 		st.queue = append(st.queue, oid)
 	}
 	return name
 }
 
-func (st *genState) queued(oid graph.OID) bool {
-	for _, q := range st.queue {
-		if q == oid {
-			return true
-		}
+// renderJob is the per-page worker state: it renders one object's template
+// tree with placeholder tokens standing in for link targets, and records,
+// in render order, which objects those placeholders refer to.
+type renderJob struct {
+	g          *Generator
+	embedStack []graph.OID
+	// refs lists the target of every RenderRef call in render order;
+	// placeholder i resolves to refs[i]'s file name at merge time.
+	refs []graph.OID
+	// contributors collects, while the page renders, every object whose
+	// content flowed into it.
+	contributors map[graph.OID]bool
+}
+
+const refMark = '\x00'
+
+// refPlaceholder is the token substituted at merge time; NUL delimiters
+// cannot appear in escaped HTML text.
+func refPlaceholder(i int) string {
+	return string(refMark) + strconv.Itoa(i) + string(refMark)
+}
+
+// substituteRefs replaces every placeholder token with its resolved file
+// name.
+func substituteRefs(s string, names []string) string {
+	if !strings.ContainsRune(s, refMark) {
+		return s
 	}
-	return false
+	var b strings.Builder
+	b.Grow(len(s))
+	for {
+		start := strings.IndexByte(s, refMark)
+		if start < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		end := strings.IndexByte(s[start+1:], refMark)
+		if end < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		idx, err := strconv.Atoi(s[start+1 : start+1+end])
+		b.WriteString(s[:start])
+		if err == nil && idx >= 0 && idx < len(names) {
+			b.WriteString(names[idx])
+		}
+		s = s[start+1+end+1:]
+	}
 }
 
 // render renders one object through its selected template.
-func (st *genState) render(oid graph.OID) (string, error) {
-	t := st.selectTemplate(oid)
+func (job *renderJob) render(oid graph.OID) (string, error) {
+	t := job.g.selectTemplate(oid)
 	if t == nil {
-		return st.defaultRender(oid)
+		return job.defaultRender(oid)
 	}
-	return template.Render(t, oid, st.g.Site, st)
+	return template.Render(t, oid, job.g.Site, job)
 }
 
 // selectTemplate applies the paper's three selection rules, then the
 // default.
-func (st *genState) selectTemplate(oid graph.OID) *template.Template {
-	if name, ok := st.g.PerObject[oid]; ok {
-		if t := st.g.Templates.Get(name); t != nil {
+func (g *Generator) selectTemplate(oid graph.OID) *template.Template {
+	if name, ok := g.PerObject[oid]; ok {
+		if t := g.Templates.Get(name); t != nil {
 			return t
 		}
 	}
 	var bestPrefix, bestName string
-	for prefix, name := range st.g.PerPrefix {
+	for prefix, name := range g.PerPrefix {
 		if strings.HasPrefix(string(oid), prefix) && len(prefix) > len(bestPrefix) {
 			bestPrefix, bestName = prefix, name
 		}
 	}
 	if bestName != "" {
-		if t := st.g.Templates.Get(bestName); t != nil {
+		if t := g.Templates.Get(bestName); t != nil {
 			return t
 		}
 	}
-	if v := st.g.Site.First(oid, st.g.TemplateAttr); v.Kind() == graph.KindString {
-		if t := st.g.Templates.Get(v.Str()); t != nil {
+	if v := g.Site.First(oid, g.TemplateAttr); v.Kind() == graph.KindString {
+		if t := g.Templates.Get(v.Str()); t != nil {
 			return t
 		}
 	}
-	for _, coll := range st.g.Site.CollectionsOf(oid) {
-		if name, ok := st.g.PerCollection[coll]; ok {
-			if t := st.g.Templates.Get(name); t != nil {
+	for _, coll := range g.Site.CollectionsOf(oid) {
+		if name, ok := g.PerCollection[coll]; ok {
+			if t := g.Templates.Get(name); t != nil {
 				return t
 			}
 		}
 	}
-	if st.g.Default != "" {
-		if t := st.g.Templates.Get(st.g.Default); t != nil {
+	if g.Default != "" {
+		if t := g.Templates.Get(g.Default); t != nil {
 			return t
 		}
 	}
@@ -291,15 +473,15 @@ func (st *genState) selectTemplate(oid graph.OID) *template.Template {
 
 // defaultRender is the built-in attribute listing used when no template
 // matches.
-func (st *genState) defaultRender(oid graph.OID) (string, error) {
+func (job *renderJob) defaultRender(oid graph.OID) (string, error) {
 	var b strings.Builder
 	title := html.EscapeString(string(oid))
 	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n<h1>%s</h1>\n<dl>\n", title, title)
-	for _, e := range st.g.Site.Out(oid) {
+	for _, e := range job.g.Site.Out(oid) {
 		var rendered string
 		var err error
 		if e.To.IsNode() {
-			rendered, err = st.RenderRef(e.To.OID(), string(e.To.OID()))
+			rendered, err = job.RenderRef(e.To.OID(), string(e.To.OID()))
 		} else {
 			rendered = html.EscapeString(e.To.Text())
 		}
@@ -313,46 +495,43 @@ func (st *genState) defaultRender(oid graph.OID) (string, error) {
 }
 
 // LookupTemplate resolves SINCLUDE names against the generator's set.
-func (st *genState) LookupTemplate(name string) *template.Template {
-	return st.g.Templates.Get(name)
+func (job *renderJob) LookupTemplate(name string) *template.Template {
+	return job.g.Templates.Get(name)
 }
 
-// RenderRef links to the object's page, scheduling it for rendering. The
-// target contributes to the current page (its attributes supplied the
-// anchor text, and its file name is baked into the link).
-func (st *genState) RenderRef(oid graph.OID, anchorText string) (string, error) {
-	name := st.schedule(oid)
-	if st.contributors != nil {
-		st.contributors[oid] = true
-	}
-	return fmt.Sprintf(`<a href="%s">%s</a>`, name, html.EscapeString(anchorText)), nil
+// RenderRef links to the object's page, recording it for scheduling at
+// merge time. The target contributes to the current page (its attributes
+// supplied the anchor text, and its file name is baked into the link).
+func (job *renderJob) RenderRef(oid graph.OID, anchorText string) (string, error) {
+	job.refs = append(job.refs, oid)
+	job.contributors[oid] = true
+	return fmt.Sprintf(`<a href="%s">%s</a>`, refPlaceholder(len(job.refs)-1),
+		html.EscapeString(anchorText)), nil
 }
 
 // RenderEmbed renders the object's template inline. Embedding cycles fall
 // back to a reference so generation always terminates.
-func (st *genState) RenderEmbed(oid graph.OID) (string, error) {
-	for _, on := range st.embedStack {
+func (job *renderJob) RenderEmbed(oid graph.OID) (string, error) {
+	for _, on := range job.embedStack {
 		if on == oid {
-			return st.RenderRef(oid, string(oid))
+			return job.RenderRef(oid, string(oid))
 		}
 	}
-	st.embedStack = append(st.embedStack, oid)
-	defer func() { st.embedStack = st.embedStack[:len(st.embedStack)-1] }()
-	if st.contributors != nil {
-		st.contributors[oid] = true
-	}
-	return st.render(oid)
+	job.embedStack = append(job.embedStack, oid)
+	defer func() { job.embedStack = job.embedStack[:len(job.embedStack)-1] }()
+	job.contributors[oid] = true
+	return job.render(oid)
 }
 
 // RenderFile resolves file atoms. Embedded text files are escaped;
 // embedded HTML files pass through raw; images become img tags; anything
 // else links to the file path.
-func (st *genState) RenderFile(v graph.Value, embed bool) (string, error) {
+func (job *renderJob) RenderFile(v graph.Value, embed bool) (string, error) {
 	path := v.Str()
 	if embed {
 		switch v.FileType() {
 		case graph.FileText, graph.FileHTML:
-			data, err := st.g.ReadFile(path)
+			data, err := job.g.ReadFile(path)
 			if err != nil {
 				return fmt.Sprintf("<!-- missing file %s -->", html.EscapeString(path)), nil
 			}

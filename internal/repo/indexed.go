@@ -12,6 +12,7 @@ package repo
 
 import (
 	"sort"
+	"sync"
 
 	"strudel/internal/graph"
 )
@@ -23,9 +24,14 @@ import (
 type Indexed struct {
 	g *graph.Graph
 
-	byLabel  map[string][]graph.Edge // attribute extent: label → edges
-	byValue  map[string][]graph.Edge // global value index: value key → edges targeting it
-	inEdges  map[graph.OID][]graph.Edge
+	byLabel map[string][]graph.Edge // attribute extent: label → edges
+	byValue map[string][]graph.Edge // global value index: value key → edges targeting it
+	inEdges map[graph.OID][]graph.Edge
+
+	// labelMu guards the lazily rebuilt labelSet cache: concurrent
+	// readers (parallel query evaluation, concurrent version builds)
+	// may both find it stale and rebuild it.
+	labelMu  sync.Mutex
 	labelSet []string // sorted cache, invalidated on new label
 	dirty    bool
 }
@@ -153,6 +159,8 @@ func (ix *Indexed) Nodes() []graph.OID { return ix.g.Nodes() }
 
 // Labels returns every attribute name, sorted — the schema index.
 func (ix *Indexed) Labels() []string {
+	ix.labelMu.Lock()
+	defer ix.labelMu.Unlock()
 	if ix.dirty {
 		ix.labelSet = ix.labelSet[:0]
 		for l := range ix.byLabel {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"strudel/internal/graph"
 )
@@ -14,6 +15,13 @@ type Options struct {
 	// letting the planner order them by estimated cost — the unoptimized
 	// baseline for experiment E6.
 	NoReorder bool
+	// Parallelism is the worker count for the per-row operators: 0 uses
+	// one worker per available CPU (the default), 1 forces the sequential
+	// path, n>1 uses exactly n workers. Results are byte-identical at any
+	// setting: rows are partitioned into contiguous chunks and chunk
+	// outputs are concatenated in input order, so the binding relation —
+	// and therefore the constructed graph — never depends on scheduling.
+	Parallelism int
 }
 
 // Result is the outcome of evaluating a query: the constructed graph (new
@@ -65,10 +73,7 @@ func Eval(q *Query, src Source, opts *Options) (*Result, error) {
 // EvalWithEnv evaluates a query with a caller-provided Skolem environment,
 // the mechanism by which composed queries extend one site graph (§6.2).
 func EvalWithEnv(q *Query, src Source, env *SkolemEnv, opts *Options) (*Result, error) {
-	if opts == nil {
-		opts = &Options{}
-	}
-	ctx := &evalCtx{src: src, opts: opts, env: env, out: graph.New()}
+	ctx := newEvalCtx(src, opts, env)
 	for _, blk := range q.Blocks {
 		if err := ctx.evalBlock(blk, emptyBindings()); err != nil {
 			return nil, err
@@ -99,13 +104,10 @@ func EvalSeq(queries []*Query, base Source, opts *Options) (*graph.Graph, error)
 // the incremental query of one site-schema edge with the page's Skolem
 // arguments pre-bound (§2.5).
 func EvalWhere(conds []Cond, src Source, seed *Bindings, opts *Options) (*Bindings, error) {
-	if opts == nil {
-		opts = &Options{}
-	}
 	if seed == nil {
 		seed = emptyBindings()
 	}
-	ctx := &evalCtx{src: src, opts: opts, env: NewSkolemEnv(), out: graph.New()}
+	ctx := newEvalCtx(src, opts, NewSkolemEnv())
 	return ctx.evalWhere(conds, seed)
 }
 
@@ -116,23 +118,51 @@ type evalCtx struct {
 	out   *graph.Graph
 	rows  int
 	plans []string
+	// par is the resolved worker count for per-row operators.
+	par int
+	// avgDeg caches avgDegree(src) for the planner; the source does not
+	// change during one evaluation.
+	avgDeg float64
 	// suppressPlans stops plan recording during not(...) sub-evaluations,
 	// which run once per candidate row.
 	suppressPlans bool
 
-	matchers map[*PathExpr]*pathMatcher
+	cache *matcherCache
+}
+
+func newEvalCtx(src Source, opts *Options, env *SkolemEnv) *evalCtx {
+	if opts == nil {
+		opts = &Options{}
+	}
+	return &evalCtx{
+		src:    src,
+		opts:   opts,
+		env:    env,
+		out:    graph.New(),
+		par:    opts.parallelism(),
+		avgDeg: avgDegree(src),
+		cache:  newMatcherCache(),
+	}
+}
+
+// forkSequential derives a context for a not(...) sub-evaluation running
+// inside one worker: sequential (nested fan-out would oversubscribe the
+// pool), plan recording off, matcher cache shared.
+func (ctx *evalCtx) forkSequential() *evalCtx {
+	return &evalCtx{
+		src:           ctx.src,
+		opts:          ctx.opts,
+		env:           ctx.env,
+		out:           ctx.out,
+		par:           1,
+		avgDeg:        ctx.avgDeg,
+		suppressPlans: true,
+		cache:         ctx.cache,
+	}
 }
 
 func (ctx *evalCtx) matcher(p *PathExpr) *pathMatcher {
-	if ctx.matchers == nil {
-		ctx.matchers = make(map[*PathExpr]*pathMatcher)
-	}
-	m, ok := ctx.matchers[p]
-	if !ok {
-		m = newPathMatcher(p, ctx.src)
-		ctx.matchers[p] = m
-	}
-	return m
+	return ctx.cache.get(p, ctx.src)
 }
 
 func (ctx *evalCtx) evalBlock(blk *Block, parent *Bindings) error {
@@ -205,7 +235,7 @@ func (ctx *evalCtx) evalWhere(conds []Cond, parent *Bindings) (*Bindings, error)
 			break
 		}
 	}
-	dedupRows(b)
+	ctx.dedupRows(b)
 	return b, nil
 }
 
@@ -294,9 +324,9 @@ func (ctx *evalCtx) condCost(c Cond, bound, canBind map[string]bool) (float64, b
 	case *EdgeCond:
 		switch {
 		case termBound(c.From):
-			return avgDegree(ctx.src), true
+			return ctx.avgDeg, true
 		case termBound(c.To):
-			return avgDegree(ctx.src), true
+			return ctx.avgDeg, true
 		case bound[c.LabelVar]:
 			return float64(ctx.src.NumEdges())/4 + 8, true
 		default:
@@ -306,15 +336,15 @@ func (ctx *evalCtx) condCost(c Cond, bound, canBind map[string]bool) (float64, b
 		if label, ok := singleLabel(c.Path); ok {
 			switch {
 			case termBound(c.From):
-				return avgDegree(ctx.src), true
+				return ctx.avgDeg, true
 			case termBound(c.To):
-				return avgDegree(ctx.src), true
+				return ctx.avgDeg, true
 			default:
 				return float64(ctx.src.LabelCount(label)) + 4, true
 			}
 		}
 		if termBound(c.From) {
-			return 4 * avgDegree(ctx.src), true
+			return 4 * ctx.avgDeg, true
 		}
 		return float64(ctx.src.NumEdges())*4 + 64, true
 	}
@@ -376,51 +406,69 @@ func resolveAt(t Term, idx int, row []graph.Value) (graph.Value, bool) {
 
 func (ctx *evalCtx) applyMember(c *MemberCond, b *Bindings) (*Bindings, error) {
 	vi := b.Index(c.Var)
-	out := &Bindings{Vars: b.Vars}
-	for _, row := range b.Rows {
-		v := row[vi]
-		if !v.IsNull() {
-			if v.IsNode() && ctx.src.InCollection(c.Coll, v.OID()) {
-				out.Rows = append(out.Rows, row)
+	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
+		out := make([][]graph.Value, 0, len(chunk))
+		for _, row := range chunk {
+			v := row[vi]
+			if !v.IsNull() {
+				if v.IsNode() && ctx.src.InCollection(c.Coll, v.OID()) {
+					out = append(out, row)
+				}
+				continue
 			}
-			continue
+			for _, m := range ctx.src.Collection(c.Coll) {
+				nr := cloneRow(row)
+				nr[vi] = graph.NewNode(m)
+				out = append(out, nr)
+			}
 		}
-		for _, m := range ctx.src.Collection(c.Coll) {
-			nr := cloneRow(row)
-			nr[vi] = graph.NewNode(m)
-			out.Rows = append(out.Rows, nr)
-		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Bindings{Vars: b.Vars, Rows: rows}, nil
 }
 
 func (ctx *evalCtx) applyPred(c *PredCond, b *Bindings) (*Bindings, error) {
 	pred := builtinPreds[c.Name]
 	ai := termIndex(c.Arg, b)
-	out := &Bindings{Vars: b.Vars}
-	for _, row := range b.Rows {
-		v, known := resolveAt(c.Arg, ai, row)
-		if known && pred(v) {
-			out.Rows = append(out.Rows, row)
+	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
+		out := make([][]graph.Value, 0, len(chunk))
+		for _, row := range chunk {
+			v, known := resolveAt(c.Arg, ai, row)
+			if known && pred(v) {
+				out = append(out, row)
+			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Bindings{Vars: b.Vars, Rows: rows}, nil
 }
 
 func (ctx *evalCtx) applyCmp(c *CmpCond, b *Bindings) (*Bindings, error) {
 	li, ri := termIndex(c.L, b), termIndex(c.R, b)
-	out := &Bindings{Vars: b.Vars}
-	for _, row := range b.Rows {
-		l, lk := resolveAt(c.L, li, row)
-		r, rk := resolveAt(c.R, ri, row)
-		if !lk || !rk {
-			continue
+	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
+		out := make([][]graph.Value, 0, len(chunk))
+		for _, row := range chunk {
+			l, lk := resolveAt(c.L, li, row)
+			r, rk := resolveAt(c.R, ri, row)
+			if !lk || !rk {
+				continue
+			}
+			if cmpHolds(c.Op, l, r) {
+				out = append(out, row)
+			}
 		}
-		if cmpHolds(c.Op, l, r) {
-			out.Rows = append(out.Rows, row)
-		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Bindings{Vars: b.Vars, Rows: rows}, nil
 }
 
 func cmpHolds(op CmpOp, l, r graph.Value) bool {
@@ -445,35 +493,40 @@ func cmpHolds(op CmpOp, l, r graph.Value) bool {
 }
 
 // applyNot keeps rows for which the negated conjunction has no solution,
-// seeding the sub-evaluation with the row's current bindings.
+// seeding the sub-evaluation with the row's current bindings. Each worker
+// runs its chunk's sub-evaluations in a sequential forked context.
 func (ctx *evalCtx) applyNot(c *NotCond, b *Bindings) (*Bindings, error) {
-	out := &Bindings{Vars: b.Vars}
-	for _, row := range b.Rows {
-		seed := &Bindings{}
-		for i, v := range b.Vars {
-			if !row[i].IsNull() {
-				seed.Vars = append(seed.Vars, v)
+	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
+		sub := ctx.forkSequential()
+		out := make([][]graph.Value, 0, len(chunk))
+		for _, row := range chunk {
+			seed := &Bindings{}
+			for i, v := range b.Vars {
+				if !row[i].IsNull() {
+					seed.Vars = append(seed.Vars, v)
+				}
+			}
+			srow := make([]graph.Value, 0, len(seed.Vars))
+			for i := range b.Vars {
+				if !row[i].IsNull() {
+					srow = append(srow, row[i])
+				}
+			}
+			seed.Rows = [][]graph.Value{srow}
+			sb, err := sub.evalWhere(c.Conds, seed)
+			if err != nil {
+				return nil, err
+			}
+			if len(sb.Rows) == 0 {
+				out = append(out, row)
 			}
 		}
-		srow := make([]graph.Value, 0, len(seed.Vars))
-		for i := range b.Vars {
-			if !row[i].IsNull() {
-				srow = append(srow, row[i])
-			}
-		}
-		seed.Rows = [][]graph.Value{srow}
-		saved := ctx.suppressPlans
-		ctx.suppressPlans = true
-		sub, err := ctx.evalWhere(c.Conds, seed)
-		ctx.suppressPlans = saved
-		if err != nil {
-			return nil, err
-		}
-		if len(sub.Rows) == 0 {
-			out.Rows = append(out.Rows, row)
-		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Bindings{Vars: b.Vars, Rows: rows}, nil
 }
 
 // bindIfConsistent writes v into row at position i when i >= 0; it reports
@@ -494,62 +547,68 @@ func bindIfConsistent(row []graph.Value, i int, v graph.Value) bool {
 func (ctx *evalCtx) applyEdge(c *EdgeCond, b *Bindings) (*Bindings, error) {
 	fi, ti := termIndex(c.From, b), termIndex(c.To, b)
 	li := b.Index(c.LabelVar)
-	out := &Bindings{Vars: b.Vars}
-	for _, row := range b.Rows {
-		from, fromKnown := resolveAt(c.From, fi, row)
-		to, toKnown := resolveAt(c.To, ti, row)
-		label := graph.Null
-		labelKnown := false
-		if li >= 0 && !row[li].IsNull() {
-			label, labelKnown = row[li], true
-		}
-		emit := func(e graph.Edge) {
-			nr := cloneRow(row)
-			if !bindIfConsistent(nr, fi, graph.NewNode(e.From)) {
-				return
+	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
+		out := make([][]graph.Value, 0, len(chunk))
+		for _, row := range chunk {
+			from, fromKnown := resolveAt(c.From, fi, row)
+			to, toKnown := resolveAt(c.To, ti, row)
+			label := graph.Null
+			labelKnown := false
+			if li >= 0 && !row[li].IsNull() {
+				label, labelKnown = row[li], true
 			}
-			if !bindIfConsistent(nr, li, graph.NewString(e.Label)) {
-				return
-			}
-			if !bindIfConsistent(nr, ti, e.To) {
-				return
-			}
-			out.Rows = append(out.Rows, nr)
-		}
-		switch {
-		case fromKnown:
-			if !from.IsNode() {
-				continue
-			}
-			if labelKnown {
-				for _, v := range ctx.src.OutLabel(from.OID(), label.Text()) {
-					emit(graph.Edge{From: from.OID(), Label: label.Text(), To: v})
+			emit := func(e graph.Edge) {
+				nr := cloneRow(row)
+				if !bindIfConsistent(nr, fi, graph.NewNode(e.From)) {
+					return
 				}
-			} else {
-				for _, e := range ctx.src.Out(from.OID()) {
-					emit(e)
+				if !bindIfConsistent(nr, li, graph.NewString(e.Label)) {
+					return
 				}
+				if !bindIfConsistent(nr, ti, e.To) {
+					return
+				}
+				out = append(out, nr)
 			}
-		case toKnown:
-			for _, e := range ctx.src.In(to) {
-				if labelKnown && e.Label != label.Text() {
+			switch {
+			case fromKnown:
+				if !from.IsNode() {
 					continue
 				}
-				emit(e)
-			}
-		case labelKnown:
-			for _, e := range ctx.src.EdgesLabeled(label.Text()) {
-				emit(e)
-			}
-		default:
-			for _, n := range ctx.src.Nodes() {
-				for _, e := range ctx.src.Out(n) {
+				if labelKnown {
+					for _, v := range ctx.src.OutLabel(from.OID(), label.Text()) {
+						emit(graph.Edge{From: from.OID(), Label: label.Text(), To: v})
+					}
+				} else {
+					for _, e := range ctx.src.Out(from.OID()) {
+						emit(e)
+					}
+				}
+			case toKnown:
+				for _, e := range ctx.src.In(to) {
+					if labelKnown && e.Label != label.Text() {
+						continue
+					}
 					emit(e)
+				}
+			case labelKnown:
+				for _, e := range ctx.src.EdgesLabeled(label.Text()) {
+					emit(e)
+				}
+			default:
+				for _, n := range ctx.src.Nodes() {
+					for _, e := range ctx.src.Out(n) {
+						emit(e)
+					}
 				}
 			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Bindings{Vars: b.Vars, Rows: rows}, nil
 }
 
 // applyPath evaluates x -> R -> y. Single-literal paths use edge access
@@ -560,77 +619,89 @@ func (ctx *evalCtx) applyPath(c *PathCond, b *Bindings) (*Bindings, error) {
 	}
 	fi, ti := termIndex(c.From, b), termIndex(c.To, b)
 	m := ctx.matcher(c.Path)
-	out := &Bindings{Vars: b.Vars}
-	for _, row := range b.Rows {
-		from, fromKnown := resolveAt(c.From, fi, row)
-		to, toKnown := resolveAt(c.To, ti, row)
-		starts := []graph.Value{from}
-		if !fromKnown {
-			starts = starts[:0]
-			for _, n := range ctx.src.Nodes() {
-				starts = append(starts, graph.NewNode(n))
+	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
+		out := make([][]graph.Value, 0, len(chunk))
+		for _, row := range chunk {
+			from, fromKnown := resolveAt(c.From, fi, row)
+			to, toKnown := resolveAt(c.To, ti, row)
+			starts := []graph.Value{from}
+			if !fromKnown {
+				starts = starts[:0]
+				for _, n := range ctx.src.Nodes() {
+					starts = append(starts, graph.NewNode(n))
+				}
 			}
-		}
-		for _, s := range starts {
-			if !s.IsNode() {
-				continue // paths start at nodes (active-domain semantics)
-			}
-			if toKnown {
-				if m.matches(s.OID(), to) {
+			for _, s := range starts {
+				if !s.IsNode() {
+					continue // paths start at nodes (active-domain semantics)
+				}
+				if toKnown {
+					if m.matches(s.OID(), to) {
+						nr := cloneRow(row)
+						if bindIfConsistent(nr, fi, s) {
+							out = append(out, nr)
+						}
+					}
+					continue
+				}
+				for _, v := range m.reachableFrom(s.OID()) {
 					nr := cloneRow(row)
-					if bindIfConsistent(nr, fi, s) {
-						out.Rows = append(out.Rows, nr)
+					if bindIfConsistent(nr, fi, s) && bindIfConsistent(nr, ti, v) {
+						out = append(out, nr)
 					}
 				}
-				continue
-			}
-			for _, v := range m.reachableFrom(s.OID()) {
-				nr := cloneRow(row)
-				if bindIfConsistent(nr, fi, s) && bindIfConsistent(nr, ti, v) {
-					out.Rows = append(out.Rows, nr)
-				}
 			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Bindings{Vars: b.Vars, Rows: rows}, nil
 }
 
 func (ctx *evalCtx) applySingleLabel(c *PathCond, label string, b *Bindings) (*Bindings, error) {
 	fi, ti := termIndex(c.From, b), termIndex(c.To, b)
-	out := &Bindings{Vars: b.Vars}
-	for _, row := range b.Rows {
-		from, fromKnown := resolveAt(c.From, fi, row)
-		to, toKnown := resolveAt(c.To, ti, row)
-		emit := func(e graph.Edge) {
-			nr := cloneRow(row)
-			if bindIfConsistent(nr, fi, graph.NewNode(e.From)) && bindIfConsistent(nr, ti, e.To) {
-				out.Rows = append(out.Rows, nr)
+	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
+		out := make([][]graph.Value, 0, len(chunk))
+		for _, row := range chunk {
+			from, fromKnown := resolveAt(c.From, fi, row)
+			to, toKnown := resolveAt(c.To, ti, row)
+			emit := func(e graph.Edge) {
+				nr := cloneRow(row)
+				if bindIfConsistent(nr, fi, graph.NewNode(e.From)) && bindIfConsistent(nr, ti, e.To) {
+					out = append(out, nr)
+				}
 			}
-		}
-		switch {
-		case fromKnown:
-			if !from.IsNode() {
-				continue
-			}
-			for _, v := range ctx.src.OutLabel(from.OID(), label) {
-				if toKnown && v != to {
+			switch {
+			case fromKnown:
+				if !from.IsNode() {
 					continue
 				}
-				emit(graph.Edge{From: from.OID(), Label: label, To: v})
-			}
-		case toKnown:
-			for _, e := range ctx.src.In(to) {
-				if e.Label == label {
+				for _, v := range ctx.src.OutLabel(from.OID(), label) {
+					if toKnown && v != to {
+						continue
+					}
+					emit(graph.Edge{From: from.OID(), Label: label, To: v})
+				}
+			case toKnown:
+				for _, e := range ctx.src.In(to) {
+					if e.Label == label {
+						emit(e)
+					}
+				}
+			default:
+				for _, e := range ctx.src.EdgesLabeled(label) {
 					emit(e)
 				}
 			}
-		default:
-			for _, e := range ctx.src.EdgesLabeled(label) {
-				emit(e)
-			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Bindings{Vars: b.Vars, Rows: rows}, nil
 }
 
 func termIndex(t Term, b *Bindings) int {
@@ -646,25 +717,45 @@ func cloneRow(row []graph.Value) []graph.Value {
 	return nr
 }
 
-func dedupRows(b *Bindings) {
+func (ctx *evalCtx) dedupRows(b *Bindings) {
 	if len(b.Rows) < 2 {
 		return
 	}
 	// Precompute one sort key per row: computing value keys inside the
-	// comparator would allocate O(n log n) strings.
+	// comparator would allocate O(n log n) strings. Key computation is
+	// embarrassingly parallel; the sort and scan stay sequential.
+	keys := make([]string, len(b.Rows))
+	keyRange := func(lo, hi int) {
+		var kb strings.Builder
+		for i := lo; i < hi; i++ {
+			kb.Reset()
+			for _, v := range b.Rows[i] {
+				kb.WriteString(v.Key())
+				kb.WriteByte(0)
+			}
+			keys[i] = kb.String()
+		}
+	}
+	if ctx.par > 1 && len(b.Rows) >= minParallelRows {
+		var wg sync.WaitGroup
+		for _, bounds := range chunkBounds(len(b.Rows), ctx.par) {
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				keyRange(lo, hi)
+			}(bounds[0], bounds[1])
+		}
+		wg.Wait()
+	} else {
+		keyRange(0, len(b.Rows))
+	}
 	type keyed struct {
 		key string
 		row []graph.Value
 	}
 	keyedRows := make([]keyed, len(b.Rows))
-	var kb strings.Builder
 	for i, row := range b.Rows {
-		kb.Reset()
-		for _, v := range row {
-			kb.WriteString(v.Key())
-			kb.WriteByte(0)
-		}
-		keyedRows[i] = keyed{key: kb.String(), row: row}
+		keyedRows[i] = keyed{key: keys[i], row: row}
 	}
 	sort.Slice(keyedRows, func(i, j int) bool { return keyedRows[i].key < keyedRows[j].key })
 	out := b.Rows[:0]

@@ -2,6 +2,7 @@ package struql
 
 import (
 	"sort"
+	"sync"
 
 	"strudel/internal/graph"
 )
@@ -135,10 +136,15 @@ func stateKey(states []int) string {
 }
 
 // pathMatcher evaluates x -> R -> y conditions against a source, with a
-// per-query memo of reachable-value sets keyed by start node.
+// per-query memo of reachable-value sets keyed by start node. The memo is
+// mutex-guarded so worker goroutines of the parallel evaluator can share
+// one matcher; the BFS itself runs outside the lock (a start node raced by
+// two workers is computed twice, with identical deterministic results).
 type pathMatcher struct {
-	nfa  *nfa
-	src  Source
+	nfa *nfa
+	src Source
+
+	mu   sync.Mutex
 	memo map[graph.OID][]graph.Value
 }
 
@@ -151,7 +157,10 @@ func newPathMatcher(p *PathExpr, src Source) *pathMatcher {
 // NFA. If the expression matches the empty path, start itself (as a node
 // value) is included. Results are deterministic (sorted by value key).
 func (m *pathMatcher) reachableFrom(start graph.OID) []graph.Value {
-	if got, ok := m.memo[start]; ok {
+	m.mu.Lock()
+	got, ok := m.memo[start]
+	m.mu.Unlock()
+	if ok {
 		return got
 	}
 	type prodState struct {
@@ -205,7 +214,9 @@ func (m *pathMatcher) reachableFrom(start graph.OID) []graph.Value {
 		out = append(out, v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	m.mu.Lock()
 	m.memo[start] = out
+	m.mu.Unlock()
 	return out
 }
 
