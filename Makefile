@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check clean
+.PHONY: all build test race vet bench check serve-smoke clean
 
 all: build
 
@@ -20,6 +20,11 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# serve-smoke boots the real strudel-serve binary against a tiny site,
+# probes / and /healthz, and asserts a clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 # check is what CI runs.
 check: vet race

@@ -7,21 +7,36 @@
 //
 //	strudel-serve -data x.ddl [-bibtex y.bib] -query site.struql
 //	              [-template Fn=file.tmpl] [-addr :8080] [-lookahead]
+//	              [-request-timeout 10s] [-max-inflight 256]
+//	              [-reload-interval 2s] [-shutdown-timeout 10s]
 //
 // Templates are keyed by Skolem function name (Fn=...).
+//
+// The server is production-hardened: per-request deadlines, load shedding
+// past -max-inflight, panic recovery, /healthz, hot reload of changed
+// -data/-bibtex files with graceful degradation (a broken file keeps the
+// last-good site serving and retries with backoff), and SIGINT/SIGTERM
+// graceful drain. Exit codes: 0 clean (including graceful shutdown),
+// 1 configuration or serving error, 2 listener failure (e.g. address in
+// use).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"strudel/internal/ddl"
 	"strudel/internal/dynamic"
 	"strudel/internal/graph"
-	"strudel/internal/repo"
 	"strudel/internal/schema"
 	"strudel/internal/struql"
 	"strudel/internal/template"
@@ -36,88 +51,198 @@ func (s *stringList) Set(v string) error {
 	return nil
 }
 
+// Exit codes, distinguished so supervisors can tell a port conflict from
+// a crashed site definition.
+const (
+	exitOK     = 0
+	exitError  = 1
+	exitListen = 2
+)
+
+type config struct {
+	dataFiles, bibFiles, templates []string
+	queryFile, addr                string
+	lookahead                      bool
+	requestTimeout                 time.Duration
+	maxInflight                    int
+	reloadInterval                 time.Duration
+	shutdownTimeout                time.Duration
+}
+
 func main() {
+	var cfg config
 	var dataFiles, bibFiles, templates stringList
 	flag.Var(&dataFiles, "data", "data-definition-language file (repeatable)")
 	flag.Var(&bibFiles, "bibtex", "BibTeX file (repeatable)")
 	flag.Var(&templates, "template", "template as SkolemFn=file (repeatable)")
-	queryFile := flag.String("query", "", "StruQL site-definition query file")
-	addr := flag.String("addr", ":8080", "listen address")
-	lookahead := flag.Bool("lookahead", false, "precompute linked pages after each request")
+	flag.StringVar(&cfg.queryFile, "query", "", "StruQL site-definition query file")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.BoolVar(&cfg.lookahead, "lookahead", false, "precompute linked pages after each request")
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 10*time.Second, "per-request evaluation deadline (0 disables)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 256, "max concurrent page requests before shedding with 503 (0 = unlimited)")
+	flag.DurationVar(&cfg.reloadInterval, "reload-interval", 2*time.Second, "source-file poll period for hot reload (0 disables)")
+	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "bound on graceful drain after SIGINT/SIGTERM")
 	flag.Parse()
+	cfg.dataFiles, cfg.bibFiles, cfg.templates = dataFiles, bibFiles, templates
 
-	if err := run(dataFiles, bibFiles, templates, *queryFile, *addr, *lookahead); err != nil {
-		fmt.Fprintln(os.Stderr, "strudel-serve:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(cfg))
 }
 
-func run(dataFiles, bibFiles, templates []string, queryFile, addr string, lookahead bool) error {
-	srv, err := buildServer(dataFiles, bibFiles, templates, queryFile, lookahead)
+func run(cfg config) int {
+	srv, rl, err := buildServer(cfg.dataFiles, cfg.bibFiles, cfg.templates, cfg.queryFile, cfg.lookahead)
 	if err != nil {
-		return err
+		fmt.Fprintln(os.Stderr, "strudel-serve:", err)
+		return exitError
 	}
+	srv.RequestTimeout = cfg.requestTimeout
+	srv.MaxInflight = cfg.maxInflight
+
+	// Bind before installing signal handling so "address in use" and its
+	// kin are reported as what they are, with their own exit code,
+	// instead of masquerading as a serving failure.
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strudel-serve: cannot listen on %s: %v\n", cfg.addr, err)
+		return exitListen
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if cfg.reloadInterval > 0 && rl != nil {
+		rl.Interval = cfg.reloadInterval
+		go rl.Run(ctx)
+	}
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      cfg.requestTimeout + 15*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if cfg.requestTimeout <= 0 {
+		hs.WriteTimeout = 0
+	}
+
+	// Drain on signal: stop accepting, let in-flight requests finish,
+	// bounded by -shutdown-timeout.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+		defer cancel()
+		shutdownDone <- hs.Shutdown(shCtx)
+	}()
+
 	roots := srv.Ev.EntryPoints()
-	fmt.Printf("serving %d entry point(s) on %s (start at /)\n", len(roots), addr)
-	return http.ListenAndServe(addr, srv.Handler())
+	fmt.Printf("serving %d entry point(s) on %s (start at /, health at /healthz)\n", len(roots), cfg.addr)
+	err = hs.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "strudel-serve: serve:", err)
+		return exitError
+	}
+	if err := <-shutdownDone; err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-serve: shutdown incomplete (in-flight requests past deadline):", err)
+		return exitError
+	}
+	fmt.Println("strudel-serve: graceful shutdown complete")
+	return exitOK
 }
 
-// buildServer assembles the dynamic server from the CLI inputs.
-func buildServer(dataFiles, bibFiles, templates []string, queryFile string, lookahead bool) (*dynamic.Server, error) {
+// buildServer assembles the dynamic server and its hot reloader from the
+// CLI inputs. Every -data and -bibtex file becomes a watched source: the
+// reloader polls its mtime and re-wraps it on change.
+func buildServer(dataFiles, bibFiles, templates []string, queryFile string, lookahead bool) (*dynamic.Server, *dynamic.Reloader, error) {
 	if queryFile == "" {
-		return nil, fmt.Errorf("provide -query FILE")
+		return nil, nil, fmt.Errorf("provide -query FILE")
 	}
 	qb, err := os.ReadFile(queryFile)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	q, err := struql.Parse(string(qb))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	data := graph.New()
+
+	var sources []dynamic.WatchedSource
 	for _, f := range dataFiles {
-		b, err := os.ReadFile(f)
-		if err != nil {
-			return nil, err
-		}
-		doc, err := ddl.Parse(string(b))
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", f, err)
-		}
-		data.Merge(doc.Graph)
+		f := f
+		sources = append(sources, dynamic.WatchedSource{
+			Name:  "ddl:" + f,
+			Paths: []string{f},
+			Load: func() (*graph.Graph, error) {
+				b, err := os.ReadFile(f)
+				if err != nil {
+					return nil, err
+				}
+				doc, err := ddl.Parse(string(b))
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", f, err)
+				}
+				return doc.Graph, nil
+			},
+		})
 	}
 	for _, f := range bibFiles {
-		b, err := os.ReadFile(f)
-		if err != nil {
-			return nil, err
-		}
-		g, err := bibtex.Load(string(b), bibtex.DefaultOptions())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", f, err)
-		}
-		data.Merge(g)
+		f := f
+		sources = append(sources, dynamic.WatchedSource{
+			Name:  "bibtex:" + f,
+			Paths: []string{f},
+			Load: func() (*graph.Graph, error) {
+				b, err := os.ReadFile(f)
+				if err != nil {
+					return nil, err
+				}
+				g, err := bibtex.Load(string(b), bibtex.DefaultOptions())
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", f, err)
+				}
+				return g, nil
+			},
+		})
 	}
-	ev := dynamic.NewEvaluator(schema.Build(q), repo.NewIndexed(data))
+	// A site can be pure construction (no data files); it serves fine but
+	// has nothing to watch, so the reloader is nil and hot reload is off.
+	var rl *dynamic.Reloader
+	var data struql.Source
+	if len(sources) > 0 {
+		rl, err = dynamic.NewReloader(sources...)
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err = rl.Warehouse()
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		data = struql.NewGraphSource(graph.New())
+	}
+
+	ev := dynamic.NewEvaluator(schema.Build(q), data)
 	ev.Lookahead = lookahead
 	ts := template.NewSet()
 	srv := dynamic.NewServer(ev, ts)
+	if rl != nil {
+		rl.Attach(ev, srv.Health)
+	}
 	for _, spec := range templates {
 		fn, file, ok := strings.Cut(spec, "=")
 		if !ok {
-			return nil, fmt.Errorf("-template wants SkolemFn=file, got %q", spec)
+			return nil, nil, fmt.Errorf("-template wants SkolemFn=file, got %q", spec)
 		}
 		b, err := os.ReadFile(file)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := ts.Add(fn, string(b)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		srv.PerFn[fn] = fn
 	}
 	if len(ev.EntryPoints()) == 0 {
-		return nil, fmt.Errorf("the query has no unconditional zero-argument Skolem creation to serve as an entry point")
+		return nil, nil, fmt.Errorf("the query has no unconditional zero-argument Skolem creation to serve as an entry point")
 	}
-	return srv, nil
+	return srv, rl, nil
 }

@@ -20,9 +20,12 @@
 package dynamic
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"strudel/internal/graph"
 	"strudel/internal/mediator"
@@ -55,31 +58,67 @@ type Stats struct {
 }
 
 // Evaluator computes pages on demand from the site schema and the data
-// graph. It is not safe for concurrent use; the HTTP server serializes
-// access.
+// graph. It is safe for concurrent use: the page cache is shared under a
+// lock, concurrent requests for the same uncomputed page share one
+// evaluation (per-page single-flight), and different pages evaluate in
+// parallel. The data source can be swapped atomically at runtime
+// (SwapData), which is how the hot-reload loop publishes a freshly
+// re-wrapped graph without ever exposing a partially built one.
 type Evaluator struct {
 	Schema *schema.Schema
-	Data   struql.Source
 	// Lookahead precomputes linked pages after each page computation.
+	// Set it before serving; it is read without synchronization.
 	Lookahead bool
 
-	env   *struql.SkolemEnv
-	cache map[graph.OID]*PageData
-	refs  map[graph.OID]PageRef
-	stats Stats
+	env *struql.SkolemEnv
 	// deps maps each Skolem function to the attribute labels and
 	// collection names its edge queries depend on; "*" means everything
 	// (an arc variable ranges over the whole schema).
 	deps map[string]map[string]bool
+
+	// mu guards state, refs, stats, and env (SkolemEnv memoizes and is
+	// not itself concurrency-safe).
+	mu    sync.Mutex
+	state *evalState
+	refs  map[graph.OID]PageRef
+	stats Stats
+}
+
+// evalState is one generation of the evaluator: a data source and the
+// page cache computed against it. A request snapshots the state once and
+// serves entirely from it, so no request ever observes a torn graph —
+// SwapData publishes a complete replacement state, and requests that
+// started earlier finish against the generation they began with.
+type evalState struct {
+	src struql.Source
+
+	mu     sync.Mutex
+	cache  map[graph.OID]*PageData
+	flight map[graph.OID]*flightCall
+}
+
+// flightCall is one in-progress page computation shared by concurrent
+// requesters of the same page.
+type flightCall struct {
+	done chan struct{}
+	pd   *PageData
+	err  error
+}
+
+func newEvalState(src struql.Source) *evalState {
+	return &evalState{
+		src:    src,
+		cache:  map[graph.OID]*PageData{},
+		flight: map[graph.OID]*flightCall{},
+	}
 }
 
 // NewEvaluator returns an evaluator over a site schema and data source.
 func NewEvaluator(s *schema.Schema, data struql.Source) *Evaluator {
 	ev := &Evaluator{
 		Schema: s,
-		Data:   data,
 		env:    struql.NewSkolemEnv(),
-		cache:  map[graph.OID]*PageData{},
+		state:  newEvalState(data),
 		refs:   map[graph.OID]PageRef{},
 		deps:   map[string]map[string]bool{},
 	}
@@ -96,8 +135,55 @@ func NewEvaluator(s *schema.Schema, data struql.Source) *Evaluator {
 	return ev
 }
 
+// snapshot returns the current state; callers that must be self-consistent
+// across several reads (one HTTP request) capture it once.
+func (ev *Evaluator) snapshot() *evalState {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.state
+}
+
+// Source returns the current data source. Within one request, prefer
+// capturing it once (the server does, via its render snapshot).
+func (ev *Evaluator) Source() struql.Source { return ev.snapshot().src }
+
+// SwapData atomically replaces the data source. Cached pages whose edge
+// queries are unaffected by the delta carry over (the same soundness
+// argument as Invalidate); affected ones are dropped. A nil delta means
+// "unknown change" and drops the whole cache. Requests already in flight
+// finish against the previous generation — they serve a consistent,
+// slightly stale page rather than a torn one.
+func (ev *Evaluator) SwapData(src struql.Source, d *mediator.Delta) (kept, dropped int) {
+	next := newEvalState(src)
+	old := ev.snapshot()
+	old.mu.Lock()
+	for oid, pd := range old.cache {
+		if d == nil || affectedBy(ev.deps[pd.Ref.Fn], d, src) {
+			dropped++
+			continue
+		}
+		next.cache[oid] = pd
+		kept++
+	}
+	old.mu.Unlock()
+	ev.mu.Lock()
+	ev.state = next
+	ev.mu.Unlock()
+	return kept, dropped
+}
+
 // Stats returns a copy of the work counters.
-func (ev *Evaluator) StatsSnapshot() Stats { return ev.stats }
+func (ev *Evaluator) StatsSnapshot() Stats {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.stats
+}
+
+func (ev *Evaluator) countStat(f func(*Stats)) {
+	ev.mu.Lock()
+	f(&ev.stats)
+	ev.mu.Unlock()
+}
 
 // EntryPoints returns the unconditionally created pages (zero-argument
 // Skolem creations with an empty governing conjunction) — the roots a
@@ -118,6 +204,8 @@ func (ev *Evaluator) EntryPoints() []PageRef {
 // OIDFor returns the page oid of a ref, consistent with static
 // evaluation's Skolem naming.
 func (ev *Evaluator) OIDFor(ref PageRef) graph.OID {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
 	oid := ev.env.OID(ref.Fn, ref.Args)
 	ev.refs[oid] = ref
 	return oid
@@ -125,56 +213,107 @@ func (ev *Evaluator) OIDFor(ref PageRef) graph.OID {
 
 // RefFor resolves a previously issued page oid back to its ref.
 func (ev *Evaluator) RefFor(oid graph.OID) (PageRef, bool) {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
 	r, ok := ev.refs[oid]
 	return r, ok
 }
 
 // Page computes (or returns from cache) the contents of one page.
 func (ev *Evaluator) Page(ref PageRef) (*PageData, error) {
+	return ev.PageCtx(context.Background(), ref)
+}
+
+// PageCtx is Page under a request context: evaluation is cancelled at
+// operator boundaries when the context ends, and a caller waiting on
+// another request's in-flight computation of the same page stops waiting
+// when its own context ends.
+func (ev *Evaluator) PageCtx(ctx context.Context, ref PageRef) (*PageData, error) {
+	return ev.pageIn(ctx, ev.snapshot(), ref, ev.Lookahead)
+}
+
+// pageIn computes (or returns from cache) one page against a specific
+// state generation, with per-page single-flight: the first requester of
+// an uncomputed page becomes the leader and evaluates it; concurrent
+// requesters wait for the leader's result. A leader cancelled mid-flight
+// does not poison the page — its context error is not cached, and one of
+// the waiters takes over as the new leader.
+func (ev *Evaluator) pageIn(ctx context.Context, st *evalState, ref PageRef, lookahead bool) (*PageData, error) {
 	oid := ev.OIDFor(ref)
-	if pd, ok := ev.cache[oid]; ok {
-		ev.stats.CacheHits++
+	for {
+		st.mu.Lock()
+		if pd, ok := st.cache[oid]; ok {
+			st.mu.Unlock()
+			ev.countStat(func(s *Stats) { s.CacheHits++ })
+			return pd, nil
+		}
+		if c, ok := st.flight[oid]; ok {
+			st.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err == nil {
+					ev.countStat(func(s *Stats) { s.CacheHits++ })
+					return c.pd, nil
+				}
+				if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+					continue // the leader was cancelled; try to take over
+				}
+				return nil, c.err
+			case <-ctx.Done():
+				return nil, fmt.Errorf("dynamic: page %s: %w", oid, ctx.Err())
+			}
+		}
+		c := &flightCall{done: make(chan struct{})}
+		st.flight[oid] = c
+		st.mu.Unlock()
+
+		pd, err := ev.compute(ctx, st, ref, oid)
+		st.mu.Lock()
+		delete(st.flight, oid)
+		if err == nil {
+			st.cache[oid] = pd
+		}
+		st.mu.Unlock()
+		c.pd, c.err = pd, err
+		close(c.done)
+		if err != nil {
+			return nil, err
+		}
+		ev.countStat(func(s *Stats) { s.PagesComputed++ })
+		if lookahead {
+			// Precompute "lookahead" results for reachable pages (§2.5),
+			// one level deep (lookahead=false below stops the recursion).
+			for _, l := range pd.Links {
+				loid := ev.OIDFor(l)
+				st.mu.Lock()
+				_, cached := st.cache[loid]
+				st.mu.Unlock()
+				if cached {
+					continue
+				}
+				if _, err := ev.pageIn(ctx, st, l, false); err != nil {
+					return nil, err
+				}
+			}
+		}
 		return pd, nil
 	}
-	pd, err := ev.compute(ref, oid)
-	if err != nil {
-		return nil, err
-	}
-	ev.cache[oid] = pd
-	ev.stats.PagesComputed++
-	if ev.Lookahead {
-		// Precompute "lookahead" results for reachable pages (§2.5), one
-		// level deep.
-		for _, l := range pd.Links {
-			loid := ev.OIDFor(l)
-			if _, ok := ev.cache[loid]; ok {
-				continue
-			}
-			lpd, err := ev.compute(l, loid)
-			if err != nil {
-				return nil, err
-			}
-			ev.cache[loid] = lpd
-			ev.stats.PagesComputed++
-		}
-	}
-	return pd, nil
 }
 
 // compute runs the incremental query of every schema edge leaving the
 // page's Skolem function, with the page's arguments pre-bound.
-func (ev *Evaluator) compute(ref PageRef, oid graph.OID) (*PageData, error) {
+func (ev *Evaluator) compute(ctx context.Context, st *evalState, ref PageRef, oid graph.OID) (*PageData, error) {
 	pd := &PageData{OID: oid, Ref: ref}
 	for _, e := range ev.Schema.OutEdges(ref.Fn) {
 		if len(e.FromArgs) != len(ref.Args) {
 			continue // a different creation shape of the same function
 		}
 		seed := &struql.Bindings{Vars: e.FromArgs, Rows: [][]graph.Value{ref.Args}}
-		b, err := struql.EvalWhere(e.Where, ev.Data, seed, nil)
+		b, err := struql.EvalWhereCtx(ctx, e.Where, st.src, seed, nil)
 		if err != nil {
 			return nil, fmt.Errorf("dynamic: page %s: %w", oid, err)
 		}
-		ev.stats.QueriesRun++
+		ev.countStat(func(s *Stats) { s.QueriesRun++ })
 		for ri := range b.Rows {
 			label := e.Label.Lit
 			if e.Label.IsVar {
@@ -277,12 +416,18 @@ func keyOfArgs(args []graph.Value) string {
 
 // Invalidate drops cached pages affected by a data delta: pages of
 // Skolem functions whose edge queries depend on a changed label,
-// collection, or (for arc variables) on edges of changed objects.
+// collection, or (for arc variables) on edges of changed objects. Use it
+// when the data source object was mutated in place; when a whole new
+// graph replaces the old one, SwapData applies the same dependency test
+// while switching sources atomically.
 func (ev *Evaluator) Invalidate(d *mediator.Delta) int {
+	st := ev.snapshot()
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	dropped := 0
-	for oid, pd := range ev.cache {
-		if affectedBy(ev.deps[pd.Ref.Fn], d, ev.Data) {
-			delete(ev.cache, oid)
+	for oid, pd := range st.cache {
+		if affectedBy(ev.deps[pd.Ref.Fn], d, st.src) {
+			delete(st.cache, oid)
 			dropped++
 		}
 	}
@@ -290,7 +435,12 @@ func (ev *Evaluator) Invalidate(d *mediator.Delta) int {
 }
 
 // CacheSize returns the number of cached pages.
-func (ev *Evaluator) CacheSize() int { return len(ev.cache) }
+func (ev *Evaluator) CacheSize() int {
+	st := ev.snapshot()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.cache)
+}
 
 // MaterializeAll walks the whole reachable page space from the entry
 // points and returns the site graph it induces — useful to verify that

@@ -1,0 +1,264 @@
+package dynamic
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+	"strudel/internal/repo"
+)
+
+// WatchedSource is one external data source the reload loop keeps fresh:
+// a wrapper invocation plus the files whose modification times signal
+// that the source changed and must be re-wrapped.
+type WatchedSource struct {
+	// Name identifies the source (unique across the reloader).
+	Name string
+	// Paths are the files polled for mtime/size changes. A path that
+	// cannot be stat'ed counts as changed — the reload attempt then
+	// surfaces the real error (missing file, permission) through Load.
+	Paths []string
+	// Load re-invokes the wrapper and returns the source's graph.
+	Load func() (*graph.Graph, error)
+}
+
+// Reloader watches source files and hot-reloads the evaluator's data
+// graph: when a file changes, the affected sources are re-wrapped through
+// the mediator, the contribution delta is computed, and a complete new
+// graph is swapped into the evaluator with delta-based cache
+// invalidation (Evaluator.SwapData). A failed reload — parse error,
+// missing file, injected fault — degrades gracefully: the server keeps
+// serving the last-good graph, Health reports degraded, and the reloader
+// retries with exponential backoff plus jitter until the sources are
+// loadable again.
+type Reloader struct {
+	// Interval is the poll period; Run's ticker fires at this rate.
+	Interval time.Duration
+	// BackoffMin and BackoffMax bound the exponential retry backoff after
+	// failed reloads (doubling per consecutive failure).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Jitter is the ± fraction applied to each backoff delay (0.2 = ±20%)
+	// so a fleet of servers does not retry in lockstep.
+	Jitter float64
+	// Logger receives reload/degradation logs; nil uses the default.
+	Logger *log.Logger
+	// OnApply, when set, observes every successful swap (tests hook it).
+	OnApply func(d *mediator.Delta, kept, dropped int)
+
+	med     *mediator.Mediator
+	watched []WatchedSource
+
+	mu sync.Mutex // guards everything below (tick vs. Kick vs. tests)
+	ev *Evaluator
+	hl *Health
+	// stamps records the last-seen mtime+size per path.
+	stamps map[string]fileStamp
+	// pending names sources whose change was detected but not yet
+	// successfully re-wrapped.
+	pending map[string]bool
+	// accum accumulates contribution deltas of successful refreshes since
+	// the last swap (a source can succeed while a sibling fails; its
+	// delta must survive until the swap happens).
+	accum *mediator.Delta
+	// backoff is the current retry delay; nextTry gates attempts.
+	backoff time.Time
+	delay   time.Duration
+	kick    chan struct{}
+	rng     *rand.Rand
+}
+
+type fileStamp struct {
+	mtime time.Time
+	size  int64
+	ok    bool
+}
+
+// NewReloader builds a reloader (and its mediator) over watched sources.
+func NewReloader(sources ...WatchedSource) (*Reloader, error) {
+	med := make([]mediator.Source, len(sources))
+	for i, s := range sources {
+		if len(s.Paths) == 0 {
+			return nil, fmt.Errorf("dynamic: watched source %q has no paths to poll", s.Name)
+		}
+		med[i] = mediator.Source{Name: s.Name, Load: s.Load}
+	}
+	m, err := mediator.New(med...)
+	if err != nil {
+		return nil, err
+	}
+	return &Reloader{
+		Interval:   2 * time.Second,
+		BackoffMin: 500 * time.Millisecond,
+		BackoffMax: 30 * time.Second,
+		Jitter:     0.2,
+		med:        m,
+		watched:    sources,
+		stamps:     map[string]fileStamp{},
+		pending:    map[string]bool{},
+		accum:      &mediator.Delta{},
+		kick:       make(chan struct{}, 1),
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}, nil
+}
+
+// Warehouse performs the initial load of every source and returns the
+// merged, indexed data graph; it also records the initial file stamps so
+// the first poll does not re-report the initial state as a change.
+func (r *Reloader) Warehouse() (*repo.Indexed, error) {
+	data, err := r.med.Warehouse()
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.watched {
+		for _, p := range s.Paths {
+			r.stamps[p] = stat(p)
+		}
+	}
+	return data, nil
+}
+
+// Attach connects the reloader to the evaluator it maintains and the
+// health it reports into. Call before Run.
+func (r *Reloader) Attach(ev *Evaluator, h *Health) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ev = ev
+	r.hl = h
+}
+
+// Kick requests an immediate poll (subject to backoff), without waiting
+// for the next ticker fire.
+func (r *Reloader) Kick() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Run polls until the context ends. Start it in its own goroutine.
+func (r *Reloader) Run(ctx context.Context) {
+	ticker := time.NewTicker(r.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		case <-r.kick:
+		}
+		r.Tick(time.Now())
+	}
+}
+
+func (r *Reloader) logf(format string, args ...any) {
+	if r.Logger != nil {
+		r.Logger.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+func stat(path string) fileStamp {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fileStamp{ok: false}
+	}
+	return fileStamp{mtime: fi.ModTime(), size: fi.Size(), ok: true}
+}
+
+// Tick runs one poll step at the given time: detect changed sources,
+// attempt the reload unless backing off, and on failure degrade and
+// schedule the retry. Exported as the deterministic test entry point;
+// Run calls it with the wall clock.
+func (r *Reloader) Tick(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Change detection always runs (so changes during backoff are not
+	// lost), but reload attempts respect the backoff gate.
+	for _, s := range r.watched {
+		for _, p := range s.Paths {
+			st := stat(p)
+			old := r.stamps[p]
+			if st != old {
+				r.stamps[p] = st
+				r.pending[s.Name] = true
+			}
+		}
+	}
+	if len(r.pending) == 0 || now.Before(r.backoff) {
+		return
+	}
+
+	for _, s := range r.watched {
+		if !r.pending[s.Name] {
+			continue
+		}
+		d, err := r.med.Refresh(s.Name)
+		if err != nil {
+			r.fail(now, s.Name, err)
+			return
+		}
+		r.accum.Merge(d)
+		delete(r.pending, s.Name)
+	}
+
+	// Every changed source re-wrapped: publish the new graph atomically.
+	data := repo.NewIndexed(r.med.DataGraph())
+	delta := r.accum
+	r.accum = &mediator.Delta{}
+	kept, dropped := 0, 0
+	if r.ev != nil {
+		kept, dropped = r.ev.SwapData(data, delta)
+	}
+	if r.hl != nil {
+		r.hl.SetHealthy()
+	}
+	r.delay = 0
+	r.backoff = time.Time{}
+	if r.OnApply != nil {
+		r.OnApply(delta, kept, dropped)
+	}
+	r.logf("dynamic: reload applied: %d changes, cache kept %d / dropped %d", delta.Size(), kept, dropped)
+}
+
+// fail records a failed reload: mark degraded, keep the source pending,
+// and push the next attempt out by an exponentially growing, jittered
+// delay.
+func (r *Reloader) fail(now time.Time, source string, err error) {
+	if r.hl != nil {
+		r.hl.SetDegraded(fmt.Errorf("source %s: %w", source, err))
+	}
+	if r.delay == 0 {
+		r.delay = r.BackoffMin
+	} else {
+		r.delay *= 2
+		if r.delay > r.BackoffMax {
+			r.delay = r.BackoffMax
+		}
+	}
+	d := r.delay
+	if r.Jitter > 0 {
+		f := 1 + r.Jitter*(2*r.rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	r.backoff = now.Add(d)
+	r.logf("dynamic: reload of source %s failed (serving last-good data, retry in %v): %v", source, d.Round(time.Millisecond), err)
+}
+
+// RetryDelay returns the current backoff delay (0 when healthy); tests
+// use it to assert exponential growth.
+func (r *Reloader) RetryDelay() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.delay
+}

@@ -1,0 +1,311 @@
+package dynamic
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"strudel/internal/graph"
+	"strudel/internal/schema"
+	"strudel/internal/struql"
+	"strudel/internal/template"
+)
+
+// slowQuery walks eight attributes of every publication, so that an
+// evaluation over a delayed FaultSource takes long enough to observe
+// deadlines and cancellation at operator boundaries.
+const slowQuery = `
+create Root()
+where Pubs(x), x -> "a0" -> v0, x -> "a1" -> v1, x -> "a2" -> v2,
+      x -> "a3" -> v3, x -> "a4" -> v4, x -> "a5" -> v5,
+      x -> "a6" -> v6, x -> "a7" -> v7
+link Root() -> "e" -> v0
+`
+
+func slowData(rows int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < rows; i++ {
+		oid := graph.OID(fmt.Sprintf("p%04d", i))
+		g.AddToCollection("Pubs", oid)
+		for a := 0; a < 8; a++ {
+			g.AddEdge(oid, fmt.Sprintf("a%d", a), graph.NewInt(int64(i*8+a)))
+		}
+	}
+	return g
+}
+
+func TestSingleFlightComputesOnce(t *testing.T) {
+	// The per-access delay widens the window in which all goroutines pile
+	// onto the same uncomputed page.
+	fs := NewFaultSource(struql.NewGraphSource(slowData(64)), 100*time.Microsecond)
+	ev := NewEvaluator(schema.Build(struql.MustParse(slowQuery)), fs)
+	const clients = 16
+	var wg sync.WaitGroup
+	results := make([]*PageData, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pd, err := ev.PageCtx(context.Background(), PageRef{Fn: "Root"})
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			results[i] = pd
+		}()
+	}
+	wg.Wait()
+	st := ev.StatsSnapshot()
+	if st.PagesComputed != 1 {
+		t.Errorf("PagesComputed = %d, want 1 (single-flight)", st.PagesComputed)
+	}
+	if st.CacheHits != clients-1 {
+		t.Errorf("CacheHits = %d, want %d", st.CacheHits, clients-1)
+	}
+	for i := 1; i < clients; i++ {
+		if results[i] != results[0] {
+			t.Errorf("client %d got a different PageData instance", i)
+		}
+	}
+}
+
+func TestCancelledRequestStopsEvaluation(t *testing.T) {
+	data := slowData(256)
+	q := struql.MustParse(slowQuery)
+
+	// Baseline: how many source accesses does a full evaluation make?
+	base := NewFaultSource(struql.NewGraphSource(data), 0)
+	ev := NewEvaluator(schema.Build(q), base)
+	if _, err := ev.Page(PageRef{Fn: "Root"}); err != nil {
+		t.Fatal(err)
+	}
+	fullOps := base.Ops()
+
+	// Cancelled run: each access sleeps 1ms, the context dies a few ms in,
+	// and evaluation must stop at an operator boundary well short of the
+	// full walk.
+	fs := NewFaultSource(struql.NewGraphSource(data), time.Millisecond)
+	ev2 := NewEvaluator(schema.Build(q), fs)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := ev2.PageCtx(ctx, PageRef{Fn: "Root"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ops := fs.Ops(); ops >= fullOps/2 {
+		t.Errorf("cancelled evaluation made %d source accesses; a full run makes %d — cancellation did not stop it early", ops, fullOps)
+	}
+	// A cancelled leader must not poison the page: a fresh request
+	// computes it successfully.
+	if _, err := ev2.Page(PageRef{Fn: "Root"}); err != nil {
+		t.Errorf("page poisoned after cancelled leader: %v", err)
+	}
+}
+
+func TestRequestDeadlineMapsTo504(t *testing.T) {
+	fs := NewFaultSource(struql.NewGraphSource(slowData(256)), time.Millisecond)
+	ev := NewEvaluator(schema.Build(struql.MustParse(slowQuery)), fs)
+	srv := NewServer(ev, template.NewSet())
+	srv.RequestTimeout = 20 * time.Millisecond
+	srv.Logger = log.New(&bytes.Buffer{}, "", 0)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504 (body %q)", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "request timed out") {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestSheddingAndHealthzBypass(t *testing.T) {
+	fs := NewFaultSource(struql.NewGraphSource(slowData(64)), 2*time.Millisecond)
+	ev := NewEvaluator(schema.Build(struql.MustParse(slowQuery)), fs)
+	srv := NewServer(ev, template.NewSet())
+	srv.MaxInflight = 1
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	// Occupy the one slot with a slow request...
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(hs.URL + "/")
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	for fs.Ops() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// ...then excess page load is shed with 503 + Retry-After...
+	resp, err := http.Get(hs.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+
+	// ...but /healthz bypasses shedding so the saturated server can still
+	// be probed.
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readBody(t, resp); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"status"`) {
+		t.Errorf("healthz status = %d, body %q", resp.StatusCode, body)
+	}
+
+	if code := <-firstDone; code != http.StatusOK {
+		t.Errorf("occupying request finished with %d", code)
+	}
+}
+
+// panicSource panics on first use — a stand-in for any unexpected
+// handler-path failure.
+type panicSource struct {
+	struql.Source
+}
+
+func (panicSource) Collection(string) []graph.OID { panic("secret internal detail") }
+
+func TestPanicRecoverySanitizes500(t *testing.T) {
+	ev := NewEvaluator(schema.Build(struql.MustParse(siteQuery)),
+		panicSource{struql.NewGraphSource(testData())})
+	var logged bytes.Buffer
+	srv := NewServer(ev, template.NewSet())
+	srv.Logger = log.New(&logged, "", 0)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	if strings.Contains(body, "secret") {
+		t.Errorf("panic detail leaked to client: %q", body)
+	}
+	if !strings.Contains(body, "internal server error") {
+		t.Errorf("body = %q", body)
+	}
+	if !strings.Contains(logged.String(), "secret internal detail") {
+		t.Error("panic detail missing from server-side log")
+	}
+}
+
+func TestFailRequestSanitizesErrors(t *testing.T) {
+	var logged bytes.Buffer
+	s := &Server{Logger: log.New(&logged, "", 0)}
+	req := httptest.NewRequest("GET", "/page/x", nil)
+
+	w := httptest.NewRecorder()
+	s.failRequest(w, req, fmt.Errorf("page: %w", context.DeadlineExceeded))
+	if w.Code != http.StatusGatewayTimeout {
+		t.Errorf("deadline: status = %d", w.Code)
+	}
+
+	// A client disconnect gets no response body: nobody is listening.
+	w = httptest.NewRecorder()
+	s.failRequest(w, req, fmt.Errorf("page: %w", context.Canceled))
+	if w.Body.Len() != 0 {
+		t.Errorf("cancel: wrote body %q", w.Body.String())
+	}
+
+	// Internal errors are logged in full but the client sees only a
+	// generic message — error strings can embed data values and internals.
+	w = httptest.NewRecorder()
+	s.failRequest(w, req, errors.New("confidential: /etc/site/pubs.ddl:17"))
+	if w.Code != http.StatusInternalServerError {
+		t.Errorf("internal: status = %d", w.Code)
+	}
+	if got := w.Body.String(); strings.Contains(got, "confidential") || !strings.Contains(got, "internal server error") {
+		t.Errorf("internal: body = %q", got)
+	}
+	if !strings.Contains(logged.String(), "confidential: /etc/site/pubs.ddl:17") {
+		t.Error("error detail missing from server-side log")
+	}
+}
+
+func TestEmbedCycleDegradesToReference(t *testing.T) {
+	q := struql.MustParse(`
+create A()
+create B()
+link A() -> "title" -> "a-title",
+     A() -> "next" -> B(),
+     B() -> "back" -> A()
+`)
+	ev := NewEvaluator(schema.Build(q), struql.NewGraphSource(graph.New()))
+	ts := template.NewSet()
+	ts.MustAdd("A", `A[<SFMT next EMBED>]`)
+	ts.MustAdd("B", `B{<SFMT back EMBED>}`)
+	srv := NewServer(ev, ts)
+	srv.PerFn["A"] = "A"
+	srv.PerFn["B"] = "B"
+	out, err := srv.RenderPage(PageRef{Fn: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A embeds B; B's embed of A closes the cycle and degrades to a
+	// reference exactly there instead of recursing.
+	if !strings.Contains(out, `A[B{<a href="/page/A%28%29">A()</a>}]`) {
+		t.Errorf("cyclic render = %q", out)
+	}
+}
+
+func TestEmbedSelfCycle(t *testing.T) {
+	q := struql.MustParse(`
+create C()
+link C() -> "self" -> C()
+`)
+	ev := NewEvaluator(schema.Build(q), struql.NewGraphSource(graph.New()))
+	ts := template.NewSet()
+	ts.MustAdd("C", `C(<SFMT self EMBED>)`)
+	srv := NewServer(ev, ts)
+	srv.PerFn["C"] = "C"
+	out, err := srv.RenderPage(PageRef{Fn: "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != `C(<a href="/page/C%28%29">C()</a>)` {
+		t.Errorf("self-cycle render = %q", out)
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

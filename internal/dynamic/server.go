@@ -1,12 +1,16 @@
 package dynamic
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"html"
+	"log"
 	"net/http"
 	"net/url"
+	"runtime/debug"
 	"strings"
-	"sync"
+	"time"
 
 	"strudel/internal/graph"
 	"strudel/internal/template"
@@ -19,6 +23,13 @@ import (
 //
 //	/              the first entry point
 //	/page/<oid>    any page, by Skolem oid
+//	/healthz       liveness + reload status (never load-shed)
+//
+// The server is hardened for real traffic: the evaluator is fully
+// concurrent (per-page single-flight, parallel across pages), requests
+// carry deadlines and are cancelled when clients disconnect, panics are
+// caught and logged, excess load is shed with 503 + Retry-After, and
+// internal error detail never reaches a response body.
 type Server struct {
 	Ev        *Evaluator
 	Templates *template.Set
@@ -30,18 +41,38 @@ type Server struct {
 	// entry point (alphabetically) is used.
 	Root PageRef
 
-	mu sync.Mutex
+	// RequestTimeout bounds each page request's evaluation and render; 0
+	// disables the per-request deadline. Set before calling Handler.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently served page requests; past it the
+	// server sheds load with 503 + Retry-After. 0 means unlimited. Set
+	// before calling Handler.
+	MaxInflight int
+	// Logger receives server-side error detail (what clients never see);
+	// nil uses the process default logger.
+	Logger *log.Logger
+	// Health is the reload/degradation status reported by /healthz.
+	Health *Health
 }
 
 // NewServer returns a server over an evaluator and templates.
 func NewServer(ev *Evaluator, ts *template.Set) *Server {
-	return &Server{Ev: ev, Templates: ts, PerFn: map[string]string{}}
+	return &Server{Ev: ev, Templates: ts, PerFn: map[string]string{}, Health: NewHealth()}
 }
 
-// Handler returns the HTTP handler.
+func (s *Server) logf(format string, args ...any) {
+	if s.Logger != nil {
+		s.Logger.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Handler returns the HTTP handler with the hardening middleware applied:
+// recovery(healthz | shed(deadline(pages))).
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	pages := http.NewServeMux()
+	pages.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
@@ -55,52 +86,137 @@ func (s *Server) Handler() http.Handler {
 			}
 			root = roots[0]
 		}
-		s.servePage(w, root)
+		s.servePage(w, r, root)
 	})
-	mux.HandleFunc("/page/", func(w http.ResponseWriter, r *http.Request) {
+	pages.HandleFunc("/page/", func(w http.ResponseWriter, r *http.Request) {
 		oid := strings.TrimPrefix(r.URL.Path, "/page/")
 		oid, err := url.PathUnescape(oid)
 		if err != nil {
 			http.Error(w, "bad page id", http.StatusBadRequest)
 			return
 		}
-		s.mu.Lock()
 		ref, ok := s.Ev.RefFor(graph.OID(oid))
-		s.mu.Unlock()
 		if !ok {
 			http.Error(w, "unknown page "+oid, http.StatusNotFound)
 			return
 		}
-		s.servePage(w, ref)
+		s.servePage(w, r, ref)
 	})
-	return mux
+
+	root := http.NewServeMux()
+	// /healthz bypasses load shedding and the request deadline so that a
+	// saturated or degraded server can still be probed.
+	root.HandleFunc("/healthz", s.serveHealth)
+	root.Handle("/", s.withShedding(s.withDeadline(pages)))
+	return s.withRecovery(root)
 }
 
-func (s *Server) servePage(w http.ResponseWriter, ref PageRef) {
-	s.mu.Lock()
-	htmlText, err := s.RenderPage(ref)
-	s.mu.Unlock()
+// withRecovery catches handler panics, logs the stack server-side, and
+// returns a sanitized 500.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.logf("dynamic: panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack())
+				// If the handler already wrote, this is a no-op late
+				// header write; the connection is torn down regardless.
+				http.Error(w, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withShedding bounds in-flight page requests; excess load is refused
+// immediately with 503 + Retry-After instead of queueing without bound.
+func (s *Server) withShedding(next http.Handler) http.Handler {
+	if s.MaxInflight <= 0 {
+		return next
+	}
+	sem := make(chan struct{}, s.MaxInflight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server overloaded, retry shortly", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// withDeadline attaches the per-request timeout to the request context;
+// evaluation observes it at operator boundaries.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func (s *Server) serveHealth(w http.ResponseWriter, r *http.Request) {
+	h := s.Health
+	if h == nil {
+		h = NewHealth()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(h.StatusJSON(s.Ev.CacheSize()))
+}
+
+func (s *Server) servePage(w http.ResponseWriter, r *http.Request, ref PageRef) {
+	htmlText, err := s.RenderPageCtx(r.Context(), ref)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.failRequest(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(w, htmlText)
 }
 
+// failRequest maps an evaluation/render error to a response: timeouts are
+// 504, client disconnects get no body (nobody is listening), and
+// everything else is a sanitized 500 with the detail logged server-side
+// only — error strings can embed data values and internals.
+func (s *Server) failRequest(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.logf("dynamic: %s: request deadline exceeded: %v", r.URL.Path, err)
+		http.Error(w, "request timed out", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		s.logf("dynamic: %s: request cancelled by client: %v", r.URL.Path, err)
+	default:
+		s.logf("dynamic: %s: internal error: %v", r.URL.Path, err)
+		http.Error(w, "internal server error", http.StatusInternalServerError)
+	}
+}
+
 // RenderPage computes and renders one page (exported for tests and for
 // the click-time benchmarks, bypassing HTTP).
 func (s *Server) RenderPage(ref PageRef) (string, error) {
-	pd, err := s.Ev.Page(ref)
+	return s.RenderPageCtx(context.Background(), ref)
+}
+
+// RenderPageCtx renders one page under a request context. The whole
+// render — the page's own queries, embedded pages, and data-graph
+// attribute reads — runs against one state snapshot, so a hot reload
+// mid-request never produces a page mixing two data generations.
+func (s *Server) RenderPageCtx(ctx context.Context, ref PageRef) (string, error) {
+	st := s.Ev.snapshot()
+	pd, err := s.Ev.pageIn(ctx, st, ref, s.Ev.Lookahead)
 	if err != nil {
 		return "", err
 	}
-	r := &dynRenderer{s: s}
+	r := &dynRenderer{s: s, ctx: ctx, st: st, stack: []graph.OID{pd.OID}}
 	t := s.selectTemplate(ref.Fn)
 	if t == nil {
 		return r.defaultRender(pd)
 	}
-	return template.Render(t, pd.OID, dynSite{s: s}, r)
+	return template.Render(t, pd.OID, dynSite{r: r}, r)
 }
 
 func (s *Server) selectTemplate(fn string) *template.Template {
@@ -117,14 +233,15 @@ func (s *Server) selectTemplate(fn string) *template.Template {
 
 // dynSite adapts the evaluator to the template evaluator's Site view:
 // dynamic pages answer from their computed edges; data-graph objects
-// (reached through NS edges) answer from the data source.
+// (reached through NS edges) answer from the data source. All reads go
+// through the renderer's state snapshot.
 type dynSite struct {
-	s *Server
+	r *dynRenderer
 }
 
 func (d dynSite) OutLabel(oid graph.OID, label string) []graph.Value {
-	if ref, ok := d.s.Ev.RefFor(oid); ok {
-		pd, err := d.s.Ev.Page(ref)
+	if ref, ok := d.r.s.Ev.RefFor(oid); ok {
+		pd, err := d.r.s.Ev.pageIn(d.r.ctx, d.r.st, ref, false)
 		if err != nil {
 			return nil
 		}
@@ -136,13 +253,20 @@ func (d dynSite) OutLabel(oid graph.OID, label string) []graph.Value {
 		}
 		return out
 	}
-	return d.s.Ev.Data.OutLabel(oid, label)
+	return d.r.st.src.OutLabel(oid, label)
 }
 
-// dynRenderer renders references as click-time URLs.
+// dynRenderer renders references as click-time URLs. It carries the
+// request context and the state snapshot so every read in one render sees
+// one data generation, and it tracks the stack of pages being embedded to
+// cut true embed cycles.
 type dynRenderer struct {
-	s     *Server
-	depth int
+	s   *Server
+	ctx context.Context
+	st  *evalState
+	// stack holds the page oids currently being rendered, outermost
+	// first; an embed of any of them is a cycle.
+	stack []graph.OID
 }
 
 // LookupTemplate resolves SINCLUDE names against the server's set.
@@ -159,25 +283,36 @@ func (r *dynRenderer) RenderRef(oid graph.OID, anchorText string) (string, error
 	return fmt.Sprintf(`<a href="%s">%s</a>`, PageURL(oid), html.EscapeString(anchorText)), nil
 }
 
+// maxEmbedDepth caps non-cyclic embed nesting; cycles themselves are cut
+// exactly where they close, by the render-stack check.
+const maxEmbedDepth = 32
+
 func (r *dynRenderer) RenderEmbed(oid graph.OID) (string, error) {
-	if r.depth > 8 {
-		return r.RenderRef(oid, string(oid))
-	}
-	r.depth++
-	defer func() { r.depth-- }()
 	if ref, ok := r.s.Ev.RefFor(oid); ok {
-		pd, err := r.s.Ev.Page(ref)
+		// A true embed cycle — the page is already on the render stack —
+		// degrades to a reference at the exact point the cycle closes.
+		for _, on := range r.stack {
+			if on == oid {
+				return r.RenderRef(oid, string(oid))
+			}
+		}
+		if len(r.stack) > maxEmbedDepth {
+			return r.RenderRef(oid, string(oid))
+		}
+		pd, err := r.s.Ev.pageIn(r.ctx, r.st, ref, false)
 		if err != nil {
 			return "", err
 		}
+		r.stack = append(r.stack, oid)
+		defer func() { r.stack = r.stack[:len(r.stack)-1] }()
 		if t := r.s.selectTemplate(ref.Fn); t != nil {
-			return template.Render(t, pd.OID, dynSite{s: r.s}, r)
+			return template.Render(t, pd.OID, dynSite{r: r}, r)
 		}
 		return r.defaultRender(pd)
 	}
 	// A data-graph object: render its attributes inline.
 	var b strings.Builder
-	for _, e := range r.s.Ev.Data.Out(oid) {
+	for _, e := range r.st.src.Out(oid) {
 		fmt.Fprintf(&b, "%s: %s ", html.EscapeString(e.Label), html.EscapeString(e.To.Text()))
 	}
 	return b.String(), nil

@@ -1,0 +1,224 @@
+package dynamic
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"strudel/internal/graph"
+	"strudel/internal/schema"
+	"strudel/internal/struql"
+	"strudel/internal/template"
+)
+
+// stressQuery serves a root page whose rendered body lists, through the
+// template TEXT= mechanism, the "ver" attribute of every publication
+// page. Every publication in one data generation carries the same
+// version marker, so a single response mixing two markers is direct
+// evidence of a torn graph — a render that crossed data generations.
+const stressQuery = `
+create Root()
+where Pubs(x)
+create P(x)
+link Root() -> "p" -> P(x)
+{
+  where x -> "ver" -> v
+  link P(x) -> "ver" -> v
+}
+`
+
+const stressPubs = 12
+
+func stressGraph(version int) *graph.Graph {
+	g := graph.New()
+	marker := fmt.Sprintf("ver%04d", version)
+	for i := 0; i < stressPubs; i++ {
+		oid := graph.OID(fmt.Sprintf("p%02d", i))
+		g.AddToCollection("Pubs", oid)
+		g.AddEdge(oid, "ver", graph.NewString(marker))
+	}
+	return g
+}
+
+var verRE = regexp.MustCompile(`ver\d{4}`)
+
+// TestStressServeUnderFaultyReloads is the end-to-end robustness drill:
+// 32 concurrent clients hammer the server while the data source is
+// reloaded repeatedly, with injected wrapper faults making some reloads
+// fail and then recover mid-run. It proves, under -race:
+//
+//   - no response ever mixes two data generations (no torn graph),
+//   - a degraded server keeps serving complete last-good pages while
+//     /healthz reports degraded,
+//   - recovery restores fresh pages and a healthy /healthz.
+func TestStressServeUnderFaultyReloads(t *testing.T) {
+	stampPath := filepath.Join(t.TempDir(), "pubs.dat")
+	if err := os.WriteFile(stampPath, []byte("gen0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var verMu sync.Mutex
+	version := 0
+	fl := NewFlakyLoader(func() (*graph.Graph, error) {
+		verMu.Lock()
+		defer verMu.Unlock()
+		return stressGraph(version), nil
+	})
+	rl, err := NewReloader(WatchedSource{Name: "pubs", Paths: []string{stampPath}, Load: fl.Load})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl.Logger = quietLogger()
+	rl.Jitter = 0
+	rl.BackoffMin = time.Millisecond
+	rl.BackoffMax = 4 * time.Millisecond
+	data, err := rl.Warehouse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(schema.Build(struql.MustParse(stressQuery)), data)
+	ts := template.NewSet()
+	ts.MustAdd("Root", `<SFMT p UL TEXT=ver>`)
+	srv := NewServer(ev, ts)
+	srv.PerFn["Root"] = "Root"
+	srv.RequestTimeout = 10 * time.Second
+	rl.Attach(ev, srv.Health)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	// checkResponse asserts one response is a complete page from exactly
+	// one data generation.
+	client := &http.Client{Timeout: 15 * time.Second}
+	checkResponse := func() string {
+		resp, err := client.Get(hs.URL + "/")
+		if err != nil {
+			t.Errorf("GET /: %v", err)
+			return ""
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Errorf("GET /: read body: %v", err)
+			return ""
+		}
+		body := string(raw)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET / = %d: %q", resp.StatusCode, body)
+			return ""
+		}
+		markers := verRE.FindAllString(body, -1)
+		if len(markers) != stressPubs {
+			t.Errorf("response lists %d publications, want %d (partial page):\n%s", len(markers), stressPubs, body)
+			return ""
+		}
+		for _, m := range markers[1:] {
+			if m != markers[0] {
+				t.Errorf("torn graph: response mixes %s and %s:\n%s", markers[0], m, body)
+				return ""
+			}
+		}
+		return markers[0]
+	}
+
+	// 32 concurrent clients loop until the drill ends.
+	const clients = 32
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				checkResponse()
+			}
+		}()
+	}
+
+	// The driver pushes new data generations through the reloader,
+	// injecting wrapper faults on every third round.
+	waitForVersion := func(v int) {
+		want := fmt.Sprintf("ver%04d", v)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if got := checkResponse(); got == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("version %s never served", want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	const rounds = 12
+	degradedWindows := 0
+	for round := 1; round <= rounds; round++ {
+		verMu.Lock()
+		version = round
+		verMu.Unlock()
+		if err := os.WriteFile(stampPath, []byte(strings.Repeat("g", round+1)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if round%3 == 0 {
+			// This round's reload fails twice before recovering.
+			fl.FailNext(2, errInjected)
+			rl.Tick(time.Now())
+			if !srv.Health.Degraded() {
+				t.Fatalf("round %d: health not degraded after failed reload", round)
+			}
+			degradedWindows++
+			// Degraded mode: last-good pages still serve, complete and
+			// consistent, while /healthz says degraded.
+			if got := checkResponse(); got != fmt.Sprintf("ver%04d", round-1) {
+				t.Errorf("round %d: degraded server serves %q, want last-good ver%04d", round, got, round-1)
+			}
+			if body := readBody1(t, client, hs.URL+"/healthz"); !strings.Contains(body, `"status":"degraded"`) {
+				t.Errorf("round %d: healthz while degraded: %s", round, body)
+			}
+			// Retry (per backoff) until the source recovers.
+			deadline := time.Now().Add(10 * time.Second)
+			for srv.Health.Degraded() {
+				if time.Now().After(deadline) {
+					t.Fatalf("round %d: reload never recovered", round)
+				}
+				time.Sleep(2 * time.Millisecond)
+				rl.Tick(time.Now())
+			}
+		} else {
+			rl.Tick(time.Now())
+		}
+		waitForVersion(round)
+	}
+	close(stop)
+	wg.Wait()
+
+	if degradedWindows == 0 {
+		t.Error("drill never exercised a degraded window")
+	}
+	if _, failed := fl.Calls(); failed < degradedWindows {
+		t.Errorf("injected faults: %d failed loads over %d windows", failed, degradedWindows)
+	}
+	if body := readBody1(t, client, hs.URL+"/healthz"); !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("final healthz: %s", body)
+	}
+}
+
+func readBody1(t *testing.T, c *http.Client, url string) string {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return readBody(t, resp)
+}

@@ -139,6 +139,21 @@ func (d *Delta) Size() int {
 	return len(d.AddedEdges) + len(d.RemovedEdges) + len(d.AddedMembers) + len(d.RemovedMembers)
 }
 
+// Merge folds another delta into this one. Deltas of independent sources
+// concatenate; when the same edge appears as both added and removed
+// (a source changed twice between applications), both records are kept —
+// consumers treat the delta as "what may have changed", so the union is
+// conservative and sound.
+func (d *Delta) Merge(o *Delta) {
+	if o == nil {
+		return
+	}
+	d.AddedEdges = append(d.AddedEdges, o.AddedEdges...)
+	d.RemovedEdges = append(d.RemovedEdges, o.RemovedEdges...)
+	d.AddedMembers = append(d.AddedMembers, o.AddedMembers...)
+	d.RemovedMembers = append(d.RemovedMembers, o.RemovedMembers...)
+}
+
 // Diff computes new − old and old − new for edges and memberships.
 func Diff(old, new *graph.Graph) *Delta {
 	d := &Delta{}

@@ -1,6 +1,7 @@
 package struql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -104,10 +105,23 @@ func EvalSeq(queries []*Query, base Source, opts *Options) (*graph.Graph, error)
 // the incremental query of one site-schema edge with the page's Skolem
 // arguments pre-bound (§2.5).
 func EvalWhere(conds []Cond, src Source, seed *Bindings, opts *Options) (*Bindings, error) {
+	return EvalWhereCtx(context.Background(), conds, src, seed, opts)
+}
+
+// EvalWhereCtx is EvalWhere under a context: cancellation is observed at
+// operator boundaries (between conditions) and, within one operator,
+// between bounded row batches, so a cancelled caller — an abandoned or
+// timed-out HTTP request — stops evaluation promptly instead of running
+// the query to completion. The returned error wraps ctx.Err(), so
+// errors.Is(err, context.Canceled/DeadlineExceeded) identifies it.
+func EvalWhereCtx(reqCtx context.Context, conds []Cond, src Source, seed *Bindings, opts *Options) (*Bindings, error) {
 	if seed == nil {
 		seed = emptyBindings()
 	}
 	ctx := newEvalCtx(src, opts, NewSkolemEnv())
+	if reqCtx != nil && reqCtx != context.Background() {
+		ctx.reqCtx = reqCtx
+	}
 	return ctx.evalWhere(conds, seed)
 }
 
@@ -126,6 +140,9 @@ type evalCtx struct {
 	// suppressPlans stops plan recording during not(...) sub-evaluations,
 	// which run once per candidate row.
 	suppressPlans bool
+	// reqCtx, when non-nil, is polled at operator boundaries and between
+	// row batches so long evaluations can be cancelled mid-query.
+	reqCtx context.Context
 
 	cache *matcherCache
 }
@@ -157,8 +174,21 @@ func (ctx *evalCtx) forkSequential() *evalCtx {
 		par:           1,
 		avgDeg:        ctx.avgDeg,
 		suppressPlans: true,
+		reqCtx:        ctx.reqCtx,
 		cache:         ctx.cache,
 	}
+}
+
+// cancelled returns a wrapped context error once the request context is
+// done, or nil when no context is attached or it is still live.
+func (ctx *evalCtx) cancelled() error {
+	if ctx.reqCtx == nil {
+		return nil
+	}
+	if err := ctx.reqCtx.Err(); err != nil {
+		return fmt.Errorf("struql: evaluation cancelled: %w", err)
+	}
+	return nil
 }
 
 func (ctx *evalCtx) matcher(p *PathExpr) *pathMatcher {
@@ -227,6 +257,9 @@ func (ctx *evalCtx) evalWhere(conds []Cond, parent *Bindings) (*Bindings, error)
 		ctx.plans = append(ctx.plans, desc)
 	}
 	for _, ci := range order {
+		if err := ctx.cancelled(); err != nil {
+			return nil, err
+		}
 		b, err = ctx.applyCond(conds[ci], b)
 		if err != nil {
 			return nil, err

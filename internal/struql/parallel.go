@@ -40,6 +40,12 @@ func chunkBounds(n, workers int) [][2]int {
 	return bounds
 }
 
+// cancelCheckRows bounds how many rows one operator processes between
+// context polls when a request context is attached: it is the worst-case
+// cancellation latency in rows, small enough that even a slow (e.g.
+// fault-injected) source stops within a few dozen accesses.
+const cancelCheckRows = 64
+
 // rowMap applies fn to contiguous chunks of rows on a worker pool and
 // concatenates the chunk outputs in input order, which keeps every
 // operator's output deterministic: each chunk preserves its rows' relative
@@ -47,8 +53,34 @@ func chunkBounds(n, workers int) [][2]int {
 // the chunk index (so callers can keep per-worker state) and must not
 // touch rows outside its chunk. With one worker (or a small relation) it
 // degenerates to a single in-place call.
+//
+// When the evaluation carries a request context, each worker processes its
+// chunk in batches of cancelCheckRows rows, polling the context between
+// batches; batch outputs concatenate in order, so cancellation support
+// never changes the result.
 func (ctx *evalCtx) rowMap(rows [][]graph.Value,
 	fn func(worker int, chunk [][]graph.Value) ([][]graph.Value, error)) ([][]graph.Value, error) {
+	if ctx.reqCtx != nil {
+		inner := fn
+		fn = func(worker int, chunk [][]graph.Value) ([][]graph.Value, error) {
+			var out [][]graph.Value
+			for lo := 0; lo < len(chunk) || lo == 0; lo += cancelCheckRows {
+				if err := ctx.cancelled(); err != nil {
+					return nil, err
+				}
+				hi := min(lo+cancelCheckRows, len(chunk))
+				part, err := inner(worker, chunk[lo:hi])
+				if err != nil {
+					return nil, err
+				}
+				if lo == 0 && hi == len(chunk) {
+					return part, nil
+				}
+				out = append(out, part...)
+			}
+			return out, nil
+		}
+	}
 	if ctx.par <= 1 || len(rows) < minParallelRows {
 		return fn(0, rows)
 	}

@@ -1,0 +1,88 @@
+package bibtex
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestMalformedInputsReportPosition feeds the parser the broken files a
+// hot-reloading server will inevitably see — truncated values, half-saved
+// entries, stray delimiters — and requires a *ParseError carrying the
+// 1-based line of the problem, never a panic and never a zero position.
+func TestMalformedInputsReportPosition(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		wantMsg  string
+	}{
+		{
+			name:     "unterminated braced value",
+			src:      "@article{k,\n  title = {unclosed\n",
+			wantLine: 3,
+			wantMsg:  "unterminated braced value",
+		},
+		{
+			name:     "unterminated quoted value",
+			src:      "@article{k,\n  title = \"unclosed\n",
+			wantLine: 3,
+			wantMsg:  "unterminated quoted value",
+		},
+		{
+			name:     "missing citation key",
+			src:      "@article{,\n  title = {x},\n}",
+			wantLine: 1,
+			wantMsg:  "lacks a citation key",
+		},
+		{
+			name:     "missing entry type",
+			src:      "@misc{ok, note={fine}}\n@ {k,\n  title = {x}}",
+			wantLine: 2,
+			wantMsg:  "expected entry type",
+		},
+		{
+			name:     "missing field value",
+			src:      "@misc{a, note={one}}\n\n@string{abbrev = }",
+			wantLine: 3,
+			wantMsg:  "expected field value",
+		},
+		{
+			name:     "truncated entry at EOF",
+			src:      "% a comment line\n@article{k, title = {x}",
+			wantLine: 2,
+			wantMsg:  "unterminated entry",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatal("malformed input parsed without error")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v (%T), want *ParseError", err, err)
+			}
+			if pe.Line != c.wantLine {
+				t.Errorf("error line = %d, want %d (%v)", pe.Line, c.wantLine, err)
+			}
+			if !strings.Contains(err.Error(), c.wantMsg) {
+				t.Errorf("err = %v, want it to mention %q", err, c.wantMsg)
+			}
+		})
+	}
+}
+
+// TestMalformedInputsThroughLoad exercises the same failures through the
+// Load convenience used by the serving layer's reload path: the error
+// must surface (so the reloader can degrade) with its position intact.
+func TestMalformedInputsThroughLoad(t *testing.T) {
+	_, err := Load("@article{k,\n  author = {A. Uthor},\n  title = {broken\n", DefaultOptions())
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("err = %v, want a line position", err)
+	}
+}

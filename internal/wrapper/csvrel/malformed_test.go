@@ -1,0 +1,105 @@
+package csvrel
+
+import (
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestMalformedInputsReportPosition feeds the relational wrapper the
+// broken tables a hot-reloading server sees — ragged rows, unterminated
+// quotes, vanished headers — and requires position-bearing errors, never
+// a panic.
+func TestMalformedInputsReportPosition(t *testing.T) {
+	opts := Options{Table: "emp", KeyColumn: "id"}
+	cases := []struct {
+		name string
+		src  string
+		opts Options
+		// wantLine, when nonzero, is the 1-based line a *csv.ParseError
+		// must point at.
+		wantLine int
+		wantMsg  string
+	}{
+		{
+			name:     "ragged row",
+			src:      "id,name\n1,Alice\n2,Bob,extra\n",
+			opts:     opts,
+			wantLine: 3,
+			wantMsg:  "wrong number of fields",
+		},
+		{
+			name: "unterminated quote",
+			src:  "id,name\n1,\"Ali\nce\n",
+			opts: opts,
+			// The record starts on line 2; the reader detects the missing
+			// quote on line 3 and reports both.
+			wantLine: 3,
+			wantMsg:  "quote",
+		},
+		{
+			name:     "bare quote mid-field",
+			src:      "id,name\n1,Al\"ice\"\n",
+			opts:     opts,
+			wantLine: 2,
+			wantMsg:  "quote",
+		},
+		{
+			name:    "empty input",
+			src:     "",
+			opts:    opts,
+			wantMsg: "missing header row",
+		},
+		{
+			name:    "key column not in header",
+			src:     "name,dept\nAlice,R11\n",
+			opts:    opts,
+			wantMsg: `key column "id" not in header`,
+		},
+		{
+			name:    "missing table name",
+			src:     "id\n1\n",
+			opts:    Options{},
+			wantMsg: "Options.Table is required",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Load(c.src, c.opts)
+			if err == nil {
+				t.Fatal("malformed input loaded without error")
+			}
+			if !strings.Contains(err.Error(), c.wantMsg) {
+				t.Errorf("err = %v, want it to mention %q", err, c.wantMsg)
+			}
+			if c.wantLine != 0 {
+				var pe *csv.ParseError
+				if !errors.As(err, &pe) {
+					t.Fatalf("err = %v (%T), want a wrapped *csv.ParseError", err, err)
+				}
+				if pe.Line != c.wantLine {
+					t.Errorf("error line = %d, want %d (%v)", pe.Line, c.wantLine, err)
+				}
+			}
+		})
+	}
+}
+
+// TestMalformedInputsThroughLoadAll checks that a broken table aborts a
+// multi-table load with the failing table named in the error.
+func TestMalformedInputsThroughLoadAll(t *testing.T) {
+	_, err := LoadAll([]struct {
+		Src  string
+		Opts Options
+	}{
+		{Src: "id,name\n1,Alice\n", Opts: Options{Table: "emp", KeyColumn: "id"}},
+		{Src: "id,boss\n1\n", Opts: Options{Table: "org", KeyColumn: "id"}},
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "table org") {
+		t.Errorf("err = %v, want the failing table named", err)
+	}
+}

@@ -1,0 +1,81 @@
+#!/bin/sh
+# serve-smoke: build strudel-serve, serve a tiny site, probe it, and
+# assert a clean graceful shutdown on SIGTERM. This is the end-to-end
+# check that the real binary — flags, listener, reload loop, signal
+# handling — works, not just the packages behind it.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/strudel-serve" ./cmd/strudel-serve
+
+cat > "$workdir/site.ddl" <<'EOF'
+collection Pubs;
+node p1 in Pubs { title "Catching the Boat"; year 1998; }
+node p2 in Pubs { title "Strudel"; year 1997; }
+EOF
+
+cat > "$workdir/site.struql" <<'EOF'
+create Root()
+link Root() -> "title" -> "Smoke Site"
+where Pubs(x)
+create Page(x)
+link Root() -> "pub" -> Page(x)
+{ where x -> "title" -> t link Page(x) -> "title" -> t }
+EOF
+
+addr="127.0.0.1:18473"
+"$workdir/strudel-serve" \
+    -data "$workdir/site.ddl" -query "$workdir/site.struql" \
+    -addr "$addr" -reload-interval 200ms -shutdown-timeout 5s \
+    > "$workdir/serve.log" 2>&1 &
+pid=$!
+
+# Wait for the server to come up.
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$addr/healthz" > "$workdir/healthz.json" 2>/dev/null; then
+        up=1
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: server exited early" >&2
+        cat "$workdir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "serve-smoke: server never came up" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+
+grep -q '"status":"ok"' "$workdir/healthz.json" || {
+    echo "serve-smoke: /healthz not ok:" >&2
+    cat "$workdir/healthz.json" >&2
+    exit 1
+}
+
+curl -fsS "http://$addr/" | grep -q "Smoke Site" || {
+    echo "serve-smoke: / did not serve the root page" >&2
+    exit 1
+}
+
+# Graceful drain: SIGTERM must produce a clean exit 0.
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "serve-smoke: exit code $rc after SIGTERM, want 0" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+grep -q "graceful shutdown complete" "$workdir/serve.log" || {
+    echo "serve-smoke: no graceful-shutdown marker in log:" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+}
+
+echo "serve-smoke: OK"
