@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check serve-smoke clean
+.PHONY: all build test race vet bench check serve-smoke fuzz-smoke clean
 
 all: build
 
@@ -25,6 +25,19 @@ bench:
 # probes / and /healthz, and asserts a clean SIGTERM drain.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# fuzz-smoke runs every fuzz target briefly. Go allows one -fuzz pattern
+# per invocation, so the targets run one at a time; each starts from the
+# checked-in seed corpus under its package's testdata/fuzz.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/struql
+	$(GO) test -run='^$$' -fuzz='^FuzzEval$$' -fuzztime=$(FUZZTIME) ./internal/struql
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/ddl
+	$(GO) test -run='^$$' -fuzz='^FuzzParseAndRender$$' -fuzztime=$(FUZZTIME) ./internal/template
+	$(GO) test -run='^$$' -fuzz='^FuzzExtract$$' -fuzztime=$(FUZZTIME) ./internal/wrapper/htmlwrap
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/wrapper/bibtex
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBinary$$' -fuzztime=$(FUZZTIME) ./internal/repo
 
 # check is what CI runs.
 check: vet race

@@ -24,10 +24,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,6 +39,7 @@ import (
 	"strudel/internal/ddl"
 	"strudel/internal/dynamic"
 	"strudel/internal/graph"
+	"strudel/internal/obs"
 	"strudel/internal/schema"
 	"strudel/internal/struql"
 	"strudel/internal/template"
@@ -62,6 +65,7 @@ const (
 type config struct {
 	dataFiles, bibFiles, templates []string
 	queryFile, addr                string
+	debugAddr                      string
 	lookahead                      bool
 	requestTimeout                 time.Duration
 	maxInflight                    int
@@ -77,6 +81,7 @@ func main() {
 	flag.Var(&templates, "template", "template as SkolemFn=file (repeatable)")
 	flag.StringVar(&cfg.queryFile, "query", "", "StruQL site-definition query file")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "listen address for /debug/vars and /debug/pprof/* (empty disables; keep it off the public interface)")
 	flag.BoolVar(&cfg.lookahead, "lookahead", false, "precompute linked pages after each request")
 	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 10*time.Second, "per-request evaluation deadline (0 disables)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 256, "max concurrent page requests before shedding with 503 (0 = unlimited)")
@@ -97,6 +102,15 @@ func run(cfg config) int {
 	srv.RequestTimeout = cfg.requestTimeout
 	srv.MaxInflight = cfg.maxInflight
 
+	// Metrics are always collected (they are cheap atomics); the debug
+	// listener just decides whether anything can read them.
+	metrics := &obs.ServeMetrics{}
+	srv.Obs = metrics
+	srv.Ev.Obs = metrics
+	if rl != nil {
+		rl.Obs = metrics
+	}
+
 	// Bind before installing signal handling so "address in use" and its
 	// kin are reported as what they are, with their own exit code,
 	// instead of masquerading as a serving failure.
@@ -108,6 +122,29 @@ func run(cfg config) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The debug listener is separate from the production listener on
+	// purpose: /debug/vars and /debug/pprof/* expose internals (and
+	// pprof can be made to burn CPU), so they bind to an operator-chosen
+	// address — typically localhost — and the production mux keeps
+	// 404ing /debug/*.
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "strudel-serve: cannot listen on debug address %s: %v\n", cfg.debugAddr, err)
+			return exitListen
+		}
+		dhs := &http.Server{
+			Handler:           debugMux(metrics),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			<-ctx.Done()
+			dhs.Close()
+		}()
+		go dhs.Serve(dln)
+		fmt.Printf("debug endpoints (/debug/vars, /debug/pprof/) on %s\n", cfg.debugAddr)
+	}
 
 	if cfg.reloadInterval > 0 && rl != nil {
 		rl.Interval = cfg.reloadInterval
@@ -148,6 +185,24 @@ func run(cfg config) int {
 	}
 	fmt.Println("strudel-serve: graceful shutdown complete")
 	return exitOK
+}
+
+// debugMux builds the debug listener's handler: the server's metric
+// registry under /debug/vars (published into expvar as "strudel") and
+// the pprof handlers wired explicitly, so nothing depends on
+// http.DefaultServeMux — the production listener never serves these.
+func debugMux(metrics *obs.ServeMetrics) http.Handler {
+	reg := obs.NewRegistry()
+	reg.Register("serve", metrics)
+	expvar.Publish("strudel", reg)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // buildServer assembles the dynamic server and its hot reloader from the

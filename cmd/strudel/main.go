@@ -25,6 +25,7 @@ import (
 	"strudel/internal/ddl"
 	"strudel/internal/graph"
 	"strudel/internal/mediator"
+	"strudel/internal/obs"
 	"strudel/internal/sites"
 	"strudel/internal/wrapper/bibtex"
 	"strudel/internal/wrapper/csvrel"
@@ -45,6 +46,7 @@ func main() {
 	size := flag.Int("size", 0, "scale of the bundled site (publications, articles, or people; 0 = default)")
 	out := flag.String("out", "site-out", "output directory")
 	jobs := flag.Int("j", 0, "build parallelism: 0 = one worker per CPU, 1 = sequential (output is identical at any setting)")
+	traceOut := flag.String("trace", "", "write pipeline trace events (JSON Lines: wrap, query, generate, write spans plus a final metrics line) to FILE; - means stderr")
 	queryFile := flag.String("query", "", "StruQL site-definition query file")
 	flag.Var(&dataFiles, "data", "data-definition-language file (repeatable)")
 	flag.Var(&bibFiles, "bibtex", "BibTeX file (repeatable)")
@@ -58,16 +60,63 @@ func main() {
 	flag.Parse()
 
 	opts := &core.Options{Parallelism: *jobs}
+	var reg *obs.Registry
+	if *traceOut != "" {
+		opts.Trace = obs.NewTracer()
+		opts.Eval = &obs.EvalMetrics{}
+		opts.Source = &obs.SourceMetrics{}
+		opts.Gen = &obs.GenMetrics{}
+		reg = obs.NewRegistry()
+		reg.Register("eval", opts.Eval)
+		reg.Register("sources", opts.Source)
+		reg.Register("htmlgen", opts.Gen)
+	}
 	var err error
 	if *example != "" {
 		err = buildExample(*example, *size, *out, opts)
 	} else {
 		err = buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles, *queryFile, templates, collTpl, objTpl, roots, constraintsList, *out, opts)
 	}
+	if *traceOut != "" {
+		if terr := writeTrace(*traceOut, opts.Trace, reg); terr != nil {
+			fmt.Fprintln(os.Stderr, "strudel: trace:", terr)
+			if err == nil {
+				os.Exit(1)
+			}
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "strudel:", err)
 		os.Exit(1)
 	}
+}
+
+// traceOf returns the options' tracer, tolerating nil options (tests
+// call the build helpers with nil).
+func traceOf(opts *core.Options) *obs.Tracer {
+	if opts == nil {
+		return nil
+	}
+	return opts.Trace
+}
+
+// writeTrace emits the recorded spans as JSON Lines followed by one
+// final line with the metric snapshot, to path ("-" = stderr).
+func writeTrace(path string, tr *obs.Tracer, reg *obs.Registry) error {
+	w := os.Stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteJSON(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "{\"metrics\":%s}\n", reg.String())
+	return err
 }
 
 func buildExample(name string, size int, out string, opts *core.Options) error {
@@ -102,7 +151,10 @@ func buildExample(name string, size int, out string, opts *core.Options) error {
 	}
 	for name, vr := range res.Versions {
 		dir := filepath.Join(out, name)
-		if err := vr.Output.WriteDir(dir); err != nil {
+		ws := traceOf(opts).Start("write", "version", name, "dir", dir)
+		err := vr.Output.WriteDir(dir)
+		ws.End()
+		if err != nil {
 			return err
 		}
 		fmt.Printf("version %s: %s → %s\n", name, vr.Stats, dir)
@@ -201,9 +253,12 @@ func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile 
 		return err
 	}
 	vr := res.Versions["main"]
+	ws := traceOf(opts).Start("write", "version", "main", "dir", out)
 	if err := vr.Output.WriteDir(out); err != nil {
+		ws.End()
 		return err
 	}
+	ws.End()
 	fmt.Printf("%s → %s\n", vr.Stats, out)
 	for i, c := range vr.Checks {
 		fmt.Printf("constraint %d: %s — %s\n", i+1, c.Verdict, c.Reason)

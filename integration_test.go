@@ -4,6 +4,7 @@
 package strudel_test
 
 import (
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"strudel/internal/core"
 	"strudel/internal/dynamic"
 	"strudel/internal/mediator"
+	"strudel/internal/obs"
 	"strudel/internal/repo"
 	"strudel/internal/schema"
 	"strudel/internal/sites"
@@ -168,6 +170,91 @@ func TestSchemaDrivenToolingConsistency(t *testing.T) {
 	}
 	if orig.Graph.Dump() != rec.Graph.Dump() {
 		t.Error("schema-recovered bilingual query diverged")
+	}
+}
+
+// TestInstrumentedPipelineEndToEnd drives the full pipeline — wrappers,
+// mediator, query, generation — with every instrumentation sink and the
+// tracer attached, and checks two things: the observed build is
+// byte-identical to the unobserved one, and the cross-layer metric
+// totals are mutually consistent (what one layer hands off is what the
+// next layer reports receiving).
+func TestInstrumentedPipelineEndToEnd(t *testing.T) {
+	spec := sites.CNN(40)
+	plain, err := core.BuildWith(spec, &core.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &core.Options{
+		Parallelism: 2,
+		Eval:        &obs.EvalMetrics{},
+		Source:      &obs.SourceMetrics{},
+		Gen:         &obs.GenMetrics{},
+		Trace:       obs.NewTracer(),
+	}
+	observed, err := core.BuildWith(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vname, pv := range plain.Versions {
+		ov := observed.Versions[vname]
+		if ov == nil {
+			t.Fatalf("version %s missing from observed build", vname)
+		}
+		for file, want := range pv.Output.Pages {
+			if ov.Output.Pages[file] != want {
+				t.Errorf("version %s: page %s differs under instrumentation", vname, file)
+			}
+		}
+	}
+	// Cross-layer consistency.
+	if got, want := opts.Source.Loads.Load(), int64(len(spec.Sources)); got != want {
+		t.Errorf("source loads = %d, want %d", got, want)
+	}
+	totalPages := int64(0)
+	for _, vr := range observed.Versions {
+		totalPages += int64(len(vr.Output.Pages))
+	}
+	if got := opts.Gen.Pages.Load(); got != totalPages {
+		t.Errorf("generator counted %d pages, output has %d", got, totalPages)
+	}
+	// The bundled queries use no regex paths; exercise the NFA-cache
+	// metrics with an explicit path query over the warehoused data. The
+	// same path expression in two blocks compiles once and hits once.
+	pathMetrics := &obs.EvalMetrics{}
+	pq := struql.MustParse(`
+		where Articles(a), a -> "headline"."text"? -> h create H(a)
+		where Articles(a), a -> "headline"."text"? -> h create H2(a)`)
+	if _, err := struql.Eval(pq, observed.Data, &struql.Options{Metrics: pathMetrics}); err != nil {
+		t.Fatal(err)
+	}
+	if got := pathMetrics.NFAMisses.Load(); got != 1 {
+		t.Errorf("NFA compilations = %d, want 1 (shared path compiles once)", got)
+	}
+	if got := pathMetrics.NFAHits.Load(); got != 1 {
+		t.Errorf("NFA cache hits = %d, want 1 (second block reuses the matcher)", got)
+	}
+	// The trace must contain the whole pipeline, with the registry's JSON
+	// view parseable (the /debug/vars contract).
+	seen := map[string]bool{}
+	for _, s := range opts.Trace.Spans() {
+		seen[s.Name] = true
+	}
+	for _, stage := range []string{"build", "wrap", "version", "query", "generate"} {
+		if !seen[stage] {
+			t.Errorf("trace missing %q stage", stage)
+		}
+	}
+	reg := obs.NewRegistry()
+	reg.Register("eval", opts.Eval)
+	reg.Register("sources", opts.Source)
+	reg.Register("htmlgen", opts.Gen)
+	var parsed map[string]map[string]any
+	if err := json.Unmarshal([]byte(reg.String()), &parsed); err != nil {
+		t.Fatalf("registry JSON does not parse: %v", err)
+	}
+	if _, ok := parsed["eval"]["where_evals"]; !ok {
+		t.Error("registry JSON missing eval.where_evals")
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"strudel/internal/graph"
 	"strudel/internal/htmlgen"
 	"strudel/internal/mediator"
+	"strudel/internal/obs"
 	"strudel/internal/repo"
 	"strudel/internal/schema"
 	"strudel/internal/struql"
@@ -35,6 +36,20 @@ type Options struct {
 	// Parallelism is the per-stage worker count: 0 = GOMAXPROCS,
 	// 1 = sequential, n>1 = exactly n workers.
 	Parallelism int
+	// Eval, Source, and Gen are optional instrumentation sinks threaded
+	// to the query evaluator, the mediator, and the HTML generator. Nil
+	// sinks (the default) disable instrumentation; output is identical
+	// either way.
+	Eval   *obs.EvalMetrics
+	Source *obs.SourceMetrics
+	Gen    *obs.GenMetrics
+	// Trace, when non-nil, records per-stage spans of every build:
+	// build ▸ wrap, build ▸ version ▸ query, build ▸ version ▸
+	// generate. cmd/strudel's -trace flag emits them as JSON Lines.
+	Trace *obs.Tracer
+	// parent is the enclosing span for this build's stage spans,
+	// threaded internally so concurrent version builds nest correctly.
+	parent *obs.Span
 }
 
 func (o *Options) parallelism() int {
@@ -45,7 +60,35 @@ func (o *Options) parallelism() int {
 }
 
 func (o *Options) evalOptions() *struql.Options {
-	return &struql.Options{Parallelism: o.parallelism()}
+	so := &struql.Options{Parallelism: o.parallelism()}
+	if o != nil {
+		so.Metrics = o.Eval
+	}
+	return so
+}
+
+// span opens a stage span: a child of the build's enclosing span when
+// one is set, else a top-level span of the tracer. Nil-safe throughout —
+// with no tracer it returns a nil span and every operation on it is a
+// no-op.
+func (o *Options) span(name string, attrs ...string) *obs.Span {
+	if o == nil {
+		return nil
+	}
+	if o.parent != nil {
+		return o.parent.Child(name, attrs...)
+	}
+	return o.Trace.Start(name, attrs...)
+}
+
+// withParent returns a copy of o whose stage spans nest under s.
+func (o *Options) withParent(s *obs.Span) *Options {
+	if o == nil {
+		return nil
+	}
+	c := *o
+	c.parent = s
+	return &c
 }
 
 // Version is one buildable rendition of the site: a query composition, a
@@ -125,11 +168,19 @@ func Build(spec *Spec) (*BuildResult, error) { return BuildWith(spec, nil) }
 // once warehoused. Results and errors are deterministic: the reported
 // error is always the one of the earliest failing version in spec order.
 func BuildWith(spec *Spec, opts *Options) (*BuildResult, error) {
+	build := opts.span("build", "site", spec.Name)
+	defer build.End()
+	opts = opts.withParent(build)
 	med, err := mediator.New(spec.Sources...)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", spec.Name, err)
 	}
+	if opts != nil {
+		med.Obs = opts.Source
+	}
+	ws := opts.span("wrap")
 	data, err := med.Warehouse()
+	ws.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", spec.Name, err)
 	}
@@ -151,14 +202,18 @@ func BuildWith(spec *Spec, opts *Options) (*BuildResult, error) {
 	errs := make([]error, len(spec.Versions))
 	runGroup := func(idxs []int) {
 		first := idxs[0]
-		vr, err := BuildVersionWith(&spec.Versions[first], data, opts)
+		vspan := opts.span("version", "name", spec.Versions[first].Name)
+		vr, err := BuildVersionWith(&spec.Versions[first], data, opts.withParent(vspan))
+		vspan.End()
 		if err != nil {
 			errs[first] = err
 			return
 		}
 		results[first] = vr
 		for _, i := range idxs[1:] {
-			r, err := RenderVersionWith(&spec.Versions[i], vr.Queries, vr.SiteGraph, opts)
+			vspan := opts.span("version", "name", spec.Versions[i].Name)
+			r, err := RenderVersionWith(&spec.Versions[i], vr.Queries, vr.SiteGraph, opts.withParent(vspan))
+			vspan.End()
 			if err != nil {
 				errs[i] = err
 				return
@@ -202,7 +257,9 @@ func BuildVersionWith(v *Version, data struql.Source, opts *Options) (*VersionRe
 	if err != nil {
 		return nil, err
 	}
+	qs := opts.span("query", "version", v.Name)
 	site, err := struql.EvalSeq(queries, data, opts.evalOptions())
+	qs.End()
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +292,8 @@ func RenderVersionWith(v *Version, queries []*struql.Query, site *graph.Graph, o
 		}
 	}
 
+	gspan := opts.span("generate", "version", v.Name)
+	defer gspan.End()
 	ts := template.NewSet()
 	for name, src := range v.Templates {
 		if err := ts.Add(name, src); err != nil {
@@ -243,6 +302,9 @@ func RenderVersionWith(v *Version, queries []*struql.Query, site *graph.Graph, o
 	}
 	gen := htmlgen.New(site, ts)
 	gen.Parallelism = opts.parallelism()
+	if opts != nil {
+		gen.Obs = opts.Gen
+	}
 	for coll, name := range v.PerCollection {
 		gen.PerCollection[coll] = name
 	}

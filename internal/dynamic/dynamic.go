@@ -29,6 +29,7 @@ import (
 
 	"strudel/internal/graph"
 	"strudel/internal/mediator"
+	"strudel/internal/obs"
 	"strudel/internal/schema"
 	"strudel/internal/struql"
 )
@@ -69,6 +70,10 @@ type Evaluator struct {
 	// Lookahead precomputes linked pages after each page computation.
 	// Set it before serving; it is read without synchronization.
 	Lookahead bool
+	// Obs, when non-nil, receives cache hit/miss, coalesce, and query
+	// counts. Set it before serving (read without synchronization); nil
+	// disables instrumentation.
+	Obs *obs.ServeMetrics
 
 	env *struql.SkolemEnv
 	// deps maps each Skolem function to the attribute labels and
@@ -245,10 +250,16 @@ func (ev *Evaluator) pageIn(ctx context.Context, st *evalState, ref PageRef, loo
 		if pd, ok := st.cache[oid]; ok {
 			st.mu.Unlock()
 			ev.countStat(func(s *Stats) { s.CacheHits++ })
+			if ev.Obs != nil {
+				ev.Obs.PageCacheHits.Inc()
+			}
 			return pd, nil
 		}
 		if c, ok := st.flight[oid]; ok {
 			st.mu.Unlock()
+			if ev.Obs != nil {
+				ev.Obs.Coalesced.Inc()
+			}
 			select {
 			case <-c.done:
 				if c.err == nil {
@@ -266,6 +277,9 @@ func (ev *Evaluator) pageIn(ctx context.Context, st *evalState, ref PageRef, loo
 		c := &flightCall{done: make(chan struct{})}
 		st.flight[oid] = c
 		st.mu.Unlock()
+		if ev.Obs != nil {
+			ev.Obs.PageCacheMisses.Inc()
+		}
 
 		pd, err := ev.compute(ctx, st, ref, oid)
 		st.mu.Lock()
@@ -280,6 +294,9 @@ func (ev *Evaluator) pageIn(ctx context.Context, st *evalState, ref PageRef, loo
 			return nil, err
 		}
 		ev.countStat(func(s *Stats) { s.PagesComputed++ })
+		if ev.Obs != nil {
+			ev.Obs.PagesComputed.Inc()
+		}
 		if lookahead {
 			// Precompute "lookahead" results for reachable pages (§2.5),
 			// one level deep (lookahead=false below stops the recursion).
@@ -314,6 +331,9 @@ func (ev *Evaluator) compute(ctx context.Context, st *evalState, ref PageRef, oi
 			return nil, fmt.Errorf("dynamic: page %s: %w", oid, err)
 		}
 		ev.countStat(func(s *Stats) { s.QueriesRun++ })
+		if ev.Obs != nil {
+			ev.Obs.QueriesRun.Inc()
+		}
 		for ri := range b.Rows {
 			label := e.Label.Lit
 			if e.Label.IsVar {

@@ -16,9 +16,14 @@ type Health struct {
 	reason     string
 	reloads    int
 	failures   int
-	consecFail int
-	lastReload time.Time
-	lastError  time.Time
+	// failedRounds counts degraded windows: it increments only on the
+	// healthy→degraded transition, so a round of backoff retries that
+	// ends in a successful swap counts as one failed round no matter how
+	// many attempts it took.
+	failedRounds int
+	consecFail   int
+	lastReload   time.Time
+	lastError    time.Time
 }
 
 // NewHealth returns a healthy Health.
@@ -29,6 +34,9 @@ func NewHealth() *Health { return &Health{} }
 func (h *Health) SetDegraded(err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if !h.degraded {
+		h.failedRounds++
+	}
 	h.degraded = true
 	h.reason = err.Error()
 	h.failures++
@@ -62,9 +70,13 @@ type HealthStatus struct {
 	// describe the operator's own source files, not request internals, so
 	// exposing them on the ops endpoint is intentional.
 	Reason string `json:"reason,omitempty"`
-	// Reloads and Failures count successful and failed reloads.
+	// Reloads and Failures count successful and failed reload attempts.
 	Reloads  int `json:"reloads"`
 	Failures int `json:"failures"`
+	// FailedRounds counts degraded windows: a run of consecutive failed
+	// attempts ending in a successful reload is one failed round,
+	// however many backoff retries it spans.
+	FailedRounds int `json:"failedRounds"`
 	// ConsecutiveFailures counts failures since the last success; the
 	// reload loop's backoff grows with it.
 	ConsecutiveFailures int `json:"consecutiveFailures"`
@@ -83,6 +95,7 @@ func (h *Health) Snapshot(cachedPages int) HealthStatus {
 		Status:              "ok",
 		Reloads:             h.reloads,
 		Failures:            h.failures,
+		FailedRounds:        h.failedRounds,
 		ConsecutiveFailures: h.consecFail,
 		CachedPages:         cachedPages,
 	}

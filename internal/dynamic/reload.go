@@ -11,6 +11,7 @@ import (
 
 	"strudel/internal/graph"
 	"strudel/internal/mediator"
+	"strudel/internal/obs"
 	"strudel/internal/repo"
 )
 
@@ -51,6 +52,9 @@ type Reloader struct {
 	Logger *log.Logger
 	// OnApply, when set, observes every successful swap (tests hook it).
 	OnApply func(d *mediator.Delta, kept, dropped int)
+	// Obs, when non-nil, receives reload attempt/failure/outcome counters.
+	// Set before Run; nil disables.
+	Obs *obs.ServeMetrics
 
 	med     *mediator.Mediator
 	watched []WatchedSource
@@ -203,6 +207,9 @@ func (r *Reloader) Tick(now time.Time) {
 		if !r.pending[s.Name] {
 			continue
 		}
+		if r.Obs != nil {
+			r.Obs.ReloadAttempts.Inc()
+		}
 		d, err := r.med.Refresh(s.Name)
 		if err != nil {
 			r.fail(now, s.Name, err)
@@ -225,6 +232,11 @@ func (r *Reloader) Tick(now time.Time) {
 	}
 	r.delay = 0
 	r.backoff = time.Time{}
+	if r.Obs != nil {
+		r.Obs.ReloadApplied.Inc()
+		r.Obs.ReloadKept.Add(int64(kept))
+		r.Obs.ReloadDropped.Add(int64(dropped))
+	}
 	if r.OnApply != nil {
 		r.OnApply(delta, kept, dropped)
 	}
@@ -234,7 +246,20 @@ func (r *Reloader) Tick(now time.Time) {
 // fail records a failed reload: mark degraded, keep the source pending,
 // and push the next attempt out by an exponentially growing, jittered
 // delay.
+//
+// Failure accounting distinguishes attempts from rounds: ReloadFailures
+// counts every failed attempt (each backoff retry adds one), while
+// ReloadRoundsFailed counts degraded windows — it is incremented only on
+// the healthy→degraded transition (delay still zero), so a round that
+// takes several retries before a successful swap still counts exactly
+// once, and the next failure after that swap opens a new round.
 func (r *Reloader) fail(now time.Time, source string, err error) {
+	if r.Obs != nil {
+		r.Obs.ReloadFailures.Inc()
+		if r.delay == 0 {
+			r.Obs.ReloadRoundsFailed.Inc()
+		}
+	}
 	if r.hl != nil {
 		r.hl.SetDegraded(fmt.Errorf("source %s: %w", source, err))
 	}

@@ -12,6 +12,7 @@ import (
 
 	"strudel/internal/graph"
 	"strudel/internal/mediator"
+	"strudel/internal/obs"
 	"strudel/internal/schema"
 	"strudel/internal/struql"
 )
@@ -277,6 +278,74 @@ func TestSwapDataKeepsUnaffectedPages(t *testing.T) {
 	kept, dropped = ev.SwapData(struql.NewGraphSource(testData()), nil)
 	if kept != 0 || dropped != 1 {
 		t.Errorf("nil delta: kept %d dropped %d, want 0/1", kept, dropped)
+	}
+}
+
+// TestFailedRoundCountedOncePerDegradedWindow pins the reload failure
+// accounting: a degraded window — consecutive failed attempts ending in
+// a successful swap — counts as ONE failed round, no matter how many
+// backoff retries it spans, while every attempt still counts as a
+// failure. The drill runs two windows of different lengths (3 retries,
+// then 1) with a successful swap between them, so a regression toward
+// per-attempt round counting (rounds == 4) or toward never reopening a
+// round after recovery (rounds == 1) both fail.
+func TestFailedRoundCountedOncePerDegradedWindow(t *testing.T) {
+	version := 0
+	rl, fl, path := newTestReloader(t, func() (*graph.Graph, error) { return pubsGraph(version, 2), nil })
+	if _, err := rl.Warehouse(); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHealth()
+	rl.Attach(nil, h)
+	metrics := &obs.ServeMetrics{}
+	rl.Obs = metrics
+
+	// Window 1: three failed attempts, then recovery.
+	version = 1
+	touchFile(t, path, "gen1")
+	fl.FailNext(3, errInjected)
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		rl.Tick(now)
+		now = now.Add(rl.RetryDelay() + time.Millisecond)
+	}
+	if !h.Degraded() {
+		t.Fatal("window 1: not degraded after three failures")
+	}
+	if got := metrics.ReloadRoundsFailed.Load(); got != 1 {
+		t.Fatalf("window 1: rounds failed = %d, want 1 (attempts: %d)", got, metrics.ReloadFailures.Load())
+	}
+	rl.Tick(now) // recovery swap
+	if h.Degraded() {
+		t.Fatal("window 1: still degraded after successful reload")
+	}
+
+	// Window 2: one failed attempt, then recovery — a NEW round.
+	version = 2
+	touchFile(t, path, "gen2")
+	fl.FailNext(1, errInjected)
+	rl.Tick(now)
+	if got := metrics.ReloadRoundsFailed.Load(); got != 2 {
+		t.Fatalf("window 2: rounds failed = %d, want 2", got)
+	}
+	now = now.Add(rl.RetryDelay() + time.Millisecond)
+	rl.Tick(now)
+
+	if got := metrics.ReloadFailures.Load(); got != 4 {
+		t.Errorf("failed attempts = %d, want 4 (3 + 1)", got)
+	}
+	if got := metrics.ReloadRoundsFailed.Load(); got != 2 {
+		t.Errorf("failed rounds = %d, want 2", got)
+	}
+	if got := metrics.ReloadApplied.Load(); got != 2 {
+		t.Errorf("applied reloads = %d, want 2", got)
+	}
+	s := h.Snapshot(0)
+	if s.FailedRounds != 2 {
+		t.Errorf("healthz failedRounds = %d, want 2", s.FailedRounds)
+	}
+	if s.Failures != 4 {
+		t.Errorf("healthz failures = %d, want 4", s.Failures)
 	}
 }
 

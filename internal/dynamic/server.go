@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"strudel/internal/graph"
+	"strudel/internal/obs"
 	"strudel/internal/template"
 )
 
@@ -53,6 +54,9 @@ type Server struct {
 	Logger *log.Logger
 	// Health is the reload/degradation status reported by /healthz.
 	Health *Health
+	// Obs, when non-nil, receives request counts, latency, in-flight,
+	// shed/timeout/panic counters. Set before Handler; nil disables.
+	Obs *obs.ServeMetrics
 }
 
 // NewServer returns a server over an evaluator and templates.
@@ -107,8 +111,25 @@ func (s *Server) Handler() http.Handler {
 	// /healthz bypasses load shedding and the request deadline so that a
 	// saturated or degraded server can still be probed.
 	root.HandleFunc("/healthz", s.serveHealth)
-	root.Handle("/", s.withShedding(s.withDeadline(pages)))
+	root.Handle("/", s.withShedding(s.withDeadline(s.withMetrics(pages))))
 	return s.withRecovery(root)
+}
+
+// withMetrics counts and times page requests. Identity when Obs is nil.
+func (s *Server) withMetrics(next http.Handler) http.Handler {
+	if s.Obs == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.Obs.Requests.Inc()
+		s.Obs.InFlight.Inc()
+		start := time.Now()
+		defer func() {
+			s.Obs.RequestNanos.Observe(int64(time.Since(start)))
+			s.Obs.InFlight.Dec()
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // withRecovery catches handler panics, logs the stack server-side, and
@@ -117,6 +138,9 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
+				if s.Obs != nil {
+					s.Obs.Panics.Inc()
+				}
 				s.logf("dynamic: panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack())
 				// If the handler already wrote, this is a no-op late
 				// header write; the connection is torn down regardless.
@@ -140,6 +164,9 @@ func (s *Server) withShedding(next http.Handler) http.Handler {
 			defer func() { <-sem }()
 			next.ServeHTTP(w, r)
 		default:
+			if s.Obs != nil {
+				s.Obs.Shed.Inc()
+			}
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server overloaded, retry shortly", http.StatusServiceUnavailable)
 		}
@@ -185,6 +212,9 @@ func (s *Server) servePage(w http.ResponseWriter, r *http.Request, ref PageRef) 
 func (s *Server) failRequest(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
+		if s.Obs != nil {
+			s.Obs.Timeouts.Inc()
+		}
 		s.logf("dynamic: %s: request deadline exceeded: %v", r.URL.Path, err)
 		http.Error(w, "request timed out", http.StatusGatewayTimeout)
 	case errors.Is(err, context.Canceled):

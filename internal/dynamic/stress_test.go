@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"strudel/internal/graph"
+	"strudel/internal/obs"
 	"strudel/internal/schema"
 	"strudel/internal/struql"
 	"strudel/internal/template"
@@ -79,6 +80,8 @@ func TestStressServeUnderFaultyReloads(t *testing.T) {
 	rl.Jitter = 0
 	rl.BackoffMin = time.Millisecond
 	rl.BackoffMax = 4 * time.Millisecond
+	metrics := &obs.ServeMetrics{}
+	rl.Obs = metrics
 	data, err := rl.Warehouse()
 	if err != nil {
 		t.Fatal(err)
@@ -89,6 +92,8 @@ func TestStressServeUnderFaultyReloads(t *testing.T) {
 	srv := NewServer(ev, ts)
 	srv.PerFn["Root"] = "Root"
 	srv.RequestTimeout = 10 * time.Second
+	srv.Obs = metrics
+	ev.Obs = metrics
 	rl.Attach(ev, srv.Health)
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
@@ -206,11 +211,41 @@ func TestStressServeUnderFaultyReloads(t *testing.T) {
 	if degradedWindows == 0 {
 		t.Error("drill never exercised a degraded window")
 	}
-	if _, failed := fl.Calls(); failed < degradedWindows {
+	_, failed := fl.Calls()
+	if failed < degradedWindows {
 		t.Errorf("injected faults: %d failed loads over %d windows", failed, degradedWindows)
 	}
 	if body := readBody1(t, client, hs.URL+"/healthz"); !strings.Contains(body, `"status":"ok"`) {
 		t.Errorf("final healthz: %s", body)
+	}
+
+	// Reload accounting regression: failed ROUNDS count degraded windows
+	// (one per window, however many backoff retries it took to recover),
+	// while failed ATTEMPTS count every injected fault. Before the
+	// transition-based fix, rounds equaled attempts.
+	if got := metrics.ReloadRoundsFailed.Load(); got != int64(degradedWindows) {
+		t.Errorf("reload_rounds_failed = %d, want %d (one per degraded window)", got, degradedWindows)
+	}
+	if got := metrics.ReloadFailures.Load(); got != int64(failed) {
+		t.Errorf("reload_failures = %d, want %d (one per failed attempt)", got, failed)
+	}
+	if hst := srv.Health.Snapshot(ev.CacheSize()); hst.FailedRounds != degradedWindows {
+		t.Errorf("healthz failedRounds = %d, want %d", hst.FailedRounds, degradedWindows)
+	} else if hst.Failures != failed {
+		t.Errorf("healthz failures = %d, want %d", hst.Failures, failed)
+	}
+	if got := metrics.ReloadApplied.Load(); got != rounds {
+		t.Errorf("reload_applied = %d, want %d", got, rounds)
+	}
+	// Serving-side metrics were live during the drill.
+	if metrics.Requests.Load() == 0 || metrics.RequestNanos.Count() == 0 {
+		t.Error("request metrics not recorded during the drill")
+	}
+	if metrics.PagesComputed.Load() == 0 {
+		t.Error("no page computations recorded")
+	}
+	if got := metrics.InFlight.Load(); got != 0 {
+		t.Errorf("in_flight = %d after drain, want 0", got)
 	}
 }
 

@@ -29,8 +29,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"strudel/internal/graph"
+	"strudel/internal/obs"
 	"strudel/internal/template"
 )
 
@@ -58,6 +60,9 @@ type Generator struct {
 	// worker per available CPU, 1 forces sequential generation. Output
 	// bytes and file names are identical at every setting.
 	Parallelism int
+	// Obs, when non-nil, receives page counts and per-wave render
+	// timings. Nil (the default) disables instrumentation.
+	Obs *obs.GenMetrics
 }
 
 // New returns a generator over the site graph and templates.
@@ -270,7 +275,9 @@ func (st *genState) run() error {
 	for len(st.queue) > 0 {
 		wave := st.queue
 		st.queue = nil
+		waveStart := time.Now()
 		results := renderWave(st.g, wave, par)
+		st.g.Obs.RecordWave(len(wave), int64(time.Since(waveStart)))
 		for i, oid := range wave {
 			if results[i].err != nil {
 				// The first failing page in wave order wins, independent

@@ -19,8 +19,10 @@ package mediator
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"strudel/internal/graph"
+	"strudel/internal/obs"
 	"strudel/internal/repo"
 	"strudel/internal/struql"
 )
@@ -42,6 +44,9 @@ type Mediator struct {
 	sources []Source
 	// contributions caches each source's current contribution.
 	contributions map[string]*graph.Graph
+	// Obs, when non-nil, receives per-source load timings and refresh
+	// delta sizes. Set it before Warehouse/Refresh; nil disables.
+	Obs *obs.SourceMetrics
 }
 
 // New returns a mediator over the given sources. Source names must be
@@ -69,16 +74,22 @@ func (m *Mediator) SourceNames() []string {
 	return names
 }
 
-// contribution loads one source and applies its mapping.
+// contribution loads one source and applies its mapping. The recorded
+// load time covers wrapper invocation plus mapping evaluation — the full
+// cost of bringing this source's contribution up to date.
 func (m *Mediator) contribution(s Source) (*graph.Graph, error) {
+	start := time.Now()
 	g, err := s.Load()
 	if err != nil {
+		m.Obs.RecordLoad(int64(time.Since(start)), err)
 		return nil, fmt.Errorf("mediator: source %s: %w", s.Name, err)
 	}
 	if s.Mapping == nil {
+		m.Obs.RecordLoad(int64(time.Since(start)), nil)
 		return g, nil
 	}
 	r, err := struql.Eval(s.Mapping, struql.NewGraphSource(g), nil)
+	m.Obs.RecordLoad(int64(time.Since(start)), err)
 	if err != nil {
 		return nil, fmt.Errorf("mediator: source %s: mapping: %w", s.Name, err)
 	}
@@ -231,7 +242,9 @@ func (m *Mediator) Refresh(name string) (*Delta, error) {
 			return nil, err
 		}
 		m.contributions[name] = c
-		return Diff(old, c), nil
+		d := Diff(old, c)
+		m.Obs.RecordDelta(d.Size())
+		return d, nil
 	}
 	return nil, fmt.Errorf("mediator: unknown source %q", name)
 }

@@ -1,0 +1,181 @@
+// Differential test harness: every example site is built at several
+// parallelism levels with instrumentation on and off, and every
+// configuration must emit byte-identical output. This is the contract
+// that lets instrumentation run in production builds — observing a
+// build can never change it.
+package obs_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"strudel/internal/core"
+	"strudel/internal/obs"
+	"strudel/internal/sites"
+)
+
+// exampleSpecs mirrors the site set under examples/, at sizes small
+// enough to build every configuration quickly but large enough to cross
+// the evaluator's parallel fan-out threshold.
+func exampleSpecs() map[string]*core.Spec {
+	return map[string]*core.Spec{
+		"homepage":  sites.Homepage(30),
+		"cnn":       sites.CNN(80),
+		"orgsite":   sites.OrgSite(120, 7, 13, 16),
+		"bilingual": sites.Bilingual(12),
+	}
+}
+
+type buildOutcome struct {
+	// pages maps version → file → HTML.
+	pages map[string]map[string]string
+	opts  *core.Options
+	wall  time.Duration
+}
+
+func buildConfig(t *testing.T, spec *core.Spec, par int, instrumented bool) buildOutcome {
+	t.Helper()
+	opts := &core.Options{Parallelism: par}
+	if instrumented {
+		opts.Eval = &obs.EvalMetrics{}
+		opts.Source = &obs.SourceMetrics{}
+		opts.Gen = &obs.GenMetrics{}
+		opts.Trace = obs.NewTracer()
+	}
+	start := time.Now()
+	res, err := core.BuildWith(spec, opts)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatalf("build (par=%d, instrumented=%v): %v", par, instrumented, err)
+	}
+	pages := map[string]map[string]string{}
+	for name, vr := range res.Versions {
+		pages[name] = vr.Output.Pages
+	}
+	return buildOutcome{pages: pages, opts: opts, wall: wall}
+}
+
+func diffPages(t *testing.T, label string, want, got map[string]map[string]string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: version count %d, want %d", label, len(got), len(want))
+	}
+	for vname, wantPages := range want {
+		gotPages, ok := got[vname]
+		if !ok {
+			t.Fatalf("%s: version %s missing", label, vname)
+		}
+		if len(gotPages) != len(wantPages) {
+			t.Errorf("%s: version %s: %d pages, want %d", label, vname, len(gotPages), len(wantPages))
+		}
+		for file, html := range wantPages {
+			g, ok := gotPages[file]
+			if !ok {
+				t.Errorf("%s: version %s: page %s missing", label, vname, file)
+				continue
+			}
+			if g != html {
+				t.Errorf("%s: version %s: page %s bytes differ", label, vname, file)
+			}
+		}
+	}
+}
+
+// TestDifferentialBuilds is the harness: for each example site, the
+// baseline (sequential, uninstrumented) output is compared against
+// builds at parallelism 1, 2, and NumCPU, each with instrumentation on
+// and off. All eight configurations must emit identical bytes.
+func TestDifferentialBuilds(t *testing.T) {
+	levels := []int{1, 2, runtime.NumCPU()}
+	for name, spec := range exampleSpecs() {
+		t.Run(name, func(t *testing.T) {
+			base := buildConfig(t, spec, 1, false)
+			for _, par := range levels {
+				for _, instrumented := range []bool{false, true} {
+					label := fmt.Sprintf("par=%d/instrumented=%v", par, instrumented)
+					out := buildConfig(t, spec, par, instrumented)
+					diffPages(t, label, base.pages, out.pages)
+				}
+			}
+		})
+	}
+}
+
+// TestInstrumentedBuildRecords checks the instrumented build actually
+// measures the work it watched: the generator's page counter matches the
+// emitted page count, sources were loaded, and the evaluator ran.
+func TestInstrumentedBuildRecords(t *testing.T) {
+	spec := sites.Homepage(30)
+	out := buildConfig(t, spec, 2, true)
+	totalPages := 0
+	for _, pages := range out.pages {
+		totalPages += len(pages)
+	}
+	if got := out.opts.Gen.Pages.Load(); got != int64(totalPages) {
+		t.Errorf("GenMetrics.Pages = %d, want %d (emitted pages)", got, totalPages)
+	}
+	if out.opts.Gen.WaveNanos.Count() != out.opts.Gen.Waves.Load() {
+		t.Errorf("wave timing count %d != wave count %d",
+			out.opts.Gen.WaveNanos.Count(), out.opts.Gen.Waves.Load())
+	}
+	if got := out.opts.Source.Loads.Load(); got != int64(len(spec.Sources)) {
+		t.Errorf("SourceMetrics.Loads = %d, want %d", got, len(spec.Sources))
+	}
+	if out.opts.Eval.WhereEvals.Load() == 0 {
+		t.Error("EvalMetrics.WhereEvals = 0; evaluation was not observed")
+	}
+	var ops int64
+	for k := 0; k < obs.NumOps; k++ {
+		ops += out.opts.Eval.Ops[k].Load()
+	}
+	if ops == 0 {
+		t.Error("no operator applications recorded")
+	}
+	if out.opts.Eval.PlanMisses.Load() == 0 {
+		t.Error("plan cache recorded no misses; orderConds was not observed")
+	}
+}
+
+// TestTraceSpansNestAndBound checks the build trace: every span closed,
+// children contained in their parents, and — for the sequential build,
+// where stages cannot overlap — the top-level spans sum to no more than
+// the measured wall time.
+func TestTraceSpansNestAndBound(t *testing.T) {
+	for _, par := range []int{1, runtime.NumCPU()} {
+		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
+			out := buildConfig(t, sites.OrgSite(120, 7, 13, 16), par, true)
+			spans := out.opts.Trace.Spans()
+			if len(spans) == 0 {
+				t.Fatal("no spans recorded")
+			}
+			names := map[string]int{}
+			var topLevel time.Duration
+			for _, s := range spans {
+				names[s.Name]++
+				if s.EndNS < 0 {
+					t.Errorf("span %d (%s) never ended", s.ID, s.Name)
+					continue
+				}
+				if s.Parent == -1 {
+					topLevel += s.Dur()
+					continue
+				}
+				p := spans[s.Parent]
+				if s.StartNS < p.StartNS || s.EndNS > p.EndNS {
+					t.Errorf("span %s [%d,%d] escapes parent %s [%d,%d]",
+						s.Name, s.StartNS, s.EndNS, p.Name, p.StartNS, p.EndNS)
+				}
+			}
+			for _, stage := range []string{"build", "wrap", "version", "query", "generate"} {
+				if names[stage] == 0 {
+					t.Errorf("no %q span recorded", stage)
+				}
+			}
+			if par == 1 && topLevel > out.wall {
+				t.Errorf("sequential top-level spans sum to %v > wall time %v", topLevel, out.wall)
+			}
+		})
+	}
+}

@@ -1,0 +1,178 @@
+// Package obs is Strudel's observability layer: monotonic counters,
+// gauges, and histogram buckets safe for concurrent use, span-based
+// tracing of the build pipeline, and an expvar-compatible registry the
+// serving layer exports on its debug listener.
+//
+// The paper evaluates Strudel almost entirely through measurement
+// (§5.1's per-site query and generation times); this package makes the
+// grown system — the parallel build pipeline and the production
+// click-time server — observable the same way, at production traffic.
+//
+// Everything here is stdlib-only and nil-safe: every instrumentation
+// sink is optional, a nil sink turns every record call into a single
+// predictable branch, and no call allocates on the hot path. That is
+// what keeps instrumentation from perturbing the byte-identical
+// determinism guarantees of the build pipeline — the differential test
+// harness (diff_test.go) proves builds with instrumentation on and off
+// emit the same bytes at every parallelism level.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonic, concurrency-safe event counter. The zero
+// value is ready to use. Loads and stores are atomic, so a reader never
+// observes a torn value, and because the count only grows, successive
+// snapshots are monotone.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n is ignored to preserve monotonicity.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a concurrency-safe instantaneous value (e.g. requests in
+// flight). Unlike Counter it can go down. The zero value is ready.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the number of histogram buckets: powers of two from
+// [0,1) up to [2^62, ∞). Bucket i counts observations v with
+// bits.Len64(v) == i, i.e. bucket 0 holds v==0, bucket i holds
+// [2^(i-1), 2^i). 64 buckets cover the full non-negative int64 range,
+// which spans nanosecond latencies from sub-ns to centuries.
+const HistBuckets = 64
+
+// Histogram is a concurrency-safe power-of-two histogram. The zero
+// value is ready. Observations are non-negative int64s (durations in
+// nanoseconds, sizes in rows/bytes); negative values clamp to zero.
+//
+// Every field is an independent monotone atomic, so a concurrent
+// snapshot never observes a torn or decreasing value. Count is derived
+// from the bucket totals rather than stored separately, which makes
+// Count() == sum(buckets) hold in every snapshot by construction.
+type Histogram struct {
+	sum     atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a point-in-time view of a histogram. Each field is
+// individually monotone across successive snapshots of the same
+// histogram; Count is always exactly the sum of Buckets.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [HistBuckets]int64
+}
+
+// Snapshot returns the current bucket counts and sum.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		b := h.buckets[i].Load()
+		s.Buckets[i] = b
+		s.Count += b
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean observed value, or 0 before any observation.
+func (h *Histogram) Mean() float64 {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) from
+// the bucket boundaries: the top of the bucket containing the q-th
+// observation. Coarse (power-of-two resolution) but monotone and cheap.
+func (h *Histogram) Quantile(q float64) int64 {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i, b := range s.Buckets {
+		seen += b
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			if i >= 63 {
+				return int64(^uint64(0) >> 1)
+			}
+			return int64(1) << uint(i)
+		}
+	}
+	return 0
+}
+
+// nonZero returns the snapshot's buckets as a compact map from bucket
+// upper bound to count, omitting empty buckets — the JSON shape
+// /debug/vars serves.
+func (s HistSnapshot) nonZero() map[string]int64 {
+	out := map[string]int64{}
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		out[bucketLabel(i)] = b
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records spans — named, nested time intervals — for one run of
+// the build pipeline (wrap → query → generate → write) or any other
+// staged computation. It is safe for concurrent use: parallel version
+// builds record spans from multiple goroutines.
+//
+// A nil *Tracer is the disabled state: Start returns a nil *Span, and
+// every Span method on nil is a no-op, so call sites need no flag
+// checks and pay nothing when tracing is off.
+type Tracer struct {
+	t0 time.Time
+
+	mu    sync.Mutex
+	spans []SpanRec
+}
+
+// SpanRec is one recorded span. Times are nanoseconds since the
+// tracer's start, so a trace is self-contained and diffable.
+type SpanRec struct {
+	// ID is the span's index in the trace; Parent is the enclosing
+	// span's ID, or -1 for a top-level span.
+	ID     int    `json:"id"`
+	Parent int    `json:"parent"`
+	Name   string `json:"name"`
+	// StartNS/EndNS bound the span in nanoseconds since trace start;
+	// EndNS is -1 while the span is open.
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// Attrs carries span metadata (version name, page counts, ...).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Dur returns the span's duration (0 for open spans).
+func (r SpanRec) Dur() time.Duration {
+	if r.EndNS < 0 {
+		return 0
+	}
+	return time.Duration(r.EndNS - r.StartNS)
+}
+
+// Span is a handle to an open span; End closes it.
+type Span struct {
+	t  *Tracer
+	id int
+}
+
+// NewTracer returns a tracer whose clock starts now.
+func NewTracer() *Tracer { return &Tracer{t0: time.Now()} }
+
+// now returns nanoseconds since trace start.
+func (t *Tracer) now() int64 { return int64(time.Since(t.t0)) }
+
+// Start opens a top-level span. Attrs are alternating key, value
+// strings; a trailing unpaired key is ignored. Nil-safe.
+func (t *Tracer) Start(name string, attrs ...string) *Span {
+	return t.open(name, -1, attrs)
+}
+
+// Child opens a span nested under s. Nil-safe: a child of a nil span is
+// nil.
+func (s *Span) Child(name string, attrs ...string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.open(name, s.id, attrs)
+}
+
+// Annotate adds an attribute to an open (or closed) span. Nil-safe.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	rec := &s.t.spans[s.id]
+	if rec.Attrs == nil {
+		rec.Attrs = map[string]string{}
+	}
+	rec.Attrs[key] = value
+}
+
+func (t *Tracer) open(name string, parent int, attrs []string) *Span {
+	if t == nil {
+		return nil
+	}
+	var m map[string]string
+	if len(attrs) >= 2 {
+		m = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			m[attrs[i]] = attrs[i+1]
+		}
+	}
+	start := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := len(t.spans)
+	t.spans = append(t.spans, SpanRec{
+		ID: id, Parent: parent, Name: name, StartNS: start, EndNS: -1, Attrs: m,
+	})
+	return &Span{t: t, id: id}
+}
+
+// End closes the span. Nil-safe; ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.t.now()
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.t.spans[s.id].EndNS < 0 {
+		s.t.spans[s.id].EndNS = end
+	}
+}
+
+// Spans returns a copy of every recorded span, in start order.
+func (t *Tracer) Spans() []SpanRec {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRec, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// WriteJSON emits the trace as JSON Lines: one event object per span,
+// in start order — the structured form behind cmd/strudel's -trace
+// flag. The schema is documented in docs/OBSERVABILITY.md.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range t.Spans() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSpanNestingAndJSON(t *testing.T) {
+	tr := NewTracer()
+	build := tr.Start("build", "site", "demo")
+	wrap := build.Child("wrap")
+	wrap.End()
+	version := build.Child("version", "name", "internal")
+	q := version.Child("query")
+	q.End()
+	version.End()
+	build.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("recorded %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanRec{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["build"].Parent != -1 {
+		t.Errorf("build parent = %d, want -1", byName["build"].Parent)
+	}
+	if byName["wrap"].Parent != byName["build"].ID {
+		t.Errorf("wrap parent = %d, want build %d", byName["wrap"].Parent, byName["build"].ID)
+	}
+	if byName["query"].Parent != byName["version"].ID {
+		t.Errorf("query parent = %d, want version %d", byName["query"].Parent, byName["version"].ID)
+	}
+	for _, s := range spans {
+		if s.EndNS < 0 {
+			t.Errorf("span %s still open", s.Name)
+		}
+		if s.EndNS < s.StartNS {
+			t.Errorf("span %s ends before it starts", s.Name)
+		}
+		if s.Parent >= 0 {
+			p := spans[s.Parent]
+			if s.StartNS < p.StartNS || s.EndNS > p.EndNS {
+				t.Errorf("span %s [%d,%d] escapes parent %s [%d,%d]",
+					s.Name, s.StartNS, s.EndNS, p.Name, p.StartNS, p.EndNS)
+			}
+		}
+	}
+	if got := byName["build"].Attrs["site"]; got != "demo" {
+		t.Errorf("build attr site = %q, want demo", got)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var rec SpanRec
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("trace line %d does not parse: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Fatalf("trace emitted %d lines, want 4", lines)
+	}
+}
+
+func TestSpanEndIdempotentAndAnnotate(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("work")
+	s.End()
+	first := tr.Spans()[0].EndNS
+	s.End() // second End keeps the first end time
+	if got := tr.Spans()[0].EndNS; got != first {
+		t.Fatalf("second End changed EndNS: %d → %d", first, got)
+	}
+	s.Annotate("outcome", "ok")
+	if got := tr.Spans()[0].Attrs["outcome"]; got != "ok" {
+		t.Fatalf("Annotate after End: attr = %q, want ok", got)
+	}
+}
+
+// TestConcurrentSpans records spans from many goroutines (the parallel
+// build does this) and checks the trace stays structurally sound.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("build")
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := root.Child("version")
+				c := s.Child("query")
+				c.End()
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 1+16*50*2 {
+		t.Fatalf("recorded %d spans, want %d", len(spans), 1+16*50*2)
+	}
+	for _, s := range spans {
+		if s.EndNS < 0 {
+			t.Fatalf("span %d (%s) still open", s.ID, s.Name)
+		}
+		if s.Parent >= len(spans) {
+			t.Fatalf("span %d has out-of-range parent %d", s.ID, s.Parent)
+		}
+	}
+}

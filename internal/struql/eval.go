@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"strudel/internal/graph"
+	"strudel/internal/obs"
 )
 
 // Options tunes evaluation; the zero value is the optimized default.
@@ -23,6 +24,11 @@ type Options struct {
 	// outputs are concatenated in input order, so the binding relation —
 	// and therefore the constructed graph — never depends on scheduling.
 	Parallelism int
+	// Metrics, when non-nil, receives per-operator row counts, cache
+	// hit/miss counters, and worker-utilization counts. Nil (the
+	// default) disables instrumentation at the cost of one branch per
+	// operator application; results are identical either way.
+	Metrics *obs.EvalMetrics
 }
 
 // Result is the outcome of evaluating a query: the constructed graph (new
@@ -145,6 +151,12 @@ type evalCtx struct {
 	reqCtx context.Context
 
 	cache *matcherCache
+	// planCache shares condition-ordering plans across the not(...)
+	// sub-evaluations of one evaluation, which otherwise recompute the
+	// same greedy plan once per candidate row.
+	planCache *planCache
+	// metrics is the optional instrumentation sink (nil = disabled).
+	metrics *obs.EvalMetrics
 }
 
 func newEvalCtx(src Source, opts *Options, env *SkolemEnv) *evalCtx {
@@ -152,13 +164,15 @@ func newEvalCtx(src Source, opts *Options, env *SkolemEnv) *evalCtx {
 		opts = &Options{}
 	}
 	return &evalCtx{
-		src:    src,
-		opts:   opts,
-		env:    env,
-		out:    graph.New(),
-		par:    opts.parallelism(),
-		avgDeg: avgDegree(src),
-		cache:  newMatcherCache(),
+		src:       src,
+		opts:      opts,
+		env:       env,
+		out:       graph.New(),
+		par:       opts.parallelism(),
+		avgDeg:    avgDegree(src),
+		cache:     newMatcherCache(),
+		planCache: newPlanCache(),
+		metrics:   opts.Metrics,
 	}
 }
 
@@ -176,6 +190,8 @@ func (ctx *evalCtx) forkSequential() *evalCtx {
 		suppressPlans: true,
 		reqCtx:        ctx.reqCtx,
 		cache:         ctx.cache,
+		planCache:     ctx.planCache,
+		metrics:       ctx.metrics,
 	}
 }
 
@@ -192,7 +208,7 @@ func (ctx *evalCtx) cancelled() error {
 }
 
 func (ctx *evalCtx) matcher(p *PathExpr) *pathMatcher {
-	return ctx.cache.get(p, ctx.src)
+	return ctx.cache.get(p, ctx.src, ctx.metrics)
 }
 
 func (ctx *evalCtx) evalBlock(blk *Block, parent *Bindings) error {
@@ -249,6 +265,7 @@ func (ctx *evalCtx) evalWhere(conds []Cond, parent *Bindings) (*Bindings, error)
 		return b, nil
 	}
 
+	ctx.metrics.RecordWhere()
 	order, desc, err := ctx.orderConds(conds, parent.Vars)
 	if err != nil {
 		return nil, err
@@ -260,9 +277,13 @@ func (ctx *evalCtx) evalWhere(conds []Cond, parent *Bindings) (*Bindings, error)
 		if err := ctx.cancelled(); err != nil {
 			return nil, err
 		}
+		rowsIn := len(b.Rows)
 		b, err = ctx.applyCond(conds[ci], b)
 		if err != nil {
 			return nil, err
+		}
+		if ctx.metrics != nil {
+			ctx.metrics.RecordOp(opKind(conds[ci]), rowsIn, len(b.Rows))
 		}
 		if len(b.Rows) == 0 {
 			break
@@ -272,9 +293,59 @@ func (ctx *evalCtx) evalWhere(conds []Cond, parent *Bindings) (*Bindings, error)
 	return b, nil
 }
 
+// opKind maps a condition to its obs operator index.
+func opKind(c Cond) int {
+	switch c.(type) {
+	case *MemberCond:
+		return obs.OpMember
+	case *PredCond:
+		return obs.OpPred
+	case *CmpCond:
+		return obs.OpCmp
+	case *NotCond:
+		return obs.OpNot
+	case *EdgeCond:
+		return obs.OpEdge
+	case *PathCond:
+		return obs.OpPath
+	}
+	return -1
+}
+
+// planKey identifies one condition-ordering problem: the conds slice
+// (by first-condition identity plus length — every Cond instance
+// belongs to exactly one condition list, so this pins the slice) and
+// the set of already-bound input variables. Everything else the greedy
+// planner consults (source sizes, avg degree) is fixed for the life of
+// one evaluation, so equal keys always produce equal plans.
+type planKey struct {
+	cond0 Cond
+	n     int
+	bound string
+}
+
+// planCache memoizes condition-ordering plans. Its payoff is not(...)
+// sub-evaluations, which re-plan the same condition list once per
+// candidate row; with the cache the greedy planner (and its per-step
+// description strings) runs once per distinct bound-variable shape.
+type planCache struct {
+	mu sync.Mutex
+	m  map[planKey]planEntry
+}
+
+type planEntry struct {
+	order []int
+	desc  string
+}
+
+func newPlanCache() *planCache { return &planCache{m: map[planKey]planEntry{}} }
+
 // orderConds returns the evaluation order of conditions. With NoReorder it
 // is textual order; otherwise a greedy plan picks, at each step, the ready
 // condition with the lowest estimated cost given the bound variables.
+// Plans are cached per (condition list, bound-variable set); cached
+// plans are exactly what the planner would recompute, so caching never
+// changes evaluation order.
 func (ctx *evalCtx) orderConds(conds []Cond, inputVars []string) ([]int, string, error) {
 	n := len(conds)
 	if ctx.opts.NoReorder {
@@ -284,6 +355,31 @@ func (ctx *evalCtx) orderConds(conds []Cond, inputVars []string) ([]int, string,
 		}
 		return order, "textual", nil
 	}
+	if n == 0 {
+		return nil, "empty", nil
+	}
+	key := planKey{cond0: conds[0], n: n, bound: strings.Join(inputVars, "\x00")}
+	ctx.planCache.mu.Lock()
+	if e, ok := ctx.planCache.m[key]; ok {
+		ctx.planCache.mu.Unlock()
+		ctx.metrics.RecordPlan(true)
+		return e.order, e.desc, nil
+	}
+	ctx.planCache.mu.Unlock()
+	ctx.metrics.RecordPlan(false)
+	order, desc, err := ctx.planConds(conds, inputVars)
+	if err != nil {
+		return nil, "", err
+	}
+	ctx.planCache.mu.Lock()
+	ctx.planCache.m[key] = planEntry{order: order, desc: desc}
+	ctx.planCache.mu.Unlock()
+	return order, desc, nil
+}
+
+// planConds runs the greedy planner once.
+func (ctx *evalCtx) planConds(conds []Cond, inputVars []string) ([]int, string, error) {
+	n := len(conds)
 	bound := map[string]bool{}
 	for _, v := range inputVars {
 		bound[v] = true

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"strudel/internal/graph"
+	"strudel/internal/obs"
 )
 
 // minParallelRows is the relation size below which the per-row operators
@@ -82,9 +83,11 @@ func (ctx *evalCtx) rowMap(rows [][]graph.Value,
 		}
 	}
 	if ctx.par <= 1 || len(rows) < minParallelRows {
+		ctx.metrics.RecordRowMap(1)
 		return fn(0, rows)
 	}
 	bounds := chunkBounds(len(rows), ctx.par)
+	ctx.metrics.RecordRowMap(len(bounds))
 	outs := make([][][]graph.Value, len(bounds))
 	errs := make([]error, len(bounds))
 	var wg sync.WaitGroup
@@ -125,11 +128,12 @@ type matcherCache struct {
 
 func newMatcherCache() *matcherCache { return &matcherCache{m: make(map[string]*pathMatcher)} }
 
-func (c *matcherCache) get(p *PathExpr, src Source) *pathMatcher {
+func (c *matcherCache) get(p *PathExpr, src Source, metrics *obs.EvalMetrics) *pathMatcher {
 	key := p.String()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m, ok := c.m[key]
+	metrics.RecordNFA(ok)
 	if !ok {
 		m = newPathMatcher(p, src)
 		c.m[key] = m

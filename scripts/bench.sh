@@ -1,0 +1,37 @@
+#!/bin/sh
+# bench.sh — run the repository benchmarks and write a machine-readable
+# summary to BENCH_3.json (benchmark name → ns/op, B/op, allocs/op).
+#
+# Usage: sh scripts/bench.sh
+#   BENCHTIME=1x   benchtime passed to go test (default 1x: one
+#                  iteration per benchmark, enough for a CI snapshot)
+#   OUT=BENCH_3.json   output path
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-BENCH_3.json}
+BENCHTIME=${BENCHTIME:-1x}
+
+raw=$(go test -run='^$' -bench=. -benchmem -benchtime "$BENCHTIME" .)
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk '
+BEGIN { printf "{\n"; n = 0 }
+$1 ~ /^Benchmark/ {
+    ns = ""; bytes = "null"; allocs = "null"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    name = $1
+    gsub(/\\/, "\\\\", name)
+    gsub(/"/, "\\\"", name)
+    if (n++) printf ",\n"
+    printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+}
+END { printf "\n}\n" }
+' >"$OUT"
+
+echo "wrote $OUT ($(grep -c 'ns_per_op' "$OUT") benchmarks)"

@@ -26,9 +26,11 @@ link Root() -> "pub" -> Page(x)
 EOF
 
 addr="127.0.0.1:18473"
+debugaddr="127.0.0.1:18474"
 "$workdir/strudel-serve" \
     -data "$workdir/site.ddl" -query "$workdir/site.struql" \
-    -addr "$addr" -reload-interval 200ms -shutdown-timeout 5s \
+    -addr "$addr" -debug-addr "$debugaddr" \
+    -reload-interval 200ms -shutdown-timeout 5s \
     > "$workdir/serve.log" 2>&1 &
 pid=$!
 
@@ -60,6 +62,30 @@ grep -q '"status":"ok"' "$workdir/healthz.json" || {
 
 curl -fsS "http://$addr/" | grep -q "Smoke Site" || {
     echo "serve-smoke: / did not serve the root page" >&2
+    exit 1
+}
+
+# Debug endpoints live on the debug listener ONLY: the production
+# listener must 404 them, the -debug-addr listener must serve them.
+for path in /debug/vars /debug/pprof/; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr$path")
+    if [ "$code" != "404" ]; then
+        echo "serve-smoke: production listener served $path (HTTP $code), want 404" >&2
+        exit 1
+    fi
+done
+curl -fsS "http://$debugaddr/debug/vars" > "$workdir/vars.json" || {
+    echo "serve-smoke: debug listener did not serve /debug/vars" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+}
+grep -q '"strudel"' "$workdir/vars.json" || {
+    echo "serve-smoke: /debug/vars missing strudel metrics:" >&2
+    cat "$workdir/vars.json" >&2
+    exit 1
+}
+curl -fsS "http://$debugaddr/debug/pprof/" | grep -qi "profile" || {
+    echo "serve-smoke: debug listener did not serve pprof index" >&2
     exit 1
 }
 
