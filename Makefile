@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check serve-smoke fuzz-smoke clean
+.PHONY: all build test race vet bench check serve-smoke fuzz-smoke chaos-smoke clean
 
 all: build
 
@@ -38,6 +38,16 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzExtract$$' -fuzztime=$(FUZZTIME) ./internal/wrapper/htmlwrap
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/wrapper/bibtex
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBinary$$' -fuzztime=$(FUZZTIME) ./internal/repo
+	$(GO) test -run='^$$' -fuzz='^FuzzLoadLenient$$' -fuzztime=$(FUZZTIME) ./internal/wrapper/csvrel
+	$(GO) test -run='^$$' -fuzz='^FuzzLoadLenient$$' -fuzztime=$(FUZZTIME) ./internal/wrapper/jsonwrap
+
+# chaos-smoke drives the fault-injection suite: filesystem faults at
+# every publish step across all example sites and parallelism settings,
+# plus corrupted-source lenient builds — once plain, once under the race
+# detector.
+chaos-smoke:
+	$(GO) test -count=1 -run '^TestChaos' .
+	$(GO) test -count=1 -race -run '^TestChaos' .
 
 # check is what CI runs.
 check: vet race

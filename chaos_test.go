@@ -1,0 +1,301 @@
+// Chaos tests for the fail-soft batch pipeline: filesystem faults
+// injected into atomic publication must never leave a partially
+// published site, and lenient builds over corrupted sources must produce
+// deterministic, position-tagged diagnostics at every parallelism.
+package strudel_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"strudel/internal/core"
+	"strudel/internal/diag"
+	"strudel/internal/faultfs"
+	"strudel/internal/fsx"
+	"strudel/internal/graph"
+	"strudel/internal/htmlgen"
+	"strudel/internal/mediator"
+	"strudel/internal/sites"
+	"strudel/internal/wrapper/bibtex"
+	"strudel/internal/wrapper/csvrel"
+	"strudel/internal/wrapper/jsonwrap"
+)
+
+// chaosSpecs builds every example site at a small scale.
+func chaosSpecs() map[string]func() *core.Spec {
+	return map[string]func() *core.Spec{
+		"homepage":  func() *core.Spec { return sites.Homepage(6) },
+		"cnn":       func() *core.Spec { return sites.CNN(10) },
+		"orgsite":   func() *core.Spec { return sites.OrgSite(10, 2, 3, 4) },
+		"bilingual": func() *core.Spec { return sites.Bilingual(4) },
+	}
+}
+
+func chaosParallelisms() []int {
+	pars := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		pars = append(pars, n)
+	}
+	return pars
+}
+
+// readTree reads every file under dir keyed by slash-separated relative
+// path.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	tree := map[string]string{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		tree[filepath.ToSlash(rel)] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func sameTree(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// firstVersion returns the build's first version in sorted name order.
+func firstVersion(res *core.BuildResult) *core.VersionResult {
+	names := make([]string, 0, len(res.Versions))
+	for n := range res.Versions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return res.Versions[names[0]]
+}
+
+// TestChaosPublishAtomicity injects a fault into every write, rename,
+// and directory sync a publication performs — across all example sites
+// and parallelism 1/2/NumCPU — and asserts the published directory is
+// always either the untouched old site or the complete new site,
+// byte-identical to a clean build.
+func TestChaosPublishAtomicity(t *testing.T) {
+	for name, mk := range chaosSpecs() {
+		for _, par := range chaosParallelisms() {
+			res, err := core.BuildWith(mk(), &core.Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s/j%d: %v", name, par, err)
+			}
+			out := firstVersion(res).Output
+
+			base := t.TempDir()
+			golden := filepath.Join(base, "golden")
+			if err := out.Publish(fsx.OS, golden, nil); err != nil {
+				t.Fatalf("%s/j%d: clean publish: %v", name, par, err)
+			}
+			goldenTree := readTree(t, golden)
+			oldTree := map[string]string{"index.html": "OLD GENERATION"}
+
+			// Fault points: every staged page write, the two swap
+			// renames plus rollback, and the final directory sync.
+			nFaults := out.PageCount() + 3
+			for _, kind := range []string{"write", "shortwrite", "rename", "sync"} {
+				for fault := 1; fault <= nFaults; fault++ {
+					dir := filepath.Join(base, "site")
+					if err := os.RemoveAll(dir); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.RemoveAll(dir + ".prev"); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.MkdirAll(dir, 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(filepath.Join(dir, "index.html"), []byte(oldTree["index.html"]), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					ffs := &faultfs.FS{Inner: fsx.OS}
+					switch kind {
+					case "write":
+						ffs.FailWriteN = fault
+					case "shortwrite":
+						ffs.ShortWriteN = fault
+					case "rename":
+						ffs.FailRenameN = fault
+					case "sync":
+						ffs.FailSyncN = fault
+					}
+					err := out.Publish(ffs, dir, nil)
+					got := readTree(t, dir)
+					switch {
+					case err == nil:
+						if !sameTree(got, goldenTree) {
+							t.Fatalf("%s/j%d %s/%d: successful publish differs from clean build", name, par, kind, fault)
+						}
+					case kind == "sync":
+						// The final sync runs after the swap; failure
+						// reports the durability gap but the new site is
+						// in place.
+						if !sameTree(got, goldenTree) && !sameTree(got, oldTree) {
+							t.Fatalf("%s/j%d %s/%d: torn site after sync fault", name, par, kind, fault)
+						}
+					default:
+						if !errors.Is(err, faultfs.ErrInjected) {
+							t.Fatalf("%s/j%d %s/%d: unexpected error %v", name, par, kind, fault, err)
+						}
+						if !sameTree(got, oldTree) {
+							t.Fatalf("%s/j%d %s/%d: failed publish left a partial site (%d files)", name, par, kind, fault, len(got))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// dirtySources returns one corrupted source per wrapper kind; each has
+// clean records surviving around a malformed one.
+func dirtySources() []mediator.Source {
+	dirtyBib := "@article{ok1, title={Fine}, year={1998}}\n" +
+		"@article{broken title={No comma after key}\n" +
+		"@article{ok2, title={Also fine}, year={1997}}\n"
+	dirtyCSV := "id,name\nr1,Good\nthis row is ragged\nr2,AlsoGood\n"
+	dirtyJSON := []byte("[ {\"id\": \"j1\"}, {\"id\": }, {\"id\": \"j2\"} ]")
+	return []mediator.Source{
+		{Name: "chaos-bib",
+			Load: func() (*graph.Graph, error) {
+				return bibtex.Load(dirtyBib, bibtex.Options{Collection: "ChaosBib"})
+			},
+			LoadLenient: func() (*graph.Graph, *diag.Report, error) {
+				g, rep := bibtex.LoadLenient(dirtyBib, "chaos-bib", bibtex.Options{Collection: "ChaosBib"})
+				return g, rep, nil
+			}},
+		{Name: "chaos-csv",
+			Load: func() (*graph.Graph, error) {
+				return csvrel.Load(dirtyCSV, csvrel.Options{Table: "ChaosRows", KeyColumn: "id"})
+			},
+			LoadLenient: func() (*graph.Graph, *diag.Report, error) {
+				return csvrel.LoadLenient(dirtyCSV, "chaos-csv", csvrel.Options{Table: "ChaosRows", KeyColumn: "id"})
+			}},
+		{Name: "chaos-json",
+			Load: func() (*graph.Graph, error) {
+				return jsonwrap.Load("chaosdoc", dirtyJSON, jsonwrap.Options{Collection: "ChaosDocs"})
+			},
+			LoadLenient: func() (*graph.Graph, *diag.Report, error) {
+				g, rep := jsonwrap.LoadLenient("chaosdoc", dirtyJSON, "chaos-json", jsonwrap.Options{Collection: "ChaosDocs"})
+				return g, rep, nil
+			}},
+	}
+}
+
+func diagLines(reports []mediator.SourceReport) []string {
+	var lines []string
+	for _, sr := range reports {
+		for _, d := range sr.Report.Diags {
+			lines = append(lines, d.String())
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestChaosLenientDiagnosticsDeterministic seeds malformed records into
+// every example site, builds leniently at several parallelisms, and
+// asserts the diagnostics are identical position-tagged lines every time
+// and the published site matches the unseeded build byte for byte (the
+// seeded collections are unreferenced by the site queries).
+func TestChaosLenientDiagnosticsDeterministic(t *testing.T) {
+	for name, mk := range chaosSpecs() {
+		var wantDiags []string
+		var wantTree map[string]string
+		for _, par := range chaosParallelisms() {
+			spec := mk()
+			spec.Sources = append(spec.Sources, dirtySources()...)
+			res, err := core.BuildWith(spec, &core.Options{
+				Parallelism: par, Lenient: true, Budget: diag.Unlimited})
+			if err != nil {
+				t.Fatalf("%s/j%d: %v", name, par, err)
+			}
+			lines := diagLines(res.SourceReports)
+			if len(lines) == 0 {
+				t.Fatalf("%s/j%d: seeded corruption produced no diagnostics", name, par)
+			}
+			for _, l := range lines {
+				if l == "" {
+					t.Fatalf("%s/j%d: empty diagnostic line", name, par)
+				}
+			}
+			dir := filepath.Join(t.TempDir(), "site")
+			if err := firstVersion(res).Output.Publish(fsx.OS, dir, nil); err != nil {
+				t.Fatalf("%s/j%d: publish: %v", name, par, err)
+			}
+			tree := readTree(t, dir)
+			if wantDiags == nil {
+				wantDiags, wantTree = lines, tree
+				continue
+			}
+			if len(lines) != len(wantDiags) {
+				t.Fatalf("%s/j%d: diagnostic count varies with parallelism", name, par)
+			}
+			for i := range lines {
+				if lines[i] != wantDiags[i] {
+					t.Fatalf("%s/j%d: diagnostic %d differs: %q vs %q", name, par, i, lines[i], wantDiags[i])
+				}
+			}
+			if !sameTree(tree, wantTree) {
+				t.Fatalf("%s/j%d: published site varies with parallelism", name, par)
+			}
+		}
+
+		// A zero budget over the same dirty sources is a typed failure.
+		spec := mk()
+		spec.Sources = append(spec.Sources, dirtySources()...)
+		_, err := core.BuildWith(spec, &core.Options{Lenient: true})
+		var be *diag.BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("%s: zero budget: err = %v, want *diag.BudgetError", name, err)
+		}
+	}
+}
+
+// TestChaosPageNameInjection: a hostile page name smuggled into an
+// output must fail publication without touching anything outside the
+// staging area.
+func TestChaosPageNameInjection(t *testing.T) {
+	base := t.TempDir()
+	victim := filepath.Join(base, "victim.txt")
+	if err := os.WriteFile(victim, []byte("untouched"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := &htmlgen.Output{Pages: map[string]string{
+		"index.html":    "ok",
+		"../victim.txt": "overwritten",
+	}}
+	dir := filepath.Join(base, "site")
+	err := out.Publish(fsx.OS, dir, nil)
+	var pe *htmlgen.PageNameError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *htmlgen.PageNameError", err)
+	}
+	data, rerr := os.ReadFile(victim)
+	if rerr != nil || string(data) != "untouched" {
+		t.Fatal("page-name escape reached outside the output directory")
+	}
+	if _, serr := os.Stat(dir); !os.IsNotExist(serr) {
+		t.Error("failed publish left the site directory behind")
+	}
+}

@@ -15,14 +15,18 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"strudel/internal/core"
 	"strudel/internal/ddl"
+	"strudel/internal/diag"
+	"strudel/internal/fsx"
 	"strudel/internal/graph"
 	"strudel/internal/mediator"
 	"strudel/internal/obs"
@@ -31,6 +35,19 @@ import (
 	"strudel/internal/wrapper/csvrel"
 	"strudel/internal/wrapper/jsonwrap"
 )
+
+// Exit codes: 0 success, 1 generic/I-O failure, 2 flag misuse, 3 source
+// error budget exceeded, 4 integrity constraint violated.
+const (
+	exitIO          = 1
+	exitUsage       = 2
+	exitBudget      = 3
+	exitConstraints = 4
+)
+
+// errConstraints marks a build whose integrity constraints failed, so
+// main can map it to its own exit code.
+var errConstraints = errors.New("integrity constraints violated")
 
 type stringList []string
 
@@ -48,6 +65,11 @@ func main() {
 	jobs := flag.Int("j", 0, "build parallelism: 0 = one worker per CPU, 1 = sequential (output is identical at any setting)")
 	traceOut := flag.String("trace", "", "write pipeline trace events (JSON Lines: wrap, query, generate, write spans plus a final metrics line) to FILE; - means stderr")
 	queryFile := flag.String("query", "", "StruQL site-definition query file")
+	strict := flag.Bool("strict", false, "fail fast on the first malformed source record instead of skipping within the error budget")
+	maxSrcErrs := flag.String("max-source-errors", "10%", "per-source error budget: a count (\"10\"), a percentage (\"5%\"), or \"all\"")
+	maxRows := flag.Int("max-rows", 0, "abort query evaluation when an intermediate relation exceeds N rows (0 = unlimited)")
+	maxNFA := flag.Int("max-nfa-states", 0, "abort a regular-path search after N visited product states (0 = unlimited)")
+	evalTimeout := flag.Duration("eval-timeout", 0, "wall-clock budget per version's query evaluation (0 = none)")
 	flag.Var(&dataFiles, "data", "data-definition-language file (repeatable)")
 	flag.Var(&bibFiles, "bibtex", "BibTeX file (repeatable)")
 	flag.Var(&csvSpecs, "csv", "CSV table as Table:keyColumn:file (repeatable)")
@@ -59,7 +81,19 @@ func main() {
 	flag.Var(&constraintsList, "constraint", "integrity constraint to check (repeatable)")
 	flag.Parse()
 
-	opts := &core.Options{Parallelism: *jobs}
+	budget, berr := diag.ParseBudget(*maxSrcErrs)
+	if berr != nil {
+		fmt.Fprintln(os.Stderr, "strudel:", berr)
+		os.Exit(exitUsage)
+	}
+	opts := &core.Options{
+		Parallelism:  *jobs,
+		Lenient:      !*strict,
+		Budget:       budget,
+		MaxRows:      *maxRows,
+		MaxNFAStates: *maxNFA,
+		EvalTimeout:  *evalTimeout,
+	}
 	var reg *obs.Registry
 	if *traceOut != "" {
 		opts.Trace = obs.NewTracer()
@@ -87,7 +121,35 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "strudel:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+}
+
+// exitCode maps a build failure to its documented exit code.
+func exitCode(err error) int {
+	var be *diag.BudgetError
+	switch {
+	case errors.As(err, &be):
+		return exitBudget
+	case errors.Is(err, errConstraints):
+		return exitConstraints
+	}
+	return exitIO
+}
+
+// printDiagnostics writes every skip diagnostic of a lenient build to
+// stderr as stable, sorted, position-prefixed lines — one
+// "source:line:col: severity: message" per line, machine-parseable.
+func printDiagnostics(reports []mediator.SourceReport) {
+	var lines []string
+	for _, sr := range reports {
+		for _, d := range sr.Report.Diags {
+			lines = append(lines, d.String())
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, l)
 	}
 }
 
@@ -146,21 +208,40 @@ func buildExample(name string, size int, out string, opts *core.Options) error {
 		return fmt.Errorf("unknown example %q (homepage, cnn, orgsite, bilingual)", name)
 	}
 	res, err := core.BuildWith(spec, opts)
+	if res != nil {
+		printDiagnostics(res.SourceReports)
+	}
 	if err != nil {
 		return err
 	}
-	for name, vr := range res.Versions {
+	names := make([]string, 0, len(res.Versions))
+	for name := range res.Versions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	checksPass := true
+	for _, name := range names {
+		vr := res.Versions[name]
 		dir := filepath.Join(out, name)
+		for i, c := range vr.Checks {
+			fmt.Printf("version %s: constraint %d: %s — %s\n", name, i+1, c.Verdict, c.Reason)
+		}
+		if !vr.ChecksPass {
+			// A violated constraint vetoes publication: the previously
+			// published version directory stays untouched.
+			checksPass = false
+			continue
+		}
 		ws := traceOf(opts).Start("write", "version", name, "dir", dir)
-		err := vr.Output.WriteDir(dir)
+		err := vr.Output.Publish(fsx.OS, dir, nil)
 		ws.End()
 		if err != nil {
 			return err
 		}
 		fmt.Printf("version %s: %s → %s\n", name, vr.Stats, dir)
-		for i, c := range vr.Checks {
-			fmt.Printf("  constraint %d: %s — %s\n", i+1, c.Verdict, c.Reason)
-		}
+	}
+	if !checksPass {
+		return errConstraints
 	}
 	return nil
 }
@@ -177,27 +258,47 @@ func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile 
 	var sources []mediator.Source
 	for _, f := range dataFiles {
 		f := f
-		sources = append(sources, mediator.Source{Name: "ddl:" + f, Load: func() (*graph.Graph, error) {
-			b, err := os.ReadFile(f)
-			if err != nil {
-				return nil, err
-			}
-			doc, err := ddl.Parse(string(b))
-			if err != nil {
-				return nil, err
-			}
-			return doc.Graph, nil
-		}})
+		name := "ddl:" + f
+		sources = append(sources, mediator.Source{Name: name,
+			Load: func() (*graph.Graph, error) {
+				b, err := os.ReadFile(f)
+				if err != nil {
+					return nil, err
+				}
+				doc, err := ddl.Parse(string(b))
+				if err != nil {
+					return nil, err
+				}
+				return doc.Graph, nil
+			},
+			LoadLenient: func() (*graph.Graph, *diag.Report, error) {
+				b, err := os.ReadFile(f)
+				if err != nil {
+					return nil, nil, err
+				}
+				doc, rep := ddl.ParseLenient(string(b), name)
+				return doc.Graph, rep, nil
+			}})
 	}
 	for _, f := range bibFiles {
 		f := f
-		sources = append(sources, mediator.Source{Name: "bib:" + f, Load: func() (*graph.Graph, error) {
-			b, err := os.ReadFile(f)
-			if err != nil {
-				return nil, err
-			}
-			return bibtex.Load(string(b), bibtex.DefaultOptions())
-		}})
+		name := "bib:" + f
+		sources = append(sources, mediator.Source{Name: name,
+			Load: func() (*graph.Graph, error) {
+				b, err := os.ReadFile(f)
+				if err != nil {
+					return nil, err
+				}
+				return bibtex.Load(string(b), bibtex.DefaultOptions())
+			},
+			LoadLenient: func() (*graph.Graph, *diag.Report, error) {
+				b, err := os.ReadFile(f)
+				if err != nil {
+					return nil, nil, err
+				}
+				g, rep := bibtex.LoadLenient(string(b), name, bibtex.DefaultOptions())
+				return g, rep, nil
+			}})
 	}
 	for _, spec := range csvSpecs {
 		parts := strings.SplitN(spec, ":", 3)
@@ -205,27 +306,48 @@ func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile 
 			return fmt.Errorf("-csv wants Table:keyColumn:file, got %q", spec)
 		}
 		table, key, f := parts[0], parts[1], parts[2]
-		sources = append(sources, mediator.Source{Name: "csv:" + f, Load: func() (*graph.Graph, error) {
-			b, err := os.ReadFile(f)
-			if err != nil {
-				return nil, err
-			}
-			return csvrel.Load(string(b), csvrel.Options{Table: table, KeyColumn: key})
-		}})
+		name := "csv:" + f
+		copts := csvrel.Options{Table: table, KeyColumn: key}
+		sources = append(sources, mediator.Source{Name: name,
+			Load: func() (*graph.Graph, error) {
+				b, err := os.ReadFile(f)
+				if err != nil {
+					return nil, err
+				}
+				return csvrel.Load(string(b), copts)
+			},
+			LoadLenient: func() (*graph.Graph, *diag.Report, error) {
+				b, err := os.ReadFile(f)
+				if err != nil {
+					return nil, nil, err
+				}
+				return csvrel.LoadLenient(string(b), name, copts)
+			}})
 	}
 	for _, spec := range jsonFiles {
 		coll, f, ok := strings.Cut(spec, ":")
 		if !ok {
 			return fmt.Errorf("-json wants Collection:file, got %q", spec)
 		}
-		sources = append(sources, mediator.Source{Name: "json:" + f, Load: func() (*graph.Graph, error) {
-			b, err := os.ReadFile(f)
-			if err != nil {
-				return nil, err
-			}
-			return jsonwrap.Load(strings.TrimSuffix(filepath.Base(f), filepath.Ext(f)), b,
-				jsonwrap.Options{Collection: coll})
-		}})
+		name := "json:" + f
+		docName := strings.TrimSuffix(filepath.Base(f), filepath.Ext(f))
+		jopts := jsonwrap.Options{Collection: coll}
+		sources = append(sources, mediator.Source{Name: name,
+			Load: func() (*graph.Graph, error) {
+				b, err := os.ReadFile(f)
+				if err != nil {
+					return nil, err
+				}
+				return jsonwrap.Load(docName, b, jopts)
+			},
+			LoadLenient: func() (*graph.Graph, *diag.Report, error) {
+				b, err := os.ReadFile(f)
+				if err != nil {
+					return nil, nil, err
+				}
+				g, rep := jsonwrap.LoadLenient(docName, b, name, jopts)
+				return g, rep, nil
+			}})
 	}
 	tmpl := map[string]string{}
 	for _, spec := range templates {
@@ -249,23 +371,28 @@ func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile 
 		Constraints:   constraintsList,
 	}
 	res, err := core.BuildWith(&core.Spec{Name: "cli", Sources: sources, Versions: []core.Version{version}}, opts)
+	if res != nil {
+		printDiagnostics(res.SourceReports)
+	}
 	if err != nil {
 		return err
 	}
 	vr := res.Versions["main"]
+	for i, c := range vr.Checks {
+		fmt.Printf("constraint %d: %s — %s\n", i+1, c.Verdict, c.Reason)
+	}
+	if !vr.ChecksPass {
+		// Constraint violations veto publication: the previously
+		// published site stays in place.
+		return errConstraints
+	}
 	ws := traceOf(opts).Start("write", "version", "main", "dir", out)
-	if err := vr.Output.WriteDir(out); err != nil {
+	if err := vr.Output.Publish(fsx.OS, out, nil); err != nil {
 		ws.End()
 		return err
 	}
 	ws.End()
 	fmt.Printf("%s → %s\n", vr.Stats, out)
-	for i, c := range vr.Checks {
-		fmt.Printf("constraint %d: %s — %s\n", i+1, c.Verdict, c.Reason)
-	}
-	if !vr.ChecksPass {
-		return fmt.Errorf("integrity constraints violated")
-	}
 	return nil
 }
 

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"strudel/internal/core"
+	"strudel/internal/diag"
 )
 
 func TestBuildExampleSites(t *testing.T) {
@@ -91,5 +96,100 @@ func TestBuildExplicitErrors(t *testing.T) {
 	}
 	if err := buildExplicit(nil, nil, nil, []string{"noseparator"}, "x", nil, nil, nil, nil, nil, t.TempDir(), nil); err == nil {
 		t.Error("bad json spec should fail")
+	}
+}
+
+func TestBuildExplicitLenientSkipsBadRows(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Row 3 is ragged; lenient mode skips it within the budget.
+	csv := write("people.csv", "id,name\nmff,Mary\nbroken\nds,Dan\n")
+	query := write("site.struql", `
+create Root()
+where People(p)
+link Root() -> "person" -> PersonPage(p)
+{ where p -> "name" -> n link PersonPage(p) -> "name" -> n }
+`)
+	out := filepath.Join(dir, "site")
+	opts := &core.Options{Lenient: true, Budget: diag.Unlimited}
+	err := buildExplicit(nil, nil, []string{"People:id:" + csv}, nil, query,
+		nil, nil, nil, []string{"Root()"}, nil, out, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil || len(entries) == 0 {
+		t.Fatal("no site published")
+	}
+	// Zero budget turns the same input into a budget failure, and the
+	// previously published site survives.
+	err = buildExplicit(nil, nil, []string{"People:id:" + csv}, nil, query,
+		nil, nil, nil, []string{"Root()"}, nil, out, &core.Options{Lenient: true})
+	var be *diag.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *diag.BudgetError", err)
+	}
+	if exitCode(err) != exitBudget {
+		t.Errorf("exit code = %d, want %d", exitCode(err), exitBudget)
+	}
+	after, err := os.ReadDir(out)
+	if err != nil || len(after) != len(entries) {
+		t.Error("failed lenient build disturbed the published site")
+	}
+}
+
+func TestBuildExplicitConstraintVetoKeepsOldSite(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	csv := write("people.csv", "id,name\nmff,Mary\n")
+	query := write("site.struql", `
+create Root()
+where People(p)
+link Root() -> "person" -> PersonPage(p)
+`)
+	out := filepath.Join(dir, "site")
+	ok := buildExplicit(nil, nil, []string{"People:id:" + csv}, nil, query,
+		nil, nil, nil, []string{"Root()"}, nil, out, nil)
+	if ok != nil {
+		t.Fatal(ok)
+	}
+	before, _ := os.ReadFile(filepath.Join(out, "index.html"))
+
+	err := buildExplicit(nil, nil, []string{"People:id:" + csv}, nil, query,
+		nil, nil, nil, []string{"Root()"}, []string{`every PersonPage has "name"`}, out, nil)
+	if !errors.Is(err, errConstraints) {
+		t.Fatalf("err = %v, want errConstraints", err)
+	}
+	if exitCode(err) != exitConstraints {
+		t.Errorf("exit code = %d, want %d", exitCode(err), exitConstraints)
+	}
+	after, rerr := os.ReadFile(filepath.Join(out, "index.html"))
+	if rerr != nil || string(after) != string(before) {
+		t.Error("constraint veto did not leave the published site untouched")
+	}
+}
+
+func TestExitCodeMapping(t *testing.T) {
+	if got := exitCode(errors.New("disk on fire")); got != exitIO {
+		t.Errorf("generic error → %d, want %d", got, exitIO)
+	}
+	wrapped := fmt.Errorf("core: x: %w", &diag.BudgetError{Source: "s"})
+	if got := exitCode(wrapped); got != exitBudget {
+		t.Errorf("budget error → %d, want %d", got, exitBudget)
+	}
+	if got := exitCode(fmt.Errorf("wrap: %w", errConstraints)); got != exitConstraints {
+		t.Errorf("constraint error → %d, want %d", got, exitConstraints)
 	}
 }

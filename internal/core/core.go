@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"strudel/internal/constraints"
+	"strudel/internal/diag"
 	"strudel/internal/graph"
 	"strudel/internal/htmlgen"
 	"strudel/internal/mediator"
@@ -47,6 +49,22 @@ type Options struct {
 	// build ▸ wrap, build ▸ version ▸ query, build ▸ version ▸
 	// generate. cmd/strudel's -trace flag emits them as JSON Lines.
 	Trace *obs.Tracer
+	// Lenient switches source loading to fail-soft: sources with a
+	// lenient loader skip malformed records (collecting position-tagged
+	// diagnostics in BuildResult.SourceReports) and the build fails only
+	// when a source's skips exceed Budget.
+	Lenient bool
+	// Budget bounds skipped records per source in lenient mode. The
+	// zero value allows no skips; diag.Unlimited never fails.
+	Budget diag.Budget
+	// MaxRows and MaxNFAStates bound query evaluation (0 = unlimited);
+	// see struql.Options.
+	MaxRows      int
+	MaxNFAStates int
+	// EvalTimeout is the wall-clock budget for each version's query
+	// evaluation (0 = none). Exceeding any of the three guards fails
+	// the build with a struql.ResourceExhausted error.
+	EvalTimeout time.Duration
 	// parent is the enclosing span for this build's stage spans,
 	// threaded internally so concurrent version builds nest correctly.
 	parent *obs.Span
@@ -63,6 +81,11 @@ func (o *Options) evalOptions() *struql.Options {
 	so := &struql.Options{Parallelism: o.parallelism()}
 	if o != nil {
 		so.Metrics = o.Eval
+		so.MaxRows = o.MaxRows
+		so.MaxNFAStates = o.MaxNFAStates
+		if o.EvalTimeout > 0 {
+			so.Deadline = time.Now().Add(o.EvalTimeout)
+		}
 	}
 	return so
 }
@@ -155,6 +178,9 @@ type VersionResult struct {
 type BuildResult struct {
 	Data     *repo.Indexed
 	Versions map[string]*VersionResult
+	// SourceReports are the per-source skip reports of a lenient build,
+	// in source order; nil in strict mode.
+	SourceReports []mediator.SourceReport
 }
 
 // Build runs the whole pipeline with default (parallel) options.
@@ -179,12 +205,24 @@ func BuildWith(spec *Spec, opts *Options) (*BuildResult, error) {
 		med.Obs = opts.Source
 	}
 	ws := opts.span("wrap")
-	data, err := med.Warehouse()
+	var data *repo.Indexed
+	var reports []mediator.SourceReport
+	if opts != nil && opts.Lenient {
+		data, reports, err = med.WarehouseLenient(opts.Budget)
+	} else {
+		data, err = med.Warehouse()
+	}
 	ws.End()
 	if err != nil {
+		// In lenient mode the reports survive the failure, so callers can
+		// still print every diagnostic the run collected.
+		if reports != nil {
+			return &BuildResult{SourceReports: reports},
+				fmt.Errorf("core: %s: %w", spec.Name, err)
+		}
 		return nil, fmt.Errorf("core: %s: %w", spec.Name, err)
 	}
-	res := &BuildResult{Data: data, Versions: map[string]*VersionResult{}}
+	res := &BuildResult{Data: data, Versions: map[string]*VersionResult{}, SourceReports: reports}
 
 	// Group versions by query composition; group members are version
 	// indexes in spec order.

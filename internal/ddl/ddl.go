@@ -31,8 +31,19 @@ import (
 	"sort"
 	"strings"
 
+	"strudel/internal/diag"
 	"strudel/internal/graph"
 )
+
+// ParseError is a DDL syntax error with its 1-based line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ddl: line %d: %s", e.Line, e.Msg)
+}
 
 // Directives records per-collection default attribute types: collection →
 // attribute → type name ("url" or a file type).
@@ -46,14 +57,77 @@ type Document struct {
 	Directives Directives
 }
 
-// Parse parses DDL source text into a Document. Errors carry 1-based line
-// positions.
+// Parse parses DDL source text into a Document. Errors are *ParseError
+// values carrying 1-based line positions.
 func Parse(src string) (*Document, error) {
 	p := &parser{lex: newLexer(src), doc: &Document{Graph: graph.New(), Directives: Directives{}}}
+	p.out = p.doc
 	if err := p.run(); err != nil {
 		return nil, err
 	}
 	return p.doc, nil
+}
+
+// ParseLenient parses DDL source in fail-soft mode. Each statement is a
+// record; a statement that fails to parse is dropped whole (its partial
+// effects discarded), recorded in the report as a position-tagged
+// diagnostic attributed to source, and parsing resumes at the next
+// statement keyword. The surviving document is exactly what Parse
+// would produce for the input with the dirty statements removed.
+func ParseLenient(src, source string) (*Document, *diag.Report) {
+	p := &parser{lex: newLexer(src), doc: &Document{Graph: graph.New(), Directives: Directives{}}}
+	rep := &diag.Report{}
+	p.next()
+	for p.tok.kind != tokEOF {
+		rep.Records++
+		// Stage each statement so a failed one leaves no partial edges
+		// or memberships behind; directive lookups read the merged doc.
+		p.out = &Document{Graph: graph.New(), Directives: Directives{}}
+		if err := p.statement(); err != nil {
+			line := p.tok.line
+			msg := err.Error()
+			if pe, ok := err.(*ParseError); ok {
+				line, msg = pe.Line, pe.Msg
+			}
+			rep.Skipped++
+			rep.Add(diag.Diagnostic{Source: source, Line: line, Severity: diag.Error,
+				Message: "skipped statement: " + msg})
+			p.resync()
+			continue
+		}
+		p.doc.Graph.Merge(p.out.Graph)
+		for coll, dirs := range p.out.Directives {
+			m := p.doc.Directives[coll]
+			if m == nil {
+				m = map[string]string{}
+				p.doc.Directives[coll] = m
+			}
+			for attr, typ := range dirs {
+				m[attr] = typ
+			}
+		}
+	}
+	return p.doc, rep
+}
+
+// resync discards tokens up to the next statement keyword (or EOF),
+// always making progress.
+func (p *parser) resync() {
+	p.next()
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokIdent && isStmtKeyword(p.tok.text) {
+			return
+		}
+		p.next()
+	}
+}
+
+func isStmtKeyword(s string) bool {
+	switch s {
+	case "collection", "directive", "node", "member", "edge":
+		return true
+	}
+	return false
 }
 
 // MustParse is Parse for tests and embedded literals; it panics on error.
@@ -67,7 +141,8 @@ func MustParse(src string) *Document {
 
 type parser struct {
 	lex *lexer
-	doc *Document
+	doc *Document // accumulated document (directive lookups read here)
+	out *Document // write target: == doc when strict, per-statement stage when lenient
 	tok token
 }
 
@@ -84,7 +159,7 @@ func (p *parser) run() error {
 func (p *parser) next() { p.tok = p.lex.scan() }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("ddl: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+	return &ParseError{Line: p.tok.line, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) expect(kind tokKind, what string) (token, error) {
@@ -122,7 +197,7 @@ func (p *parser) collectionStmt() error {
 	if err != nil {
 		return err
 	}
-	p.doc.Graph.DeclareCollection(name.text)
+	p.out.Graph.DeclareCollection(name.text)
 	_, err = p.expect(tokSemi, "';'")
 	return err
 }
@@ -136,10 +211,10 @@ func (p *parser) directiveStmt() error {
 	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
 		return err
 	}
-	dirs := p.doc.Directives[coll.text]
+	dirs := p.out.Directives[coll.text]
 	if dirs == nil {
 		dirs = map[string]string{}
-		p.doc.Directives[coll.text] = dirs
+		p.out.Directives[coll.text] = dirs
 	}
 	for p.tok.kind != tokRBrace {
 		attr, err := p.expect(tokIdent, "attribute name")
@@ -174,7 +249,7 @@ func (p *parser) nodeStmt() error {
 		return err
 	}
 	oid := graph.OID(oidTok.text)
-	p.doc.Graph.AddNode(oid)
+	p.out.Graph.AddNode(oid)
 	var colls []string
 	if p.tok.kind == tokIdent && p.tok.text == "in" {
 		p.next()
@@ -184,7 +259,7 @@ func (p *parser) nodeStmt() error {
 				return err
 			}
 			colls = append(colls, c.text)
-			p.doc.Graph.AddToCollection(c.text, oid)
+			p.out.Graph.AddToCollection(c.text, oid)
 			if p.tok.kind != tokComma {
 				break
 			}
@@ -204,7 +279,7 @@ func (p *parser) nodeStmt() error {
 			return err
 		}
 		val = p.applyDirectives(colls, attr.text, val)
-		p.doc.Graph.AddEdge(oid, attr.text, val)
+		p.out.Graph.AddEdge(oid, attr.text, val)
 		if _, err := p.expect(tokSemi, "';'"); err != nil {
 			return err
 		}
@@ -242,7 +317,7 @@ func (p *parser) memberStmt() error {
 	if err != nil {
 		return err
 	}
-	p.doc.Graph.AddToCollection(coll.text, graph.OID(oid.text))
+	p.out.Graph.AddToCollection(coll.text, graph.OID(oid.text))
 	_, err = p.expect(tokSemi, "';'")
 	return err
 }
@@ -261,7 +336,7 @@ func (p *parser) edgeStmt() error {
 	if err != nil {
 		return err
 	}
-	p.doc.Graph.AddEdge(graph.OID(from.text), label.text, val)
+	p.out.Graph.AddEdge(graph.OID(from.text), label.text, val)
 	_, err = p.expect(tokSemi, "';'")
 	return err
 }

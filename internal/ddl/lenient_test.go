@@ -1,0 +1,128 @@
+package ddl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseLenientMatchesPrunedStrictParse: the lenient-mode contract —
+// a dirty document parses to exactly what Parse yields for the document
+// with the dirty statements removed, each skip a positioned diagnostic.
+func TestParseLenientMatchesPrunedStrictParse(t *testing.T) {
+	cases := []struct {
+		name        string
+		dirty       string
+		pruned      string
+		wantRecords int
+		wantSkipped int
+		wantLine    int
+		wantMsg     string
+	}{
+		{
+			name: "bad value mid-file",
+			dirty: "collection People;\n" +
+				"node a in People { name \"A\"; }\n" +
+				"node b in People { name }\n" +
+				"node c in People { name \"C\"; }\n",
+			pruned: "collection People;\n" +
+				"node a in People { name \"A\"; }\n" +
+				"node c in People { name \"C\"; }\n",
+			wantRecords: 4,
+			wantSkipped: 1,
+			wantLine:    3,
+			wantMsg:     "expected value",
+		},
+		{
+			name: "unknown statement keyword",
+			dirty: "frobnicate x;\n" +
+				"node a { n 1; }\n",
+			pruned:      "node a { n 1; }\n",
+			wantRecords: 2,
+			wantSkipped: 1,
+			wantLine:    1,
+			wantMsg:     `unknown statement "frobnicate"`,
+		},
+		{
+			name: "bad directive does not half-apply",
+			dirty: "collection People;\n" +
+				"directive People { photo: image; home: bogus; }\n" +
+				"node a in People { photo \"p.png\"; home \"h\"; }\n",
+			// The whole directive statement drops, so photo stays an
+			// untyped string too: statements are atomic.
+			pruned: "collection People;\n" +
+				"node a in People { photo \"p.png\"; home \"h\"; }\n",
+			wantRecords: 3,
+			wantSkipped: 1,
+			wantLine:    2,
+			wantMsg:     `unknown directive type "bogus"`,
+		},
+		{
+			name: "truncated node block at EOF",
+			dirty: "node a { n 1; }\n" +
+				"node b { n ",
+			pruned:      "node a { n 1; }\n",
+			wantRecords: 2,
+			wantSkipped: 1,
+			wantLine:    2,
+			wantMsg:     "expected value",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, rep := ParseLenient(c.dirty, "site.ddl")
+			want, err := Parse(c.pruned)
+			if err != nil {
+				t.Fatalf("strict parse of pruned input: %v", err)
+			}
+			if g, w := Print(got.Graph), Print(want.Graph); g != w {
+				t.Errorf("lenient(dirty) != strict(pruned)\nlenient:\n%s\nstrict:\n%s", g, w)
+			}
+			if rep.Records != c.wantRecords || rep.Skipped != c.wantSkipped {
+				t.Errorf("records=%d skipped=%d, want %d/%d", rep.Records, rep.Skipped, c.wantRecords, c.wantSkipped)
+			}
+			if len(rep.Diags) != 1 {
+				t.Fatalf("diagnostics = %v, want exactly one", rep.Diags)
+			}
+			d := rep.Diags[0]
+			if d.Source != "site.ddl" || d.Line != c.wantLine {
+				t.Errorf("diag = %q, want site.ddl line %d", d.String(), c.wantLine)
+			}
+			if !strings.Contains(d.Message, c.wantMsg) {
+				t.Errorf("diag message = %q, want %q", d.Message, c.wantMsg)
+			}
+		})
+	}
+}
+
+// TestParseLenientKeepsEarlierDirectives: a directive that parsed
+// cleanly still applies to later nodes even after an intervening skip.
+func TestParseLenientKeepsEarlierDirectives(t *testing.T) {
+	src := "directive People { photo: image; }\n" +
+		"junk;\n" +
+		"node a in People { photo \"p.png\"; }\n"
+	doc, rep := ParseLenient(src, "site.ddl")
+	if rep.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1: %v", rep.Skipped, rep.Diags)
+	}
+	out := Print(doc.Graph)
+	if !strings.Contains(out, "image(\"p.png\")") {
+		t.Errorf("directive coercion lost after a skipped statement:\n%s", out)
+	}
+}
+
+// TestParseErrorIsTyped: strict Parse reports *ParseError so callers
+// can recover the position programmatically.
+func TestParseErrorIsTyped(t *testing.T) {
+	_, err := Parse("node a {\n  name ;\n}")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *ParseError", err, err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2 (%v)", pe.Line, err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package diag is Strudel's build-diagnostics layer: position-tagged
+// records of malformed source data, and the error budgets that decide
+// when a fail-soft batch build has seen too much of it.
+//
+// The paper's premise is that a site is *regenerated* from external
+// sources (bibliographies, personnel databases, structured files, §4–5)
+// that the site builder does not control. A single malformed BibTeX
+// entry or CSV row must not abort a build of a million-page site; it
+// must become a Diagnostic — source, line, column, severity, message —
+// that the mediator aggregates and the CLI prints as stable, sorted,
+// machine-parseable lines. A build fails only when a source's skipped
+// records exceed a configured Budget.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// Warning marks degraded-but-usable input (a record was recovered
+	// or partially extracted). Warnings never count against a budget.
+	Warning Severity = iota
+	// Error marks a skipped record: the input was malformed and its
+	// content is absent from the loaded graph. Errors count against the
+	// source's budget.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is one position-tagged report about a source's input.
+type Diagnostic struct {
+	// Source names the data source ("bib:pubs.bib", "csv:people.csv").
+	Source string
+	// Line and Col are 1-based; 0 means unknown.
+	Line, Col int
+	Severity  Severity
+	Message   string
+}
+
+// String renders the diagnostic as one stable, machine-parseable line:
+//
+//	source:line:col: severity: message
+//
+// Unknown positions render as 0, keeping the field count fixed.
+func (d Diagnostic) String() string {
+	return d.Source + ":" + strconv.Itoa(d.Line) + ":" + strconv.Itoa(d.Col) +
+		": " + d.Severity.String() + ": " + d.Message
+}
+
+// Sort orders diagnostics deterministically: by source, then position,
+// then severity (errors before warnings at the same position), then
+// message. Lenient loaders already emit in input order; sorting makes
+// the aggregate of several sources stable regardless of load order.
+func Sort(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Report is the outcome of one lenient load: what was seen, what was
+// skipped, and why.
+type Report struct {
+	// Diags are the recorded diagnostics, in input order.
+	Diags []Diagnostic
+	// Records is the number of records the loader attempted (kept +
+	// skipped). What a "record" is depends on the wrapper: a BibTeX
+	// entry, a CSV row, a JSON array element, a DDL statement, an HTML
+	// page.
+	Records int
+	// Skipped is the number of records dropped as malformed.
+	Skipped int
+}
+
+// Add appends a diagnostic. Nil-safe: a nil report ignores the call, so
+// strict code paths can share lenient plumbing without allocating.
+func (r *Report) Add(d Diagnostic) {
+	if r == nil {
+		return
+	}
+	r.Diags = append(r.Diags, d)
+}
+
+// Errors counts error-severity diagnostics.
+func (r *Report) Errors() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge folds another report into this one.
+func (r *Report) Merge(o *Report) {
+	if r == nil || o == nil {
+		return
+	}
+	r.Diags = append(r.Diags, o.Diags...)
+	r.Records += o.Records
+	r.Skipped += o.Skipped
+}
+
+// Budget bounds how many records a lenient build may skip per source
+// before the build fails. The zero value is the strictest lenient
+// setting: any skipped record exceeds it.
+type Budget struct {
+	// Max is the absolute cap on skipped records; negative means
+	// unlimited.
+	Max int
+	// Percent, when > 0, is an additional cap as a percentage of the
+	// records attempted: skipping is allowed while
+	// skipped*100 <= percent*records.
+	Percent float64
+	// usePercent marks that the budget was given as a percentage, in
+	// which case Max is ignored.
+	usePercent bool
+}
+
+// Unlimited is the no-op budget: skip as much as necessary.
+var Unlimited = Budget{Max: -1}
+
+// ParseBudget parses a -max-source-errors value: an absolute count
+// ("10"), a percentage ("5%", "2.5%"), or "all" for unlimited.
+func ParseBudget(s string) (Budget, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return Unlimited, nil
+	}
+	if p, ok := strings.CutSuffix(s, "%"); ok {
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil || f < 0 || f > 100 {
+			return Budget{}, fmt.Errorf("diag: bad error budget %q: want a percentage in [0,100]", s)
+		}
+		return Budget{Percent: f, usePercent: true}, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return Budget{}, fmt.Errorf("diag: bad error budget %q: want a non-negative count, a percentage, or \"all\"", s)
+	}
+	return Budget{Max: n}, nil
+}
+
+// String renders the budget the way ParseBudget reads it.
+func (b Budget) String() string {
+	if b.usePercent {
+		return strconv.FormatFloat(b.Percent, 'g', -1, 64) + "%"
+	}
+	if b.Max < 0 {
+		return "all"
+	}
+	return strconv.Itoa(b.Max)
+}
+
+// Exceeded reports whether skipping `skipped` of `records` attempted
+// records blows the budget.
+func (b Budget) Exceeded(skipped, records int) bool {
+	if skipped == 0 {
+		return false
+	}
+	if b.usePercent {
+		return float64(skipped)*100 > b.Percent*float64(records)
+	}
+	return b.Max >= 0 && skipped > b.Max
+}
+
+// BudgetError reports that one source skipped more records than its
+// budget allows. It is a typed error so the CLI can map it to a
+// distinct exit code.
+type BudgetError struct {
+	Source  string
+	Skipped int
+	Records int
+	Budget  Budget
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("source %s: %d of %d records malformed, exceeding the error budget (%s)",
+		e.Source, e.Skipped, e.Records, e.Budget)
+}

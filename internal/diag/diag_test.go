@@ -1,0 +1,138 @@
+package diag
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Source: "csv:people.csv", Line: 7, Col: 3, Severity: Error, Message: "row has 2 fields, header has 4"}
+	want := "csv:people.csv:7:3: error: row has 2 fields, header has 4"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	w := Diagnostic{Source: "bib:p.bib", Severity: Warning, Message: "m"}
+	if got, want := w.String(), "bib:p.bib:0:0: warning: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSortOrdersBySourcePositionSeverity(t *testing.T) {
+	ds := []Diagnostic{
+		{Source: "b", Line: 2, Message: "later"},
+		{Source: "a", Line: 9, Message: "z"},
+		{Source: "a", Line: 9, Severity: Error, Message: "a"},
+		{Source: "a", Line: 1, Col: 5, Message: "col5"},
+		{Source: "a", Line: 1, Col: 2, Message: "col2"},
+	}
+	Sort(ds)
+	got := ""
+	for _, d := range ds {
+		got += d.String() + "\n"
+	}
+	want := "a:1:2: warning: col2\n" +
+		"a:1:5: warning: col5\n" +
+		"a:9:0: error: a\n" +
+		"a:9:0: warning: z\n" +
+		"b:2:0: warning: later\n"
+	if got != want {
+		t.Errorf("sorted order:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestReportNilSafety(t *testing.T) {
+	var r *Report
+	r.Add(Diagnostic{Message: "ignored"})
+	if r.Errors() != 0 {
+		t.Error("nil report should count zero errors")
+	}
+	r.Merge(&Report{Records: 3})
+}
+
+func TestReportCounts(t *testing.T) {
+	r := &Report{Records: 10, Skipped: 2}
+	r.Add(Diagnostic{Severity: Error, Message: "bad"})
+	r.Add(Diagnostic{Severity: Warning, Message: "meh"})
+	r.Add(Diagnostic{Severity: Error, Message: "bad2"})
+	if r.Errors() != 2 {
+		t.Errorf("Errors() = %d, want 2", r.Errors())
+	}
+	o := &Report{Records: 5, Skipped: 1, Diags: []Diagnostic{{Message: "x"}}}
+	r.Merge(o)
+	if r.Records != 15 || r.Skipped != 3 || len(r.Diags) != 4 {
+		t.Errorf("after merge: %+v", r)
+	}
+}
+
+func TestParseBudget(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr bool
+		str     string
+	}{
+		{"10", false, "10"},
+		{"0", false, "0"},
+		{"5%", false, "5%"},
+		{"2.5%", false, "2.5%"},
+		{"all", false, "all"},
+		{"", false, "all"},
+		{"-1", true, ""},
+		{"101%", true, ""},
+		{"x", true, ""},
+	}
+	for _, c := range cases {
+		b, err := ParseBudget(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseBudget(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && b.String() != c.str {
+			t.Errorf("ParseBudget(%q).String() = %q, want %q", c.in, b.String(), c.str)
+		}
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	abs := Budget{Max: 2}
+	if abs.Exceeded(2, 100) {
+		t.Error("2 of 100 within Max=2")
+	}
+	if !abs.Exceeded(3, 100) {
+		t.Error("3 of 100 exceeds Max=2")
+	}
+	pct, err := ParseBudget("10%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct.Exceeded(1, 10) {
+		t.Error("1 of 10 is exactly 10%, within budget")
+	}
+	if !pct.Exceeded(2, 10) {
+		t.Error("2 of 10 exceeds 10%")
+	}
+	if Unlimited.Exceeded(1000, 1000) {
+		t.Error("unlimited budget never exceeds")
+	}
+	var zero Budget
+	if !zero.Exceeded(1, 1000) {
+		t.Error("zero budget: any skip exceeds")
+	}
+	if zero.Exceeded(0, 0) {
+		t.Error("no skips never exceeds")
+	}
+}
+
+func TestBudgetErrorIsTyped(t *testing.T) {
+	var err error = &BudgetError{Source: "csv:x", Skipped: 5, Records: 9, Budget: Budget{Max: 2}}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatal("errors.As should find *BudgetError")
+	}
+	msg := err.Error()
+	for _, want := range []string{"csv:x", "5 of 9", "(2)"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q should mention %q", msg, want)
+		}
+	}
+}

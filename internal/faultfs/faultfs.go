@@ -1,0 +1,117 @@
+// Package faultfs is a fault-injecting fsx.FS for chaos testing the
+// batch pipeline: it counts operations and fails the Nth write, rename,
+// or mkdir with a configurable error, optionally committing a short
+// (partial) write first — the crash shapes that turn a naive site
+// writer into a half-published directory.
+//
+// Counters are global across operation kinds per instance and guarded
+// by a mutex, so a parallel WriteDir still trips exactly one injected
+// fault per configured trigger.
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+
+	"strudel/internal/fsx"
+)
+
+// ErrInjected is the default error returned by a triggered fault.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FS wraps an inner fsx.FS with countdown-triggered faults. The zero
+// value with Inner set injects nothing. Each trigger is 1-based: a
+// FailWriteN of 3 fails the third write. A trigger of 0 never fires.
+type FS struct {
+	// Inner is the real filesystem; required.
+	Inner fsx.FS
+	// Err is returned by triggered faults; ErrInjected when nil.
+	Err error
+
+	// FailWriteN fails the Nth WriteFile without writing anything.
+	FailWriteN int
+	// ShortWriteN commits only the first half of the Nth WriteFile's
+	// data, then fails — a torn write, as after ENOSPC or a crash.
+	ShortWriteN int
+	// FailRenameN fails the Nth Rename.
+	FailRenameN int
+	// FailMkdirN fails the Nth MkdirAll.
+	FailMkdirN int
+	// FailSyncN fails the Nth SyncDir.
+	FailSyncN int
+
+	mu      sync.Mutex
+	writes  int
+	renames int
+	mkdirs  int
+	syncs   int
+}
+
+// Writes returns the number of WriteFile calls observed so far.
+func (f *FS) Writes() int { f.mu.Lock(); defer f.mu.Unlock(); return f.writes }
+
+// Renames returns the number of Rename calls observed so far.
+func (f *FS) Renames() int { f.mu.Lock(); defer f.mu.Unlock(); return f.renames }
+
+func (f *FS) fault() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+func (f *FS) MkdirAll(path string, perm fs.FileMode) error {
+	f.mu.Lock()
+	f.mkdirs++
+	trip := f.mkdirs == f.FailMkdirN
+	f.mu.Unlock()
+	if trip {
+		return f.fault()
+	}
+	return f.Inner.MkdirAll(path, perm)
+}
+
+func (f *FS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	f.mu.Lock()
+	f.writes++
+	fail := f.writes == f.FailWriteN
+	short := f.writes == f.ShortWriteN
+	f.mu.Unlock()
+	if fail {
+		return f.fault()
+	}
+	if short {
+		// Commit a truncated prefix, then report failure: the file now
+		// exists with torn contents, as after a crash mid-write.
+		_ = f.Inner.WriteFile(name, data[:len(data)/2], perm)
+		return f.fault()
+	}
+	return f.Inner.WriteFile(name, data, perm)
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	f.renames++
+	trip := f.renames == f.FailRenameN
+	f.mu.Unlock()
+	if trip {
+		return f.fault()
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) RemoveAll(path string) error { return f.Inner.RemoveAll(path) }
+
+func (f *FS) SyncDir(path string) error {
+	f.mu.Lock()
+	f.syncs++
+	trip := f.syncs == f.FailSyncN
+	f.mu.Unlock()
+	if trip {
+		return f.fault()
+	}
+	return f.Inner.SyncDir(path)
+}
+
+func (f *FS) Stat(path string) (fs.FileInfo, error) { return f.Inner.Stat(path) }

@@ -1,0 +1,98 @@
+// Package fsx is the filesystem seam of Strudel's batch pipeline: a
+// small injectable interface over the handful of operations the site
+// writer and the repository need, an os-backed default, and the
+// durable-write helpers (write + fsync, temp-file + rename) that make
+// publication atomic.
+//
+// Production code takes an FS so tests can substitute a fault-injecting
+// implementation (package faultfs) and prove that a crash or I/O error
+// at any point leaves previously published data intact.
+package fsx
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the mutation surface of the batch pipeline. Implementations
+// must be safe for concurrent use by multiple goroutines.
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// WriteFile durably writes data to name: the contents are fsynced
+	// before it returns nil. It does not guarantee atomicity — use
+	// WriteFileAtomic for crash-safe replacement.
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	// Rename atomically renames oldpath to newpath (same filesystem).
+	Rename(oldpath, newpath string) error
+	// RemoveAll removes path and everything below it.
+	RemoveAll(path string) error
+	// SyncDir fsyncs the directory itself, making renames within it
+	// durable. Implementations on filesystems without directory sync
+	// may no-op.
+	SyncDir(path string) error
+	// Stat reports on the named file.
+	Stat(path string) (fs.FileInfo, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// WriteFile writes and fsyncs in one pass; the create-write-sync-close
+// sequence reports the first failure and always closes the handle.
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	switch {
+	case werr != nil:
+		return werr
+	case serr != nil:
+		return serr
+	default:
+		return cerr
+	}
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is not supported everywhere; a sync failure on an
+	// open directory handle is advisory, the close error is not.
+	_ = d.Sync()
+	return d.Close()
+}
+
+func (osFS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+
+// WriteFileAtomic replaces name crash-safely: the data is written and
+// fsynced to a sibling temp file, which is then renamed over name, and
+// the parent directory is synced so the rename itself is durable. A
+// failure at any step leaves either the old contents or the new — never
+// a truncated mix — with the temp file cleaned up on error.
+func WriteFileAtomic(fsys FS, name string, data []byte, perm fs.FileMode) error {
+	tmp := name + ".tmp"
+	if err := fsys.WriteFile(tmp, data, perm); err != nil {
+		fsys.RemoveAll(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		fsys.RemoveAll(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(name))
+}

@@ -1,0 +1,103 @@
+package fsx_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"strudel/internal/faultfs"
+	"strudel/internal/fsx"
+)
+
+func TestWriteFileDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	if err := fsx.OS.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	if err := fsx.WriteFileAtomic(fsx.OS, path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsx.WriteFileAtomic(fsx.OS, path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Errorf("read back %q, want new", got)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("temp file left behind: %v", entries)
+	}
+}
+
+// TestWriteFileAtomicTornWriteKeepsOld proves the point of the helper:
+// a short (torn) write of the replacement never damages the old file.
+func TestWriteFileAtomicTornWriteKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	if err := fsx.WriteFileAtomic(fsx.OS, path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, ffs := range []*faultfs.FS{
+		{Inner: fsx.OS, FailWriteN: 1},
+		{Inner: fsx.OS, ShortWriteN: 1},
+		{Inner: fsx.OS, FailRenameN: 1},
+	} {
+		if err := fsx.WriteFileAtomic(ffs, path, []byte("replacement-that-is-longer"), 0o644); err == nil {
+			t.Fatal("fault injected, want error")
+		}
+		got, err := os.ReadFile(path)
+		if err != nil || string(got) != "precious" {
+			t.Errorf("after faulted replace: %q, %v (want old contents intact)", got, err)
+		}
+		if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+			t.Errorf("temp file not cleaned up: %v", err)
+		}
+	}
+}
+
+func TestFaultFSCountsAndTriggers(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &faultfs.FS{Inner: fsx.OS, FailWriteN: 2}
+	if err := ffs.WriteFile(filepath.Join(dir, "one"), []byte("1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.WriteFile(filepath.Join(dir, "two"), []byte("2"), 0o644); err == nil {
+		t.Fatal("second write should fail")
+	}
+	if err := ffs.WriteFile(filepath.Join(dir, "three"), []byte("3"), 0o644); err != nil {
+		t.Fatalf("third write should succeed: %v", err)
+	}
+	if ffs.Writes() != 3 {
+		t.Errorf("Writes() = %d, want 3", ffs.Writes())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "two")); !os.IsNotExist(err) {
+		t.Error("failed write should not create the file")
+	}
+}
+
+func TestFaultFSShortWriteCommitsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &faultfs.FS{Inner: fsx.OS, ShortWriteN: 1}
+	path := filepath.Join(dir, "torn")
+	if err := ffs.WriteFile(path, []byte("0123456789"), 0o644); err == nil {
+		t.Fatal("short write should report failure")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Errorf("torn file = %q, want first half", got)
+	}
+}

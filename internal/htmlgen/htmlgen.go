@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"html"
 	"os"
+	"path"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -31,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"strudel/internal/fsx"
 	"strudel/internal/graph"
 	"strudel/internal/obs"
 	"strudel/internal/template"
@@ -101,17 +103,75 @@ type Output struct {
 	Contributors map[graph.OID][]graph.OID
 }
 
+// PageNameError reports a page name that cannot be written safely under
+// the output directory.
+type PageNameError struct {
+	Name   string
+	Reason string
+}
+
+func (e *PageNameError) Error() string {
+	return fmt.Sprintf("htmlgen: bad page name %q: %s", e.Name, e.Reason)
+}
+
+// checkPageName rejects names that would land outside the output
+// directory. Slash-separated names are allowed and create subdirectories.
+func checkPageName(name string) error {
+	switch {
+	case name == "":
+		return &PageNameError{Name: name, Reason: "empty"}
+	case strings.ContainsRune(name, '\x00'):
+		return &PageNameError{Name: name, Reason: "contains NUL"}
+	case filepath.IsAbs(name) || strings.HasPrefix(name, "/"):
+		return &PageNameError{Name: name, Reason: "absolute path"}
+	}
+	clean := path.Clean(strings.ReplaceAll(name, "\\", "/"))
+	if clean == "." || clean == ".." || strings.HasPrefix(clean, "../") {
+		return &PageNameError{Name: name, Reason: "escapes the output directory"}
+	}
+	return nil
+}
+
 // WriteDir writes every page into dir, creating it as needed. Pages are
 // partitioned in sorted-name order across a worker pool; when several
 // writes fail, the error reported is the one for the first page in sorted
-// order, so partial-write failures are deterministic.
-func (o *Output) WriteDir(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// order, so partial-write failures are deterministic. Page names are
+// validated first: a name that is empty, absolute, or escapes dir via
+// ".." fails the whole write with a *PageNameError before anything is
+// written; names containing "/" get their subdirectories created.
+func (o *Output) WriteDir(dir string) error { return o.writeDir(fsx.OS, dir) }
+
+// WriteDirFS is WriteDir over an injectable filesystem.
+func (o *Output) WriteDirFS(fsys fsx.FS, dir string) error { return o.writeDir(fsys, dir) }
+
+func (o *Output) writeDir(fsys fsx.FS, dir string) error {
+	names := o.SortedPageNames()
+	// Validate every name and collect subdirectories before touching the
+	// filesystem, so a bad name cannot leave a half-written directory.
+	subdirs := map[string]bool{}
+	for _, name := range names {
+		if err := checkPageName(name); err != nil {
+			return err
+		}
+		if d := filepath.Dir(filepath.FromSlash(name)); d != "." {
+			subdirs[d] = true
+		}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("htmlgen: %w", err)
 	}
-	names := o.SortedPageNames()
+	dirs := make([]string, 0, len(subdirs))
+	for d := range subdirs {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		if err := fsys.MkdirAll(filepath.Join(dir, d), 0o755); err != nil {
+			return fmt.Errorf("htmlgen: %w", err)
+		}
+	}
 	write := func(name string) error {
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(o.Pages[name]), 0o644); err != nil {
+		if err := fsys.WriteFile(filepath.Join(dir, filepath.FromSlash(name)), []byte(o.Pages[name]), 0o644); err != nil {
 			return fmt.Errorf("htmlgen: write %s: %w", name, err)
 		}
 		return nil
@@ -161,6 +221,55 @@ func (o *Output) WriteDir(dir string) error {
 	}
 	if best >= 0 {
 		return errs[best]
+	}
+	return nil
+}
+
+// Publish atomically replaces dir with the generated site. The pages are
+// staged into a sibling temp directory (durable writes), verify — when
+// non-nil — inspects the staged tree (integrity constraints, link checks)
+// and can veto publication, and only then is the staged tree swapped into
+// place with two renames: the previous generation moves to dir+".prev"
+// (kept for rollback) and the stage takes its name. A failure at any
+// step, including mid-swap, leaves dir either untouched or fully new —
+// readers never observe a half-written site. The parent directory is
+// synced after the swap so the publication survives a crash.
+func (o *Output) Publish(fsys fsx.FS, dir string, verify func(stage string) error) error {
+	stage := fmt.Sprintf("%s.tmp-%d", dir, os.Getpid())
+	prev := dir + ".prev"
+	_ = fsys.RemoveAll(stage)
+	if err := o.writeDir(fsys, stage); err != nil {
+		_ = fsys.RemoveAll(stage)
+		return err
+	}
+	if verify != nil {
+		if err := verify(stage); err != nil {
+			_ = fsys.RemoveAll(stage)
+			return fmt.Errorf("htmlgen: publish: verify: %w", err)
+		}
+	}
+	if err := fsys.RemoveAll(prev); err != nil {
+		_ = fsys.RemoveAll(stage)
+		return fmt.Errorf("htmlgen: publish: %w", err)
+	}
+	hadOld := false
+	if _, err := fsys.Stat(dir); err == nil {
+		hadOld = true
+		if err := fsys.Rename(dir, prev); err != nil {
+			_ = fsys.RemoveAll(stage)
+			return fmt.Errorf("htmlgen: publish: %w", err)
+		}
+	}
+	if err := fsys.Rename(stage, dir); err != nil {
+		if hadOld {
+			// Put the previous generation back so dir never vanishes.
+			_ = fsys.Rename(prev, dir)
+		}
+		_ = fsys.RemoveAll(stage)
+		return fmt.Errorf("htmlgen: publish: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(dir)); err != nil {
+		return fmt.Errorf("htmlgen: publish: %w", err)
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"strudel/internal/diag"
 	"strudel/internal/graph"
 	"strudel/internal/obs"
 	"strudel/internal/repo"
@@ -33,6 +34,12 @@ type Source struct {
 	Name string
 	// Load invokes the wrapper and returns the source's graph.
 	Load func() (*graph.Graph, error)
+	// LoadLenient, when non-nil, invokes the wrapper in fail-soft mode:
+	// malformed records are skipped and reported instead of aborting the
+	// load. WarehouseLenient prefers it over Load; sources without one
+	// fall back to Load, a whole-source failure counting as one skipped
+	// record against the budget.
+	LoadLenient func() (*graph.Graph, *diag.Report, error)
 	// Mapping, when non-nil, is the GAV query evaluated over the loaded
 	// graph; its result is the source's contribution to the mediated
 	// graph. A nil mapping contributes the loaded graph unchanged.
@@ -109,6 +116,91 @@ func (m *Mediator) Warehouse() (*repo.Indexed, error) {
 		merged.Merge(c)
 	}
 	return repo.NewIndexed(merged), nil
+}
+
+// SourceReport pairs a source name with the skip report its fail-soft
+// load produced.
+type SourceReport struct {
+	Name   string
+	Report *diag.Report
+}
+
+// contributionLenient is contribution in fail-soft mode. Dirty data
+// never returns an error: sources with a LoadLenient report per-record
+// skips; sources without one degrade a whole-source failure to an empty
+// contribution counted as one skipped record. Errors are reserved for
+// the site author's bugs (a failing mapping query, bad options).
+func (m *Mediator) contributionLenient(s Source) (*graph.Graph, *diag.Report, error) {
+	start := time.Now()
+	rep := &diag.Report{}
+	var g *graph.Graph
+	if s.LoadLenient != nil {
+		var err error
+		g, rep, err = s.LoadLenient()
+		if err != nil {
+			m.Obs.RecordLoad(int64(time.Since(start)), err)
+			return nil, rep, fmt.Errorf("mediator: source %s: %w", s.Name, err)
+		}
+		if rep == nil {
+			rep = &diag.Report{}
+		}
+	} else {
+		var err error
+		g, err = s.Load()
+		if err != nil {
+			m.Obs.RecordLoad(int64(time.Since(start)), err)
+			rep.Records, rep.Skipped = 1, 1
+			rep.Add(diag.Diagnostic{Source: s.Name, Severity: diag.Error,
+				Message: "source failed to load: " + err.Error()})
+			return graph.New(), rep, nil
+		}
+		rep.Records = 1
+	}
+	if s.Mapping == nil {
+		m.Obs.RecordLoad(int64(time.Since(start)), nil)
+		return g, rep, nil
+	}
+	r, err := struql.Eval(s.Mapping, struql.NewGraphSource(g), nil)
+	m.Obs.RecordLoad(int64(time.Since(start)), err)
+	if err != nil {
+		return nil, rep, fmt.Errorf("mediator: source %s: mapping: %w", s.Name, err)
+	}
+	return r.Graph, rep, nil
+}
+
+// WarehouseLenient loads every source in fail-soft mode and merges the
+// surviving contributions. Every source is loaded — even after one
+// fails — so the returned reports always cover the whole source set and
+// a single run surfaces every diagnostic. The build fails (with the
+// first failure, in source order) when a source's skips exceed the
+// budget or a mapping errors; the reports accompany the error.
+func (m *Mediator) WarehouseLenient(budget diag.Budget) (*repo.Indexed, []SourceReport, error) {
+	merged := graph.New()
+	reports := make([]SourceReport, 0, len(m.sources))
+	var firstErr error
+	for _, s := range m.sources {
+		c, rep, err := m.contributionLenient(s)
+		reports = append(reports, SourceReport{Name: s.Name, Report: rep})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if budget.Exceeded(rep.Skipped, rep.Records) {
+			if firstErr == nil {
+				firstErr = &diag.BudgetError{Source: s.Name, Skipped: rep.Skipped,
+					Records: rep.Records, Budget: budget}
+			}
+			continue
+		}
+		m.contributions[s.Name] = c
+		merged.Merge(c)
+	}
+	if firstErr != nil {
+		return nil, reports, firstErr
+	}
+	return repo.NewIndexed(merged), reports, nil
 }
 
 // DataGraph returns the merged graph of the current contributions

@@ -108,6 +108,17 @@ const (
 
 var opNames = [NumOps]string{"member", "pred", "cmp", "not", "edge", "path"}
 
+// Guard kinds for EvalMetrics' resource-guard trip counters, mirroring
+// the StruQL evaluator's guards.
+const (
+	GuardRows = iota
+	GuardNFAStates
+	GuardDeadline
+	NumGuards
+)
+
+var guardNames = [NumGuards]string{"rows", "nfa_states", "deadline"}
+
 // EvalMetrics instruments StruQL evaluation: per-operator application
 // and row counts, NFA-cache (compiled path matchers) and plan-cache
 // hit/miss ratios, and parallel worker utilization. Attach it through
@@ -136,6 +147,10 @@ type EvalMetrics struct {
 	// WhereEvals counts where-clause evaluations (blocks plus not(...)
 	// sub-evaluations).
 	WhereEvals Counter
+	// GuardTrips counts resource-guard trips by guard kind (rows,
+	// NFA states, deadline): how often the evaluator converted a
+	// runaway query into a typed failure.
+	GuardTrips [NumGuards]Counter
 }
 
 // RecordOp records one operator application: kind, rows in, rows out.
@@ -195,6 +210,14 @@ func (m *EvalMetrics) RecordWhere() {
 	m.WhereEvals.Inc()
 }
 
+// RecordGuard counts one resource-guard trip. Nil-safe.
+func (m *EvalMetrics) RecordGuard(kind int) {
+	if m == nil || kind < 0 || kind >= NumGuards {
+		return
+	}
+	m.GuardTrips[kind].Inc()
+}
+
 // Snapshot implements Snapshotter.
 func (m *EvalMetrics) Snapshot() map[string]any {
 	out := map[string]any{
@@ -211,6 +234,9 @@ func (m *EvalMetrics) Snapshot() map[string]any {
 		out["op_"+name+"_applied"] = m.Ops[k].Load()
 		out["op_"+name+"_rows_in"] = m.RowsIn[k].Load()
 		out["op_"+name+"_rows_out"] = m.RowsOut[k].Load()
+	}
+	for k, name := range guardNames {
+		out["guard_"+name+"_trips"] = m.GuardTrips[k].Load()
 	}
 	return out
 }

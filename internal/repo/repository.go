@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"strudel/internal/ddl"
+	"strudel/internal/fsx"
 	"strudel/internal/graph"
 )
 
@@ -17,6 +18,16 @@ import (
 type Repository struct {
 	mu     sync.RWMutex
 	graphs map[string]*Indexed
+	// FS is the filesystem Save and SaveBinary write through; nil uses
+	// the real one. Tests inject fault-carrying implementations here.
+	FS fsx.FS
+}
+
+func (r *Repository) fsys() fsx.FS {
+	if r.FS != nil {
+		return r.FS
+	}
+	return fsx.OS
 }
 
 // NewRepository returns an empty repository.
@@ -62,16 +73,37 @@ func (r *Repository) Drop(name string) bool {
 }
 
 // Save writes every stored graph to dir as <name>.ddl in the
-// data-definition language, the repository's exchange format.
+// data-definition language, the repository's exchange format. Each file
+// is replaced atomically (temp + fsync + rename), so an I/O failure or
+// crash mid-save leaves every previously saved graph readable. Graphs
+// are written in sorted name order, so partial failures are
+// deterministic.
 func (r *Repository) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return r.save(dir, ".ddl", func(ix *Indexed) []byte { return []byte(ddl.Print(ix.Graph())) })
+}
+
+// SaveBinary writes every stored graph to dir as <name>.sgb in the
+// compact binary format, with the same atomic-replacement guarantee as
+// Save.
+func (r *Repository) SaveBinary(dir string) error {
+	return r.save(dir, ".sgb", func(ix *Indexed) []byte { return EncodeBinary(ix.Graph()) })
+}
+
+func (r *Repository) save(dir, ext string, encode func(*Indexed) []byte) error {
+	fsys := r.fsys()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("repo: save: %w", err)
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for name, ix := range r.graphs {
-		path := filepath.Join(dir, sanitizeName(name)+".ddl")
-		if err := os.WriteFile(path, []byte(ddl.Print(ix.Graph())), 0o644); err != nil {
+	names := make([]string, 0, len(r.graphs))
+	for name := range r.graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, sanitizeName(name)+ext)
+		if err := fsx.WriteFileAtomic(fsys, path, encode(r.graphs[name]), 0o644); err != nil {
 			return fmt.Errorf("repo: save %s: %w", name, err)
 		}
 	}
@@ -98,23 +130,6 @@ func (r *Repository) Load(dir string) error {
 			return fmt.Errorf("repo: load %s: %w", ent.Name(), err)
 		}
 		r.Put(strings.TrimSuffix(ent.Name(), ".ddl"), doc.Graph)
-	}
-	return nil
-}
-
-// SaveBinary writes every stored graph to dir as <name>.sgb in the
-// compact binary format.
-func (r *Repository) SaveBinary(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("repo: save: %w", err)
-	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for name, ix := range r.graphs {
-		path := filepath.Join(dir, sanitizeName(name)+".sgb")
-		if err := os.WriteFile(path, EncodeBinary(ix.Graph()), 0o644); err != nil {
-			return fmt.Errorf("repo: save %s: %w", name, err)
-		}
 	}
 	return nil
 }

@@ -4,7 +4,6 @@ import (
 	"strings"
 
 	"strudel/internal/core"
-	"strudel/internal/graph"
 	"strudel/internal/mediator"
 	"strudel/internal/synth"
 	"strudel/internal/wrapper/htmlwrap"
@@ -139,18 +138,16 @@ func cnnTemplateAssignment() map[string]string {
 // templates.
 func CNN(nArticles int) *core.Spec {
 	articles := synth.NewsSite(nArticles)
-	load := func() (*graph.Graph, error) {
-		pages := make([]*htmlwrap.Page, len(articles))
-		internal := map[string]string{}
-		for i, a := range articles {
-			pages[i] = htmlwrap.Extract(a.Name, a.HTML)
-			internal[a.Name+".html"] = a.Name
-		}
-		return htmlwrap.Wrap(pages, htmlwrap.Options{
-			Collection:    "Articles",
-			InternalPages: internal,
-		}), nil
+	docs := make([]htmlwrap.Doc, len(articles))
+	internal := map[string]string{}
+	for i, a := range articles {
+		docs[i] = htmlwrap.Doc{Name: a.Name, Src: a.HTML}
+		internal[a.Name+".html"] = a.Name
 	}
+	articleSource := HTMLSource("articles", docs, htmlwrap.Options{
+		Collection:    "Articles",
+		InternalPages: internal,
+	})
 	mkVersion := func(name, query string) core.Version {
 		return core.Version{
 			Name:      name,
@@ -171,10 +168,8 @@ func CNN(nArticles int) *core.Spec {
 		}
 	}
 	return &core.Spec{
-		Name: "cnn",
-		Sources: []mediator.Source{
-			{Name: "articles", Load: load},
-		},
+		Name:    "cnn",
+		Sources: []mediator.Source{articleSource},
 		Versions: []core.Version{
 			mkVersion("general", CNNQuery),
 			mkVersion("sports", CNNSportsQuery),

@@ -4,19 +4,80 @@ import (
 	"fmt"
 
 	"strudel/internal/ddl"
+	"strudel/internal/diag"
 	"strudel/internal/graph"
 	"strudel/internal/mediator"
+	"strudel/internal/wrapper/bibtex"
+	"strudel/internal/wrapper/csvrel"
+	"strudel/internal/wrapper/htmlwrap"
 )
 
 // DDLSource wraps a data-definition-language document as a mediator
 // source (the "structured files" of §5.1 and Strudel's internal data
-// files).
+// files). The source carries both a strict and a lenient loader, so
+// fail-soft builds skip malformed statements instead of aborting.
 func DDLSource(name, src string) mediator.Source {
-	return mediator.Source{Name: name, Load: func() (*graph.Graph, error) {
-		doc, err := ddl.Parse(src)
-		if err != nil {
-			return nil, fmt.Errorf("source %s: %w", name, err)
-		}
-		return doc.Graph, nil
-	}}
+	return mediator.Source{
+		Name: name,
+		Load: func() (*graph.Graph, error) {
+			doc, err := ddl.Parse(src)
+			if err != nil {
+				return nil, fmt.Errorf("source %s: %w", name, err)
+			}
+			return doc.Graph, nil
+		},
+		LoadLenient: func() (*graph.Graph, *diag.Report, error) {
+			doc, rep := ddl.ParseLenient(src, name)
+			return doc.Graph, rep, nil
+		},
+	}
+}
+
+// BibSource wraps a BibTeX bibliography as a mediator source with strict
+// and lenient loaders.
+func BibSource(name, src string, opts bibtex.Options) mediator.Source {
+	return mediator.Source{
+		Name: name,
+		Load: func() (*graph.Graph, error) {
+			return bibtex.Load(src, opts)
+		},
+		LoadLenient: func() (*graph.Graph, *diag.Report, error) {
+			g, rep := bibtex.LoadLenient(src, name, opts)
+			return g, rep, nil
+		},
+	}
+}
+
+// CSVSource wraps a CSV table as a mediator source with strict and
+// lenient loaders.
+func CSVSource(name, src string, opts csvrel.Options) mediator.Source {
+	return mediator.Source{
+		Name: name,
+		Load: func() (*graph.Graph, error) {
+			return csvrel.Load(src, opts)
+		},
+		LoadLenient: func() (*graph.Graph, *diag.Report, error) {
+			return csvrel.LoadLenient(src, name, opts)
+		},
+	}
+}
+
+// HTMLSource wraps a set of HTML documents as a mediator source with
+// strict and lenient loaders; lenient loading drops pages whose markup
+// is damaged beyond extraction.
+func HTMLSource(name string, docs []htmlwrap.Doc, opts htmlwrap.Options) mediator.Source {
+	return mediator.Source{
+		Name: name,
+		Load: func() (*graph.Graph, error) {
+			pages := make([]*htmlwrap.Page, len(docs))
+			for i, d := range docs {
+				pages[i] = htmlwrap.Extract(d.Name, d.Src)
+			}
+			return htmlwrap.Wrap(pages, opts), nil
+		},
+		LoadLenient: func() (*graph.Graph, *diag.Report, error) {
+			g, rep := htmlwrap.LoadLenient(docs, name, opts)
+			return g, rep, nil
+		},
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"strudel/internal/graph"
 	"strudel/internal/obs"
@@ -29,6 +30,22 @@ type Options struct {
 	// default) disables instrumentation at the cost of one branch per
 	// operator application; results are identical either way.
 	Metrics *obs.EvalMetrics
+	// MaxRows, when positive, caps the binding-relation size: an
+	// operator whose output exceeds it aborts evaluation with a
+	// *ResourceExhausted error. It bounds the memory a cross product or
+	// an unselective condition can consume.
+	MaxRows int
+	// MaxNFAStates, when positive, caps the product-automaton states a
+	// path condition may visit per start node before aborting with a
+	// *ResourceExhausted error. It bounds runaway regular-path closures
+	// over large graphs.
+	MaxNFAStates int
+	// Deadline, when nonzero, is the wall-clock time after which
+	// evaluation aborts with a *ResourceExhausted error. It is polled at
+	// the same points as request-context cancellation (operator
+	// boundaries and bounded row batches), so enforcement latency is a
+	// few dozen row visits, not a whole operator.
+	Deadline time.Time
 }
 
 // Result is the outcome of evaluating a query: the constructed graph (new
@@ -149,6 +166,10 @@ type evalCtx struct {
 	// reqCtx, when non-nil, is polled at operator boundaries and between
 	// row batches so long evaluations can be cancelled mid-query.
 	reqCtx context.Context
+	// Resource guards (zero = unlimited), from Options.
+	maxRows  int
+	maxNFA   int
+	deadline time.Time
 
 	cache *matcherCache
 	// planCache shares condition-ordering plans across the not(...)
@@ -170,6 +191,9 @@ func newEvalCtx(src Source, opts *Options, env *SkolemEnv) *evalCtx {
 		out:       graph.New(),
 		par:       opts.parallelism(),
 		avgDeg:    avgDegree(src),
+		maxRows:   opts.MaxRows,
+		maxNFA:    opts.MaxNFAStates,
+		deadline:  opts.Deadline,
 		cache:     newMatcherCache(),
 		planCache: newPlanCache(),
 		metrics:   opts.Metrics,
@@ -189,6 +213,9 @@ func (ctx *evalCtx) forkSequential() *evalCtx {
 		avgDeg:        ctx.avgDeg,
 		suppressPlans: true,
 		reqCtx:        ctx.reqCtx,
+		maxRows:       ctx.maxRows,
+		maxNFA:        ctx.maxNFA,
+		deadline:      ctx.deadline,
 		cache:         ctx.cache,
 		planCache:     ctx.planCache,
 		metrics:       ctx.metrics,
@@ -196,19 +223,29 @@ func (ctx *evalCtx) forkSequential() *evalCtx {
 }
 
 // cancelled returns a wrapped context error once the request context is
-// done, or nil when no context is attached or it is still live.
+// done, or a *ResourceExhausted once the evaluation deadline has
+// passed; nil while neither guard applies or trips.
 func (ctx *evalCtx) cancelled() error {
-	if ctx.reqCtx == nil {
-		return nil
+	if ctx.reqCtx != nil {
+		if err := ctx.reqCtx.Err(); err != nil {
+			return fmt.Errorf("struql: evaluation cancelled: %w", err)
+		}
 	}
-	if err := ctx.reqCtx.Err(); err != nil {
-		return fmt.Errorf("struql: evaluation cancelled: %w", err)
+	if !ctx.deadline.IsZero() && time.Now().After(ctx.deadline) {
+		ctx.metrics.RecordGuard(obs.GuardDeadline)
+		return &ResourceExhausted{Limit: LimitDeadline}
 	}
 	return nil
 }
 
+// polled reports whether cancelled() can ever return non-nil, i.e.
+// whether rowMap must batch rows between polls.
+func (ctx *evalCtx) polled() bool {
+	return ctx.reqCtx != nil || !ctx.deadline.IsZero()
+}
+
 func (ctx *evalCtx) matcher(p *PathExpr) *pathMatcher {
-	return ctx.cache.get(p, ctx.src, ctx.metrics)
+	return ctx.cache.get(p, ctx.src, ctx.maxNFA, ctx.metrics)
 }
 
 func (ctx *evalCtx) evalBlock(blk *Block, parent *Bindings) error {
@@ -284,6 +321,10 @@ func (ctx *evalCtx) evalWhere(conds []Cond, parent *Bindings) (*Bindings, error)
 		}
 		if ctx.metrics != nil {
 			ctx.metrics.RecordOp(opKind(conds[ci]), rowsIn, len(b.Rows))
+		}
+		if ctx.maxRows > 0 && len(b.Rows) > ctx.maxRows {
+			ctx.metrics.RecordGuard(obs.GuardRows)
+			return nil, &ResourceExhausted{Limit: LimitRows, Used: len(b.Rows), Max: ctx.maxRows}
 		}
 		if len(b.Rows) == 0 {
 			break
@@ -765,7 +806,12 @@ func (ctx *evalCtx) applyPath(c *PathCond, b *Bindings) (*Bindings, error) {
 					continue // paths start at nodes (active-domain semantics)
 				}
 				if toKnown {
-					if m.matches(s.OID(), to) {
+					hit, err := m.matches(s.OID(), to)
+					if err != nil {
+						ctx.metrics.RecordGuard(obs.GuardNFAStates)
+						return nil, err
+					}
+					if hit {
 						nr := cloneRow(row)
 						if bindIfConsistent(nr, fi, s) {
 							out = append(out, nr)
@@ -773,7 +819,12 @@ func (ctx *evalCtx) applyPath(c *PathCond, b *Bindings) (*Bindings, error) {
 					}
 					continue
 				}
-				for _, v := range m.reachableFrom(s.OID()) {
+				vs, err := m.reachable(s.OID())
+				if err != nil {
+					ctx.metrics.RecordGuard(obs.GuardNFAStates)
+					return nil, err
+				}
+				for _, v := range vs {
 					nr := cloneRow(row)
 					if bindIfConsistent(nr, fi, s) && bindIfConsistent(nr, ti, v) {
 						out = append(out, nr)

@@ -61,7 +61,7 @@ const cancelCheckRows = 64
 // never changes the result.
 func (ctx *evalCtx) rowMap(rows [][]graph.Value,
 	fn func(worker int, chunk [][]graph.Value) ([][]graph.Value, error)) ([][]graph.Value, error) {
-	if ctx.reqCtx != nil {
+	if ctx.polled() {
 		inner := fn
 		fn = func(worker int, chunk [][]graph.Value) ([][]graph.Value, error) {
 			var out [][]graph.Value
@@ -128,14 +128,14 @@ type matcherCache struct {
 
 func newMatcherCache() *matcherCache { return &matcherCache{m: make(map[string]*pathMatcher)} }
 
-func (c *matcherCache) get(p *PathExpr, src Source, metrics *obs.EvalMetrics) *pathMatcher {
+func (c *matcherCache) get(p *PathExpr, src Source, maxStates int, metrics *obs.EvalMetrics) *pathMatcher {
 	key := p.String()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m, ok := c.m[key]
 	metrics.RecordNFA(ok)
 	if !ok {
-		m = newPathMatcher(p, src)
+		m = newPathMatcher(p, src, maxStates)
 		c.m[key] = m
 	}
 	return m

@@ -143,25 +143,37 @@ func stateKey(states []int) string {
 type pathMatcher struct {
 	nfa *nfa
 	src Source
+	// maxStates, when positive, caps the product states one BFS may
+	// visit before aborting with *ResourceExhausted.
+	maxStates int
 
 	mu   sync.Mutex
 	memo map[graph.OID][]graph.Value
 }
 
-func newPathMatcher(p *PathExpr, src Source) *pathMatcher {
-	return &pathMatcher{nfa: compileNFA(p), src: src, memo: make(map[graph.OID][]graph.Value)}
+func newPathMatcher(p *PathExpr, src Source, maxStates int) *pathMatcher {
+	return &pathMatcher{nfa: compileNFA(p), src: src, maxStates: maxStates,
+		memo: make(map[graph.OID][]graph.Value)}
 }
 
-// reachableFrom returns every value y such that a path from node start to
+// reachableFrom is reachable for unlimited matchers, which cannot fail.
+func (m *pathMatcher) reachableFrom(start graph.OID) []graph.Value {
+	out, _ := m.reachable(start)
+	return out
+}
+
+// reachable returns every value y such that a path from node start to
 // y matches the expression, via BFS over the product of the graph and the
 // NFA. If the expression matches the empty path, start itself (as a node
 // value) is included. Results are deterministic (sorted by value key).
-func (m *pathMatcher) reachableFrom(start graph.OID) []graph.Value {
+// With maxStates set, a BFS visiting more product states returns a
+// *ResourceExhausted error instead of running away.
+func (m *pathMatcher) reachable(start graph.OID) ([]graph.Value, error) {
 	m.mu.Lock()
 	got, ok := m.memo[start]
 	m.mu.Unlock()
 	if ok {
-		return got
+		return got, nil
 	}
 	type prodState struct {
 		oid graph.OID
@@ -203,6 +215,10 @@ func (m *pathMatcher) reachableFrom(start graph.OID) []graph.Value {
 			if e.To.IsNode() {
 				ps := prodState{oid: e.To.OID(), key: stateKey(nextSet)}
 				if _, ok := visited[ps]; !ok {
+					if m.maxStates > 0 && len(visited) >= m.maxStates {
+						return nil, &ResourceExhausted{Limit: LimitNFAStates,
+							Used: len(visited) + 1, Max: m.maxStates}
+					}
 					visited[ps] = nextSet
 					queue = append(queue, ps)
 				}
@@ -217,17 +233,21 @@ func (m *pathMatcher) reachableFrom(start graph.OID) []graph.Value {
 	m.mu.Lock()
 	m.memo[start] = out
 	m.mu.Unlock()
-	return out
+	return out, nil
 }
 
 // matches reports whether a path from start to target matches.
-func (m *pathMatcher) matches(start graph.OID, target graph.Value) bool {
-	for _, v := range m.reachableFrom(start) {
+func (m *pathMatcher) matches(start graph.OID, target graph.Value) (bool, error) {
+	vs, err := m.reachable(start)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range vs {
 		if v == target {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // singleLabel returns (label, true) when the whole expression is one

@@ -11,11 +11,13 @@
 package bibtex
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"unicode"
 
+	"strudel/internal/diag"
 	"strudel/internal/graph"
 )
 
@@ -56,13 +58,29 @@ type ParseError struct {
 
 func (e *ParseError) Error() string { return fmt.Sprintf("bibtex: line %d: %s", e.Line, e.Msg) }
 
-// Parse parses BibTeX source.
+// Parse parses BibTeX source, failing fast on the first malformed
+// entry.
 func Parse(src string) (*Document, error) {
 	p := &bparser{src: src, line: 1, doc: &Document{Macros: map[string]string{}}}
 	if err := p.run(); err != nil {
 		return nil, err
 	}
 	return p.doc, nil
+}
+
+// ParseLenient parses BibTeX source in fail-soft mode: a malformed
+// @-block is recorded as a position-tagged diagnostic (attributed to
+// source, the name diagnostics carry) and skipped — the parser resyncs
+// at the next '@' — instead of aborting the document. The report counts
+// every @-block attempted; entries of the returned document are exactly
+// those a strict Parse of the hand-pruned input would yield.
+func ParseLenient(src, source string) (*Document, *diag.Report) {
+	rep := &diag.Report{}
+	p := &bparser{src: src, line: 1, doc: &Document{Macros: map[string]string{}},
+		lenient: true, rep: rep, source: source}
+	// A lenient run recovers from every parse error internally.
+	_ = p.run()
+	return p.doc, rep
 }
 
 // MustParse is Parse for tests; it panics on error.
@@ -79,6 +97,11 @@ type bparser struct {
 	pos  int
 	line int
 	doc  *Document
+	// lenient recovers from per-block errors instead of propagating
+	// them; rep receives the diagnostics, attributed to source.
+	lenient bool
+	rep     *diag.Report
+	source  string
 }
 
 func (p *bparser) errf(format string, args ...any) error {
@@ -128,31 +151,57 @@ func (p *bparser) run() error {
 		if p.pos >= len(p.src) {
 			return nil
 		}
-		p.advance() // '@'
-		typ := strings.ToLower(p.ident())
-		if typ == "" {
-			return p.errf("expected entry type after '@'")
+		if err := p.block(); err != nil {
+			if !p.lenient {
+				return err
+			}
+			p.recover(err)
 		}
-		p.skipSpace()
-		open := p.peek()
-		if open != '{' && open != '(' {
-			return p.errf("expected '{' after @%s", typ)
-		}
+	}
+}
+
+// block parses one @...{...} construct.
+func (p *bparser) block() error {
+	if p.rep != nil {
+		p.rep.Records++
+	}
+	p.advance() // '@'
+	typ := strings.ToLower(p.ident())
+	if typ == "" {
+		return p.errf("expected entry type after '@'")
+	}
+	p.skipSpace()
+	open := p.peek()
+	if open != '{' && open != '(' {
+		return p.errf("expected '{' after @%s", typ)
+	}
+	p.advance()
+	switch typ {
+	case "comment", "preamble":
+		return p.skipBalanced(open)
+	case "string":
+		return p.parseMacro(open)
+	default:
+		return p.parseEntry(typ, open)
+	}
+}
+
+// recover records a skipped @-block and resyncs the parser at the next
+// '@'. An '@' inside the broken block's remaining text may start a
+// spurious re-parse; at worst that costs one more diagnostic, never a
+// wrong entry.
+func (p *bparser) recover(err error) {
+	line := p.line
+	msg := err.Error()
+	var pe *ParseError
+	if errors.As(err, &pe) {
+		line, msg = pe.Line, pe.Msg
+	}
+	p.rep.Add(diag.Diagnostic{Source: p.source, Line: line, Severity: diag.Error,
+		Message: "skipped entry: " + msg})
+	p.rep.Skipped++
+	for p.pos < len(p.src) && p.peek() != '@' {
 		p.advance()
-		switch typ {
-		case "comment", "preamble":
-			if err := p.skipBalanced(open); err != nil {
-				return err
-			}
-		case "string":
-			if err := p.parseMacro(open); err != nil {
-				return err
-			}
-		default:
-			if err := p.parseEntry(typ, open); err != nil {
-				return err
-			}
-		}
 	}
 }
 
@@ -427,13 +476,22 @@ func Wrap(doc *Document, opts Options) *graph.Graph {
 	return g
 }
 
-// Load parses and wraps in one step.
+// Load parses and wraps in one step, failing fast on the first
+// malformed entry.
 func Load(src string, opts Options) (*graph.Graph, error) {
 	doc, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	return Wrap(doc, opts), nil
+}
+
+// LoadLenient parses and wraps in fail-soft mode: malformed entries are
+// skipped with position-tagged diagnostics instead of aborting; the
+// surviving entries wrap exactly as Load would wrap the pruned input.
+func LoadLenient(src, source string, opts Options) (*graph.Graph, *diag.Report) {
+	doc, rep := ParseLenient(src, source)
+	return Wrap(doc, opts), rep
 }
 
 func fileType(name string, opts Options) *graph.FileType {

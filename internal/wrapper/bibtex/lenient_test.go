@@ -1,0 +1,97 @@
+package bibtex
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/ddl"
+)
+
+// TestLoadLenientMatchesPrunedStrictLoad: the lenient-mode contract —
+// the fail-soft load of a dirty .bib file equals the strict load of the
+// hand-pruned file, with each dropped entry a positioned diagnostic.
+func TestLoadLenientMatchesPrunedStrictLoad(t *testing.T) {
+	cases := []struct {
+		name        string
+		dirty       string
+		pruned      string
+		wantRecords int
+		wantSkipped int
+		wantLine    int
+		wantMsg     string
+	}{
+		{
+			name: "entry missing its key",
+			dirty: "@article{good1, title = {One}, year = 1997}\n" +
+				"@article{, title = {Broken}}\n" +
+				"@article{good2, title = {Two}, year = 1998}\n",
+			pruned: "@article{good1, title = {One}, year = 1997}\n" +
+				"@article{good2, title = {Two}, year = 1998}\n",
+			wantRecords: 3,
+			wantSkipped: 1,
+			wantLine:    2,
+			wantMsg:     "lacks a citation key",
+		},
+		{
+			name: "unterminated braced value swallows the rest",
+			dirty: "@article{bad, title = {unclosed\n" +
+				"@article{good, title = {Fine}, year = 1997}\n",
+			// A runaway brace consumes to EOF — the '@' of the next
+			// entry is inside the value — so the whole tail is one
+			// skipped record, positioned at EOF.
+			pruned:      "",
+			wantRecords: 1,
+			wantSkipped: 1,
+			wantLine:    3,
+			wantMsg:     "unterminated braced value",
+		},
+		{
+			name: "truncated entry at EOF",
+			dirty: "@misc{ok, note = {fine}}\n" +
+				"@article{k, title = {x}",
+			pruned:      "@misc{ok, note = {fine}}\n",
+			wantRecords: 2,
+			wantSkipped: 1,
+			wantLine:    2,
+			wantMsg:     "unterminated entry",
+		},
+		{
+			name:        "clean file has no diagnostics",
+			dirty:       "@article{a, title = {T}, author = {A and B}}\n",
+			pruned:      "@article{a, title = {T}, author = {A and B}}\n",
+			wantRecords: 1,
+			wantSkipped: 0,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, rep := LoadLenient(c.dirty, "pubs.bib", DefaultOptions())
+			want, err := Load(c.pruned, DefaultOptions())
+			if err != nil {
+				t.Fatalf("strict load of pruned input: %v", err)
+			}
+			if g, w := ddl.Print(got), ddl.Print(want); g != w {
+				t.Errorf("lenient(dirty) != strict(pruned)\nlenient:\n%s\nstrict:\n%s", g, w)
+			}
+			if rep.Records != c.wantRecords || rep.Skipped != c.wantSkipped {
+				t.Errorf("records=%d skipped=%d, want %d/%d", rep.Records, rep.Skipped, c.wantRecords, c.wantSkipped)
+			}
+			if c.wantSkipped == 0 {
+				if len(rep.Diags) != 0 {
+					t.Errorf("unexpected diagnostics: %v", rep.Diags)
+				}
+				return
+			}
+			if len(rep.Diags) != 1 {
+				t.Fatalf("diagnostics = %v, want exactly one", rep.Diags)
+			}
+			d := rep.Diags[0]
+			if d.Source != "pubs.bib" || d.Line != c.wantLine {
+				t.Errorf("diag = %q, want pubs.bib line %d", d.String(), c.wantLine)
+			}
+			if !strings.Contains(d.Message, c.wantMsg) {
+				t.Errorf("diag message = %q, want %q", d.Message, c.wantMsg)
+			}
+		})
+	}
+}

@@ -12,10 +12,13 @@ package csvrel
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 
+	"strudel/internal/diag"
 	"strudel/internal/graph"
 )
 
@@ -35,21 +38,52 @@ type Options struct {
 	URLs []string
 }
 
-// Load parses CSV text (first record is the header) into a data graph.
+// Load parses CSV text (first record is the header) into a data graph,
+// failing fast on the first malformed row.
 func Load(src string, opts Options) (*graph.Graph, error) {
+	g, _, err := load(src, opts, "", nil)
+	return g, err
+}
+
+// LoadLenient parses CSV text in fail-soft mode: a row with a CSV
+// syntax error or a field count different from the header is skipped,
+// recorded in the report as a position-tagged diagnostic attributed to
+// source, and the load continues. The surviving graph is exactly what
+// Load would produce for the hand-pruned input (rows keep their key-
+// or position-derived oids: position counts only kept rows). Errors are
+// reserved for configuration problems (a missing Options.Table).
+func LoadLenient(src, source string, opts Options) (*graph.Graph, *diag.Report, error) {
+	rep := &diag.Report{}
+	g, _, err := load(src, opts, source, rep)
+	return g, rep, err
+}
+
+// load is the shared loader; a nil report means strict mode.
+func load(src string, opts Options, source string, rep *diag.Report) (*graph.Graph, int, error) {
 	if opts.Table == "" {
-		return nil, fmt.Errorf("csvrel: Options.Table is required")
+		return nil, 0, fmt.Errorf("csvrel: Options.Table is required")
 	}
+	lenient := rep != nil
 	r := csv.NewReader(strings.NewReader(src))
 	r.TrimLeadingSpace = true
-	records, err := r.ReadAll()
+	// Field counts are checked against the header below so a short row
+	// yields a skip (lenient) or a positioned error (strict), not the
+	// reader's ErrFieldCount against the previous record's width.
+	r.FieldsPerRecord = -1
+
+	header, err := r.Read()
 	if err != nil {
-		return nil, fmt.Errorf("csvrel: table %s: %w", opts.Table, err)
+		if rep != nil {
+			rep.Records++
+			rep.Skipped++
+			rep.Add(diag.Diagnostic{Source: source, Line: 1, Severity: diag.Error,
+				Message: "missing or malformed header row"})
+		}
+		if lenient {
+			return graph.New(), 0, nil
+		}
+		return nil, 0, fmt.Errorf("csvrel: table %s: missing header row", opts.Table)
 	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("csvrel: table %s: missing header row", opts.Table)
-	}
-	header := records[0]
 	keyIdx := -1
 	for i, h := range header {
 		if h == opts.KeyColumn && opts.KeyColumn != "" {
@@ -57,21 +91,60 @@ func Load(src string, opts Options) (*graph.Graph, error) {
 		}
 	}
 	if opts.KeyColumn != "" && keyIdx < 0 {
-		return nil, fmt.Errorf("csvrel: table %s: key column %q not in header %v", opts.Table, opts.KeyColumn, header)
+		if lenient {
+			rep.Records++
+			rep.Skipped++
+			rep.Add(diag.Diagnostic{Source: source, Line: 1, Severity: diag.Error,
+				Message: fmt.Sprintf("key column %q not in header %v", opts.KeyColumn, header)})
+			return graph.New(), 0, nil
+		}
+		return nil, 0, fmt.Errorf("csvrel: table %s: key column %q not in header %v", opts.Table, opts.KeyColumn, header)
 	}
 	g := graph.New()
 	g.DeclareCollection(opts.Table)
-	for rowNum, rec := range records[1:] {
+	kept := 0
+	for rowNum := 0; ; rowNum++ {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if rep != nil {
+			rep.Records++
+		}
+		if err != nil {
+			line, col := rowNum+2, 0
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				line, col = pe.Line, pe.Column
+			}
+			if !lenient {
+				return nil, 0, fmt.Errorf("csvrel: table %s: %w", opts.Table, err)
+			}
+			rep.Skipped++
+			rep.Add(diag.Diagnostic{Source: source, Line: line, Col: col, Severity: diag.Error,
+				Message: "skipped row: " + csvErrMessage(err)})
+			continue
+		}
 		if len(rec) != len(header) {
-			return nil, fmt.Errorf("csvrel: table %s: row %d has %d fields, header has %d",
-				opts.Table, rowNum+1, len(rec), len(header))
+			line, col := r.FieldPos(0)
+			if !lenient {
+				// The same positioned error the reader would have raised
+				// had it enforced the header's width itself.
+				return nil, 0, fmt.Errorf("csvrel: table %s: %w", opts.Table,
+					&csv.ParseError{StartLine: line, Line: line, Column: col, Err: csv.ErrFieldCount})
+			}
+			rep.Skipped++
+			rep.Add(diag.Diagnostic{Source: source, Line: line, Severity: diag.Error,
+				Message: fmt.Sprintf("skipped row: %d fields, header has %d", len(rec), len(header))})
+			continue
 		}
 		var oid graph.OID
 		if keyIdx >= 0 {
 			oid = RowOID(opts.Table, rec[keyIdx])
 		} else {
-			oid = RowOID(opts.Table, strconv.Itoa(rowNum))
+			oid = RowOID(opts.Table, strconv.Itoa(kept))
 		}
+		kept++
 		g.AddToCollection(opts.Table, oid)
 		for i, cell := range rec {
 			cell = strings.TrimSpace(cell)
@@ -82,7 +155,18 @@ func Load(src string, opts Options) (*graph.Graph, error) {
 			g.AddEdge(oid, col, cellValue(col, cell, opts))
 		}
 	}
-	return g, nil
+	return g, kept, nil
+}
+
+// csvErrMessage strips the reader's position prefix ("record on line
+// N: ...") so the diagnostic, which carries the position itself, does
+// not repeat it.
+func csvErrMessage(err error) string {
+	var pe *csv.ParseError
+	if errors.As(err, &pe) {
+		return pe.Err.Error()
+	}
+	return err.Error()
 }
 
 // RowOID names the object for a row of a table.

@@ -1,0 +1,49 @@
+package csvrel
+
+import (
+	"testing"
+
+	"strudel/internal/ddl"
+)
+
+// FuzzLoadLenient feeds the fail-soft loader arbitrary table text: it
+// must never panic, never return an error (the table name is valid),
+// keep its counters consistent, be deterministic, and agree with the
+// strict loader whenever the strict loader succeeds.
+func FuzzLoadLenient(f *testing.F) {
+	seeds := []string{
+		"id,name\n1,Alice\n2,Bob\n",
+		"id,name\n1,Alice\n2,Bob,extra\n",
+		"id,name\n1,\"unterminated\n",
+		"id,name\n1,Al\"ice\"\n",
+		"",
+		"id\n\n1\n",
+		"a,b\n\"q\"\"q\",2\n",
+		"id,name\r\n1,Alice\r\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	opts := Options{Table: "t", KeyColumn: "id"}
+	f.Fuzz(func(t *testing.T, src string) {
+		g1, rep1, err := LoadLenient(src, "f.csv", opts)
+		if err != nil {
+			t.Fatalf("lenient load errored: %v", err)
+		}
+		if rep1.Skipped > rep1.Records || rep1.Skipped < 0 {
+			t.Fatalf("inconsistent report: %+v", rep1)
+		}
+		g2, rep2, _ := LoadLenient(src, "f.csv", opts)
+		if ddl.Print(g1) != ddl.Print(g2) || len(rep1.Diags) != len(rep2.Diags) {
+			t.Fatalf("nondeterministic lenient load for %q", src)
+		}
+		if strict, serr := Load(src, opts); serr == nil {
+			if rep1.Skipped != 0 {
+				t.Fatalf("strict load clean but lenient skipped %d: %q", rep1.Skipped, src)
+			}
+			if ddl.Print(g1) != ddl.Print(strict) {
+				t.Fatalf("lenient and strict disagree on clean input %q", src)
+			}
+		}
+	})
+}

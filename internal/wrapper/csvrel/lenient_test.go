@@ -1,0 +1,138 @@
+package csvrel
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/ddl"
+)
+
+// TestLoadLenientMatchesPrunedStrictLoad is the lenient-mode contract:
+// loading a dirty table fail-soft yields exactly the graph a strict
+// load of the hand-pruned table would, with every dropped row recorded
+// as a position-tagged diagnostic.
+func TestLoadLenientMatchesPrunedStrictLoad(t *testing.T) {
+	keyed := Options{Table: "emp", KeyColumn: "id"}
+	keyless := Options{Table: "emp"}
+	cases := []struct {
+		name        string
+		dirty       string
+		pruned      string
+		opts        Options
+		wantRecords int
+		wantSkipped int
+		wantDiags   []string // substrings, one per diagnostic, in sorted order
+	}{
+		{
+			name:        "ragged row dropped",
+			dirty:       "id,name\n1,Alice\n2,Bob,extra\n3,Carol\n",
+			pruned:      "id,name\n1,Alice\n3,Carol\n",
+			opts:        keyed,
+			wantRecords: 3,
+			wantSkipped: 1,
+			wantDiags:   []string{"emp.csv:3:0: error: skipped row: 3 fields, header has 2"},
+		},
+		{
+			name:        "short row dropped",
+			dirty:       "id,name,dept\n1,Alice,R11\n2,Bob\n",
+			pruned:      "id,name,dept\n1,Alice,R11\n",
+			opts:        keyed,
+			wantRecords: 2,
+			wantSkipped: 1,
+			wantDiags:   []string{"emp.csv:3:0: error: skipped row: 2 fields, header has 3"},
+		},
+		{
+			name:        "keyless rows renumber to match pruned input",
+			dirty:       "a,b\n1,2\nbad,row,extra\n3,4\n",
+			pruned:      "a,b\n1,2\n3,4\n",
+			opts:        keyless,
+			wantRecords: 3,
+			wantSkipped: 1,
+			wantDiags:   []string{"skipped row: 3 fields, header has 2"},
+		},
+		{
+			name:        "unterminated quote at end of table",
+			dirty:       "id,name\n1,Alice\n2,\"Bo\nb\n",
+			pruned:      "id,name\n1,Alice\n",
+			opts:        keyed,
+			wantRecords: 2,
+			wantSkipped: 1,
+			wantDiags:   []string{`extraneous or missing " in quoted-field`},
+		},
+		{
+			name:        "clean table has no diagnostics",
+			dirty:       "id,name\n1,Alice\n2,Bob\n",
+			pruned:      "id,name\n1,Alice\n2,Bob\n",
+			opts:        keyed,
+			wantRecords: 2,
+			wantSkipped: 0,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, rep, err := LoadLenient(c.dirty, "emp.csv", c.opts)
+			if err != nil {
+				t.Fatalf("LoadLenient: %v", err)
+			}
+			want, err := Load(c.pruned, c.opts)
+			if err != nil {
+				t.Fatalf("strict load of pruned input: %v", err)
+			}
+			if g, w := ddl.Print(got), ddl.Print(want); g != w {
+				t.Errorf("lenient(dirty) != strict(pruned)\nlenient:\n%s\nstrict:\n%s", g, w)
+			}
+			if rep.Records != c.wantRecords || rep.Skipped != c.wantSkipped {
+				t.Errorf("records=%d skipped=%d, want %d/%d", rep.Records, rep.Skipped, c.wantRecords, c.wantSkipped)
+			}
+			if len(rep.Diags) != len(c.wantDiags) {
+				t.Fatalf("diagnostics = %v, want %d of them", rep.Diags, len(c.wantDiags))
+			}
+			for i, wantSub := range c.wantDiags {
+				if got := rep.Diags[i].String(); !strings.Contains(got, wantSub) {
+					t.Errorf("diag[%d] = %q, want it to contain %q", i, got, wantSub)
+				}
+			}
+		})
+	}
+}
+
+// TestLoadLenientHeaderProblems covers failures before any row exists:
+// the whole table degrades to an empty graph plus one diagnostic, never
+// an error.
+func TestLoadLenientHeaderProblems(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		opts     Options
+		wantDiag string
+	}{
+		{"empty input", "", Options{Table: "emp"}, "missing or malformed header row"},
+		{"key column missing", "name,dept\nAlice,R11\n", Options{Table: "emp", KeyColumn: "id"}, `key column "id" not in header`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, rep, err := LoadLenient(c.src, "emp.csv", c.opts)
+			if err != nil {
+				t.Fatalf("LoadLenient: %v", err)
+			}
+			if n := len(g.Nodes()); n != 0 {
+				t.Errorf("graph has %d nodes, want none", n)
+			}
+			if rep.Skipped != 1 || rep.Errors() != 1 {
+				t.Errorf("skipped=%d errors=%d, want 1/1", rep.Skipped, rep.Errors())
+			}
+			if !strings.Contains(rep.Diags[0].String(), c.wantDiag) {
+				t.Errorf("diag = %q, want %q", rep.Diags[0].String(), c.wantDiag)
+			}
+		})
+	}
+}
+
+// TestLoadLenientStillRejectsMissingTable: configuration mistakes are
+// the caller's bug, not dirty data, and stay hard errors.
+func TestLoadLenientStillRejectsMissingTable(t *testing.T) {
+	_, _, err := LoadLenient("id\n1\n", "x.csv", Options{})
+	if err == nil || !strings.Contains(err.Error(), "Options.Table is required") {
+		t.Fatalf("err = %v, want Options.Table required", err)
+	}
+}

@@ -11,9 +11,11 @@
 package htmlwrap
 
 import (
+	"fmt"
 	"html"
 	"strings"
 
+	"strudel/internal/diag"
 	"strudel/internal/graph"
 )
 
@@ -38,8 +40,52 @@ type Link struct {
 	Text string
 }
 
-// Extract tokenizes HTML and pulls out the structured content.
+// issue is a structural problem the tokenizer noticed, positioned by
+// byte offset (converted to a line lazily, only when reported).
+type issue struct {
+	off int
+	sev diag.Severity
+	msg string
+}
+
+// Extract tokenizes HTML and pulls out the structured content. It is
+// deliberately tolerant — scraped pages are messy — and silently makes
+// the best of structural damage; ExtractLenient reports the same
+// damage as diagnostics.
 func Extract(name, src string) *Page {
+	p, _ := extract(name, src)
+	return p
+}
+
+// ExtractLenient tokenizes like Extract but also reports structural
+// damage as position-tagged diagnostics attributed to source. A
+// truncated tag at end of input is an error (the page lost content);
+// unterminated <title>, <script>/<style>, and <a> are warnings (the
+// tokenizer recovered).
+func ExtractLenient(name, src, source string) (*Page, []diag.Diagnostic) {
+	p, issues := extract(name, src)
+	var ds []diag.Diagnostic
+	for _, is := range issues {
+		ds = append(ds, diag.Diagnostic{
+			Source:   source,
+			Line:     lineAt(src, is.off),
+			Severity: is.sev,
+			Message:  fmt.Sprintf("page %s: %s", name, is.msg),
+		})
+	}
+	return p, ds
+}
+
+// lineAt converts a byte offset to a 1-based line number.
+func lineAt(src string, off int) int {
+	if off > len(src) {
+		off = len(src)
+	}
+	return 1 + strings.Count(src[:off], "\n")
+}
+
+func extract(name, src string) (*Page, []issue) {
+	var issues []issue
 	p := &Page{Name: name, Meta: map[string]string{}}
 	var textSink *strings.Builder
 	var anchor *Link
@@ -65,6 +111,8 @@ func Extract(name, src string) *Page {
 		pos += lt
 		gt := strings.IndexByte(src[pos:], '>')
 		if gt < 0 {
+			issues = append(issues, issue{off: pos, sev: diag.Error,
+				msg: "truncated tag at end of input"})
 			break
 		}
 		tag := src[pos+1 : pos+gt]
@@ -111,6 +159,8 @@ func Extract(name, src string) *Page {
 				if end >= 0 {
 					pos += end
 				} else {
+					issues = append(issues, issue{off: pos, sev: diag.Warning,
+						msg: "unterminated <" + name + ">: rest of page skipped"})
 					pos = len(src)
 				}
 			}
@@ -120,11 +170,17 @@ func Extract(name, src string) *Page {
 	if t := normalize(heading.String()); t != "" {
 		p.Headings = append(p.Headings, t)
 	}
+	if inTitle {
+		issues = append(issues, issue{off: len(src), sev: diag.Warning,
+			msg: "unterminated <title>"})
+	}
 	if anchor != nil {
+		issues = append(issues, issue{off: len(src), sev: diag.Warning,
+			msg: "unclosed <a>: anchor kept"})
 		anchor.Text = normalize(anchor.Text)
 		p.Links = append(p.Links, *anchor)
 	}
-	return p
+	return p, issues
 }
 
 // text routes character data to the title, a heading, an anchor, and the
@@ -258,6 +314,38 @@ func Wrap(pages []*Page, opts Options) *graph.Graph {
 		}
 	}
 	return g
+}
+
+// Doc is one HTML document to load.
+type Doc struct {
+	Name string
+	Src  string
+}
+
+// LoadLenient extracts and wraps a set of documents in fail-soft mode.
+// Each document is a record; a document whose extraction reports an
+// error-severity problem (it lost content to a truncated tag) is
+// skipped, and the survivors wrap exactly as Wrap over Extract of the
+// pruned set would. Warnings are reported but keep the page.
+func LoadLenient(docs []Doc, source string, opts Options) (*graph.Graph, *diag.Report) {
+	rep := &diag.Report{Records: len(docs)}
+	var pages []*Page
+	for _, d := range docs {
+		p, ds := ExtractLenient(d.Name, d.Src, source)
+		bad := false
+		for _, dg := range ds {
+			rep.Add(dg)
+			if dg.Severity == diag.Error {
+				bad = true
+			}
+		}
+		if bad {
+			rep.Skipped++
+			continue
+		}
+		pages = append(pages, p)
+	}
+	return Wrap(pages, opts), rep
 }
 
 func contains(list []string, s string) bool {

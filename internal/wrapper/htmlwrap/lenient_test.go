@@ -1,0 +1,107 @@
+package htmlwrap
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/ddl"
+	"strudel/internal/diag"
+)
+
+// TestExtractLenientReportsStructuralDamage: the tolerant tokenizer has
+// always made the best of broken markup; the lenient path must say
+// where the damage was.
+func TestExtractLenientReportsStructuralDamage(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantSev  diag.Severity
+		wantLine int
+		wantMsg  string
+	}{
+		{
+			name:     "truncated tag at end of input",
+			src:      "<p>one</p>\n<p>two</p>\n<a href=",
+			wantSev:  diag.Error,
+			wantLine: 3,
+			wantMsg:  "truncated tag",
+		},
+		{
+			name:     "unterminated script",
+			src:      "<p>kept</p>\n<script>var x = 1;",
+			wantSev:  diag.Warning,
+			wantLine: 2,
+			wantMsg:  "unterminated <script>",
+		},
+		{
+			name:     "unterminated title",
+			src:      "<title>Half a title",
+			wantSev:  diag.Warning,
+			wantLine: 1,
+			wantMsg:  "unterminated <title>",
+		},
+		{
+			name:     "unclosed anchor",
+			src:      "<p><a href=\"x.html\">dangling",
+			wantSev:  diag.Warning,
+			wantLine: 1,
+			wantMsg:  "unclosed <a>",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, ds := ExtractLenient("p1", c.src, "site.html")
+			if len(ds) != 1 {
+				t.Fatalf("diagnostics = %v, want exactly one", ds)
+			}
+			d := ds[0]
+			if d.Severity != c.wantSev || d.Line != c.wantLine || d.Source != "site.html" {
+				t.Errorf("diag = %q, want %v at site.html line %d", d.String(), c.wantSev, c.wantLine)
+			}
+			if !strings.Contains(d.Message, c.wantMsg) || !strings.Contains(d.Message, "page p1") {
+				t.Errorf("diag message = %q, want %q naming the page", d.Message, c.wantMsg)
+			}
+		})
+	}
+}
+
+// TestExtractLenientCleanPage: sound markup yields no diagnostics and
+// the identical page Extract yields.
+func TestExtractLenientCleanPage(t *testing.T) {
+	src := "<title>T</title><h1>H</h1><p>Body text</p><a href=\"x\">link</a>"
+	p, ds := ExtractLenient("p1", src, "site.html")
+	if len(ds) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", ds)
+	}
+	if p.Title != "T" || len(p.Headings) != 1 || len(p.Links) != 1 {
+		t.Errorf("page = %+v", p)
+	}
+}
+
+// TestLoadLenientSkipsDamagedPages: error-severity pages drop out of
+// the wrapped graph and the survivors wrap exactly as the pruned set.
+func TestLoadLenientSkipsDamagedPages(t *testing.T) {
+	good := Doc{Name: "good.html", Src: "<title>Good</title><p>fine</p>"}
+	warned := Doc{Name: "warned.html", Src: "<p>ok</p><script>junk"}
+	broken := Doc{Name: "broken.html", Src: "<p>text</p><img src="}
+	g, rep := LoadLenient([]Doc{good, warned, broken}, "site", Options{})
+	want := Wrap([]*Page{Extract(good.Name, good.Src), Extract(warned.Name, warned.Src)}, Options{})
+	if got, w := ddl.Print(g), ddl.Print(want); got != w {
+		t.Errorf("lenient(dirty) != wrap(pruned)\nlenient:\n%s\nwant:\n%s", got, w)
+	}
+	if rep.Records != 3 || rep.Skipped != 1 {
+		t.Errorf("records=%d skipped=%d, want 3/1", rep.Records, rep.Skipped)
+	}
+	if rep.Errors() != 1 {
+		t.Errorf("Errors() = %d, want 1 (the truncated tag)", rep.Errors())
+	}
+	var sawWarn bool
+	for _, d := range rep.Diags {
+		if d.Severity == diag.Warning && strings.Contains(d.Message, "warned.html") {
+			sawWarn = true
+		}
+	}
+	if !sawWarn {
+		t.Errorf("diags = %v, want a warning for warned.html", rep.Diags)
+	}
+}

@@ -1,0 +1,48 @@
+package jsonwrap
+
+import (
+	"testing"
+
+	"strudel/internal/ddl"
+)
+
+// FuzzLoadLenient feeds the fail-soft loader arbitrary documents: it
+// must never panic, keep its counters consistent, be deterministic, and
+// agree (with zero skips) with the strict loader whenever the strict
+// loader succeeds.
+func FuzzLoadLenient(f *testing.F) {
+	seeds := []string{
+		`[{"id":"a","n":1},{"id":"b","n":2}]`,
+		`[{"id":"a"},{"id":"b" "n":2},{"id":"c"}]`,
+		`{"id":"x","items":[1,2,3]}`,
+		`[{"s":"a,b]"},{"v":[1,2]}]`,
+		`[{"a":1},`,
+		`[1,2] trailing`,
+		`[,]`,
+		`[]`,
+		``,
+		`"just a string"`,
+		"[\n  {\"id\": \"a\"},\n  {\"id\": \"b\"}\n]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g1, rep1 := LoadLenient("doc", []byte(src), "f.json", Options{})
+		if rep1.Skipped > rep1.Records || rep1.Skipped < 0 {
+			t.Fatalf("inconsistent report: %+v", rep1)
+		}
+		g2, rep2 := LoadLenient("doc", []byte(src), "f.json", Options{})
+		if ddl.Print(g1) != ddl.Print(g2) || len(rep1.Diags) != len(rep2.Diags) {
+			t.Fatalf("nondeterministic lenient load for %q", src)
+		}
+		if strict, serr := Load("doc", []byte(src), Options{}); serr == nil {
+			if rep1.Skipped != 0 {
+				t.Fatalf("strict load clean but lenient skipped %d: %q", rep1.Skipped, src)
+			}
+			if ddl.Print(g1) != ddl.Print(strict) {
+				t.Fatalf("lenient and strict disagree on clean input %q", src)
+			}
+		}
+	})
+}

@@ -22,11 +22,14 @@
 package jsonwrap
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"strudel/internal/diag"
 	"strudel/internal/graph"
 )
 
@@ -56,6 +59,11 @@ func Load(name string, data []byte, opts Options) (*graph.Graph, error) {
 	if err := json.Unmarshal(data, &root); err != nil {
 		return nil, fmt.Errorf("jsonwrap: %s: %w", name, err)
 	}
+	return wrapRoot(name, root, opts)
+}
+
+// wrapRoot maps an unmarshalled document root to a graph.
+func wrapRoot(name string, root any, opts Options) (*graph.Graph, error) {
 	g := graph.New()
 	w := &wrapper{g: g, opts: opts, name: name}
 	rootVal, err := w.value(root, name+"/root")
@@ -72,6 +80,171 @@ func Load(name string, data []byte, opts Options) (*graph.Graph, error) {
 		g.AddEdge(oid, "value", rootVal)
 	}
 	return g, nil
+}
+
+// LoadLenient parses a JSON document in fail-soft mode. When the
+// document is a top-level array — the shape of an exported record set —
+// each element is a record: elements that fail to parse are skipped,
+// each recorded in the report as a position-tagged diagnostic
+// attributed to source, and the surviving elements wrap exactly as Load
+// would wrap the hand-pruned document. Any other document is a single
+// record: a syntax error yields one diagnostic and an empty graph
+// instead of an error.
+func LoadLenient(name string, data []byte, source string, opts Options) (*graph.Graph, *diag.Report) {
+	if opts.Collection == "" {
+		opts.Collection = "Objects"
+	}
+	if opts.KeyField == "" {
+		opts.KeyField = "id"
+	}
+	rep := &diag.Report{}
+	elems, isArray := splitTopLevelArray(data)
+	if !isArray {
+		rep.Records = 1
+		var root any
+		if err := json.Unmarshal(data, &root); err != nil {
+			rep.Skipped = 1
+			line, col := offsetPos(data, errOffset(err, data))
+			rep.Add(diag.Diagnostic{Source: source, Line: line, Col: col, Severity: diag.Error,
+				Message: "skipped document: " + err.Error()})
+			return graph.New(), rep
+		}
+		g, err := wrapRoot(name, root, opts)
+		if err != nil {
+			// Unreachable for Unmarshal-produced values, but degrade
+			// rather than panic if the mapping ever grows a reject.
+			rep.Skipped = 1
+			rep.Add(diag.Diagnostic{Source: source, Line: 1, Severity: diag.Error,
+				Message: "skipped document: " + err.Error()})
+			return graph.New(), rep
+		}
+		return g, rep
+	}
+	kept := make([]any, 0, len(elems))
+	for _, e := range elems {
+		rep.Records++
+		var v any
+		if err := json.Unmarshal(e.raw, &v); err != nil {
+			rep.Skipped++
+			line, col := offsetPos(data, e.off+errOffset(err, e.raw))
+			rep.Add(diag.Diagnostic{Source: source, Line: line, Col: col, Severity: diag.Error,
+				Message: "skipped array element: " + err.Error()})
+			continue
+		}
+		kept = append(kept, v)
+	}
+	g, err := wrapRoot(name, kept, opts)
+	if err != nil {
+		rep.Add(diag.Diagnostic{Source: source, Line: 1, Severity: diag.Error,
+			Message: "skipped document: " + err.Error()})
+		return graph.New(), rep
+	}
+	return g, rep
+}
+
+// element is one raw top-level array element and its byte offset in the
+// document.
+type element struct {
+	raw []byte
+	off int
+}
+
+// splitTopLevelArray scans a document whose first significant byte is
+// '[' and slices it into raw elements at top-level commas, tracking
+// strings (with escapes) and bracket/brace nesting. It deliberately
+// does not validate the elements — that is each element's own
+// Unmarshal — but it requires the array framing itself to be sound;
+// when the framing is broken (no closing ']', text after it) it reports
+// non-array, falling back to whole-document granularity.
+func splitTopLevelArray(data []byte) ([]element, bool) {
+	i := skipJSONSpace(data, 0)
+	if i >= len(data) || data[i] != '[' {
+		return nil, false
+	}
+	i++
+	var elems []element
+	start := skipJSONSpace(data, i)
+	depth := 0
+	inStr := false
+	esc := false
+	for j := start; j < len(data); j++ {
+		c := data[j]
+		switch {
+		case esc:
+			esc = false
+		case inStr:
+			if c == '\\' {
+				esc = true
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' && depth == 0:
+			// End of the array: the final element, if non-empty.
+			if raw := bytes.TrimSpace(data[start:j]); len(raw) > 0 {
+				elems = append(elems, element{raw: raw, off: skipJSONSpace(data, start)})
+			}
+			if skipJSONSpace(data, j+1) != len(data) {
+				return nil, false // trailing garbage: not a sound array
+			}
+			return elems, true
+		case c == ']' || c == '}':
+			depth--
+		case c == ',' && depth == 0:
+			raw := bytes.TrimSpace(data[start:j])
+			elems = append(elems, element{raw: raw, off: skipJSONSpace(data, start)})
+			start = skipJSONSpace(data, j+1)
+		}
+	}
+	return nil, false // unterminated array
+}
+
+func skipJSONSpace(data []byte, i int) int {
+	for i < len(data) && (data[i] == ' ' || data[i] == '\t' || data[i] == '\n' || data[i] == '\r') {
+		i++
+	}
+	return i
+}
+
+// errOffset extracts the byte offset of a JSON syntax or type error;
+// 0 when the error carries none.
+func errOffset(err error, data []byte) int {
+	var se *json.SyntaxError
+	if errors.As(err, &se) {
+		return clampOffset(int(se.Offset), data)
+	}
+	var te *json.UnmarshalTypeError
+	if errors.As(err, &te) {
+		return clampOffset(int(te.Offset), data)
+	}
+	return 0
+}
+
+func clampOffset(off int, data []byte) int {
+	if off < 0 {
+		return 0
+	}
+	if off > len(data) {
+		return len(data)
+	}
+	return off
+}
+
+// offsetPos converts a byte offset to a 1-based line and column.
+func offsetPos(data []byte, off int) (line, col int) {
+	line, col = 1, 1
+	for i := 0; i < off && i < len(data); i++ {
+		if data[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
 }
 
 type wrapper struct {

@@ -1,0 +1,124 @@
+package jsonwrap
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/ddl"
+	"strudel/internal/diag"
+)
+
+// TestLoadLenientArrayMatchesPrunedStrictLoad is the lenient-mode
+// contract for the common export shape, a top-level array of records:
+// the fail-soft load of a dirty array equals the strict load of the
+// hand-pruned array, with each dropped element a positioned diagnostic.
+func TestLoadLenientArrayMatchesPrunedStrictLoad(t *testing.T) {
+	cases := []struct {
+		name        string
+		dirty       string
+		pruned      string
+		wantRecords int
+		wantSkipped int
+		wantLine    int // line of the sole diagnostic; 0 = no diagnostics
+	}{
+		{
+			name:        "element missing a comma",
+			dirty:       "[\n{\"id\":\"a\",\"n\":1},\n{\"id\":\"b\" \"n\":2},\n{\"id\":\"c\",\"n\":3}\n]",
+			pruned:      "[\n{\"id\":\"a\",\"n\":1},\n{\"id\":\"c\",\"n\":3}\n]",
+			wantRecords: 3,
+			wantSkipped: 1,
+			wantLine:    3,
+		},
+		{
+			name:        "element with trailing comma in object",
+			dirty:       "[{\"id\":\"a\"},\n{\"id\":\"b\",},\n{\"id\":\"c\"}]",
+			pruned:      "[{\"id\":\"a\"},\n{\"id\":\"c\"}]",
+			wantRecords: 3,
+			wantSkipped: 1,
+			wantLine:    2,
+		},
+		{
+			name:        "commas and brackets inside strings do not split",
+			dirty:       "[{\"id\":\"a\",\"s\":\"x,y]\"},{\"id\":\"b\",\"v\":[1,2]}]",
+			pruned:      "[{\"id\":\"a\",\"s\":\"x,y]\"},{\"id\":\"b\",\"v\":[1,2]}]",
+			wantRecords: 2,
+			wantSkipped: 0,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, rep := LoadLenient("doc", []byte(c.dirty), "data.json", Options{})
+			want, err := Load("doc", []byte(c.pruned), Options{})
+			if err != nil {
+				t.Fatalf("strict load of pruned input: %v", err)
+			}
+			if g, w := ddl.Print(got), ddl.Print(want); g != w {
+				t.Errorf("lenient(dirty) != strict(pruned)\nlenient:\n%s\nstrict:\n%s", g, w)
+			}
+			if rep.Records != c.wantRecords || rep.Skipped != c.wantSkipped {
+				t.Errorf("records=%d skipped=%d, want %d/%d", rep.Records, rep.Skipped, c.wantRecords, c.wantSkipped)
+			}
+			if c.wantLine == 0 {
+				if len(rep.Diags) != 0 {
+					t.Errorf("unexpected diagnostics: %v", rep.Diags)
+				}
+				return
+			}
+			if len(rep.Diags) != 1 {
+				t.Fatalf("diagnostics = %v, want exactly one", rep.Diags)
+			}
+			d := rep.Diags[0]
+			if d.Source != "data.json" || d.Line != c.wantLine || d.Severity != diag.Error {
+				t.Errorf("diag = %q, want an error at data.json line %d", d.String(), c.wantLine)
+			}
+			if !strings.Contains(d.Message, "skipped array element") {
+				t.Errorf("diag message = %q", d.Message)
+			}
+		})
+	}
+}
+
+// TestLoadLenientWholeDocument: anything that is not a sound top-level
+// array is a single record — a syntax error degrades to an empty graph
+// plus one positioned diagnostic.
+func TestLoadLenientWholeDocument(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"bad object", "{\"id\": \"x\",\n  \"n\": }"},
+		{"unterminated array falls back whole-doc", "[{\"a\":1},"},
+		{"array with trailing garbage", "[1,2] oops"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, rep := LoadLenient("doc", []byte(c.src), "data.json", Options{})
+			if n := len(g.Nodes()); n != 0 {
+				t.Errorf("graph has %d nodes, want none", n)
+			}
+			if rep.Records != 1 || rep.Skipped != 1 || rep.Errors() != 1 {
+				t.Errorf("report = %+v, want one skipped record with one error", rep)
+			}
+			if d := rep.Diags[0]; d.Line < 1 || d.Col < 1 {
+				t.Errorf("diag %q lacks a position", d.String())
+			}
+		})
+	}
+}
+
+// TestLoadLenientCleanDocument: a clean non-array document loads
+// exactly as Load does, with an empty report.
+func TestLoadLenientCleanDocument(t *testing.T) {
+	src := []byte("{\"id\": \"root\", \"items\": [{\"id\": \"a\"}, {\"id\": \"b\"}]}")
+	got, rep := LoadLenient("doc", src, "data.json", Options{})
+	want, err := Load("doc", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := ddl.Print(got), ddl.Print(want); g != w {
+		t.Errorf("lenient != strict for clean input:\n%s\nvs\n%s", g, w)
+	}
+	if rep.Records != 1 || rep.Skipped != 0 || len(rep.Diags) != 0 {
+		t.Errorf("report = %+v, want one clean record", rep)
+	}
+}
