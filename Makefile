@@ -33,6 +33,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/struql
 	$(GO) test -run='^$$' -fuzz='^FuzzEval$$' -fuzztime=$(FUZZTIME) ./internal/struql
+	$(GO) test -run='^$$' -fuzz='^FuzzDifferential$$' -fuzztime=$(FUZZTIME) ./internal/struql
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/ddl
 	$(GO) test -run='^$$' -fuzz='^FuzzParseAndRender$$' -fuzztime=$(FUZZTIME) ./internal/template
 	$(GO) test -run='^$$' -fuzz='^FuzzExtract$$' -fuzztime=$(FUZZTIME) ./internal/wrapper/htmlwrap

@@ -645,3 +645,121 @@ func BenchmarkE13_ParallelScaling(b *testing.B) {
 		})
 	}
 }
+
+// --- E14: cost-based planning vs fixed heuristics (this reproduction's addition) ---
+
+// e14Data builds a graph with deliberately skewed selectivity: every
+// item carries one unique "id" edge (fan-out 1) and forty "tag" edges
+// (fan-out 40), plus a sparse "rare" chain. Uniform-degree heuristics
+// cannot tell the two labels apart; collected statistics can.
+func e14Data(n int) *repo.Indexed {
+	g := graph.New()
+	oid := func(i int) graph.OID { return graph.OID(fmt.Sprintf("p%05d", i)) }
+	for i := 0; i < n; i++ {
+		g.AddToCollection("Items", oid(i))
+		g.AddEdge(oid(i), "id", graph.NewString(fmt.Sprintf("x%05d", i)))
+		for t := 0; t < 40; t++ {
+			g.AddEdge(oid(i), "tag", graph.NewString(fmt.Sprintf("t%02d", (i+t)%64)))
+		}
+		if i%50 == 0 && i > 0 {
+			g.AddEdge(oid(i-50), "rare", graph.NewNode(oid(i)))
+		}
+	}
+	return repo.NewIndexed(g)
+}
+
+// e14SelectiveQuery touches the dense label first textually: the
+// heuristic planner keeps that order (equal estimated fan-out) and
+// expands every row 40-fold before the unique "id" seek prunes; the
+// cost-based planner routes the id seek and its filter first.
+const e14SelectiveQuery = `where Items(x), x -> "tag" -> t, x -> "id" -> i, i = "x00001"
+create Out(x) link Out(x) -> "tag" -> t`
+
+func BenchmarkE14_SelectiveQuery(b *testing.B) {
+	data := e14Data(2000)
+	q := struql.MustParse(e14SelectiveQuery)
+	heur, err := struql.Eval(q, data, &struql.Options{NoStats: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost, err := struql.Eval(q, data, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if heur.Graph.Dump() != cost.Graph.Dump() {
+		b.Fatal("heuristic and cost-based plans produced different graphs")
+	}
+	for _, cfg := range []struct {
+		name string
+		opts *struql.Options
+	}{
+		{"planner=heuristic", &struql.Options{NoStats: true}},
+		{"planner=cost", nil},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := struql.Eval(q, data, cfg.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE14_Stats isolates the price of the statistics themselves:
+// cold collects per evaluation, warm reuses a pre-collected Stats.
+func BenchmarkE14_Stats(b *testing.B) {
+	data := e14Data(2000)
+	q := struql.MustParse(e14SelectiveQuery)
+	warm := struql.CollectStats(data)
+	b.Run("stats=cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := struql.Eval(q, data, &struql.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stats=warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := struql.Eval(q, data, &struql.Options{Stats: warm}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE14_RPEDispatch measures index-seeded regular-path
+// evaluation: the start variable is unbound, but every accepted path
+// begins with the sparse "rare" label, so the planner seeds the start
+// set from that label's extent instead of scanning every node (NoStats
+// disables seeding — the scan baseline).
+func BenchmarkE14_RPEDispatch(b *testing.B) {
+	data := e14Data(2000)
+	q := struql.MustParse(`where Items(x), y -> "rare"+ -> x create Out(y) link Out(y) -> "to" -> x`)
+	seeded, err := struql.Eval(q, data, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scanned, err := struql.Eval(q, data, &struql.Options{NoStats: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if seeded.Graph.Dump() != scanned.Graph.Dump() {
+		b.Fatal("seeded and scanning RPE dispatch produced different graphs")
+	}
+	for _, cfg := range []struct {
+		name string
+		opts *struql.Options
+	}{
+		{"rpe=seeded", nil},
+		{"rpe=scan", &struql.Options{NoStats: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := struql.Eval(q, data, cfg.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -70,6 +70,8 @@ func main() {
 	maxRows := flag.Int("max-rows", 0, "abort query evaluation when an intermediate relation exceeds N rows (0 = unlimited)")
 	maxNFA := flag.Int("max-nfa-states", 0, "abort a regular-path search after N visited product states (0 = unlimited)")
 	evalTimeout := flag.Duration("eval-timeout", 0, "wall-clock budget per version's query evaluation (0 = none)")
+	noStats := flag.Bool("no-stats", false, "plan queries with fixed heuristics instead of collected selectivity statistics (output is identical)")
+	noReorder := flag.Bool("no-reorder", false, "evaluate query conditions in first-ready textual order instead of cost order (output is identical)")
 	flag.Var(&dataFiles, "data", "data-definition-language file (repeatable)")
 	flag.Var(&bibFiles, "bibtex", "BibTeX file (repeatable)")
 	flag.Var(&csvSpecs, "csv", "CSV table as Table:keyColumn:file (repeatable)")
@@ -93,6 +95,8 @@ func main() {
 		MaxRows:      *maxRows,
 		MaxNFAStates: *maxNFA,
 		EvalTimeout:  *evalTimeout,
+		NoStats:      *noStats,
+		NoReorder:    *noReorder,
 	}
 	var reg *obs.Registry
 	if *traceOut != "" {

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	struql -data site.ddl [-bibtex refs.bib] [-query site.struql | -e 'where ...'] [-plan] [-schema]
+//	struql -data site.ddl [-bibtex refs.bib] [-query site.struql | -e 'where ...'] [-plan] [-explain] [-schema]
 //
 // Data files may be given repeatedly; .ddl files parse as Strudel's
 // data-definition language and -bibtex files through the BibTeX wrapper.
-// With -schema the query's site schema is printed instead of evaluating.
+// With -schema the query's site schema is printed instead of evaluating;
+// with -explain the planner's evaluation plan is printed instead.
 package main
 
 import (
@@ -31,27 +32,46 @@ func (s *stringList) Set(v string) error {
 	return nil
 }
 
+type config struct {
+	dataFiles  []string
+	bibFiles   []string
+	queryFile  string
+	expr       string
+	plan       bool
+	explain    bool
+	showSchema bool
+	guide      bool
+	jobs       int
+	noStats    bool
+	noReorder  bool
+}
+
 func main() {
+	var cfg config
 	var dataFiles, bibFiles stringList
 	flag.Var(&dataFiles, "data", "data-definition-language file (repeatable)")
 	flag.Var(&bibFiles, "bibtex", "BibTeX file loaded through the bibliography wrapper (repeatable)")
-	queryFile := flag.String("query", "", "StruQL query file")
-	expr := flag.String("e", "", "inline StruQL query text")
-	plan := flag.Bool("plan", false, "print the evaluation plan")
-	showSchema := flag.Bool("schema", false, "print the query's site schema instead of evaluating")
-	guide := flag.Bool("guide", false, "print the data graph's dataguide (structure summary) and exit")
-	jobs := flag.Int("j", 0, "evaluation parallelism: 0 = one worker per CPU, 1 = sequential (results are identical at any setting)")
+	flag.StringVar(&cfg.queryFile, "query", "", "StruQL query file")
+	flag.StringVar(&cfg.expr, "e", "", "inline StruQL query text")
+	flag.BoolVar(&cfg.plan, "plan", false, "print the evaluation plan after the result")
+	flag.BoolVar(&cfg.explain, "explain", false, "print the planner's evaluation plan (per block: condition order, access paths, cost estimates) without evaluating")
+	flag.BoolVar(&cfg.showSchema, "schema", false, "print the query's site schema instead of evaluating")
+	flag.BoolVar(&cfg.guide, "guide", false, "print the data graph's dataguide (structure summary) and exit")
+	flag.IntVar(&cfg.jobs, "j", 0, "evaluation parallelism: 0 = one worker per CPU, 1 = sequential (results are identical at any setting)")
+	flag.BoolVar(&cfg.noStats, "no-stats", false, "plan with fixed heuristics instead of collected selectivity statistics (results are identical)")
+	flag.BoolVar(&cfg.noReorder, "no-reorder", false, "evaluate conditions in first-ready textual order instead of cost order (results are identical)")
 	flag.Parse()
+	cfg.dataFiles, cfg.bibFiles = dataFiles, bibFiles
 
-	if err := run(dataFiles, bibFiles, *queryFile, *expr, *plan, *showSchema, *guide, *jobs); err != nil {
+	if err := run(&cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "struql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataFiles, bibFiles []string, queryFile, expr string, plan, showSchema, guide bool, jobs int) error {
-	if guide {
-		data, err := loadData(dataFiles, bibFiles)
+func run(cfg *config) error {
+	if cfg.guide {
+		data, err := loadData(cfg.dataFiles, cfg.bibFiles)
 		if err != nil {
 			return err
 		}
@@ -60,10 +80,10 @@ func run(dataFiles, bibFiles []string, queryFile, expr string, plan, showSchema,
 	}
 	var src string
 	switch {
-	case expr != "":
-		src = expr
-	case queryFile != "":
-		b, err := os.ReadFile(queryFile)
+	case cfg.expr != "":
+		src = cfg.expr
+	case cfg.queryFile != "":
+		b, err := os.ReadFile(cfg.queryFile)
 		if err != nil {
 			return err
 		}
@@ -75,19 +95,32 @@ func run(dataFiles, bibFiles []string, queryFile, expr string, plan, showSchema,
 	if err != nil {
 		return err
 	}
-	if showSchema {
+	if cfg.showSchema {
 		fmt.Print(schema.Build(q).String())
 		return nil
 	}
-	data, err := loadData(dataFiles, bibFiles)
+	data, err := loadData(cfg.dataFiles, cfg.bibFiles)
 	if err != nil {
 		return err
 	}
-	r, err := struql.Eval(q, repo.NewIndexed(data), &struql.Options{Parallelism: jobs})
+	opts := &struql.Options{
+		Parallelism: cfg.jobs,
+		NoStats:     cfg.noStats,
+		NoReorder:   cfg.noReorder,
+	}
+	if cfg.explain {
+		text, err := struql.Explain(q, repo.NewIndexed(data), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	}
+	r, err := struql.Eval(q, repo.NewIndexed(data), opts)
 	if err != nil {
 		return err
 	}
-	if plan {
+	if cfg.plan {
 		for i, p := range r.Plan {
 			fmt.Printf("-- plan %d: %s\n", i+1, p)
 		}

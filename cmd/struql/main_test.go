@@ -23,7 +23,8 @@ node p2 in Pubs { title "Boat"; year 1997; }
 
 func TestRunInlineQuery(t *testing.T) {
 	ddlFile := writeFile(t, "d.ddl", testDDL)
-	err := run([]string{ddlFile}, nil, "", `where Pubs(x), x -> "year" -> y, y > 1997 create N(x)`, false, false, false, 0)
+	err := run(&config{dataFiles: []string{ddlFile},
+		expr: `where Pubs(x), x -> "year" -> y, y > 1997 create N(x)`})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,46 +33,75 @@ func TestRunInlineQuery(t *testing.T) {
 func TestRunQueryFile(t *testing.T) {
 	ddlFile := writeFile(t, "d.ddl", testDDL)
 	qFile := writeFile(t, "q.struql", `where Pubs(x) create N(x)`)
-	if err := run([]string{ddlFile}, nil, qFile, "", true, false, false, 0); err != nil {
+	if err := run(&config{dataFiles: []string{ddlFile}, queryFile: qFile, plan: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSchemaMode(t *testing.T) {
-	if err := run(nil, nil, "", `where Pubs(x) create N(x) link N(x) -> "t" -> x`, false, true, false, 0); err != nil {
+	err := run(&config{expr: `where Pubs(x) create N(x) link N(x) -> "t" -> x`, showSchema: true})
+	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunGuideMode(t *testing.T) {
 	ddlFile := writeFile(t, "d.ddl", testDDL)
-	if err := run([]string{ddlFile}, nil, "", "", false, false, true, 0); err != nil {
+	if err := run(&config{dataFiles: []string{ddlFile}, guide: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBibtex(t *testing.T) {
 	bibFile := writeFile(t, "r.bib", `@article{k, title={T}, year=1998}`)
-	if err := run(nil, []string{bibFile}, "", `where Publications(x) create N(x)`, false, false, false, 0); err != nil {
+	err := run(&config{bibFiles: []string{bibFile},
+		expr: `where Publications(x) create N(x)`})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplainMode(t *testing.T) {
+	ddlFile := writeFile(t, "d.ddl", testDDL)
+	query := `where Pubs(x), x -> "year" -> y, y > 1997 create N(x)`
+	for _, cfg := range []*config{
+		{dataFiles: []string{ddlFile}, expr: query, explain: true},
+		{dataFiles: []string{ddlFile}, expr: query, explain: true, noStats: true},
+		{dataFiles: []string{ddlFile}, expr: query, explain: true, noReorder: true},
+	} {
+		if err := run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunPlannerFlags(t *testing.T) {
+	ddlFile := writeFile(t, "d.ddl", testDDL)
+	err := run(&config{dataFiles: []string{ddlFile}, noStats: true, noReorder: true,
+		expr: `where Pubs(x), x -> "year" -> y, y > 1997 create N(x)`})
+	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(nil, nil, "", "", false, false, false, 0); err == nil {
+	if err := run(&config{}); err == nil {
 		t.Error("missing query should fail")
 	}
-	if err := run(nil, nil, "/nonexistent.struql", "", false, false, false, 0); err == nil {
+	if err := run(&config{queryFile: "/nonexistent.struql"}); err == nil {
 		t.Error("missing query file should fail")
 	}
-	if err := run([]string{"/nonexistent.ddl"}, nil, "", `create R()`, false, false, false, 0); err == nil {
+	if err := run(&config{dataFiles: []string{"/nonexistent.ddl"}, expr: `create R()`}); err == nil {
 		t.Error("missing data file should fail")
 	}
 	bad := writeFile(t, "bad.ddl", "not valid ddl !!!")
-	if err := run([]string{bad}, nil, "", `create R()`, false, false, false, 0); err == nil {
+	if err := run(&config{dataFiles: []string{bad}, expr: `create R()`}); err == nil {
 		t.Error("bad ddl should fail")
 	}
-	if err := run(nil, nil, "", `where`, false, false, false, 0); err == nil {
+	if err := run(&config{expr: `where`}); err == nil {
 		t.Error("bad query should fail")
+	}
+	if err := run(&config{expr: `where`, explain: true}); err == nil {
+		t.Error("bad query should fail in explain mode")
 	}
 }

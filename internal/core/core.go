@@ -65,6 +65,14 @@ type Options struct {
 	// evaluation (0 = none). Exceeding any of the three guards fails
 	// the build with a struql.ResourceExhausted error.
 	EvalTimeout time.Duration
+	// NoReorder evaluates where conditions in first-ready textual order
+	// instead of cost order — the unoptimized planner baseline. Output
+	// is byte-identical either way; only evaluation time differs.
+	NoReorder bool
+	// NoStats disables selectivity statistics in the query planner,
+	// falling back to fixed uniform-degree heuristics — the before half
+	// of experiment E14. Output is byte-identical either way.
+	NoStats bool
 	// parent is the enclosing span for this build's stage spans,
 	// threaded internally so concurrent version builds nest correctly.
 	parent *obs.Span
@@ -83,6 +91,8 @@ func (o *Options) evalOptions() *struql.Options {
 		so.Metrics = o.Eval
 		so.MaxRows = o.MaxRows
 		so.MaxNFAStates = o.MaxNFAStates
+		so.NoReorder = o.NoReorder
+		so.NoStats = o.NoStats
 		if o.EvalTimeout > 0 {
 			so.Deadline = time.Now().Add(o.EvalTimeout)
 		}

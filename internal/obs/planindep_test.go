@@ -1,0 +1,142 @@
+// Plan-independence property tests: the cost-based planner may pick any
+// condition order and access path, so every planner configuration —
+// statistics on or off, reordering on or off, any parallelism — and
+// every textual permutation of the where clauses must produce
+// byte-identical site graphs and rendered HTML for every bundled
+// example site. This pins the contract experiment E14 relies on: the
+// planner changes evaluation time, never output.
+package obs_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"strudel/internal/core"
+	"strudel/internal/struql"
+)
+
+// buildSite builds a spec and returns rendered pages plus each version's
+// site-graph dump.
+func buildSite(t *testing.T, spec *core.Spec, opts *core.Options) (map[string]map[string]string, map[string]string) {
+	t.Helper()
+	res, err := core.BuildWith(spec, opts)
+	if err != nil {
+		t.Fatalf("build %s: %v", spec.Name, err)
+	}
+	pages := map[string]map[string]string{}
+	dumps := map[string]string{}
+	for name, vr := range res.Versions {
+		pages[name] = vr.Output.Pages
+		dumps[name] = vr.SiteGraph.Dump()
+	}
+	return pages, dumps
+}
+
+func diffDumps(t *testing.T, label string, want, got map[string]string) {
+	t.Helper()
+	for vname, w := range want {
+		if g := got[vname]; g != w {
+			t.Errorf("%s: version %s: site graph bytes differ", label, vname)
+		}
+	}
+}
+
+// TestPlannerConfigIndependence builds every example site under the
+// planner-toggle matrix and compares against the sequential default.
+func TestPlannerConfigIndependence(t *testing.T) {
+	variants := []*core.Options{
+		{NoStats: true},
+		{NoReorder: true},
+		{NoStats: true, NoReorder: true, Parallelism: 2},
+		{Parallelism: runtime.NumCPU()},
+		{NoStats: true, Parallelism: runtime.NumCPU()},
+	}
+	for name, spec := range exampleSpecs() {
+		t.Run(name, func(t *testing.T) {
+			basePages, baseDumps := buildSite(t, spec, &core.Options{Parallelism: 1})
+			for _, opts := range variants {
+				label := fmt.Sprintf("noStats=%v/noReorder=%v/par=%d", opts.NoStats, opts.NoReorder, opts.Parallelism)
+				pages, dumps := buildSite(t, spec, opts)
+				diffPages(t, label, basePages, pages)
+				diffDumps(t, label, baseDumps, dumps)
+			}
+		})
+	}
+}
+
+// shuffleQuery parses a StruQL source, shuffles every block's where
+// conditions (nested blocks included) with a seeded generator, and
+// prints the query back. The shuffled text must reparse — the printer
+// and parser are a round-trip — and must evaluate identically.
+func shuffleQuery(t *testing.T, src string, seed uint64) string {
+	t.Helper()
+	q, err := struql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse site query: %v", err)
+	}
+	n := func(k int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(k))
+	}
+	var shuffleBlock func(b *struql.Block)
+	shuffleBlock = func(b *struql.Block) {
+		for i := len(b.Where) - 1; i > 0; i-- {
+			j := n(i + 1)
+			b.Where[i], b.Where[j] = b.Where[j], b.Where[i]
+		}
+		for _, nb := range b.Nested {
+			shuffleBlock(nb)
+		}
+	}
+	for _, b := range q.Blocks {
+		shuffleBlock(b)
+	}
+	out := q.String()
+	if _, err := struql.Parse(out); err != nil {
+		t.Fatalf("shuffled query does not reparse: %v\n%s", err, out)
+	}
+	return out
+}
+
+// shuffledSpec returns a copy of the spec with every version's query
+// composition condition-shuffled under the seed.
+func shuffledSpec(t *testing.T, spec *core.Spec, seed uint64) *core.Spec {
+	t.Helper()
+	out := *spec
+	out.Versions = append([]core.Version(nil), spec.Versions...)
+	for i := range out.Versions {
+		qs := make([]string, len(out.Versions[i].Queries))
+		for j, src := range out.Versions[i].Queries {
+			qs[j] = shuffleQuery(t, src, seed+uint64(j)*1299709)
+		}
+		out.Versions[i].Queries = qs
+	}
+	return &out
+}
+
+// TestShuffledConditionsIndependence is the declarative-semantics
+// property at site scale: permuting where conditions in every site
+// query changes neither the site graph nor a byte of rendered HTML,
+// with the cost-based planner and with the first-ready textual
+// fallback alike.
+func TestShuffledConditionsIndependence(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for name, spec := range exampleSpecs() {
+		t.Run(name, func(t *testing.T) {
+			basePages, baseDumps := buildSite(t, spec, &core.Options{Parallelism: 1})
+			for _, seed := range seeds {
+				shuffled := shuffledSpec(t, spec, seed)
+				for _, opts := range []*core.Options{{}, {NoReorder: true}} {
+					label := fmt.Sprintf("seed=%d/noReorder=%v", seed, opts.NoReorder)
+					pages, dumps := buildSite(t, shuffled, opts)
+					diffPages(t, label, basePages, pages)
+					diffDumps(t, label, baseDumps, dumps)
+				}
+			}
+		})
+	}
+}

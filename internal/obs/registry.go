@@ -151,6 +151,24 @@ type EvalMetrics struct {
 	// NFA states, deadline): how often the evaluator converted a
 	// runaway query into a typed failure.
 	GuardTrips [NumGuards]Counter
+	// StatsBuilds counts cold statistics collections (one per evaluation
+	// that wasn't handed warm Options.Stats); StatsLabels counts cold
+	// per-label selectivity computations across those collections.
+	StatsBuilds Counter
+	StatsLabels Counter
+	// IndexSeeks/FullScans classify scheduled condition dispatches:
+	// seeks go through an index (membership probe, out-edges by label,
+	// in-edge/value index, seeded path search), scans visit an extent or
+	// the whole graph. RPESeeds counts the subset of seeks where a
+	// regular-path search was seeded from label extents instead of
+	// scanning every node.
+	IndexSeeks Counter
+	FullScans  Counter
+	RPESeeds   Counter
+	// ReorderedConds counts conditions evaluated at a position different
+	// from their textual one — executed reorder decisions, counted per
+	// where-clause evaluation (cached plans count every time they run).
+	ReorderedConds Counter
 }
 
 // RecordOp records one operator application: kind, rows in, rows out.
@@ -210,6 +228,56 @@ func (m *EvalMetrics) RecordWhere() {
 	m.WhereEvals.Inc()
 }
 
+// RecordStatsBuild counts one cold statistics collection. Nil-safe.
+func (m *EvalMetrics) RecordStatsBuild() {
+	if m == nil {
+		return
+	}
+	m.StatsBuilds.Inc()
+}
+
+// RecordStatsLabel counts one cold per-label selectivity computation.
+// Nil-safe.
+func (m *EvalMetrics) RecordStatsLabel() {
+	if m == nil {
+		return
+	}
+	m.StatsLabels.Inc()
+}
+
+// RecordSeek counts one index-seek condition dispatch. Nil-safe.
+func (m *EvalMetrics) RecordSeek() {
+	if m == nil {
+		return
+	}
+	m.IndexSeeks.Inc()
+}
+
+// RecordScan counts one full-scan condition dispatch. Nil-safe.
+func (m *EvalMetrics) RecordScan() {
+	if m == nil {
+		return
+	}
+	m.FullScans.Inc()
+}
+
+// RecordRPESeed counts one label-seeded regular-path dispatch. Nil-safe.
+func (m *EvalMetrics) RecordRPESeed() {
+	if m == nil {
+		return
+	}
+	m.RPESeeds.Inc()
+}
+
+// RecordReorder counts n conditions scheduled away from their textual
+// position in one executed plan. Nil-safe.
+func (m *EvalMetrics) RecordReorder(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.ReorderedConds.Add(int64(n))
+}
+
 // RecordGuard counts one resource-guard trip. Nil-safe.
 func (m *EvalMetrics) RecordGuard(kind int) {
 	if m == nil || kind < 0 || kind >= NumGuards {
@@ -221,14 +289,20 @@ func (m *EvalMetrics) RecordGuard(kind int) {
 // Snapshot implements Snapshotter.
 func (m *EvalMetrics) Snapshot() map[string]any {
 	out := map[string]any{
-		"nfa_cache_hits":    m.NFAHits.Load(),
-		"nfa_cache_misses":  m.NFAMisses.Load(),
-		"plan_cache_hits":   m.PlanHits.Load(),
-		"plan_cache_misses": m.PlanMisses.Load(),
-		"parallel_ops":      m.ParallelOps.Load(),
-		"sequential_ops":    m.SeqOps.Load(),
-		"chunks_dispatched": m.Chunks.Load(),
-		"where_evals":       m.WhereEvals.Load(),
+		"nfa_cache_hits":          m.NFAHits.Load(),
+		"nfa_cache_misses":        m.NFAMisses.Load(),
+		"plan_cache_hits":         m.PlanHits.Load(),
+		"plan_cache_misses":       m.PlanMisses.Load(),
+		"parallel_ops":            m.ParallelOps.Load(),
+		"sequential_ops":          m.SeqOps.Load(),
+		"chunks_dispatched":       m.Chunks.Load(),
+		"where_evals":             m.WhereEvals.Load(),
+		"planner_stats_builds":    m.StatsBuilds.Load(),
+		"planner_stats_labels":    m.StatsLabels.Load(),
+		"planner_index_seeks":     m.IndexSeeks.Load(),
+		"planner_full_scans":      m.FullScans.Load(),
+		"planner_rpe_seeds":       m.RPESeeds.Load(),
+		"planner_reordered_conds": m.ReorderedConds.Load(),
 	}
 	for k, name := range opNames {
 		out["op_"+name+"_applied"] = m.Ops[k].Load()

@@ -34,6 +34,16 @@ type Indexed struct {
 	labelMu  sync.Mutex
 	labelSet []string // sorted cache, invalidated on new label
 	dirty    bool
+
+	// statMu guards labelStats, the per-label selectivity cache behind
+	// LabelStats; entries are invalidated label-by-label on mutation.
+	statMu     sync.Mutex
+	labelStats map[string]labelStat
+}
+
+// labelStat caches one label's selectivity summary.
+type labelStat struct {
+	count, sources, targets int
 }
 
 // NewIndexed builds all indexes over g. The graph is adopted, not copied;
@@ -60,6 +70,9 @@ func (ix *Indexed) index(e graph.Edge) {
 	if _, known := ix.byLabel[e.Label]; !known {
 		ix.dirty = true
 	}
+	ix.statMu.Lock()
+	delete(ix.labelStats, e.Label)
+	ix.statMu.Unlock()
 	ix.byLabel[e.Label] = append(ix.byLabel[e.Label], e)
 	if e.To.IsNode() {
 		ix.inEdges[e.To.OID()] = append(ix.inEdges[e.To.OID()], e)
@@ -177,6 +190,35 @@ func (ix *Indexed) Labels() []string {
 // LabelCount returns the number of edges with the given label, an optimizer
 // statistic.
 func (ix *Indexed) LabelCount(label string) int { return len(ix.byLabel[label]) }
+
+// LabelStats returns one label's selectivity summary — edge count,
+// distinct sources, distinct targets — from the attribute extent index,
+// caching the distinct counts until the label is next mutated. It is
+// the repository's implementation of struql.LabelStatser: the planner's
+// statistics come from here without a graph scan.
+func (ix *Indexed) LabelStats(label string) (count, sources, targets int) {
+	ix.statMu.Lock()
+	if st, ok := ix.labelStats[label]; ok {
+		ix.statMu.Unlock()
+		return st.count, st.sources, st.targets
+	}
+	ix.statMu.Unlock()
+	edges := ix.byLabel[label]
+	srcs := make(map[graph.OID]struct{}, len(edges))
+	tgts := make(map[string]struct{}, len(edges))
+	for _, e := range edges {
+		srcs[e.From] = struct{}{}
+		tgts[e.To.Key()] = struct{}{}
+	}
+	st := labelStat{count: len(edges), sources: len(srcs), targets: len(tgts)}
+	ix.statMu.Lock()
+	if ix.labelStats == nil {
+		ix.labelStats = make(map[string]labelStat)
+	}
+	ix.labelStats[label] = st
+	ix.statMu.Unlock()
+	return st.count, st.sources, st.targets
+}
 
 // NumEdges returns the total number of edges.
 func (ix *Indexed) NumEdges() int { return ix.g.NumEdges() }

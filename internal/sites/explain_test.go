@@ -1,0 +1,121 @@
+package sites
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strudel/internal/core"
+	"strudel/internal/mediator"
+	"strudel/internal/struql"
+)
+
+var updateExplain = flag.Bool("update", false, "rewrite EXPLAIN golden files")
+
+// explainSites are the §5 example sites whose planner output is pinned,
+// at the same sizes the differential build harness uses, so a planner
+// change that alters a chosen condition order, access path, or index
+// shows up as a reviewable golden diff. Regenerate with
+// `go test ./internal/sites -update`.
+func explainSites() []struct {
+	name string
+	spec *core.Spec
+} {
+	return []struct {
+		name string
+		spec *core.Spec
+	}{
+		{"homepage", Homepage(30)},
+		{"cnn", CNN(80)},
+		{"orgsite", OrgSite(120, 7, 13, 16)},
+		{"bilingual", Bilingual(12)},
+	}
+}
+
+// explainSite renders the planner's EXPLAIN text for every query of
+// every version of a spec against the warehoused data graph. Versions
+// sharing a query composition (the "no new queries" external views) are
+// folded into one section.
+func explainSite(t *testing.T, spec *core.Spec) string {
+	t.Helper()
+	med, err := mediator.New(spec.Sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := med.Warehouse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	seen := map[string]string{}
+	for _, v := range spec.Versions {
+		key := strings.Join(v.Queries, "\x00")
+		if prev, ok := seen[key]; ok {
+			fmt.Fprintf(&b, "== version %s: same queries as %s ==\n\n", v.Name, prev)
+			continue
+		}
+		seen[key] = v.Name
+		fmt.Fprintf(&b, "== version %s ==\n\n", v.Name)
+		for i, src := range v.Queries {
+			q, err := struql.Parse(src)
+			if err != nil {
+				t.Fatalf("version %s query %d: %v", v.Name, i+1, err)
+			}
+			text, err := struql.Explain(q, data, nil)
+			if err != nil {
+				t.Fatalf("version %s query %d: explain: %v", v.Name, i+1, err)
+			}
+			fmt.Fprintf(&b, "-- query %d --\n%s\n", i+1, text)
+		}
+	}
+	return b.String()
+}
+
+// TestExplainGolden pins the planner's chosen plans — condition order,
+// access paths (collection scans, label seeks, RPE seeding), and cost
+// estimates — for every bundled example query.
+func TestExplainGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "explain")
+	if *updateExplain {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range explainSites() {
+		t.Run(s.name, func(t *testing.T) {
+			got := explainSite(t, s.spec)
+			path := filepath.Join(dir, s.name+".golden")
+			if *updateExplain {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("golden rewritten: %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("EXPLAIN output diverged from %s:\n--- got\n%s--- want\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestExplainDeterministic guards the golden files' premise: repeated
+// explains of the same site agree byte for byte (statistics collection,
+// cost tie-breaks, and printing are all deterministic).
+func TestExplainDeterministic(t *testing.T) {
+	spec := OrgSite(120, 7, 13, 16)
+	first := explainSite(t, spec)
+	if again := explainSite(t, spec); again != first {
+		t.Error("EXPLAIN output differs between runs")
+	}
+}

@@ -14,10 +14,26 @@ import (
 
 // Options tunes evaluation; the zero value is the optimized default.
 type Options struct {
-	// NoReorder evaluates where conditions in textual order instead of
-	// letting the planner order them by estimated cost — the unoptimized
-	// baseline for experiment E6.
+	// NoReorder evaluates where conditions in first-ready textual order
+	// instead of letting the planner order them by estimated cost — the
+	// unoptimized baseline for experiments E6 and E14. "First-ready"
+	// rather than strictly textual: a filter or negation whose variables
+	// no earlier condition has bound yet waits for its binder, so the
+	// declarative semantics (condition order never changes the result)
+	// hold under this flag too.
 	NoReorder bool
+	// NoStats disables selectivity statistics: the planner falls back to
+	// the fixed uniform-degree heuristics, and regular-path conditions
+	// are never seeded from label indexes. This is the pre-cost-model
+	// planner, kept as the before half of experiment E14.
+	NoStats bool
+	// Stats, when non-nil, supplies pre-collected selectivity statistics
+	// (see CollectStats) instead of collecting them per evaluation — the
+	// warm-statistics path. The Stats must describe the evaluated
+	// source; stale statistics degrade plan quality but never
+	// correctness, since access paths re-check the live source. Ignored
+	// under NoStats.
+	Stats *Stats
 	// Parallelism is the worker count for the per-row operators: 0 uses
 	// one worker per available CPU (the default), 1 forces the sequential
 	// path, n>1 uses exactly n workers. Results are byte-identical at any
@@ -160,6 +176,9 @@ type evalCtx struct {
 	// avgDeg caches avgDegree(src) for the planner; the source does not
 	// change during one evaluation.
 	avgDeg float64
+	// stats is the selectivity statistics the cost model consults; nil
+	// under Options.NoStats (the heuristic baseline).
+	stats *Stats
 	// suppressPlans stops plan recording during not(...) sub-evaluations,
 	// which run once per candidate row.
 	suppressPlans bool
@@ -184,6 +203,16 @@ func newEvalCtx(src Source, opts *Options, env *SkolemEnv) *evalCtx {
 	if opts == nil {
 		opts = &Options{}
 	}
+	var stats *Stats
+	if !opts.NoStats {
+		if opts.Stats != nil {
+			stats = opts.Stats
+		} else {
+			stats = CollectStats(src)
+			stats.metrics = opts.Metrics
+			opts.Metrics.RecordStatsBuild()
+		}
+	}
 	return &evalCtx{
 		src:       src,
 		opts:      opts,
@@ -191,6 +220,7 @@ func newEvalCtx(src Source, opts *Options, env *SkolemEnv) *evalCtx {
 		out:       graph.New(),
 		par:       opts.parallelism(),
 		avgDeg:    avgDegree(src),
+		stats:     stats,
 		maxRows:   opts.MaxRows,
 		maxNFA:    opts.MaxNFAStates,
 		deadline:  opts.Deadline,
@@ -211,6 +241,7 @@ func (ctx *evalCtx) forkSequential() *evalCtx {
 		out:           ctx.out,
 		par:           1,
 		avgDeg:        ctx.avgDeg,
+		stats:         ctx.stats,
 		suppressPlans: true,
 		reqCtx:        ctx.reqCtx,
 		maxRows:       ctx.maxRows,
@@ -303,24 +334,26 @@ func (ctx *evalCtx) evalWhere(conds []Cond, parent *Bindings) (*Bindings, error)
 	}
 
 	ctx.metrics.RecordWhere()
-	order, desc, err := ctx.orderConds(conds, parent.Vars)
+	plan, err := ctx.orderConds(conds, parent.Vars)
 	if err != nil {
 		return nil, err
 	}
 	if !ctx.suppressPlans {
-		ctx.plans = append(ctx.plans, desc)
+		ctx.plans = append(ctx.plans, plan.String())
 	}
-	for _, ci := range order {
+	ctx.metrics.RecordReorder(plan.Reordered())
+	for _, step := range plan.Steps {
 		if err := ctx.cancelled(); err != nil {
 			return nil, err
 		}
+		ctx.recordAccess(step.Access)
 		rowsIn := len(b.Rows)
-		b, err = ctx.applyCond(conds[ci], b)
+		b, err = ctx.applyCond(conds[step.Index], step, b)
 		if err != nil {
 			return nil, err
 		}
 		if ctx.metrics != nil {
-			ctx.metrics.RecordOp(opKind(conds[ci]), rowsIn, len(b.Rows))
+			ctx.metrics.RecordOp(opKind(conds[step.Index]), rowsIn, len(b.Rows))
 		}
 		if ctx.maxRows > 0 && len(b.Rows) > ctx.maxRows {
 			ctx.metrics.RecordGuard(obs.GuardRows)
@@ -357,8 +390,8 @@ func opKind(c Cond) int {
 // (by first-condition identity plus length — every Cond instance
 // belongs to exactly one condition list, so this pins the slice) and
 // the set of already-bound input variables. Everything else the greedy
-// planner consults (source sizes, avg degree) is fixed for the life of
-// one evaluation, so equal keys always produce equal plans.
+// planner consults (source sizes, statistics, avg degree) is fixed for
+// the life of one evaluation, so equal keys always produce equal plans.
 type planKey struct {
 	cond0 Cond
 	n     int
@@ -371,154 +404,39 @@ type planKey struct {
 // description strings) runs once per distinct bound-variable shape.
 type planCache struct {
 	mu sync.Mutex
-	m  map[planKey]planEntry
+	m  map[planKey]*Plan
 }
 
-type planEntry struct {
-	order []int
-	desc  string
-}
+func newPlanCache() *planCache { return &planCache{m: map[planKey]*Plan{}} }
 
-func newPlanCache() *planCache { return &planCache{m: map[planKey]planEntry{}} }
-
-// orderConds returns the evaluation order of conditions. With NoReorder it
-// is textual order; otherwise a greedy plan picks, at each step, the ready
-// condition with the lowest estimated cost given the bound variables.
-// Plans are cached per (condition list, bound-variable set); cached
-// plans are exactly what the planner would recompute, so caching never
-// changes evaluation order.
-func (ctx *evalCtx) orderConds(conds []Cond, inputVars []string) ([]int, string, error) {
-	n := len(conds)
-	if ctx.opts.NoReorder {
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
-		}
-		return order, "textual", nil
+// orderConds returns the evaluation plan of a condition list: per
+// condition, its scheduled position and access path. With NoReorder the
+// schedule is first-ready textual order; otherwise the greedy planner
+// picks, at each step, the ready condition with the lowest estimated
+// cost given the bound variables. Plans are cached per (condition list,
+// bound-variable set); cached plans are exactly what the planner would
+// recompute, so caching never changes evaluation order.
+func (ctx *evalCtx) orderConds(conds []Cond, inputVars []string) (*Plan, error) {
+	if len(conds) == 0 {
+		return &Plan{}, nil
 	}
-	if n == 0 {
-		return nil, "empty", nil
-	}
-	key := planKey{cond0: conds[0], n: n, bound: strings.Join(inputVars, "\x00")}
+	key := planKey{cond0: conds[0], n: len(conds), bound: strings.Join(inputVars, "\x00")}
 	ctx.planCache.mu.Lock()
-	if e, ok := ctx.planCache.m[key]; ok {
+	if p, ok := ctx.planCache.m[key]; ok {
 		ctx.planCache.mu.Unlock()
 		ctx.metrics.RecordPlan(true)
-		return e.order, e.desc, nil
+		return p, nil
 	}
 	ctx.planCache.mu.Unlock()
 	ctx.metrics.RecordPlan(false)
-	order, desc, err := ctx.planConds(conds, inputVars)
+	plan, err := ctx.planConds(conds, inputVars)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	ctx.planCache.mu.Lock()
-	ctx.planCache.m[key] = planEntry{order: order, desc: desc}
+	ctx.planCache.m[key] = plan
 	ctx.planCache.mu.Unlock()
-	return order, desc, nil
-}
-
-// planConds runs the greedy planner once.
-func (ctx *evalCtx) planConds(conds []Cond, inputVars []string) ([]int, string, error) {
-	n := len(conds)
-	bound := map[string]bool{}
-	for _, v := range inputVars {
-		bound[v] = true
-	}
-	// canBind is everything the positive conditions can bind; filters and
-	// negations wait until their referenced bindable variables are bound.
-	canBind := map[string]bool{}
-	for v := range bound {
-		canBind[v] = true
-	}
-	for _, c := range conds {
-		c.boundVars(canBind)
-	}
-	used := make([]bool, n)
-	var order []int
-	var steps []string
-	for len(order) < n {
-		best, bestCost := -1, 0.0
-		for i, c := range conds {
-			if used[i] {
-				continue
-			}
-			cost, ready := ctx.condCost(c, bound, canBind)
-			if !ready {
-				continue
-			}
-			if best == -1 || cost < bestCost {
-				best, bestCost = i, cost
-			}
-		}
-		if best == -1 {
-			return nil, "", &ParseError{Line: conds[0].condLine(),
-				Msg: "cannot schedule conditions: a filter refers to variables no positive condition binds"}
-		}
-		used[best] = true
-		order = append(order, best)
-		conds[best].boundVars(bound)
-		steps = append(steps, fmt.Sprintf("%s$%.1f", conds[best], bestCost))
-	}
-	return order, strings.Join(steps, " ; "), nil
-}
-
-// condCost estimates the rows-produced multiplier of evaluating c now.
-func (ctx *evalCtx) condCost(c Cond, bound, canBind map[string]bool) (float64, bool) {
-	termBound := func(t Term) bool { return !t.IsVar() || bound[t.Var] }
-	switch c := c.(type) {
-	case *MemberCond:
-		if bound[c.Var] {
-			return 0.1, true
-		}
-		return float64(ctx.src.CollectionSize(c.Coll)) + 1, true
-	case *PredCond:
-		if termBound(c.Arg) {
-			return 0, true
-		}
-		return 0, false
-	case *CmpCond:
-		if termBound(c.L) && termBound(c.R) {
-			return 0, true
-		}
-		return 0, false
-	case *NotCond:
-		refs := map[string]bool{}
-		c.refVars(refs)
-		for v := range refs {
-			if canBind[v] && !bound[v] {
-				return 0, false
-			}
-		}
-		return 5, true
-	case *EdgeCond:
-		switch {
-		case termBound(c.From):
-			return ctx.avgDeg, true
-		case termBound(c.To):
-			return ctx.avgDeg, true
-		case bound[c.LabelVar]:
-			return float64(ctx.src.NumEdges())/4 + 8, true
-		default:
-			return float64(ctx.src.NumEdges()) + 16, true
-		}
-	case *PathCond:
-		if label, ok := singleLabel(c.Path); ok {
-			switch {
-			case termBound(c.From):
-				return ctx.avgDeg, true
-			case termBound(c.To):
-				return ctx.avgDeg, true
-			default:
-				return float64(ctx.src.LabelCount(label)) + 4, true
-			}
-		}
-		if termBound(c.From) {
-			return 4 * ctx.avgDeg, true
-		}
-		return float64(ctx.src.NumEdges())*4 + 64, true
-	}
-	return 0, false
+	return plan, nil
 }
 
 func avgDegree(src Source) float64 {
@@ -529,8 +447,9 @@ func avgDegree(src Source) float64 {
 	return float64(src.NumEdges())/float64(n) + 1
 }
 
-// applyCond extends or filters the relation by one condition.
-func (ctx *evalCtx) applyCond(c Cond, b *Bindings) (*Bindings, error) {
+// applyCond extends or filters the relation by one condition, honoring
+// the access hints the planner attached to its step.
+func (ctx *evalCtx) applyCond(c Cond, step PlanStep, b *Bindings) (*Bindings, error) {
 	switch c := c.(type) {
 	case *MemberCond:
 		return ctx.applyMember(c, b)
@@ -543,7 +462,7 @@ func (ctx *evalCtx) applyCond(c Cond, b *Bindings) (*Bindings, error) {
 	case *EdgeCond:
 		return ctx.applyEdge(c, b)
 	case *PathCond:
-		return ctx.applyPath(c, b)
+		return ctx.applyPath(c, step, b)
 	}
 	return nil, fmt.Errorf("struql: unknown condition type %T", c)
 }
@@ -782,13 +701,33 @@ func (ctx *evalCtx) applyEdge(c *EdgeCond, b *Bindings) (*Bindings, error) {
 }
 
 // applyPath evaluates x -> R -> y. Single-literal paths use edge access
-// paths; general expressions run the product-automaton BFS.
-func (ctx *evalCtx) applyPath(c *PathCond, b *Bindings) (*Bindings, error) {
+// paths; general expressions run the product-automaton BFS, its start
+// set seeded from the planner's label hint when the path must begin
+// with known concrete labels, from a full node scan otherwise.
+func (ctx *evalCtx) applyPath(c *PathCond, step PlanStep, b *Bindings) (*Bindings, error) {
 	if label, ok := singleLabel(c.Path); ok {
-		return ctx.applySingleLabel(c, label, b)
+		return ctx.applySingleLabel(c, label, step, b)
 	}
 	fi, ti := termIndex(c.From, b), termIndex(c.To, b)
 	m := ctx.matcher(c.Path)
+	// allStarts computes, once, the start set for rows whose from
+	// variable is unbound: the distinct sources of the seed labels'
+	// extents, or every node. Lazy — rows with a bound start never pay
+	// for it — and shared across worker goroutines.
+	var startsOnce sync.Once
+	var seededStarts []graph.Value
+	allStarts := func() []graph.Value {
+		startsOnce.Do(func() {
+			if len(step.SeedLabels) > 0 {
+				seededStarts = seedStarts(ctx.src, step.SeedLabels)
+				return
+			}
+			for _, n := range ctx.src.Nodes() {
+				seededStarts = append(seededStarts, graph.NewNode(n))
+			}
+		})
+		return seededStarts
+	}
 	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
 		out := make([][]graph.Value, 0, len(chunk))
 		for _, row := range chunk {
@@ -796,10 +735,7 @@ func (ctx *evalCtx) applyPath(c *PathCond, b *Bindings) (*Bindings, error) {
 			to, toKnown := resolveAt(c.To, ti, row)
 			starts := []graph.Value{from}
 			if !fromKnown {
-				starts = starts[:0]
-				for _, n := range ctx.src.Nodes() {
-					starts = append(starts, graph.NewNode(n))
-				}
+				starts = allStarts()
 			}
 			for _, s := range starts {
 				if !s.IsNode() {
@@ -840,7 +776,7 @@ func (ctx *evalCtx) applyPath(c *PathCond, b *Bindings) (*Bindings, error) {
 	return &Bindings{Vars: b.Vars, Rows: rows}, nil
 }
 
-func (ctx *evalCtx) applySingleLabel(c *PathCond, label string, b *Bindings) (*Bindings, error) {
+func (ctx *evalCtx) applySingleLabel(c *PathCond, label string, step PlanStep, b *Bindings) (*Bindings, error) {
 	fi, ti := termIndex(c.From, b), termIndex(c.To, b)
 	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
 		out := make([][]graph.Value, 0, len(chunk))
@@ -854,6 +790,17 @@ func (ctx *evalCtx) applySingleLabel(c *PathCond, label string, b *Bindings) (*B
 				}
 			}
 			switch {
+			case fromKnown && toKnown && step.PreferIn:
+				// Both endpoints bound and the label's fan-in is the
+				// smaller: verify through the in-edge index.
+				if !from.IsNode() {
+					continue
+				}
+				for _, e := range ctx.src.In(to) {
+					if e.Label == label && e.From == from.OID() {
+						emit(e)
+					}
+				}
 			case fromKnown:
 				if !from.IsNode() {
 					continue
@@ -1017,11 +964,20 @@ func foldAgg(fn AggFn, argIdx int, rows [][]graph.Value) graph.Value {
 	if fn == AggCount {
 		return graph.NewInt(int64(len(distinct)))
 	}
+	// Fold in sorted key order: float addition is not associative and
+	// min/max tie-break on the first of Compare-equal values, so map
+	// iteration order would otherwise leak into results.
+	keys := make([]string, 0, len(distinct))
+	for k := range distinct {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var best graph.Value
 	sum := 0.0
 	allInt := true
 	first := true
-	for _, v := range distinct {
+	for _, k := range keys {
+		v := distinct[k]
 		switch fn {
 		case AggSum, AggAvg:
 			switch v.Kind() {

@@ -1,0 +1,388 @@
+package struql
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"strudel/internal/graph"
+	"strudel/internal/repo"
+)
+
+// This file is the randomized differential oracle: seeded generators for
+// data graphs and queries, and tests asserting the optimized evaluator
+// (cost-based planner, indexes, caches, parallelism, guards) and the
+// naive reference evaluator agree byte-for-byte on every generated
+// (graph, query) pair. Seeds are plain integers so any divergence report
+// is reproducible with `go test -run TestDifferentialOracle`.
+
+// oracleRand is a small deterministic generator (64-bit LCG, high bits),
+// self-contained so the corpus never shifts under math/rand changes.
+type oracleRand struct{ s uint64 }
+
+func newOracleRand(seed uint64) *oracleRand {
+	return &oracleRand{s: seed*2654435761 + 0x9e3779b97f4a7c15}
+}
+
+func (r *oracleRand) n(k int) int {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return int((r.s >> 33) % uint64(k))
+}
+
+func (r *oracleRand) pick(ss ...string) string { return ss[r.n(len(ss))] }
+
+// genGraph builds a seeded random data graph with deliberately skewed
+// label selectivities — "id" is unique per node, "tag" is dense, "next"
+// is a near-chain, "ref" is sparse and cross-cutting — so the cost-based
+// planner's choices actually differ from textual order.
+func genGraph(seed uint64) *graph.Graph {
+	r := newOracleRand(seed)
+	g := graph.New()
+	n := 6 + r.n(20)
+	oid := func(i int) graph.OID { return graph.OID(fmt.Sprintf("n%02d", i)) }
+	for i := 0; i < n; i++ {
+		g.AddToCollection("Items", oid(i))
+		if r.n(3) == 0 {
+			g.AddToCollection("Extra", oid(i))
+		}
+		g.AddEdge(oid(i), "id", graph.NewString(fmt.Sprintf("id%02d", i)))
+		g.AddEdge(oid(i), "year", graph.NewInt(int64(1990+r.n(8))))
+		if r.n(4) != 0 {
+			g.AddEdge(oid(i), "kind", graph.NewString(r.pick("a", "b", "c")))
+		}
+		for t := r.n(3); t > 0; t-- {
+			g.AddEdge(oid(i), "tag", graph.NewString(r.pick("t1", "t2", "t3")))
+		}
+		if r.n(5) != 0 {
+			g.AddEdge(oid(i), "next", graph.NewNode(oid((i+1+r.n(2))%n)))
+		}
+		if r.n(3) == 0 {
+			g.AddEdge(oid(i), "ref", graph.NewNode(oid(r.n(n))))
+		}
+		if r.n(4) == 0 {
+			g.AddEdge(oid(i), "score", graph.NewFloat(float64(r.n(100))/4))
+		}
+		if i%3 == 0 {
+			g.AddEdge(oid(i), "extra", graph.NewString("e"))
+		}
+	}
+	// One node outside every collection, reachable only through "ref":
+	// paths can leave the collections the queries scan.
+	g.AddNode(oid(n))
+	g.AddEdge(oid(r.n(n)), "ref", graph.NewNode(oid(n)))
+	return g
+}
+
+// genRichQuery builds a random-but-valid StruQL query from a seed,
+// covering every condition form (membership, label and reverse paths,
+// arc variables, regular path expressions, comparisons, predicates,
+// negation), shuffled condition order, aggregates, multi-Skolem
+// construction, arc-variable links, collections, and nested blocks.
+// Every referenced variable is bound by some positive condition, so the
+// query always parses and evaluates without error.
+func genRichQuery(seed uint64) string {
+	r := newOracleRand(seed)
+	bound := []string{"x"}
+	var arcVars []string
+	varN := 0
+	fresh := func() string { varN++; return fmt.Sprintf("v%d", varN) }
+
+	conds := []string{r.pick("Items(x)", "Items(x)", "Items(x)", "Extra(x)")}
+	binders := 1
+	nConds := 1 + r.n(5)
+	for i := 0; i < nConds; i++ {
+		src := bound[r.n(len(bound))]
+		kind := r.n(10)
+		if binders >= 4 && kind < 4 {
+			kind = 4 + r.n(6) // enough binders; stick to filters and negation
+		}
+		switch kind {
+		case 0: // forward label seek
+			v := fresh()
+			conds = append(conds, fmt.Sprintf("%s -> %q -> %s",
+				src, r.pick("id", "year", "kind", "tag", "next", "ref"), v))
+			bound = append(bound, v)
+			binders++
+		case 1: // reverse: bound target, unbound source
+			v := fresh()
+			conds = append(conds, fmt.Sprintf("%s -> %q -> %s", v, r.pick("next", "ref"), src))
+			bound = append(bound, v)
+			binders++
+		case 2: // arc variable binds the label too
+			v := fresh()
+			l := fmt.Sprintf("l%d", i)
+			conds = append(conds, fmt.Sprintf("%s -> %s -> %s", src, l, v))
+			bound = append(bound, v, l)
+			arcVars = append(arcVars, l)
+			binders++
+		case 3: // regular path expression
+			v := fresh()
+			rpe := r.pick(`"next"*`, `"next"+`, `("next"|"ref")`, `"next"."tag"`,
+				`"ref"?."kind"`, `~"t.*"`, `_`, `("next"."ref")*`, `"next"?`)
+			conds = append(conds, fmt.Sprintf("%s -> %s -> %s", src, rpe, v))
+			bound = append(bound, v)
+			binders++
+		case 4: // comparison against a constant
+			conds = append(conds, r.pick(
+				fmt.Sprintf("%s > %d", src, 1990+r.n(8)),
+				fmt.Sprintf("%s <= %d", src, 1990+r.n(8)),
+				fmt.Sprintf("%s != %q", src, r.pick("a", "b", "t1")),
+				fmt.Sprintf("%s = %q", src, r.pick("a", "t2", "id03")),
+			))
+		case 5: // comparison between two bound variables
+			other := bound[r.n(len(bound))]
+			conds = append(conds, fmt.Sprintf("%s %s %s", src, r.pick("!=", "=", "<"), other))
+		case 6: // built-in predicate
+			conds = append(conds, fmt.Sprintf("%s(%s)",
+				r.pick("isNode", "isAtom", "isInt", "isString"), src))
+		case 7: // safe negation
+			conds = append(conds, r.pick(
+				fmt.Sprintf("not(%s -> %q -> nz%d)", src, r.pick("extra", "kind", "ref"), i),
+				fmt.Sprintf("not(%s -> \"year\" -> nz%d, nz%d > %d)", src, i, i, 1993+r.n(4)),
+				fmt.Sprintf("not(Extra(%s))", src),
+			))
+		case 8: // collection membership: probe a bound var or scan a new one
+			if r.n(2) == 0 {
+				conds = append(conds, fmt.Sprintf("Extra(%s)", src))
+			} else {
+				v := fresh()
+				conds = append(conds, fmt.Sprintf("Extra(%s)", v))
+				bound = append(bound, v)
+				binders++
+			}
+		default: // path with a constant target
+			conds = append(conds, fmt.Sprintf("%s -> \"kind\" -> %q", src, r.pick("a", "b")))
+		}
+	}
+	// Shuffle: condition order must never change the result, and the
+	// planner (or first-ready fallback) must schedule any permutation.
+	for i := len(conds) - 1; i > 0; i-- {
+		j := r.n(i + 1)
+		conds[i], conds[j] = conds[j], conds[i]
+	}
+
+	var b strings.Builder
+	b.WriteString("where ")
+	b.WriteString(strings.Join(conds, ",\n      "))
+
+	if r.n(6) == 0 && len(bound) > 1 {
+		av := bound[1+r.n(len(bound)-1)]
+		fn := r.pick("count", "min", "max", "sum", "avg")
+		fmt.Fprintf(&b, "\naggregate %s(%s) as agg by x", fn, av)
+		b.WriteString("\ncreate Agg(x)\nlink Agg(x) -> \"val\" -> agg, Agg(x) -> \"self\" -> x")
+		if r.n(2) == 0 {
+			b.WriteString("\ncollect Results(Agg(x))")
+		}
+		return b.String()
+	}
+
+	b.WriteString("\ncreate Out(x)")
+	if r.n(3) == 0 {
+		fmt.Fprintf(&b, ", Pair(x, %s)", bound[r.n(len(bound))])
+	}
+	links := []string{fmt.Sprintf("Out(x) -> \"t0\" -> %s", bound[r.n(len(bound))])}
+	for k := r.n(3); k > 0; k-- {
+		links = append(links, fmt.Sprintf("Out(x) -> \"t%d\" -> %s", k, bound[r.n(len(bound))]))
+	}
+	if len(arcVars) > 0 && r.n(2) == 0 {
+		links = append(links, fmt.Sprintf("Out(x) -> %s -> x", arcVars[0]))
+	}
+	fmt.Fprintf(&b, "\nlink %s", strings.Join(links, ", "))
+	if r.n(2) == 0 {
+		b.WriteString("\ncollect Results(Out(x))")
+	}
+	if r.n(4) == 0 {
+		fmt.Fprintf(&b, "\n{ where %s -> %q -> w create Sub(x, w) link Sub(x, w) -> \"w\" -> w }",
+			bound[r.n(len(bound))], r.pick("kind", "tag", "next"))
+	}
+	return b.String()
+}
+
+// oracleGraph bundles one generated graph with the sources and warm
+// statistics the option matrix cycles through.
+type oracleGraph struct {
+	seed    uint64
+	plain   Source
+	indexed Source
+	warm    *Stats
+}
+
+func buildOracleGraph(seed uint64) *oracleGraph {
+	g := genGraph(seed)
+	ix := repo.NewIndexed(g)
+	return &oracleGraph{seed: seed, plain: NewGraphSource(g), indexed: ix, warm: CollectStats(ix)}
+}
+
+// oracleConfigs is the number of distinct (options, source) pairs
+// oracleOptions cycles through.
+const oracleConfigs = 12
+
+// oracleOptions maps a configuration index to evaluation options and a
+// source: even indexes evaluate against the label-indexed repository
+// (LabelStatser fast path, index-backed seeks), odd against the plain
+// graph source (scan fallbacks); the option half cycles parallelism,
+// planner toggles, warm statistics, and generous resource guards that
+// must never trip.
+func oracleOptions(i int, og *oracleGraph) (*Options, Source) {
+	src := og.indexed
+	if i%2 == 1 {
+		src = og.plain
+	}
+	switch (i / 2) % 6 {
+	case 0:
+		return nil, src
+	case 1:
+		return &Options{Parallelism: 1}, src
+	case 2:
+		return &Options{Parallelism: 2, NoStats: true}, src
+	case 3:
+		return &Options{Parallelism: runtime.NumCPU(), NoReorder: true}, src
+	case 4:
+		return &Options{NoStats: true, NoReorder: true}, src
+	default:
+		return &Options{
+			Parallelism:  2,
+			Stats:        og.warm,
+			MaxRows:      4 << 20,
+			MaxNFAStates: 1 << 20,
+			Deadline:     time.Now().Add(time.Hour),
+		}, src
+	}
+}
+
+// oracleQuerySeed spreads pair indexes across the seed space.
+func oracleQuerySeed(i int) uint64 { return uint64(i)*1000003 + 7 }
+
+// TestDifferentialOracle checks optimized ≡ naive over oraclePairs
+// seeded (graph, query) pairs, cycling the option/source matrix per
+// pair. oraclePairs is 10000 in the plain suite and a smoke subset
+// under the race detector (see oracle_scale_test.go).
+func TestDifferentialOracle(t *testing.T) {
+	pairs := oraclePairs
+	if testing.Short() {
+		pairs = pairs / 20
+		if pairs < 100 {
+			pairs = 100
+		}
+	}
+	const nGraphs = 48
+	graphs := make([]*oracleGraph, nGraphs)
+	fails := 0
+	for i := 0; i < pairs; i++ {
+		gi := i % nGraphs
+		if graphs[gi] == nil {
+			graphs[gi] = buildOracleGraph(uint64(gi)*7919 + 3)
+		}
+		og := graphs[gi]
+		qsrc := genRichQuery(oracleQuerySeed(i))
+		q, err := Parse(qsrc)
+		if err != nil {
+			t.Fatalf("pair %d: generator produced an invalid query: %v\n%s", i, err, qsrc)
+		}
+		want, err := NaiveEval(q, og.plain)
+		if err != nil {
+			t.Fatalf("pair %d (graph seed %d): naive: %v\n%s", i, og.seed, err, qsrc)
+		}
+		opts, src := oracleOptions(i, og)
+		got, err := Eval(q, src, opts)
+		if err != nil {
+			t.Fatalf("pair %d (graph seed %d, config %d): optimized: %v\n%s", i, og.seed, i%oracleConfigs, err, qsrc)
+		}
+		if got.Rows != want.Rows || got.Graph.Dump() != want.Graph.Dump() {
+			t.Errorf("pair %d (graph seed %d, config %d): optimized and naive diverged (rows %d vs %d)\nquery:\n%s",
+				i, og.seed, i%oracleConfigs, got.Rows, want.Rows, qsrc)
+			if fails++; fails >= 3 {
+				t.Fatal("stopping after 3 divergences")
+			}
+		}
+	}
+	t.Logf("differential oracle: %d (graph, query) pairs agreed", pairs)
+}
+
+// TestDifferentialOracleFullMatrix runs a smaller pair set through EVERY
+// configuration, pinning plan independence: one naive reference, twelve
+// optimized runs, all byte-identical.
+func TestDifferentialOracleFullMatrix(t *testing.T) {
+	pairs := 96
+	if testing.Short() {
+		pairs = 24
+	}
+	for i := 0; i < pairs; i++ {
+		og := buildOracleGraph(uint64(i%8)*104729 + 11)
+		qsrc := genRichQuery(uint64(i)*9176553 + 1234567)
+		q, err := Parse(qsrc)
+		if err != nil {
+			t.Fatalf("pair %d: generator produced an invalid query: %v\n%s", i, err, qsrc)
+		}
+		want, err := NaiveEval(q, og.plain)
+		if err != nil {
+			t.Fatalf("pair %d: naive: %v\n%s", i, err, qsrc)
+		}
+		wantDump := want.Graph.Dump()
+		for c := 0; c < oracleConfigs; c++ {
+			opts, src := oracleOptions(c, og)
+			got, err := Eval(q, src, opts)
+			if err != nil {
+				t.Fatalf("pair %d config %d: optimized: %v\n%s", i, c, err, qsrc)
+			}
+			if got.Rows != want.Rows || got.Graph.Dump() != wantDump {
+				t.Fatalf("pair %d config %d: diverged from naive (rows %d vs %d)\nquery:\n%s",
+					i, c, got.Rows, want.Rows, qsrc)
+			}
+		}
+	}
+}
+
+// FuzzDifferential feeds arbitrary query text to both evaluators over a
+// fixed generated graph. A guarded first-ready probe bounds the work a
+// fuzzer-crafted query may demand before the unguarded naive evaluator
+// runs; queries the probe rejects (parse errors, guard trips, runtime
+// construction errors) are out of the oracle's scope and skipped.
+func FuzzDifferential(f *testing.F) {
+	f.Add(`where Items(x) create Out(x)`)
+	f.Add(`where Items(x), x -> "next"* -> y create Out(x) link Out(x) -> "r" -> y`)
+	f.Add(`where Items(x), not(x -> "extra" -> z) create Out(x) collect R(Out(x))`)
+	f.Add(`where Items(x), x -> "year" -> y aggregate max(y) as m by x create A(x) link A(x) -> "m" -> m`)
+	f.Add(`where Items(x), x -> l -> v, isAtom(v) create Out(x) link Out(x) -> l -> v`)
+	for seed := uint64(1); seed <= 5; seed++ {
+		f.Add(genRichQuery(seed))
+	}
+	og := buildOracleGraph(42)
+	f.Fuzz(func(t *testing.T, qsrc string) {
+		if len(qsrc) > 300 {
+			return
+		}
+		q, err := Parse(qsrc)
+		if err != nil {
+			return
+		}
+		probe := &Options{
+			Parallelism:  1,
+			NoReorder:    true, // first-ready textual order = the naive evaluator's order
+			MaxRows:      50000,
+			MaxNFAStates: 20000,
+			Deadline:     time.Now().Add(2 * time.Second),
+		}
+		if _, err := Eval(q, og.indexed, probe); err != nil {
+			return
+		}
+		want, err := NaiveEval(q, og.plain)
+		if err != nil {
+			t.Fatalf("naive errored where guarded optimized succeeded: %v\n%s", err, qsrc)
+		}
+		wantDump := want.Graph.Dump()
+		for c := 0; c < 4; c++ {
+			opts, src := oracleOptions(c, og)
+			got, err := Eval(q, src, opts)
+			if err != nil {
+				t.Fatalf("config %d: optimized: %v\n%s", c, err, qsrc)
+			}
+			if got.Rows != want.Rows || got.Graph.Dump() != wantDump {
+				t.Fatalf("config %d: optimized and naive diverged (rows %d vs %d)\nquery:\n%s",
+					c, got.Rows, want.Rows, qsrc)
+			}
+		}
+	})
+}

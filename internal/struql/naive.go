@@ -1,0 +1,616 @@
+package struql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// This file is the naive reference evaluator: a direct transcription of
+// StruQL's declarative semantics, deliberately free of everything the
+// optimized evaluator does for speed — no cost-based ordering, no plan
+// or matcher caches, no indexes beyond the Source's basic accessors, no
+// parallelism, no resource guards. Regular path expressions are matched
+// by set-based recursion over the AST instead of a product automaton.
+// It exists to be differentially tested against Eval: the two
+// implementations share only the Source interface, the value model
+// (graph.Equiv/Compare), the built-in predicate table, and the Skolem
+// environment — the specification, not the machinery.
+
+// NaiveEval evaluates a query against a source with nested-loop
+// reference semantics and a fresh Skolem environment. Results are
+// identical to Eval's: same graph, same row counts, same Skolem OIDs.
+func NaiveEval(q *Query, src Source) (*Result, error) {
+	return NaiveEvalWithEnv(q, src, NewSkolemEnv())
+}
+
+// NaiveEvalWithEnv is NaiveEval with a caller-provided Skolem
+// environment, for composed-query comparison.
+func NaiveEvalWithEnv(q *Query, src Source, env *SkolemEnv) (*Result, error) {
+	n := &naiveCtx{src: src, env: env, out: graph.New()}
+	for _, blk := range q.Blocks {
+		if err := n.block(blk, naiveUnit()); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Graph: n.out, Rows: n.rows}, nil
+}
+
+type naiveCtx struct {
+	src  Source
+	env  *SkolemEnv
+	out  *graph.Graph
+	rows int
+}
+
+// naiveUnit is the unit relation.
+func naiveUnit() *Bindings { return &Bindings{Rows: [][]graph.Value{{}}} }
+
+func (n *naiveCtx) block(blk *Block, parent *Bindings) error {
+	b, err := n.where(blk.Where, parent)
+	if err != nil {
+		return err
+	}
+	if len(blk.Aggregate) > 0 {
+		b, err = n.aggregate(blk, b)
+		if err != nil {
+			return err
+		}
+	}
+	n.rows += len(b.Rows)
+	if err := n.construct(blk, b); err != nil {
+		return err
+	}
+	for _, nb := range blk.Nested {
+		if err := n.block(nb, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// where extends the parent relation by the conditions, in repeated
+// textual passes: each pass applies every not-yet-applied condition
+// that is ready (filters and negations wait for their variables), until
+// all are applied. The result is canonicalized — deduplicated and
+// sorted by row key — so downstream construction visits rows in the
+// same order the optimized evaluator does, whatever order either
+// implementation produced them in.
+func (n *naiveCtx) where(conds []Cond, parent *Bindings) (*Bindings, error) {
+	// Output variable order: parent variables, then new variables sorted.
+	newVars := map[string]bool{}
+	for _, c := range conds {
+		c.boundVars(newVars)
+	}
+	vars := append([]string(nil), parent.Vars...)
+	have := map[string]bool{}
+	for _, v := range vars {
+		have[v] = true
+	}
+	extras := make([]string, 0, len(newVars))
+	for v := range newVars {
+		if !have[v] {
+			extras = append(extras, v)
+		}
+	}
+	sort.Strings(extras)
+	vars = append(vars, extras...)
+
+	b := &Bindings{Vars: vars}
+	for _, prow := range parent.Rows {
+		row := make([]graph.Value, len(vars))
+		copy(row, prow)
+		b.Rows = append(b.Rows, row)
+	}
+	if len(conds) == 0 {
+		return b, nil
+	}
+
+	// bindable is every variable some condition in this clause binds
+	// (plus the inherited ones): the set readiness checks consult.
+	bindable := map[string]bool{}
+	for _, v := range parent.Vars {
+		bindable[v] = true
+	}
+	for _, c := range conds {
+		c.boundVars(bindable)
+	}
+	bound := map[string]bool{}
+	for _, v := range parent.Vars {
+		bound[v] = true
+	}
+	done := make([]bool, len(conds))
+	remaining := len(conds)
+	for remaining > 0 {
+		progressed := false
+		for i, c := range conds {
+			if done[i] || !n.ready(c, bound, bindable) {
+				continue
+			}
+			var err error
+			b, err = n.apply(c, b)
+			if err != nil {
+				return nil, err
+			}
+			c.boundVars(bound)
+			done[i] = true
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			return nil, &ParseError{Line: conds[0].condLine(),
+				Msg: "cannot schedule conditions: a filter refers to variables no positive condition binds"}
+		}
+	}
+	naiveCanon(b)
+	return b, nil
+}
+
+// ready reports whether a condition can run given the bound variables:
+// binding conditions always can; filters need their variables; a
+// negation waits for every referenced variable the clause can bind.
+func (n *naiveCtx) ready(c Cond, bound, bindable map[string]bool) bool {
+	tb := func(t Term) bool { return !t.IsVar() || bound[t.Var] }
+	switch c := c.(type) {
+	case *PredCond:
+		return tb(c.Arg)
+	case *CmpCond:
+		return tb(c.L) && tb(c.R)
+	case *NotCond:
+		refs := map[string]bool{}
+		c.refVars(refs)
+		for v := range refs {
+			if bindable[v] && !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// apply runs one condition over every row by plain nested loops.
+func (n *naiveCtx) apply(c Cond, b *Bindings) (*Bindings, error) {
+	out := &Bindings{Vars: b.Vars}
+	for _, row := range b.Rows {
+		rows, err := n.applyRow(c, b, row)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, rows...)
+	}
+	return out, nil
+}
+
+func (n *naiveCtx) applyRow(c Cond, b *Bindings, row []graph.Value) ([][]graph.Value, error) {
+	var out [][]graph.Value
+	switch c := c.(type) {
+	case *MemberCond:
+		vi := b.Index(c.Var)
+		v := row[vi]
+		for _, m := range n.src.Collection(c.Coll) {
+			if !v.IsNull() && (!v.IsNode() || v.OID() != m) {
+				continue
+			}
+			nr := cloneRow(row)
+			nr[vi] = graph.NewNode(m)
+			out = append(out, nr)
+		}
+	case *PredCond:
+		v, known := resolveTerm(c.Arg, b, row)
+		if known && builtinPreds[c.Name](v) {
+			out = append(out, row)
+		}
+	case *CmpCond:
+		l, lk := resolveTerm(c.L, b, row)
+		r, rk := resolveTerm(c.R, b, row)
+		if lk && rk && naiveCmp(c.Op, l, r) {
+			out = append(out, row)
+		}
+	case *NotCond:
+		seed := &Bindings{}
+		var srow []graph.Value
+		for i, v := range b.Vars {
+			if !row[i].IsNull() {
+				seed.Vars = append(seed.Vars, v)
+				srow = append(srow, row[i])
+			}
+		}
+		seed.Rows = [][]graph.Value{srow}
+		sb, err := n.where(c.Conds, seed)
+		if err != nil {
+			return nil, err
+		}
+		if len(sb.Rows) == 0 {
+			out = append(out, row)
+		}
+	case *EdgeCond:
+		fi, ti := termIndex(c.From, b), termIndex(c.To, b)
+		li := b.Index(c.LabelVar)
+		from, _ := resolveTerm(c.From, b, row)
+		for _, oid := range n.src.Nodes() {
+			if !from.IsNull() && (!from.IsNode() || from.OID() != oid) {
+				continue
+			}
+			for _, e := range n.src.Out(oid) {
+				if !termMatches(c.To, e.To) {
+					continue
+				}
+				nr := cloneRow(row)
+				if bindIfConsistent(nr, fi, graph.NewNode(e.From)) &&
+					bindIfConsistent(nr, li, graph.NewString(e.Label)) &&
+					bindIfConsistent(nr, ti, e.To) {
+					out = append(out, nr)
+				}
+			}
+		}
+	case *PathCond:
+		fi, ti := termIndex(c.From, b), termIndex(c.To, b)
+		from, fromKnown := resolveTerm(c.From, b, row)
+		var starts []graph.Value
+		if fromKnown {
+			starts = []graph.Value{from}
+		} else {
+			for _, oid := range n.src.Nodes() {
+				starts = append(starts, graph.NewNode(oid))
+			}
+		}
+		for _, s := range starts {
+			if !s.IsNode() {
+				continue // paths start at nodes (active-domain semantics)
+			}
+			for _, target := range n.pathTargets(c.Path, s) {
+				if !termMatches(c.To, target) {
+					continue
+				}
+				nr := cloneRow(row)
+				if bindIfConsistent(nr, fi, s) && bindIfConsistent(nr, ti, target) {
+					out = append(out, nr)
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("struql: unknown condition type %T", c)
+	}
+	return out, nil
+}
+
+// termMatches reports whether a candidate value is consistent with a
+// constant term; variable terms are handled by bindIfConsistent.
+func termMatches(t Term, candidate graph.Value) bool {
+	return t.IsVar() || t.Const == candidate
+}
+
+func naiveCmp(op CmpOp, l, r graph.Value) bool {
+	switch op {
+	case CmpEq:
+		return graph.Equiv(l, r)
+	case CmpNeq:
+		return !graph.Equiv(l, r)
+	case CmpLt:
+		return graph.Compare(l, r) < 0
+	case CmpLe:
+		return graph.Compare(l, r) <= 0
+	case CmpGt:
+		return graph.Compare(l, r) > 0
+	case CmpGe:
+		return graph.Compare(l, r) >= 0
+	}
+	return false
+}
+
+// pathTargets returns every value reachable from the start node by a
+// path matching the expression, by set-based recursion over the AST. If
+// the expression matches the empty path the start itself is included.
+func (n *naiveCtx) pathTargets(p *PathExpr, start graph.Value) []graph.Value {
+	set := n.matchSet(p, valueSet{start.Key(): start})
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]graph.Value, len(keys))
+	for i, k := range keys {
+		out[i] = set[k]
+	}
+	return out
+}
+
+type valueSet map[string]graph.Value
+
+// matchSet computes the set of values reachable from the given set via
+// one path matching p. Traversal continues only from node values —
+// atoms have no outgoing edges.
+func (n *naiveCtx) matchSet(p *PathExpr, from valueSet) valueSet {
+	out := valueSet{}
+	switch p.Op {
+	case PLabel, PAny, PRegex:
+		for _, v := range from {
+			if !v.IsNode() {
+				continue
+			}
+			for _, e := range n.src.Out(v.OID()) {
+				if p.matchLabel(e.Label) {
+					out[e.To.Key()] = e.To
+				}
+			}
+		}
+	case PConcat:
+		cur := from
+		for _, k := range p.Kids {
+			cur = n.matchSet(k, cur)
+		}
+		return cur
+	case PAlt:
+		for _, k := range p.Kids {
+			for key, v := range n.matchSet(k, from) {
+				out[key] = v
+			}
+		}
+	case PStar:
+		return n.closureOf(p.Kids[0], from)
+	case PPlus:
+		return n.closureStrict(p.Kids[0], from)
+	case POpt:
+		for key, v := range from {
+			out[key] = v
+		}
+		for key, v := range n.matchSet(p.Kids[0], from) {
+			out[key] = v
+		}
+	}
+	return out
+}
+
+// closureOf is the reflexive-transitive closure of one step of p: the
+// from set plus everything reachable by repeating p.
+func (n *naiveCtx) closureOf(p *PathExpr, from valueSet) valueSet {
+	out := valueSet{}
+	frontier := valueSet{}
+	for k, v := range from {
+		out[k] = v
+		frontier[k] = v
+	}
+	for len(frontier) > 0 {
+		next := valueSet{}
+		for k, v := range n.matchSet(p, frontier) {
+			if _, seen := out[k]; !seen {
+				out[k] = v
+				next[k] = v
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// closureStrict is the transitive closure: at least one step of p.
+func (n *naiveCtx) closureStrict(p *PathExpr, from valueSet) valueSet {
+	first := n.matchSet(p, from)
+	return n.closureOf(p, first)
+}
+
+// naiveCanon deduplicates and sorts the relation by row key — the same
+// canonical order the optimized evaluator's dedup step establishes, so
+// construction (and therefore Skolem collision-suffix allocation)
+// proceeds identically in both implementations.
+func naiveCanon(b *Bindings) {
+	type keyed struct {
+		key string
+		row []graph.Value
+	}
+	keyedRows := make([]keyed, len(b.Rows))
+	for i, row := range b.Rows {
+		var kb strings.Builder
+		for _, v := range row {
+			kb.WriteString(v.Key())
+			kb.WriteByte(0)
+		}
+		keyedRows[i] = keyed{key: kb.String(), row: row}
+	}
+	sort.Slice(keyedRows, func(i, j int) bool { return keyedRows[i].key < keyedRows[j].key })
+	out := b.Rows[:0]
+	for i, kr := range keyedRows {
+		if i == 0 || kr.key != keyedRows[i-1].key {
+			out = append(out, kr.row)
+		}
+	}
+	b.Rows = out
+}
+
+// aggregate folds the relation by the block's grouping variables, with
+// the same distinct-value semantics as the optimized evaluator: count
+// counts distinct values, sum/avg fold numeric readings in sorted key
+// order, min/max pick by the dynamic-coercion order.
+func (n *naiveCtx) aggregate(blk *Block, b *Bindings) (*Bindings, error) {
+	byIdx := make([]int, len(blk.AggBy))
+	for i, v := range blk.AggBy {
+		byIdx[i] = b.Index(v)
+		if byIdx[i] < 0 {
+			return nil, fmt.Errorf("struql: line %d: grouping variable %s unbound", blk.Line, v)
+		}
+	}
+	argIdx := make([]int, len(blk.Aggregate))
+	for i, a := range blk.Aggregate {
+		argIdx[i] = b.Index(a.Arg)
+		if argIdx[i] < 0 {
+			return nil, fmt.Errorf("struql: line %d: aggregated variable %s unbound", a.Pos, a.Arg)
+		}
+	}
+	type group struct {
+		key  []graph.Value
+		rows [][]graph.Value
+	}
+	groups := map[string]*group{}
+	for _, row := range b.Rows {
+		key := make([]graph.Value, len(byIdx))
+		var kb strings.Builder
+		for i, bi := range byIdx {
+			key[i] = row[bi]
+			kb.WriteString(row[bi].Key())
+			kb.WriteByte(0)
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: key}
+			groups[k] = g
+		}
+		g.rows = append(g.rows, row)
+	}
+	order := make([]string, 0, len(groups))
+	for k := range groups {
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	out := &Bindings{Vars: append([]string(nil), blk.AggBy...)}
+	for _, a := range blk.Aggregate {
+		out.Vars = append(out.Vars, a.As)
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := append([]graph.Value(nil), g.key...)
+		for i, a := range blk.Aggregate {
+			row = append(row, naiveFold(a.Fn, argIdx[i], g.rows))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// naiveFold computes one aggregate over a group's distinct values,
+// folding in sorted key order exactly as the optimized foldAgg does.
+func naiveFold(fn AggFn, argIdx int, rows [][]graph.Value) graph.Value {
+	distinct := map[string]graph.Value{}
+	for _, row := range rows {
+		v := row[argIdx]
+		distinct[v.Key()] = v
+	}
+	if fn == AggCount {
+		return graph.NewInt(int64(len(distinct)))
+	}
+	keys := make([]string, 0, len(distinct))
+	for k := range distinct {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var best graph.Value
+	sum := 0.0
+	allInt := true
+	first := true
+	for _, k := range keys {
+		v := distinct[k]
+		switch fn {
+		case AggSum, AggAvg:
+			switch v.Kind() {
+			case graph.KindInt:
+				sum += float64(v.Int())
+			case graph.KindFloat:
+				sum += v.Float()
+				allInt = false
+			default:
+				if f, ok := numericText(v); ok {
+					sum += f
+					allInt = false
+				}
+			}
+		case AggMin:
+			if first || graph.Compare(v, best) < 0 {
+				best = v
+			}
+		case AggMax:
+			if first || graph.Compare(v, best) > 0 {
+				best = v
+			}
+		}
+		first = false
+	}
+	switch fn {
+	case AggSum:
+		if allInt {
+			return graph.NewInt(int64(sum))
+		}
+		return graph.NewFloat(sum)
+	case AggAvg:
+		if len(distinct) == 0 {
+			return graph.NewFloat(0)
+		}
+		return graph.NewFloat(sum / float64(len(distinct)))
+	}
+	return best
+}
+
+// construct runs the block's construction clauses once per row —
+// the same Skolemized semantics as the optimized evaluator, shared
+// through the SkolemEnv, which is the OID-naming specification.
+func (n *naiveCtx) construct(blk *Block, b *Bindings) error {
+	for _, row := range b.Rows {
+		skolemOID := func(st SkolemTerm) (graph.OID, error) {
+			args := make([]graph.Value, len(st.Args))
+			for i, a := range st.Args {
+				vi := b.Index(a)
+				if vi < 0 || row[vi].IsNull() {
+					return "", fmt.Errorf("struql: line %d: Skolem argument %s unbound at construction", st.Pos, a)
+				}
+				args[i] = row[vi]
+			}
+			return n.env.OID(st.Fn, args), nil
+		}
+		resolveLink := func(t LinkTerm, pos int) (graph.Value, error) {
+			if t.Skolem != nil {
+				oid, err := skolemOID(*t.Skolem)
+				if err != nil {
+					return graph.Null, err
+				}
+				n.out.AddNode(oid)
+				return graph.NewNode(oid), nil
+			}
+			v, known := resolveTerm(*t.Term, b, row)
+			if !known {
+				return graph.Null, fmt.Errorf("struql: line %d: variable %s unbound at construction", pos, t.Term.Var)
+			}
+			return v, nil
+		}
+		for _, st := range blk.Create {
+			oid, err := skolemOID(st)
+			if err != nil {
+				return err
+			}
+			n.out.AddNode(oid)
+		}
+		for _, le := range blk.Link {
+			fromOID, err := skolemOID(le.From)
+			if err != nil {
+				return err
+			}
+			n.out.AddNode(fromOID)
+			label := le.Label.Lit
+			if le.Label.IsVar {
+				vi := b.Index(le.Label.Var)
+				if vi < 0 || row[vi].IsNull() {
+					return fmt.Errorf("struql: line %d: arc variable %s unbound at construction", le.Pos, le.Label.Var)
+				}
+				label = row[vi].Text()
+			}
+			to, err := resolveLink(le.To, le.Pos)
+			if err != nil {
+				return err
+			}
+			n.out.AddEdge(fromOID, label, to)
+		}
+		for _, ce := range blk.Collect {
+			v, err := resolveLink(ce.Target, ce.Pos)
+			if err != nil {
+				return err
+			}
+			if !v.IsNode() {
+				return fmt.Errorf("struql: line %d: collect %s: collections contain objects, not the atom %s",
+					ce.Pos, ce.Coll, v)
+			}
+			n.out.AddToCollection(ce.Coll, v.OID())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package struql
+
+// Under the race detector every evaluation costs roughly an order of
+// magnitude more, so the differential oracle runs a smoke subset; the
+// full 10000-pair sweep runs in the plain suite (oracle_scale_test.go).
+const oraclePairs = 400

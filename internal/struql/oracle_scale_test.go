@@ -1,0 +1,9 @@
+//go:build !race
+
+package struql
+
+// oraclePairs is the (graph, query) pair count TestDifferentialOracle
+// sweeps in the plain test suite. The race-detector build (what CI's
+// `make check` runs) uses the smoke subset in oracle_scale_race_test.go;
+// `go test -short` divides either figure by 20.
+const oraclePairs = 10000
