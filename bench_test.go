@@ -60,6 +60,7 @@ func BenchmarkFig8_Strudel(b *testing.B) {
 			q := struql.MustParse(baseline.GroupedQuery("Publications", dims))
 			data := repo.NewIndexed(bibData(b, size))
 			b.Run(fmt.Sprintf("items=%d/links=%d", size, q.LinkClauseCount()), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					mustEval(b, q, data)
 				}
@@ -73,6 +74,7 @@ func BenchmarkFig8_Baseline(b *testing.B) {
 		for _, dims := range []int{1, 2, 4, 8} {
 			data := bibData(b, size)
 			b.Run(fmt.Sprintf("items=%d/dims=%d", size, dims), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					baseline.ProceduralGrouped(data, "Publications", dims)
 				}
@@ -87,6 +89,7 @@ func BenchmarkE1_OrgSiteBuild(b *testing.B) {
 	for _, people := range []int{100, 400} {
 		spec := sites.OrgSite(people, people/20+1, people/10+1, people/8+1)
 		b.Run(fmt.Sprintf("people=%d", people), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Build(spec); err != nil {
 					b.Fatal(err)
@@ -100,6 +103,7 @@ func BenchmarkE1_OrgSiteBuild(b *testing.B) {
 
 func BenchmarkE2_HomepageBuild(b *testing.B) {
 	spec := sites.Homepage(25)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Build(spec); err != nil {
 			b.Fatal(err)
@@ -112,6 +116,7 @@ func BenchmarkE2_HomepageBuild(b *testing.B) {
 func BenchmarkE3_CNNBuild(b *testing.B) {
 	spec := sites.CNN(300)
 	spec.Versions = spec.Versions[:1] // general only
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Build(spec); err != nil {
 			b.Fatal(err)
@@ -122,6 +127,7 @@ func BenchmarkE3_CNNBuild(b *testing.B) {
 func BenchmarkE3_SportsOnly(b *testing.B) {
 	spec := sites.CNN(300)
 	spec.Versions = spec.Versions[1:2] // sports only
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Build(spec); err != nil {
 			b.Fatal(err)
@@ -142,6 +148,7 @@ where Pages(p), p -> "year" -> y create Year(y) link Year(y) -> "Pg" -> p collec
 create Nav()
 where Pages(p) link Nav() -> "target" -> p, Nav() -> "home" -> Nav()`)
 	queries := []*struql.Query{q1, q2, q3}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := struql.EvalSeq(queries, data, nil); err != nil {
 			b.Fatal(err)
@@ -153,6 +160,7 @@ where Pages(p) link Nav() -> "target" -> p, Nav() -> "home" -> Nav()`)
 
 func BenchmarkE5_Bilingual(b *testing.B) {
 	spec := sites.Bilingual(40)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Build(spec); err != nil {
 			b.Fatal(err)
@@ -173,9 +181,12 @@ var e6Queries = []string{
 }
 
 func BenchmarkE6_IndexedQueries(b *testing.B) {
-	for _, size := range []int{100, 400, 1600, 6400} {
+	// The 25600-item tier (~270k edges) exercises the frozen-snapshot
+	// fast path at a scale where per-edge allocation dominates.
+	for _, size := range []int{100, 400, 1600, 6400, 25600} {
 		data := repo.NewIndexed(bibData(b, size))
 		b.Run(fmt.Sprintf("edges=%d", data.NumEdges()), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				for _, qs := range e6Queries {
 					mustEval(b, struql.MustParse(qs), data)
@@ -192,6 +203,7 @@ func BenchmarkE6_NaiveQueries(b *testing.B) {
 		g := bibData(b, size)
 		data := struql.NewGraphSource(g)
 		b.Run(fmt.Sprintf("edges=%d", g.NumEdges()), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				for _, qs := range e6Queries {
 					r, err := struql.Eval(struql.MustParse(qs), data, &struql.Options{NoReorder: true})
@@ -206,9 +218,10 @@ func BenchmarkE6_NaiveQueries(b *testing.B) {
 }
 
 func BenchmarkE6_IndexMaintenance(b *testing.B) {
-	for _, size := range []int{100, 400, 1600, 6400} {
+	for _, size := range []int{100, 400, 1600, 6400, 25600} {
 		g := bibData(b, size)
 		b.Run(fmt.Sprintf("edges=%d", g.NumEdges()), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				repo.NewIndexed(g.Copy())
 			}
@@ -236,6 +249,7 @@ func e7Fixture(b *testing.B) (*struql.Query, *repo.Indexed) {
 func BenchmarkE7_StaticMaterialize(b *testing.B) {
 	q, data := e7Fixture(b)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		mustEval(b, q, data)
 	}
@@ -263,6 +277,7 @@ func BenchmarkE7_DynamicCold(b *testing.B) {
 	q, data := e7Fixture(b)
 	s := schema.Build(q)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ev := dynamic.NewEvaluator(s, data)
 		browse(b, ev, 10)
@@ -274,6 +289,7 @@ func BenchmarkE7_DynamicCached(b *testing.B) {
 	ev := dynamic.NewEvaluator(schema.Build(q), data)
 	browse(b, ev, 10) // warm the cache
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		browse(b, ev, 10)
 	}
@@ -282,6 +298,7 @@ func BenchmarkE7_DynamicCached(b *testing.B) {
 func BenchmarkE7_DynamicLookahead(b *testing.B) {
 	q, data := e7Fixture(b)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ev := dynamic.NewEvaluator(schema.Build(q), data)
 		ev.Lookahead = true
@@ -322,6 +339,7 @@ func BenchmarkE8_FullRebuild(b *testing.B) {
 	q, _, updated, _ := e8Fixture(b)
 	src := struql.NewGraphSource(updated)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		mustEval(b, q, src)
 	}
@@ -334,6 +352,7 @@ func BenchmarkE8_IncrementalCopyMerge(b *testing.B) {
 	q, oldSite, updated, delta := e8Fixture(b)
 	src := struql.NewGraphSource(updated)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := dynamic.Incremental(q, oldSite, src, delta); err != nil {
 			b.Fatal(err)
@@ -351,6 +370,7 @@ func BenchmarkE8_IncrementalStatePubDelta(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := st.Apply(src, delta); err != nil {
 			b.Fatal(err)
@@ -374,6 +394,7 @@ func BenchmarkE8_IncrementalStatePatentDelta(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := st.Apply(src, delta); err != nil {
 			b.Fatal(err)
@@ -406,6 +427,7 @@ func BenchmarkE8_MaintainerLocalizedDelta(b *testing.B) {
 	delta := mediator.Diff(data, updated)
 	src := struql.NewGraphSource(updated)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.Apply(src, delta); err != nil {
 			b.Fatal(err)
@@ -427,6 +449,7 @@ func BenchmarkE9_FirstVersion(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.BuildVersion(&spec.Versions[0], data); err != nil {
 			b.Fatal(err)
@@ -451,6 +474,7 @@ func BenchmarkE9_SecondVersion(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.RenderVersion(&spec.Versions[1], first.Queries, first.SiteGraph); err != nil {
 			b.Fatal(err)
@@ -464,6 +488,7 @@ func BenchmarkE10_WhereStage(b *testing.B) {
 	data := repo.NewIndexed(bibData(b, 1000))
 	conds := struql.MustParse(`where Publications(x), x -> "year" -> y, x -> l -> v create N(x)`).Blocks[0].Where
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := struql.EvalWhere(conds, data, nil, nil); err != nil {
 			b.Fatal(err)
@@ -475,6 +500,7 @@ func BenchmarkE10_FullQuery(b *testing.B) {
 	data := repo.NewIndexed(bibData(b, 1000))
 	q := struql.MustParse(`where Publications(x), x -> "year" -> y, x -> l -> v create N(x) link N(x) -> l -> v, N(x) -> "year" -> y`)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		mustEval(b, q, data)
 	}
@@ -485,6 +511,7 @@ func BenchmarkE10_SkolemMemoHits(b *testing.B) {
 	args := []graph.Value{graph.NewString("pub123")}
 	env.OID("Page", args)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		env.OID("Page", args)
 	}
@@ -492,7 +519,11 @@ func BenchmarkE10_SkolemMemoHits(b *testing.B) {
 
 func BenchmarkE10_SkolemMemoMisses(b *testing.B) {
 	env := struql.NewSkolemEnv()
+	// Warm the environment so the one-time arena/table initialization is
+	// excluded; the loop measures the steady-state per-miss cost.
+	env.OID("Warm", []graph.Value{graph.NewInt(-1)})
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		env.OID("Page", []graph.Value{graph.NewInt(int64(i))})
 	}
@@ -540,6 +571,7 @@ func BenchmarkE11_TextOnly(b *testing.B) {
 	for _, depth := range []int{10, 100, 1000} {
 		data := repo.NewIndexed(chainSite(depth, 6))
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mustEval(b, q, data)
 			}
@@ -552,6 +584,7 @@ func BenchmarkE11_RPEScaling(b *testing.B) {
 		pe := struql.MustParsePathExpr(pat)
 		data := repo.NewIndexed(chainSite(500, 4))
 		b.Run(pat, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				struql.ReachableVia(data, "s0", pe)
 			}
@@ -580,6 +613,7 @@ func e12Fixture(b *testing.B) (*schema.Schema, *repo.Indexed, *graph.Graph, cons
 func BenchmarkE12_StaticVerification(b *testing.B) {
 	s, _, _, c := e12Fixture(b)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.CheckStatic(s)
 	}
@@ -588,6 +622,7 @@ func BenchmarkE12_StaticVerification(b *testing.B) {
 func BenchmarkE12_DataVerification(b *testing.B) {
 	s, data, _, c := e12Fixture(b)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.CheckData(s, data)
 	}
@@ -596,6 +631,7 @@ func BenchmarkE12_DataVerification(b *testing.B) {
 func BenchmarkE12_SiteVerification(b *testing.B) {
 	_, _, site, c := e12Fixture(b)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.CheckSite(site)
 	}
@@ -631,6 +667,7 @@ func BenchmarkE13_ParallelScaling(b *testing.B) {
 	for _, j := range workers {
 		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
 			opts := &core.Options{Parallelism: j}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.BuildVersionWith(&spec.Versions[0], data, opts); err != nil {
 					b.Fatal(err)
@@ -697,6 +734,7 @@ func BenchmarkE14_SelectiveQuery(b *testing.B) {
 		{"planner=cost", nil},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := struql.Eval(q, data, cfg.opts); err != nil {
 					b.Fatal(err)
@@ -713,6 +751,7 @@ func BenchmarkE14_Stats(b *testing.B) {
 	q := struql.MustParse(e14SelectiveQuery)
 	warm := struql.CollectStats(data)
 	b.Run("stats=cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := struql.Eval(q, data, &struql.Options{}); err != nil {
 				b.Fatal(err)
@@ -720,6 +759,7 @@ func BenchmarkE14_Stats(b *testing.B) {
 		}
 	})
 	b.Run("stats=warm", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := struql.Eval(q, data, &struql.Options{Stats: warm}); err != nil {
 				b.Fatal(err)
@@ -755,6 +795,7 @@ func BenchmarkE14_RPEDispatch(b *testing.B) {
 		{"rpe=scan", &struql.Options{NoStats: true}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := struql.Eval(q, data, cfg.opts); err != nil {
 					b.Fatal(err)

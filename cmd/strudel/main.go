@@ -72,6 +72,7 @@ func main() {
 	evalTimeout := flag.Duration("eval-timeout", 0, "wall-clock budget per version's query evaluation (0 = none)")
 	noStats := flag.Bool("no-stats", false, "plan queries with fixed heuristics instead of collected selectivity statistics (output is identical)")
 	noReorder := flag.Bool("no-reorder", false, "evaluate query conditions in first-ready textual order instead of cost order (output is identical)")
+	frozen := flag.Bool("frozen", true, "evaluate against the compact frozen graph snapshot; -frozen=false uses generic access paths (output is identical)")
 	flag.Var(&dataFiles, "data", "data-definition-language file (repeatable)")
 	flag.Var(&bibFiles, "bibtex", "BibTeX file (repeatable)")
 	flag.Var(&csvSpecs, "csv", "CSV table as Table:keyColumn:file (repeatable)")
@@ -97,6 +98,7 @@ func main() {
 		EvalTimeout:  *evalTimeout,
 		NoStats:      *noStats,
 		NoReorder:    *noReorder,
+		NoFrozen:     !*frozen,
 	}
 	var reg *obs.Registry
 	if *traceOut != "" {

@@ -27,7 +27,12 @@ type nodeRec struct {
 // not safe for concurrent mutation; concurrent readers are safe once
 // mutation stops. All accessor iteration orders are deterministic.
 type Graph struct {
-	nodes map[OID]*nodeRec
+	// nodes maps an OID to its record's index in recs. Records live in
+	// one slab rather than behind per-node pointers: graphs hold very
+	// many nodes, and the slab halves the allocation count of bulk loads
+	// and query construction.
+	nodes map[OID]int32
+	recs  []nodeRec
 	// collections maps a collection name to member OIDs in insertion order,
 	// with a companion set for O(1) membership tests.
 	collections map[string][]OID
@@ -37,19 +42,36 @@ type Graph struct {
 }
 
 // New returns an empty graph.
-func New() *Graph {
+func New() *Graph { return NewWithCapacity(0, 0) }
+
+// NewWithCapacity returns an empty graph whose node and edge structures
+// are pre-sized for the given counts. Bulk loaders (wrappers, the
+// mediator's warehouse merge) that know their sizes up front avoid the
+// incremental map rehashing that otherwise dominates load time.
+func NewWithCapacity(nodes, edges int) *Graph {
 	return &Graph{
-		nodes:       make(map[OID]*nodeRec),
+		nodes:       make(map[OID]int32, nodes),
+		recs:        make([]nodeRec, 0, nodes),
 		collections: make(map[string][]OID),
 		memberSet:   make(map[string]map[OID]struct{}),
-		edgeSet:     make(map[Edge]struct{}),
+		edgeSet:     make(map[Edge]struct{}, edges),
 	}
+}
+
+// rec returns the record of oid, or nil. The pointer is invalidated by
+// the next AddNode/AddEdge, which may grow the slab.
+func (g *Graph) rec(oid OID) *nodeRec {
+	if i, ok := g.nodes[oid]; ok {
+		return &g.recs[i]
+	}
+	return nil
 }
 
 // AddNode ensures a node with the given OID exists and returns its Value.
 func (g *Graph) AddNode(oid OID) Value {
 	if _, ok := g.nodes[oid]; !ok {
-		g.nodes[oid] = &nodeRec{}
+		g.nodes[oid] = int32(len(g.recs))
+		g.recs = append(g.recs, nodeRec{})
 	}
 	return NewNode(oid)
 }
@@ -74,10 +96,24 @@ func (g *Graph) AddEdge(from OID, label string, to Value) bool {
 		g.AddNode(to.OID())
 	}
 	g.edgeSet[e] = struct{}{}
-	rec := g.nodes[from]
+	rec := &g.recs[g.nodes[from]]
 	rec.out = append(rec.out, e)
 	g.edgeCount++
 	return true
+}
+
+// AddEdges adds a batch of edges through the same dedup path as AddEdge
+// and returns how many were new. It exists for bulk loaders: combined
+// with NewWithCapacity the per-edge structures are grown once instead of
+// rehashed incrementally.
+func (g *Graph) AddEdges(edges []Edge) int {
+	added := 0
+	for _, e := range edges {
+		if g.AddEdge(e.From, e.Label, e.To) {
+			added++
+		}
+	}
+	return added
 }
 
 // HasEdge reports whether the exact edge exists.
@@ -94,7 +130,7 @@ func (g *Graph) RemoveEdge(from OID, label string, to Value) bool {
 		return false
 	}
 	delete(g.edgeSet, e)
-	rec := g.nodes[from]
+	rec := g.rec(from)
 	for i := range rec.out {
 		if rec.out[i] == e {
 			rec.out = append(rec.out[:i], rec.out[i+1:]...)
@@ -129,16 +165,20 @@ func (g *Graph) RemoveFromCollection(coll string, oid OID) bool {
 // RemoveNode deletes a node record and its outgoing edges; it reports
 // whether the node existed. The caller is responsible for ensuring no
 // other edges or memberships still reference the node (incremental
-// maintenance tracks that with reference counts).
+// maintenance tracks that with reference counts). The slab slot is
+// abandoned, not reclaimed — node removal is rare (incremental dynamic
+// maintenance only) and the map is the membership authority.
 func (g *Graph) RemoveNode(oid OID) bool {
-	rec, ok := g.nodes[oid]
+	i, ok := g.nodes[oid]
 	if !ok {
 		return false
 	}
+	rec := &g.recs[i]
 	for _, e := range rec.out {
 		delete(g.edgeSet, e)
 		g.edgeCount--
 	}
+	rec.out = nil
 	delete(g.nodes, oid)
 	return true
 }
@@ -231,8 +271,8 @@ func (g *Graph) NumEdges() int { return g.edgeCount }
 // Out returns the outgoing edges of oid sorted by (label, target key).
 // The returned slice is fresh and safe to retain.
 func (g *Graph) Out(oid OID) []Edge {
-	rec, ok := g.nodes[oid]
-	if !ok {
+	rec := g.rec(oid)
+	if rec == nil {
 		return nil
 	}
 	out := make([]Edge, len(rec.out))
@@ -243,8 +283,8 @@ func (g *Graph) Out(oid OID) []Edge {
 
 // OutLabel returns the values of oid's edges labeled label, sorted by key.
 func (g *Graph) OutLabel(oid OID, label string) []Value {
-	rec, ok := g.nodes[oid]
-	if !ok {
+	rec := g.rec(oid)
+	if rec == nil {
 		return nil
 	}
 	var vals []Value
@@ -253,7 +293,7 @@ func (g *Graph) OutLabel(oid OID, label string) []Value {
 			vals = append(vals, e.To)
 		}
 	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i].Key() < vals[j].Key() })
+	sort.Slice(vals, func(i, j int) bool { return KeyCompare(vals[i], vals[j]) < 0 })
 	return vals
 }
 
@@ -271,8 +311,8 @@ func (g *Graph) First(oid OID, label string) Value {
 // and attributes).
 func (g *Graph) Labels() []string {
 	set := make(map[string]struct{})
-	for _, rec := range g.nodes {
-		for _, e := range rec.out {
+	for _, i := range g.nodes {
+		for _, e := range g.recs[i].out {
 			set[e.Label] = struct{}{}
 		}
 	}
@@ -308,10 +348,10 @@ func (g *Graph) AllEdges() []Edge {
 
 // Copy returns a deep copy of the graph.
 func (g *Graph) Copy() *Graph {
-	c := New()
-	for oid, rec := range g.nodes {
+	c := NewWithCapacity(len(g.nodes), g.edgeCount)
+	for oid, i := range g.nodes {
 		c.AddNode(oid)
-		for _, e := range rec.out {
+		for _, e := range g.recs[i].out {
 			c.AddEdge(e.From, e.Label, e.To)
 		}
 	}
@@ -328,9 +368,9 @@ func (g *Graph) Copy() *Graph {
 // Nodes with equal OIDs unify, which is how composed StruQL queries extend
 // a site graph across multiple queries (§6.2).
 func (g *Graph) Merge(other *Graph) {
-	for oid, rec := range other.nodes {
+	for oid, i := range other.nodes {
 		g.AddNode(oid)
-		for _, e := range rec.out {
+		for _, e := range other.recs[i].out {
 			g.AddEdge(e.From, e.Label, e.To)
 		}
 	}
@@ -354,7 +394,7 @@ func (g *Graph) Reachable(start OID) map[OID]struct{} {
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		rec := g.nodes[cur]
+		rec := g.rec(cur)
 		for _, e := range rec.out {
 			if e.To.IsNode() {
 				to := e.To.OID()
@@ -377,7 +417,7 @@ func sortEdges(edges []Edge) {
 		if a.Label != b.Label {
 			return a.Label < b.Label
 		}
-		return a.To.Key() < b.To.Key()
+		return KeyCompare(a.To, b.To) < 0
 	})
 }
 

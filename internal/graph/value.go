@@ -247,6 +247,129 @@ func (v Value) Key() string {
 	return "?"
 }
 
+// keyPrefix is the leading discriminator byte of Key() per kind. The
+// bytes are pairwise distinct, so cross-kind key comparisons are decided
+// by the prefix alone.
+func keyPrefix(k Kind) byte {
+	switch k {
+	case KindNull:
+		return '0'
+	case KindNode:
+		return 'n'
+	case KindString:
+		return 's'
+	case KindInt:
+		return 'i'
+	case KindFloat:
+		return 'f'
+	case KindBool:
+		return 'b'
+	case KindURL:
+		return 'u'
+	case KindFile:
+		return 'F'
+	}
+	return '?'
+}
+
+// AppendKey appends v's Key() representation to dst without allocating a
+// string, for callers that build composite keys in reusable buffers.
+func AppendKey(dst []byte, v Value) []byte {
+	dst = append(dst, keyPrefix(v.kind))
+	switch v.kind {
+	case KindNode:
+		dst = append(dst, v.oid...)
+	case KindString, KindURL:
+		dst = append(dst, v.str...)
+	case KindInt:
+		dst = strconv.AppendInt(dst, v.i64, 10)
+	case KindFloat:
+		dst = strconv.AppendFloat(dst, v.f64, 'g', -1, 64)
+	case KindBool:
+		dst = strconv.AppendInt(dst, v.i64, 10)
+	case KindFile:
+		dst = append(dst, v.ft.String()...)
+		dst = append(dst, ':')
+		dst = append(dst, v.str...)
+	}
+	return dst
+}
+
+// KeyCompare orders two values exactly as strings.Compare(a.Key(),
+// b.Key()) would, without materializing either key. Sort loops over
+// values are the hottest comparison site in the system; the key strings
+// they used to build dominated evaluator allocations.
+func KeyCompare(a, b Value) int {
+	pa, pb := keyPrefix(a.kind), keyPrefix(b.kind)
+	if pa != pb {
+		if pa < pb {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindNull:
+		return 0
+	case KindNode:
+		return strings.Compare(string(a.oid), string(b.oid))
+	case KindString, KindURL:
+		return strings.Compare(a.str, b.str)
+	case KindBool:
+		// Payloads are 0 or 1, where numeric and decimal-text order agree.
+		switch {
+		case a.i64 < b.i64:
+			return -1
+		case a.i64 > b.i64:
+			return 1
+		}
+		return 0
+	case KindInt:
+		if a.i64 == b.i64 {
+			return 0
+		}
+		// Key order is the decimal text's byte order, not numeric order
+		// ("10" sorts before "9"), so spell both out on the stack.
+		var ab, bb [20]byte
+		return bytesCompare(strconv.AppendInt(ab[:0], a.i64, 10), strconv.AppendInt(bb[:0], b.i64, 10))
+	case KindFloat:
+		// No equality shortcut: +0 and -0 compare == but format
+		// differently, and NaNs compare != but format identically.
+		var ab, bb [32]byte
+		return bytesCompare(strconv.AppendFloat(ab[:0], a.f64, 'g', -1, 64),
+			strconv.AppendFloat(bb[:0], b.f64, 'g', -1, 64))
+	case KindFile:
+		// Key is ft.String() + ":" + str; known type names are never
+		// prefixes of one another, so unequal names decide the order.
+		if a.ft != b.ft {
+			return strings.Compare(a.ft.String(), b.ft.String())
+		}
+		return strings.Compare(a.str, b.str)
+	}
+	return 0
+}
+
+func bytesCompare(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
 // Equal reports strict equality: same kind and same payload.
 func (v Value) Equal(w Value) bool { return v == w }
 

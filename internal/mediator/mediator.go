@@ -106,16 +106,32 @@ func (m *Mediator) contribution(s Source) (*graph.Graph, error) {
 // Warehouse loads every source and merges the contributions into one
 // indexed data graph (the repository's "data graph").
 func (m *Mediator) Warehouse() (*repo.Indexed, error) {
-	merged := graph.New()
+	contribs := make([]*graph.Graph, 0, len(m.sources))
 	for _, s := range m.sources {
 		c, err := m.contribution(s)
 		if err != nil {
 			return nil, err
 		}
 		m.contributions[s.Name] = c
+		contribs = append(contribs, c)
+	}
+	return repo.NewIndexed(mergeContributions(contribs)), nil
+}
+
+// mergeContributions merges source graphs into one graph pre-sized for
+// their combined node and edge counts, so the merge grows each structure
+// once instead of rehashing incrementally per edge.
+func mergeContributions(contribs []*graph.Graph) *graph.Graph {
+	nodes, edges := 0, 0
+	for _, c := range contribs {
+		nodes += c.NumNodes()
+		edges += c.NumEdges()
+	}
+	merged := graph.NewWithCapacity(nodes, edges)
+	for _, c := range contribs {
 		merged.Merge(c)
 	}
-	return repo.NewIndexed(merged), nil
+	return merged
 }
 
 // SourceReport pairs a source name with the skip report its fail-soft
@@ -175,7 +191,7 @@ func (m *Mediator) contributionLenient(s Source) (*graph.Graph, *diag.Report, er
 // first failure, in source order) when a source's skips exceed the
 // budget or a mapping errors; the reports accompany the error.
 func (m *Mediator) WarehouseLenient(budget diag.Budget) (*repo.Indexed, []SourceReport, error) {
-	merged := graph.New()
+	contribs := make([]*graph.Graph, 0, len(m.sources))
 	reports := make([]SourceReport, 0, len(m.sources))
 	var firstErr error
 	for _, s := range m.sources {
@@ -195,24 +211,24 @@ func (m *Mediator) WarehouseLenient(budget diag.Budget) (*repo.Indexed, []Source
 			continue
 		}
 		m.contributions[s.Name] = c
-		merged.Merge(c)
+		contribs = append(contribs, c)
 	}
 	if firstErr != nil {
 		return nil, reports, firstErr
 	}
-	return repo.NewIndexed(merged), reports, nil
+	return repo.NewIndexed(mergeContributions(contribs)), reports, nil
 }
 
 // DataGraph returns the merged graph of the current contributions
 // without reloading sources; Warehouse must have run.
 func (m *Mediator) DataGraph() *graph.Graph {
-	merged := graph.New()
+	contribs := make([]*graph.Graph, 0, len(m.sources))
 	for _, s := range m.sources {
 		if c, ok := m.contributions[s.Name]; ok {
-			merged.Merge(c)
+			contribs = append(contribs, c)
 		}
 	}
-	return merged
+	return mergeContributions(contribs)
 }
 
 // Delta describes the difference between two versions of a graph.

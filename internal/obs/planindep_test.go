@@ -51,12 +51,14 @@ func TestPlannerConfigIndependence(t *testing.T) {
 		{NoStats: true, NoReorder: true, Parallelism: 2},
 		{Parallelism: runtime.NumCPU()},
 		{NoStats: true, Parallelism: runtime.NumCPU()},
+		{NoFrozen: true},
+		{NoFrozen: true, NoStats: true, Parallelism: 2},
 	}
 	for name, spec := range exampleSpecs() {
 		t.Run(name, func(t *testing.T) {
 			basePages, baseDumps := buildSite(t, spec, &core.Options{Parallelism: 1})
 			for _, opts := range variants {
-				label := fmt.Sprintf("noStats=%v/noReorder=%v/par=%d", opts.NoStats, opts.NoReorder, opts.Parallelism)
+				label := fmt.Sprintf("noStats=%v/noReorder=%v/noFrozen=%v/par=%d", opts.NoStats, opts.NoReorder, opts.NoFrozen, opts.Parallelism)
 				pages, dumps := buildSite(t, spec, opts)
 				diffPages(t, label, basePages, pages)
 				diffDumps(t, label, baseDumps, dumps)
@@ -130,8 +132,8 @@ func TestShuffledConditionsIndependence(t *testing.T) {
 			basePages, baseDumps := buildSite(t, spec, &core.Options{Parallelism: 1})
 			for _, seed := range seeds {
 				shuffled := shuffledSpec(t, spec, seed)
-				for _, opts := range []*core.Options{{}, {NoReorder: true}} {
-					label := fmt.Sprintf("seed=%d/noReorder=%v", seed, opts.NoReorder)
+				for _, opts := range []*core.Options{{}, {NoReorder: true}, {NoFrozen: true}} {
+					label := fmt.Sprintf("seed=%d/noReorder=%v/noFrozen=%v", seed, opts.NoReorder, opts.NoFrozen)
 					pages, dumps := buildSite(t, shuffled, opts)
 					diffPages(t, label, basePages, pages)
 					diffDumps(t, label, baseDumps, dumps)

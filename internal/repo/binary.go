@@ -30,7 +30,39 @@ import (
 // file refs into the string table (files also carry a type byte), ints as
 // zigzag varints, floats as IEEE-754 bits, bools as 0/1.
 
-const binaryMagic = "SGB1"
+const (
+	binaryMagic   = "SGB1"
+	binaryMagicV2 = "SGB2"
+)
+
+// EncodeBinaryFrozen serializes a frozen snapshot in the SGB2 format:
+// the magic followed by the snapshot's own binary payload (dictionary,
+// typed arenas, out-adjacency CSR, collections — see internal/graph).
+// SGB2 files decode straight into a queryable snapshot without
+// re-indexing; DecodeBinary accepts both formats.
+func EncodeBinaryFrozen(f *graph.Frozen) []byte {
+	out := make([]byte, 0, 1<<12)
+	out = append(out, binaryMagicV2...)
+	return graph.AppendFrozen(out, f)
+}
+
+// DecodeBinaryFrozen deserializes either binary format into a frozen
+// snapshot: SGB2 directly, SGB1 by decoding the mutable graph and
+// freezing it.
+func DecodeBinaryFrozen(data []byte) (*graph.Frozen, error) {
+	if len(data) >= len(binaryMagicV2) && string(data[:len(binaryMagicV2)]) == binaryMagicV2 {
+		return graph.DecodeFrozen(data[len(binaryMagicV2):])
+	}
+	g, err := DecodeBinary(data)
+	if err != nil {
+		return nil, err
+	}
+	f := g.Freeze()
+	if f == nil {
+		return nil, fmt.Errorf("repo: binary: graph too large to freeze")
+	}
+	return f, nil
+}
 
 // EncodeBinary serializes a graph in the compact binary format.
 func EncodeBinary(g *graph.Graph) []byte {
@@ -137,8 +169,16 @@ func (e *binEncoder) writeValue(buf *bytes.Buffer, v graph.Value) {
 	}
 }
 
-// DecodeBinary deserializes a graph encoded by EncodeBinary.
+// DecodeBinary deserializes a graph encoded by EncodeBinary or
+// EncodeBinaryFrozen, dispatching on the magic.
 func DecodeBinary(data []byte) (*graph.Graph, error) {
+	if len(data) >= len(binaryMagicV2) && string(data[:len(binaryMagicV2)]) == binaryMagicV2 {
+		f, err := graph.DecodeFrozen(data[len(binaryMagicV2):])
+		if err != nil {
+			return nil, err
+		}
+		return f.Thaw(), nil
+	}
 	d := &binDecoder{data: data}
 	if len(data) < len(binaryMagic) || string(data[:len(binaryMagic)]) != binaryMagic {
 		return nil, fmt.Errorf("repo: binary: bad magic")
@@ -147,6 +187,12 @@ func DecodeBinary(data []byte) (*graph.Graph, error) {
 	nStrings, err := d.uvarint()
 	if err != nil {
 		return nil, err
+	}
+	// Every table entry consumes at least one byte of input, so a count
+	// beyond the remaining bytes is corrupt; checking before allocating
+	// keeps an adversarial count from pre-sizing an enormous slice.
+	if nStrings > uint64(len(d.data)-d.pos) {
+		return nil, fmt.Errorf("repo: binary: string count %d exceeds input", nStrings)
 	}
 	strings := make([]string, 0, nStrings)
 	for i := uint64(0); i < nStrings; i++ {

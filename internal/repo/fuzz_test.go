@@ -7,7 +7,11 @@ import "testing"
 func FuzzDecodeBinary(f *testing.F) {
 	f.Add(EncodeBinary(sampleGraph()))
 	f.Add(EncodeBinary(allKindsGraph()))
+	if fz := allKindsGraph().Freeze(); fz != nil {
+		f.Add(EncodeBinaryFrozen(fz))
+	}
 	f.Add([]byte("SGB1"))
+	f.Add([]byte("SGB2"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := DecodeBinary(data)

@@ -39,6 +39,14 @@ type Indexed struct {
 	// LabelStats; entries are invalidated label-by-label on mutation.
 	statMu     sync.Mutex
 	labelStats map[string]labelStat
+
+	// frozenMu guards the lazily built compact snapshot. It is built on
+	// the first Frozen call after a mutation (not eagerly, so write-heavy
+	// workloads like index-maintenance never pay for it) and dropped by
+	// any mutation.
+	frozenMu    sync.Mutex
+	frozen      *graph.Frozen
+	frozenBuilt bool
 }
 
 // labelStat caches one label's selectivity summary.
@@ -66,6 +74,37 @@ func NewIndexed(g *graph.Graph) *Indexed {
 // Empty returns an Indexed over a fresh empty graph.
 func Empty() *Indexed { return NewIndexed(graph.New()) }
 
+// NewIndexedFrozen builds an Indexed from a decoded snapshot, adopting it
+// as the already-built frozen view so the first query never re-freezes.
+func NewIndexedFrozen(f *graph.Frozen) *Indexed {
+	ix := NewIndexed(f.Thaw())
+	ix.frozen = f
+	ix.frozenBuilt = true
+	return ix
+}
+
+// Frozen returns the compact read-optimized snapshot of the current
+// state, building it on first use and caching it until the next
+// mutation. It returns nil when the graph exceeds the snapshot's packed
+// id capacity; callers fall back to the mutable representation.
+func (ix *Indexed) Frozen() *graph.Frozen {
+	ix.frozenMu.Lock()
+	defer ix.frozenMu.Unlock()
+	if !ix.frozenBuilt {
+		ix.frozen = ix.g.Freeze()
+		ix.frozenBuilt = true
+	}
+	return ix.frozen
+}
+
+// invalidateFrozen drops the snapshot; every mutation path calls it.
+func (ix *Indexed) invalidateFrozen() {
+	ix.frozenMu.Lock()
+	ix.frozen = nil
+	ix.frozenBuilt = false
+	ix.frozenMu.Unlock()
+}
+
 func (ix *Indexed) index(e graph.Edge) {
 	if _, known := ix.byLabel[e.Label]; !known {
 		ix.dirty = true
@@ -91,20 +130,28 @@ func (ix *Indexed) AddEdge(from graph.OID, label string, to graph.Value) bool {
 	if !ix.g.AddEdge(from, label, to) {
 		return false
 	}
+	ix.invalidateFrozen()
 	ix.index(graph.Edge{From: from, Label: label, To: to})
 	return true
 }
 
 // AddNode ensures the node exists.
-func (ix *Indexed) AddNode(oid graph.OID) { ix.g.AddNode(oid) }
+func (ix *Indexed) AddNode(oid graph.OID) {
+	if !ix.g.HasNode(oid) {
+		ix.invalidateFrozen()
+	}
+	ix.g.AddNode(oid)
+}
 
 // AddToCollection adds oid to the named collection.
 func (ix *Indexed) AddToCollection(coll string, oid graph.OID) {
+	ix.invalidateFrozen()
 	ix.g.AddToCollection(coll, oid)
 }
 
 // Merge indexes and inserts every edge, node, and membership of other.
 func (ix *Indexed) Merge(other *graph.Graph) {
+	ix.invalidateFrozen()
 	for _, oid := range other.Nodes() {
 		ix.g.AddNode(oid)
 	}
@@ -203,6 +250,13 @@ func (ix *Indexed) LabelStats(label string) (count, sources, targets int) {
 		return st.count, st.sources, st.targets
 	}
 	ix.statMu.Unlock()
+	// A built snapshot has the distinct counts precomputed.
+	ix.frozenMu.Lock()
+	f := ix.frozen
+	ix.frozenMu.Unlock()
+	if f != nil {
+		return f.LabelStats(label)
+	}
 	edges := ix.byLabel[label]
 	srcs := make(map[graph.OID]struct{}, len(edges))
 	tgts := make(map[string]struct{}, len(edges))

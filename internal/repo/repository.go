@@ -44,6 +44,13 @@ func (r *Repository) Put(name string, g *graph.Graph) *Indexed {
 	return ix
 }
 
+// PutIndexed stores an already-indexed graph under the given name.
+func (r *Repository) PutIndexed(name string, ix *Indexed) {
+	r.mu.Lock()
+	r.graphs[name] = ix
+	r.mu.Unlock()
+}
+
 // Get returns the named indexed graph, or nil if absent.
 func (r *Repository) Get(name string) *Indexed {
 	r.mu.RLock()
@@ -84,9 +91,16 @@ func (r *Repository) Save(dir string) error {
 
 // SaveBinary writes every stored graph to dir as <name>.sgb in the
 // compact binary format, with the same atomic-replacement guarantee as
-// Save.
+// Save. Graphs that fit the snapshot layout are written as SGB2 (the
+// frozen form, which loads without re-indexing); oversized graphs fall
+// back to SGB1.
 func (r *Repository) SaveBinary(dir string) error {
-	return r.save(dir, ".sgb", func(ix *Indexed) []byte { return EncodeBinary(ix.Graph()) })
+	return r.save(dir, ".sgb", func(ix *Indexed) []byte {
+		if f := ix.Frozen(); f != nil {
+			return EncodeBinaryFrozen(f)
+		}
+		return EncodeBinary(ix.Graph())
+	})
 }
 
 func (r *Repository) save(dir, ext string, encode func(*Indexed) []byte) error {
@@ -148,11 +162,20 @@ func (r *Repository) LoadBinary(dir string) error {
 		if err != nil {
 			return fmt.Errorf("repo: load %s: %w", ent.Name(), err)
 		}
+		name := strings.TrimSuffix(ent.Name(), ".sgb")
+		if len(data) >= len(binaryMagicV2) && string(data[:len(binaryMagicV2)]) == binaryMagicV2 {
+			f, err := graph.DecodeFrozen(data[len(binaryMagicV2):])
+			if err != nil {
+				return fmt.Errorf("repo: load %s: %w", ent.Name(), err)
+			}
+			r.PutIndexed(name, NewIndexedFrozen(f))
+			continue
+		}
 		g, err := DecodeBinary(data)
 		if err != nil {
 			return fmt.Errorf("repo: load %s: %w", ent.Name(), err)
 		}
-		r.Put(strings.TrimSuffix(ent.Name(), ".sgb"), g)
+		r.Put(name, g)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package struql
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sort"
@@ -27,6 +28,12 @@ type Options struct {
 	// are never seeded from label indexes. This is the pre-cost-model
 	// planner, kept as the before half of experiment E14.
 	NoStats bool
+	// NoFrozen disables the compact-snapshot fast path: even when the
+	// source can supply a frozen graph (repo.Indexed), the evaluator
+	// sticks to the Source interface's slice-returning accessors. Results
+	// are identical either way — the flag exists as the escape hatch and
+	// as the before half of the snapshot benchmarks.
+	NoFrozen bool
 	// Stats, when non-nil, supplies pre-collected selectivity statistics
 	// (see CollectStats) instead of collecting them per evaluation — the
 	// warm-statistics path. The Stats must describe the evaluated
@@ -164,6 +171,12 @@ func EvalWhereCtx(reqCtx context.Context, conds []Cond, src Source, seed *Bindin
 	return ctx.evalWhere(conds, seed)
 }
 
+// frozenSource is implemented by sources that can supply a compact
+// read-optimized snapshot of their current state (repo.Indexed). The
+// snapshot, when present, replaces the slice-returning Source accessors
+// with zero-copy CSR iteration on the evaluator's hot paths.
+type frozenSource interface{ Frozen() *graph.Frozen }
+
 type evalCtx struct {
 	src   Source
 	opts  *Options
@@ -171,6 +184,10 @@ type evalCtx struct {
 	out   *graph.Graph
 	rows  int
 	plans []string
+	// frozen is the source's compact snapshot, nil when the source has
+	// none or Options.NoFrozen is set. Both representations answer every
+	// access identically; only the allocation profile differs.
+	frozen *graph.Frozen
 	// par is the resolved worker count for per-row operators.
 	par int
 	// avgDeg caches avgDegree(src) for the planner; the source does not
@@ -203,6 +220,14 @@ func newEvalCtx(src Source, opts *Options, env *SkolemEnv) *evalCtx {
 	if opts == nil {
 		opts = &Options{}
 	}
+	// Resolve the snapshot before statistics: collection then reads the
+	// snapshot's precomputed per-label summaries.
+	var frozen *graph.Frozen
+	if !opts.NoFrozen {
+		if fs, ok := src.(frozenSource); ok {
+			frozen = fs.Frozen()
+		}
+	}
 	var stats *Stats
 	if !opts.NoStats {
 		if opts.Stats != nil {
@@ -218,6 +243,7 @@ func newEvalCtx(src Source, opts *Options, env *SkolemEnv) *evalCtx {
 		opts:      opts,
 		env:       env,
 		out:       graph.New(),
+		frozen:    frozen,
 		par:       opts.parallelism(),
 		avgDeg:    avgDegree(src),
 		stats:     stats,
@@ -239,6 +265,7 @@ func (ctx *evalCtx) forkSequential() *evalCtx {
 		opts:          ctx.opts,
 		env:           ctx.env,
 		out:           ctx.out,
+		frozen:        ctx.frozen,
 		par:           1,
 		avgDeg:        ctx.avgDeg,
 		stats:         ctx.stats,
@@ -276,7 +303,7 @@ func (ctx *evalCtx) polled() bool {
 }
 
 func (ctx *evalCtx) matcher(p *PathExpr) *pathMatcher {
-	return ctx.cache.get(p, ctx.src, ctx.maxNFA, ctx.metrics)
+	return ctx.cache.get(p, ctx.src, ctx.frozen, ctx.maxNFA, ctx.metrics)
 }
 
 func (ctx *evalCtx) evalBlock(blk *Block, parent *Bindings) error {
@@ -495,18 +522,41 @@ func resolveAt(t Term, idx int, row []graph.Value) (graph.Value, bool) {
 
 func (ctx *evalCtx) applyMember(c *MemberCond, b *Bindings) (*Bindings, error) {
 	vi := b.Index(c.Var)
+	f := ctx.frozen
+	// The extent is row-invariant: fetch it once, lazily (rows with a
+	// bound variable probe membership and never need it), shared across
+	// worker goroutines.
+	var membersOnce sync.Once
+	var members []graph.OID
+	extent := func() []graph.OID {
+		membersOnce.Do(func() {
+			if f != nil {
+				members = f.Collection(c.Coll)
+			} else {
+				members = ctx.src.Collection(c.Coll)
+			}
+		})
+		return members
+	}
 	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
+		var fr rowFrame
 		out := make([][]graph.Value, 0, len(chunk))
 		for _, row := range chunk {
 			v := row[vi]
 			if !v.IsNull() {
-				if v.IsNode() && ctx.src.InCollection(c.Coll, v.OID()) {
-					out = append(out, row)
+				if v.IsNode() {
+					if f != nil {
+						if f.InCollection(c.Coll, v.OID()) {
+							out = append(out, row)
+						}
+					} else if ctx.src.InCollection(c.Coll, v.OID()) {
+						out = append(out, row)
+					}
 				}
 				continue
 			}
-			for _, m := range ctx.src.Collection(c.Coll) {
-				nr := cloneRow(row)
+			for _, m := range extent() {
+				nr := fr.clone(row)
 				nr[vi] = graph.NewNode(m)
 				out = append(out, nr)
 			}
@@ -632,11 +682,14 @@ func bindIfConsistent(row []graph.Value, i int, v graph.Value) bool {
 }
 
 // applyEdge evaluates x -> l -> y with an arc variable, choosing the
-// access path from what is already bound.
+// access path from what is already bound. With a snapshot, every access
+// path iterates the CSR in place instead of materializing edge slices.
 func (ctx *evalCtx) applyEdge(c *EdgeCond, b *Bindings) (*Bindings, error) {
 	fi, ti := termIndex(c.From, b), termIndex(c.To, b)
 	li := b.Index(c.LabelVar)
+	f := ctx.frozen
 	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
+		var fr rowFrame
 		out := make([][]graph.Value, 0, len(chunk))
 		for _, row := range chunk {
 			from, fromKnown := resolveAt(c.From, fi, row)
@@ -646,15 +699,12 @@ func (ctx *evalCtx) applyEdge(c *EdgeCond, b *Bindings) (*Bindings, error) {
 			if li >= 0 && !row[li].IsNull() {
 				label, labelKnown = row[li], true
 			}
-			emit := func(e graph.Edge) {
-				nr := cloneRow(row)
-				if !bindIfConsistent(nr, fi, graph.NewNode(e.From)) {
-					return
-				}
-				if !bindIfConsistent(nr, li, graph.NewString(e.Label)) {
-					return
-				}
-				if !bindIfConsistent(nr, ti, e.To) {
+			emit := func(efrom graph.OID, elabel string, eto graph.Value) {
+				nr := fr.clone(row)
+				if !bindIfConsistent(nr, fi, graph.NewNode(efrom)) ||
+					!bindIfConsistent(nr, li, graph.NewString(elabel)) ||
+					!bindIfConsistent(nr, ti, eto) {
+					fr.free(nr)
 					return
 				}
 				out = append(out, nr)
@@ -665,29 +715,73 @@ func (ctx *evalCtx) applyEdge(c *EdgeCond, b *Bindings) (*Bindings, error) {
 					continue
 				}
 				if labelKnown {
-					for _, v := range ctx.src.OutLabel(from.OID(), label.Text()) {
-						emit(graph.Edge{From: from.OID(), Label: label.Text(), To: v})
+					lt := label.Text()
+					if f != nil {
+						f.ForEachOutLabel(from.OID(), lt, func(v graph.Value) bool {
+							emit(from.OID(), lt, v)
+							return true
+						})
+					} else {
+						for _, v := range ctx.src.OutLabel(from.OID(), lt) {
+							emit(from.OID(), lt, v)
+						}
 					}
+				} else if f != nil {
+					f.ForEachOut(from.OID(), func(elabel string, v graph.Value) bool {
+						emit(from.OID(), elabel, v)
+						return true
+					})
 				} else {
 					for _, e := range ctx.src.Out(from.OID()) {
-						emit(e)
+						emit(e.From, e.Label, e.To)
 					}
 				}
 			case toKnown:
-				for _, e := range ctx.src.In(to) {
-					if labelKnown && e.Label != label.Text() {
-						continue
+				lt := ""
+				if labelKnown {
+					lt = label.Text()
+				}
+				if f != nil {
+					f.ForEachIn(to, func(efrom graph.OID, elabel string) bool {
+						if !labelKnown || elabel == lt {
+							emit(efrom, elabel, to)
+						}
+						return true
+					})
+				} else {
+					for _, e := range ctx.src.In(to) {
+						if labelKnown && e.Label != lt {
+							continue
+						}
+						emit(e.From, e.Label, e.To)
 					}
-					emit(e)
 				}
 			case labelKnown:
-				for _, e := range ctx.src.EdgesLabeled(label.Text()) {
-					emit(e)
+				lt := label.Text()
+				if f != nil {
+					f.ForEachLabeled(lt, func(efrom graph.OID, v graph.Value) bool {
+						emit(efrom, lt, v)
+						return true
+					})
+				} else {
+					for _, e := range ctx.src.EdgesLabeled(lt) {
+						emit(e.From, e.Label, e.To)
+					}
 				}
 			default:
-				for _, n := range ctx.src.Nodes() {
-					for _, e := range ctx.src.Out(n) {
-						emit(e)
+				if f != nil {
+					for i, nn := 0, f.NumNodes(); i < nn; i++ {
+						n := f.NodeAt(i)
+						f.ForEachOut(n, func(elabel string, v graph.Value) bool {
+							emit(n, elabel, v)
+							return true
+						})
+					}
+				} else {
+					for _, n := range ctx.src.Nodes() {
+						for _, e := range ctx.src.Out(n) {
+							emit(e.From, e.Label, e.To)
+						}
 					}
 				}
 			}
@@ -719,7 +813,17 @@ func (ctx *evalCtx) applyPath(c *PathCond, step PlanStep, b *Bindings) (*Binding
 	allStarts := func() []graph.Value {
 		startsOnce.Do(func() {
 			if len(step.SeedLabels) > 0 {
-				seededStarts = seedStarts(ctx.src, step.SeedLabels)
+				if ctx.frozen != nil {
+					seededStarts = seedStartsFrozen(ctx.frozen, step.SeedLabels)
+				} else {
+					seededStarts = seedStarts(ctx.src, step.SeedLabels)
+				}
+				return
+			}
+			if ctx.frozen != nil {
+				for i, nn := 0, ctx.frozen.NumNodes(); i < nn; i++ {
+					seededStarts = append(seededStarts, graph.NewNode(ctx.frozen.NodeAt(i)))
+				}
 				return
 			}
 			for _, n := range ctx.src.Nodes() {
@@ -729,6 +833,7 @@ func (ctx *evalCtx) applyPath(c *PathCond, step PlanStep, b *Bindings) (*Binding
 		return seededStarts
 	}
 	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
+		var fr rowFrame
 		out := make([][]graph.Value, 0, len(chunk))
 		for _, row := range chunk {
 			from, fromKnown := resolveAt(c.From, fi, row)
@@ -748,9 +853,11 @@ func (ctx *evalCtx) applyPath(c *PathCond, step PlanStep, b *Bindings) (*Binding
 						return nil, err
 					}
 					if hit {
-						nr := cloneRow(row)
+						nr := fr.clone(row)
 						if bindIfConsistent(nr, fi, s) {
 							out = append(out, nr)
+						} else {
+							fr.free(nr)
 						}
 					}
 					continue
@@ -761,9 +868,11 @@ func (ctx *evalCtx) applyPath(c *PathCond, step PlanStep, b *Bindings) (*Binding
 					return nil, err
 				}
 				for _, v := range vs {
-					nr := cloneRow(row)
+					nr := fr.clone(row)
 					if bindIfConsistent(nr, fi, s) && bindIfConsistent(nr, ti, v) {
 						out = append(out, nr)
+					} else {
+						fr.free(nr)
 					}
 				}
 			}
@@ -778,15 +887,19 @@ func (ctx *evalCtx) applyPath(c *PathCond, step PlanStep, b *Bindings) (*Binding
 
 func (ctx *evalCtx) applySingleLabel(c *PathCond, label string, step PlanStep, b *Bindings) (*Bindings, error) {
 	fi, ti := termIndex(c.From, b), termIndex(c.To, b)
+	f := ctx.frozen
 	rows, err := ctx.rowMap(b.Rows, func(_ int, chunk [][]graph.Value) ([][]graph.Value, error) {
+		var fr rowFrame
 		out := make([][]graph.Value, 0, len(chunk))
 		for _, row := range chunk {
 			from, fromKnown := resolveAt(c.From, fi, row)
 			to, toKnown := resolveAt(c.To, ti, row)
-			emit := func(e graph.Edge) {
-				nr := cloneRow(row)
-				if bindIfConsistent(nr, fi, graph.NewNode(e.From)) && bindIfConsistent(nr, ti, e.To) {
+			emit := func(efrom graph.OID, eto graph.Value) {
+				nr := fr.clone(row)
+				if bindIfConsistent(nr, fi, graph.NewNode(efrom)) && bindIfConsistent(nr, ti, eto) {
 					out = append(out, nr)
+				} else {
+					fr.free(nr)
 				}
 			}
 			switch {
@@ -796,30 +909,62 @@ func (ctx *evalCtx) applySingleLabel(c *PathCond, label string, step PlanStep, b
 				if !from.IsNode() {
 					continue
 				}
-				for _, e := range ctx.src.In(to) {
-					if e.Label == label && e.From == from.OID() {
-						emit(e)
+				if f != nil {
+					f.ForEachInLabel(to, label, func(efrom graph.OID) bool {
+						if efrom == from.OID() {
+							emit(efrom, to)
+						}
+						return true
+					})
+				} else {
+					for _, e := range ctx.src.In(to) {
+						if e.Label == label && e.From == from.OID() {
+							emit(e.From, e.To)
+						}
 					}
 				}
 			case fromKnown:
 				if !from.IsNode() {
 					continue
 				}
-				for _, v := range ctx.src.OutLabel(from.OID(), label) {
-					if toKnown && v != to {
-						continue
+				if f != nil {
+					f.ForEachOutLabel(from.OID(), label, func(v graph.Value) bool {
+						if !toKnown || v == to {
+							emit(from.OID(), v)
+						}
+						return true
+					})
+				} else {
+					for _, v := range ctx.src.OutLabel(from.OID(), label) {
+						if toKnown && v != to {
+							continue
+						}
+						emit(from.OID(), v)
 					}
-					emit(graph.Edge{From: from.OID(), Label: label, To: v})
 				}
 			case toKnown:
-				for _, e := range ctx.src.In(to) {
-					if e.Label == label {
-						emit(e)
+				if f != nil {
+					f.ForEachInLabel(to, label, func(efrom graph.OID) bool {
+						emit(efrom, to)
+						return true
+					})
+				} else {
+					for _, e := range ctx.src.In(to) {
+						if e.Label == label {
+							emit(e.From, e.To)
+						}
 					}
 				}
 			default:
-				for _, e := range ctx.src.EdgesLabeled(label) {
-					emit(e)
+				if f != nil {
+					f.ForEachLabeled(label, func(efrom graph.OID, v graph.Value) bool {
+						emit(efrom, v)
+						return true
+					})
+				} else {
+					for _, e := range ctx.src.EdgesLabeled(label) {
+						emit(e.From, e.To)
+					}
 				}
 			}
 		}
@@ -838,57 +983,86 @@ func termIndex(t Term, b *Bindings) int {
 	return b.Index(t.Var)
 }
 
+// cloneRow copies a row; the naive oracle evaluator uses it (the
+// optimized operators clone through a rowFrame instead).
 func cloneRow(row []graph.Value) []graph.Value {
 	nr := make([]graph.Value, len(row))
 	copy(nr, row)
 	return nr
 }
 
+// rowFrame bump-allocates cloned binding rows out of large shared slabs,
+// replacing one make+copy per emitted row with an amortized append. Each
+// worker chunk owns its frame, so frames need no synchronization; rows
+// escape into the binding relation as capped subslices of the slabs.
+type rowFrame struct{ slab []graph.Value }
+
+// Slab sizes in values: frames start small — most operator chunks emit
+// a handful of rows, and an oversized first slab would dominate the
+// operator's footprint — and double per refill up to the cap, where
+// heavy chunks amortize one allocation over thousands of rows.
+const (
+	rowFrameSlabMin = 256
+	rowFrameSlabMax = 16 * 1024
+)
+
+func (fr *rowFrame) clone(row []graph.Value) []graph.Value {
+	n := len(row)
+	if cap(fr.slab)-len(fr.slab) < n {
+		sz := 2 * cap(fr.slab)
+		if sz < rowFrameSlabMin {
+			sz = rowFrameSlabMin
+		}
+		if sz > rowFrameSlabMax {
+			sz = rowFrameSlabMax
+		}
+		if n > sz {
+			sz = n
+		}
+		fr.slab = make([]graph.Value, 0, sz)
+	}
+	lo := len(fr.slab)
+	fr.slab = append(fr.slab, row...)
+	return fr.slab[lo : lo+n : lo+n]
+}
+
+// free returns a row to the frame if it was the most recent clone — the
+// emit helpers call it when a row fails a consistency bind, so rejected
+// rows do not consume slab space.
+func (fr *rowFrame) free(row []graph.Value) {
+	n := len(row)
+	if n > 0 && len(fr.slab) >= n && &fr.slab[len(fr.slab)-n] == &row[0] {
+		fr.slab = fr.slab[:len(fr.slab)-n]
+	}
+}
+
 func (ctx *evalCtx) dedupRows(b *Bindings) {
 	if len(b.Rows) < 2 {
 		return
 	}
-	// Precompute one sort key per row: computing value keys inside the
-	// comparator would allocate O(n log n) strings. Key computation is
-	// embarrassingly parallel; the sort and scan stay sequential.
-	keys := make([]string, len(b.Rows))
-	keyRange := func(lo, hi int) {
-		var kb strings.Builder
-		for i := lo; i < hi; i++ {
-			kb.Reset()
-			for _, v := range b.Rows[i] {
-				kb.WriteString(v.Key())
-				kb.WriteByte(0)
-			}
-			keys[i] = kb.String()
-		}
-	}
-	if ctx.par > 1 && len(b.Rows) >= minParallelRows {
-		var wg sync.WaitGroup
-		for _, bounds := range chunkBounds(len(b.Rows), ctx.par) {
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				keyRange(lo, hi)
-			}(bounds[0], bounds[1])
-		}
-		wg.Wait()
-	} else {
-		keyRange(0, len(b.Rows))
-	}
-	type keyed struct {
-		key string
-		row []graph.Value
-	}
-	keyedRows := make([]keyed, len(b.Rows))
+	// One byte arena holds every row's concatenated sort key (value keys
+	// separated by NUL, the same total order as before), appended with
+	// AppendKey — no per-row or per-value string allocation. Rows sort
+	// and dedup through an index permutation over arena subslices.
+	arena := make([]byte, 0, len(b.Rows)*24)
+	offs := make([]int, len(b.Rows)+1)
 	for i, row := range b.Rows {
-		keyedRows[i] = keyed{key: keys[i], row: row}
+		for _, v := range row {
+			arena = graph.AppendKey(arena, v)
+			arena = append(arena, 0)
+		}
+		offs[i+1] = len(arena)
 	}
-	sort.Slice(keyedRows, func(i, j int) bool { return keyedRows[i].key < keyedRows[j].key })
-	out := b.Rows[:0]
-	for i, kr := range keyedRows {
-		if i == 0 || kr.key != keyedRows[i-1].key {
-			out = append(out, kr.row)
+	key := func(i int) []byte { return arena[offs[i]:offs[i+1]] }
+	idx := make([]int, len(b.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return bytes.Compare(key(idx[i]), key(idx[j])) < 0 })
+	out := make([][]graph.Value, 0, len(b.Rows))
+	for i, id := range idx {
+		if i == 0 || !bytes.Equal(key(idx[i-1]), key(id)) {
+			out = append(out, b.Rows[id])
 		}
 	}
 	b.Rows = out
@@ -1029,71 +1203,138 @@ func numericText(v graph.Value) (float64, bool) {
 // their nodes; edges are only ever added from Skolem-created nodes, so
 // existing nodes are never extended.
 func (ctx *evalCtx) construct(blk *Block, b *Bindings) error {
-	for ri, row := range b.Rows {
-		_ = ri
-		skolemOID := func(st SkolemTerm) (graph.OID, error) {
-			args := make([]graph.Value, len(st.Args))
-			for i, a := range st.Args {
-				vi := b.Index(a)
-				if vi < 0 || row[vi].IsNull() {
-					return "", fmt.Errorf("struql: line %d: Skolem argument %s unbound at construction", st.Pos, a)
-				}
-				args[i] = row[vi]
-			}
-			return ctx.env.OID(st.Fn, args), nil
+	if len(blk.Create) == 0 && len(blk.Link) == 0 && len(blk.Collect) == 0 {
+		return nil
+	}
+	// Resolve every variable reference to its column once per block, not
+	// once per row, and reuse one argument buffer across rows (the Skolem
+	// environment copies nothing out of it). Unbound-variable errors stay
+	// per-row: a column can exist and still hold Null.
+	type skPlan struct {
+		fn   string
+		pos  int
+		args []string
+		idx  []int
+	}
+	mkSk := func(st SkolemTerm) skPlan {
+		p := skPlan{fn: st.Fn, pos: st.Pos, args: st.Args, idx: make([]int, len(st.Args))}
+		for i, a := range st.Args {
+			p.idx[i] = b.Index(a)
 		}
-		resolveLink := func(t LinkTerm, pos int) (graph.Value, error) {
-			if t.Skolem != nil {
-				oid, err := skolemOID(*t.Skolem)
-				if err != nil {
-					return graph.Null, err
-				}
-				ctx.out.AddNode(oid)
-				return graph.NewNode(oid), nil
-			}
-			v, known := resolveTerm(*t.Term, b, row)
-			if !known {
-				return graph.Null, fmt.Errorf("struql: line %d: variable %s unbound at construction", pos, t.Term.Var)
-			}
-			return v, nil
+		return p
+	}
+	type linkTarget struct {
+		sk   *skPlan
+		term *Term
+		idx  int
+		pos  int
+	}
+	mkTarget := func(t LinkTerm, pos int) linkTarget {
+		if t.Skolem != nil {
+			sk := mkSk(*t.Skolem)
+			return linkTarget{sk: &sk, pos: pos}
 		}
-		for _, st := range blk.Create {
-			oid, err := skolemOID(st)
+		return linkTarget{term: t.Term, idx: termIndex(*t.Term, b), pos: pos}
+	}
+	creates := make([]skPlan, len(blk.Create))
+	for i, st := range blk.Create {
+		creates[i] = mkSk(st)
+	}
+	type linkPlan struct {
+		from       skPlan
+		labelIsVar bool
+		labelLit   string
+		labelVar   string
+		labelIdx   int
+		to         linkTarget
+		pos        int
+	}
+	links := make([]linkPlan, len(blk.Link))
+	for i, le := range blk.Link {
+		lp := linkPlan{from: mkSk(le.From), labelLit: le.Label.Lit, pos: le.Pos,
+			to: mkTarget(le.To, le.Pos)}
+		if le.Label.IsVar {
+			lp.labelIsVar = true
+			lp.labelVar = le.Label.Var
+			lp.labelIdx = b.Index(le.Label.Var)
+		}
+		links[i] = lp
+	}
+	type collectPlan struct {
+		coll   string
+		target linkTarget
+		pos    int
+	}
+	collects := make([]collectPlan, len(blk.Collect))
+	for i, ce := range blk.Collect {
+		collects[i] = collectPlan{coll: ce.Coll, target: mkTarget(ce.Target, ce.Pos), pos: ce.Pos}
+	}
+
+	argBuf := make([]graph.Value, 0, 8)
+	skolemOID := func(p *skPlan, row []graph.Value) (graph.OID, error) {
+		argBuf = argBuf[:0]
+		for i, vi := range p.idx {
+			if vi < 0 || row[vi].IsNull() {
+				return "", fmt.Errorf("struql: line %d: Skolem argument %s unbound at construction", p.pos, p.args[i])
+			}
+			argBuf = append(argBuf, row[vi])
+		}
+		return ctx.env.OID(p.fn, argBuf), nil
+	}
+	resolveTarget := func(t *linkTarget, row []graph.Value) (graph.Value, error) {
+		if t.sk != nil {
+			oid, err := skolemOID(t.sk, row)
+			if err != nil {
+				return graph.Null, err
+			}
+			ctx.out.AddNode(oid)
+			return graph.NewNode(oid), nil
+		}
+		v, known := resolveAt(*t.term, t.idx, row)
+		if !known {
+			return graph.Null, fmt.Errorf("struql: line %d: variable %s unbound at construction", t.pos, t.term.Var)
+		}
+		return v, nil
+	}
+	for _, row := range b.Rows {
+		for i := range creates {
+			oid, err := skolemOID(&creates[i], row)
 			if err != nil {
 				return err
 			}
 			ctx.out.AddNode(oid)
 		}
-		for _, le := range blk.Link {
-			fromOID, err := skolemOID(le.From)
+		for i := range links {
+			lp := &links[i]
+			fromOID, err := skolemOID(&lp.from, row)
 			if err != nil {
 				return err
 			}
 			ctx.out.AddNode(fromOID)
-			label := le.Label.Lit
-			if le.Label.IsVar {
-				vi := b.Index(le.Label.Var)
-				if vi < 0 || row[vi].IsNull() {
-					return fmt.Errorf("struql: line %d: arc variable %s unbound at construction", le.Pos, le.Label.Var)
+			label := lp.labelLit
+			if lp.labelIsVar {
+				if lp.labelIdx < 0 || row[lp.labelIdx].IsNull() {
+					return fmt.Errorf("struql: line %d: arc variable %s unbound at construction", lp.pos, lp.labelVar)
 				}
-				label = row[vi].Text()
+				label = row[lp.labelIdx].Text()
 			}
-			to, err := resolveLink(le.To, le.Pos)
+			to, err := resolveTarget(&lp.to, row)
 			if err != nil {
 				return err
 			}
 			ctx.out.AddEdge(fromOID, label, to)
 		}
-		for _, ce := range blk.Collect {
-			v, err := resolveLink(ce.Target, ce.Pos)
+		for i := range collects {
+			cp := &collects[i]
+			v, err := resolveTarget(&cp.target, row)
 			if err != nil {
 				return err
 			}
 			if !v.IsNode() {
 				return fmt.Errorf("struql: line %d: collect %s: collections contain objects, not the atom %s",
-					ce.Pos, ce.Coll, v)
+					cp.pos, cp.coll, v)
 			}
-			ctx.out.AddToCollection(ce.Coll, v.OID())
+			ctx.out.AddToCollection(cp.coll, v.OID())
 		}
 	}
 	return nil

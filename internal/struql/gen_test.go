@@ -217,7 +217,7 @@ func buildOracleGraph(seed uint64) *oracleGraph {
 
 // oracleConfigs is the number of distinct (options, source) pairs
 // oracleOptions cycles through.
-const oracleConfigs = 12
+const oracleConfigs = 16
 
 // oracleOptions maps a configuration index to evaluation options and a
 // source: even indexes evaluate against the label-indexed repository
@@ -230,7 +230,7 @@ func oracleOptions(i int, og *oracleGraph) (*Options, Source) {
 	if i%2 == 1 {
 		src = og.plain
 	}
-	switch (i / 2) % 6 {
+	switch (i / 2) % 8 {
 	case 0:
 		return nil, src
 	case 1:
@@ -241,6 +241,10 @@ func oracleOptions(i int, og *oracleGraph) (*Options, Source) {
 		return &Options{Parallelism: runtime.NumCPU(), NoReorder: true}, src
 	case 4:
 		return &Options{NoStats: true, NoReorder: true}, src
+	case 5:
+		return &Options{NoFrozen: true}, src
+	case 6:
+		return &Options{Parallelism: 2, NoFrozen: true, NoStats: true}, src
 	default:
 		return &Options{
 			Parallelism:  2,

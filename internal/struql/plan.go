@@ -96,6 +96,33 @@ func seedStarts(src Source, labels []string) []graph.Value {
 	return out
 }
 
+// seedStartsFrozen is seedStarts against a snapshot: each label's
+// extent is already grouped by ascending source node, so per-label
+// distinct sources fall out of a linear walk; the cross-label merge
+// sorts and dedups the (typically small) union.
+func seedStartsFrozen(f *graph.Frozen, labels []string) []graph.Value {
+	var oids []graph.OID
+	for _, l := range labels {
+		var prev graph.OID
+		first := true
+		f.ForEachLabeled(l, func(from graph.OID, _ graph.Value) bool {
+			if first || from != prev {
+				oids = append(oids, from)
+				prev, first = from, false
+			}
+			return true
+		})
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	out := make([]graph.Value, 0, len(oids))
+	for i, o := range oids {
+		if i == 0 || o != oids[i-1] {
+			out = append(out, graph.NewNode(o))
+		}
+	}
+	return out
+}
+
 // PlanStep is one scheduled condition: which condition runs (by its
 // textual index), the access path chosen for it, its estimated cost
 // (the expected rows-out/rows-in multiplier at selection time), and the

@@ -143,6 +143,9 @@ func stateKey(states []int) string {
 type pathMatcher struct {
 	nfa *nfa
 	src Source
+	// frozen, when non-nil, replaces src.Out slice materialization with
+	// in-place CSR iteration during the product BFS.
+	frozen *graph.Frozen
 	// maxStates, when positive, caps the product states one BFS may
 	// visit before aborting with *ResourceExhausted.
 	maxStates int
@@ -151,8 +154,8 @@ type pathMatcher struct {
 	memo map[graph.OID][]graph.Value
 }
 
-func newPathMatcher(p *PathExpr, src Source, maxStates int) *pathMatcher {
-	return &pathMatcher{nfa: compileNFA(p), src: src, maxStates: maxStates,
+func newPathMatcher(p *PathExpr, src Source, frozen *graph.Frozen, maxStates int) *pathMatcher {
+	return &pathMatcher{nfa: compileNFA(p), src: src, frozen: frozen, maxStates: maxStates,
 		memo: make(map[graph.OID][]graph.Value)}
 }
 
@@ -189,41 +192,56 @@ func (m *pathMatcher) reachable(start graph.OID) ([]graph.Value, error) {
 	startPS := prodState{oid: start, key: stateKey(initial)}
 	visited[startPS] = initial
 	queue := []prodState{startPS}
-	for len(queue) > 0 {
+	var exhausted *ResourceExhausted
+	for len(queue) > 0 && exhausted == nil {
 		cur := queue[0]
 		queue = queue[1:]
 		states := visited[cur]
-		for _, e := range m.src.Out(cur.oid) {
+		visit := func(label string, to graph.Value) bool {
 			// Union of closures of all states reachable by this label.
 			var nextSet []int
 			seen := map[int]bool{}
 			for _, s := range states {
 				for _, tr := range m.nfa.trans[s] {
-					if tr.pred.matchLabel(e.Label) && !seen[tr.to] {
+					if tr.pred.matchLabel(label) && !seen[tr.to] {
 						seen[tr.to] = true
 						nextSet = append(nextSet, tr.to)
 					}
 				}
 			}
 			if len(nextSet) == 0 {
-				continue
+				return true
 			}
 			nextSet = m.nfa.closure(nextSet)
 			if m.nfa.accepting(nextSet) {
-				results[e.To.Key()] = e.To
+				results[to.Key()] = to
 			}
-			if e.To.IsNode() {
-				ps := prodState{oid: e.To.OID(), key: stateKey(nextSet)}
+			if to.IsNode() {
+				ps := prodState{oid: to.OID(), key: stateKey(nextSet)}
 				if _, ok := visited[ps]; !ok {
 					if m.maxStates > 0 && len(visited) >= m.maxStates {
-						return nil, &ResourceExhausted{Limit: LimitNFAStates,
+						exhausted = &ResourceExhausted{Limit: LimitNFAStates,
 							Used: len(visited) + 1, Max: m.maxStates}
+						return false
 					}
 					visited[ps] = nextSet
 					queue = append(queue, ps)
 				}
 			}
+			return true
 		}
+		if m.frozen != nil {
+			m.frozen.ForEachOut(cur.oid, visit)
+		} else {
+			for _, e := range m.src.Out(cur.oid) {
+				if !visit(e.Label, e.To) {
+					break
+				}
+			}
+		}
+	}
+	if exhausted != nil {
+		return nil, exhausted
 	}
 	out := make([]graph.Value, 0, len(results))
 	for _, v := range results {

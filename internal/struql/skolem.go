@@ -1,6 +1,8 @@
 package struql
 
 import (
+	"bytes"
+	"hash/maphash"
 	"strings"
 
 	"strudel/internal/graph"
@@ -11,14 +13,37 @@ import (
 // Sharing one environment across composed queries lets a later query
 // re-derive nodes created by an earlier one — RootPage() names the same
 // object in every query of a site definition.
+//
+// Construction creates an oid per result row, so the environment is built
+// for allocation-free hits and one-allocation misses: memo keys live
+// concatenated in one byte arena indexed by a hash table with chained
+// entries, and the display form is rendered into a reusable buffer —
+// the only per-miss allocation is the oid string itself.
 type SkolemEnv struct {
-	memo map[string]graph.OID
-	used map[graph.OID]bool
+	seed maphash.Seed
+	// index maps a key hash to the head of a 1-based chain through next;
+	// entry i's key is keys[offs[i]:offs[i+1]] and its oid is oids[i].
+	index map[uint64]int32
+	next  []int32
+	keys  []byte
+	offs  []int32
+	oids  []graph.OID
+	// used holds every issued oid (keys are graph.OID strings), for the
+	// "#n" disambiguation of display-form collisions.
+	used map[string]bool
+	// keyBuf and oidBuf are reused across OID calls.
+	keyBuf []byte
+	oidBuf []byte
 }
 
 // NewSkolemEnv returns an empty environment.
 func NewSkolemEnv() *SkolemEnv {
-	return &SkolemEnv{memo: make(map[string]graph.OID), used: make(map[graph.OID]bool)}
+	return &SkolemEnv{
+		seed:  maphash.MakeSeed(),
+		index: make(map[uint64]int32),
+		offs:  []int32{0},
+		used:  make(map[string]bool),
+	}
 }
 
 // OID returns the node identifier for fn(args...). The display form is
@@ -26,62 +51,110 @@ func NewSkolemEnv() *SkolemEnv {
 // sanitize to the same display form, later ones get a "#n" suffix so OIDs
 // remain injective in the inputs.
 func (s *SkolemEnv) OID(fn string, args []graph.Value) graph.OID {
-	var keyB strings.Builder
-	keyB.WriteString(fn)
+	buf := append(s.keyBuf[:0], fn...)
 	for _, a := range args {
-		keyB.WriteByte(0)
-		keyB.WriteString(a.Key())
+		buf = append(buf, 0)
+		buf = graph.AppendKey(buf, a)
 	}
-	key := keyB.String()
-	if oid, ok := s.memo[key]; ok {
-		return oid
+	s.keyBuf = buf
+	h := maphash.Bytes(s.seed, buf)
+	for i := s.index[h]; i != 0; i = s.next[i-1] {
+		if bytes.Equal(s.keys[s.offs[i-1]:s.offs[i]], buf) {
+			return s.oids[i-1]
+		}
 	}
-	base := renderOID(fn, args)
-	oid := graph.OID(base)
-	for n := 2; s.used[oid]; n++ {
-		oid = graph.OID(base + "#" + itoa(n))
-	}
-	s.memo[key] = oid
-	s.used[oid] = true
+	oid := s.render(fn, args)
+	s.keys = append(s.keys, buf...)
+	s.offs = append(s.offs, int32(len(s.keys)))
+	s.oids = append(s.oids, oid)
+	s.next = append(s.next, s.index[h])
+	s.index[h] = int32(len(s.oids))
+	s.used[string(oid)] = true
 	return oid
 }
 
-func renderOID(fn string, args []graph.Value) string {
-	var b strings.Builder
-	b.WriteString(fn)
-	b.WriteByte('(')
+// render produces the display-form oid for fn(args...), disambiguated
+// against already-issued oids.
+func (s *SkolemEnv) render(fn string, args []graph.Value) graph.OID {
+	b := append(s.oidBuf[:0], fn...)
+	b = append(b, '(')
 	for i, a := range args {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		b.WriteString(sanitizeArg(a.Text()))
+		b = appendSanitized(b, a.Text())
 	}
-	b.WriteByte(')')
-	return b.String()
+	b = append(b, ')')
+	s.oidBuf = b
+	if !s.used[string(b)] {
+		return graph.OID(b)
+	}
+	base := string(b)
+	for n := 2; ; n++ {
+		cand := base + "#" + itoa(n)
+		if !s.used[cand] {
+			return graph.OID(cand)
+		}
+	}
 }
+
+// maxArg bounds an argument's rendered length inside an oid.
+const maxArg = 48
 
 // sanitizeArg makes an argument safe inside an oid: parentheses, commas,
 // and whitespace become underscores, and long arguments are truncated with
 // a length marker so oids stay readable.
 func sanitizeArg(s string) string {
-	const maxArg = 48
-	mapped := strings.Map(func(r rune) rune {
-		switch r {
-		case '(', ')', ',', ' ', '\t', '\n', '#':
-			return '_'
-		default:
-			return r
-		}
-	}, s)
+	mapped := strings.Map(sanitizeRune, s)
 	if len(mapped) > maxArg {
 		mapped = mapped[:maxArg] + "~" + itoa(len(s))
 	}
 	return mapped
 }
 
+func sanitizeRune(r rune) rune {
+	switch r {
+	case '(', ')', ',', ' ', '\t', '\n', '#':
+		return '_'
+	default:
+		return r
+	}
+}
+
+// appendSanitized appends sanitizeArg(s) to dst. ASCII arguments — the
+// overwhelmingly common case — map byte by byte with no intermediate
+// string; anything else routes through sanitizeArg so the rune-level
+// semantics (including invalid-UTF-8 replacement) stay identical.
+func appendSanitized(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return append(dst, sanitizeArg(s)...)
+		}
+	}
+	start := len(dst)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '(', ')', ',', ' ', '\t', '\n', '#':
+			c = '_'
+		}
+		dst = append(dst, c)
+	}
+	if len(dst)-start > maxArg {
+		dst = dst[:start+maxArg]
+		dst = append(dst, '~')
+		dst = appendItoa(dst, len(s))
+	}
+	return dst
+}
+
 func itoa(n int) string {
+	return string(appendItoa(nil, n))
+}
+
+func appendItoa(dst []byte, n int) []byte {
 	if n == 0 {
-		return "0"
+		return append(dst, '0')
 	}
 	var buf [20]byte
 	i := len(buf)
@@ -90,8 +163,8 @@ func itoa(n int) string {
 		buf[i] = byte('0' + n%10)
 		n /= 10
 	}
-	return string(buf[i:])
+	return append(dst, buf[i:]...)
 }
 
 // Size returns the number of distinct applications recorded.
-func (s *SkolemEnv) Size() int { return len(s.memo) }
+func (s *SkolemEnv) Size() int { return len(s.oids) }

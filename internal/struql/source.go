@@ -222,7 +222,7 @@ func dedupStrings(in []string) []string {
 }
 
 func dedupValues(in []graph.Value) []graph.Value {
-	sort.Slice(in, func(i, j int) bool { return in[i].Key() < in[j].Key() })
+	sort.Slice(in, func(i, j int) bool { return graph.KeyCompare(in[i], in[j]) < 0 })
 	out := in[:0]
 	for i, v := range in {
 		if i == 0 || v != in[i-1] {
@@ -241,7 +241,7 @@ func dedupEdges(in []graph.Edge) []graph.Edge {
 		if a.Label != b.Label {
 			return a.Label < b.Label
 		}
-		return a.To.Key() < b.To.Key()
+		return graph.KeyCompare(a.To, b.To) < 0
 	})
 	out := in[:0]
 	for i, e := range in {

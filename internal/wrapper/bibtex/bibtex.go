@@ -447,7 +447,14 @@ func Wrap(doc *Document, opts Options) *graph.Graph {
 	if opts.Collection == "" {
 		opts.Collection = "Publications"
 	}
-	g := graph.New()
+	// Each entry contributes one node, a type edge, and roughly one edge
+	// per field (authors and split keywords add a few more); pre-sizing
+	// for those counts keeps the bulk load from rehashing incrementally.
+	edges := len(doc.Entries)
+	for _, e := range doc.Entries {
+		edges += len(e.Fields)
+	}
+	g := graph.NewWithCapacity(len(doc.Entries), edges)
 	for _, e := range doc.Entries {
 		oid := graph.OID(opts.KeyPrefix + e.Key)
 		g.AddToCollection(opts.Collection, oid)

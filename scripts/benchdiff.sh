@@ -1,0 +1,92 @@
+#!/bin/sh
+# benchdiff.sh — compare two BENCH_*.json snapshots (as written by
+# bench.sh) and print per-benchmark deltas for ns/op, B/op, and
+# allocs/op. Benchmarks present in only one file are listed separately.
+#
+# Usage: sh scripts/benchdiff.sh OLD.json NEW.json [--gate PATTERN MAXPCT]
+#
+#   --gate PATTERN MAXPCT   exit 1 if any benchmark matching PATTERN
+#                           (awk regex on the name) regresses more than
+#                           MAXPCT percent in allocs/op. Used by CI to
+#                           keep the E6 allocation wins from eroding.
+set -eu
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 OLD.json NEW.json [--gate PATTERN MAXPCT]" >&2
+    exit 2
+fi
+old=$1
+new=$2
+gate_pat=""
+gate_pct=0
+if [ "${3:-}" = "--gate" ]; then
+    gate_pat=${4:?--gate needs PATTERN}
+    gate_pct=${5:?--gate needs MAXPCT}
+fi
+
+# Each input line of interest looks like:
+#   "BenchmarkName": {"ns_per_op": N, "bytes_per_op": N, "allocs_per_op": N}
+# so a line-oriented awk parse is enough; no JSON library needed.
+awk -v gate_pat="$gate_pat" -v gate_pct="$gate_pct" '
+function parse(line, out,    name, rest) {
+    if (line !~ /ns_per_op/) return ""
+    name = line
+    sub(/^[[:space:]]*"/, "", name)
+    sub(/".*$/, "", name)
+    rest = line
+    out["ns"] = field(rest, "ns_per_op")
+    out["bytes"] = field(rest, "bytes_per_op")
+    out["allocs"] = field(rest, "allocs_per_op")
+    return name
+}
+function field(s, key,    r) {
+    r = s
+    if (!sub(".*\"" key "\": *", "", r)) return "null"
+    sub(/[,}].*/, "", r)
+    return r
+}
+function delta(o, n,    p) {
+    if (o == "null" || n == "null" || o + 0 == 0) return "      n/a"
+    p = (n - o) * 100.0 / o
+    return sprintf("%+8.1f%%", p)
+}
+FNR == 1 { file++ }
+{
+    split("", vals)
+    name = parse($0, vals)
+    if (name == "") next
+    if (file == 1) {
+        ons[name] = vals["ns"]; obytes[name] = vals["bytes"]; oallocs[name] = vals["allocs"]
+        order[++n_old] = name
+    } else {
+        nns[name] = vals["ns"]; nbytes[name] = vals["bytes"]; nallocs[name] = vals["allocs"]
+        if (!(name in ons)) added[++n_added] = name
+    }
+}
+END {
+    printf "%-72s %10s %10s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op"
+    bad = 0
+    for (i = 1; i <= n_old; i++) {
+        name = order[i]
+        if (!(name in nns)) { removed[++n_removed] = name; continue }
+        printf "%-72s %10s %10s %10s\n", name, \
+            delta(ons[name], nns[name]), \
+            delta(obytes[name], nbytes[name]), \
+            delta(oallocs[name], nallocs[name])
+        if (gate_pat != "" && name ~ gate_pat && \
+            oallocs[name] != "null" && nallocs[name] != "null" && oallocs[name] + 0 > 0) {
+            p = (nallocs[name] - oallocs[name]) * 100.0 / oallocs[name]
+            if (p > gate_pct + 0) {
+                gatefail[++bad] = sprintf("%s: allocs/op %+.1f%% (max %+.1f%%)", name, p, gate_pct)
+            }
+        }
+    }
+    for (i = 1; i <= n_removed; i++) printf "%-72s %s\n", removed[i], "only in old"
+    for (i = 1; i <= n_added; i++) printf "%-72s %s\n", added[i], "only in new"
+    if (bad) {
+        printf "\nallocation regression gate failed:\n"
+        for (i = 1; i <= bad; i++) print "  " gatefail[i]
+        exit 1
+    }
+}
+' "$old" "$new"
