@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check serve-smoke fuzz-smoke chaos-smoke clean
+.PHONY: all build test race vet bench check serve-smoke fuzz-smoke chaos-smoke soak-smoke clean
 
 all: build
 
@@ -49,6 +49,16 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) test -count=1 -run '^TestChaos' .
 	$(GO) test -count=1 -race -run '^TestChaos' .
+
+# soak-smoke runs the incremental-maintenance edit storm: 1,000 seeded
+# random edits per example site with the patched pages byte-compared
+# against a full rebuild after every edit — once plain, once (shorter)
+# under the race detector.
+SOAK_EDITS ?= 1000
+SOAK_EDITS_RACE ?= 250
+soak-smoke:
+	SOAK_EDITS=$(SOAK_EDITS) $(GO) test -count=1 -timeout 20m -run '^TestSoak' .
+	SOAK_EDITS=$(SOAK_EDITS_RACE) $(GO) test -count=1 -race -timeout 20m -run '^TestSoak' .
 
 # check is what CI runs.
 check: vet race

@@ -17,6 +17,7 @@ import (
 	"strudel/internal/core"
 	"strudel/internal/dynamic"
 	"strudel/internal/graph"
+	"strudel/internal/ivm"
 	"strudel/internal/mediator"
 	"strudel/internal/repo"
 	"strudel/internal/schema"
@@ -802,5 +803,64 @@ func BenchmarkE14_RPEDispatch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- E15: fail-soft incremental rebuilds — delta propagation vs full
+// rebuild for a localized edit (the edit-storm steady state) ---
+
+func e15Site(b *testing.B) (*ivm.Site, *core.Version, *graph.Graph, *mediator.Delta) {
+	b.Helper()
+	spec := sites.Homepage(200)
+	med, err := mediator.New(spec.Sources...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warehouse, err := med.Warehouse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := warehouse.Graph()
+	site, err := ivm.NewSite(&spec.Versions[0], struql.NewGraphSource(data), nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if site.Engine() == nil {
+		b.Fatal("homepage version should maintain incrementally")
+	}
+	updated := data.Copy()
+	updated.AddToCollection("Patents", "benchpat")
+	updated.AddEdge("benchpat", "title", graph.NewString("Bench patent"))
+	updated.AddEdge("benchpat", "number", graph.NewString("US7777777"))
+	return site, &spec.Versions[0], updated, mediator.Diff(data, updated)
+}
+
+func BenchmarkE15_DeltaApplyLocalized(b *testing.B) {
+	// One patent added to a 200-publication site: the delta path
+	// re-derives only the patent rows and re-renders only the pages they
+	// touch. Re-applying the identical delta is idempotent (rows dedupe,
+	// refcounts stay balanced), so every iteration does the same work.
+	site, _, updated, delta := e15Site(b)
+	src := struql.NewGraphSource(updated)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := site.Apply(src, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE15_FullRebuildLocalized(b *testing.B) {
+	// The degraded path for the same edit: evaluate the whole query and
+	// re-render every page from scratch.
+	_, version, updated, _ := e15Site(b)
+	src := struql.NewGraphSource(updated)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildVersionWith(version, src, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

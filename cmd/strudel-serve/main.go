@@ -105,10 +105,12 @@ func run(cfg config) int {
 	// Metrics are always collected (they are cheap atomics); the debug
 	// listener just decides whether anything can read them.
 	metrics := &obs.ServeMetrics{}
+	ivmMetrics := &obs.IVMMetrics{}
 	srv.Obs = metrics
 	srv.Ev.Obs = metrics
 	if rl != nil {
 		rl.Obs = metrics
+		rl.IVM = ivmMetrics
 	}
 
 	// Bind before installing signal handling so "address in use" and its
@@ -135,7 +137,7 @@ func run(cfg config) int {
 			return exitListen
 		}
 		dhs := &http.Server{
-			Handler:           debugMux(metrics),
+			Handler:           debugMux(metrics, ivmMetrics),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
@@ -191,9 +193,10 @@ func run(cfg config) int {
 // registry under /debug/vars (published into expvar as "strudel") and
 // the pprof handlers wired explicitly, so nothing depends on
 // http.DefaultServeMux — the production listener never serves these.
-func debugMux(metrics *obs.ServeMetrics) http.Handler {
+func debugMux(metrics *obs.ServeMetrics, ivmMetrics *obs.IVMMetrics) http.Handler {
 	reg := obs.NewRegistry()
 	reg.Register("serve", metrics)
+	reg.Register("ivm", ivmMetrics)
 	expvar.Publish("strudel", reg)
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())

@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"strudel/internal/core"
 	"strudel/internal/ddl"
@@ -73,6 +74,8 @@ func main() {
 	noStats := flag.Bool("no-stats", false, "plan queries with fixed heuristics instead of collected selectivity statistics (output is identical)")
 	noReorder := flag.Bool("no-reorder", false, "evaluate query conditions in first-ready textual order instead of cost order (output is identical)")
 	frozen := flag.Bool("frozen", true, "evaluate against the compact frozen graph snapshot; -frozen=false uses generic access paths (output is identical)")
+	watch := flag.Bool("watch", false, "after the first build, keep running: poll the input files and patch only the affected pages of the published site on each edit")
+	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
 	flag.Var(&dataFiles, "data", "data-definition-language file (repeatable)")
 	flag.Var(&bibFiles, "bibtex", "BibTeX file (repeatable)")
 	flag.Var(&csvSpecs, "csv", "CSV table as Table:keyColumn:file (repeatable)")
@@ -112,9 +115,15 @@ func main() {
 		reg.Register("htmlgen", opts.Gen)
 	}
 	var err error
-	if *example != "" {
+	switch {
+	case *watch && *example != "":
+		fmt.Fprintln(os.Stderr, "strudel: -watch needs explicit file inputs; the bundled examples synthesize their data in memory")
+		os.Exit(exitUsage)
+	case *watch:
+		err = watchExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles, *queryFile, templates, collTpl, objTpl, roots, constraintsList, *out, *watchInterval, opts)
+	case *example != "":
 		err = buildExample(*example, *size, *out, opts)
-	} else {
+	default:
 		err = buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles, *queryFile, templates, collTpl, objTpl, roots, constraintsList, *out, opts)
 	}
 	if *traceOut != "" {
@@ -252,20 +261,15 @@ func buildExample(name string, size int, out string, opts *core.Options) error {
 	return nil
 }
 
-func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile string,
-	templates, collTpl, objTpl, roots, constraintsList []string, out string, opts *core.Options) error {
-	if queryFile == "" {
-		return fmt.Errorf("provide -query FILE (or -example NAME)")
-	}
-	qb, err := os.ReadFile(queryFile)
-	if err != nil {
-		return err
-	}
-	var sources []mediator.Source
+// assembleSources turns the explicit-mode file flags into mediator
+// sources, each paired with the file it reads so watch mode knows what
+// to poll.
+func assembleSources(dataFiles, bibFiles, csvSpecs, jsonFiles []string) ([]fileSource, error) {
+	var sources []fileSource
 	for _, f := range dataFiles {
 		f := f
 		name := "ddl:" + f
-		sources = append(sources, mediator.Source{Name: name,
+		sources = append(sources, fileSource{path: f, src: mediator.Source{Name: name,
 			Load: func() (*graph.Graph, error) {
 				b, err := os.ReadFile(f)
 				if err != nil {
@@ -284,12 +288,12 @@ func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile 
 				}
 				doc, rep := ddl.ParseLenient(string(b), name)
 				return doc.Graph, rep, nil
-			}})
+			}}})
 	}
 	for _, f := range bibFiles {
 		f := f
 		name := "bib:" + f
-		sources = append(sources, mediator.Source{Name: name,
+		sources = append(sources, fileSource{path: f, src: mediator.Source{Name: name,
 			Load: func() (*graph.Graph, error) {
 				b, err := os.ReadFile(f)
 				if err != nil {
@@ -304,17 +308,17 @@ func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile 
 				}
 				g, rep := bibtex.LoadLenient(string(b), name, bibtex.DefaultOptions())
 				return g, rep, nil
-			}})
+			}}})
 	}
 	for _, spec := range csvSpecs {
 		parts := strings.SplitN(spec, ":", 3)
 		if len(parts) != 3 {
-			return fmt.Errorf("-csv wants Table:keyColumn:file, got %q", spec)
+			return nil, fmt.Errorf("-csv wants Table:keyColumn:file, got %q", spec)
 		}
 		table, key, f := parts[0], parts[1], parts[2]
 		name := "csv:" + f
 		copts := csvrel.Options{Table: table, KeyColumn: key}
-		sources = append(sources, mediator.Source{Name: name,
+		sources = append(sources, fileSource{path: f, src: mediator.Source{Name: name,
 			Load: func() (*graph.Graph, error) {
 				b, err := os.ReadFile(f)
 				if err != nil {
@@ -328,17 +332,17 @@ func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile 
 					return nil, nil, err
 				}
 				return csvrel.LoadLenient(string(b), name, copts)
-			}})
+			}}})
 	}
 	for _, spec := range jsonFiles {
 		coll, f, ok := strings.Cut(spec, ":")
 		if !ok {
-			return fmt.Errorf("-json wants Collection:file, got %q", spec)
+			return nil, fmt.Errorf("-json wants Collection:file, got %q", spec)
 		}
 		name := "json:" + f
 		docName := strings.TrimSuffix(filepath.Base(f), filepath.Ext(f))
 		jopts := jsonwrap.Options{Collection: coll}
-		sources = append(sources, mediator.Source{Name: name,
+		sources = append(sources, fileSource{path: f, src: mediator.Source{Name: name,
 			Load: func() (*graph.Graph, error) {
 				b, err := os.ReadFile(f)
 				if err != nil {
@@ -353,21 +357,34 @@ func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile 
 				}
 				g, rep := jsonwrap.LoadLenient(docName, b, name, jopts)
 				return g, rep, nil
-			}})
+			}}})
+	}
+	return sources, nil
+}
+
+// makeVersion reads the query and template files of explicit mode into
+// one core.Version named "main".
+func makeVersion(queryFile string, templates, collTpl, objTpl, roots, constraintsList []string) (*core.Version, error) {
+	if queryFile == "" {
+		return nil, fmt.Errorf("provide -query FILE (or -example NAME)")
+	}
+	qb, err := os.ReadFile(queryFile)
+	if err != nil {
+		return nil, err
 	}
 	tmpl := map[string]string{}
 	for _, spec := range templates {
 		name, file, ok := strings.Cut(spec, "=")
 		if !ok {
-			return fmt.Errorf("-template wants Name=file, got %q", spec)
+			return nil, fmt.Errorf("-template wants Name=file, got %q", spec)
 		}
 		b, err := os.ReadFile(file)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		tmpl[name] = string(b)
 	}
-	version := core.Version{
+	return &core.Version{
 		Name:          "main",
 		Queries:       []string{string(qb)},
 		Templates:     tmpl,
@@ -375,8 +392,24 @@ func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile 
 		PerObject:     splitPairs(objTpl),
 		Roots:         roots,
 		Constraints:   constraintsList,
+	}, nil
+}
+
+func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile string,
+	templates, collTpl, objTpl, roots, constraintsList []string, out string, opts *core.Options) error {
+	files, err := assembleSources(dataFiles, bibFiles, csvSpecs, jsonFiles)
+	if err != nil {
+		return err
 	}
-	res, err := core.BuildWith(&core.Spec{Name: "cli", Sources: sources, Versions: []core.Version{version}}, opts)
+	version, err := makeVersion(queryFile, templates, collTpl, objTpl, roots, constraintsList)
+	if err != nil {
+		return err
+	}
+	sources := make([]mediator.Source, len(files))
+	for i, f := range files {
+		sources[i] = f.src
+	}
+	res, err := core.BuildWith(&core.Spec{Name: "cli", Sources: sources, Versions: []core.Version{*version}}, opts)
 	if res != nil {
 		printDiagnostics(res.SourceReports)
 	}
@@ -400,6 +433,25 @@ func buildExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile 
 	ws.End()
 	fmt.Printf("%s → %s\n", vr.Stats, out)
 	return nil
+}
+
+// watchExplicit runs an explicit-mode build in watch mode: build, then
+// poll and patch until killed.
+func watchExplicit(dataFiles, bibFiles, csvSpecs, jsonFiles []string, queryFile string,
+	templates, collTpl, objTpl, roots, constraintsList []string, out string,
+	interval time.Duration, opts *core.Options) error {
+	files, err := assembleSources(dataFiles, bibFiles, csvSpecs, jsonFiles)
+	if err != nil {
+		return err
+	}
+	version, err := makeVersion(queryFile, templates, collTpl, objTpl, roots, constraintsList)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("-watch needs at least one file source (-data, -bibtex, -csv, or -json)")
+	}
+	return runWatch(files, version, out, interval, opts)
 }
 
 func splitPairs(list []string) map[string]string {

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// watchFixture builds a two-publication site under a watcher and
+// returns it with the ddl path and output dir.
+func watchFixture(t *testing.T) (*watcher, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	ddl := write("d.ddl", `
+collection Pubs;
+node p1 in Pubs { title "First paper"; }
+node p2 in Pubs { title "Second paper"; }
+`)
+	query := write("site.struql", `
+create Root()
+link Root() -> "title" -> "Home"
+where Pubs(x)
+link Root() -> "pub" -> PubPage(x)
+{ where x -> "title" -> tt link PubPage(x) -> "title" -> tt }
+`)
+	tmplRoot := write("root.tmpl", `<h1><SFMT title></h1><SFMT pub UL TEXT=title>`)
+	tmplPub := write("pub.tmpl", `<h2><SFMT title></h2>`)
+	out := filepath.Join(dir, "site")
+
+	files, err := assembleSources([]string{ddl}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	version, err := makeVersion(query,
+		[]string{"Root=" + tmplRoot, "Pub=" + tmplPub}, nil,
+		[]string{"Root()=Root", "PubPage=Pub"}, []string{"Root()"},
+		[]string{`every PubPage has "title"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := newWatcher(files, version, out, nil, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, ddl, out
+}
+
+func readPage(t *testing.T, out, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(out, name))
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return string(b)
+}
+
+func TestWatchIncrementalEditPatchesSite(t *testing.T) {
+	w, ddl, out := watchFixture(t)
+	if got := readPage(t, out, "index.html"); !strings.Contains(got, "First paper") {
+		t.Fatalf("initial index:\n%s", got)
+	}
+	if pub, _ := w.tick(); pub {
+		t.Error("tick with no edits republished")
+	}
+
+	// Retitle p1; the different content length guarantees the stamp moves
+	// even on a coarse-mtime filesystem.
+	err := os.WriteFile(ddl, []byte(`
+collection Pubs;
+node p1 in Pubs { title "First paper, revised edition"; }
+node p2 in Pubs { title "Second paper"; }
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := w.tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pub {
+		t.Fatal("edit did not republish")
+	}
+	var p1Page string
+	for name, body := range w.site.Output().Pages {
+		if strings.Contains(body, "revised edition") {
+			p1Page = name
+		}
+		if got := readPage(t, out, name); got != body {
+			t.Errorf("published %s does not match generated page", name)
+		}
+	}
+	if p1Page == "" {
+		t.Error("no page carries the new title")
+	}
+	if got := w.metrics.DeltasApplied.Load(); got != 1 {
+		t.Errorf("deltas applied = %d, want 1 (edit should stay row-level)", got)
+	}
+	if got := w.metrics.FullRebuilds.Load(); got != 0 {
+		t.Errorf("full rebuilds = %d, want 0", got)
+	}
+	if w.metrics.PagesLinked.Load() == 0 {
+		t.Error("patch publish hardlinked no unchanged pages")
+	}
+}
+
+func TestWatchConstraintVetoKeepsOldTree(t *testing.T) {
+	w, ddl, out := watchFixture(t)
+	before := readPage(t, out, "index.html")
+
+	// Drop p1's title: PubPage(p1) still exists but violates
+	// `every PubPage has "title"` — publication must be vetoed.
+	err := os.WriteFile(ddl, []byte(`
+collection Pubs;
+node p1 in Pubs { author "Nameless"; }
+node p2 in Pubs { title "Second paper"; }
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, terr := w.tick()
+	if pub || terr == nil {
+		t.Fatalf("veto tick: published=%v err=%v", pub, terr)
+	}
+	if got := readPage(t, out, "index.html"); got != before {
+		t.Error("vetoed edit reached the published tree")
+	}
+
+	// A corrected edit publishes again, carrying everything accumulated.
+	err = os.WriteFile(ddl, []byte(`
+collection Pubs;
+node p1 in Pubs { title "First paper, corrected"; }
+node p2 in Pubs { title "Second paper"; }
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, terr = w.tick()
+	if terr != nil || !pub {
+		t.Fatalf("recovery tick: published=%v err=%v", pub, terr)
+	}
+	if got := readPage(t, out, "index.html"); got == before || !strings.Contains(got, "corrected") {
+		t.Errorf("recovered index:\n%s", got)
+	}
+}
+
+func TestWatchSourceErrorRetries(t *testing.T) {
+	w, ddl, out := watchFixture(t)
+	before := readPage(t, out, "index.html")
+
+	// A torn write: syntactically invalid DDL. The tick must keep the
+	// old stamp (and tree) so the next tick retries.
+	if err := os.WriteFile(ddl, []byte(`node p1 in {`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if pub, _ := w.tick(); pub {
+		t.Error("broken source republished")
+	}
+	if got := readPage(t, out, "index.html"); got != before {
+		t.Error("broken source changed the published tree")
+	}
+
+	if err := os.WriteFile(ddl, []byte(`
+collection Pubs;
+node p1 in Pubs { title "Recovered"; }
+node p2 in Pubs { title "Second paper"; }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := w.tick()
+	if err != nil || !pub {
+		t.Fatalf("recovery tick: published=%v err=%v", pub, err)
+	}
+	if got := readPage(t, out, "index.html"); !strings.Contains(got, "Recovered") {
+		t.Errorf("recovered index:\n%s", got)
+	}
+}

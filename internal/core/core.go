@@ -90,6 +90,12 @@ func (o *Options) parallelism() int {
 	return o.Parallelism
 }
 
+// EvalOptions derives the struql evaluation options this build would
+// run with: limits, reordering switches, and — when EvalTimeout is set —
+// a deadline anchored at the call. The incremental maintainer uses it to
+// evaluate deltas under the same guards as the full build. Nil-safe.
+func (o *Options) EvalOptions() *struql.Options { return o.evalOptions() }
+
 func (o *Options) evalOptions() *struql.Options {
 	so := &struql.Options{Parallelism: o.parallelism()}
 	if o != nil {

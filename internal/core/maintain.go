@@ -203,6 +203,6 @@ func (m *Maintainer) Apply(data struql.Source, delta *mediator.Delta) (MaintainS
 	if err != nil {
 		return st, err
 	}
-	st.PagesRegenerated = pages
+	st.PagesRegenerated = len(pages)
 	return st, nil
 }

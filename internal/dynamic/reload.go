@@ -55,6 +55,16 @@ type Reloader struct {
 	// Obs, when non-nil, receives reload attempt/failure/outcome counters.
 	// Set before Run; nil disables.
 	Obs *obs.ServeMetrics
+	// IVM, when non-nil, receives delta-path counters: deltas handed to
+	// the evaluator, pending-delta compactions, and overflows degraded
+	// to a full cache invalidation. Set before Run; nil disables.
+	IVM *obs.IVMMetrics
+	// MaxPendingDelta bounds the accumulated (compacted) delta carried
+	// across failed reload rounds. Past the bound the reloader stops
+	// tracking individual changes and the next successful swap drops the
+	// whole cache (a nil delta) instead — bounded memory, never a stale
+	// page. 0 means DefaultMaxPendingDelta.
+	MaxPendingDelta int
 
 	med     *mediator.Mediator
 	watched []WatchedSource
@@ -71,6 +81,9 @@ type Reloader struct {
 	// the last swap (a source can succeed while a sibling fails; its
 	// delta must survive until the swap happens).
 	accum *mediator.Delta
+	// overflow marks that accum outgrew MaxPendingDelta: the next swap
+	// passes a nil delta (full invalidation) and clears the flag.
+	overflow bool
 	// backoff is the current retry delay; nextTry gates attempts.
 	backoff time.Time
 	delay   time.Duration
@@ -78,10 +91,32 @@ type Reloader struct {
 	rng     *rand.Rand
 }
 
+// DefaultMaxPendingDelta is the pending-delta bound when
+// Reloader.MaxPendingDelta is zero.
+const DefaultMaxPendingDelta = 1 << 20
+
 type fileStamp struct {
 	mtime time.Time
 	size  int64
 	ok    bool
+	// hash is an FNV-64a content hash, computed only for files whose
+	// mtime is recent (within the hash window): a sub-second edit can
+	// leave mtime and size unchanged on filesystems with coarse
+	// timestamps, and only the content betrays it. hashed records
+	// whether hash is meaningful.
+	hash   uint64
+	hashed bool
+}
+
+// changedFrom reports whether st differs from old. Metadata decides
+// first; equal metadata falls back to the content hash when both sides
+// have one (a quiescent file outside the hash window costs one stat and
+// no read).
+func (st fileStamp) changedFrom(old fileStamp) bool {
+	if st.ok != old.ok || st.size != old.size || !st.mtime.Equal(old.mtime) {
+		return true
+	}
+	return st.hashed && old.hashed && st.hash != old.hash
 }
 
 // NewReloader builds a reloader (and its mediator) over watched sources.
@@ -122,9 +157,10 @@ func (r *Reloader) Warehouse() (*repo.Indexed, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	now := time.Now()
 	for _, s := range r.watched {
 		for _, p := range s.Paths {
-			r.stamps[p] = stat(p)
+			r.stamps[p] = r.statPath(p, now)
 		}
 	}
 	return data, nil
@@ -171,12 +207,44 @@ func (r *Reloader) logf(format string, args ...any) {
 	log.Printf(format, args...)
 }
 
-func stat(path string) fileStamp {
+// hashWindow is how far back an mtime still triggers a content hash:
+// generously past the poll interval, so every file that plausibly
+// changed since the last poll gets hashed, while long-quiescent files
+// cost one stat each.
+func (r *Reloader) hashWindow() time.Duration {
+	return 2*r.Interval + 2*time.Second
+}
+
+// statPath stamps a file: metadata always, content hash only when the
+// mtime is within the hash window.
+func (r *Reloader) statPath(path string, now time.Time) fileStamp {
 	fi, err := os.Stat(path)
 	if err != nil {
 		return fileStamp{ok: false}
 	}
-	return fileStamp{mtime: fi.ModTime(), size: fi.Size(), ok: true}
+	st := fileStamp{mtime: fi.ModTime(), size: fi.Size(), ok: true}
+	if now.Sub(st.mtime) < r.hashWindow() {
+		if h, err := hashFile(path); err == nil {
+			st.hash, st.hashed = h, true
+		}
+	}
+	return st
+}
+
+// hashFile is FNV-64a over the file contents — collision quality is
+// irrelevant here, only "did the bytes change" cheaply.
+func hashFile(path string) (uint64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h, nil
 }
 
 // Tick runs one poll step at the given time: detect changed sources,
@@ -191,9 +259,8 @@ func (r *Reloader) Tick(now time.Time) {
 	// lost), but reload attempts respect the backoff gate.
 	for _, s := range r.watched {
 		for _, p := range s.Paths {
-			st := stat(p)
-			old := r.stamps[p]
-			if st != old {
+			st := r.statPath(p, now)
+			if st.changedFrom(r.stamps[p]) {
 				r.stamps[p] = st
 				r.pending[s.Name] = true
 			}
@@ -215,7 +282,21 @@ func (r *Reloader) Tick(now time.Time) {
 			r.fail(now, s.Name, err)
 			return
 		}
+		before := r.accum.Size()
 		r.accum.Merge(d)
+		if r.accum.Size() < before+d.Size() && r.IVM != nil {
+			r.IVM.DeltaCompactions.Inc()
+		}
+		maxPending := r.MaxPendingDelta
+		if maxPending <= 0 {
+			maxPending = DefaultMaxPendingDelta
+		}
+		if r.accum.Size() > maxPending && !r.overflow {
+			r.overflow = true
+			if r.IVM != nil {
+				r.IVM.DeltaOverflows.Inc()
+			}
+		}
 		delete(r.pending, s.Name)
 	}
 
@@ -223,9 +304,19 @@ func (r *Reloader) Tick(now time.Time) {
 	data := repo.NewIndexed(r.med.DataGraph())
 	delta := r.accum
 	r.accum = &mediator.Delta{}
+	if r.overflow {
+		// The pending delta overflowed its bound at some point: its
+		// record is no longer a faithful account of the change, so the
+		// swap must invalidate everything.
+		delta = nil
+		r.overflow = false
+	}
 	kept, dropped := 0, 0
 	if r.ev != nil {
 		kept, dropped = r.ev.SwapData(data, delta)
+	}
+	if r.IVM != nil {
+		r.IVM.DeltasApplied.Inc()
 	}
 	if r.hl != nil {
 		r.hl.SetHealthy()
@@ -240,7 +331,11 @@ func (r *Reloader) Tick(now time.Time) {
 	if r.OnApply != nil {
 		r.OnApply(delta, kept, dropped)
 	}
-	r.logf("dynamic: reload applied: %d changes, cache kept %d / dropped %d", delta.Size(), kept, dropped)
+	if delta == nil {
+		r.logf("dynamic: reload applied: pending delta overflowed, full invalidation, cache kept %d / dropped %d", kept, dropped)
+	} else {
+		r.logf("dynamic: reload applied: %d changes, cache kept %d / dropped %d", delta.Size(), kept, dropped)
+	}
 }
 
 // fail records a failed reload: mark degraded, keep the source pending,

@@ -1,0 +1,114 @@
+package dynamic
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+	"strudel/internal/obs"
+)
+
+// TestReloaderDetectsSameSizeSameMtimeEdit covers the sub-second edit
+// hole: a write that keeps the file's size and lands within the mtime
+// granularity of the filesystem is invisible to metadata polling. The
+// stamp's content hash must catch it.
+func TestReloaderDetectsSameSizeSameMtimeEdit(t *testing.T) {
+	version := 0
+	rl, fl, path := newTestReloader(t, func() (*graph.Graph, error) { return pubsGraph(version, 2), nil })
+	if _, err := rl.Warehouse(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtime := fi.ModTime()
+
+	// Same length as "gen0", and the mtime pinned back to the original:
+	// metadata is byte-for-byte identical to the recorded stamp.
+	version = 1
+	touchFile(t, path, "gen1")
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(mtime) || after.Size() != fi.Size() {
+		t.Skipf("filesystem did not pin metadata (mtime %v→%v size %d→%d)",
+			mtime, after.ModTime(), fi.Size(), after.Size())
+	}
+
+	rl.Tick(time.Now())
+	if total, _ := fl.Calls(); total != 2 {
+		t.Fatalf("loader called %d times, want 2: same-size same-mtime edit missed", total)
+	}
+}
+
+// TestReloaderHashOnlyForRecentFiles asserts quiescent files (mtime far
+// outside the hash window) are not re-read on every poll.
+func TestReloaderHashOnlyForRecentFiles(t *testing.T) {
+	rl, _, path := newTestReloader(t, func() (*graph.Graph, error) { return pubsGraph(0, 1), nil })
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	st := rl.statPath(path, time.Now())
+	if st.hashed {
+		t.Error("stale file was hashed; quiescent files should cost one stat")
+	}
+	recent := time.Now()
+	if err := os.Chtimes(path, recent, recent); err != nil {
+		t.Fatal(err)
+	}
+	st = rl.statPath(path, time.Now())
+	if !st.hashed {
+		t.Error("recently modified file was not hashed")
+	}
+}
+
+// TestReloaderPendingDeltaOverflow asserts that once the accumulated
+// delta outgrows its bound, the swap degrades to a full invalidation
+// (nil delta) and the overflow is counted.
+func TestReloaderPendingDeltaOverflow(t *testing.T) {
+	version := 0
+	rl, _, path := newTestReloader(t, func() (*graph.Graph, error) { return pubsGraph(version, 4), nil })
+	rl.MaxPendingDelta = 1
+	m := &obs.IVMMetrics{}
+	rl.IVM = m
+	if _, err := rl.Warehouse(); err != nil {
+		t.Fatal(err)
+	}
+	applied := false
+	var got *mediator.Delta
+	rl.OnApply = func(d *mediator.Delta, kept, dropped int) { applied, got = true, d }
+
+	version = 1 // every pub's year changes: 8 events, far past the bound
+	touchFile(t, path, "gen1")
+	rl.Tick(time.Now())
+	if !applied {
+		t.Fatal("reload did not apply")
+	}
+	if got != nil {
+		t.Errorf("overflowed swap passed a %d-event delta, want nil (full invalidation)", got.Size())
+	}
+	if m.DeltaOverflows.Load() != 1 {
+		t.Errorf("delta overflows = %d, want 1", m.DeltaOverflows.Load())
+	}
+	if m.DeltasApplied.Load() != 1 {
+		t.Errorf("deltas applied = %d, want 1", m.DeltasApplied.Load())
+	}
+
+	// With the bound back at its default, the next change goes back to
+	// delta-based invalidation — overflow is per swap, not sticky.
+	rl.MaxPendingDelta = 0
+	version = 2
+	touchFile(t, path, "gen2")
+	rl.Tick(time.Now())
+	if got == nil {
+		t.Error("post-overflow swap should carry a real delta again")
+	}
+}

@@ -36,6 +36,8 @@ type FS struct {
 	ShortWriteN int
 	// FailRenameN fails the Nth Rename.
 	FailRenameN int
+	// FailLinkN fails the Nth Link.
+	FailLinkN int
 	// FailMkdirN fails the Nth MkdirAll.
 	FailMkdirN int
 	// FailSyncN fails the Nth SyncDir.
@@ -44,6 +46,7 @@ type FS struct {
 	mu      sync.Mutex
 	writes  int
 	renames int
+	links   int
 	mkdirs  int
 	syncs   int
 }
@@ -53,6 +56,9 @@ func (f *FS) Writes() int { f.mu.Lock(); defer f.mu.Unlock(); return f.writes }
 
 // Renames returns the number of Rename calls observed so far.
 func (f *FS) Renames() int { f.mu.Lock(); defer f.mu.Unlock(); return f.renames }
+
+// Links returns the number of Link calls observed so far.
+func (f *FS) Links() int { f.mu.Lock(); defer f.mu.Unlock(); return f.links }
 
 func (f *FS) fault() error {
 	if f.Err != nil {
@@ -99,6 +105,17 @@ func (f *FS) Rename(oldpath, newpath string) error {
 		return f.fault()
 	}
 	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Link(oldname, newname string) error {
+	f.mu.Lock()
+	f.links++
+	trip := f.links == f.FailLinkN
+	f.mu.Unlock()
+	if trip {
+		return f.fault()
+	}
+	return f.Inner.Link(oldname, newname)
 }
 
 func (f *FS) RemoveAll(path string) error { return f.Inner.RemoveAll(path) }

@@ -26,6 +26,11 @@ type FS interface {
 	WriteFile(name string, data []byte, perm fs.FileMode) error
 	// Rename atomically renames oldpath to newpath (same filesystem).
 	Rename(oldpath, newpath string) error
+	// Link creates newname as a hard link to oldname (same filesystem).
+	// Patch publication uses it to stage unchanged pages without
+	// rewriting their bytes; callers must treat failure as advisory and
+	// fall back to WriteFile.
+	Link(oldname, newname string) error
 	// RemoveAll removes path and everything below it.
 	RemoveAll(path string) error
 	// SyncDir fsyncs the directory itself, making renames within it
@@ -64,6 +69,7 @@ func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
 }
 
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Link(oldname, newname string) error   { return os.Link(oldname, newname) }
 func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
 
 func (osFS) SyncDir(path string) error {

@@ -101,6 +101,11 @@ type Output struct {
 	// attributes supplied anchor text). Incremental regeneration uses it
 	// to find the pages a site-graph change dirties.
 	Contributors map[graph.OID][]graph.OID
+	// Refs maps each page's object to the objects its rendered links
+	// point at, and Roots records the generation roots; together they let
+	// incremental regeneration drop pages that are no longer reachable.
+	Refs  map[graph.OID][]graph.OID
+	Roots []graph.OID
 }
 
 // PageNameError reports a page name that cannot be written safely under
@@ -248,6 +253,15 @@ func (o *Output) Publish(fsys fsx.FS, dir string, verify func(stage string) erro
 			return fmt.Errorf("htmlgen: publish: verify: %w", err)
 		}
 	}
+	return swapIn(fsys, stage, dir, prev)
+}
+
+// swapIn replaces dir with the fully staged tree: the previous
+// generation moves to prev (kept for rollback) and the stage takes its
+// name, with the parent directory synced so the swap survives a crash.
+// A failure at any step leaves dir either untouched or fully new, and
+// consumes the stage either way.
+func swapIn(fsys fsx.FS, stage, dir, prev string) error {
 	if err := fsys.RemoveAll(prev); err != nil {
 		_ = fsys.RemoveAll(stage)
 		return fmt.Errorf("htmlgen: publish: %w", err)
@@ -274,6 +288,88 @@ func (o *Output) Publish(fsys fsx.FS, dir string, verify func(stage string) erro
 	return nil
 }
 
+// PublishPatch atomically replaces dir with the generated site like
+// Publish, but stages unchanged pages as hard links to the currently
+// published files instead of rewriting their bytes. Only the pages named
+// in dirty — plus any whose published copy is missing or the wrong size,
+// or whose link attempt fails — are durably written from memory, so a
+// localized edit republishes a thousand-page site with a handful of
+// writes. The swap itself is the same two-rename sequence: readers see
+// the old tree or the complete new one, never a mix. When dir does not
+// exist yet this is a full Publish. Returns how many staged pages were
+// hardlinked vs written.
+func (o *Output) PublishPatch(fsys fsx.FS, dir string, dirty []string, verify func(stage string) error) (linked, written int, err error) {
+	if _, serr := fsys.Stat(dir); serr != nil {
+		return 0, len(o.Pages), o.Publish(fsys, dir, verify)
+	}
+	dirtySet := make(map[string]bool, len(dirty))
+	for _, name := range dirty {
+		dirtySet[name] = true
+	}
+	stage := fmt.Sprintf("%s.tmp-%d", dir, os.Getpid())
+	prev := dir + ".prev"
+	_ = fsys.RemoveAll(stage)
+	names := o.SortedPageNames()
+	// Validate every name and collect subdirectories before touching the
+	// filesystem, mirroring writeDir's all-or-nothing staging.
+	subdirs := map[string]bool{}
+	for _, name := range names {
+		if err := checkPageName(name); err != nil {
+			return 0, 0, err
+		}
+		if d := filepath.Dir(filepath.FromSlash(name)); d != "." {
+			subdirs[d] = true
+		}
+	}
+	fail := func(err error) (int, int, error) {
+		_ = fsys.RemoveAll(stage)
+		return linked, written, fmt.Errorf("htmlgen: publish patch: %w", err)
+	}
+	if err := fsys.MkdirAll(stage, 0o755); err != nil {
+		return fail(err)
+	}
+	dirs := make([]string, 0, len(subdirs))
+	for d := range subdirs {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		if err := fsys.MkdirAll(filepath.Join(stage, d), 0o755); err != nil {
+			return fail(err)
+		}
+	}
+	for _, name := range names {
+		rel := filepath.FromSlash(name)
+		dst := filepath.Join(stage, rel)
+		body := []byte(o.Pages[name])
+		if !dirtySet[name] {
+			src := filepath.Join(dir, rel)
+			if fi, serr := fsys.Stat(src); serr == nil && fi.Size() == int64(len(body)) {
+				if fsys.Link(src, dst) == nil {
+					linked++
+					continue
+				}
+				// Link failure is advisory (cross-device, permissions,
+				// injected fault): fall through to a durable write.
+			}
+		}
+		if err := fsys.WriteFile(dst, body, 0o644); err != nil {
+			return fail(fmt.Errorf("write %s: %w", name, err))
+		}
+		written++
+	}
+	if verify != nil {
+		if err := verify(stage); err != nil {
+			_ = fsys.RemoveAll(stage)
+			return linked, written, fmt.Errorf("htmlgen: publish patch: verify: %w", err)
+		}
+	}
+	if err := swapIn(fsys, stage, dir, prev); err != nil {
+		return linked, written, err
+	}
+	return linked, written, nil
+}
+
 // PageCount returns the number of generated pages.
 func (o *Output) PageCount() int { return len(o.Pages) }
 
@@ -285,6 +381,8 @@ func (g *Generator) Generate(roots []graph.OID) (*Output, error) {
 		Pages:        map[string]string{},
 		PageFiles:    map[graph.OID]string{},
 		Contributors: map[graph.OID][]graph.OID{},
+		Refs:         map[graph.OID][]graph.OID{},
+		Roots:        append([]graph.OID(nil), roots...),
 	}
 	st := &genState{g: g, out: out, usedNames: map[string]bool{}, pending: map[graph.OID]bool{}}
 	for i, r := range roots {
@@ -307,7 +405,11 @@ func (g *Generator) Generate(roots []graph.OID) (*Output, error) {
 // contributed content to), replacing them in the output in place. New
 // objects referenced by re-rendered pages are generated as usual.
 // Regeneration is sequential: dirty sets are small by construction.
-func (g *Generator) Regenerate(out *Output, changed []graph.OID) (pagesRedone int, err error) {
+// It returns the file names of the re-rendered pages — the set a patch
+// publication must write rather than hardlink; pages dropped because
+// their object vanished are not listed (they simply no longer exist in
+// Pages, so staging skips them).
+func (g *Generator) Regenerate(out *Output, changed []graph.OID) (redone []string, err error) {
 	changedSet := map[graph.OID]bool{}
 	for _, c := range changed {
 		changedSet[c] = true
@@ -338,9 +440,7 @@ func (g *Generator) Regenerate(out *Output, changed []graph.OID) (pagesRedone in
 	for _, oid := range pages {
 		if !g.Site.HasNode(oid) {
 			// The object vanished from the site graph: drop its page.
-			delete(out.Pages, out.PageFiles[oid])
-			delete(out.PageFiles, oid)
-			delete(out.Contributors, oid)
+			dropPage(out, oid)
 			continue
 		}
 		st.queue = append(st.queue, oid)
@@ -354,12 +454,48 @@ func (g *Generator) Regenerate(out *Output, changed []graph.OID) (pagesRedone in
 		}
 		r := renderOne(g, oid)
 		if r.err != nil {
-			return pagesRedone, r.err
+			return redone, r.err
 		}
 		st.finish(oid, r)
-		pagesRedone++
+		redone = append(redone, out.PageFiles[oid])
 	}
-	return pagesRedone, nil
+	dropOrphans(out)
+	return redone, nil
+}
+
+// dropPage removes one object's page from the output.
+func dropPage(out *Output, oid graph.OID) {
+	delete(out.Pages, out.PageFiles[oid])
+	delete(out.PageFiles, oid)
+	delete(out.Contributors, oid)
+	delete(out.Refs, oid)
+}
+
+// dropOrphans removes pages no longer reachable from the roots through
+// rendered references. A full build renders exactly the reference
+// closure of the roots, so an object that keeps its site-graph node but
+// loses its last rendered link must lose its page too, or the patched
+// tree diverges from a from-scratch build.
+func dropOrphans(out *Output) {
+	if out.Refs == nil || len(out.Roots) == 0 {
+		return
+	}
+	reach := map[graph.OID]bool{}
+	stack := append([]graph.OID(nil), out.Roots...)
+	for len(stack) > 0 {
+		oid := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[oid] {
+			continue
+		}
+		reach[oid] = true
+		stack = append(stack, out.Refs[oid]...)
+	}
+	for oid := range out.PageFiles {
+		if !reach[oid] {
+			dropPage(out, oid)
+		}
+	}
 }
 
 // genState is the serial side of generation: file-name assignment, the
@@ -451,6 +587,9 @@ func (st *genState) finish(oid graph.OID, r renderResult) {
 		names[i] = st.schedule(ref)
 	}
 	st.out.Pages[st.out.PageFiles[oid]] = substituteRefs(r.html, names)
+	if st.out.Refs != nil {
+		st.out.Refs[oid] = append([]graph.OID(nil), r.job.refs...)
+	}
 	contribs := make([]graph.OID, 0, len(r.job.contributors))
 	for c := range r.job.contributors {
 		contribs = append(contribs, c)

@@ -92,8 +92,8 @@ func TestRegenerateOnlyDirtyPages(t *testing.T) {
 	}
 	// Dirty pages: shared's own page (it was realized? no — embedded only,
 	// so no page) and a's page, which embeds it. Root and b are clean.
-	if n != 1 {
-		t.Errorf("redone %d pages, want 1 (only a)", n)
+	if len(n) != 1 {
+		t.Errorf("redone %v, want 1 page (only a)", n)
 	}
 	aPage := out.Pages[out.PageFiles["a"]]
 	if !strings.Contains(aPage, "v2") {
@@ -120,8 +120,8 @@ func TestRegenerateAnchorTextChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 {
-		t.Errorf("redone %d pages, want 2 (root + b)", n)
+	if len(n) != 2 {
+		t.Errorf("redone %v, want 2 pages (root + b)", n)
 	}
 	if !strings.Contains(out.Pages["index.html"], "Item B renamed") {
 		t.Error("root anchor not refreshed")

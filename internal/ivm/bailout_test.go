@@ -1,0 +1,183 @@
+package ivm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"strudel/internal/core"
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+	"strudel/internal/obs"
+	"strudel/internal/struql"
+)
+
+// Every bailout reason has a triggering test here, each asserting the
+// same three things: the typed reason is counted in obs, the apply
+// degrades to a full rebuild (FullRebuilds moves), and the degraded
+// output is byte-identical to a from-scratch build of the new data.
+
+func requireOraclePages(t *testing.T, s *Site, v *core.Version, data *graph.Graph, context string) {
+	t.Helper()
+	vr, err := core.BuildVersionWith(v, struql.NewGraphSource(data), nil)
+	if err != nil {
+		t.Fatalf("%s: oracle build: %v", context, err)
+	}
+	if len(vr.Output.Pages) != len(s.Output().Pages) {
+		t.Fatalf("%s: page count %d, oracle %d", context, len(s.Output().Pages), len(vr.Output.Pages))
+	}
+	for name, want := range vr.Output.Pages {
+		if got := s.Output().Pages[name]; got != want {
+			t.Fatalf("%s: page %s diverged:\n--- degraded\n%s\n--- oracle\n%s", context, name, got, want)
+		}
+	}
+}
+
+func bailoutFixture(t *testing.T, m *obs.IVMMetrics) (*Site, *core.Version, *graph.Graph) {
+	t.Helper()
+	v := testVersion(`where Papers(x), x -> "title" -> ti
+create PaperPage(x)
+link PaperPage(x) -> "title" -> ti`)
+	cur := baseGraph()
+	s, err := NewSite(v, struql.NewGraphSource(cur), nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, v, cur
+}
+
+func editTitles(g *graph.Graph, n int) {
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.OID(fmt.Sprintf("p%d", i)), "title", graph.NewString(fmt.Sprintf("alt %d", i)))
+	}
+}
+
+func TestBailoutComposedQueries(t *testing.T) {
+	m := &obs.IVMMetrics{}
+	v := testVersion(`where Papers(x) collect Found(x)`)
+	// Split into two composed queries: the second reads nothing from the
+	// first, but composition alone forecloses delta propagation.
+	v.Queries = []string{v.Queries[0], `where Papers(x) collect Again(x)`}
+	cur := baseGraph()
+	s, err := NewSite(v, struql.NewGraphSource(cur), nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Engine() != nil {
+		t.Fatal("composed-query version must have no row-level engine")
+	}
+	prev := cur.Copy()
+	cur.AddToCollection("Papers", "pnew")
+	cur.AddEdge("pnew", "title", graph.NewString("New"))
+	if err := s.Apply(struql.NewGraphSource(cur), mediator.Diff(prev, cur)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Bailouts[obs.BailoutComposedQueries].Load(); got != 1 {
+		t.Errorf("composed_queries bailouts = %d, want 1", got)
+	}
+	if got := m.FullRebuilds.Load(); got != 1 {
+		t.Errorf("full rebuilds = %d, want 1", got)
+	}
+	requireOraclePages(t, s, v, cur, "composed queries")
+}
+
+func TestBailoutDeltaTooLarge(t *testing.T) {
+	m := &obs.IVMMetrics{}
+	s, v, cur := bailoutFixture(t, m)
+	s.Engine().MaxDelta = 1
+	prev := cur.Copy()
+	editTitles(cur, 3) // 3 events > bound 1
+	if err := s.Apply(struql.NewGraphSource(cur), mediator.Diff(prev, cur)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Bailouts[obs.BailoutDeltaTooLarge].Load(); got != 1 {
+		t.Errorf("delta_too_large bailouts = %d, want 1", got)
+	}
+	if got := m.FullRebuilds.Load(); got != 1 {
+		t.Errorf("full rebuilds = %d, want 1", got)
+	}
+	requireOraclePages(t, s, v, cur, "delta too large")
+	// The rebuilt engine (default bound) takes the next delta row-level.
+	prev = cur.Copy()
+	cur.AddEdge("p0", "title", graph.NewString("one more"))
+	if err := s.Apply(struql.NewGraphSource(cur), mediator.Diff(prev, cur)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.DeltasApplied.Load(); got != 1 {
+		t.Errorf("deltas applied after rebuild = %d, want 1", got)
+	}
+	requireOraclePages(t, s, v, cur, "after recovery")
+}
+
+func TestBailoutNilDelta(t *testing.T) {
+	// A nil delta — change of unknown extent — must rebuild, via the
+	// same too-large reason, not crash or no-op.
+	m := &obs.IVMMetrics{}
+	s, v, cur := bailoutFixture(t, m)
+	cur.AddEdge("p0", "title", graph.NewString("unseen"))
+	if err := s.Apply(struql.NewGraphSource(cur), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Bailouts[obs.BailoutDeltaTooLarge].Load(); got != 1 {
+		t.Errorf("delta_too_large bailouts = %d, want 1", got)
+	}
+	requireOraclePages(t, s, v, cur, "nil delta")
+}
+
+func TestBailoutEvalError(t *testing.T) {
+	m := &obs.IVMMetrics{}
+	s, v, cur := bailoutFixture(t, m)
+	s.Engine().evalHook = func() error { return errors.New("injected evaluation failure") }
+	prev := cur.Copy()
+	editTitles(cur, 1)
+	if err := s.Apply(struql.NewGraphSource(cur), mediator.Diff(prev, cur)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Bailouts[obs.BailoutEvalError].Load(); got != 1 {
+		t.Errorf("eval_error bailouts = %d, want 1", got)
+	}
+	if got := m.FullRebuilds.Load(); got != 1 {
+		t.Errorf("full rebuilds = %d, want 1", got)
+	}
+	requireOraclePages(t, s, v, cur, "eval error")
+}
+
+func TestBailoutSupportUnderflow(t *testing.T) {
+	m := &obs.IVMMetrics{}
+	s, v, cur := bailoutFixture(t, m)
+	// Corrupt the maintained refcounts: zero every edge count, so the
+	// partition swap's removals drive one negative.
+	for k := range s.Engine().edgeRefs {
+		s.Engine().edgeRefs[k] = 0
+	}
+	prev := cur.Copy()
+	cur.RemoveEdge("p0", "title", graph.NewString("Paper 0"))
+	if err := s.Apply(struql.NewGraphSource(cur), mediator.Diff(prev, cur)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Bailouts[obs.BailoutSupportUnderflow].Load(); got != 1 {
+		t.Errorf("support_underflow bailouts = %d, want 1", got)
+	}
+	if got := m.FullRebuilds.Load(); got != 1 {
+		t.Errorf("full rebuilds = %d, want 1", got)
+	}
+	requireOraclePages(t, s, v, cur, "support underflow")
+}
+
+func TestBailoutReasonNames(t *testing.T) {
+	want := map[Reason]string{
+		ReasonComposedQueries:  "composed_queries",
+		ReasonDeltaTooLarge:    "delta_too_large",
+		ReasonEvalError:        "eval_error",
+		ReasonSupportUnderflow: "support_underflow",
+	}
+	for r, name := range want {
+		if r.String() != name {
+			t.Errorf("Reason(%d).String() = %q, want %q", r, r.String(), name)
+		}
+	}
+	b := bail(ReasonEvalError, "ctx %d", 7)
+	if b.Error() != "ivm: bailout: eval_error: ctx 7" {
+		t.Errorf("Bailout.Error() = %q", b.Error())
+	}
+}

@@ -1,0 +1,402 @@
+package ivm
+
+import (
+	"fmt"
+	"testing"
+
+	"strudel/internal/core"
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+	"strudel/internal/struql"
+)
+
+// testVersion wraps a query in a minimal renderable version: a constant
+// root page so the generator always has a realization root.
+func testVersion(query string) *core.Version {
+	return &core.Version{
+		Name:      "t",
+		Queries:   []string{"create RootPage()\nlink RootPage() -> \"title\" -> \"t\"\n" + query},
+		Templates: map[string]string{"root": "<h1><SFMT title></h1>"},
+		PerObject: map[string]string{"RootPage()": "root"},
+		Roots:     []string{"RootPage()"},
+	}
+}
+
+// oracleGraph evaluates the version's query from scratch with a fresh
+// Skolem environment — the ground truth the engine must track.
+func oracleGraph(t *testing.T, e *Engine, data *graph.Graph) *graph.Graph {
+	t.Helper()
+	res, err := struql.Eval(e.query, struql.NewGraphSource(data), nil)
+	if err != nil {
+		t.Fatalf("oracle eval: %v", err)
+	}
+	return res.Graph
+}
+
+func requireSameGraph(t *testing.T, want, got *graph.Graph, context string) {
+	t.Helper()
+	d := mediator.Diff(want, got)
+	if !d.Empty() {
+		t.Fatalf("%s: engine site graph diverged from full evaluation:\n+edges %v\n-edges %v\n+members %v\n-members %v",
+			context, d.AddedEdges, d.RemovedEdges, d.AddedMembers, d.RemovedMembers)
+	}
+}
+
+// applyAndCheck mutates the working graph via edit, pushes the diff
+// through the engine, and asserts the maintained site graph matches a
+// from-scratch evaluation.
+func applyAndCheck(t *testing.T, e *Engine, cur *graph.Graph, context string, edit func(g *graph.Graph)) {
+	t.Helper()
+	prev := cur.Copy()
+	edit(cur)
+	delta := mediator.Diff(prev, cur)
+	if _, err := e.Apply(struql.NewGraphSource(cur), delta); err != nil {
+		t.Fatalf("%s: apply: %v", context, err)
+	}
+	requireSameGraph(t, oracleGraph(t, e, cur), e.Site(), context)
+}
+
+func newTestEngine(t *testing.T, query string, data *graph.Graph) *Engine {
+	t.Helper()
+	e, err := NewEngine(testVersion(query), struql.NewGraphSource(data), nil)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	requireSameGraph(t, oracleGraph(t, e, data), e.Site(), "initial build")
+	return e
+}
+
+func baseGraph() *graph.Graph {
+	g := graph.New()
+	for i := 0; i < 6; i++ {
+		oid := graph.OID(fmt.Sprintf("p%d", i))
+		g.AddToCollection("Papers", oid)
+		g.AddEdge(oid, "title", graph.NewString(fmt.Sprintf("Paper %d", i)))
+		g.AddEdge(oid, "year", graph.NewInt(int64(1994+i%3)))
+		if i%2 == 0 {
+			g.AddEdge(oid, "topic", graph.NewString("db"))
+		}
+	}
+	g.AddEdge("p0", "cites", graph.NewNode("p1"))
+	g.AddEdge("p1", "cites", graph.NewNode("p2"))
+	return g
+}
+
+// --- per-operator differential tests -------------------------------
+
+func TestDeltaMemberJoin(t *testing.T) {
+	q := `where Papers(x), x -> "title" -> ti
+create PaperPage(x)
+link PaperPage(x) -> "title" -> ti
+collect Pages(PaperPage(x))`
+	cur := baseGraph()
+	e := newTestEngine(t, q, cur)
+	if e.blocks[1].sites == nil {
+		t.Fatal("member join block should be tier A")
+	}
+	applyAndCheck(t, e, cur, "add member+title", func(g *graph.Graph) {
+		g.AddToCollection("Papers", "p9")
+		g.AddEdge("p9", "title", graph.NewString("Paper 9"))
+	})
+	applyAndCheck(t, e, cur, "remove member", func(g *graph.Graph) {
+		g.RemoveFromCollection("Papers", "p1")
+	})
+	applyAndCheck(t, e, cur, "remove title edge", func(g *graph.Graph) {
+		g.RemoveEdge("p2", "title", graph.NewString("Paper 2"))
+	})
+	applyAndCheck(t, e, cur, "mutate title", func(g *graph.Graph) {
+		g.RemoveEdge("p3", "title", graph.NewString("Paper 3"))
+		g.AddEdge("p3", "title", graph.NewString("Paper 3 rev"))
+	})
+}
+
+func TestDeltaCmpFilter(t *testing.T) {
+	q := `where Papers(x), x -> "year" -> y, y > 1994
+create Recent(x)
+link Recent(x) -> "year" -> y`
+	cur := baseGraph()
+	e := newTestEngine(t, q, cur)
+	applyAndCheck(t, e, cur, "add passing year", func(g *graph.Graph) {
+		g.AddToCollection("Papers", "px")
+		g.AddEdge("px", "year", graph.NewInt(1999))
+	})
+	applyAndCheck(t, e, cur, "add failing year", func(g *graph.Graph) {
+		g.AddToCollection("Papers", "py")
+		g.AddEdge("py", "year", graph.NewInt(1990))
+	})
+	applyAndCheck(t, e, cur, "cross the threshold", func(g *graph.Graph) {
+		g.RemoveEdge("py", "year", graph.NewInt(1990))
+		g.AddEdge("py", "year", graph.NewInt(1997))
+	})
+}
+
+func TestDeltaEdgeVariable(t *testing.T) {
+	q := `where Papers(x), x -> l -> v
+create Attr(x)
+link Attr(x) -> l -> v`
+	cur := baseGraph()
+	e := newTestEngine(t, q, cur)
+	if e.blocks[1].sites == nil {
+		t.Fatal("arc-variable block should be tier A")
+	}
+	applyAndCheck(t, e, cur, "add arbitrary attribute", func(g *graph.Graph) {
+		g.AddEdge("p0", "venue", graph.NewString("SIGMOD"))
+	})
+	applyAndCheck(t, e, cur, "remove attribute", func(g *graph.Graph) {
+		g.RemoveEdge("p0", "topic", graph.NewString("db"))
+	})
+}
+
+func TestDeltaSingleStepPath(t *testing.T) {
+	q := `where Papers(x), x -> ~"cit.*" -> y
+create Citing(x)
+link Citing(x) -> "to" -> y`
+	cur := baseGraph()
+	e := newTestEngine(t, q, cur)
+	if e.blocks[1].sites == nil {
+		t.Fatal("single-step regex path should be tier A")
+	}
+	applyAndCheck(t, e, cur, "add matching edge", func(g *graph.Graph) {
+		g.AddEdge("p3", "cites", graph.NewNode("p0"))
+	})
+	applyAndCheck(t, e, cur, "remove matching edge", func(g *graph.Graph) {
+		g.RemoveEdge("p0", "cites", graph.NewNode("p1"))
+	})
+}
+
+func TestDeltaStarPathTierB(t *testing.T) {
+	q := `where Papers(x), x -> "cites"* -> y
+create Reach(x)
+link Reach(x) -> "r" -> y`
+	cur := baseGraph()
+	e := newTestEngine(t, q, cur)
+	if e.blocks[1].sites != nil {
+		t.Fatal("closure path must be tier B (delete-and-rederive by block re-evaluation)")
+	}
+	applyAndCheck(t, e, cur, "extend the chain", func(g *graph.Graph) {
+		g.AddEdge("p2", "cites", graph.NewNode("p3"))
+	})
+	applyAndCheck(t, e, cur, "cut the chain", func(g *graph.Graph) {
+		g.RemoveEdge("p1", "cites", graph.NewNode("p2"))
+	})
+}
+
+func TestDeltaNegation(t *testing.T) {
+	q := `where Papers(x), not(x -> "topic" -> z)
+create Untopical(x)
+collect Plain(Untopical(x))`
+	cur := baseGraph()
+	e := newTestEngine(t, q, cur)
+	if e.blocks[1].sites == nil {
+		t.Fatal("one-level negation should be tier A")
+	}
+	// An addition inside the negation kills a row.
+	applyAndCheck(t, e, cur, "negation add kills", func(g *graph.Graph) {
+		g.AddEdge("p1", "topic", graph.NewString("web"))
+	})
+	// A removal inside the negation gives birth to a row
+	// (delete-and-rederive: the site is re-evaluated).
+	applyAndCheck(t, e, cur, "negation remove births", func(g *graph.Graph) {
+		g.RemoveEdge("p0", "topic", graph.NewString("db"))
+	})
+}
+
+func TestDeltaSkolemGroupingNested(t *testing.T) {
+	// The canonical Skolem grouping idiom: one YearPage per distinct
+	// year, attributes attached in a nested block.
+	q := `where Papers(x), x -> "year" -> y
+create YearPage(y)
+link YearPage(y) -> "paper" -> x
+{ where x -> "title" -> ti
+  link YearPage(y) -> "entry" -> ti }`
+	cur := baseGraph()
+	e := newTestEngine(t, q, cur)
+	applyAndCheck(t, e, cur, "new paper joins existing year group", func(g *graph.Graph) {
+		g.AddToCollection("Papers", "p7")
+		g.AddEdge("p7", "year", graph.NewInt(1995))
+		g.AddEdge("p7", "title", graph.NewString("Paper 7"))
+	})
+	applyAndCheck(t, e, cur, "new year births a group page", func(g *graph.Graph) {
+		g.AddToCollection("Papers", "p8")
+		g.AddEdge("p8", "year", graph.NewInt(2001))
+		g.AddEdge("p8", "title", graph.NewString("Paper 8"))
+	})
+	applyAndCheck(t, e, cur, "last member leaves a group", func(g *graph.Graph) {
+		g.RemoveEdge("p8", "year", graph.NewInt(2001))
+	})
+}
+
+func TestDeltaAggregateTierB(t *testing.T) {
+	q := `where Papers(x), x -> "year" -> y
+aggregate count(x) as n by y
+create YearCount(y)
+link YearCount(y) -> "n" -> n`
+	cur := baseGraph()
+	e := newTestEngine(t, q, cur)
+	if e.blocks[1].sites != nil {
+		t.Fatal("aggregation must be tier B")
+	}
+	applyAndCheck(t, e, cur, "count shifts", func(g *graph.Graph) {
+		g.AddToCollection("Papers", "pz")
+		g.AddEdge("pz", "year", graph.NewInt(1994))
+	})
+}
+
+// --- randomized edit storm -----------------------------------------
+
+// editRand mirrors the struql differential oracle's self-contained LCG
+// so edit storms are reproducible from a plain integer seed.
+type editRand struct{ s uint64 }
+
+func newEditRand(seed uint64) *editRand {
+	return &editRand{s: seed*2654435761 + 0x9e3779b97f4a7c15}
+}
+
+func (r *editRand) n(k int) int {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return int((r.s >> 33) % uint64(k))
+}
+
+func (r *editRand) pick(ss ...string) string { return ss[r.n(len(ss))] }
+
+// randomEdit applies one random source edit: an added edge, a removed
+// edge, a value mutation, a membership change, or a whole-record
+// deletion — the edit-storm vocabulary of the soak suite.
+func randomEdit(r *editRand, g *graph.Graph) {
+	oid := func() graph.OID { return graph.OID(fmt.Sprintf("p%d", r.n(10))) }
+	label := func() string { return r.pick("title", "year", "topic", "cites") }
+	value := func() graph.Value {
+		switch r.n(3) {
+		case 0:
+			return graph.NewString(r.pick("a", "b", "db", "web"))
+		case 1:
+			return graph.NewInt(int64(1990 + r.n(10)))
+		default:
+			return graph.NewNode(oid())
+		}
+	}
+	switch r.n(5) {
+	case 0: // add edge
+		g.AddEdge(oid(), label(), value())
+	case 1: // remove an existing edge, if any
+		o := oid()
+		if es := g.Out(o); len(es) > 0 {
+			e := es[r.n(len(es))]
+			g.RemoveEdge(e.From, e.Label, e.To)
+		}
+	case 2: // mutate a value in place
+		o := oid()
+		if es := g.Out(o); len(es) > 0 {
+			e := es[r.n(len(es))]
+			g.RemoveEdge(e.From, e.Label, e.To)
+			g.AddEdge(e.From, e.Label, value())
+		}
+	case 3: // membership churn
+		if r.n(2) == 0 {
+			g.AddToCollection("Papers", oid())
+		} else {
+			g.RemoveFromCollection("Papers", oid())
+		}
+	case 4: // delete the whole record
+		o := oid()
+		for _, e := range g.Out(o) {
+			g.RemoveEdge(e.From, e.Label, e.To)
+		}
+		g.RemoveFromCollection("Papers", o)
+		g.RemoveNode(o)
+	}
+}
+
+func TestDeltaEditStormDifferential(t *testing.T) {
+	queries := map[string]string{
+		"join": `where Papers(x), x -> "title" -> ti
+create PaperPage(x)
+link PaperPage(x) -> "title" -> ti
+collect Pages(PaperPage(x))`,
+		"grouping": `where Papers(x), x -> "year" -> y
+create YearPage(y)
+link YearPage(y) -> "paper" -> x
+{ where x -> "title" -> ti
+  link YearPage(y) -> "entry" -> ti }`,
+		"negation": `where Papers(x), not(x -> "topic" -> z)
+create Untopical(x)
+collect Plain(Untopical(x))`,
+		"closure": `where Papers(x), x -> "cites"* -> y
+create Reach(x)
+link Reach(x) -> "r" -> y`,
+		"arcvar": `where Papers(x), x -> l -> v
+create Attr(x)
+link Attr(x) -> l -> v`,
+	}
+	for name, q := range queries {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				cur := baseGraph()
+				e := newTestEngine(t, q, cur)
+				r := newEditRand(seed)
+				for i := 0; i < 40; i++ {
+					applyAndCheck(t, e, cur, fmt.Sprintf("seed %d edit %d", seed, i),
+						func(g *graph.Graph) { randomEdit(r, g) })
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaPageDirtying asserts the engine reports the regenerated page
+// names, and that untouched pages keep their bytes.
+func TestDeltaPageDirtying(t *testing.T) {
+	q := `where Papers(x), x -> "title" -> ti
+create PaperPage(x)
+link PaperPage(x) -> "title" -> ti,
+     RootPage() -> "paper" -> PaperPage(x)`
+	v := testVersion(q)
+	v.Templates["paper"] = `<h2><SFMT title></h2>`
+	v.ObjectTemplatePrefixes = map[string]string{"PaperPage(": "paper"}
+	v.Templates["root"] = `<h1><SFMT title></h1><SFMT paper UL TEXT=title>`
+	cur := baseGraph()
+	e, err := NewEngine(v, struql.NewGraphSource(cur), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]string{}
+	for n, p := range e.Output().Pages {
+		before[n] = p
+	}
+	prev := cur.Copy()
+	cur.RemoveEdge("p4", "title", graph.NewString("Paper 4"))
+	cur.AddEdge("p4", "title", graph.NewString("Paper 4 v2"))
+	pages, err := e.Apply(struql.NewGraphSource(cur), mediator.Diff(prev, cur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) == 0 {
+		t.Fatal("no pages reported dirty")
+	}
+	dirty := map[string]bool{}
+	for _, p := range pages {
+		dirty[p] = true
+	}
+	changedOther := false
+	for n, p := range e.Output().Pages {
+		if dirty[n] {
+			continue
+		}
+		if before[n] != p {
+			changedOther = true
+		}
+	}
+	if changedOther {
+		t.Error("a page changed without being reported dirty")
+	}
+	// The edited paper's page must carry the new title.
+	found := false
+	for _, p := range pages {
+		if e.Output().Pages[p] != "" && before[p] != e.Output().Pages[p] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no dirty page actually changed")
+	}
+}

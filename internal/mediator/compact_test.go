@@ -1,0 +1,103 @@
+package mediator
+
+import (
+	"fmt"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+func TestDeltaCompactCancelsOpposingPairs(t *testing.T) {
+	e := graph.Edge{From: "a", Label: "l", To: graph.NewString("v")}
+	m := Membership{Coll: "C", OID: "a"}
+	d := &Delta{
+		AddedEdges:     []graph.Edge{e, e}, // repeats dedupe
+		RemovedEdges:   []graph.Edge{e},    // one add survives: net +1
+		AddedMembers:   []Membership{m},
+		RemovedMembers: []Membership{m}, // net zero: drops entirely
+	}
+	d.Compact()
+	if len(d.AddedEdges) != 1 || len(d.RemovedEdges) != 0 {
+		t.Errorf("edges after compact: +%d -%d, want +1 -0", len(d.AddedEdges), len(d.RemovedEdges))
+	}
+	if len(d.AddedMembers) != 0 || len(d.RemovedMembers) != 0 {
+		t.Errorf("members after compact: +%d -%d, want none", len(d.AddedMembers), len(d.RemovedMembers))
+	}
+}
+
+func TestDeltaCompactNetRemoval(t *testing.T) {
+	e := graph.Edge{From: "a", Label: "l", To: graph.NewInt(1)}
+	// Present initially, then add/remove/remove composed: net removed.
+	d := &Delta{RemovedEdges: []graph.Edge{e}}
+	d.Merge(&Delta{AddedEdges: []graph.Edge{e}})
+	d.Merge(&Delta{RemovedEdges: []graph.Edge{e}})
+	d.Compact()
+	if len(d.AddedEdges) != 0 || len(d.RemovedEdges) != 1 {
+		t.Errorf("net effect: +%d -%d, want +0 -1", len(d.AddedEdges), len(d.RemovedEdges))
+	}
+}
+
+// TestDeltaMergeBoundedUnderAdversarialEditLoop drives the exact
+// pathology the bound exists for: a source oscillating between two
+// states for thousands of rounds while the consumer (a reloader in a
+// long outage) can only accumulate. Unbounded concatenation would grow
+// to ~40k records; the compacting Merge must keep the delta within a
+// constant factor of the distinct-element count.
+func TestDeltaMergeBoundedUnderAdversarialEditLoop(t *testing.T) {
+	accum := &Delta{}
+	flip := func(i int) *Delta {
+		e := graph.Edge{From: graph.OID(fmt.Sprintf("n%d", i%7)), Label: "v",
+			To: graph.NewInt(int64(i % 2))}
+		m := Membership{Coll: "C", OID: e.From}
+		if i%2 == 0 {
+			return &Delta{AddedEdges: []graph.Edge{e}, AddedMembers: []Membership{m}}
+		}
+		return &Delta{RemovedEdges: []graph.Edge{e}, RemovedMembers: []Membership{m}}
+	}
+	peak := 0
+	for i := 0; i < 10000; i++ {
+		accum.Merge(flip(i))
+		if s := accum.Size(); s > peak {
+			peak = s
+		}
+	}
+	if peak > mergeCompactLimit+4 {
+		t.Errorf("pending delta peaked at %d records, bound is ~%d", peak, mergeCompactLimit)
+	}
+	accum.Compact()
+	// 7 distinct froms × 2 values interleave; after full cancellation at
+	// most one record per distinct element can survive.
+	if accum.Size() > 7*3 {
+		t.Errorf("net delta has %d records for 21 distinct elements", accum.Size())
+	}
+}
+
+// TestDeltaCompactEquivalentToDiff asserts compaction of a composed
+// event stream equals the direct diff of the endpoint graphs — the
+// soundness property the incremental consumers rely on.
+func TestDeltaCompactEquivalentToDiff(t *testing.T) {
+	start := graph.New()
+	start.AddToCollection("C", "a")
+	start.AddEdge("a", "x", graph.NewInt(1))
+
+	// Walk the graph through several states, composing per-step diffs.
+	cur := start.Copy()
+	composed := &Delta{}
+	step := func(edit func(*graph.Graph)) {
+		prev := cur.Copy()
+		edit(cur)
+		composed.Merge(Diff(prev, cur))
+	}
+	step(func(g *graph.Graph) { g.AddEdge("a", "x", graph.NewInt(2)) })
+	step(func(g *graph.Graph) { g.RemoveEdge("a", "x", graph.NewInt(1)) })
+	step(func(g *graph.Graph) { g.AddEdge("a", "x", graph.NewInt(1)) })
+	step(func(g *graph.Graph) { g.RemoveEdge("a", "x", graph.NewInt(1)) })
+	step(func(g *graph.Graph) { g.RemoveFromCollection("C", "a") })
+	step(func(g *graph.Graph) { g.AddToCollection("C", "b") })
+
+	composed.Compact()
+	direct := Diff(start, cur)
+	if fmt.Sprint(composed) != fmt.Sprint(direct) {
+		t.Errorf("compacted composition:\n%v\ndirect diff:\n%v", composed, direct)
+	}
+}

@@ -258,11 +258,17 @@ func (d *Delta) Size() int {
 	return len(d.AddedEdges) + len(d.RemovedEdges) + len(d.AddedMembers) + len(d.RemovedMembers)
 }
 
-// Merge folds another delta into this one. Deltas of independent sources
-// concatenate; when the same edge appears as both added and removed
-// (a source changed twice between applications), both records are kept —
-// consumers treat the delta as "what may have changed", so the union is
-// conservative and sound.
+// mergeCompactLimit bounds unconstrained Merge accumulation: once a
+// delta's record count passes it, Merge compacts to net effects so a
+// long outage with an oscillating source cannot grow the pending delta
+// without bound.
+const mergeCompactLimit = 4096
+
+// Merge folds another delta into this one. Deltas of consecutive
+// refreshes compose by concatenation; when the accumulated record count
+// exceeds a fixed bound the delta is compacted to its net effect (see
+// Compact), which keeps memory proportional to the number of distinct
+// changed elements instead of the number of change events.
 func (d *Delta) Merge(o *Delta) {
 	if o == nil {
 		return
@@ -271,6 +277,79 @@ func (d *Delta) Merge(o *Delta) {
 	d.RemovedEdges = append(d.RemovedEdges, o.RemovedEdges...)
 	d.AddedMembers = append(d.AddedMembers, o.AddedMembers...)
 	d.RemovedMembers = append(d.RemovedMembers, o.RemovedMembers...)
+	if d.Size() > mergeCompactLimit {
+		d.Compact()
+	}
+}
+
+// Compact reduces the delta to its net effect: opposing add/remove
+// records of the same edge or membership cancel pairwise and repeats
+// dedupe, leaving at most one record per distinct element. This is sound
+// for any delta built by composing consecutive graph diffs: per element
+// the add/remove events alternate, so the sign of adds−removes is
+// exactly the element's old-state→new-state change (positive = added,
+// negative = removed, zero = unchanged). Output order is deterministic
+// (the same sort as Diff).
+func (d *Delta) Compact() {
+	edgeNet := make(map[graph.Edge]int, len(d.AddedEdges)+len(d.RemovedEdges))
+	for _, e := range d.AddedEdges {
+		edgeNet[e]++
+	}
+	for _, e := range d.RemovedEdges {
+		edgeNet[e]--
+	}
+	d.AddedEdges, d.RemovedEdges = nil, nil
+	for e, n := range edgeNet {
+		switch {
+		case n > 0:
+			d.AddedEdges = append(d.AddedEdges, e)
+		case n < 0:
+			d.RemovedEdges = append(d.RemovedEdges, e)
+		}
+	}
+	sortEdgeDelta(d.AddedEdges)
+	sortEdgeDelta(d.RemovedEdges)
+
+	memNet := make(map[Membership]int, len(d.AddedMembers)+len(d.RemovedMembers))
+	for _, m := range d.AddedMembers {
+		memNet[m]++
+	}
+	for _, m := range d.RemovedMembers {
+		memNet[m]--
+	}
+	d.AddedMembers, d.RemovedMembers = nil, nil
+	for m, n := range memNet {
+		switch {
+		case n > 0:
+			d.AddedMembers = append(d.AddedMembers, m)
+		case n < 0:
+			d.RemovedMembers = append(d.RemovedMembers, m)
+		}
+	}
+	sortMemberDelta(d.AddedMembers)
+	sortMemberDelta(d.RemovedMembers)
+}
+
+func sortEdgeDelta(edges []graph.Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.To.Key() < b.To.Key()
+	})
+}
+
+func sortMemberDelta(ms []Membership) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Coll != ms[j].Coll {
+			return ms[i].Coll < ms[j].Coll
+		}
+		return ms[i].OID < ms[j].OID
+	})
 }
 
 // Diff computes new − old and old − new for edges and memberships.
@@ -290,16 +369,7 @@ func Diff(old, new *graph.Graph) *Delta {
 	for e := range oldEdges {
 		removed = append(removed, e)
 	}
-	sort.Slice(removed, func(i, j int) bool {
-		a, b := removed[i], removed[j]
-		if a.From != b.From {
-			return a.From < b.From
-		}
-		if a.Label != b.Label {
-			return a.Label < b.Label
-		}
-		return a.To.Key() < b.To.Key()
-	})
+	sortEdgeDelta(removed)
 	d.RemovedEdges = removed
 	memberSet := func(g *graph.Graph) map[Membership]bool {
 		set := map[Membership]bool{}
@@ -321,16 +391,8 @@ func Diff(old, new *graph.Graph) *Delta {
 			d.RemovedMembers = append(d.RemovedMembers, mem)
 		}
 	}
-	sortMembers := func(ms []Membership) {
-		sort.Slice(ms, func(i, j int) bool {
-			if ms[i].Coll != ms[j].Coll {
-				return ms[i].Coll < ms[j].Coll
-			}
-			return ms[i].OID < ms[j].OID
-		})
-	}
-	sortMembers(d.AddedMembers)
-	sortMembers(d.RemovedMembers)
+	sortMemberDelta(d.AddedMembers)
+	sortMemberDelta(d.RemovedMembers)
 	return d
 }
 

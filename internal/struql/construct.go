@@ -1,0 +1,24 @@
+package struql
+
+import "strudel/internal/graph"
+
+// ConstructOnly runs one block's create, link, and collect clauses over an
+// externally supplied binding relation, returning the constructed graph.
+// It is the construction half of evalBlock split out for incremental view
+// maintenance: a maintainer that tracks a block's where-relation row by
+// row can re-derive the block's contribution to the site graph without
+// re-evaluating the where clause.
+//
+// The binding relation must bind every variable the construction clauses
+// reference. Skolem identity flows through env, so sharing the same
+// environment with other evaluations keeps oids consistent; construction
+// is idempotent under the graph's set semantics, so duplicate rows are
+// harmless. Nested blocks are NOT descended into — each block's
+// construction is applied to its own relation.
+func ConstructOnly(blk *Block, b *Bindings, env *SkolemEnv) (*graph.Graph, error) {
+	ctx := &evalCtx{out: graph.New(), env: env}
+	if err := ctx.construct(blk, b); err != nil {
+		return nil, err
+	}
+	return ctx.out, nil
+}

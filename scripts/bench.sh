@@ -1,15 +1,15 @@
 #!/bin/sh
 # bench.sh — run the repository benchmarks and write a machine-readable
-# summary to BENCH_6.json (benchmark name → ns/op, B/op, allocs/op).
+# summary to BENCH_7.json (benchmark name → ns/op, B/op, allocs/op).
 #
 # Usage: sh scripts/bench.sh
 #   BENCHTIME=1x   benchtime passed to go test (default 1x: one
 #                  iteration per benchmark, enough for a CI snapshot)
-#   OUT=BENCH_6.json   output path
+#   OUT=BENCH_7.json   output path
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${OUT:-BENCH_6.json}
+OUT=${OUT:-BENCH_7.json}
 BENCHTIME=${BENCHTIME:-1x}
 
 raw=$(go test -run='^$' -bench=. -benchmem -benchtime "$BENCHTIME" .)

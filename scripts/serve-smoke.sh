@@ -84,6 +84,15 @@ grep -q '"strudel"' "$workdir/vars.json" || {
     cat "$workdir/vars.json" >&2
     exit 1
 }
+# The incremental-maintenance group must be exported alongside "serve":
+# delta counters, bailout reasons, and the patch-latency histogram.
+for key in '"ivm"' '"deltas_applied"' '"bailout_delta_too_large"' '"dirty_pages"' '"apply_nanos"'; do
+    grep -q "$key" "$workdir/vars.json" || {
+        echo "serve-smoke: /debug/vars missing ivm metric $key:" >&2
+        cat "$workdir/vars.json" >&2
+        exit 1
+    }
+done
 curl -fsS "http://$debugaddr/debug/pprof/" | grep -qi "profile" || {
     echo "serve-smoke: debug listener did not serve pprof index" >&2
     exit 1
