@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check serve-smoke fuzz-smoke chaos-smoke soak-smoke clean
+.PHONY: all build test race vet bench check serve-smoke fuzz-smoke chaos-smoke soak-smoke loadgen-smoke bench-serve clean
 
 all: build
 
@@ -59,6 +59,19 @@ SOAK_EDITS_RACE ?= 250
 soak-smoke:
 	SOAK_EDITS=$(SOAK_EDITS) $(GO) test -count=1 -timeout 20m -run '^TestSoak' .
 	SOAK_EDITS=$(SOAK_EDITS_RACE) $(GO) test -count=1 -race -timeout 20m -run '^TestSoak' .
+
+# loadgen-smoke runs the open-loop load generator against an in-process
+# sharded fleet for a short fixed window, asserting non-zero throughput
+# and zero differential-oracle mismatches; the raced serving-invariant
+# drills (reload under load, chaos kills) run alongside it.
+loadgen-smoke:
+	$(GO) test -count=1 -run '^TestLoadgenSmoke$$' -v ./internal/fleet
+	$(GO) test -count=1 -race -run '^TestReloadUnderLoad$$|^TestChaosKillsUnderLoad$$' ./internal/fleet
+
+# bench-serve load-tests the real strudel-serve binary at several shard
+# counts and writes BENCH_serve.json (throughput + latency percentiles).
+bench-serve:
+	sh scripts/bench_serve.sh
 
 # check is what CI runs.
 check: vet race

@@ -1,0 +1,94 @@
+// Command strudel-load drives an open-loop HTTP load test against a
+// running strudel-serve edge: it crawls the page space from /, then
+// fires arrivals at a fixed rate with zipfian page popularity and
+// reports throughput and latency percentiles as JSON (the shape
+// BENCH_serve.json aggregates).
+//
+// Usage:
+//
+//	strudel-load -url http://127.0.0.1:8080 [-rate 500] [-duration 10s]
+//	             [-warmup 2s] [-zipf-s 1.1] [-zipf-v 1] [-pages 4096]
+//	             [-inflight 1024] [-seed 1] [-out report.json]
+//
+// Open-loop means arrivals do not wait for responses: a server that
+// falls behind faces a growing backlog, as it would under real traffic.
+// Exit codes: 0 on a clean run, 1 on configuration or transport
+// failure, 3 if the run completed but recorded request errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"strudel/internal/fleet"
+)
+
+const (
+	exitOK     = 0
+	exitError  = 1
+	exitErrors = 3
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "base URL of the edge under test")
+		rate     = flag.Float64("rate", 500, "arrival rate in requests/second")
+		duration = flag.Duration("duration", 10*time.Second, "measured window")
+		warmup   = flag.Duration("warmup", 2*time.Second, "warmup window before measurement (results discarded)")
+		zipfS    = flag.Float64("zipf-s", 1.1, "zipf skew (s > 1; larger = steeper popularity head)")
+		zipfV    = flag.Float64("zipf-v", 1, "zipf v parameter (≥ 1)")
+		pages    = flag.Int("pages", fleet.DefaultMaxPages, "max pages to discover by crawling")
+		inflight = flag.Int("inflight", fleet.DefaultMaxInflight, "max outstanding requests; arrivals past it are dropped")
+		seed     = flag.Int64("seed", 1, "popularity seed (reproducible page mix)")
+		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	lg := &fleet.LoadGen{
+		BaseURL:     *url,
+		Rate:        *rate,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		ZipfS:       *zipfS,
+		ZipfV:       *zipfV,
+		MaxPages:    *pages,
+		MaxInflight: *inflight,
+		Seed:        *seed,
+	}
+	rep, err := lg.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-load:", err)
+		os.Exit(exitError)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "strudel-load:", err)
+			os.Exit(exitError)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-load:", err)
+		os.Exit(exitError)
+	}
+	fmt.Fprintf(os.Stderr, "strudel-load: %d pages, %d requests (%d dropped), %.0f rps, p50=%s p99=%s p99.9=%s\n",
+		rep.Pages, rep.Requests, rep.Dropped, rep.Throughput,
+		time.Duration(rep.P50Nanos), time.Duration(rep.P99Nanos), time.Duration(rep.P999Nanos))
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "strudel-load: %d requests failed\n", rep.Errors)
+		os.Exit(exitErrors)
+	}
+	os.Exit(exitOK)
+}

@@ -9,6 +9,7 @@
 //	              [-template Fn=file.tmpl] [-addr :8080] [-lookahead]
 //	              [-request-timeout 10s] [-max-inflight 256]
 //	              [-reload-interval 2s] [-shutdown-timeout 10s]
+//	              [-shards 1] [-replicas 1] [-stale-for 2s]
 //
 // Templates are keyed by Skolem function name (Fn=...).
 //
@@ -38,6 +39,7 @@ import (
 
 	"strudel/internal/ddl"
 	"strudel/internal/dynamic"
+	"strudel/internal/fleet"
 	"strudel/internal/graph"
 	"strudel/internal/obs"
 	"strudel/internal/schema"
@@ -71,6 +73,8 @@ type config struct {
 	maxInflight                    int
 	reloadInterval                 time.Duration
 	shutdownTimeout                time.Duration
+	shards, replicas               int
+	staleFor                       time.Duration
 }
 
 func main() {
@@ -87,6 +91,9 @@ func main() {
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 256, "max concurrent page requests before shedding with 503 (0 = unlimited)")
 	flag.DurationVar(&cfg.reloadInterval, "reload-interval", 2*time.Second, "source-file poll period for hot reload (0 disables)")
 	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "bound on graceful drain after SIGINT/SIGTERM")
+	flag.IntVar(&cfg.shards, "shards", 1, "number of shared-nothing page-space shards")
+	flag.IntVar(&cfg.replicas, "replicas", 1, "replicas per shard (failover capacity)")
+	flag.DurationVar(&cfg.staleFor, "stale-for", 2*time.Second, "stale-while-revalidate window after a hot reload (0 disables stale serving)")
 	flag.Parse()
 	cfg.dataFiles, cfg.bibFiles, cfg.templates = dataFiles, bibFiles, templates
 
@@ -99,18 +106,46 @@ func run(cfg config) int {
 		fmt.Fprintln(os.Stderr, "strudel-serve:", err)
 		return exitError
 	}
-	srv.RequestTimeout = cfg.requestTimeout
-	srv.MaxInflight = cfg.maxInflight
 
 	// Metrics are always collected (they are cheap atomics); the debug
 	// listener just decides whether anything can read them.
 	metrics := &obs.ServeMetrics{}
 	ivmMetrics := &obs.IVMMetrics{}
-	srv.Obs = metrics
-	srv.Ev.Obs = metrics
+	fleetMetrics := &obs.FleetMetrics{}
 	if rl != nil {
 		rl.Obs = metrics
 		rl.IVM = ivmMetrics
+	}
+
+	// The serving tier proper: the page space is partitioned over
+	// -shards shared-nothing shards of -replicas replicas each (1×1 is a
+	// perfectly good fleet), and every request enters through the edge —
+	// consistent-hash routing, generation-scoped conditional GETs,
+	// stale-while-revalidate across hot reloads.
+	fl, err := fleet.New(fleet.Config{
+		Schema:    srv.Ev.Schema,
+		Templates: srv.Templates,
+		PerFn:     srv.PerFn,
+		Default:   srv.Default,
+		Shards:    cfg.shards,
+		Replicas:  cfg.replicas,
+		Lookahead: cfg.lookahead,
+		Obs:       fleetMetrics,
+		ServeObs:  metrics,
+	}, srv.Ev.Source())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-serve:", err)
+		return exitError
+	}
+	edge := fleet.NewEdge(fl)
+	edge.StaleFor = cfg.staleFor
+	edge.RequestTimeout = cfg.requestTimeout
+	edge.MaxInflight = cfg.maxInflight
+	edge.Obs = fleetMetrics
+	edge.Health = srv.Health
+	if rl != nil {
+		// Hot reloads now swap every replica of every shard in lockstep.
+		rl.AttachSwapper(fl, srv.Health)
 	}
 
 	// Bind before installing signal handling so "address in use" and its
@@ -137,7 +172,7 @@ func run(cfg config) int {
 			return exitListen
 		}
 		dhs := &http.Server{
-			Handler:           debugMux(metrics, ivmMetrics),
+			Handler:           debugMux(metrics, ivmMetrics, fleetMetrics),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
@@ -154,7 +189,7 @@ func run(cfg config) int {
 	}
 
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           edge.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      cfg.requestTimeout + 15*time.Second,
@@ -175,7 +210,8 @@ func run(cfg config) int {
 	}()
 
 	roots := srv.Ev.EntryPoints()
-	fmt.Printf("serving %d entry point(s) on %s (start at /, health at /healthz)\n", len(roots), cfg.addr)
+	fmt.Printf("serving %d entry point(s) on %s via %d shard(s) x %d replica(s) (start at /, health at /healthz)\n",
+		len(roots), cfg.addr, fl.Shards(), fl.ReplicasPerShard())
 	err = hs.Serve(ln)
 	if !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "strudel-serve: serve:", err)
@@ -193,10 +229,11 @@ func run(cfg config) int {
 // registry under /debug/vars (published into expvar as "strudel") and
 // the pprof handlers wired explicitly, so nothing depends on
 // http.DefaultServeMux — the production listener never serves these.
-func debugMux(metrics *obs.ServeMetrics, ivmMetrics *obs.IVMMetrics) http.Handler {
+func debugMux(metrics *obs.ServeMetrics, ivmMetrics *obs.IVMMetrics, fleetMetrics *obs.FleetMetrics) http.Handler {
 	reg := obs.NewRegistry()
 	reg.Register("serve", metrics)
 	reg.Register("ivm", ivmMetrics)
+	reg.Register("fleet", fleetMetrics)
 	expvar.Publish("strudel", reg)
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())

@@ -96,6 +96,12 @@ type Evaluator struct {
 // started earlier finish against the generation they began with.
 type evalState struct {
 	src struql.Source
+	// gen is the data generation this state serves: it increases by one
+	// per swap (or jumps to the explicit generation a fleet coordinator
+	// assigns, so every replica of a fleet agrees on the number). A page
+	// rendered against this state is a pure function of gen — that is
+	// what makes generation-scoped ETags sound.
+	gen int64
 
 	mu     sync.Mutex
 	cache  map[graph.OID]*PageData
@@ -152,6 +158,11 @@ func (ev *Evaluator) snapshot() *evalState {
 // capturing it once (the server does, via its render snapshot).
 func (ev *Evaluator) Source() struql.Source { return ev.snapshot().src }
 
+// Generation returns the current data generation: 0 at construction,
+// increasing with every swap. A page response tagged with a generation
+// was computed entirely against that generation's data.
+func (ev *Evaluator) Generation() int64 { return ev.snapshot().gen }
+
 // SwapData atomically replaces the data source. Cached pages whose edge
 // queries are unaffected by the delta carry over (the same soundness
 // argument as Invalidate); affected ones are dropped. A nil delta means
@@ -159,8 +170,22 @@ func (ev *Evaluator) Source() struql.Source { return ev.snapshot().src }
 // finish against the previous generation — they serve a consistent,
 // slightly stale page rather than a torn one.
 func (ev *Evaluator) SwapData(src struql.Source, d *mediator.Delta) (kept, dropped int) {
+	return ev.SwapDataAt(src, d, -1)
+}
+
+// SwapDataAt is SwapData with an explicit target generation, used by the
+// fleet coordinator to move every replica to the same generation number.
+// gen < 0 means "previous generation + 1" (what SwapData does); a gen at
+// or below the current one also falls back to +1, preserving
+// monotonicity.
+func (ev *Evaluator) SwapDataAt(src struql.Source, d *mediator.Delta, gen int64) (kept, dropped int) {
 	next := newEvalState(src)
 	old := ev.snapshot()
+	if gen > old.gen {
+		next.gen = gen
+	} else {
+		next.gen = old.gen + 1
+	}
 	old.mu.Lock()
 	for oid, pd := range old.cache {
 		if d == nil || affectedBy(ev.deps[pd.Ref.Fn], d, src) {

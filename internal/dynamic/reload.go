@@ -13,6 +13,7 @@ import (
 	"strudel/internal/mediator"
 	"strudel/internal/obs"
 	"strudel/internal/repo"
+	"strudel/internal/struql"
 )
 
 // WatchedSource is one external data source the reload loop keeps fresh:
@@ -70,7 +71,7 @@ type Reloader struct {
 	watched []WatchedSource
 
 	mu sync.Mutex // guards everything below (tick vs. Kick vs. tests)
-	ev *Evaluator
+	sw Swapper
 	hl *Health
 	// stamps records the last-seen mtime+size per path.
 	stamps map[string]fileStamp
@@ -166,12 +167,32 @@ func (r *Reloader) Warehouse() (*repo.Indexed, error) {
 	return data, nil
 }
 
+// Swapper receives atomically published data generations from the
+// reload loop. Evaluator implements it directly; the fleet coordinator
+// implements it by re-replicating the snapshot into every shard replica
+// and bumping the fleet generation.
+type Swapper interface {
+	SwapData(src struql.Source, d *mediator.Delta) (kept, dropped int)
+}
+
 // Attach connects the reloader to the evaluator it maintains and the
 // health it reports into. Call before Run.
 func (r *Reloader) Attach(ev *Evaluator, h *Health) {
+	// A nil *Evaluator must become a nil interface, not a typed nil the
+	// swap path would happily call into.
+	if ev == nil {
+		r.AttachSwapper(nil, h)
+		return
+	}
+	r.AttachSwapper(ev, h)
+}
+
+// AttachSwapper is Attach for any Swapper — a single evaluator or a
+// whole fleet. Call before Run.
+func (r *Reloader) AttachSwapper(sw Swapper, h *Health) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.ev = ev
+	r.sw = sw
 	r.hl = h
 }
 
@@ -312,8 +333,8 @@ func (r *Reloader) Tick(now time.Time) {
 		r.overflow = false
 	}
 	kept, dropped := 0, 0
-	if r.ev != nil {
-		kept, dropped = r.ev.SwapData(data, delta)
+	if r.sw != nil {
+		kept, dropped = r.sw.SwapData(data, delta)
 	}
 	if r.IVM != nil {
 		r.IVM.DeltasApplied.Inc()

@@ -41,6 +41,12 @@ type Server struct {
 	// Root is the page served at "/"; when its Fn is empty, the first
 	// entry point (alphabetically) is used.
 	Root PageRef
+	// PageURLFunc, when non-nil, overrides the URL scheme used for links
+	// between pages. The fleet edge sets a self-describing ref encoding
+	// (function name + argument keys) so any shard replica can resolve a
+	// page it has never computed; nil keeps the single-server oid scheme.
+	// Set before serving; read without synchronization.
+	PageURLFunc func(ref PageRef, oid graph.OID) string
 
 	// RequestTimeout bounds each page request's evaluation and render; 0
 	// disables the per-request deadline. Set before calling Handler.
@@ -236,17 +242,29 @@ func (s *Server) RenderPage(ref PageRef) (string, error) {
 // attribute reads — runs against one state snapshot, so a hot reload
 // mid-request never produces a page mixing two data generations.
 func (s *Server) RenderPageCtx(ctx context.Context, ref PageRef) (string, error) {
+	html, _, err := s.RenderPageGen(ctx, ref)
+	return html, err
+}
+
+// RenderPageGen is RenderPageCtx, additionally reporting the data
+// generation of the snapshot every byte of the page was computed from.
+// The fleet edge keys its cache entries and ETags by this generation:
+// because the render never leaves the snapshot, a (generation, page)
+// pair fully determines the bytes.
+func (s *Server) RenderPageGen(ctx context.Context, ref PageRef) (string, int64, error) {
 	st := s.Ev.snapshot()
 	pd, err := s.Ev.pageIn(ctx, st, ref, s.Ev.Lookahead)
 	if err != nil {
-		return "", err
+		return "", st.gen, err
 	}
 	r := &dynRenderer{s: s, ctx: ctx, st: st, stack: []graph.OID{pd.OID}}
 	t := s.selectTemplate(ref.Fn)
 	if t == nil {
-		return r.defaultRender(pd)
+		html, err := r.defaultRender(pd)
+		return html, st.gen, err
 	}
-	return template.Render(t, pd.OID, dynSite{r: r}, r)
+	html, err := template.Render(t, pd.OID, dynSite{r: r}, r)
+	return html, st.gen, err
 }
 
 func (s *Server) selectTemplate(fn string) *template.Template {
@@ -310,7 +328,13 @@ func PageURL(oid graph.OID) string {
 }
 
 func (r *dynRenderer) RenderRef(oid graph.OID, anchorText string) (string, error) {
-	return fmt.Sprintf(`<a href="%s">%s</a>`, PageURL(oid), html.EscapeString(anchorText)), nil
+	u := PageURL(oid)
+	if r.s.PageURLFunc != nil {
+		if ref, ok := r.s.Ev.RefFor(oid); ok {
+			u = r.s.PageURLFunc(ref, oid)
+		}
+	}
+	return fmt.Sprintf(`<a href="%s">%s</a>`, u, html.EscapeString(anchorText)), nil
 }
 
 // maxEmbedDepth caps non-cyclic embed nesting; cycles themselves are cut

@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"strudel/internal/obs"
+	"strudel/internal/repo"
+)
+
+// Chaos drills: replicas die mid-flight and the serving tier must
+// degrade exactly as specified — failover to siblings while any replica
+// of the shard lives, honest 503 + Retry-After when none does, and no
+// request ever hanging past its deadline.
+
+func TestChaosReplicaFailover(t *testing.T) {
+	s := buildSchema(t)
+	g := genSiteData(11)
+	m := &obs.FleetMetrics{}
+	f, err := New(Config{Schema: s, Shards: 2, Replicas: 2, Obs: m}, repo.NewIndexed(g))
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	e := NewEdge(f)
+	e.Obs = m
+	ts := httptest.NewServer(e.Handler())
+	defer ts.Close()
+
+	refs := crawlRefs(t, newReference(t, s, g))
+
+	// One replica of each shard dies. Every page must still serve: the
+	// rotation lands half the fetches on the corpse first, so failover
+	// is exercised, not just possible.
+	f.Replica(0, 0).Kill()
+	f.Replica(1, 0).Kill()
+	for _, ref := range refs {
+		if status, _, _ := get(t, ts, PageURL(ref), nil); status != http.StatusOK {
+			t.Fatalf("GET %s with one replica down = %d", PageURL(ref), status)
+		}
+	}
+	if m.Failovers.Load() == 0 {
+		t.Fatal("no failovers recorded while a replica was down")
+	}
+}
+
+func TestChaosShardDown(t *testing.T) {
+	s := buildSchema(t)
+	g := genSiteData(12)
+	f := newTestFleet(t, s, g, 2, 2)
+	e := quiet(NewEdge(f))
+	ts := httptest.NewServer(e.Handler())
+	defer ts.Close()
+
+	refs := crawlRefs(t, newReference(t, s, g))
+
+	// Split pages by owning shard; the site is large enough that both
+	// shards own some.
+	byShard := map[int][]string{}
+	for _, ref := range refs {
+		key := EncodeRef(ref)
+		byShard[f.Route(key)] = append(byShard[f.Route(key)], PageURL(ref))
+	}
+	if len(byShard[0]) == 0 || len(byShard[1]) == 0 {
+		t.Fatalf("degenerate partition: %d/%d pages", len(byShard[0]), len(byShard[1]))
+	}
+
+	// Kill every replica of shard 0: its pages degrade to 503 with a
+	// Retry-After hint; shard 1's pages are untouched.
+	f.Replica(0, 0).Kill()
+	f.Replica(0, 1).Kill()
+	for _, p := range byShard[0] {
+		status, hdr, _ := get(t, ts, p, nil)
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s with shard down = %d, want 503", p, status)
+		}
+		if hdr.Get("Retry-After") == "" {
+			t.Fatalf("503 for %s missing Retry-After", p)
+		}
+	}
+	for _, p := range byShard[1] {
+		if status, _, _ := get(t, ts, p, nil); status != http.StatusOK {
+			t.Fatalf("GET %s on the healthy shard = %d", p, status)
+		}
+	}
+
+	// Healing: one replica revives and the shard serves again.
+	f.Replica(0, 1).Revive()
+	for _, p := range byShard[0] {
+		if status, _, _ := get(t, ts, p, nil); status != http.StatusOK {
+			t.Fatalf("GET %s after revival = %d", p, status)
+		}
+	}
+}
+
+// TestChaosKillsUnderLoad hammers the edge while replicas are killed
+// and revived at random. Invariants: every request completes well
+// inside the deadline (kills cancel in-flight renders instead of
+// letting them hang), and every completion is either a correct 200 or
+// an honest 503.
+func TestChaosKillsUnderLoad(t *testing.T) {
+	s := buildSchema(t)
+	g := genSiteData(13)
+	f := newTestFleet(t, s, g, 2, 2)
+	e := quiet(NewEdge(f))
+	e.RequestTimeout = 2 * time.Second
+	e.StaleFor = 0
+	ts := httptest.NewServer(e.Handler())
+	defer ts.Close()
+
+	ref := newReference(t, s, g)
+	refs := crawlRefs(t, ref)
+	want := map[string]string{}
+	for _, r := range refs {
+		b, err := ref.RenderPage(r)
+		if err != nil {
+			t.Fatalf("reference render: %v", err)
+		}
+		want[PageURL(r)] = b
+	}
+
+	const workers, perWorker = 8, 40
+	maxRequest := e.RequestTimeout + 3*time.Second // generous slack over the server deadline
+
+	stop := make(chan struct{})
+	var chaosWg sync.WaitGroup
+	chaosWg.Add(1)
+	go func() {
+		defer chaosWg.Done()
+		r := newTestRand(99)
+		for {
+			select {
+			case <-stop:
+				// Leave everything alive for the epilogue.
+				for sh := 0; sh < f.Shards(); sh++ {
+					for i := 0; i < f.ReplicasPerShard(); i++ {
+						f.Replica(sh, i).Revive()
+					}
+				}
+				return
+			default:
+			}
+			rep := f.Replica(r.n(f.Shards()), r.n(f.ReplicasPerShard()))
+			rep.Kill()
+			time.Sleep(time.Duration(1+r.n(3)) * time.Millisecond)
+			if r.n(4) != 0 {
+				rep.Revive()
+			}
+			time.Sleep(time.Duration(1+r.n(3)) * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := newTestRand(uint64(1000 + w))
+			client := &http.Client{Timeout: maxRequest}
+			for i := 0; i < perWorker; i++ {
+				p := PageURL(refs[r.n(len(refs))])
+				start := time.Now()
+				resp, err := client.Get(ts.URL + p)
+				elapsed := time.Since(start)
+				if err != nil {
+					errCh <- err
+					continue
+				}
+				body := readAll(t, resp)
+				if elapsed > maxRequest {
+					t.Errorf("GET %s took %v, past the no-hang bound %v", p, elapsed, maxRequest)
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if body != want[p] {
+						t.Errorf("GET %s under chaos returned wrong bytes", p)
+					}
+				case http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Errorf("503 for %s missing Retry-After", p)
+					}
+				default:
+					t.Errorf("GET %s under chaos = %d, want 200 or 503", p, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	chaosWg.Wait()
+	close(errCh)
+	for err := range errCh {
+		// A transport-level failure would mean a hung or severed request.
+		t.Errorf("request failed: %v", err)
+	}
+
+	// After the chaos stops and everything is revived, the fleet serves
+	// every page correctly again.
+	for _, r := range refs {
+		status, _, body := get(t, ts, PageURL(r), nil)
+		if status != http.StatusOK || body != want[PageURL(r)] {
+			t.Fatalf("post-chaos GET %s = %d (correct=%v)", PageURL(r), status, body == want[PageURL(r)])
+		}
+	}
+}

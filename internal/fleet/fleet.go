@@ -1,0 +1,385 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"strudel/internal/dynamic"
+	"strudel/internal/graph"
+	"strudel/internal/mediator"
+	"strudel/internal/obs"
+	"strudel/internal/repo"
+	"strudel/internal/schema"
+	"strudel/internal/struql"
+	"strudel/internal/template"
+)
+
+// Config describes a fleet: the site definition every replica serves,
+// and the fleet shape.
+type Config struct {
+	// Schema is the site schema (required).
+	Schema *schema.Schema
+	// Templates and the PerFn/Default selection mirror dynamic.Server.
+	Templates *template.Set
+	PerFn     map[string]string
+	Default   string
+	// Shards is the number of shared-nothing partitions (≥1); Replicas
+	// the number of independent copies per shard (≥1).
+	Shards   int
+	Replicas int
+	// Lookahead turns on link-following precomputation in every
+	// replica's evaluator, like dynamic.Evaluator.Lookahead.
+	Lookahead bool
+	// Obs receives fleet-level counters; ServeObs is threaded into every
+	// replica's evaluator (cache hits, queries run). Both nil-safe.
+	Obs      *obs.FleetMetrics
+	ServeObs *obs.ServeMetrics
+}
+
+// ErrReplicaDown marks a fetch refused (or abandoned mid-render)
+// because the replica was killed; the edge fails over to a sibling.
+var ErrReplicaDown = errors.New("fleet: replica down")
+
+// ErrShardDown marks a page request whose owning shard had no live
+// replica left; the edge degrades to 503 + Retry-After.
+type ErrShardDown struct{ Shard int }
+
+func (e ErrShardDown) Error() string {
+	return fmt.Sprintf("fleet: shard %d has no live replica", e.Shard)
+}
+
+// Replica is one shared-nothing copy of one shard: its own frozen
+// snapshot of the data graph, its own evaluator (page cache, Skolem
+// environment), its own renderer. Replicas of the same shard answer the
+// same page requests; replicas of different shards are never asked for
+// each other's pages.
+type Replica struct {
+	shard, index int
+	ev           *dynamic.Evaluator
+	srv          *dynamic.Server
+
+	// life is cancelled by Kill, so in-flight renders on a killed
+	// replica stop promptly instead of hanging toward their deadline.
+	mu     sync.Mutex
+	down   bool
+	life   context.Context
+	cancel context.CancelFunc
+}
+
+// Down reports whether the replica is killed.
+func (r *Replica) Down() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.down
+}
+
+// Kill takes the replica out of service: new fetches are refused and
+// in-flight renders are cancelled. Chaos tests use it to prove edge
+// failover; a real deployment would reach the same state by losing the
+// process.
+func (r *Replica) Kill() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.down {
+		r.down = true
+		r.cancel()
+	}
+}
+
+// Revive returns a killed replica to service.
+func (r *Replica) Revive() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.down {
+		r.down = false
+		r.life, r.cancel = context.WithCancel(context.Background())
+	}
+}
+
+func (r *Replica) lifeCtx() (context.Context, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.life, r.down
+}
+
+// Render renders one page on this replica, reporting the data
+// generation every byte was computed from. A killed replica refuses
+// immediately; a kill mid-render cancels the evaluation and reports
+// ErrReplicaDown so the caller fails over instead of surfacing a
+// spurious cancellation.
+func (r *Replica) Render(ctx context.Context, ref dynamic.PageRef) (string, int64, error) {
+	life, down := r.lifeCtx()
+	if down {
+		return "", 0, ErrReplicaDown
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(life, cancel)
+	defer stop()
+	body, gen, err := r.srv.RenderPageGen(rctx, ref)
+	if err != nil {
+		// The request's own context ending is the caller's problem; the
+		// replica dying under the render is ours to report as such.
+		if ctx.Err() == nil && life.Err() != nil {
+			return "", gen, ErrReplicaDown
+		}
+		return "", gen, err
+	}
+	return body, gen, nil
+}
+
+// Generation returns the replica's current data generation.
+func (r *Replica) Generation() int64 { return r.ev.Generation() }
+
+// Fleet is the coordinator: the ring, the shard/replica grid, and the
+// generation counter every swap advances in lockstep. It implements
+// dynamic.Swapper, so the existing hot-reload loop publishes new data
+// to the whole fleet exactly as it did to a single evaluator.
+type Fleet struct {
+	cfg  Config
+	ring *Ring
+	// grid[shard][replica]
+	grid [][]*Replica
+	// rr is a per-shard rotation counter spreading fetches over
+	// replicas.
+	rr []atomic.Uint32
+
+	gen   atomic.Int64
+	start time.Time
+
+	// swapMu serializes swaps; genTimes records when recent generations
+	// were published (Last-Modified needs a stable time per generation).
+	swapMu   sync.Mutex
+	genMu    sync.Mutex
+	genTimes map[int64]time.Time
+}
+
+// keptGenTimes bounds the generation→publish-time memory; older
+// generations fall back to the fleet start time (their pages are long
+// since invalidated anyway).
+const keptGenTimes = 16
+
+// New builds a fleet over an initial data source. Each replica receives
+// its own copy of the data: when the source exposes a frozen snapshot
+// (repo.Indexed does), it is encoded once to the canonical SGB2 binary
+// form and decoded once per replica — the compact layout is what makes
+// O(shards × replicas) replication affordable; otherwise the source is
+// shared read-only (safe, but not shared-nothing; tests use it for
+// plain graph sources).
+func New(cfg Config, src struql.Source) (*Fleet, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("fleet: config needs a schema")
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.Templates == nil {
+		cfg.Templates = template.NewSet()
+	}
+	f := &Fleet{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Shards),
+		grid:     make([][]*Replica, cfg.Shards),
+		rr:       make([]atomic.Uint32, cfg.Shards),
+		start:    time.Now(),
+		genTimes: map[int64]time.Time{},
+	}
+	copies, err := replicate(src, cfg.Shards*cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		f.grid[s] = make([]*Replica, cfg.Replicas)
+		for i := 0; i < cfg.Replicas; i++ {
+			ev := dynamic.NewEvaluator(cfg.Schema, copies[s*cfg.Replicas+i])
+			ev.Obs = cfg.ServeObs
+			ev.Lookahead = cfg.Lookahead
+			srv := dynamic.NewServer(ev, cfg.Templates)
+			srv.PerFn = cfg.PerFn
+			if srv.PerFn == nil {
+				srv.PerFn = map[string]string{}
+			}
+			srv.Default = cfg.Default
+			srv.PageURLFunc = func(ref dynamic.PageRef, _ graph.OID) string { return PageURL(ref) }
+			rep := &Replica{shard: s, index: i, ev: ev, srv: srv}
+			rep.life, rep.cancel = context.WithCancel(context.Background())
+			f.grid[s][i] = rep
+		}
+	}
+	if m := cfg.Obs; m != nil {
+		m.Generation.Set(0)
+	}
+	return f, nil
+}
+
+// replicate produces n independent copies of a data source. The frozen
+// path round-trips through SGB2 bytes, so every replica owns its own
+// arenas and adjacency — a true shared-nothing copy, byte-validated on
+// decode.
+func replicate(src struql.Source, n int) ([]struql.Source, error) {
+	out := make([]struql.Source, n)
+	type frozener interface{ Frozen() *graph.Frozen }
+	fz, ok := src.(frozener)
+	if !ok {
+		for i := range out {
+			out[i] = src
+		}
+		return out, nil
+	}
+	enc := repo.EncodeBinaryFrozen(fz.Frozen())
+	for i := range out {
+		dec, err := repo.DecodeBinaryFrozen(enc)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: replicating snapshot: %w", err)
+		}
+		out[i] = repo.NewIndexedFrozen(dec)
+	}
+	return out, nil
+}
+
+// Shards returns the shard count; ReplicasPerShard the replica count.
+func (f *Fleet) Shards() int           { return f.cfg.Shards }
+func (f *Fleet) ReplicasPerShard() int { return f.cfg.Replicas }
+
+// Replica returns one replica (for chaos tests and direct inspection).
+func (f *Fleet) Replica(shard, i int) *Replica { return f.grid[shard][i] }
+
+// Generation returns the fleet's current data generation (0 until the
+// first swap).
+func (f *Fleet) Generation() int64 { return f.gen.Load() }
+
+// GenTime returns the publish time of a generation, for Last-Modified:
+// the swap wall time for recent generations, the fleet start time for
+// generation 0 and anything since evicted.
+func (f *Fleet) GenTime(gen int64) time.Time {
+	f.genMu.Lock()
+	defer f.genMu.Unlock()
+	if t, ok := f.genTimes[gen]; ok {
+		return t
+	}
+	return f.start
+}
+
+// LastSwap returns when the current generation was published (the fleet
+// start time before any swap). The edge measures its
+// stale-while-revalidate window from it.
+func (f *Fleet) LastSwap() time.Time { return f.GenTime(f.gen.Load()) }
+
+// Route returns the shard owning a page key.
+func (f *Fleet) Route(key string) int { return f.ring.Shard(key) }
+
+// KnownFn reports whether a Skolem function exists in the site schema —
+// the edge's 404 test for decoded-but-meaningless page refs.
+func (f *Fleet) KnownFn(fn string) bool {
+	for _, n := range f.cfg.Schema.Nodes {
+		if n == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// EntryPoints returns the site's unconditional entry pages (identical
+// on every replica — it is schema-derived).
+func (f *Fleet) EntryPoints() []dynamic.PageRef {
+	return f.grid[0][0].ev.EntryPoints()
+}
+
+// Fetch renders a page on the owning shard, failing over across its
+// replicas: the starting replica rotates per request, a down (or
+// dying-mid-render) replica sends the request to the next, and only
+// when every replica has refused does the shard count as down. Page
+// evaluation errors are NOT failed over — they are deterministic
+// functions of the data, so a sibling would fail identically.
+func (f *Fleet) Fetch(ctx context.Context, shard int, key string, ref dynamic.PageRef) (string, int64, error) {
+	if shard < 0 || shard >= len(f.grid) {
+		return "", 0, fmt.Errorf("fleet: no such shard %d", shard)
+	}
+	if m := f.cfg.Obs; m != nil {
+		m.ShardFetches.Inc()
+	}
+	reps := f.grid[shard]
+	start := int(f.rr[shard].Add(1))
+	var lastErr error
+	for i := 0; i < len(reps); i++ {
+		rep := reps[(start+i)%len(reps)]
+		body, gen, err := rep.Render(ctx, ref)
+		if err == nil {
+			return body, gen, nil
+		}
+		if ctx.Err() != nil {
+			return "", 0, fmt.Errorf("fleet: shard %d: %w", shard, ctx.Err())
+		}
+		if errors.Is(err, ErrReplicaDown) {
+			lastErr = err
+			if m := f.cfg.Obs; m != nil && i < len(reps)-1 {
+				m.Failovers.Inc()
+			}
+			continue
+		}
+		return "", gen, err
+	}
+	if errors.Is(lastErr, ErrReplicaDown) {
+		if m := f.cfg.Obs; m != nil {
+			m.ShardDown.Inc()
+		}
+		return "", 0, ErrShardDown{Shard: shard}
+	}
+	return "", 0, lastErr
+}
+
+// SwapData implements dynamic.Swapper: it re-replicates the new
+// snapshot into every replica of every shard and then publishes the new
+// generation number. Replicas swap one by one — a request racing the
+// swap is served entirely from whichever generation its replica held
+// when the render began (the per-request snapshot guarantee), and the
+// response is tagged with that generation, so the edge never caches a
+// mixed or mislabeled page.
+func (f *Fleet) SwapData(src struql.Source, d *mediator.Delta) (kept, dropped int) {
+	f.swapMu.Lock()
+	defer f.swapMu.Unlock()
+	next := f.gen.Load() + 1
+	copies, err := replicate(src, f.cfg.Shards*f.cfg.Replicas)
+	if err != nil {
+		// A snapshot that cannot be re-encoded is a programming error;
+		// degrade to sharing the source rather than serving stale
+		// forever.
+		copies = make([]struql.Source, f.cfg.Shards*f.cfg.Replicas)
+		for i := range copies {
+			copies[i] = src
+		}
+	}
+	for s := range f.grid {
+		for i, rep := range f.grid[s] {
+			k, dr := rep.ev.SwapDataAt(copies[s*f.cfg.Replicas+i], d, next)
+			kept += k
+			dropped += dr
+		}
+	}
+	now := time.Now()
+	f.genMu.Lock()
+	f.genTimes[next] = now
+	if len(f.genTimes) > keptGenTimes {
+		oldest := next
+		for g := range f.genTimes {
+			if g < oldest {
+				oldest = g
+			}
+		}
+		delete(f.genTimes, oldest)
+	}
+	f.genMu.Unlock()
+	f.gen.Store(next)
+	if m := f.cfg.Obs; m != nil {
+		m.Swaps.Inc()
+		m.Generation.Set(next)
+	}
+	return kept, dropped
+}

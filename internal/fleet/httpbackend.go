@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"strudel/internal/dynamic"
+)
+
+// This file is the over-the-wire shard transport: a replica can be
+// exposed as its own HTTP server and the edge can fetch from replicas
+// by URL instead of method call. The in-process path is the production
+// default for a single binary; the HTTP path is what a multi-process
+// deployment uses, and the differential oracle runs both to prove the
+// network hop changes no byte.
+
+// genHeader carries the data generation a replica rendered against.
+const genHeader = "X-Strudel-Generation"
+
+// ReplicaHandler exposes one replica as an HTTP shard server:
+// GET /page/<key> renders the page and tags the response with the
+// replica's data generation. Errors map like the edge: dead replica
+// 503, deadline 504, other failures sanitized 500.
+func ReplicaHandler(rep *Replica) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/page/", func(w http.ResponseWriter, r *http.Request) {
+		raw := strings.TrimPrefix(r.URL.Path, "/page/")
+		key, err := url.PathUnescape(raw)
+		if err != nil {
+			http.Error(w, "bad page key", http.StatusBadRequest)
+			return
+		}
+		ref, err := DecodeRef(key)
+		if err != nil {
+			http.Error(w, "bad page key", http.StatusBadRequest)
+			return
+		}
+		body, gen, err := rep.Render(r.Context(), ref)
+		if err != nil {
+			switch {
+			case err == ErrReplicaDown:
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "replica down", http.StatusServiceUnavailable)
+			case r.Context().Err() != nil:
+				http.Error(w, "request timed out", http.StatusGatewayTimeout)
+			default:
+				http.Error(w, "internal server error", http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set(genHeader, strconv.FormatInt(gen, 10))
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, body)
+	})
+	return mux
+}
+
+// HTTPCluster is a Cluster whose shard fetches go over real HTTP to
+// replica servers, with the same rotation + failover policy as the
+// in-process fleet. Routing, generations, and entry points delegate to
+// the underlying fleet (in a multi-process deployment those would come
+// from configuration and a coordination channel; the tests' concern
+// here is the data path).
+type HTTPCluster struct {
+	Fleet *Fleet
+	// URLs[shard] lists the base URLs of that shard's replica servers.
+	URLs   [][]string
+	Client *http.Client
+
+	rr []uint32
+}
+
+// NewHTTPCluster wraps a fleet with per-replica HTTP endpoints.
+func NewHTTPCluster(f *Fleet, urls [][]string) *HTTPCluster {
+	return &HTTPCluster{
+		Fleet:  f,
+		URLs:   urls,
+		Client: &http.Client{Timeout: 30 * time.Second},
+		rr:     make([]uint32, len(urls)),
+	}
+}
+
+func (c *HTTPCluster) Route(key string) int              { return c.Fleet.Route(key) }
+func (c *HTTPCluster) Generation() int64                 { return c.Fleet.Generation() }
+func (c *HTTPCluster) GenTime(gen int64) time.Time       { return c.Fleet.GenTime(gen) }
+func (c *HTTPCluster) LastSwap() time.Time               { return c.Fleet.LastSwap() }
+func (c *HTTPCluster) EntryPoints() []dynamic.PageRef    { return c.Fleet.EntryPoints() }
+func (c *HTTPCluster) KnownFn(fn string) bool            { return c.Fleet.KnownFn(fn) }
+
+// Fetch renders a page over HTTP on the owning shard, rotating the
+// starting replica and failing over on 503s and transport errors.
+func (c *HTTPCluster) Fetch(ctx context.Context, shard int, key string, ref dynamic.PageRef) (string, int64, error) {
+	if shard < 0 || shard >= len(c.URLs) {
+		return "", 0, fmt.Errorf("fleet: no such shard %d", shard)
+	}
+	urls := c.URLs[shard]
+	c.rr[shard]++ // benign race: only spreads load
+	start := int(c.rr[shard])
+	for i := 0; i < len(urls); i++ {
+		base := urls[(start+i)%len(urls)]
+		body, gen, status, err := c.fetchOne(ctx, base, key)
+		switch {
+		case err == nil && status == http.StatusOK:
+			return body, gen, nil
+		case ctx.Err() != nil:
+			return "", 0, fmt.Errorf("fleet: shard %d: %w", shard, ctx.Err())
+		case err != nil || status == http.StatusServiceUnavailable:
+			continue // connection refused or replica down: fail over
+		default:
+			return "", 0, fmt.Errorf("fleet: replica %s: status %d", base, status)
+		}
+	}
+	// Every replica was unreachable or down.
+	return "", 0, ErrShardDown{Shard: shard}
+}
+
+func (c *HTTPCluster) fetchOne(ctx context.Context, base, key string) (string, int64, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/page/"+urlEscapeKey(key), nil)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	resp, err := c.Client.Do(req)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, resp.StatusCode, err
+	}
+	gen, _ := strconv.ParseInt(resp.Header.Get(genHeader), 10, 64)
+	return string(b), gen, resp.StatusCode, nil
+}

@@ -1,0 +1,307 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"strudel/internal/obs"
+)
+
+// LoadGen is an open-loop HTTP load generator for the serving tier:
+// arrivals fire at a fixed rate regardless of how fast responses come
+// back (the open-loop property — a slow server faces a growing backlog,
+// exactly like real traffic, instead of the closed-loop mercy of
+// waiting clients), page popularity is zipfian over the discovered page
+// set, and latency lands in an obs.Histogram whose power-of-two
+// percentiles the report reads back.
+type LoadGen struct {
+	// BaseURL is the edge under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Rate is the arrival rate in requests/second (required > 0).
+	Rate float64
+	// Duration is the measured window; Warmup runs first at the same
+	// rate with results discarded (cold caches, JIT-ish warm paths).
+	Duration time.Duration
+	Warmup   time.Duration
+	// ZipfS and ZipfV shape the popularity skew (s > 1; larger s =
+	// steeper head). Zero values default to 1.1 / 1.
+	ZipfS float64
+	ZipfV float64
+	// MaxPages bounds crawl discovery. 0 means DefaultMaxPages.
+	MaxPages int
+	// Seed makes page popularity reproducible.
+	Seed int64
+	// Client is the HTTP client; nil uses a pooled default.
+	Client *http.Client
+	// Verify, when non-nil, is called with every measured response body
+	// (the serving oracle hook: the loadgen smoke asserts zero
+	// mismatches against a reference evaluator).
+	Verify func(path, body string) error
+	// MaxInflight caps concurrently outstanding requests so an
+	// overwhelmed server does not translate into unbounded goroutines;
+	// arrivals past the cap are counted as dropped, not sent. 0 means
+	// DefaultMaxInflight.
+	MaxInflight int
+}
+
+// DefaultMaxPages bounds page discovery when MaxPages is 0.
+const DefaultMaxPages = 4096
+
+// DefaultMaxInflight bounds outstanding requests when MaxInflight is 0.
+const DefaultMaxInflight = 1024
+
+// Report is the load run's outcome, JSON-shaped for BENCH_serve.json.
+type Report struct {
+	Pages        int     `json:"pages"`
+	Requests     int64   `json:"requests"`
+	Dropped      int64   `json:"dropped"`
+	Errors       int64   `json:"errors"`
+	Mismatches   int64   `json:"mismatches"`
+	DurationSecs float64 `json:"duration_secs"`
+	Throughput   float64 `json:"throughput_rps"`
+	MeanNanos    float64 `json:"mean_nanos"`
+	P50Nanos     int64   `json:"p50_nanos"`
+	P99Nanos     int64   `json:"p99_nanos"`
+	P999Nanos    int64   `json:"p999_nanos"`
+	// Status counts responses by HTTP status code.
+	Status map[string]int64 `json:"status"`
+}
+
+// WriteJSON renders the report.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+var hrefRe = regexp.MustCompile(`href="(/page/[^"]+)"`)
+
+// Discover crawls the site from its root, breadth-first over embedded
+// /page/ links, and returns the discovered page paths (the root first).
+func (lg *LoadGen) Discover(ctx context.Context) ([]string, error) {
+	maxPages := lg.MaxPages
+	if maxPages <= 0 {
+		maxPages = DefaultMaxPages
+	}
+	client := lg.client()
+	seen := map[string]bool{"/": true}
+	order := []string{"/"}
+	for qi := 0; qi < len(order) && len(order) < maxPages; qi++ {
+		body, _, err := lg.get(ctx, client, order[qi])
+		if err != nil {
+			if qi == 0 {
+				return nil, fmt.Errorf("loadgen: crawling root: %w", err)
+			}
+			continue // a dead link is the site's business, not the crawler's
+		}
+		for _, m := range hrefRe.FindAllStringSubmatch(body, -1) {
+			p := m[1]
+			if !seen[p] {
+				seen[p] = true
+				order = append(order, p)
+				if len(order) >= maxPages {
+					break
+				}
+			}
+		}
+	}
+	return order, nil
+}
+
+func (lg *LoadGen) client() *http.Client {
+	if lg.Client != nil {
+		return lg.Client
+	}
+	return &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        DefaultMaxInflight,
+			MaxIdleConnsPerHost: DefaultMaxInflight,
+		},
+	}
+}
+
+func (lg *LoadGen) get(ctx context.Context, client *http.Client, path string) (string, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, lg.BaseURL+path, nil)
+	if err != nil {
+		return "", 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", resp.StatusCode, err
+	}
+	return string(b), resp.StatusCode, nil
+}
+
+// Run discovers the page set, applies warmup, then drives the measured
+// open-loop window and returns the report.
+func (lg *LoadGen) Run(ctx context.Context) (Report, error) {
+	if lg.Rate <= 0 {
+		return Report{}, fmt.Errorf("loadgen: rate must be > 0")
+	}
+	pages, err := lg.Discover(ctx)
+	if err != nil {
+		return Report{}, err
+	}
+	if len(pages) == 0 {
+		return Report{}, fmt.Errorf("loadgen: no pages discovered")
+	}
+
+	zs, zv := lg.ZipfS, lg.ZipfV
+	if zs <= 1 {
+		zs = 1.1
+	}
+	if zv < 1 {
+		zv = 1
+	}
+	rng := rand.New(rand.NewSource(lg.Seed))
+	zipf := rand.NewZipf(rng, zs, zv, uint64(len(pages)-1))
+
+	if lg.Warmup > 0 {
+		lg.drive(ctx, pages, zipf, lg.Warmup, nil)
+	}
+	rep := &runStats{hist: &obs.Histogram{}, status: map[string]int64{}}
+	lg.drive(ctx, pages, zipf, lg.Duration, rep)
+
+	out := Report{
+		Pages:        len(pages),
+		Requests:     rep.requests.Load(),
+		Dropped:      rep.dropped.Load(),
+		Errors:       rep.errors.Load(),
+		Mismatches:   rep.mismatches.Load(),
+		DurationSecs: lg.Duration.Seconds(),
+		MeanNanos:    rep.hist.Mean(),
+		P50Nanos:     rep.hist.Quantile(0.50),
+		P99Nanos:     rep.hist.Quantile(0.99),
+		P999Nanos:    rep.hist.Quantile(0.999),
+		Status:       rep.statusCopy(),
+	}
+	if lg.Duration > 0 {
+		out.Throughput = float64(out.Requests) / lg.Duration.Seconds()
+	}
+	return out, nil
+}
+
+// runStats accumulates one measured window.
+type runStats struct {
+	requests   atomic.Int64
+	dropped    atomic.Int64
+	errors     atomic.Int64
+	mismatches atomic.Int64
+	hist       *obs.Histogram
+
+	mu     sync.Mutex
+	status map[string]int64
+}
+
+func (s *runStats) count(status int) {
+	s.mu.Lock()
+	s.status[fmt.Sprintf("%d", status)]++
+	s.mu.Unlock()
+}
+
+func (s *runStats) statusCopy() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.status))
+	for k, v := range s.status {
+		out[k] = v
+	}
+	return out
+}
+
+// drive fires open-loop arrivals for one window. When stats is nil the
+// window is warmup: requests fly, results are discarded.
+func (lg *LoadGen) drive(ctx context.Context, pages []string, zipf *rand.Zipf, window time.Duration, stats *runStats) {
+	client := lg.client()
+	interval := time.Duration(float64(time.Second) / lg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	maxInflight := lg.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = DefaultMaxInflight
+	}
+	sem := make(chan struct{}, maxInflight)
+	var wg sync.WaitGroup
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(window)
+	defer deadline.Stop()
+
+	// Page choice happens on the arrival goroutine (zipf + rng are not
+	// concurrency-safe); the request itself is handed off so a slow
+	// response never delays the next arrival — the open-loop property.
+	for running := true; running; {
+		select {
+		case <-ctx.Done():
+			running = false
+		case <-deadline.C:
+			running = false
+		case <-ticker.C:
+			path := pages[zipf.Uint64()]
+			select {
+			case sem <- struct{}{}:
+			default:
+				if stats != nil {
+					stats.dropped.Add(1)
+				}
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				start := time.Now()
+				body, status, err := lg.get(ctx, client, path)
+				elapsed := time.Since(start)
+				if stats == nil {
+					return
+				}
+				stats.requests.Add(1)
+				stats.hist.Observe(int64(elapsed))
+				if err != nil {
+					stats.errors.Add(1)
+					return
+				}
+				stats.count(status)
+				if status != http.StatusOK {
+					stats.errors.Add(1)
+					return
+				}
+				if lg.Verify != nil {
+					if verr := lg.Verify(path, body); verr != nil {
+						stats.mismatches.Add(1)
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+// SortedStatusKeys returns a report's status codes in order (stable
+// output for logs and docs).
+func (r Report) SortedStatusKeys() []string {
+	keys := make([]string, 0, len(r.Status))
+	for k := range r.Status {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

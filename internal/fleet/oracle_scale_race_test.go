@@ -1,0 +1,12 @@
+//go:build race
+
+package fleet
+
+// Under the race detector every render costs an order of magnitude
+// more, so the serving differential oracle sweeps a single-seed smoke
+// subset and waives the request-count floor; the full sweep runs in the
+// plain suite (oracle_scale_test.go).
+const (
+	fleetOracleSeeds  = 1
+	minOracleRequests = 0
+)

@@ -1,0 +1,14 @@
+//go:build !race
+
+package fleet
+
+// fleetOracleSeeds is how many random sites the serving differential
+// oracle sweeps; across the shard-count × cache-state matrix the plain
+// suite must issue at least minOracleRequests oracle requests (the PR's
+// acceptance floor). The race-detector build runs the smoke subset in
+// oracle_scale_race_test.go; `go test -short` shrinks the sweep and
+// waives the floor.
+const (
+	fleetOracleSeeds  = 10
+	minOracleRequests = 1000
+)

@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over page keys. Each shard contributes
+// ringPointsPerShard virtual points (hashes of "shard-<i>-<p>"); a page
+// key routes to the shard owning the first point at or after the key's
+// hash, wrapping around. Consistent hashing is what keeps the partition
+// stable as the fleet is resized: growing from N to N+1 shards moves
+// only the keys that land in the new shard's arcs (~1/(N+1) of the
+// space), instead of reshuffling everything the way key%N would.
+//
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	points []ringPoint
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// ringPointsPerShard balances the partition: with v virtual points per
+// shard the expected imbalance shrinks like 1/sqrt(v).
+const ringPointsPerShard = 128
+
+// fnv64a is the ring's hash; self-contained so the partition never
+// shifts under library changes (a resharding in disguise).
+func fnv64a(s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 avalanches a hash (the 64-bit murmur3 finalizer). Raw FNV-1a
+// leaves keys that share a long prefix clustered in a narrow band — the
+// final byte only perturbs the low ~40 bits — and on a ring a narrow
+// band means one shard owns almost every page of a uniform family.
+// Finalizing spreads the family over the whole ring.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ringHash positions a string on the ring.
+func ringHash(s string) uint64 { return mix64(fnv64a(s)) }
+
+// NewRing builds a ring over n shards (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	r := &Ring{shards: n, points: make([]ringPoint, 0, n*ringPointsPerShard)}
+	for s := 0; s < n; s++ {
+		for p := 0; p < ringPointsPerShard; p++ {
+			r.points = append(r.points, ringPoint{
+				hash:  ringHash(fmt.Sprintf("shard-%d-%d", s, p)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.shard < b.shard // deterministic even on hash ties
+	})
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard routes a page key to its owning shard.
+func (r *Ring) Shard(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}

@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("Pub;npub%04d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicAndInRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7} {
+		a, b := NewRing(shards), NewRing(shards)
+		for _, k := range ringKeys(500) {
+			s1, s2 := a.Shard(k), b.Shard(k)
+			if s1 != s2 {
+				t.Fatalf("shards=%d key %q: nondeterministic routing %d vs %d", shards, k, s1, s2)
+			}
+			if s1 < 0 || s1 >= shards {
+				t.Fatalf("shards=%d key %q: shard %d out of range", shards, k, s1)
+			}
+		}
+	}
+}
+
+func TestRingCoversAllShards(t *testing.T) {
+	// Every shard must own some keys (a shard no key routes to would be
+	// wasted capacity and an untestable failover target).
+	for _, shards := range []int{2, 4, 8} {
+		r := NewRing(shards)
+		hit := make([]int, shards)
+		for _, k := range ringKeys(2000) {
+			hit[r.Shard(k)]++
+		}
+		for s, n := range hit {
+			if n == 0 {
+				t.Errorf("shards=%d: shard %d owns no keys", shards, s)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With 128 virtual points per shard the split should be roughly
+	// even; allow a generous 2.5x spread between min and max.
+	const keys = 20000
+	r := NewRing(4)
+	hit := make([]int, 4)
+	for i := 0; i < keys; i++ {
+		hit[r.Shard(fmt.Sprintf("Pub;npub%06d", i))]++
+	}
+	minN, maxN := keys, 0
+	for _, n := range hit {
+		if n < minN {
+			minN = n
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if minN == 0 || float64(maxN)/float64(minN) > 2.5 {
+		t.Fatalf("unbalanced ring: shard loads %v", hit)
+	}
+}
+
+func TestRingMinimalMovement(t *testing.T) {
+	// Consistent hashing's point: growing 4 → 5 shards should move
+	// roughly 1/5 of the keys, not reshuffle everything. Allow 2x slack.
+	const keys = 10000
+	r4, r5 := NewRing(4), NewRing(5)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("Pub;npub%06d", i)
+		if r4.Shard(k) != r5.Shard(k) {
+			moved++
+		}
+	}
+	if frac := float64(moved) / keys; frac > 2.0/5 {
+		t.Fatalf("growing 4->5 shards moved %.1f%% of keys, want ~20%%", frac*100)
+	}
+}

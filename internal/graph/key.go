@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseKey is the inverse of Value.Key: it reconstructs a value from its
+// canonical key form. Keys are the one value serialization that is both
+// injective and order-preserving, which makes them the natural wire form
+// for addressing — the sharded serving tier encodes a page's Skolem
+// arguments as keys so that any replica can resolve a page reference it
+// has never computed, without sharing a SkolemEnv.
+func ParseKey(key string) (Value, error) {
+	if key == "" {
+		return Null, fmt.Errorf("graph: empty value key")
+	}
+	rest := key[1:]
+	switch key[0] {
+	case '0':
+		if rest != "" {
+			return Null, fmt.Errorf("graph: null key with payload %q", rest)
+		}
+		return Null, nil
+	case 'n':
+		return NewNode(OID(rest)), nil
+	case 's':
+		return NewString(rest), nil
+	case 'i':
+		i, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("graph: bad int key %q: %w", key, err)
+		}
+		return NewInt(i), nil
+	case 'f':
+		f, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return Null, fmt.Errorf("graph: bad float key %q: %w", key, err)
+		}
+		return NewFloat(f), nil
+	case 'b':
+		switch rest {
+		case "0":
+			return NewBool(false), nil
+		case "1":
+			return NewBool(true), nil
+		}
+		return Null, fmt.Errorf("graph: bad bool key %q", key)
+	case 'u':
+		return NewURL(rest), nil
+	case 'F':
+		tname, path, ok := strings.Cut(rest, ":")
+		if !ok {
+			return Null, fmt.Errorf("graph: bad file key %q", key)
+		}
+		ft, ok := ParseFileType(tname)
+		if !ok {
+			return Null, fmt.Errorf("graph: bad file type in key %q", key)
+		}
+		return NewFile(ft, path), nil
+	}
+	return Null, fmt.Errorf("graph: unknown value key prefix %q", key[0])
+}

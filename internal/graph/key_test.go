@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	values := []Value{
+		Null,
+		NewNode("pub01"),
+		NewNode(""), // the empty OID is a legal node
+		NewString(""),
+		NewString("plain"),
+		NewString("with spaces; and %25 escapes"),
+		NewString("i123"), // a string that looks like another key
+		NewInt(0),
+		NewInt(-42),
+		NewInt(math.MaxInt64),
+		NewInt(math.MinInt64),
+		NewFloat(0),
+		NewFloat(2.5),
+		NewFloat(-1e300),
+		NewBool(true),
+		NewBool(false),
+		NewURL("https://example.org/a?b=c#d"),
+		NewFile(FileHTML, "pages/index.html"),
+		NewFile(FileImage, "img/with:colon.png"),
+	}
+	for _, v := range values {
+		key := v.Key()
+		got, err := ParseKey(key)
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", key, err)
+		}
+		if got.Key() != key {
+			t.Fatalf("round trip of %q produced %q", key, got.Key())
+		}
+		if got.Kind() != v.Kind() {
+			t.Fatalf("round trip of %q changed kind %v -> %v", key, v.Kind(), got.Kind())
+		}
+	}
+}
+
+func TestParseKeyRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",         // empty
+		"0extra",   // null with payload
+		"ix",       // unparsable int
+		"i",        // empty int
+		"f1.2.3",   // unparsable float
+		"b2",       // bool out of range
+		"b",        // empty bool
+		"Fnocolon", // file without type separator
+		"Fbogus:p", // unknown file type
+		"zwhat",    // unknown prefix
+	} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q): expected error, got none", bad)
+		}
+	}
+}
+
+// TestParseKeyFloatPrecision: float keys must survive the round trip
+// bit-exactly, or two replicas could disagree about page identity.
+func TestParseKeyFloatPrecision(t *testing.T) {
+	for _, f := range []float64{0.1, 1.0 / 3.0, math.Pi, math.SmallestNonzeroFloat64, math.MaxFloat64} {
+		v := NewFloat(f)
+		got, err := ParseKey(v.Key())
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", v.Key(), err)
+		}
+		if got.Key() != v.Key() {
+			t.Fatalf("float %v: key %q round-tripped to %q", f, v.Key(), got.Key())
+		}
+	}
+}

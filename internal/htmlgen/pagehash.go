@@ -1,0 +1,20 @@
+package htmlgen
+
+import "strconv"
+
+// PageHash returns a short, stable content hash of one rendered page —
+// FNV-64a in unpadded hex. It is the entity half of the serving tier's
+// ETags: an edge tag is "g<generation>-<PageHash(body)>", so the tag
+// changes whenever either the data generation or the page bytes do.
+// Collision quality only has to support cache validation ("did these
+// bytes change"), not integrity, which is why a cryptographic hash would
+// be wasted here.
+func PageHash(body string) string {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(body); i++ {
+		h ^= uint64(body[i])
+		h *= prime64
+	}
+	return strconv.FormatUint(h, 16)
+}

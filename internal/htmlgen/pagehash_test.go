@@ -1,0 +1,26 @@
+package htmlgen
+
+import "testing"
+
+func TestPageHash(t *testing.T) {
+	// Deterministic across calls, sensitive to any byte, and compact
+	// enough to live inside an ETag.
+	a, b := PageHash("<html>one</html>"), PageHash("<html>one</html>")
+	if a != b {
+		t.Fatalf("PageHash not deterministic: %q vs %q", a, b)
+	}
+	if PageHash("<html>one</html>") == PageHash("<html>one!</html>") {
+		t.Fatal("PageHash collided on a one-byte difference")
+	}
+	if PageHash("") == PageHash("x") {
+		t.Fatal("PageHash collided on empty vs non-empty")
+	}
+	for _, c := range a {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			t.Fatalf("PageHash %q is not lowercase hex", a)
+		}
+	}
+	if len(a) == 0 || len(a) > 16 {
+		t.Fatalf("PageHash %q: want 1-16 hex chars (unpadded 64-bit)", a)
+	}
+}

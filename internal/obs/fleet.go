@@ -1,0 +1,55 @@
+package obs
+
+// FleetMetrics instruments the sharded serving tier: the HTTP edge's
+// page cache (fresh hits, conditional 304s, stale-while-revalidate
+// serves, revalidations), shard routing (per-request fetches, replica
+// failovers, shards found fully down), and the edge-observed latency
+// distribution. One instance is shared by the edge and the fleet
+// coordinator. Nil-safe throughout, like every sink in this package.
+type FleetMetrics struct {
+	// EdgeRequests counts page requests arriving at the edge;
+	// EdgeNanos is their end-to-end latency distribution (the load
+	// generator reads its percentiles back over /debug/vars).
+	EdgeRequests Counter
+	EdgeNanos    Histogram
+	// CacheHits counts requests served from a fresh cache entry without
+	// touching a shard; CacheMisses cold fetches; StaleServed responses
+	// served from a stale (pre-reload) entry inside the
+	// stale-while-revalidate window; Revalidations background or
+	// synchronous refreshes of a stale entry; NotModified conditional
+	// GETs answered 304.
+	CacheHits     Counter
+	CacheMisses   Counter
+	StaleServed   Counter
+	Revalidations Counter
+	NotModified   Counter
+	// ShardFetches counts page fetches dispatched to a shard replica;
+	// Failovers fetches retried on another replica after a failure;
+	// ShardDown requests refused 503 because every replica of the
+	// routed shard was unavailable.
+	ShardFetches Counter
+	Failovers    Counter
+	ShardDown    Counter
+	// Generation is the fleet's current data generation; Swaps counts
+	// generation bumps (one per applied hot reload).
+	Generation Gauge
+	Swaps      Counter
+}
+
+// Snapshot implements Snapshotter.
+func (m *FleetMetrics) Snapshot() map[string]any {
+	return map[string]any{
+		"edge_requests": m.EdgeRequests.Load(),
+		"edge_nanos":    histSnap(&m.EdgeNanos),
+		"cache_hits":    m.CacheHits.Load(),
+		"cache_misses":  m.CacheMisses.Load(),
+		"stale_served":  m.StaleServed.Load(),
+		"revalidations": m.Revalidations.Load(),
+		"not_modified":  m.NotModified.Load(),
+		"shard_fetches": m.ShardFetches.Load(),
+		"failovers":     m.Failovers.Load(),
+		"shard_down":    m.ShardDown.Load(),
+		"generation":    m.Generation.Load(),
+		"swaps":         m.Swaps.Load(),
+	}
+}

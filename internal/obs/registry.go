@@ -90,6 +90,7 @@ func histSnap(h *Histogram) map[string]any {
 		"mean":    mean,
 		"p50":     h.Quantile(0.50),
 		"p99":     h.Quantile(0.99),
+		"p999":    h.Quantile(0.999),
 		"buckets": s.nonZero(),
 	}
 }

@@ -1,0 +1,126 @@
+#!/bin/sh
+# bench_serve.sh — load-test the sharded serving tier end to end: build
+# strudel-serve and strudel-load, generate a synthetic site, serve it at
+# several shard counts, and aggregate the load reports (throughput, p50/
+# p99/p99.9 latency) into one machine-readable BENCH_serve.json.
+#
+# Usage: sh scripts/bench_serve.sh
+#   SHARD_COUNTS="1 2 4"   fleet sizes to measure
+#   REPLICAS=2             replicas per shard
+#   RATE=800               arrival rate (req/s, open loop)
+#   DURATION=3s            measured window per shard count
+#   WARMUP=1s              discarded warmup window
+#   PUBS=150               synthetic site size (publication count)
+#   OUT=BENCH_serve.json   output path
+set -eu
+cd "$(dirname "$0")/.."
+
+SHARD_COUNTS=${SHARD_COUNTS:-"1 2 4"}
+REPLICAS=${REPLICAS:-2}
+RATE=${RATE:-800}
+DURATION=${DURATION:-3s}
+WARMUP=${WARMUP:-1s}
+PUBS=${PUBS:-150}
+OUT=${OUT:-BENCH_serve.json}
+
+workdir=$(mktemp -d)
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null && wait "$serve_pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/strudel-serve" ./cmd/strudel-serve
+go build -o "$workdir/strudel-load" ./cmd/strudel-load
+
+# Synthetic site: PUBS publications spread over shared years and tags,
+# so the page space has both deep fan-out (index pages) and a long tail
+# (per-publication pages) for the zipf mix to choose from.
+{
+    echo "collection Pubs;"
+    i=0
+    while [ "$i" -lt "$PUBS" ]; do
+        year=$((1990 + i % 9))
+        tag=$((i % 5))
+        printf 'node p%03d in Pubs { title "Synthetic Publication %03d"; year %d; tag "area%d"; }\n' \
+            "$i" "$i" "$year" "$tag"
+        i=$((i + 1))
+    done
+} > "$workdir/site.ddl"
+
+cat > "$workdir/site.struql" <<'EOF'
+create Root()
+link Root() -> "title" -> "Bench Site"
+where Pubs(x)
+create Pub(x)
+link Root() -> "pub" -> Pub(x), Pub(x) -> "self" -> x
+{ where x -> "title" -> t link Pub(x) -> "title" -> t }
+{ where x -> "year" -> y
+  create Year(y)
+  link Year(y) -> "year" -> y, Year(y) -> "has" -> Pub(x), Root() -> "years" -> Year(y) }
+{ where x -> "tag" -> g
+  create Tag(g)
+  link Tag(g) -> "tag" -> g, Tag(g) -> "member" -> Pub(x), Root() -> "tags" -> Tag(g) }
+EOF
+
+addr="127.0.0.1:18573"
+
+for shards in $SHARD_COUNTS; do
+    echo "bench_serve: measuring shards=$shards replicas=$REPLICAS rate=$RATE window=$DURATION" >&2
+    "$workdir/strudel-serve" \
+        -data "$workdir/site.ddl" -query "$workdir/site.struql" \
+        -addr "$addr" -shards "$shards" -replicas "$REPLICAS" \
+        -reload-interval 0 \
+        > "$workdir/serve_$shards.log" 2>&1 &
+    serve_pid=$!
+
+    up=""
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://$addr/healthz" > /dev/null 2>&1; then
+            up=1
+            break
+        fi
+        if ! kill -0 "$serve_pid" 2>/dev/null; then
+            echo "bench_serve: server exited early at shards=$shards" >&2
+            cat "$workdir/serve_$shards.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$up" ]; then
+        echo "bench_serve: server never came up at shards=$shards" >&2
+        cat "$workdir/serve_$shards.log" >&2
+        exit 1
+    fi
+
+    "$workdir/strudel-load" -url "http://$addr" \
+        -rate "$RATE" -duration "$DURATION" -warmup "$WARMUP" \
+        -out "$workdir/report_$shards.json"
+
+    kill -TERM "$serve_pid"
+    wait "$serve_pid" || {
+        echo "bench_serve: server at shards=$shards did not shut down cleanly" >&2
+        cat "$workdir/serve_$shards.log" >&2
+        exit 1
+    }
+    serve_pid=""
+done
+
+# Aggregate: {"config": {...}, "shards_N": <per-run report>, ...}
+{
+    printf '{\n'
+    printf '  "config": {"replicas": %s, "rate": %s, "duration": "%s", "pubs": %s},\n' \
+        "$REPLICAS" "$RATE" "$DURATION" "$PUBS"
+    first=1
+    for shards in $SHARD_COUNTS; do
+        [ "$first" = 1 ] || printf ',\n'
+        first=0
+        printf '  "shards_%s": ' "$shards"
+        # Each report is a complete JSON object; embed it on one line.
+        tr -d '\n' < "$workdir/report_$shards.json"
+    done
+    printf '\n}\n'
+} > "$OUT"
+
+echo "wrote $OUT ($(echo "$SHARD_COUNTS" | wc -w | tr -d ' ') shard counts)"

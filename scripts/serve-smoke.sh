@@ -30,6 +30,7 @@ debugaddr="127.0.0.1:18474"
 "$workdir/strudel-serve" \
     -data "$workdir/site.ddl" -query "$workdir/site.struql" \
     -addr "$addr" -debug-addr "$debugaddr" \
+    -shards 2 -replicas 2 -stale-for 0 \
     -reload-interval 200ms -shutdown-timeout 5s \
     > "$workdir/serve.log" 2>&1 &
 pid=$!
@@ -65,6 +66,53 @@ curl -fsS "http://$addr/" | grep -q "Smoke Site" || {
     exit 1
 }
 
+# Conditional GETs: the edge tags every page with a generation-scoped
+# ETag; a matching If-None-Match must earn a bodyless 304.
+curl -fsS -D "$workdir/h1.txt" -o /dev/null "http://$addr/"
+etag=$(tr -d '\r' < "$workdir/h1.txt" | awk 'tolower($1)=="etag:"{print $2}')
+if [ -z "$etag" ]; then
+    echo "serve-smoke: / served no ETag" >&2
+    cat "$workdir/h1.txt" >&2
+    exit 1
+fi
+code=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $etag" "http://$addr/")
+if [ "$code" != "304" ]; then
+    echo "serve-smoke: conditional GET with matching ETag got HTTP $code, want 304" >&2
+    exit 1
+fi
+
+# A hot reload bumps the generation, which must invalidate every held
+# validator: edit the watched data file, then poll until the same
+# conditional GET turns back into a full 200 with a fresh ETag.
+cat >> "$workdir/site.ddl" <<'EOF'
+node p3 in Pubs { title "Reloaded Entry"; year 1999; }
+EOF
+reloaded=""
+for _ in $(seq 1 50); do
+    code=$(curl -s -D "$workdir/h2.txt" -o "$workdir/after.html" -w '%{http_code}' \
+        -H "If-None-Match: $etag" "http://$addr/")
+    if [ "$code" = "200" ]; then
+        reloaded=1
+        break
+    fi
+    sleep 0.2
+done
+if [ -z "$reloaded" ]; then
+    echo "serve-smoke: conditional GET never turned 200 after the reload" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+etag2=$(tr -d '\r' < "$workdir/h2.txt" | awk 'tolower($1)=="etag:"{print $2}')
+if [ -z "$etag2" ] || [ "$etag2" = "$etag" ]; then
+    echo "serve-smoke: reload did not mint a new ETag (old=$etag new=$etag2)" >&2
+    exit 1
+fi
+code=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $etag2" "http://$addr/")
+if [ "$code" != "304" ]; then
+    echo "serve-smoke: conditional GET with post-reload ETag got HTTP $code, want 304" >&2
+    exit 1
+fi
+
 # Debug endpoints live on the debug listener ONLY: the production
 # listener must 404 them, the -debug-addr listener must serve them.
 for path in /debug/vars /debug/pprof/; do
@@ -89,6 +137,15 @@ grep -q '"strudel"' "$workdir/vars.json" || {
 for key in '"ivm"' '"deltas_applied"' '"bailout_delta_too_large"' '"dirty_pages"' '"apply_nanos"'; do
     grep -q "$key" "$workdir/vars.json" || {
         echo "serve-smoke: /debug/vars missing ivm metric $key:" >&2
+        cat "$workdir/vars.json" >&2
+        exit 1
+    }
+done
+# The sharded serving tier exports its own metric group: edge cache
+# counters and the fleet generation (bumped by the reload above).
+for key in '"fleet"' '"edge_requests"' '"not_modified"' '"generation"' '"swaps"'; do
+    grep -q "$key" "$workdir/vars.json" || {
+        echo "serve-smoke: /debug/vars missing fleet metric $key:" >&2
         cat "$workdir/vars.json" >&2
         exit 1
     }
