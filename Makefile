@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check serve-smoke fuzz-smoke chaos-smoke soak-smoke loadgen-smoke bench-serve clean
+.PHONY: all build test race vet bench check serve-smoke fuzz-smoke chaos-smoke chaos-serve soak-smoke loadgen-smoke bench-serve clean
 
 all: build
 
@@ -49,6 +49,13 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) test -count=1 -run '^TestChaos' .
 	$(GO) test -count=1 -race -run '^TestChaos' .
+
+# chaos-serve runs the gray-failure serving drill: faultnet-proxied
+# replicas (one slow, one flapping) under oracle-verified load, once
+# plain (writing the drill report to $CHAOS_SERVE_OUT) and once under
+# the race detector.
+chaos-serve:
+	sh scripts/chaos_serve.sh
 
 # soak-smoke runs the incremental-maintenance edit storm: 1,000 seeded
 # random edits per example site with the patched pages byte-compared

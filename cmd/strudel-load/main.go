@@ -9,11 +9,15 @@
 //	strudel-load -url http://127.0.0.1:8080 [-rate 500] [-duration 10s]
 //	             [-warmup 2s] [-zipf-s 1.1] [-zipf-v 1] [-pages 4096]
 //	             [-inflight 1024] [-seed 1] [-out report.json]
+//	             [-allow-status 503] [-max-p99 0]
 //
 // Open-loop means arrivals do not wait for responses: a server that
 // falls behind faces a growing backlog, as it would under real traffic.
-// Exit codes: 0 on a clean run, 1 on configuration or transport
-// failure, 3 if the run completed but recorded request errors.
+// -allow-status lists response codes tolerated during fault drills
+// (counted separately, not as errors); -max-p99 turns the run into a
+// tail-latency assertion. Exit codes: 0 on a clean run, 1 on
+// configuration or transport failure, 3 if the run completed but
+// recorded request errors or blew the -max-p99 bound.
 package main
 
 import (
@@ -22,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,8 +52,16 @@ func main() {
 		inflight = flag.Int("inflight", fleet.DefaultMaxInflight, "max outstanding requests; arrivals past it are dropped")
 		seed     = flag.Int64("seed", 1, "popularity seed (reproducible page mix)")
 		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		allow    = flag.String("allow-status", "", "comma-separated status codes tolerated (counted as allowed, not errors)")
+		maxP99   = flag.Duration("max-p99", 0, "fail (exit 3) if the measured p99 exceeds this bound (0 disables)")
 	)
 	flag.Parse()
+
+	allowed, err := parseStatusList(*allow)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-load:", err)
+		os.Exit(exitError)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -62,6 +76,7 @@ func main() {
 		MaxPages:    *pages,
 		MaxInflight: *inflight,
 		Seed:        *seed,
+		AllowStatus: allowed,
 	}
 	rep, err := lg.Run(ctx)
 	if err != nil {
@@ -83,12 +98,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "strudel-load:", err)
 		os.Exit(exitError)
 	}
-	fmt.Fprintf(os.Stderr, "strudel-load: %d pages, %d requests (%d dropped), %.0f rps, p50=%s p99=%s p99.9=%s\n",
-		rep.Pages, rep.Requests, rep.Dropped, rep.Throughput,
+	fmt.Fprintf(os.Stderr, "strudel-load: %d pages, %d requests (%d dropped, %d allowed), %.0f rps, p50=%s p99=%s p99.9=%s\n",
+		rep.Pages, rep.Requests, rep.Dropped, rep.Allowed, rep.Throughput,
 		time.Duration(rep.P50Nanos), time.Duration(rep.P99Nanos), time.Duration(rep.P999Nanos))
+	code := exitOK
 	if rep.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "strudel-load: %d requests failed\n", rep.Errors)
-		os.Exit(exitErrors)
+		code = exitErrors
 	}
-	os.Exit(exitOK)
+	if *maxP99 > 0 && rep.P99Nanos > int64(*maxP99) {
+		fmt.Fprintf(os.Stderr, "strudel-load: p99 %s exceeds -max-p99 %s\n",
+			time.Duration(rep.P99Nanos), *maxP99)
+		code = exitErrors
+	}
+	os.Exit(code)
+}
+
+// parseStatusList turns "503,429" into status codes for -allow-status.
+func parseStatusList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var codes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		code, err := strconv.Atoi(part)
+		if err != nil || code < 100 || code > 599 {
+			return nil, fmt.Errorf("-allow-status: %q is not an HTTP status code", part)
+		}
+		codes = append(codes, code)
+	}
+	return codes, nil
 }

@@ -10,6 +10,10 @@
 //	              [-request-timeout 10s] [-max-inflight 256]
 //	              [-reload-interval 2s] [-shutdown-timeout 10s]
 //	              [-shards 1] [-replicas 1] [-stale-for 2s]
+//	              [-hedge] [-hedge-min-delay 2ms] [-hedge-max-delay 500ms]
+//	              [-hedge-ratio 0.1] [-retry-ratio 0.2] [-attempt-timeout 0]
+//	              [-probe-interval 250ms] [-breaker-failures 5]
+//	              [-breaker-open-for 500ms]
 //
 // Templates are keyed by Skolem function name (Fn=...).
 //
@@ -17,7 +21,10 @@
 // past -max-inflight, panic recovery, /healthz, hot reload of changed
 // -data/-bibtex files with graceful degradation (a broken file keeps the
 // last-good site serving and retries with backoff), and SIGINT/SIGTERM
-// graceful drain. Exit codes: 0 clean (including graceful shutdown),
+// graceful drain. The serving tier is gray-failure-tolerant: per-replica
+// circuit breakers, tail-latency hedging under a token budget, active
+// health probing of ejected replicas, and a live health grid under
+// /debug/vars (strudel.fleet_health). Exit codes: 0 clean (including graceful shutdown),
 // 1 configuration or serving error, 2 listener failure (e.g. address in
 // use).
 package main
@@ -75,6 +82,13 @@ type config struct {
 	shutdownTimeout                time.Duration
 	shards, replicas               int
 	staleFor                       time.Duration
+	hedge                          bool
+	hedgeMinDelay, hedgeMaxDelay   time.Duration
+	hedgeRatio, retryRatio         float64
+	attemptTimeout                 time.Duration
+	probeInterval                  time.Duration
+	breakerFailures                int
+	breakerOpenFor                 time.Duration
 }
 
 func main() {
@@ -94,6 +108,15 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 1, "number of shared-nothing page-space shards")
 	flag.IntVar(&cfg.replicas, "replicas", 1, "replicas per shard (failover capacity)")
 	flag.DurationVar(&cfg.staleFor, "stale-for", 2*time.Second, "stale-while-revalidate window after a hot reload (0 disables stale serving)")
+	flag.BoolVar(&cfg.hedge, "hedge", true, "hedge tail-latency requests onto a sibling replica")
+	flag.DurationVar(&cfg.hedgeMinDelay, "hedge-min-delay", 2*time.Millisecond, "floor for the quantile-tracked hedge delay")
+	flag.DurationVar(&cfg.hedgeMaxDelay, "hedge-max-delay", 500*time.Millisecond, "ceiling for the hedge delay")
+	flag.Float64Var(&cfg.hedgeRatio, "hedge-ratio", 0.1, "hedge budget as a fraction of offered load")
+	flag.Float64Var(&cfg.retryRatio, "retry-ratio", 0.2, "failover-retry budget as a fraction of offered load")
+	flag.DurationVar(&cfg.attemptTimeout, "attempt-timeout", 0, "per-replica attempt deadline inside a fetch (0 = request deadline only)")
+	flag.DurationVar(&cfg.probeInterval, "probe-interval", 250*time.Millisecond, "active replica health-check period (0 disables probing)")
+	flag.IntVar(&cfg.breakerFailures, "breaker-failures", 5, "consecutive replica failures that trip its circuit breaker")
+	flag.DurationVar(&cfg.breakerOpenFor, "breaker-open-for", 500*time.Millisecond, "breaker cool-down before half-open trials")
 	flag.Parse()
 	cfg.dataFiles, cfg.bibFiles, cfg.templates = dataFiles, bibFiles, templates
 
@@ -132,6 +155,19 @@ func run(cfg config) int {
 		Lookahead: cfg.lookahead,
 		Obs:       fleetMetrics,
 		ServeObs:  metrics,
+		Gray: fleet.GrayConfig{
+			Breaker: fleet.BreakerConfig{
+				Failures: cfg.breakerFailures,
+				OpenFor:  cfg.breakerOpenFor,
+			},
+			HedgeMinDelay:  cfg.hedgeMinDelay,
+			HedgeMaxDelay:  cfg.hedgeMaxDelay,
+			HedgeRatio:     cfg.hedgeRatio,
+			DisableHedge:   !cfg.hedge,
+			RetryRatio:     cfg.retryRatio,
+			AttemptTimeout: cfg.attemptTimeout,
+			ProbeInterval:  cfg.probeInterval,
+		},
 	}, srv.Ev.Source())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "strudel-serve:", err)
@@ -160,6 +196,12 @@ func run(cfg config) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Active health probing keeps ejected replicas on a path back to
+	// service even when no traffic is reaching them.
+	if cfg.probeInterval > 0 {
+		fl.StartHealthChecks(ctx)
+	}
+
 	// The debug listener is separate from the production listener on
 	// purpose: /debug/vars and /debug/pprof/* expose internals (and
 	// pprof can be made to burn CPU), so they bind to an operator-chosen
@@ -172,7 +214,7 @@ func run(cfg config) int {
 			return exitListen
 		}
 		dhs := &http.Server{
-			Handler:           debugMux(metrics, ivmMetrics, fleetMetrics),
+			Handler:           debugMux(metrics, ivmMetrics, fleetMetrics, fl.HealthSnapshot),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
@@ -229,11 +271,12 @@ func run(cfg config) int {
 // registry under /debug/vars (published into expvar as "strudel") and
 // the pprof handlers wired explicitly, so nothing depends on
 // http.DefaultServeMux — the production listener never serves these.
-func debugMux(metrics *obs.ServeMetrics, ivmMetrics *obs.IVMMetrics, fleetMetrics *obs.FleetMetrics) http.Handler {
+func debugMux(metrics *obs.ServeMetrics, ivmMetrics *obs.IVMMetrics, fleetMetrics *obs.FleetMetrics, health func() map[string]any) http.Handler {
 	reg := obs.NewRegistry()
 	reg.Register("serve", metrics)
 	reg.Register("ivm", ivmMetrics)
 	reg.Register("fleet", fleetMetrics)
+	reg.Register("fleet_health", obs.SnapshotterFunc(health))
 	expvar.Publish("strudel", reg)
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())

@@ -1,0 +1,219 @@
+// Package faultnet is a deterministic fault-injection proxy for HTTP
+// backends: it wraps a handler and perturbs responses according to a
+// schedule that is a pure function of the request index. The same
+// schedule replays the same faults in the same order every run, which
+// is what makes gray-failure drills assertable in CI — "replica 0 is
+// 200ms slow and replica 3 flaps up-down-up" is a test fixture, not a
+// race.
+//
+// Faults model the gray end of the failure spectrum:
+//
+//   - added latency before the backend runs (a slow replica);
+//   - refused connections (a dead or flapping replica);
+//   - connection resets after a prefix of the body (a mid-transfer
+//     failure that leaves the client with truncated bytes);
+//   - stalls mid-body (a wedged replica that neither finishes nor
+//     fails);
+//   - corrupted body bytes (a bad NIC or proxy — only an end-to-end
+//     checksum catches these).
+package faultnet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is the perturbation applied to one request. The zero value
+// passes the request through untouched. Fields compose: a Fault may
+// both delay and corrupt. Refuse wins over everything; Reset wins over
+// Stall.
+type Fault struct {
+	// Refuse drops the connection before the backend runs — the client
+	// sees a reset/EOF, as from a dead process.
+	Refuse bool
+	// Delay sleeps before invoking the backend (a slow replica).
+	Delay time.Duration
+	// ResetAfter > 0 sends that many body bytes, then drops the
+	// connection mid-transfer.
+	ResetAfter int
+	// StallAfter > 0 sends that many body bytes, then stalls for Stall
+	// before sending the rest (a wedged-but-alive replica). The stall
+	// ends early if the client gives up.
+	StallAfter int
+	Stall      time.Duration
+	// CorruptLen > 0 XOR-flips that many body bytes starting at offset
+	// CorruptAfter. Headers (including any checksum) are computed from
+	// the original body, so the corruption is detectable end-to-end.
+	CorruptAfter int
+	CorruptLen   int
+}
+
+// Schedule decides the fault for the i-th request through a proxy
+// (0-based, in arrival order). Implementations must be pure functions
+// of i so runs are reproducible.
+type Schedule interface {
+	Fault(i uint64) Fault
+}
+
+// Script cycles through a fixed fault sequence: request i gets
+// Script[i % len]. An empty script injects nothing.
+type Script []Fault
+
+func (s Script) Fault(i uint64) Fault {
+	if len(s) == 0 {
+		return Fault{}
+	}
+	return s[i%uint64(len(s))]
+}
+
+// Flap is a square wave: Up healthy requests, then Down faulted ones,
+// repeating — the up-down-up replica that keeps resetting a
+// consecutive-failure counter and only an error-rate window catches.
+// DownWith is the fault for the down phase; the zero value refuses.
+type Flap struct {
+	Up, Down uint64
+	DownWith Fault
+}
+
+func (f Flap) Fault(i uint64) Fault {
+	period := f.Up + f.Down
+	if period == 0 || i%period < f.Up {
+		return Fault{}
+	}
+	if f.DownWith == (Fault{}) {
+		return Fault{Refuse: true}
+	}
+	return f.DownWith
+}
+
+// Seeded faults each request independently with probability P, drawn
+// from a splitmix64 stream over (Seed, i) — deterministic per index,
+// uncorrelated across indices. With compares against the faulted
+// fraction; the zero value refuses.
+type Seeded struct {
+	Seed uint64
+	P    float64
+	With Fault
+}
+
+func (s Seeded) Fault(i uint64) Fault {
+	if s.P <= 0 {
+		return Fault{}
+	}
+	x := splitmix64(s.Seed + i*0x9e3779b97f4a7c15)
+	if float64(x>>11)/float64(1<<53) >= s.P {
+		return Fault{}
+	}
+	if s.With == (Fault{}) {
+		return Fault{Refuse: true}
+	}
+	return s.With
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Proxy wraps an HTTP handler with a fault schedule. It buffers the
+// inner response so partial-body faults (reset, stall, corruption) can
+// be injected at exact byte offsets, with the full Content-Length
+// already advertised — the client must discover the fault from the
+// wire, not the framing.
+type Proxy struct {
+	Inner http.Handler
+	Sched Schedule
+
+	n atomic.Uint64
+}
+
+// Requests reports how many requests the proxy has seen.
+func (p *Proxy) Requests() uint64 { return p.n.Load() }
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	i := p.n.Add(1) - 1
+	var f Fault
+	if p.Sched != nil {
+		f = p.Sched.Fault(i)
+	}
+
+	if f.Refuse {
+		dropConn(w)
+		return
+	}
+	if f.Delay > 0 {
+		select {
+		case <-time.After(f.Delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	p.Inner.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+
+	if f.CorruptLen > 0 && f.CorruptAfter < len(body) {
+		end := f.CorruptAfter + f.CorruptLen
+		if end > len(body) {
+			end = len(body)
+		}
+		for j := f.CorruptAfter; j < end; j++ {
+			body[j] ^= 0xff
+		}
+	}
+
+	h := w.Header()
+	for k, vs := range rec.Header() {
+		h[k] = vs
+	}
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(rec.Code)
+
+	switch {
+	case f.ResetAfter > 0 && f.ResetAfter < len(body):
+		w.Write(body[:f.ResetAfter])
+		flush(w)
+		dropConn(w)
+	case f.StallAfter > 0 && f.StallAfter < len(body):
+		w.Write(body[:f.StallAfter])
+		flush(w)
+		select {
+		case <-time.After(f.Stall):
+		case <-r.Context().Done():
+			return
+		}
+		w.Write(body[f.StallAfter:])
+	default:
+		w.Write(body)
+	}
+}
+
+func flush(w http.ResponseWriter) {
+	if fl, ok := w.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// dropConn severs the underlying connection without a graceful close,
+// so the client observes a reset or unexpected EOF rather than a clean
+// response end.
+func dropConn(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// No hijack support (e.g. HTTP/2): the closest observable
+		// effect is an empty 502 — still a failed fetch.
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	conn.Close()
+}

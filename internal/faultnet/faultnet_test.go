@@ -1,0 +1,216 @@
+package faultnet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+const pageBody = "<html><body>0123456789abcdefghijklmnopqrstuvwxyz</body></html>"
+
+func backend() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Gen", "7")
+		io.WriteString(w, pageBody)
+	})
+}
+
+func get(t *testing.T, client *http.Client, url string) (string, http.Header, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), resp.Header, err
+}
+
+func TestScriptCycles(t *testing.T) {
+	s := Script{{}, {Refuse: true}, {Delay: time.Millisecond}}
+	for i := uint64(0); i < 12; i++ {
+		want := s[i%3]
+		if got := s.Fault(i); got != want {
+			t.Fatalf("Fault(%d) = %+v, want %+v", i, got, want)
+		}
+	}
+	if (Script{}).Fault(5) != (Fault{}) {
+		t.Fatal("empty script should inject nothing")
+	}
+}
+
+func TestFlapWave(t *testing.T) {
+	f := Flap{Up: 3, Down: 2}
+	var gotRefuse []bool
+	for i := uint64(0); i < 10; i++ {
+		gotRefuse = append(gotRefuse, f.Fault(i).Refuse)
+	}
+	want := []bool{false, false, false, true, true, false, false, false, true, true}
+	for i := range want {
+		if gotRefuse[i] != want[i] {
+			t.Fatalf("request %d: refuse=%v, want %v (wave %v)", i, gotRefuse[i], want[i], gotRefuse)
+		}
+	}
+	// A custom down-phase fault replaces the default refusal.
+	slow := Flap{Up: 1, Down: 1, DownWith: Fault{Delay: time.Second}}
+	if got := slow.Fault(1); got.Refuse || got.Delay != time.Second {
+		t.Fatalf("DownWith not honored: %+v", got)
+	}
+	if (Flap{}).Fault(0) != (Fault{}) {
+		t.Fatal("zero-period flap should inject nothing")
+	}
+}
+
+func TestSeededDeterministic(t *testing.T) {
+	a := Seeded{Seed: 42, P: 0.5}
+	b := Seeded{Seed: 42, P: 0.5}
+	c := Seeded{Seed: 43, P: 0.5}
+	same, diff := true, false
+	for i := uint64(0); i < 256; i++ {
+		if a.Fault(i) != b.Fault(i) {
+			same = false
+		}
+		if a.Fault(i) != c.Fault(i) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed must produce the same fault sequence")
+	}
+	if !diff {
+		t.Fatal("different seeds should produce different sequences")
+	}
+	// The empirical fault rate should be near P.
+	n := 0
+	for i := uint64(0); i < 10000; i++ {
+		if a.Fault(i).Refuse {
+			n++
+		}
+	}
+	if n < 4500 || n > 5500 {
+		t.Fatalf("fault rate %d/10000, want ~5000", n)
+	}
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	p := &Proxy{Inner: backend(), Sched: Script{}}
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	body, hdr, err := get(t, ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatalf("passthrough: %v", err)
+	}
+	if body != pageBody {
+		t.Fatalf("body altered: %q", body)
+	}
+	if hdr.Get("X-Gen") != "7" {
+		t.Fatal("inner headers not forwarded")
+	}
+	if p.Requests() != 1 {
+		t.Fatalf("Requests() = %d, want 1", p.Requests())
+	}
+}
+
+func TestProxyDelay(t *testing.T) {
+	p := &Proxy{Inner: backend(), Sched: Script{{Delay: 80 * time.Millisecond}}}
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	start := time.Now()
+	body, _, err := get(t, ts.Client(), ts.URL)
+	if err != nil || body != pageBody {
+		t.Fatalf("delayed response corrupted: err=%v", err)
+	}
+	if el := time.Since(start); el < 80*time.Millisecond {
+		t.Fatalf("response too fast: %v", el)
+	}
+}
+
+func TestProxyRefuse(t *testing.T) {
+	p := &Proxy{Inner: backend(), Sched: Script{{Refuse: true}, {}}}
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	if _, _, err := get(t, ts.Client(), ts.URL); err == nil {
+		t.Fatal("refused request should fail at the transport")
+	}
+	// The schedule cycles: the next request is clean.
+	body, _, err := get(t, ts.Client(), ts.URL)
+	if err != nil || body != pageBody {
+		t.Fatalf("request after refusal should succeed: err=%v", err)
+	}
+}
+
+func TestProxyResetMidBody(t *testing.T) {
+	p := &Proxy{Inner: backend(), Sched: Script{{ResetAfter: 10}}}
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatalf("reset should arrive mid-body, not on connect: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read should fail mid-body, got %d clean bytes", len(b))
+	}
+	if len(b) > len(pageBody)/2 {
+		t.Fatalf("got %d bytes before reset, want a short prefix", len(b))
+	}
+}
+
+func TestProxyStallMidBody(t *testing.T) {
+	p := &Proxy{Inner: backend(), Sched: Script{{StallAfter: 10, Stall: 60 * time.Millisecond}}}
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	start := time.Now()
+	body, _, err := get(t, ts.Client(), ts.URL)
+	if err != nil || body != pageBody {
+		t.Fatalf("stalled body should eventually complete: err=%v body=%q", err, body)
+	}
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Fatalf("no stall observed: %v", el)
+	}
+	// A client deadline shorter than the stall must abort the read —
+	// the regression a per-attempt timeout exists to catch.
+	p2 := &Proxy{Inner: backend(), Sched: Script{{StallAfter: 10, Stall: 5 * time.Second}}}
+	ts2 := httptest.NewServer(p2)
+	defer ts2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts2.URL, nil)
+	resp, err := ts2.Client().Do(req)
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("read through a long stall should fail once the context expires")
+	}
+}
+
+func TestProxyCorruption(t *testing.T) {
+	p := &Proxy{Inner: backend(), Sched: Script{{CorruptAfter: 8, CorruptLen: 4}}}
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	body, _, err := get(t, ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatalf("corrupted response should still complete: %v", err)
+	}
+	if body == pageBody {
+		t.Fatal("body should have been corrupted")
+	}
+	if len(body) != len(pageBody) {
+		t.Fatalf("corruption changed length: %d != %d", len(body), len(pageBody))
+	}
+	if !strings.HasPrefix(body, pageBody[:8]) || body[12:] != pageBody[12:] {
+		t.Fatal("corruption outside the [8,12) window")
+	}
+	for j := 8; j < 12; j++ {
+		if body[j] != pageBody[j]^0xff {
+			t.Fatalf("byte %d: got %#x, want %#x", j, body[j], pageBody[j]^0xff)
+		}
+	}
+}

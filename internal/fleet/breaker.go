@@ -1,0 +1,329 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the edge's per-replica circuit breaker and the shared
+// token budgets that bound retry and hedge amplification. A breaker
+// converts a stream of request outcomes into an admit/refuse decision:
+// it trips on consecutive failures (a replica that died) or on the
+// error rate over a sliding window (a replica that flaps), cools down,
+// and re-admits traffic through a bounded number of half-open trials.
+// Budgets are Finagle-style ratio buckets: every arriving request
+// deposits a fraction of a token, every retry or hedge withdraws one,
+// so amplification is capped at a fraction of offered load no matter
+// how badly the fleet misbehaves.
+
+// BreakerState is a circuit breaker's admission state.
+type BreakerState int32
+
+const (
+	// BreakerClosed admits all traffic (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses all traffic until the cool-down elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded number of trial requests whose
+	// outcomes decide between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes one circuit breaker. The zero value takes every
+// default below.
+type BreakerConfig struct {
+	// Failures trips the breaker after this many consecutive failures.
+	Failures int
+	// Window is the sliding outcome window for the error-rate trip;
+	// Rate is the failure fraction that trips it once the window holds
+	// at least MinSamples outcomes. The window catches flapping
+	// replicas whose intermittent successes keep resetting the
+	// consecutive counter.
+	Window     int
+	Rate       float64
+	MinSamples int
+	// OpenFor is the cool-down after a trip before half-open trials.
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrently admitted half-open trials;
+	// CloseAfter is the consecutive trial successes that close.
+	HalfOpenProbes int
+	CloseAfter     int
+	// Clock is the test seam; nil means time.Now.
+	Clock func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.Rate <= 0 {
+		c.Rate = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 500 * time.Millisecond
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.CloseAfter <= 0 {
+		c.CloseAfter = 2
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Breaker is one replica's circuit breaker. The zero value is not
+// ready; use newBreaker.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	consec   int    // consecutive failures while closed
+	win      []bool // ring of recent outcomes (true = failure)
+	winPos   int
+	winCount int
+	winFails int
+	openedAt time.Time
+	trials   int // half-open trials in flight
+	trialOK  int // consecutive half-open successes
+}
+
+func newBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, win: make([]bool, cfg.Window)}
+}
+
+// State reports the current state, promoting open → half-open when the
+// cool-down has elapsed (a time-driven transition, so readers see
+// "probing" as soon as trials would be admitted).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.promoteLocked()
+	return b.state
+}
+
+// ConsecutiveFailures reports the closed-state consecutive failure
+// count (the health layer's suspect signal).
+func (b *Breaker) ConsecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consec
+}
+
+func (b *Breaker) promoteLocked() {
+	if b.state == BreakerOpen && b.cfg.Clock().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.state = BreakerHalfOpen
+		b.trials = 0
+		b.trialOK = 0
+	}
+}
+
+// RetryIn reports how long until an open breaker admits trials again
+// (0 when it already does).
+func (b *Breaker) RetryIn() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	rem := b.cfg.OpenFor - b.cfg.Clock().Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Allow reports whether a request may proceed and whether it counts as
+// a half-open trial. A trial admission MUST be paired with a Record
+// carrying trial=true, which releases the trial slot.
+func (b *Breaker) Allow() (ok, trial bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.promoteLocked()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerHalfOpen:
+		if b.trials < b.cfg.HalfOpenProbes {
+			b.trials++
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// ReleaseTrial frees a half-open trial slot without recording an
+// outcome — for attempts cancelled through no fault of the replica.
+func (b *Breaker) ReleaseTrial() {
+	b.mu.Lock()
+	if b.trials > 0 {
+		b.trials--
+	}
+	b.mu.Unlock()
+}
+
+// Record feeds one request outcome back. Forced requests (admitted past
+// a refusing breaker by the fail-static routing fallback or an active
+// probe) record with trial=false; a success recorded while open moves
+// the breaker to half-open so recovery is observed no matter who
+// noticed it first. Record reports whether this outcome tripped the
+// breaker open and whether it closed it, so callers can count
+// transitions.
+func (b *Breaker) Record(success, trial bool) (tripped, closed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if trial && b.trials > 0 {
+		b.trials--
+	}
+	switch b.state {
+	case BreakerClosed:
+		b.observeLocked(success)
+		if !success {
+			b.consec++
+			if b.consec >= b.cfg.Failures || b.rateTrippedLocked() {
+				b.tripLocked()
+				return true, false
+			}
+		} else {
+			b.consec = 0
+			if b.rateTrippedLocked() {
+				b.tripLocked()
+				return true, false
+			}
+		}
+	case BreakerHalfOpen:
+		if success {
+			b.trialOK++
+			if b.trialOK >= b.cfg.CloseAfter {
+				b.resetLocked()
+				return false, true
+			}
+		} else {
+			b.tripLocked()
+			return true, false
+		}
+	case BreakerOpen:
+		if success {
+			// A forced request got through: start probing from this
+			// success instead of waiting out the cool-down.
+			b.state = BreakerHalfOpen
+			b.trials = 0
+			b.trialOK = 1
+			if b.trialOK >= b.cfg.CloseAfter {
+				b.resetLocked()
+				return false, true
+			}
+		} else {
+			// Still failing: restart the cool-down.
+			b.openedAt = b.cfg.Clock()
+		}
+	}
+	return false, false
+}
+
+func (b *Breaker) observeLocked(success bool) {
+	old := b.win[b.winPos]
+	fail := !success
+	b.win[b.winPos] = fail
+	b.winPos = (b.winPos + 1) % len(b.win)
+	if b.winCount < len(b.win) {
+		b.winCount++
+	} else if old {
+		b.winFails--
+	}
+	if fail {
+		b.winFails++
+	}
+}
+
+func (b *Breaker) rateTrippedLocked() bool {
+	return b.winCount >= b.cfg.MinSamples &&
+		float64(b.winFails) >= b.cfg.Rate*float64(b.winCount)
+}
+
+func (b *Breaker) tripLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Clock()
+	b.trials = 0
+	b.trialOK = 0
+}
+
+func (b *Breaker) resetLocked() {
+	b.state = BreakerClosed
+	b.consec = 0
+	b.trials = 0
+	b.trialOK = 0
+	b.winPos = 0
+	b.winCount = 0
+	b.winFails = 0
+	for i := range b.win {
+		b.win[i] = false
+	}
+}
+
+// ratioBudget is a token bucket coupled to offered load instead of wall
+// time: each arriving request deposits ratio tokens (capped at burst),
+// each retry or hedge withdraws one whole token. Amplified traffic is
+// therefore bounded by ratio × offered load plus the burst, with no
+// clock involved — which also makes tests deterministic.
+type ratioBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+}
+
+func newRatioBudget(ratio, burst float64) *ratioBudget {
+	// Start full so a cold fleet can absorb an early failure burst.
+	return &ratioBudget{tokens: burst, ratio: ratio, burst: burst}
+}
+
+// Deposit credits one arriving request.
+func (b *ratioBudget) Deposit() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Take withdraws one token, reporting whether the budget allowed it.
+func (b *ratioBudget) Take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens reports the current balance (for /debug/vars).
+func (b *ratioBudget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the deterministic time source for breaker and health
+// tests: state transitions happen when the test advances it, never
+// because the test ran slowly.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(clk *fakeClock) *Breaker {
+	return newBreaker(BreakerConfig{
+		Failures:       3,
+		Window:         8,
+		Rate:           0.5,
+		MinSamples:     4,
+		OpenFor:        time.Second,
+		HalfOpenProbes: 1,
+		CloseAfter:     2,
+		Clock:          clk.Now,
+	})
+}
+
+func TestBreakerConsecutiveFailureTrip(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	if b.State() != BreakerClosed {
+		t.Fatal("new breaker should be closed")
+	}
+	b.Record(false, false)
+	b.Record(false, false)
+	if b.State() != BreakerClosed {
+		t.Fatal("two failures should not trip a Failures=3 breaker")
+	}
+	tripped, _ := b.Record(false, false)
+	if !tripped || b.State() != BreakerOpen {
+		t.Fatalf("third consecutive failure should trip: tripped=%v state=%v", tripped, b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker must refuse")
+	}
+	if r := b.RetryIn(); r <= 0 || r > time.Second {
+		t.Fatalf("RetryIn = %v, want (0, 1s]", r)
+	}
+}
+
+func TestBreakerRateTripCatchesFlapping(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	// Alternating failure/success never builds 3 consecutive failures,
+	// but the window hits the 50% rate once MinSamples accumulate.
+	for i := 0; i < 8 && b.State() == BreakerClosed; i++ {
+		b.Record(i%2 != 0, false) // fail, ok, fail, ok, ...
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("flapping outcomes should rate-trip the breaker, state=%v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenCycle(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Record(false, false)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("not open after trip")
+	}
+	clk.Advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("cool-down elapsed: breaker should be half-open")
+	}
+	ok, trial := b.Allow()
+	if !ok || !trial {
+		t.Fatalf("half-open should admit one trial: ok=%v trial=%v", ok, trial)
+	}
+	// The trial slot is held: a second concurrent request is refused.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("HalfOpenProbes=1: second trial must be refused while one is in flight")
+	}
+	b.Record(true, true)
+	ok, trial = b.Allow()
+	if !ok || !trial {
+		t.Fatal("slot released: next trial should be admitted")
+	}
+	if _, closed := b.Record(true, true); !closed {
+		t.Fatal("CloseAfter=2 consecutive successes should close")
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state=%v, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Record(false, false)
+	}
+	clk.Advance(time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("half-open should admit a trial")
+	}
+	if tripped, _ := b.Record(false, true); !tripped {
+		t.Fatal("a failed trial should re-trip")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("failed trial should reopen the breaker")
+	}
+	// And the cool-down restarts from now.
+	clk.Advance(time.Second / 2)
+	if b.State() != BreakerOpen {
+		t.Fatal("cool-down should have restarted at the failed trial")
+	}
+}
+
+func TestBreakerForcedSuccessWhileOpenHeals(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Record(false, false)
+	}
+	// A fail-static forced request succeeded against the open breaker:
+	// recovery was observed, so start probing without waiting out the
+	// cool-down.
+	b.Record(true, false)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("success while open should promote to half-open, got %v", b.State())
+	}
+	if _, closed := b.Record(true, false); !closed {
+		t.Fatal("second success should close (CloseAfter=2, first counted while open)")
+	}
+}
+
+func TestBreakerReleaseTrial(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Record(false, false)
+	}
+	clk.Advance(time.Second)
+	if ok, trial := b.Allow(); !ok || !trial {
+		t.Fatal("expected trial admission")
+	}
+	// The trial was cancelled through no fault of the replica (lost a
+	// hedge race): the slot frees without an outcome.
+	b.ReleaseTrial()
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("releasing a trial must not change state")
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("released slot should re-admit")
+	}
+}
+
+func TestRatioBudget(t *testing.T) {
+	b := newRatioBudget(0.5, 2)
+	// Starts full at burst.
+	if !b.Take() || !b.Take() {
+		t.Fatal("budget should start with burst tokens")
+	}
+	if b.Take() {
+		t.Fatal("empty budget must refuse")
+	}
+	b.Deposit() // +0.5
+	if b.Take() {
+		t.Fatal("half a token is not a token")
+	}
+	b.Deposit() // 1.0
+	if !b.Take() {
+		t.Fatal("two deposits at ratio 0.5 should fund one withdrawal")
+	}
+	for i := 0; i < 100; i++ {
+		b.Deposit()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("deposits must cap at burst: %v", got)
+	}
+}

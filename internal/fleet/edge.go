@@ -68,6 +68,10 @@ type Edge struct {
 	Obs *obs.FleetMetrics
 	// Logger receives server-side error detail; nil uses the default.
 	Logger *log.Logger
+	// Now is the clock used for staleness decisions; nil means time.Now.
+	// A test seam: the stale-while-revalidate boundary is exact, so
+	// tests pin the clock instead of racing it.
+	Now func() time.Time
 
 	mu     sync.Mutex
 	cache  map[string]*edgeEntry
@@ -97,6 +101,13 @@ func NewEdge(c Cluster) *Edge {
 		RequestTimeout: 10 * time.Second,
 		Health:         dynamic.NewHealth(),
 	}
+}
+
+func (e *Edge) now() time.Time {
+	if e.Now != nil {
+		return e.Now()
+	}
+	return time.Now()
 }
 
 func (e *Edge) logf(format string, args ...any) {
@@ -349,7 +360,7 @@ func (e *Edge) servePage(w http.ResponseWriter, r *http.Request, key string, ref
 		if e.Obs != nil {
 			e.Obs.CacheHits.Inc()
 		}
-	case ent != nil && !conditional && e.StaleFor > 0 && time.Since(e.Cluster.LastSwap()) <= e.StaleFor:
+	case ent != nil && !conditional && e.StaleFor > 0 && e.now().Sub(e.Cluster.LastSwap()) <= e.StaleFor:
 		if e.Obs != nil {
 			e.Obs.StaleServed.Inc()
 		}
@@ -424,7 +435,7 @@ func (e *Edge) failRequest(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.As(err, &down):
 		e.logf("fleet: %s: %v", r.URL.Path, err)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterSeconds(down.RetryAfter))
 		http.Error(w, "shard unavailable, retry shortly", http.StatusServiceUnavailable)
 	case errors.Is(err, context.DeadlineExceeded):
 		e.logf("fleet: %s: request deadline exceeded: %v", r.URL.Path, err)
@@ -435,6 +446,17 @@ func (e *Edge) failRequest(w http.ResponseWriter, r *http.Request, err error) {
 		e.logf("fleet: %s: internal error: %v", r.URL.Path, err)
 		http.Error(w, "internal server error", http.StatusInternalServerError)
 	}
+}
+
+// retryAfterSeconds formats a recovery hint as a Retry-After header
+// value: whole seconds, rounded up, at least 1 (clients treat 0 as
+// "retry immediately", which defeats the point of the hint).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
 }
 
 // CacheSize returns the number of cached pages (for /healthz and

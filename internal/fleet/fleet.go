@@ -34,6 +34,10 @@ type Config struct {
 	// Lookahead turns on link-following precomputation in every
 	// replica's evaluator, like dynamic.Evaluator.Lookahead.
 	Lookahead bool
+	// Gray tunes the gray-failure tolerance layer (health-checked
+	// routing, hedged requests, circuit breakers, retry budgets). The
+	// zero value takes every default.
+	Gray GrayConfig
 	// Obs receives fleet-level counters; ServeObs is threaded into every
 	// replica's evaluator (cache hits, queries run). Both nil-safe.
 	Obs      *obs.FleetMetrics
@@ -45,8 +49,14 @@ type Config struct {
 var ErrReplicaDown = errors.New("fleet: replica down")
 
 // ErrShardDown marks a page request whose owning shard had no live
-// replica left; the edge degrades to 503 + Retry-After.
-type ErrShardDown struct{ Shard int }
+// replica left; the edge degrades to 503 + Retry-After. RetryAfter is
+// the serving tier's recovery estimate: the backend's own Retry-After
+// hint when one was offered, otherwise the soonest any of the shard's
+// circuit breakers re-admits trials.
+type ErrShardDown struct {
+	Shard      int
+	RetryAfter time.Duration
+}
 
 func (e ErrShardDown) Error() string {
 	return fmt.Sprintf("fleet: shard %d has no live replica", e.Shard)
@@ -144,9 +154,10 @@ type Fleet struct {
 	ring *Ring
 	// grid[shard][replica]
 	grid [][]*Replica
-	// rr is a per-shard rotation counter spreading fetches over
-	// replicas.
-	rr []atomic.Uint32
+	// gray is the gray-failure tolerance state: per-replica health and
+	// breakers, hedge/retry budgets, latency tracking, and the
+	// rotation counters routing starts from.
+	gray *grayState
 
 	gen   atomic.Int64
 	start time.Time
@@ -187,7 +198,7 @@ func New(cfg Config, src struql.Source) (*Fleet, error) {
 		cfg:      cfg,
 		ring:     NewRing(cfg.Shards),
 		grid:     make([][]*Replica, cfg.Shards),
-		rr:       make([]atomic.Uint32, cfg.Shards),
+		gray:     newGrayState(cfg.Gray, uniformCounts(cfg.Shards, cfg.Replicas), cfg.Obs),
 		start:    time.Now(),
 		genTimes: map[int64]time.Time{},
 	}
@@ -292,12 +303,13 @@ func (f *Fleet) EntryPoints() []dynamic.PageRef {
 	return f.grid[0][0].ev.EntryPoints()
 }
 
-// Fetch renders a page on the owning shard, failing over across its
-// replicas: the starting replica rotates per request, a down (or
-// dying-mid-render) replica sends the request to the next, and only
-// when every replica has refused does the shard count as down. Page
-// evaluation errors are NOT failed over — they are deterministic
-// functions of the data, so a sibling would fail identically.
+// Fetch renders a page on the owning shard through the gray-failure
+// policy: health-ordered replica selection, tail-latency hedging, and
+// budget-bounded failover (see hedge.go). A down (or dying-mid-render)
+// replica sends the request to the next; only when every replica has
+// refused does the shard count as down. Page evaluation errors are NOT
+// failed over — they are deterministic functions of the data, so a
+// sibling would fail identically.
 func (f *Fleet) Fetch(ctx context.Context, shard int, key string, ref dynamic.PageRef) (string, int64, error) {
 	if shard < 0 || shard >= len(f.grid) {
 		return "", 0, fmt.Errorf("fleet: no such shard %d", shard)
@@ -305,34 +317,31 @@ func (f *Fleet) Fetch(ctx context.Context, shard int, key string, ref dynamic.Pa
 	if m := f.cfg.Obs; m != nil {
 		m.ShardFetches.Inc()
 	}
-	reps := f.grid[shard]
-	start := int(f.rr[shard].Add(1))
-	var lastErr error
-	for i := 0; i < len(reps); i++ {
-		rep := reps[(start+i)%len(reps)]
-		body, gen, err := rep.Render(ctx, ref)
-		if err == nil {
-			return body, gen, nil
-		}
-		if ctx.Err() != nil {
-			return "", 0, fmt.Errorf("fleet: shard %d: %w", shard, ctx.Err())
-		}
-		if errors.Is(err, ErrReplicaDown) {
-			lastErr = err
-			if m := f.cfg.Obs; m != nil && i < len(reps)-1 {
-				m.Failovers.Inc()
-			}
-			continue
-		}
-		return "", gen, err
+	return f.gray.fetch(ctx, shard, func(ctx context.Context, idx int) (string, int64, error) {
+		return f.grid[shard][idx].Render(ctx, ref)
+	})
+}
+
+// Health returns one replica's health account (tests, drills).
+func (f *Fleet) Health(shard, i int) *ReplicaHealth { return f.gray.Health(shard, i) }
+
+// HealthSnapshot exposes the gray layer's per-replica states and
+// derived signals for /debug/vars (the "fleet_health" group).
+func (f *Fleet) HealthSnapshot() map[string]any { return f.gray.Snapshot() }
+
+// StartHealthChecks launches the active prober: every replica renders
+// the site's first entry point each Gray.ProbeInterval, bounded by
+// Gray.ProbeTimeout, feeding its breaker. Probing stops when ctx ends.
+func (f *Fleet) StartHealthChecks(ctx context.Context) {
+	entries := f.EntryPoints()
+	if len(entries) == 0 {
+		return
 	}
-	if errors.Is(lastErr, ErrReplicaDown) {
-		if m := f.cfg.Obs; m != nil {
-			m.ShardDown.Inc()
-		}
-		return "", 0, ErrShardDown{Shard: shard}
-	}
-	return "", 0, lastErr
+	probe := entries[0]
+	f.gray.startProbes(ctx, func(ctx context.Context, shard, idx int) error {
+		_, _, err := f.grid[shard][idx].Render(ctx, probe)
+		return err
+	})
 }
 
 // SwapData implements dynamic.Swapper: it re-replicates the new

@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"strudel/internal/faultnet"
+	"strudel/internal/htmlgen"
+	"strudel/internal/obs"
+	"strudel/internal/repo"
+)
+
+// grayFleet builds a fleet with a metrics sink and a gray config tuned
+// for fast tests.
+func grayFleet(t testing.TB, seed uint64, shards, replicas int, m *obs.FleetMetrics, gray GrayConfig) *Fleet {
+	t.Helper()
+	s := buildSchema(t)
+	f, err := New(Config{Schema: s, Shards: shards, Replicas: replicas, Obs: m, Gray: gray},
+		repo.NewIndexed(genSiteData(seed)))
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	return f
+}
+
+func TestReplicaServerIntegrityHeaders(t *testing.T) {
+	f := grayFleet(t, 3, 1, 1, nil, GrayConfig{})
+	rts := httptest.NewServer(ReplicaHandler(f.Replica(0, 0)))
+	defer rts.Close()
+
+	ref := f.EntryPoints()[0]
+	resp, err := rts.Client().Get(rts.URL + "/page/" + urlEscapeKey(EncodeRef(ref)))
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get(genHeader) == "" {
+		t.Fatal("generation header missing")
+	}
+	if got, want := resp.Header.Get(bodyHashHeader), htmlgen.PageHash(body); got != want {
+		t.Fatalf("body hash header %q, want %q", got, want)
+	}
+}
+
+func TestReplicaServerRetryAfterHint(t *testing.T) {
+	f := grayFleet(t, 3, 1, 1, nil, GrayConfig{})
+	srv := &ReplicaServer{Replica: f.Replica(0, 0), RetryAfter: 7 * time.Second}
+	rts := httptest.NewServer(srv.Handler())
+	defer rts.Close()
+
+	f.Replica(0, 0).Kill()
+	ref := f.EntryPoints()[0]
+	resp, err := rts.Client().Get(rts.URL + "/page/" + urlEscapeKey(EncodeRef(ref)))
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want \"7\"", got)
+	}
+}
+
+func TestHTTPClusterPropagatesDeadlineHeader(t *testing.T) {
+	f := grayFleet(t, 3, 1, 1, nil, GrayConfig{})
+	gotMs := make(chan string, 1)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case gotMs <- r.Header.Get(deadlineHeader):
+		default:
+		}
+		io.WriteString(w, "<html>ok</html>")
+	}))
+	defer backend.Close()
+
+	c := NewHTTPCluster(f, [][]string{{backend.URL}})
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	ref := f.EntryPoints()[0]
+	if _, _, err := c.Fetch(ctx, 0, EncodeRef(ref), ref); err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	hdr := <-gotMs
+	ms, err := strconv.ParseInt(hdr, 10, 64)
+	if err != nil {
+		t.Fatalf("deadline header %q not parseable: %v", hdr, err)
+	}
+	if ms <= 0 || ms > 3000 {
+		t.Fatalf("deadline header %dms, want within the request's 3s budget", ms)
+	}
+}
+
+func TestEdgeRetryAfterDerivedFromBackendHint(t *testing.T) {
+	var m obs.FleetMetrics
+	f := grayFleet(t, 5, 1, 2, &m, GrayConfig{DisableHedge: true})
+	urls := [][]string{nil}
+	for i := 0; i < 2; i++ {
+		srv := &ReplicaServer{Replica: f.Replica(0, i), RetryAfter: 7 * time.Second}
+		rts := httptest.NewServer(srv.Handler())
+		defer rts.Close()
+		urls[0] = append(urls[0], rts.URL)
+		f.Replica(0, i).Kill()
+	}
+	e := quiet(NewEdge(NewHTTPCluster(f, urls)))
+	ts := httptest.NewServer(e.Handler())
+	defer ts.Close()
+
+	status, hdr, _ := get(t, ts, PageURL(f.EntryPoints()[0]), nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", status)
+	}
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q: %v", hdr.Get("Retry-After"), err)
+	}
+	if secs < 7 {
+		t.Fatalf("Retry-After %ds, want at least the backend's 7s hint", secs)
+	}
+}
+
+func TestHTTPClusterChecksumFailover(t *testing.T) {
+	var m obs.FleetMetrics
+	f := grayFleet(t, 5, 1, 2, &m, GrayConfig{})
+	// Replica 0's responses are corrupted on the wire, every time;
+	// replica 1 is clean.
+	corrupt := httptest.NewServer(&faultnet.Proxy{
+		Inner: ReplicaHandler(f.Replica(0, 0)),
+		Sched: faultnet.Script{{CorruptAfter: 20, CorruptLen: 8}},
+	})
+	defer corrupt.Close()
+	clean := httptest.NewServer(ReplicaHandler(f.Replica(0, 1)))
+	defer clean.Close()
+
+	c := NewHTTPCluster(f, [][]string{{corrupt.URL, clean.URL}})
+	ref := f.EntryPoints()[0]
+	want, _, err := newReference(t, buildSchema(t), genSiteData(5)).RenderPageGen(context.Background(), ref)
+	if err != nil {
+		t.Fatalf("reference render: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		body, _, err := c.Fetch(context.Background(), 0, EncodeRef(ref), ref)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		if body != want {
+			t.Fatalf("fetch %d: corrupted bytes served", i)
+		}
+	}
+	if m.ChecksumFailures.Load() == 0 {
+		t.Fatal("the corrupt replica was never caught by the checksum")
+	}
+}
+
+// TestHTTPClusterStalledBodyFailsOver is the stalled-replica
+// regression: a backend that sends headers and part of the body, then
+// wedges, must not hold the fetch hostage — the attempt deadline (or a
+// hedge) moves the request to a sibling.
+func TestHTTPClusterStalledBodyFailsOver(t *testing.T) {
+	var m obs.FleetMetrics
+	f := grayFleet(t, 5, 1, 2, &m, GrayConfig{AttemptTimeout: 300 * time.Millisecond})
+	stalled := httptest.NewServer(&faultnet.Proxy{
+		Inner: ReplicaHandler(f.Replica(0, 0)),
+		Sched: faultnet.Script{{StallAfter: 30, Stall: 30 * time.Second}},
+	})
+	defer stalled.Close()
+	clean := httptest.NewServer(ReplicaHandler(f.Replica(0, 1)))
+	defer clean.Close()
+
+	c := NewHTTPCluster(f, [][]string{{stalled.URL, clean.URL}})
+	ref := f.EntryPoints()[0]
+	want, _, err := newReference(t, buildSchema(t), genSiteData(5)).RenderPageGen(context.Background(), ref)
+	if err != nil {
+		t.Fatalf("reference render: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		start := time.Now()
+		body, _, err := c.Fetch(context.Background(), 0, EncodeRef(ref), ref)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		if body != want {
+			t.Fatalf("fetch %d: wrong bytes", i)
+		}
+		if el := time.Since(start); el > 5*time.Second {
+			t.Fatalf("fetch %d took %v: the stall leaked past the attempt bound", i, el)
+		}
+	}
+}

@@ -51,6 +51,10 @@ type LoadGen struct {
 	// arrivals past the cap are counted as dropped, not sent. 0 means
 	// DefaultMaxInflight.
 	MaxInflight int
+	// AllowStatus lists non-200 statuses counted as allowed instead of
+	// errors — chaos drills expect 503s from a shard with every replica
+	// down and must not fail the run on them.
+	AllowStatus []int
 }
 
 // DefaultMaxPages bounds page discovery when MaxPages is 0.
@@ -65,6 +69,7 @@ type Report struct {
 	Requests     int64   `json:"requests"`
 	Dropped      int64   `json:"dropped"`
 	Errors       int64   `json:"errors"`
+	Allowed      int64   `json:"allowed"`
 	Mismatches   int64   `json:"mismatches"`
 	DurationSecs float64 `json:"duration_secs"`
 	Throughput   float64 `json:"throughput_rps"`
@@ -182,6 +187,7 @@ func (lg *LoadGen) Run(ctx context.Context) (Report, error) {
 		Requests:     rep.requests.Load(),
 		Dropped:      rep.dropped.Load(),
 		Errors:       rep.errors.Load(),
+		Allowed:      rep.allowed.Load(),
 		Mismatches:   rep.mismatches.Load(),
 		DurationSecs: lg.Duration.Seconds(),
 		MeanNanos:    rep.hist.Mean(),
@@ -201,6 +207,7 @@ type runStats struct {
 	requests   atomic.Int64
 	dropped    atomic.Int64
 	errors     atomic.Int64
+	allowed    atomic.Int64
 	mismatches atomic.Int64
 	hist       *obs.Histogram
 
@@ -222,6 +229,15 @@ func (s *runStats) statusCopy() map[string]int64 {
 		out[k] = v
 	}
 	return out
+}
+
+func (lg *LoadGen) statusAllowed(status int) bool {
+	for _, s := range lg.AllowStatus {
+		if s == status {
+			return true
+		}
+	}
+	return false
 }
 
 // drive fires open-loop arrivals for one window. When stats is nil the
@@ -281,7 +297,11 @@ func (lg *LoadGen) drive(ctx context.Context, pages []string, zipf *rand.Zipf, w
 				}
 				stats.count(status)
 				if status != http.StatusOK {
-					stats.errors.Add(1)
+					if lg.statusAllowed(status) {
+						stats.allowed.Add(1)
+					} else {
+						stats.errors.Add(1)
+					}
 					return
 				}
 				if lg.Verify != nil {

@@ -34,22 +34,57 @@ type FleetMetrics struct {
 	// generation bumps (one per applied hot reload).
 	Generation Gauge
 	Swaps      Counter
+	// Gray-failure tolerance. Hedges counts tail-latency hedge attempts
+	// launched after the quantile-tracked delay; HedgeWins hedges whose
+	// response was the one served; HedgeBudgetExhausted hedge timers
+	// that fired with an empty hedge budget; RetryBudgetExhausted
+	// failovers refused by the shared retry budget.
+	Hedges               Counter
+	HedgeWins            Counter
+	HedgeBudgetExhausted Counter
+	RetryBudgetExhausted Counter
+	// BreakerTrips counts circuit breakers tripping open (replica
+	// ejected); BreakerCloses breakers closing after successful trials
+	// (replica recovered); BreakerProbes half-open trial admissions.
+	BreakerTrips  Counter
+	BreakerCloses Counter
+	BreakerProbes Counter
+	// Probes counts active health-check renders; ProbeFailures the
+	// failed ones; SlowDemotions replicas newly demoted to suspect for
+	// a latency profile far above their siblings'.
+	Probes        Counter
+	ProbeFailures Counter
+	SlowDemotions Counter
+	// ChecksumFailures counts replica responses discarded (and failed
+	// over) because the body did not match its end-to-end checksum.
+	ChecksumFailures Counter
 }
 
 // Snapshot implements Snapshotter.
 func (m *FleetMetrics) Snapshot() map[string]any {
 	return map[string]any{
-		"edge_requests": m.EdgeRequests.Load(),
-		"edge_nanos":    histSnap(&m.EdgeNanos),
-		"cache_hits":    m.CacheHits.Load(),
-		"cache_misses":  m.CacheMisses.Load(),
-		"stale_served":  m.StaleServed.Load(),
-		"revalidations": m.Revalidations.Load(),
-		"not_modified":  m.NotModified.Load(),
-		"shard_fetches": m.ShardFetches.Load(),
-		"failovers":     m.Failovers.Load(),
-		"shard_down":    m.ShardDown.Load(),
-		"generation":    m.Generation.Load(),
-		"swaps":         m.Swaps.Load(),
+		"edge_requests":          m.EdgeRequests.Load(),
+		"edge_nanos":             histSnap(&m.EdgeNanos),
+		"cache_hits":             m.CacheHits.Load(),
+		"cache_misses":           m.CacheMisses.Load(),
+		"stale_served":           m.StaleServed.Load(),
+		"revalidations":          m.Revalidations.Load(),
+		"not_modified":           m.NotModified.Load(),
+		"shard_fetches":          m.ShardFetches.Load(),
+		"failovers":              m.Failovers.Load(),
+		"shard_down":             m.ShardDown.Load(),
+		"generation":             m.Generation.Load(),
+		"swaps":                  m.Swaps.Load(),
+		"hedges":                 m.Hedges.Load(),
+		"hedge_wins":             m.HedgeWins.Load(),
+		"hedge_budget_exhausted": m.HedgeBudgetExhausted.Load(),
+		"retry_budget_exhausted": m.RetryBudgetExhausted.Load(),
+		"breaker_trips":          m.BreakerTrips.Load(),
+		"breaker_closes":         m.BreakerCloses.Load(),
+		"breaker_probes":         m.BreakerProbes.Load(),
+		"health_probes":          m.Probes.Load(),
+		"probe_failures":         m.ProbeFailures.Load(),
+		"slow_demotions":         m.SlowDemotions.Load(),
+		"checksum_failures":      m.ChecksumFailures.Load(),
 	}
 }

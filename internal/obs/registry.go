@@ -25,6 +25,13 @@ type Snapshotter interface {
 	Snapshot() map[string]any
 }
 
+// SnapshotterFunc adapts a plain function to Snapshotter (e.g. the
+// fleet's live health-grid view).
+type SnapshotterFunc func() map[string]any
+
+// Snapshot implements Snapshotter.
+func (f SnapshotterFunc) Snapshot() map[string]any { return f() }
+
 // Registry groups named metric sets for export. It implements
 // expvar.Var (String returns JSON), so a process can publish one
 // registry under one expvar name and serve every layer's metrics from

@@ -1,0 +1,26 @@
+#!/bin/sh
+# chaos-serve: run the gray-failure serving drill — a 2x2 fleet served
+# over HTTP through the deterministic fault-injection proxy, with one
+# replica 200ms slow and another flapping, driven by the open-loop load
+# generator with every 200 body byte-checked against the reference
+# evaluator. The drill asserts zero mismatches, zero non-503 errors, a
+# bounded p99, and that hedges/breakers/probes visibly engaged.
+#
+# The plain run writes its report (baseline + gray reports, fleet
+# metrics, final health grid) to $CHAOS_SERVE_OUT, default
+# chaos_serve_report.json; the second run repeats the drill under the
+# race detector.
+set -eu
+
+out=${CHAOS_SERVE_OUT:-chaos_serve_report.json}
+# go test runs with the package directory as its working directory, so a
+# relative report path must be anchored here first.
+case "$out" in
+/*) ;;
+*) out="$(pwd)/$out" ;;
+esac
+
+CHAOS_SERVE_OUT="$out" go test -count=1 -run '^TestGrayFailureDrill$' -v ./internal/fleet
+CHAOS_SERVE_OUT="" go test -count=1 -race -run '^TestGrayFailureDrill$' ./internal/fleet
+
+echo "chaos-serve: OK (report at $out)"

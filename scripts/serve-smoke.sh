@@ -150,6 +150,14 @@ for key in '"fleet"' '"edge_requests"' '"not_modified"' '"generation"' '"swaps"'
         exit 1
     }
 done
+# The live health grid: one state entry per replica of the 2x2 fleet.
+for key in '"fleet_health"' '"shard0_replica0"' '"shard1_replica1"'; do
+    grep -q "$key" "$workdir/vars.json" || {
+        echo "serve-smoke: /debug/vars missing health-grid key $key:" >&2
+        cat "$workdir/vars.json" >&2
+        exit 1
+    }
+done
 curl -fsS "http://$debugaddr/debug/pprof/" | grep -qi "profile" || {
     echo "serve-smoke: debug listener did not serve pprof index" >&2
     exit 1
