@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check serve-smoke fuzz-smoke chaos-smoke chaos-serve soak-smoke loadgen-smoke bench-serve clean
+.PHONY: all build test race vet bench check serve-smoke query-smoke fuzz-smoke chaos-smoke chaos-serve soak-smoke loadgen-smoke bench-serve bench-query clean
 
 all: build
 
@@ -26,6 +26,12 @@ bench:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
+# query-smoke drives the query API on the real binary end to end:
+# schema introspection, a query, cursor pagination, EXPLAIN, a guard
+# trip, and the queryapi metrics group on /debug/vars.
+query-smoke:
+	sh scripts/query_smoke.sh
+
 # fuzz-smoke runs every fuzz target briefly. Go allows one -fuzz pattern
 # per invocation, so the targets run one at a time; each starts from the
 # checked-in seed corpus under its package's testdata/fuzz.
@@ -41,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBinary$$' -fuzztime=$(FUZZTIME) ./internal/repo
 	$(GO) test -run='^$$' -fuzz='^FuzzLoadLenient$$' -fuzztime=$(FUZZTIME) ./internal/wrapper/csvrel
 	$(GO) test -run='^$$' -fuzz='^FuzzLoadLenient$$' -fuzztime=$(FUZZTIME) ./internal/wrapper/jsonwrap
+	$(GO) test -run='^$$' -fuzz='^FuzzQueryEndpoint$$' -fuzztime=$(FUZZTIME) ./internal/queryapi
 
 # chaos-smoke drives the fault-injection suite: filesystem faults at
 # every publish step across all example sites and parallelism settings,
@@ -79,6 +86,11 @@ loadgen-smoke:
 # counts and writes BENCH_serve.json (throughput + latency percentiles).
 bench-serve:
 	sh scripts/bench_serve.sh
+
+# bench-query measures the query API against page serving on the same
+# fleet (E17) and writes BENCH_query.json.
+bench-query:
+	sh scripts/bench_query.sh
 
 # check is what CI runs.
 check: vet race

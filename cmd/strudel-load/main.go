@@ -10,14 +10,19 @@
 //	             [-warmup 2s] [-zipf-s 1.1] [-zipf-v 1] [-pages 4096]
 //	             [-inflight 1024] [-seed 1] [-out report.json]
 //	             [-allow-status 503] [-max-p99 0]
+//	             [-query-file queries.txt] [-query-page-size 100]
 //
 // Open-loop means arrivals do not wait for responses: a server that
 // falls behind faces a growing backlog, as it would under real traffic.
 // -allow-status lists response codes tolerated during fault drills
 // (counted separately, not as errors); -max-p99 turns the run into a
-// tail-latency assertion. Exit codes: 0 on a clean run, 1 on
-// configuration or transport failure, 3 if the run completed but
-// recorded request errors or blew the -max-p99 bound.
+// tail-latency assertion. -query-file switches the driver from page
+// GETs to query-API POSTs: each line is one StruQL where clause
+// (blank lines and # comments skipped), fired at /query with the same
+// zipfian popularity pages get — the basis of the queries/sec vs
+// pages/sec comparison in BENCH_query.json. Exit codes: 0 on a clean
+// run, 1 on configuration or transport failure, 3 if the run completed
+// but recorded request errors or blew the -max-p99 bound.
 package main
 
 import (
@@ -54,10 +59,17 @@ func main() {
 		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
 		allow    = flag.String("allow-status", "", "comma-separated status codes tolerated (counted as allowed, not errors)")
 		maxP99   = flag.Duration("max-p99", 0, "fail (exit 3) if the measured p99 exceeds this bound (0 disables)")
+		qfile    = flag.String("query-file", "", "file of StruQL where clauses (one per line); switches the driver to /query POSTs")
+		qpage    = flag.Int("query-page-size", 0, "page_size sent with each /query request (0 = server default)")
 	)
 	flag.Parse()
 
 	allowed, err := parseStatusList(*allow)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-load:", err)
+		os.Exit(exitError)
+	}
+	queries, err := readQueryFile(*qfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "strudel-load:", err)
 		os.Exit(exitError)
@@ -67,16 +79,18 @@ func main() {
 	defer stop()
 
 	lg := &fleet.LoadGen{
-		BaseURL:     *url,
-		Rate:        *rate,
-		Duration:    *duration,
-		Warmup:      *warmup,
-		ZipfS:       *zipfS,
-		ZipfV:       *zipfV,
-		MaxPages:    *pages,
-		MaxInflight: *inflight,
-		Seed:        *seed,
-		AllowStatus: allowed,
+		BaseURL:       *url,
+		Rate:          *rate,
+		Duration:      *duration,
+		Warmup:        *warmup,
+		ZipfS:         *zipfS,
+		ZipfV:         *zipfV,
+		MaxPages:      *pages,
+		MaxInflight:   *inflight,
+		Seed:          *seed,
+		AllowStatus:   allowed,
+		Queries:       queries,
+		QueryPageSize: *qpage,
 	}
 	rep, err := lg.Run(ctx)
 	if err != nil {
@@ -112,6 +126,30 @@ func main() {
 		code = exitErrors
 	}
 	os.Exit(code)
+}
+
+// readQueryFile loads -query-file: one StruQL where clause per line,
+// blank lines and # comments skipped. Empty path means page mode.
+func readQueryFile(path string) ([]string, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("-query-file: %w", err)
+	}
+	var queries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		queries = append(queries, line)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("-query-file: %s holds no queries", path)
+	}
+	return queries, nil
 }
 
 // parseStatusList turns "503,429" into status codes for -allow-status.

@@ -13,7 +13,8 @@
 //	              [-hedge] [-hedge-min-delay 2ms] [-hedge-max-delay 500ms]
 //	              [-hedge-ratio 0.1] [-retry-ratio 0.2] [-attempt-timeout 0]
 //	              [-probe-interval 250ms] [-breaker-failures 5]
-//	              [-breaker-open-for 500ms]
+//	              [-breaker-open-for 500ms] [-query-api]
+//	              [-query-max-rows 100000] [-query-timeout 5s]
 //
 // Templates are keyed by Skolem function name (Fn=...).
 //
@@ -49,6 +50,7 @@ import (
 	"strudel/internal/fleet"
 	"strudel/internal/graph"
 	"strudel/internal/obs"
+	"strudel/internal/queryapi"
 	"strudel/internal/schema"
 	"strudel/internal/struql"
 	"strudel/internal/template"
@@ -89,6 +91,13 @@ type config struct {
 	probeInterval                  time.Duration
 	breakerFailures                int
 	breakerOpenFor                 time.Duration
+	queryAPI                       bool
+	queryMaxRows                   int
+	queryMaxNFAStates              int
+	queryTimeout                   time.Duration
+	queryPageSize                  int
+	queryMaxPageSize               int
+	queryMaxInflight               int
 }
 
 func main() {
@@ -117,6 +126,13 @@ func main() {
 	flag.DurationVar(&cfg.probeInterval, "probe-interval", 250*time.Millisecond, "active replica health-check period (0 disables probing)")
 	flag.IntVar(&cfg.breakerFailures, "breaker-failures", 5, "consecutive replica failures that trip its circuit breaker")
 	flag.DurationVar(&cfg.breakerOpenFor, "breaker-open-for", 500*time.Millisecond, "breaker cool-down before half-open trials")
+	flag.BoolVar(&cfg.queryAPI, "query-api", true, "serve the StruQL query API (/query, /query/explain, /schema/*)")
+	flag.IntVar(&cfg.queryMaxRows, "query-max-rows", 100000, "row guard ceiling per query (requests may only tighten it)")
+	flag.IntVar(&cfg.queryMaxNFAStates, "query-max-nfa-states", 1<<20, "path-automaton state guard per query start node")
+	flag.DurationVar(&cfg.queryTimeout, "query-timeout", 5*time.Second, "evaluation deadline ceiling per query")
+	flag.IntVar(&cfg.queryPageSize, "query-page-size", 100, "default rows per /query page")
+	flag.IntVar(&cfg.queryMaxPageSize, "query-max-page-size", 10000, "ceiling on per-request page_size")
+	flag.IntVar(&cfg.queryMaxInflight, "query-max-inflight", 64, "max concurrent query requests before shedding with 503 (negative = unlimited)")
 	flag.Parse()
 	cfg.dataFiles, cfg.bibFiles, cfg.templates = dataFiles, bibFiles, templates
 
@@ -135,6 +151,7 @@ func run(cfg config) int {
 	metrics := &obs.ServeMetrics{}
 	ivmMetrics := &obs.IVMMetrics{}
 	fleetMetrics := &obs.FleetMetrics{}
+	queryMetrics := &obs.QueryMetrics{}
 	if rl != nil {
 		rl.Obs = metrics
 		rl.IVM = ivmMetrics
@@ -214,7 +231,7 @@ func run(cfg config) int {
 			return exitListen
 		}
 		dhs := &http.Server{
-			Handler:           debugMux(metrics, ivmMetrics, fleetMetrics, fl.HealthSnapshot),
+			Handler:           debugMux(metrics, ivmMetrics, fleetMetrics, queryMetrics, fl.HealthSnapshot),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
@@ -230,8 +247,35 @@ func run(cfg config) int {
 		go rl.Run(ctx)
 	}
 
+	// The production mux: the query API owns /query, /query/explain, and
+	// /schema/*; the page edge serves everything else. Both route through
+	// the same fleet, so queries and pages share generation snapshots,
+	// replica health, and hot reloads.
+	handler := edge.Handler()
+	if cfg.queryAPI {
+		qsvc := &queryapi.Service{
+			Backend: fl,
+			Limits: queryapi.Limits{
+				MaxRows:         cfg.queryMaxRows,
+				MaxNFAStates:    cfg.queryMaxNFAStates,
+				Timeout:         cfg.queryTimeout,
+				DefaultPageSize: cfg.queryPageSize,
+				MaxPageSize:     cfg.queryMaxPageSize,
+			},
+			Obs:         queryMetrics,
+			MaxInflight: cfg.queryMaxInflight,
+		}
+		qh := qsvc.Handler()
+		root := http.NewServeMux()
+		root.Handle("/query", qh)
+		root.Handle("/query/", qh)
+		root.Handle("/schema/", qh)
+		root.Handle("/", handler)
+		handler = root
+	}
+
 	hs := &http.Server{
-		Handler:           edge.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      cfg.requestTimeout + 15*time.Second,
@@ -271,11 +315,12 @@ func run(cfg config) int {
 // registry under /debug/vars (published into expvar as "strudel") and
 // the pprof handlers wired explicitly, so nothing depends on
 // http.DefaultServeMux — the production listener never serves these.
-func debugMux(metrics *obs.ServeMetrics, ivmMetrics *obs.IVMMetrics, fleetMetrics *obs.FleetMetrics, health func() map[string]any) http.Handler {
+func debugMux(metrics *obs.ServeMetrics, ivmMetrics *obs.IVMMetrics, fleetMetrics *obs.FleetMetrics, queryMetrics *obs.QueryMetrics, health func() map[string]any) http.Handler {
 	reg := obs.NewRegistry()
 	reg.Register("serve", metrics)
 	reg.Register("ivm", ivmMetrics)
 	reg.Register("fleet", fleetMetrics)
+	reg.Register("queryapi", queryMetrics)
 	reg.Register("fleet_health", obs.SnapshotterFunc(health))
 	expvar.Publish("strudel", reg)
 	mux := http.NewServeMux()

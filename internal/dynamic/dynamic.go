@@ -163,6 +163,16 @@ func (ev *Evaluator) Source() struql.Source { return ev.snapshot().src }
 // was computed entirely against that generation's data.
 func (ev *Evaluator) Generation() int64 { return ev.snapshot().gen }
 
+// SourceGen returns the data source and its generation from one atomic
+// snapshot: a query evaluated against the returned source is a pure
+// function of the returned generation. Calling Source and Generation
+// separately can straddle a swap; cursor-resumable query evaluation
+// needs the pair to be consistent.
+func (ev *Evaluator) SourceGen() (struql.Source, int64) {
+	st := ev.snapshot()
+	return st.src, st.gen
+}
+
 // SwapData atomically replaces the data source. Cached pages whose edge
 // queries are unaffected by the delta carry over (the same soundness
 // argument as Invalidate); affected ones are dropped. A nil delta means

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -55,6 +56,16 @@ type LoadGen struct {
 	// errors — chaos drills expect 503s from a shard with every replica
 	// down and must not fail the run on them.
 	AllowStatus []int
+	// Queries switches the generator from page GETs to query POSTs:
+	// when non-empty, page discovery is skipped and each arrival POSTs
+	// one of these StruQL where clauses to /query (zipf-weighted, like
+	// pages), measuring the query API under the same open-loop arrivals
+	// as page serving — that symmetry is what makes the queries/sec vs
+	// pages/sec comparison in BENCH_query.json meaningful.
+	Queries []string
+	// QueryPageSize is the page_size sent with each query request
+	// (0 = server default).
+	QueryPageSize int
 }
 
 // DefaultMaxPages bounds page discovery when MaxPages is 0.
@@ -152,15 +163,49 @@ func (lg *LoadGen) get(ctx context.Context, client *http.Client, path string) (s
 	return string(b), resp.StatusCode, nil
 }
 
-// Run discovers the page set, applies warmup, then drives the measured
-// open-loop window and returns the report.
+// fetch performs one arrival: a page GET, or — in query mode — a POST
+// of the chosen where clause to /query.
+func (lg *LoadGen) fetch(ctx context.Context, client *http.Client, item string) (string, int, error) {
+	if len(lg.Queries) == 0 {
+		return lg.get(ctx, client, item)
+	}
+	env, err := json.Marshal(struct {
+		Query    string `json:"query"`
+		PageSize int    `json:"page_size,omitempty"`
+	}{Query: item, PageSize: lg.QueryPageSize})
+	if err != nil {
+		return "", 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, lg.BaseURL+"/query", bytes.NewReader(env))
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", resp.StatusCode, err
+	}
+	return string(b), resp.StatusCode, nil
+}
+
+// Run discovers the page set (or takes the query list), applies warmup,
+// then drives the measured open-loop window and returns the report.
 func (lg *LoadGen) Run(ctx context.Context) (Report, error) {
 	if lg.Rate <= 0 {
 		return Report{}, fmt.Errorf("loadgen: rate must be > 0")
 	}
-	pages, err := lg.Discover(ctx)
-	if err != nil {
-		return Report{}, err
+	pages := lg.Queries
+	if len(pages) == 0 {
+		var err error
+		pages, err = lg.Discover(ctx)
+		if err != nil {
+			return Report{}, err
+		}
 	}
 	if len(pages) == 0 {
 		return Report{}, fmt.Errorf("loadgen: no pages discovered")
@@ -284,7 +329,7 @@ func (lg *LoadGen) drive(ctx context.Context, pages []string, zipf *rand.Zipf, w
 				defer wg.Done()
 				defer func() { <-sem }()
 				start := time.Now()
-				body, status, err := lg.get(ctx, client, path)
+				body, status, err := lg.fetch(ctx, client, path)
 				elapsed := time.Since(start)
 				if stats == nil {
 					return

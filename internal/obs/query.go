@@ -1,0 +1,75 @@
+package obs
+
+// QueryMetrics instruments the query API: the /query evaluation path
+// (requests, evaluations, streamed rows, pages, cursor resumes, the
+// per-gen result cache), introspection endpoints, and the error
+// taxonomy — each typed error class gets its own counter so guard-trip
+// tests and dashboards can assert exact increments over /debug/vars.
+// Nil-safe like every sink in this package.
+type QueryMetrics struct {
+	// Requests counts every request reaching the query API mux;
+	// QueryNanos is the end-to-end latency distribution of /query.
+	Requests   Counter
+	QueryNanos Histogram
+	// Evals counts cold evaluations dispatched to the fleet (cache
+	// misses); RowsStreamed rows written to clients; PagesServed
+	// successful /query responses; CursorResumes requests carrying a
+	// cursor; ResultCacheHits/Misses the per-generation result cache;
+	// NotModified conditional requests answered 304.
+	Evals             Counter
+	RowsStreamed      Counter
+	PagesServed       Counter
+	CursorResumes     Counter
+	ResultCacheHits   Counter
+	ResultCacheMisses Counter
+	NotModified       Counter
+	// The error taxonomy (docs/QUERYAPI.md): ParseErrors 400s from
+	// StruQL syntax/analysis; BadRequests malformed envelopes or
+	// selectors; BadCursors undecodable or mismatched cursors;
+	// GenerationMismatches cursor resumes pinned to an evicted
+	// generation (410); GuardRowTrips/GuardNFATrips row and NFA-state
+	// guard trips (422); GuardDeadlineTrips evaluation deadlines (504);
+	// Shed requests refused at the inflight gate (503); Unavailable
+	// shard-down refusals (503); Panics recovered handler panics (500).
+	Panics               Counter
+	ParseErrors          Counter
+	BadRequests          Counter
+	BadCursors           Counter
+	GenerationMismatches Counter
+	GuardRowTrips        Counter
+	GuardNFATrips        Counter
+	GuardDeadlineTrips   Counter
+	Shed                 Counter
+	Unavailable          Counter
+	// Introspection: Explains counts /query/explain plans rendered;
+	// SchemaRequests the /schema/* endpoints.
+	Explains       Counter
+	SchemaRequests Counter
+}
+
+// Snapshot implements Snapshotter.
+func (m *QueryMetrics) Snapshot() map[string]any {
+	return map[string]any{
+		"requests":              m.Requests.Load(),
+		"query_nanos":           histSnap(&m.QueryNanos),
+		"evals":                 m.Evals.Load(),
+		"rows_streamed":         m.RowsStreamed.Load(),
+		"pages_served":          m.PagesServed.Load(),
+		"cursor_resumes":        m.CursorResumes.Load(),
+		"result_cache_hits":     m.ResultCacheHits.Load(),
+		"result_cache_misses":   m.ResultCacheMisses.Load(),
+		"not_modified":          m.NotModified.Load(),
+		"panics":                m.Panics.Load(),
+		"parse_errors":          m.ParseErrors.Load(),
+		"bad_requests":          m.BadRequests.Load(),
+		"bad_cursors":           m.BadCursors.Load(),
+		"generation_mismatches": m.GenerationMismatches.Load(),
+		"guard_rows_trips":      m.GuardRowTrips.Load(),
+		"guard_nfa_trips":       m.GuardNFATrips.Load(),
+		"guard_deadline_trips":  m.GuardDeadlineTrips.Load(),
+		"shed":                  m.Shed.Load(),
+		"unavailable":           m.Unavailable.Load(),
+		"explains":              m.Explains.Load(),
+		"schema_requests":       m.SchemaRequests.Load(),
+	}
+}

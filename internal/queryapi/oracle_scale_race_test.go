@@ -1,0 +1,11 @@
+//go:build race
+
+package queryapi
+
+// Reduced oracle sizes under the race detector; see
+// oracle_scale_test.go for the full-size constants and what each
+// controls.
+const (
+	httpOraclePairs  = 150
+	httpRacedQueries = 60
+)

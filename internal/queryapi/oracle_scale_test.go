@@ -1,0 +1,18 @@
+//go:build !race
+
+package queryapi
+
+// Oracle sizes for normal builds. The race detector slows evaluation by
+// an order of magnitude, so the race build (oracle_scale_race_test.go)
+// runs a reduced but still adversarial subset.
+const (
+	// httpOraclePairs is the number of randomized (graph, query) pairs
+	// fired at the HTTP endpoint per fleet configuration. Two
+	// configurations run, and every pair is queried twice (cold and
+	// cache-warm), so the full oracle covers 2 * 2 * httpOraclePairs
+	// HTTP evaluations.
+	httpOraclePairs = 1250
+	// httpRacedQueries is the number of queries the concurrent oracle
+	// fires from racing clients.
+	httpRacedQueries = 300
+)

@@ -1,0 +1,48 @@
+package queryapi
+
+import (
+	"context"
+	"sync"
+
+	"strudel/internal/struql"
+)
+
+// Single is a one-replica Backend over a bare source: no sharding, no
+// failover, just the generation-snapshot discipline. It backs tests,
+// fuzzing, and embedded (in-process) use of the query service without
+// constructing a fleet.
+type Single struct {
+	mu  sync.Mutex
+	src struql.Source
+	gen int64
+}
+
+// NewSingle wraps a source at generation 0.
+func NewSingle(src struql.Source) *Single { return &Single{src: src} }
+
+// Swap replaces the source and bumps the generation, mimicking a hot
+// reload.
+func (s *Single) Swap(src struql.Source) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src = src
+	s.gen++
+	return s.gen
+}
+
+// Generation implements Backend.
+func (s *Single) Generation() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// EvalOn implements Backend: one atomic (source, generation) snapshot,
+// then the closure.
+func (s *Single) EvalOn(ctx context.Context, key string, fn func(ctx context.Context, src struql.Source, gen int64) (string, error)) (string, int64, error) {
+	s.mu.Lock()
+	src, gen := s.src, s.gen
+	s.mu.Unlock()
+	out, err := fn(ctx, src, gen)
+	return out, gen, err
+}

@@ -1,13 +1,12 @@
 package struql
 
 import (
-	"fmt"
 	"runtime"
-	"strings"
 	"testing"
 	"time"
 
 	"strudel/internal/graph"
+	"strudel/internal/qgen"
 	"strudel/internal/repo"
 )
 
@@ -17,188 +16,14 @@ import (
 // naive reference evaluator agree byte-for-byte on every generated
 // (graph, query) pair. Seeds are plain integers so any divergence report
 // is reproducible with `go test -run TestDifferentialOracle`.
+//
+// The generators themselves live in internal/qgen (extracted so the
+// HTTP query oracle and load drivers share the exact same corpus);
+// these aliases keep the historical names the tests below reference.
 
-// oracleRand is a small deterministic generator (64-bit LCG, high bits),
-// self-contained so the corpus never shifts under math/rand changes.
-type oracleRand struct{ s uint64 }
+func genGraph(seed uint64) *graph.Graph { return qgen.Graph(seed) }
 
-func newOracleRand(seed uint64) *oracleRand {
-	return &oracleRand{s: seed*2654435761 + 0x9e3779b97f4a7c15}
-}
-
-func (r *oracleRand) n(k int) int {
-	r.s = r.s*6364136223846793005 + 1442695040888963407
-	return int((r.s >> 33) % uint64(k))
-}
-
-func (r *oracleRand) pick(ss ...string) string { return ss[r.n(len(ss))] }
-
-// genGraph builds a seeded random data graph with deliberately skewed
-// label selectivities — "id" is unique per node, "tag" is dense, "next"
-// is a near-chain, "ref" is sparse and cross-cutting — so the cost-based
-// planner's choices actually differ from textual order.
-func genGraph(seed uint64) *graph.Graph {
-	r := newOracleRand(seed)
-	g := graph.New()
-	n := 6 + r.n(20)
-	oid := func(i int) graph.OID { return graph.OID(fmt.Sprintf("n%02d", i)) }
-	for i := 0; i < n; i++ {
-		g.AddToCollection("Items", oid(i))
-		if r.n(3) == 0 {
-			g.AddToCollection("Extra", oid(i))
-		}
-		g.AddEdge(oid(i), "id", graph.NewString(fmt.Sprintf("id%02d", i)))
-		g.AddEdge(oid(i), "year", graph.NewInt(int64(1990+r.n(8))))
-		if r.n(4) != 0 {
-			g.AddEdge(oid(i), "kind", graph.NewString(r.pick("a", "b", "c")))
-		}
-		for t := r.n(3); t > 0; t-- {
-			g.AddEdge(oid(i), "tag", graph.NewString(r.pick("t1", "t2", "t3")))
-		}
-		if r.n(5) != 0 {
-			g.AddEdge(oid(i), "next", graph.NewNode(oid((i+1+r.n(2))%n)))
-		}
-		if r.n(3) == 0 {
-			g.AddEdge(oid(i), "ref", graph.NewNode(oid(r.n(n))))
-		}
-		if r.n(4) == 0 {
-			g.AddEdge(oid(i), "score", graph.NewFloat(float64(r.n(100))/4))
-		}
-		if i%3 == 0 {
-			g.AddEdge(oid(i), "extra", graph.NewString("e"))
-		}
-	}
-	// One node outside every collection, reachable only through "ref":
-	// paths can leave the collections the queries scan.
-	g.AddNode(oid(n))
-	g.AddEdge(oid(r.n(n)), "ref", graph.NewNode(oid(n)))
-	return g
-}
-
-// genRichQuery builds a random-but-valid StruQL query from a seed,
-// covering every condition form (membership, label and reverse paths,
-// arc variables, regular path expressions, comparisons, predicates,
-// negation), shuffled condition order, aggregates, multi-Skolem
-// construction, arc-variable links, collections, and nested blocks.
-// Every referenced variable is bound by some positive condition, so the
-// query always parses and evaluates without error.
-func genRichQuery(seed uint64) string {
-	r := newOracleRand(seed)
-	bound := []string{"x"}
-	var arcVars []string
-	varN := 0
-	fresh := func() string { varN++; return fmt.Sprintf("v%d", varN) }
-
-	conds := []string{r.pick("Items(x)", "Items(x)", "Items(x)", "Extra(x)")}
-	binders := 1
-	nConds := 1 + r.n(5)
-	for i := 0; i < nConds; i++ {
-		src := bound[r.n(len(bound))]
-		kind := r.n(10)
-		if binders >= 4 && kind < 4 {
-			kind = 4 + r.n(6) // enough binders; stick to filters and negation
-		}
-		switch kind {
-		case 0: // forward label seek
-			v := fresh()
-			conds = append(conds, fmt.Sprintf("%s -> %q -> %s",
-				src, r.pick("id", "year", "kind", "tag", "next", "ref"), v))
-			bound = append(bound, v)
-			binders++
-		case 1: // reverse: bound target, unbound source
-			v := fresh()
-			conds = append(conds, fmt.Sprintf("%s -> %q -> %s", v, r.pick("next", "ref"), src))
-			bound = append(bound, v)
-			binders++
-		case 2: // arc variable binds the label too
-			v := fresh()
-			l := fmt.Sprintf("l%d", i)
-			conds = append(conds, fmt.Sprintf("%s -> %s -> %s", src, l, v))
-			bound = append(bound, v, l)
-			arcVars = append(arcVars, l)
-			binders++
-		case 3: // regular path expression
-			v := fresh()
-			rpe := r.pick(`"next"*`, `"next"+`, `("next"|"ref")`, `"next"."tag"`,
-				`"ref"?."kind"`, `~"t.*"`, `_`, `("next"."ref")*`, `"next"?`)
-			conds = append(conds, fmt.Sprintf("%s -> %s -> %s", src, rpe, v))
-			bound = append(bound, v)
-			binders++
-		case 4: // comparison against a constant
-			conds = append(conds, r.pick(
-				fmt.Sprintf("%s > %d", src, 1990+r.n(8)),
-				fmt.Sprintf("%s <= %d", src, 1990+r.n(8)),
-				fmt.Sprintf("%s != %q", src, r.pick("a", "b", "t1")),
-				fmt.Sprintf("%s = %q", src, r.pick("a", "t2", "id03")),
-			))
-		case 5: // comparison between two bound variables
-			other := bound[r.n(len(bound))]
-			conds = append(conds, fmt.Sprintf("%s %s %s", src, r.pick("!=", "=", "<"), other))
-		case 6: // built-in predicate
-			conds = append(conds, fmt.Sprintf("%s(%s)",
-				r.pick("isNode", "isAtom", "isInt", "isString"), src))
-		case 7: // safe negation
-			conds = append(conds, r.pick(
-				fmt.Sprintf("not(%s -> %q -> nz%d)", src, r.pick("extra", "kind", "ref"), i),
-				fmt.Sprintf("not(%s -> \"year\" -> nz%d, nz%d > %d)", src, i, i, 1993+r.n(4)),
-				fmt.Sprintf("not(Extra(%s))", src),
-			))
-		case 8: // collection membership: probe a bound var or scan a new one
-			if r.n(2) == 0 {
-				conds = append(conds, fmt.Sprintf("Extra(%s)", src))
-			} else {
-				v := fresh()
-				conds = append(conds, fmt.Sprintf("Extra(%s)", v))
-				bound = append(bound, v)
-				binders++
-			}
-		default: // path with a constant target
-			conds = append(conds, fmt.Sprintf("%s -> \"kind\" -> %q", src, r.pick("a", "b")))
-		}
-	}
-	// Shuffle: condition order must never change the result, and the
-	// planner (or first-ready fallback) must schedule any permutation.
-	for i := len(conds) - 1; i > 0; i-- {
-		j := r.n(i + 1)
-		conds[i], conds[j] = conds[j], conds[i]
-	}
-
-	var b strings.Builder
-	b.WriteString("where ")
-	b.WriteString(strings.Join(conds, ",\n      "))
-
-	if r.n(6) == 0 && len(bound) > 1 {
-		av := bound[1+r.n(len(bound)-1)]
-		fn := r.pick("count", "min", "max", "sum", "avg")
-		fmt.Fprintf(&b, "\naggregate %s(%s) as agg by x", fn, av)
-		b.WriteString("\ncreate Agg(x)\nlink Agg(x) -> \"val\" -> agg, Agg(x) -> \"self\" -> x")
-		if r.n(2) == 0 {
-			b.WriteString("\ncollect Results(Agg(x))")
-		}
-		return b.String()
-	}
-
-	b.WriteString("\ncreate Out(x)")
-	if r.n(3) == 0 {
-		fmt.Fprintf(&b, ", Pair(x, %s)", bound[r.n(len(bound))])
-	}
-	links := []string{fmt.Sprintf("Out(x) -> \"t0\" -> %s", bound[r.n(len(bound))])}
-	for k := r.n(3); k > 0; k-- {
-		links = append(links, fmt.Sprintf("Out(x) -> \"t%d\" -> %s", k, bound[r.n(len(bound))]))
-	}
-	if len(arcVars) > 0 && r.n(2) == 0 {
-		links = append(links, fmt.Sprintf("Out(x) -> %s -> x", arcVars[0]))
-	}
-	fmt.Fprintf(&b, "\nlink %s", strings.Join(links, ", "))
-	if r.n(2) == 0 {
-		b.WriteString("\ncollect Results(Out(x))")
-	}
-	if r.n(4) == 0 {
-		fmt.Fprintf(&b, "\n{ where %s -> %q -> w create Sub(x, w) link Sub(x, w) -> \"w\" -> w }",
-			bound[r.n(len(bound))], r.pick("kind", "tag", "next"))
-	}
-	return b.String()
-}
+func genRichQuery(seed uint64) string { return qgen.RichQuery(seed) }
 
 // oracleGraph bundles one generated graph with the sources and warm
 // statistics the option matrix cycles through.

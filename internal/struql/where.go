@@ -1,0 +1,59 @@
+package struql
+
+import "fmt"
+
+// ParseWhere parses a standalone condition list — the body of a where
+// clause, with the leading "where" keyword optional. It is the entry
+// point for workloads that evaluate conditions directly through
+// EvalWhere rather than running a full construction query: the HTTP
+// query API POSTs exactly this fragment. The parsed conditions pass the
+// same filter-safety check Analyze applies to a block's where clause,
+// so every error is a typed *ParseError with a source line.
+func ParseWhere(src string) ([]Cond, error) {
+	p := &parser{lex: newLexer(src)}
+	p.next()
+	if p.atKeyword("where") {
+		p.next()
+	}
+	if p.tok.kind == tokEOF {
+		return nil, &ParseError{Line: p.tok.line, Msg: "empty where clause"}
+	}
+	conds, err := p.condList()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s after conditions", p.tok.describe())
+	}
+	if err := AnalyzeWhere(conds); err != nil {
+		return nil, err
+	}
+	return conds, nil
+}
+
+// AnalyzeWhere applies the filter-safety half of Analyze to a bare
+// condition list: built-in predicates and comparisons may refer only to
+// variables some positive condition binds. The planner re-checks
+// schedulability at evaluation time, so this catches the errors early
+// (at parse, before any routing) rather than being the last line of
+// defense.
+func AnalyzeWhere(conds []Cond) error {
+	bound := map[string]bool{}
+	for _, c := range conds {
+		c.boundVars(bound)
+	}
+	for _, c := range conds {
+		switch c.(type) {
+		case *PredCond, *CmpCond:
+			refs := map[string]bool{}
+			c.refVars(refs)
+			for v := range refs {
+				if !bound[v] {
+					return &ParseError{Line: c.condLine(),
+						Msg: fmt.Sprintf("variable %s in %s is never bound by a positive condition", v, c)}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+#!/bin/sh
+# bench_query.sh — measure the query API against page serving on the
+# SAME fleet (E17): build strudel-serve and strudel-load, serve the
+# synthetic publication site, then drive one open-loop window of page
+# GETs and one of /query POSTs at the same arrival rate, and aggregate
+# both reports into BENCH_query.json. Pages hit the render cache;
+# queries hit the per-generation result cache — the comparison shows
+# what answering StruQL at the edge costs relative to serving the
+# pages it generates.
+#
+# Usage: sh scripts/bench_query.sh
+#   SHARDS=2               fleet size
+#   REPLICAS=2             replicas per shard
+#   RATE=800               arrival rate (req/s, open loop)
+#   DURATION=3s            measured window per mode
+#   WARMUP=1s              discarded warmup window
+#   PUBS=150               synthetic site size (publication count)
+#   PAGE_SIZE=100          page_size sent with each query
+#   OUT=BENCH_query.json   output path
+set -eu
+cd "$(dirname "$0")/.."
+
+SHARDS=${SHARDS:-2}
+REPLICAS=${REPLICAS:-2}
+RATE=${RATE:-800}
+DURATION=${DURATION:-3s}
+WARMUP=${WARMUP:-1s}
+PUBS=${PUBS:-150}
+PAGE_SIZE=${PAGE_SIZE:-100}
+OUT=${OUT:-BENCH_query.json}
+
+workdir=$(mktemp -d)
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null && wait "$serve_pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/strudel-serve" ./cmd/strudel-serve
+go build -o "$workdir/strudel-load" ./cmd/strudel-load
+
+# Same synthetic site bench_serve.sh uses, so the two benchmarks are
+# comparable: PUBS publications over shared years and tags.
+{
+    echo "collection Pubs;"
+    i=0
+    while [ "$i" -lt "$PUBS" ]; do
+        year=$((1990 + i % 9))
+        tag=$((i % 5))
+        printf 'node p%03d in Pubs { title "Synthetic Publication %03d"; year %d; tag "area%d"; }\n' \
+            "$i" "$i" "$year" "$tag"
+        i=$((i + 1))
+    done
+} > "$workdir/site.ddl"
+
+cat > "$workdir/site.struql" <<'EOF'
+create Root()
+link Root() -> "title" -> "Bench Site"
+where Pubs(x)
+create Pub(x)
+link Root() -> "pub" -> Pub(x), Pub(x) -> "self" -> x
+{ where x -> "title" -> t link Pub(x) -> "title" -> t }
+{ where x -> "year" -> y
+  create Year(y)
+  link Year(y) -> "year" -> y, Year(y) -> "has" -> Pub(x), Root() -> "years" -> Year(y) }
+{ where x -> "tag" -> g
+  create Tag(g)
+  link Tag(g) -> "tag" -> g, Tag(g) -> "member" -> Pub(x), Root() -> "tags" -> Tag(g) }
+EOF
+
+# The query mix speaks the DATA graph's vocabulary (the warehouse the
+# site is a view over, not the rendered page space): scans, value
+# filters, comparisons, and a conjunctive join — the shapes E17 cares
+# about, from cheap to expensive.
+cat > "$workdir/queries.txt" <<'EOF'
+# E17 query mix (one where clause per line)
+where Pubs(x)
+where Pubs(x), x -> "title" -> t
+where Pubs(x), x -> "year" -> y
+where Pubs(x), x -> "year" -> y, y > 1994
+where Pubs(x), x -> "tag" -> g, g = "area3"
+where Pubs(x), x -> "year" -> y, x -> "tag" -> g
+EOF
+
+addr="127.0.0.1:18673"
+
+"$workdir/strudel-serve" \
+    -data "$workdir/site.ddl" -query "$workdir/site.struql" \
+    -addr "$addr" -shards "$SHARDS" -replicas "$REPLICAS" \
+    -reload-interval 0 \
+    > "$workdir/serve.log" 2>&1 &
+serve_pid=$!
+
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$addr/healthz" > /dev/null 2>&1; then
+        up=1
+        break
+    fi
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "bench_query: server exited early" >&2
+        cat "$workdir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "bench_query: server never came up" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+
+echo "bench_query: pages  shards=$SHARDS replicas=$REPLICAS rate=$RATE window=$DURATION" >&2
+"$workdir/strudel-load" -url "http://$addr" \
+    -rate "$RATE" -duration "$DURATION" -warmup "$WARMUP" \
+    -out "$workdir/report_pages.json"
+
+echo "bench_query: queries shards=$SHARDS replicas=$REPLICAS rate=$RATE window=$DURATION" >&2
+"$workdir/strudel-load" -url "http://$addr" \
+    -rate "$RATE" -duration "$DURATION" -warmup "$WARMUP" \
+    -query-file "$workdir/queries.txt" -query-page-size "$PAGE_SIZE" \
+    -out "$workdir/report_queries.json"
+
+kill -TERM "$serve_pid"
+wait "$serve_pid" || {
+    echo "bench_query: server did not shut down cleanly" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+}
+serve_pid=""
+
+# Aggregate: {"config": {...}, "pages": <report>, "queries": <report>}
+{
+    printf '{\n'
+    printf '  "config": {"shards": %s, "replicas": %s, "rate": %s, "duration": "%s", "pubs": %s, "query_page_size": %s},\n' \
+        "$SHARDS" "$REPLICAS" "$RATE" "$DURATION" "$PUBS" "$PAGE_SIZE"
+    printf '  "pages": '
+    tr -d '\n' < "$workdir/report_pages.json"
+    printf ',\n  "queries": '
+    tr -d '\n' < "$workdir/report_queries.json"
+    printf '\n}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

@@ -1,0 +1,144 @@
+#!/bin/sh
+# query-smoke: boot the real strudel-serve binary and drive the query
+# API end to end — schema introspection, a query, cursor pagination,
+# EXPLAIN, a guard trip, and the queryapi metrics group on /debug/vars.
+# This is the network-level proof that the data service the site is a
+# view over is actually reachable, typed, and observable.
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null && wait "$pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/strudel-serve" ./cmd/strudel-serve
+
+cat > "$workdir/site.ddl" <<'EOF'
+collection Pubs;
+node p1 in Pubs { title "Catching the Boat"; year 1998; tag "web"; }
+node p2 in Pubs { title "Strudel"; year 1997; tag "web"; }
+node p3 in Pubs { title "StruQL"; year 1997; tag "query"; }
+node p4 in Pubs { title "Dataguides"; year 1997; tag "schema"; }
+EOF
+
+cat > "$workdir/site.struql" <<'EOF'
+create Root()
+link Root() -> "title" -> "Query Smoke Site"
+where Pubs(x)
+create Page(x)
+link Root() -> "pub" -> Page(x)
+{ where x -> "title" -> t link Page(x) -> "title" -> t }
+EOF
+
+addr="127.0.0.1:18673"
+debugaddr="127.0.0.1:18674"
+"$workdir/strudel-serve" \
+    -data "$workdir/site.ddl" -query "$workdir/site.struql" \
+    -addr "$addr" -debug-addr "$debugaddr" \
+    -shards 2 -replicas 2 -reload-interval 0 \
+    > "$workdir/serve.log" 2>&1 &
+pid=$!
+
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$addr/healthz" > /dev/null 2>&1; then
+        up=1
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "query-smoke: server exited early" >&2
+        cat "$workdir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -n "$up" ] || { echo "query-smoke: server never came up" >&2; cat "$workdir/serve.log" >&2; exit 1; }
+
+fail() {
+    echo "query-smoke: $1" >&2
+    shift
+    for f in "$@"; do cat "$f" >&2; done
+    exit 1
+}
+
+# 1. Introspection: the labels the DDL created must be visible, with a
+#    generation stamp and an ETag that earns a 304 on refetch.
+curl -fsS "http://$addr/schema/labels" > "$workdir/labels.json" \
+    || fail "/schema/labels failed" "$workdir/serve.log"
+for key in '"generation"' '"title"' '"year"' '"tag"'; do
+    grep -q "$key" "$workdir/labels.json" || fail "/schema/labels missing $key" "$workdir/labels.json"
+done
+etag=$(curl -fsS -D - -o /dev/null "http://$addr/schema/labels" | tr -d '\r' | awk 'tolower($1)=="etag:"{print $2}')
+[ -n "$etag" ] || fail "/schema/labels served no ETag"
+code=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $etag" "http://$addr/schema/labels")
+[ "$code" = "304" ] || fail "conditional /schema/labels got $code, want 304"
+
+curl -fsS "http://$addr/schema/dataguide?depth=3" > "$workdir/guide.json" \
+    || fail "/schema/dataguide failed" "$workdir/serve.log"
+grep -q '"paths"' "$workdir/guide.json" || fail "dataguide has no paths" "$workdir/guide.json"
+
+# 2. Query + pagination: 4 pubs with page_size 3 must take exactly two
+#    pages, stitched by an opaque cursor, with header/end framing.
+query='{"query":"where Pubs(x), x -> \"title\" -> t","page_size":3}'
+curl -fsS -d "$query" "http://$addr/query" > "$workdir/page1.ndjson" \
+    || fail "POST /query failed" "$workdir/serve.log"
+grep -q '"kind":"header"' "$workdir/page1.ndjson" || fail "no header line" "$workdir/page1.ndjson"
+grep -q '"kind":"row"' "$workdir/page1.ndjson" || fail "no row lines" "$workdir/page1.ndjson"
+grep -q '"done":false' "$workdir/page1.ndjson" || fail "first page claims done" "$workdir/page1.ndjson"
+cursor=$(sed -n 's/.*"next_cursor":"\([^"]*\)".*/\1/p' "$workdir/page1.ndjson")
+[ -n "$cursor" ] || fail "first page carried no cursor" "$workdir/page1.ndjson"
+
+curl -fsS -d "{\"query\":\"where Pubs(x), x -> \\\"title\\\" -> t\",\"page_size\":3,\"cursor\":\"$cursor\"}" \
+    "http://$addr/query" > "$workdir/page2.ndjson" || fail "cursor resume failed" "$workdir/serve.log"
+grep -q '"done":true' "$workdir/page2.ndjson" || fail "second page not done" "$workdir/page2.ndjson"
+rows=$(grep -c '"kind":"row"' "$workdir/page1.ndjson" "$workdir/page2.ndjson" | awk -F: '{n+=$2} END {print n}')
+[ "$rows" = "4" ] || fail "paginated walk returned $rows rows, want 4" "$workdir/page1.ndjson" "$workdir/page2.ndjson"
+
+# 3. EXPLAIN surfaces the planner.
+curl -fsS -d '{"query":"where Pubs(x), x -> \"year\" -> y, y > 1997"}' \
+    "http://$addr/query/explain" > "$workdir/explain.json" || fail "explain failed" "$workdir/serve.log"
+grep -q '"explain"' "$workdir/explain.json" || fail "no explain payload" "$workdir/explain.json"
+grep -q 'block' "$workdir/explain.json" || fail "explain text missing plan" "$workdir/explain.json"
+
+# 4. Guard trip: max_rows 1 over a 4-row result is a typed 422.
+code=$(curl -s -o "$workdir/guard.json" -w '%{http_code}' \
+    -d '{"query":"where Pubs(x), x -> \"title\" -> t","max_rows":1}' "http://$addr/query")
+[ "$code" = "422" ] || fail "guard trip got $code, want 422" "$workdir/guard.json"
+grep -q '"code":"max_rows"' "$workdir/guard.json" || fail "guard error untyped" "$workdir/guard.json"
+
+# 5. Parse garbage is a typed 400.
+code=$(curl -s -o "$workdir/parse.json" -w '%{http_code}' \
+    -d '{"query":"where -> ->"}' "http://$addr/query")
+[ "$code" = "400" ] || fail "parse garbage got $code, want 400" "$workdir/parse.json"
+grep -q '"code":"parse_error"' "$workdir/parse.json" || fail "parse error untyped" "$workdir/parse.json"
+
+# 6. The queryapi metrics group reflects all of the above on the debug
+#    listener's /debug/vars.
+curl -fsS "http://$debugaddr/debug/vars" > "$workdir/vars.json" \
+    || fail "/debug/vars failed" "$workdir/serve.log"
+for key in '"queryapi"' '"pages_served"' '"cursor_resumes"' '"guard_rows_trips"' '"parse_errors"' '"schema_requests"' '"explains"'; do
+    grep -q "$key" "$workdir/vars.json" || fail "/debug/vars missing queryapi key $key" "$workdir/vars.json"
+done
+# Exact increments for the counters this script drove deterministically.
+python3 - "$workdir/vars.json" <<'EOF' || fail "queryapi counters off" "$workdir/vars.json"
+import json, sys
+q = json.load(open(sys.argv[1]))["strudel"]["queryapi"]
+assert q["pages_served"] == 2, q
+assert q["cursor_resumes"] == 1, q
+assert q["guard_rows_trips"] == 1, q
+assert q["parse_errors"] == 1, q
+assert q["explains"] == 1, q
+assert q["not_modified"] >= 1, q
+EOF
+
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" -eq 0 ] || fail "exit code $rc after SIGTERM" "$workdir/serve.log"
+
+echo "query-smoke: OK"

@@ -163,6 +163,41 @@ curl -fsS "http://$debugaddr/debug/pprof/" | grep -qi "profile" || {
     exit 1
 }
 
+# The query API rides the production listener: a StruQL POST must
+# stream NDJSON rows over the same fleet the pages come from, and
+# schema introspection must answer.
+curl -fsS -d '{"query":"where Pubs(x), x -> \"title\" -> t"}' \
+    "http://$addr/query" > "$workdir/query.ndjson" || {
+    echo "serve-smoke: POST /query failed" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+}
+for key in '"kind":"header"' '"kind":"row"' '"kind":"end"' '"done":true'; do
+    grep -q "$key" "$workdir/query.ndjson" || {
+        echo "serve-smoke: /query stream missing $key:" >&2
+        cat "$workdir/query.ndjson" >&2
+        exit 1
+    }
+done
+grep -q "Reloaded Entry" "$workdir/query.ndjson" || {
+    echo "serve-smoke: /query does not see the hot-reloaded data:" >&2
+    cat "$workdir/query.ndjson" >&2
+    exit 1
+}
+curl -fsS "http://$addr/schema/labels" | grep -q '"title"' || {
+    echo "serve-smoke: /schema/labels did not list the title label" >&2
+    exit 1
+}
+# And its metrics group lands on the debug listener with the rest.
+curl -fsS "http://$debugaddr/debug/vars" > "$workdir/vars2.json"
+for key in '"queryapi"' '"rows_streamed"' '"pages_served"' '"schema_requests"'; do
+    grep -q "$key" "$workdir/vars2.json" || {
+        echo "serve-smoke: /debug/vars missing queryapi metric $key:" >&2
+        cat "$workdir/vars2.json" >&2
+        exit 1
+    }
+done
+
 # Graceful drain: SIGTERM must produce a clean exit 0.
 kill -TERM "$pid"
 rc=0
